@@ -1,0 +1,103 @@
+//! Baseline IaC checkers (§5.2, Table 4).
+//!
+//! Behavioural reimplementations of the tool classes Zodiac is compared
+//! against:
+//!
+//! * [`NativeValidate`] — Terraform's `validate`: provider-schema
+//!   conformance (required attributes, enum values, simple attribute
+//!   conflicts). Catches *syntactic* problems and a sliver of semantic ones.
+//! * [`TfLint`] — per-attribute enum/value linting plus best-practice
+//!   warnings; operates on HCL source only (the format mismatch the paper
+//!   notes) and never reasons across attributes or resources.
+//! * [`SecurityChecker`] — the Checkov / TFSec / Regula / TFComp family:
+//!   hand-written security/compliance policies over compiled plans. Each
+//!   profile enables a different subset of the shared policy library,
+//!   mirroring the tools' relative coverage.
+//!
+//! None of these can express Zodiac's inter-resource deployment checks —
+//! which is precisely the Table 4 result.
+
+pub mod native;
+pub mod security;
+pub mod tflint;
+
+pub use native::NativeValidate;
+pub use security::{SecurityChecker, SecurityProfile};
+pub use tflint::TfLint;
+
+use zodiac_model::{Program, ResourceId};
+
+/// A finding reported by a baseline checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Tool that produced the finding.
+    pub tool: &'static str,
+    /// Rule identifier.
+    pub rule: String,
+    /// The offending resource.
+    pub resource: ResourceId,
+    /// Human-readable message.
+    pub message: String,
+    /// True if the finding corresponds to an actual deployment problem
+    /// (rather than style/security advice) — the numerator of Table 4's
+    /// *precision*.
+    pub deployment_relevant: bool,
+}
+
+/// Common interface over the baseline tools.
+pub trait IacChecker {
+    /// The tool's display name.
+    fn name(&self) -> &'static str;
+
+    /// Checks a compiled program.
+    fn check(&self, program: &Program) -> Vec<Finding>;
+}
+
+/// Prevalence/precision aggregation for Table 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ToolStats {
+    /// Inputs examined.
+    pub inputs: usize,
+    /// Inputs with at least one finding.
+    pub flagged: usize,
+    /// Findings total.
+    pub findings: usize,
+    /// Findings marked deployment-relevant.
+    pub relevant_findings: usize,
+    /// Flagged inputs where at least one finding is deployment-relevant.
+    pub relevant_flagged: usize,
+}
+
+impl ToolStats {
+    /// Percentage of inputs with reported issues.
+    pub fn prevalence(&self) -> f64 {
+        if self.inputs == 0 {
+            0.0
+        } else {
+            100.0 * self.flagged as f64 / self.inputs as f64
+        }
+    }
+
+    /// Percentage of flagged inputs whose findings point at real deployment
+    /// problems.
+    pub fn precision(&self) -> f64 {
+        if self.flagged == 0 {
+            0.0
+        } else {
+            100.0 * self.relevant_flagged as f64 / self.flagged as f64
+        }
+    }
+
+    /// Folds one program's findings into the aggregate.
+    pub fn record(&mut self, findings: &[Finding]) {
+        self.inputs += 1;
+        if !findings.is_empty() {
+            self.flagged += 1;
+            if findings.iter().any(|f| f.deployment_relevant) {
+                self.relevant_flagged += 1;
+            }
+        }
+        self.findings += findings.len();
+        self.relevant_findings += findings.iter().filter(|f| f.deployment_relevant).count();
+    }
+}

@@ -1,0 +1,359 @@
+//! The security-checker family: Checkov, TFSec, Regula, TFComp.
+//!
+//! These tools scan compiled plans for security and compliance policy
+//! violations. They share a policy library; each profile enables the subset
+//! reflecting the real tools' relative coverage (Checkov's large registry
+//! drives its 66% prevalence in Table 4; TFComp's handful of BDD rules its
+//! 3.9%). None of the policies target deployment failures, so their
+//! `deployment_relevant` flag is always false.
+
+use crate::{Finding, IacChecker};
+use zodiac_graph::ResourceGraph;
+use zodiac_model::{Program, Value};
+
+/// Which tool's rule subset to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecurityProfile {
+    /// Checkov: the broadest registry.
+    Checkov,
+    /// TFSec: a focused security set.
+    TfSec,
+    /// Regula (OPA-based): compliance-leaning subset.
+    Regula,
+    /// terraform-compliance: a small BDD rule set.
+    TfComp,
+}
+
+impl SecurityProfile {
+    fn rules(&self) -> &'static [SecurityRule] {
+        use SecurityRule::*;
+        match self {
+            SecurityProfile::Checkov => &[
+                VmPasswordAuth,
+                SshOpenToWorld,
+                AllowAllInbound,
+                PublicContainer,
+                SubnetWithoutNsg,
+                BasicPublicIp,
+                KvNoPurgeProtection,
+                DefaultRouteToInternet,
+                VmWithPublicIp,
+                GwBasicSku,
+            ],
+            SecurityProfile::TfSec => &[
+                VmPasswordAuth,
+                SshOpenToWorld,
+                AllowAllInbound,
+                KvNoPurgeProtection,
+            ],
+            SecurityProfile::Regula => &[
+                VmPasswordAuth,
+                SshOpenToWorld,
+                PublicContainer,
+                KvNoPurgeProtection,
+                DefaultRouteToInternet,
+            ],
+            SecurityProfile::TfComp => &[SshOpenToWorld, PublicContainer],
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SecurityProfile::Checkov => "checkov",
+            SecurityProfile::TfSec => "tfsec",
+            SecurityProfile::Regula => "regula",
+            SecurityProfile::TfComp => "tfcomp",
+        }
+    }
+}
+
+/// The shared security-policy library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SecurityRule {
+    /// VM uses password authentication.
+    VmPasswordAuth,
+    /// Security rule admits SSH (22) from any source.
+    SshOpenToWorld,
+    /// Security rule allows all inbound traffic.
+    AllowAllInbound,
+    /// Storage container is publicly readable.
+    PublicContainer,
+    /// Subnet lacks an NSG association.
+    SubnetWithoutNsg,
+    /// Public IP uses the Basic sku.
+    BasicPublicIp,
+    /// Key vault lacks purge protection.
+    KvNoPurgeProtection,
+    /// Route table sends 0.0.0.0/0 straight to the Internet.
+    DefaultRouteToInternet,
+    /// VM NIC is directly attached to a public IP.
+    VmWithPublicIp,
+    /// Basic-sku VPN gateways are discouraged.
+    GwBasicSku,
+}
+
+/// A profile-parameterised security checker.
+pub struct SecurityChecker {
+    profile: SecurityProfile,
+}
+
+impl SecurityChecker {
+    /// Creates a checker for a tool profile.
+    pub fn new(profile: SecurityProfile) -> Self {
+        SecurityChecker { profile }
+    }
+}
+
+impl IacChecker for SecurityChecker {
+    fn name(&self) -> &'static str {
+        self.profile.name()
+    }
+
+    fn check(&self, program: &Program) -> Vec<Finding> {
+        let graph = ResourceGraph::build(program.clone());
+        let mut out = Vec::new();
+        let tool = self.profile.name();
+        let mut push = |rule: &str, resource: zodiac_model::ResourceId, message: String| {
+            out.push(Finding {
+                tool,
+                rule: rule.to_string(),
+                resource,
+                message,
+                deployment_relevant: false,
+            });
+        };
+        for rule in self.profile.rules() {
+            match rule {
+                SecurityRule::VmPasswordAuth => {
+                    for r in program.of_type("azurerm_linux_virtual_machine") {
+                        let disabled = r
+                            .get_attr("disable_password_authentication")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(true);
+                        if !disabled {
+                            push(
+                                "vm-password-auth",
+                                r.id(),
+                                "password authentication is insecure; use SSH keys".into(),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::SshOpenToWorld | SecurityRule::AllowAllInbound => {
+                    for r in program.of_type("azurerm_network_security_group") {
+                        // A single block compiles to a map, repeated blocks
+                        // to a list of maps.
+                        let blocks: Vec<&std::collections::BTreeMap<String, Value>> =
+                            match r.get_attr("security_rule") {
+                                Some(Value::List(l)) => l.iter().filter_map(Value::as_map).collect(),
+                                Some(Value::Map(m)) => vec![m],
+                                _ => continue,
+                            };
+                        for sec in blocks {
+                            let get = |k: &str| sec.get(k).and_then(Value::as_str).unwrap_or("");
+                            let open_source =
+                                get("source_address_prefix") == "*" || get("source_address_prefix") == "0.0.0.0/0";
+                            let inbound = get("direction") == "Inbound";
+                            let allow = get("access") == "Allow";
+                            if !inbound || !allow || !open_source {
+                                continue;
+                            }
+                            let port = get("destination_port_range");
+                            if *rule == SecurityRule::SshOpenToWorld && (port == "22" || port == "*") {
+                                push(
+                                    "ssh-open-to-world",
+                                    r.id(),
+                                    "SSH reachable from the public internet".into(),
+                                );
+                            }
+                            if *rule == SecurityRule::AllowAllInbound && port == "*" {
+                                push(
+                                    "allow-all-inbound",
+                                    r.id(),
+                                    "rule allows all inbound traffic".into(),
+                                );
+                            }
+                        }
+                    }
+                }
+                SecurityRule::PublicContainer => {
+                    for r in program.of_type("azurerm_storage_container") {
+                        let access = r
+                            .get_attr("container_access_type")
+                            .and_then(Value::as_str)
+                            .unwrap_or("private");
+                        if access != "private" {
+                            push(
+                                "public-container",
+                                r.id(),
+                                format!("container access type {access:?} exposes data"),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::SubnetWithoutNsg => {
+                    for idx in graph.nodes_of_type("azurerm_subnet") {
+                        let r = graph.resource(idx);
+                        // Reserved subnets cannot carry NSGs.
+                        let name = r.get_attr("name").and_then(Value::as_str).unwrap_or("");
+                        if name.starts_with("Gateway")
+                            || name.starts_with("AzureFirewall")
+                            || name.starts_with("AzureBastion")
+                        {
+                            continue;
+                        }
+                        let has_nsg = graph.in_edges(idx).any(|e| {
+                            graph.resource(e.src).rtype
+                                == "azurerm_subnet_network_security_group_association"
+                        });
+                        if !has_nsg {
+                            push(
+                                "subnet-without-nsg",
+                                r.id(),
+                                "subnet has no network security group".into(),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::BasicPublicIp => {
+                    for r in program.of_type("azurerm_public_ip") {
+                        let sku = r.get_attr("sku").and_then(Value::as_str).unwrap_or("Basic");
+                        if sku == "Basic" {
+                            push(
+                                "basic-public-ip",
+                                r.id(),
+                                "Basic sku public IPs lack zone resilience".into(),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::KvNoPurgeProtection => {
+                    for r in program.of_type("azurerm_key_vault") {
+                        let protected = r
+                            .get_attr("purge_protection_enabled")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(false);
+                        if !protected {
+                            push(
+                                "kv-no-purge-protection",
+                                r.id(),
+                                "key vault purge protection disabled".into(),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::DefaultRouteToInternet => {
+                    for r in program.of_type("azurerm_route") {
+                        let prefix = r
+                            .get_attr("address_prefix")
+                            .and_then(Value::as_str)
+                            .unwrap_or("");
+                        let hop = r
+                            .get_attr("next_hop_type")
+                            .and_then(Value::as_str)
+                            .unwrap_or("");
+                        if prefix == "0.0.0.0/0" && hop == "Internet" {
+                            push(
+                                "default-route-to-internet",
+                                r.id(),
+                                "default route bypasses inspection".into(),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::VmWithPublicIp => {
+                    for idx in graph.nodes_of_type("azurerm_network_interface") {
+                        let has_pip = graph.out_edges(idx).any(|e| {
+                            graph.resource(e.dst).rtype == "azurerm_public_ip"
+                        });
+                        let on_vm = graph.in_edges(idx).any(|e| {
+                            graph.resource(e.src).rtype == "azurerm_linux_virtual_machine"
+                        });
+                        if has_pip && on_vm {
+                            push(
+                                "vm-with-public-ip",
+                                graph.resource(idx).id(),
+                                "VM directly exposed via public IP".into(),
+                            );
+                        }
+                    }
+                }
+                SecurityRule::GwBasicSku => {
+                    for r in program.of_type("azurerm_virtual_network_gateway") {
+                        if r.get_attr("sku").and_then(Value::as_str) == Some("Basic") {
+                            push(
+                                "gw-basic-sku",
+                                r.id(),
+                                "Basic gateways are not recommended for production".into(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Resource;
+
+    fn insecure_program() -> Program {
+        let mut sg = Resource::new("azurerm_network_security_group", "sg").with("name", "sg");
+        sg.attrs.insert(
+            "security_rule".into(),
+            Value::List(vec![Value::Map(
+                [
+                    ("name".to_string(), Value::s("ssh")),
+                    ("direction".to_string(), Value::s("Inbound")),
+                    ("access".to_string(), Value::s("Allow")),
+                    ("protocol".to_string(), Value::s("Tcp")),
+                    ("priority".to_string(), Value::Int(100)),
+                    ("source_address_prefix".to_string(), Value::s("*")),
+                    ("destination_port_range".to_string(), Value::s("22")),
+                ]
+                .into_iter()
+                .collect(),
+            )]),
+        );
+        Program::new()
+            .with(sg)
+            .with(
+                Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("admin_password", "pw")
+                    .with("disable_password_authentication", false),
+            )
+            .with(
+                Resource::new("azurerm_storage_container", "c")
+                    .with("container_access_type", "blob"),
+            )
+    }
+
+    #[test]
+    fn checkov_flags_more_than_tfcomp() {
+        let p = insecure_program();
+        let checkov = SecurityChecker::new(SecurityProfile::Checkov).check(&p);
+        let tfcomp = SecurityChecker::new(SecurityProfile::TfComp).check(&p);
+        assert!(checkov.len() > tfcomp.len());
+        assert!(checkov.iter().any(|f| f.rule == "ssh-open-to-world"));
+        assert!(checkov.iter().any(|f| f.rule == "vm-password-auth"));
+        assert!(checkov.iter().any(|f| f.rule == "public-container"));
+    }
+
+    #[test]
+    fn security_findings_are_not_deployment_relevant() {
+        let p = insecure_program();
+        for f in SecurityChecker::new(SecurityProfile::Checkov).check(&p) {
+            assert!(!f.deployment_relevant);
+        }
+    }
+
+    #[test]
+    fn clean_program_produces_nothing_for_tfcomp() {
+        let p = Program::new().with(Resource::new("azurerm_virtual_network", "v").with("name", "x"));
+        assert!(SecurityChecker::new(SecurityProfile::TfComp).check(&p).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benches for the pipeline phases: corpus generation, mining,
+//! validation scheduling, and misconfiguration scanning.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use zodiac_cloud::CloudSim;
+use zodiac_corpus::CorpusConfig;
+use zodiac_mining::{mine, MiningConfig};
+use zodiac_model::Program;
+use zodiac_validation::{Scheduler, SchedulerConfig};
+
+fn small_corpus() -> Vec<Program> {
+    zodiac_corpus::generate(&CorpusConfig {
+        projects: 60,
+        noise_rate: 0.02,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect()
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    c.bench_function("corpus/generate-60-projects", |b| {
+        b.iter(|| {
+            zodiac_corpus::generate(&CorpusConfig {
+                projects: 60,
+                ..Default::default()
+            })
+        })
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let kb = zodiac_kb::azure_kb();
+    c.bench_function("mining/60-projects", |b| {
+        b.iter(|| mine(&corpus, &kb, &MiningConfig::default()))
+    });
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let kb = zodiac_kb::azure_kb();
+    let sim = CloudSim::new_azure();
+    let mining = mine(&corpus, &kb, &MiningConfig::default());
+    c.bench_function("validation/schedule-60-projects", |b| {
+        b.iter_batched(
+            || mining.checks.clone(),
+            |checks| {
+                let scheduler = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default());
+                scheduler.run(checks)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let kb = zodiac_kb::azure_kb();
+    let checks = vec![
+        zodiac_spec::parse_check(
+            "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        )
+        .unwrap(),
+        zodiac_spec::parse_check(
+            "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+        )
+        .unwrap(),
+    ];
+    c.bench_function("scanner/60-projects-2-checks", |b| {
+        b.iter(|| zodiac::scanner::scan_corpus(&corpus, &checks, &kb))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_corpus_generation, bench_mining, bench_validation, bench_scanner
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the substrates: HCL compilation, graph
+//! construction, check evaluation, solver search, and simulated deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zodiac_cloud::CloudSim;
+use zodiac_corpus::CorpusConfig;
+use zodiac_graph::ResourceGraph;
+use zodiac_model::Value;
+use zodiac_solver::{solve, Constraint, Problem, Term};
+use zodiac_spec::{instances, parse_check, EvalContext};
+
+fn sample_program() -> zodiac_model::Program {
+    zodiac_corpus::generate(&CorpusConfig {
+        projects: 1,
+        seed: 42,
+        min_motifs: 3,
+        max_motifs: 3,
+        noise_rate: 0.0,
+        ..Default::default()
+    })
+    .remove(0)
+    .program
+}
+
+fn bench_hcl(c: &mut Criterion) {
+    let program = sample_program();
+    let hcl = zodiac_hcl::to_hcl(&program);
+    c.bench_function("hcl/compile", |b| b.iter(|| zodiac_hcl::compile(&hcl).unwrap()));
+    c.bench_function("hcl/print", |b| b.iter(|| zodiac_hcl::to_hcl(&program)));
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let program = sample_program();
+    c.bench_function("graph/build", |b| {
+        b.iter(|| ResourceGraph::build(program.clone()))
+    });
+    let graph = ResourceGraph::build(program);
+    c.bench_function("graph/deploy-order", |b| {
+        b.iter(|| zodiac_graph::deploy_order(&graph).unwrap())
+    });
+}
+
+fn bench_spec_eval(c: &mut Criterion) {
+    let program = sample_program();
+    let graph = ResourceGraph::build(program);
+    let kb = zodiac_kb::azure_kb();
+    let check = parse_check(
+        "let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
+    )
+    .unwrap();
+    c.bench_function("spec/eval-path-check", |b| {
+        b.iter(|| {
+            instances(
+                &check,
+                EvalContext {
+                    graph: &graph,
+                    kb: Some(&kb),
+                },
+            )
+        })
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    c.bench_function("solver/20-vars-soft", |b| {
+        b.iter(|| {
+            let mut p = Problem::new();
+            let vars: Vec<_> = (0..20)
+                .map(|_| p.add_var((0..6).map(Value::Int).collect()))
+                .collect();
+            for w in vars.windows(2) {
+                p.require(Constraint::ne(Term::Var(w[0]), Term::Var(w[1])));
+            }
+            for &v in &vars {
+                p.prefer(Constraint::eq(Term::Var(v), Term::i(0)), 1);
+            }
+            solve(&p)
+        })
+    });
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    let program = sample_program();
+    let sim = CloudSim::new_azure();
+    c.bench_function("cloud/deploy", |b| b.iter(|| sim.deploy(&program)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hcl, bench_graph, bench_spec_eval, bench_solver, bench_deploy
+}
+criterion_main!(benches);

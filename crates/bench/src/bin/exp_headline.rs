@@ -1,0 +1,91 @@
+//! §5.1 headline numbers: hypothesized → filtered → validated check funnel,
+//! plus the §5.6 false-positive accounting.
+//!
+//! Paper: ~9,800 hypothesized; ~5,600 filtered out statistically; 510
+//! validated (indistinguishable groups counted as one); 539 initially
+//! output, 29 (5.4%) identified as false positives — 17 (3.1%) by the
+//! automated counterexample pass.
+
+use serde::Serialize;
+use zodiac_bench::{print_table, run_eval_pipeline, write_json};
+
+#[derive(Serialize)]
+struct Headline {
+    corpus_projects: usize,
+    hypothesized: usize,
+    removed_by_confidence: usize,
+    removed_by_lift: usize,
+    llm_found: usize,
+    llm_removed: usize,
+    candidates_to_validation: usize,
+    validated_raw: usize,
+    validated_groups_as_one: usize,
+    falsified_in_validation: usize,
+    demoted_by_counterexamples: usize,
+    final_checks: usize,
+    counterexample_fp_rate_pct: f64,
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let (result, _corpus) = run_eval_pipeline();
+    let validated_raw = result.validation.validated.len();
+    let headline = Headline {
+        corpus_projects: result.corpus_projects,
+        hypothesized: result.mining.hypothesized,
+        removed_by_confidence: result.mining.removed_by_confidence,
+        removed_by_lift: result.mining.removed_by_lift,
+        llm_found: result.mining.llm_found,
+        llm_removed: result.mining.llm_removed,
+        candidates_to_validation: result.mining.checks.len(),
+        validated_raw,
+        validated_groups_as_one: result.validation.validated_groups_as_one(),
+        falsified_in_validation: result.validation.false_positives.len(),
+        demoted_by_counterexamples: result.demoted.len(),
+        final_checks: result.final_checks.len(),
+        counterexample_fp_rate_pct: if validated_raw > 0 {
+            100.0 * result.demoted.len() as f64 / validated_raw as f64
+        } else {
+            0.0
+        },
+    };
+
+    print_table(
+        "Headline (§5.1 / §5.6)",
+        &["stage", "count"],
+        &[
+            vec!["corpus projects".into(), headline.corpus_projects.to_string()],
+            vec!["hypothesized checks".into(), headline.hypothesized.to_string()],
+            vec![
+                "removed by confidence".into(),
+                headline.removed_by_confidence.to_string(),
+            ],
+            vec!["removed by lift".into(), headline.removed_by_lift.to_string()],
+            vec!["oracle-interpolated (llm-found)".into(), headline.llm_found.to_string()],
+            vec!["oracle-rejected (llm-remove)".into(), headline.llm_removed.to_string()],
+            vec![
+                "candidates to validation".into(),
+                headline.candidates_to_validation.to_string(),
+            ],
+            vec!["validated (raw)".into(), headline.validated_raw.to_string()],
+            vec![
+                "validated (groups as one)".into(),
+                headline.validated_groups_as_one.to_string(),
+            ],
+            vec![
+                "falsified during validation".into(),
+                headline.falsified_in_validation.to_string(),
+            ],
+            vec![
+                "demoted by counterexamples".into(),
+                format!(
+                    "{} ({:.1}%)",
+                    headline.demoted_by_counterexamples, headline.counterexample_fp_rate_pct
+                ),
+            ],
+            vec!["final check set".into(), headline.final_checks.to_string()],
+        ],
+    );
+    println!("\ntotal wall time: {:?}", t0.elapsed());
+    write_json("exp_headline", &headline);
+}

@@ -1,0 +1,139 @@
+//! Deployment outcomes and reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zodiac_model::ResourceId;
+
+/// The five phases at which a deployment can fail (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Provider plugin checks, before any request is sent.
+    PluginCheck,
+    /// Pre-deploy state synchronisation ("already exists" conflicts).
+    PreDeploySync,
+    /// The initial creation request is rejected by the cloud.
+    SendingRequest,
+    /// Asynchronous polling on slow resources fails.
+    PollingRequest,
+    /// Deployment completes but IaC/cloud states are inconsistent.
+    PostDeploySync,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::PluginCheck => "plugin checks",
+            Phase::PreDeploySync => "pre-deploy sync",
+            Phase::SendingRequest => "sending request",
+            Phase::PollingRequest => "polling request",
+            Phase::PostDeploySync => "post-deploy sync",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Success or classified failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeployOutcome {
+    /// All resources deployed and state is consistent.
+    Success,
+    /// Deployment failed (or completed inconsistently, for
+    /// [`Phase::PostDeploySync`]).
+    Failure {
+        /// The phase at which the failure surfaced.
+        phase: Phase,
+        /// Ground-truth rule that was violated.
+        rule_id: String,
+        /// The resource whose deployment step failed.
+        resource: String,
+        /// Human-readable error, in the style of cloud API errors.
+        message: String,
+    },
+}
+
+impl DeployOutcome {
+    /// True for [`DeployOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, DeployOutcome::Success)
+    }
+}
+
+/// A recorded ground-truth violation (for analysis; the engine stops at the
+/// first one per deployment attempt).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// Ground-truth rule id.
+    pub rule_id: String,
+    /// Resources bound by the violated rule.
+    pub involved: Vec<ResourceId>,
+    /// The resource whose deployment triggered the violation.
+    pub failing: ResourceId,
+    /// The resource that must change to fix the violation.
+    pub fix: ResourceId,
+    /// Error message.
+    pub message: String,
+}
+
+/// Full report of one deployment attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeployReport {
+    /// Overall outcome.
+    pub outcome: DeployOutcome,
+    /// Resources that deployed successfully (in deployment order).
+    pub deployed: Vec<ResourceId>,
+    /// Resources that could not be attempted because of the failure —
+    /// the *halting radius* of Figure 6.
+    pub halted: Vec<ResourceId>,
+    /// Deployed resources that must be recreated to apply the fix —
+    /// the *rollback radius* of Figure 6.
+    pub rollback: Vec<ResourceId>,
+    /// Violations recorded during the attempt.
+    pub violations: Vec<ViolationRecord>,
+}
+
+impl DeployReport {
+    /// Number of distinct resource *types* in the halting radius.
+    pub fn halting_radius(&self) -> usize {
+        distinct_types(&self.halted)
+    }
+
+    /// Number of distinct resource *types* in the rollback radius.
+    pub fn rollback_radius(&self) -> usize {
+        distinct_types(&self.rollback)
+    }
+}
+
+fn distinct_types(ids: &[ResourceId]) -> usize {
+    let mut types: Vec<&str> = ids.iter().map(|i| i.rtype.as_str()).collect();
+    types.sort_unstable();
+    types.dedup();
+    types.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_counts_types_not_instances() {
+        let report = DeployReport {
+            outcome: DeployOutcome::Success,
+            deployed: Vec::new(),
+            halted: vec![
+                ResourceId::new("azurerm_subnet", "a"),
+                ResourceId::new("azurerm_subnet", "b"),
+                ResourceId::new("azurerm_network_interface", "n"),
+            ],
+            rollback: Vec::new(),
+            violations: Vec::new(),
+        };
+        assert_eq!(report.halting_radius(), 2);
+        assert_eq!(report.rollback_radius(), 0);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::SendingRequest.to_string(), "sending request");
+        assert_eq!(Phase::PostDeploySync.to_string(), "post-deploy sync");
+    }
+}

@@ -1,0 +1,663 @@
+//! Per-rule coverage of the ground-truth set: every major rule has a
+//! conforming/violating program pair, and the violation is attributed to the
+//! expected rule id and phase.
+
+use zodiac_cloud::{CloudSim, DeployOutcome, Phase};
+use zodiac_model::{AttrPath, Program, Resource, Value};
+
+fn map(entries: &[(&str, Value)]) -> Value {
+    Value::Map(
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+/// Base scaffold: rg + vnet + subnet.
+fn base() -> Program {
+    Program::new()
+        .with(
+            Resource::new("azurerm_resource_group", "rg")
+                .with("name", "rg1")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_virtual_network", "vnet")
+                .with("name", "vnet1")
+                .with("location", "eastus")
+                .with(
+                    "resource_group_name",
+                    Value::r("azurerm_resource_group", "rg", "name"),
+                )
+                .with("address_space", Value::List(vec![Value::s("10.0.0.0/16")])),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "snet")
+                .with("name", "internal")
+                .with(
+                    "resource_group_name",
+                    Value::r("azurerm_resource_group", "rg", "name"),
+                )
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet", "name"),
+                )
+                .with("address_prefixes", Value::List(vec![Value::s("10.0.1.0/24")])),
+        )
+}
+
+fn rg_ref() -> Value {
+    Value::r("azurerm_resource_group", "rg", "name")
+}
+
+fn public_ip(name: &str, sku: &str, allocation: &str) -> Resource {
+    Resource::new("azurerm_public_ip", name)
+        .with("name", format!("{name}-ip"))
+        .with("location", "eastus")
+        .with("resource_group_name", rg_ref())
+        .with("sku", sku)
+        .with("allocation_method", allocation)
+}
+
+fn storage_account(tier: &str, replication: &str) -> Program {
+    Program::new()
+        .with(
+            Resource::new("azurerm_resource_group", "rg")
+                .with("name", "rg1")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_storage_account", "sa")
+                .with("name", "zodiacsa001")
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref())
+                .with("account_tier", tier)
+                .with("account_replication_type", replication),
+        )
+}
+
+fn assert_fails_with(program: &Program, rule_id: &str, phase: Phase) {
+    let sim = CloudSim::new_azure();
+    match sim.deploy(program).outcome {
+        DeployOutcome::Failure {
+            rule_id: got,
+            phase: got_phase,
+            ..
+        } => {
+            assert_eq!(got, rule_id, "wrong rule");
+            assert_eq!(got_phase, phase, "wrong phase for {rule_id}");
+        }
+        DeployOutcome::Success => panic!("expected {rule_id} violation, got success"),
+    }
+}
+
+fn assert_deploys(program: &Program) {
+    let sim = CloudSim::new_azure();
+    let report = sim.deploy(program);
+    assert!(
+        report.outcome.is_success(),
+        "expected success, got {:?}",
+        report.outcome
+    );
+}
+
+// ---------------------------------------------------------------- storage --
+
+#[test]
+fn sa_premium_gzrs_fails_standard_ok() {
+    assert_fails_with(
+        &storage_account("Premium", "GZRS"),
+        "sa/premium-no-gzrs",
+        Phase::SendingRequest,
+    );
+    assert_deploys(&storage_account("Standard", "GZRS"));
+    assert_deploys(&storage_account("Premium", "LRS"));
+}
+
+#[test]
+fn sa_name_format_enforced() {
+    let mut p = storage_account("Standard", "LRS");
+    p.find_mut(&zodiac_model::ResourceId::new("azurerm_storage_account", "sa"))
+        .unwrap()
+        .attrs
+        .insert("name".into(), Value::s("Has-Uppercase!"));
+    assert_fails_with(&p, "schema/sa-name-format", Phase::PluginCheck);
+}
+
+// --------------------------------------------------------------- public IP --
+
+#[test]
+fn standard_ip_requires_static() {
+    let p = base().with(public_ip("ip", "Standard", "Dynamic"));
+    assert_fails_with(&p, "ip/standard-needs-static", Phase::PluginCheck);
+    assert_deploys(&base().with(public_ip("ip", "Standard", "Static")));
+    assert_deploys(&base().with(public_ip("ip", "Basic", "Dynamic")));
+}
+
+// ------------------------------------------------------------------ subnet --
+
+#[test]
+fn subnet_must_fit_vnet_space() {
+    let mut p = base();
+    p.find_mut(&zodiac_model::ResourceId::new("azurerm_subnet", "snet"))
+        .unwrap()
+        .attrs
+        .insert(
+            "address_prefixes".into(),
+            Value::List(vec![Value::s("172.16.0.0/24")]),
+        );
+    assert_fails_with(&p, "net/subnet-in-vnet-range", Phase::SendingRequest);
+}
+
+#[test]
+fn sibling_subnets_cannot_overlap() {
+    let p = base().with(
+        Resource::new("azurerm_subnet", "snet2")
+            .with("name", "other")
+            .with("resource_group_name", rg_ref())
+            .with(
+                "virtual_network_name",
+                Value::r("azurerm_virtual_network", "vnet", "name"),
+            )
+            .with(
+                "address_prefixes",
+                Value::List(vec![Value::s("10.0.1.128/25")]),
+            ),
+    );
+    assert_fails_with(&p, "net/sibling-subnet-overlap", Phase::SendingRequest);
+}
+
+#[test]
+fn duplicate_subnet_names_scope_per_vnet() {
+    // Same subnet name under a *different* VNet is fine.
+    let p = base()
+        .with(
+            Resource::new("azurerm_virtual_network", "vnet2")
+                .with("name", "vnet2")
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref())
+                .with("address_space", Value::List(vec![Value::s("10.1.0.0/16")])),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "snet2")
+                .with("name", "internal") // same name, different vnet
+                .with("resource_group_name", rg_ref())
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet2", "name"),
+                )
+                .with("address_prefixes", Value::List(vec![Value::s("10.1.1.0/24")])),
+        );
+    assert_deploys(&p);
+    // Same name under the same VNet collides.
+    let bad = base().with(
+        Resource::new("azurerm_subnet", "dup")
+            .with("name", "internal")
+            .with("resource_group_name", rg_ref())
+            .with(
+                "virtual_network_name",
+                Value::r("azurerm_virtual_network", "vnet", "name"),
+            )
+            .with("address_prefixes", Value::List(vec![Value::s("10.0.9.0/24")])),
+    );
+    assert_fails_with(&bad, "name/duplicate", Phase::PreDeploySync);
+}
+
+// ----------------------------------------------------------------- gateway --
+
+fn gateway_program(subnet_name: &str, sku: &str, active_active: bool) -> Program {
+    let mut p = Program::new()
+        .with(
+            Resource::new("azurerm_resource_group", "rg")
+                .with("name", "rg1")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_virtual_network", "vnet")
+                .with("name", "vnet1")
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref())
+                .with("address_space", Value::List(vec![Value::s("10.0.0.0/16")])),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "gwsnet")
+                .with("name", subnet_name)
+                .with("resource_group_name", rg_ref())
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet", "name"),
+                )
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.0.255.0/27")]),
+                ),
+        )
+        .with(public_ip("ip", "Basic", "Dynamic"));
+    let mut gw = Resource::new("azurerm_virtual_network_gateway", "gw")
+        .with("name", "gw1")
+        .with("location", "eastus")
+        .with("resource_group_name", rg_ref())
+        .with("type", "Vpn")
+        .with("sku", sku)
+        .with(
+            "ip_configuration",
+            map(&[
+                ("name", Value::s("cfg")),
+                (
+                    "public_ip_address_id",
+                    Value::r("azurerm_public_ip", "ip", "id"),
+                ),
+                ("subnet_id", Value::r("azurerm_subnet", "gwsnet", "id")),
+            ]),
+        );
+    if active_active {
+        gw = gw.with("active_active", true);
+    }
+    p.add(gw).unwrap();
+    p
+}
+
+#[test]
+fn gateway_requires_gateway_subnet() {
+    assert_fails_with(
+        &gateway_program("internal", "VpnGw1", false),
+        "gw/requires-gateway-subnet",
+        Phase::SendingRequest,
+    );
+    assert_deploys(&gateway_program("GatewaySubnet", "VpnGw1", false));
+}
+
+#[test]
+fn basic_gateway_no_active_active() {
+    assert_fails_with(
+        &gateway_program("GatewaySubnet", "Basic", true),
+        "gw/basic-no-active-active",
+        Phase::SendingRequest,
+    );
+}
+
+#[test]
+fn active_active_needs_two_ipconfigs() {
+    assert_fails_with(
+        &gateway_program("GatewaySubnet", "VpnGw1", true),
+        "gw/active-active-two-ipconfigs",
+        Phase::SendingRequest,
+    );
+}
+
+#[test]
+fn gateway_subnet_is_exclusive() {
+    let p = gateway_program("GatewaySubnet", "VpnGw1", false).with(
+        Resource::new("azurerm_network_interface", "nic")
+            .with("name", "nic1")
+            .with("location", "eastus")
+            .with("resource_group_name", rg_ref())
+            .with(
+                "ip_configuration",
+                map(&[
+                    ("name", Value::s("i")),
+                    ("subnet_id", Value::r("azurerm_subnet", "gwsnet", "id")),
+                    ("private_ip_address_allocation", Value::s("Dynamic")),
+                ]),
+            ),
+    );
+    assert_fails_with(&p, "gw/gateway-subnet-exclusive", Phase::SendingRequest);
+}
+
+#[test]
+fn gateway_subnet_minimum_size() {
+    let mut p = gateway_program("GatewaySubnet", "VpnGw1", false);
+    p.find_mut(&zodiac_model::ResourceId::new("azurerm_subnet", "gwsnet"))
+        .unwrap()
+        .attrs
+        .insert(
+            "address_prefixes".into(),
+            Value::List(vec![Value::s("10.0.255.0/30")]),
+        );
+    assert_fails_with(&p, "net/reserved-subnet-size", Phase::SendingRequest);
+}
+
+#[test]
+fn policy_based_gateway_needs_basic_sku_at_polling() {
+    let mut p = gateway_program("GatewaySubnet", "VpnGw1", false);
+    p.find_mut(&zodiac_model::ResourceId::new(
+        "azurerm_virtual_network_gateway",
+        "gw",
+    ))
+    .unwrap()
+    .attrs
+    .insert("vpn_type".into(), Value::s("PolicyBased"));
+    assert_fails_with(&p, "gw/policy-based-needs-basic", Phase::PollingRequest);
+}
+
+#[test]
+fn gateway_subnet_cannot_delegate() {
+    let mut p = gateway_program("GatewaySubnet", "VpnGw1", false);
+    let path: AttrPath = "delegation.name".parse().unwrap();
+    p.find_mut(&zodiac_model::ResourceId::new("azurerm_subnet", "gwsnet"))
+        .unwrap()
+        .set(&path, Value::s("deleg"));
+    assert_fails_with(&p, "gw/no-subnet-delegation", Phase::PollingRequest);
+}
+
+// ----------------------------------------------------------------- compute --
+
+fn vm_program(size: &str, nic_count: usize) -> Program {
+    let mut p = base();
+    let mut nic_refs = Vec::new();
+    for i in 0..nic_count {
+        let name = format!("nic{i}");
+        p.add(
+            Resource::new("azurerm_network_interface", &name)
+                .with("name", format!("nic-{i}"))
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref())
+                .with(
+                    "ip_configuration",
+                    map(&[
+                        ("name", Value::s("i")),
+                        ("subnet_id", Value::r("azurerm_subnet", "snet", "id")),
+                        ("private_ip_address_allocation", Value::s("Dynamic")),
+                    ]),
+                ),
+        )
+        .unwrap();
+        nic_refs.push(Value::r("azurerm_network_interface", &name, "id"));
+    }
+    p.add(
+        Resource::new("azurerm_linux_virtual_machine", "vm")
+            .with("name", "vm1")
+            .with("location", "eastus")
+            .with("resource_group_name", rg_ref())
+            .with("size", size)
+            .with("admin_username", "azureuser")
+            .with("network_interface_ids", Value::List(nic_refs))
+            .with(
+                "os_disk",
+                map(&[
+                    ("caching", Value::s("ReadWrite")),
+                    ("storage_account_type", Value::s("Standard_LRS")),
+                ]),
+            )
+            .with(
+                "source_image_reference",
+                map(&[
+                    ("publisher", Value::s("Canonical")),
+                    ("offer", Value::s("ubuntu")),
+                    ("sku", Value::s("22_04")),
+                    ("version", Value::s("latest")),
+                ]),
+            ),
+    )
+    .unwrap();
+    p
+}
+
+#[test]
+fn vm_sku_nic_limits_enforced() {
+    // Standard_B1s allows 2 NICs.
+    assert_deploys(&vm_program("Standard_B1s", 2));
+    assert_fails_with(
+        &vm_program("Standard_B1s", 3),
+        "vm/max-nics-Standard_B1s",
+        Phase::SendingRequest,
+    );
+    // F4s_v2 allows 4.
+    assert_deploys(&vm_program("Standard_F4s_v2", 4));
+}
+
+#[test]
+fn spot_vm_needs_eviction_policy() {
+    let mut p = vm_program("Standard_B1s", 1);
+    p.find_mut(&zodiac_model::ResourceId::new(
+        "azurerm_linux_virtual_machine",
+        "vm",
+    ))
+    .unwrap()
+    .attrs
+    .insert("priority".into(), Value::s("Spot"));
+    assert_fails_with(&p, "vm/spot-needs-eviction-policy", Phase::SendingRequest);
+    p.find_mut(&zodiac_model::ResourceId::new(
+        "azurerm_linux_virtual_machine",
+        "vm",
+    ))
+    .unwrap()
+    .attrs
+    .insert("eviction_policy".into(), Value::s("Deallocate"));
+    assert_deploys(&p);
+}
+
+#[test]
+fn vm_nic_location_mismatch() {
+    let mut p = vm_program("Standard_B1s", 1);
+    p.find_mut(&zodiac_model::ResourceId::new(
+        "azurerm_network_interface",
+        "nic0",
+    ))
+    .unwrap()
+    .attrs
+    .insert("location".into(), Value::s("westus"));
+    // The NIC/VNet rule fires first (the NIC deploys before the VM).
+    let sim = CloudSim::new_azure();
+    match sim.deploy(&p).outcome {
+        DeployOutcome::Failure { rule_id, .. } => {
+            assert!(
+                rule_id.contains("location"),
+                "expected a location rule, got {rule_id}"
+            );
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn nic_attaches_to_one_vm() {
+    let mut p = vm_program("Standard_B1s", 1);
+    p.add(
+        Resource::new("azurerm_linux_virtual_machine", "vm2")
+            .with("name", "vm2")
+            .with("location", "eastus")
+            .with("resource_group_name", rg_ref())
+            .with("size", "Standard_B1s")
+            .with("admin_username", "azureuser")
+            .with(
+                "network_interface_ids",
+                Value::List(vec![Value::r("azurerm_network_interface", "nic0", "id")]),
+            )
+            .with(
+                "os_disk",
+                map(&[
+                    ("caching", Value::s("ReadWrite")),
+                    ("storage_account_type", Value::s("Standard_LRS")),
+                ]),
+            )
+            .with(
+                "source_image_reference",
+                map(&[
+                    ("publisher", Value::s("Canonical")),
+                    ("offer", Value::s("ubuntu")),
+                    ("sku", Value::s("22_04")),
+                    ("version", Value::s("latest")),
+                ]),
+            ),
+    )
+    .unwrap();
+    assert_fails_with(&p, "nic/single-vm", Phase::SendingRequest);
+}
+
+#[test]
+fn dangling_reference_fails_at_request() {
+    let p = base().with(
+        Resource::new("azurerm_network_interface", "nic")
+            .with("name", "nic1")
+            .with("location", "eastus")
+            .with("resource_group_name", rg_ref())
+            .with(
+                "ip_configuration",
+                map(&[
+                    ("name", Value::s("i")),
+                    ("subnet_id", Value::r("azurerm_subnet", "ghost", "id")),
+                    ("private_ip_address_allocation", Value::s("Dynamic")),
+                ]),
+            ),
+    );
+    assert_fails_with(&p, "ref/dangling", Phase::SendingRequest);
+}
+
+#[test]
+fn static_nic_needs_address_in_range() {
+    let mk = |addr: Option<&str>| {
+        let mut entries = vec![
+            ("name", Value::s("i")),
+            ("subnet_id", Value::r("azurerm_subnet", "snet", "id")),
+            ("private_ip_address_allocation", Value::s("Static")),
+        ];
+        if let Some(a) = addr {
+            entries.push(("private_ip_address", Value::s(a)));
+        }
+        base().with(
+            Resource::new("azurerm_network_interface", "nic")
+                .with("name", "nic1")
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref())
+                .with("ip_configuration", map(&entries)),
+        )
+    };
+    assert_fails_with(&mk(None), "nic/static-needs-address", Phase::PluginCheck);
+    assert_fails_with(
+        &mk(Some("10.9.9.9")),
+        "nic/private-ip-in-subnet",
+        Phase::SendingRequest,
+    );
+    assert_deploys(&mk(Some("10.0.1.10")));
+}
+
+// ------------------------------------------------------------- post-deploy --
+
+#[test]
+fn subnet_two_route_tables_is_postsync_inconsistency() {
+    let mut p = base();
+    for i in 0..2 {
+        let rt = format!("rt{i}");
+        p.add(
+            Resource::new("azurerm_route_table", &rt)
+                .with("name", format!("rt-{i}"))
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref()),
+        )
+        .unwrap();
+        p.add(
+            Resource::new("azurerm_subnet_route_table_association", format!("assoc{i}"))
+                .with("subnet_id", Value::r("azurerm_subnet", "snet", "id"))
+                .with(
+                    "route_table_id",
+                    Value::r("azurerm_route_table", &rt, "id"),
+                ),
+        )
+        .unwrap();
+    }
+    let sim = CloudSim::new_azure();
+    let report = sim.deploy(&p);
+    match report.outcome {
+        DeployOutcome::Failure { phase, rule_id, .. } => {
+            assert_eq!(phase, Phase::PostDeploySync);
+            assert_eq!(rule_id, "rt/subnet-single-route-table");
+        }
+        other => panic!("expected post-sync failure, got {other:?}"),
+    }
+    // Everything deployed — the inconsistency is silent until the final sync.
+    assert_eq!(report.deployed.len(), p.len());
+}
+
+#[test]
+fn duplicate_route_prefixes_overwrite_silently() {
+    let mut p = base();
+    p.add(
+        Resource::new("azurerm_route_table", "rt")
+            .with("name", "rt1")
+            .with("location", "eastus")
+            .with("resource_group_name", rg_ref()),
+    )
+    .unwrap();
+    for i in 0..2 {
+        p.add(
+            Resource::new("azurerm_route", format!("route{i}"))
+                .with("name", format!("route-{i}"))
+                .with("resource_group_name", rg_ref())
+                .with(
+                    "route_table_name",
+                    Value::r("azurerm_route_table", "rt", "name"),
+                )
+                .with("address_prefix", "0.0.0.0/0")
+                .with("next_hop_type", "Internet"),
+        )
+        .unwrap();
+    }
+    assert_fails_with(&p, "rt/duplicate-route-prefix", Phase::PostDeploySync);
+}
+
+// ---------------------------------------------------------------- firewall --
+
+#[test]
+fn firewall_requires_reserved_subnet_and_standard_ip() {
+    let fw = |subnet_name: &str, ip_sku: &str, ip_alloc: &str| {
+        Program::new()
+            .with(
+                Resource::new("azurerm_resource_group", "rg")
+                    .with("name", "rg1")
+                    .with("location", "eastus"),
+            )
+            .with(
+                Resource::new("azurerm_virtual_network", "vnet")
+                    .with("name", "vnet1")
+                    .with("location", "eastus")
+                    .with("resource_group_name", rg_ref())
+                    .with("address_space", Value::List(vec![Value::s("10.0.0.0/16")])),
+            )
+            .with(
+                Resource::new("azurerm_subnet", "fwsnet")
+                    .with("name", subnet_name)
+                    .with("resource_group_name", rg_ref())
+                    .with(
+                        "virtual_network_name",
+                        Value::r("azurerm_virtual_network", "vnet", "name"),
+                    )
+                    .with(
+                        "address_prefixes",
+                        Value::List(vec![Value::s("10.0.254.0/26")]),
+                    ),
+            )
+            .with(public_ip("ip", ip_sku, ip_alloc))
+            .with(
+                Resource::new("azurerm_firewall", "fw")
+                    .with("name", "fw1")
+                    .with("location", "eastus")
+                    .with("resource_group_name", rg_ref())
+                    .with("sku_name", "AZFW_VNet")
+                    .with("sku_tier", "Standard")
+                    .with(
+                        "ip_configuration",
+                        map(&[
+                            ("name", Value::s("cfg")),
+                            ("subnet_id", Value::r("azurerm_subnet", "fwsnet", "id")),
+                            (
+                                "public_ip_address_id",
+                                Value::r("azurerm_public_ip", "ip", "id"),
+                            ),
+                        ]),
+                    ),
+            )
+    };
+    assert_deploys(&fw("AzureFirewallSubnet", "Standard", "Static"));
+    assert_fails_with(
+        &fw("internal", "Standard", "Static"),
+        "fw/requires-firewall-subnet",
+        Phase::SendingRequest,
+    );
+    assert_fails_with(
+        &fw("AzureFirewallSubnet", "Basic", "Dynamic"),
+        "fw/requires-standard-static-ip",
+        Phase::SendingRequest,
+    );
+}

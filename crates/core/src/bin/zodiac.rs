@@ -1,0 +1,216 @@
+//! The `zodiac` command-line tool.
+//!
+//! ```text
+//! zodiac mine   [--projects N] [--seed S] --out checks.txt
+//! zodiac scan   --checks checks.txt FILE...
+//! zodiac deploy FILE...
+//! zodiac explain "<check>"
+//! zodiac insights --checks checks.txt
+//! ```
+//!
+//! `FILE` may be Terraform source (`.tf`) or a `terraform show -json` plan
+//! (`.json`). `mine` runs the full pipeline against a synthetic corpus and
+//! writes the validated checks one per line; `scan` applies a check file to
+//! programs statically; `deploy` runs the cloud simulator and reports the
+//! failure phase and blast radius.
+
+use std::process::ExitCode;
+use zodiac_model::Program;
+use zodiac_spec::{parse_check, Check};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "mine" => cmd_mine(rest),
+        "scan" => cmd_scan(rest),
+        "deploy" => cmd_deploy(rest),
+        "explain" => cmd_explain(rest),
+        "insights" => cmd_insights(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "zodiac — mine and validate semantic checks for cloud IaC programs
+
+USAGE:
+    zodiac mine [--projects N] [--seed S] --out FILE   run the pipeline, write validated checks
+    zodiac scan --checks FILE PROGRAM...               scan programs against a check file
+    zodiac deploy PROGRAM...                           simulate deployment and report outcome
+    zodiac explain \"<check>\"                           render a check as a deployment insight
+    zodiac insights --checks FILE                      export a JSON-lines RAG knowledge base
+
+PROGRAM is .tf (Terraform source) or .json (terraform show -json plan).";
+
+/// Pulls `--flag value` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".json") {
+        zodiac_hcl::from_plan_json(&source).map_err(|e| format!("{path}: {e}"))
+    } else {
+        zodiac_hcl::compile(&source).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_checks(path: &str) -> Result<Vec<Check>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut checks = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let check =
+            parse_check(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        checks.push(check);
+    }
+    Ok(checks)
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let projects: usize = take_flag(&mut args, "--projects")
+        .map(|v| v.parse().map_err(|_| "--projects expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(300);
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .map(|v| v.parse().map_err(|_| "--seed expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(0xC0FFEE);
+    let out = take_flag(&mut args, "--out").ok_or("mine requires --out FILE")?;
+
+    let mut cfg = zodiac::PipelineConfig::evaluation();
+    cfg.corpus.projects = projects;
+    cfg.corpus.seed = seed;
+    eprintln!("mining + validating over {projects} synthetic projects...");
+    let result = zodiac::run_pipeline(&cfg);
+    eprintln!(
+        "hypothesized {} → candidates {} → validated {} ({} demoted by counterexamples)",
+        result.mining.hypothesized,
+        result.mining.checks.len(),
+        result.validation.validated.len(),
+        result.demoted.len(),
+    );
+    let mut lines = String::new();
+    for v in &result.final_checks {
+        lines.push_str(&v.mined.check.to_string());
+        lines.push('\n');
+    }
+    std::fs::write(&out, lines).map_err(|e| format!("cannot write {out}: {e}"))?;
+    eprintln!("{} checks written to {out}", result.final_checks.len());
+    Ok(())
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let checks_path = take_flag(&mut args, "--checks").ok_or("scan requires --checks FILE")?;
+    if args.is_empty() {
+        return Err("scan requires at least one program file".into());
+    }
+    let checks = load_checks(&checks_path)?;
+    let kb = zodiac_kb::azure_kb();
+    let mut total_violations = 0usize;
+    for path in &args {
+        let program = load_program(path)?;
+        let violations = zodiac::scanner::scan_program(&program, &checks, &kb);
+        if violations.is_empty() {
+            println!("{path}: OK ({} resources)", program.len());
+        } else {
+            println!("{path}: {} violation(s)", violations.len());
+            for v in &violations {
+                println!("  ✗ {}", v.check);
+                for r in &v.resources {
+                    println!("      involves {r}");
+                }
+            }
+            total_violations += violations.len();
+        }
+    }
+    if total_violations > 0 {
+        Err(format!("{total_violations} violation(s) found"))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_deploy(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("deploy requires at least one program file".into());
+    }
+    let sim = zodiac_cloud::CloudSim::new_azure();
+    let mut failed = false;
+    for path in args {
+        let program = load_program(path)?;
+        let report = sim.deploy(&program);
+        match &report.outcome {
+            zodiac_cloud::DeployOutcome::Success => {
+                println!("{path}: deployed {} resources", report.deployed.len());
+            }
+            zodiac_cloud::DeployOutcome::Failure {
+                phase,
+                rule_id,
+                resource,
+                message,
+            } => {
+                failed = true;
+                println!("{path}: FAILED at {phase} on {resource}");
+                println!("  rule: {rule_id}");
+                println!("  {message}");
+                println!(
+                    "  deployed {} / halted {} / rollback spans {} resource type(s)",
+                    report.deployed.len(),
+                    report.halted.len(),
+                    report.rollback_radius()
+                );
+            }
+        }
+    }
+    if failed {
+        Err("deployment failed".into())
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let [src] = args else {
+        return Err("explain requires exactly one quoted check".into());
+    };
+    let check = parse_check(src).map_err(|e| e.to_string())?;
+    println!("{}", zodiac::insights::explain(&check));
+    Ok(())
+}
+
+fn cmd_insights(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let checks_path =
+        take_flag(&mut args, "--checks").ok_or("insights requires --checks FILE")?;
+    let checks = load_checks(&checks_path)?;
+    println!("{}", zodiac::insights::export_jsonl(&checks));
+    Ok(())
+}

@@ -1,0 +1,253 @@
+//! Reproductions of the paper's real-world misconfiguration case studies.
+//!
+//! §5.5 dissects the official `azurerm_network_interface_application_gateway_
+//! backend_address_pool_association` usage example, which passes Terraform
+//! validation but violates two Zodiac checks simultaneously: the application
+//! gateway's frontend IP uses the Basic sku with dynamic allocation, and a
+//! NIC shares the gateway's (exclusive) subnet.
+
+/// The buggy documentation example, as HCL.
+pub const APPGW_DOC_EXAMPLE: &str = r#"
+resource "azurerm_resource_group" "example" {
+  name     = "example-resources"
+  location = "westeurope"
+}
+
+resource "azurerm_virtual_network" "example" {
+  name                = "example-network"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+  address_space       = ["10.254.0.0/16"]
+}
+
+resource "azurerm_subnet" "frontend" {
+  name                 = "frontend"
+  resource_group_name  = azurerm_resource_group.example.name
+  virtual_network_name = azurerm_virtual_network.example.name
+  address_prefixes     = ["10.254.0.0/24"]
+}
+
+resource "azurerm_subnet" "backend" {
+  name                 = "backend"
+  resource_group_name  = azurerm_resource_group.example.name
+  virtual_network_name = azurerm_virtual_network.example.name
+  address_prefixes     = ["10.254.2.0/24"]
+}
+
+# Violation 1: the IP of an application gateway must have the Standard sku.
+resource "azurerm_public_ip" "example" {
+  name                = "example-pip"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+  sku                 = "Basic"
+  allocation_method   = "Dynamic"
+}
+
+resource "azurerm_application_gateway" "network" {
+  name                = "example-appgateway"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+
+  sku {
+    name     = "Standard_Small"
+    tier     = "Standard"
+    capacity = 2
+  }
+
+  gateway_ip_configuration {
+    name      = "my-gateway-ip-configuration"
+    subnet_id = azurerm_subnet.frontend.id
+  }
+
+  frontend_ip_configuration {
+    name                 = "frontend"
+    public_ip_address_id = azurerm_public_ip.example.id
+  }
+
+  backend_address_pool {
+    name = "backend-pool"
+  }
+
+  request_routing_rule {
+    name      = "rule-1"
+    rule_type = "Basic"
+  }
+}
+
+# Violation 2: the application gateway's subnet is exclusive, yet this NIC
+# shares subnet "frontend" with it (the declared "backend" subnet goes
+# unused).
+resource "azurerm_network_interface" "example" {
+  name                = "example-nic"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+
+  ip_configuration {
+    name                          = "testconfiguration1"
+    subnet_id                     = azurerm_subnet.frontend.id
+    private_ip_address_allocation = "Dynamic"
+  }
+}
+
+resource "azurerm_network_interface_application_gateway_backend_address_pool_association" "example" {
+  network_interface_id    = azurerm_network_interface.example.id
+  ip_configuration_name   = "testconfiguration1"
+  backend_address_pool_id = azurerm_application_gateway.network.backend_address_pool_id
+}
+"#;
+
+/// The fixed example: Standard/Static frontend IP, and the NIC moved to the
+/// backend subnet. Note the naive fix (just flipping the sku to Standard)
+/// would trip the *other* check — `allocation == 'Dynamic' ⇒ sku == 'Basic'`
+/// — so the allocation must change too.
+pub const APPGW_DOC_EXAMPLE_FIXED: &str = r#"
+resource "azurerm_resource_group" "example" {
+  name     = "example-resources"
+  location = "westeurope"
+}
+
+resource "azurerm_virtual_network" "example" {
+  name                = "example-network"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+  address_space       = ["10.254.0.0/16"]
+}
+
+resource "azurerm_subnet" "frontend" {
+  name                 = "frontend"
+  resource_group_name  = azurerm_resource_group.example.name
+  virtual_network_name = azurerm_virtual_network.example.name
+  address_prefixes     = ["10.254.0.0/24"]
+}
+
+resource "azurerm_subnet" "backend" {
+  name                 = "backend"
+  resource_group_name  = azurerm_resource_group.example.name
+  virtual_network_name = azurerm_virtual_network.example.name
+  address_prefixes     = ["10.254.2.0/24"]
+}
+
+resource "azurerm_public_ip" "example" {
+  name                = "example-pip"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+  sku                 = "Standard"
+  allocation_method   = "Static"
+}
+
+resource "azurerm_application_gateway" "network" {
+  name                = "example-appgateway"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+
+  sku {
+    name     = "Standard_Small"
+    tier     = "Standard"
+    capacity = 2
+  }
+
+  gateway_ip_configuration {
+    name      = "my-gateway-ip-configuration"
+    subnet_id = azurerm_subnet.frontend.id
+  }
+
+  frontend_ip_configuration {
+    name                 = "frontend"
+    public_ip_address_id = azurerm_public_ip.example.id
+  }
+
+  backend_address_pool {
+    name = "backend-pool"
+  }
+
+  request_routing_rule {
+    name      = "rule-1"
+    rule_type = "Basic"
+  }
+}
+
+resource "azurerm_network_interface" "example" {
+  name                = "example-nic"
+  location            = "westeurope"
+  resource_group_name = azurerm_resource_group.example.name
+
+  ip_configuration {
+    name                          = "testconfiguration1"
+    subnet_id                     = azurerm_subnet.backend.id
+    private_ip_address_allocation = "Dynamic"
+  }
+}
+
+resource "azurerm_network_interface_application_gateway_backend_address_pool_association" "example" {
+  network_interface_id    = azurerm_network_interface.example.id
+  ip_configuration_name   = "testconfiguration1"
+  backend_address_pool_id = azurerm_application_gateway.network.backend_address_pool_id
+}
+"#;
+
+/// The two checks the buggy example violates, in check-language syntax.
+pub const APPGW_CHECKS: [&str; 2] = [
+    "let r1:APPGW, r2:IP in conn(r1.frontend_ip_configuration.public_ip_address_id -> r2.id) => r2.sku == 'Standard'",
+    "let r1:APPGW, r2:SUBNET in conn(r1.gateway_ip_configuration.subnet_id -> r2.id) => indegree(r2, !APPGW) == 0",
+];
+
+/// The coupled check that makes the naive fix fail (§5.5 violation 1).
+pub const IP_ALLOCATION_CHECK: &str =
+    "let r:IP in r.allocation_method == 'Dynamic' => r.sku == 'Basic'";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_cloud::{CloudSim, DeployOutcome};
+    use zodiac_spec::parse_check;
+
+    #[test]
+    fn doc_example_compiles_but_fails_to_deploy() {
+        let program = zodiac_hcl::compile(APPGW_DOC_EXAMPLE).expect("compiles fine");
+        let sim = CloudSim::new_azure();
+        let report = sim.deploy(&program);
+        assert!(
+            matches!(report.outcome, DeployOutcome::Failure { .. }),
+            "the doc example must fail deployment"
+        );
+    }
+
+    #[test]
+    fn fixed_example_deploys() {
+        let program = zodiac_hcl::compile(APPGW_DOC_EXAMPLE_FIXED).expect("compiles");
+        let sim = CloudSim::new_azure();
+        let report = sim.deploy(&program);
+        assert!(
+            report.outcome.is_success(),
+            "fixed example should deploy: {:?}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn scanner_catches_both_violations() {
+        let program = zodiac_hcl::compile(APPGW_DOC_EXAMPLE).unwrap();
+        let checks: Vec<_> = APPGW_CHECKS
+            .iter()
+            .map(|s| parse_check(s).unwrap())
+            .collect();
+        let kb = zodiac_kb::azure_kb();
+        let violations = crate::scanner::scan_program(&program, &checks, &kb);
+        let violated: std::collections::BTreeSet<usize> =
+            violations.iter().map(|v| v.check_index).collect();
+        assert_eq!(violated.len(), 2, "both checks must fire: {violations:?}");
+    }
+
+    #[test]
+    fn naive_fix_trips_the_coupled_check() {
+        // Flip only the sku to Standard: allocation stays Dynamic.
+        let naive = APPGW_DOC_EXAMPLE.replace("sku                 = \"Basic\"", "sku                 = \"Standard\"");
+        let program = zodiac_hcl::compile(&naive).unwrap();
+        let kb = zodiac_kb::azure_kb();
+        let check = parse_check(IP_ALLOCATION_CHECK).unwrap();
+        let violations = crate::scanner::scan_program(&program, &[check], &kb);
+        assert!(!violations.is_empty(), "dynamic Standard IPs are illegal");
+        let sim = CloudSim::new_azure();
+        assert!(!sim.deploys_ok(&program));
+    }
+}

@@ -1,0 +1,236 @@
+//! Rendering semantic checks as deployment insights (§6, *use cases*).
+//!
+//! The paper proposes two downstream uses for validated checks beyond
+//! scanning: feeding them to LLM program-synthesis workflows as a RAG
+//! knowledge base, and "systematically bolstering IaC provider
+//! documentation" by translating checks into natural language. This module
+//! implements the translation: every check in the assertion language renders
+//! as an English deployment insight, and a check set exports as a JSON-lines
+//! knowledge base ready for retrieval.
+
+use serde::Serialize;
+use zodiac_kb::short_name;
+use zodiac_model::Value;
+use zodiac_spec::{Check, CmpOp, Expr, TypeSpec, Val};
+
+/// A documentation entry for one validated check.
+#[derive(Debug, Clone, Serialize)]
+pub struct Insight {
+    /// The check in assertion-language syntax.
+    pub check: String,
+    /// The English rendering.
+    pub text: String,
+    /// Resource types involved (short names).
+    pub resource_types: Vec<String>,
+}
+
+/// Renders one check as an English deployment insight.
+pub fn explain(check: &Check) -> String {
+    let cond = explain_expr(&check.cond, check, true);
+    let stmt = explain_expr(&check.stmt, check, false);
+    format!("When {cond}, Azure requires that {stmt}.")
+}
+
+/// Builds the RAG knowledge-base entry for a check.
+pub fn insight(check: &Check) -> Insight {
+    Insight {
+        check: check.to_string(),
+        text: explain(check),
+        resource_types: check
+            .types()
+            .iter()
+            .map(|t| short_name(t).to_string())
+            .collect(),
+    }
+}
+
+/// Exports a check set as a JSON-lines knowledge base.
+pub fn export_jsonl(checks: &[Check]) -> String {
+    checks
+        .iter()
+        .map(|c| serde_json::to_string(&insight(c)).expect("insights serialise"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn noun(check: &Check, var: &str) -> String {
+    let t = check.type_of(var).unwrap_or(var);
+    let short = short_name(t);
+    let article = match short.chars().next() {
+        Some('A') | Some('E') | Some('I') | Some('O') | Some('U') => "an",
+        _ => "a",
+    };
+    format!("{article} {short} `{var}`")
+}
+
+fn attr_phrase(check: &Check, var: &str, attr: &str) -> String {
+    let t = check.type_of(var).unwrap_or(var);
+    format!("the `{attr}` of the {} `{var}`", short_name(t))
+}
+
+fn value_phrase(v: &Value) -> String {
+    match v {
+        Value::Null => "unset".to_string(),
+        Value::Bool(b) => format!("`{b}`"),
+        Value::Int(n) => n.to_string(),
+        Value::Str(s) => format!("`{s}`"),
+        other => format!("`{}`", other.render()),
+    }
+}
+
+fn tau_phrase(tau: &TypeSpec) -> String {
+    match tau {
+        TypeSpec::Is(t) => format!("{} resources", short_name(t)),
+        TypeSpec::Not(t) => format!("resources other than {}", short_name(t)),
+    }
+}
+
+fn val_phrase(v: &Val, check: &Check) -> String {
+    match v {
+        Val::Lit(value) => value_phrase(value),
+        Val::Endpoint { var, attr } => attr_phrase(check, var, attr),
+        Val::InDegree { var, tau } => format!(
+            "the number of {} attached to `{var}`",
+            tau_phrase(tau)
+        ),
+        Val::OutDegree { var, tau } => format!(
+            "the number of {} that `{var}` uses",
+            tau_phrase(tau)
+        ),
+        Val::Length(inner) => match inner.as_ref() {
+            Val::Endpoint { var, attr } => {
+                format!("the number of `{attr}` blocks of `{var}`")
+            }
+            other => format!("the length of {}", val_phrase(other, check)),
+        },
+    }
+}
+
+fn explain_expr(expr: &Expr, check: &Check, as_condition: bool) -> String {
+    match expr {
+        Expr::Conn {
+            src,
+            in_endpoint,
+            dst,
+            ..
+        } => format!(
+            "{} references {} through `{in_endpoint}`",
+            noun(check, src),
+            noun(check, dst)
+        ),
+        Expr::Path { src, dst } => format!(
+            "{} (transitively) depends on {}",
+            noun(check, src),
+            noun(check, dst)
+        ),
+        Expr::CoConn { first, second } | Expr::CoPath { first, second } => format!(
+            "{} and {}",
+            explain_expr(first, check, as_condition),
+            explain_expr(second, check, as_condition)
+        ),
+        Expr::Cmp {
+            op,
+            lhs,
+            rhs,
+            negated,
+        } => {
+            let l = val_phrase(lhs, check);
+            let r = val_phrase(rhs, check);
+            let core = match op {
+                CmpOp::Eq => match rhs {
+                    Val::Lit(Value::Null) => format!("{l} is unset"),
+                    _ => format!("{l} equals {r}"),
+                },
+                CmpOp::Ne => match rhs {
+                    Val::Lit(Value::Null) => format!("{l} is set"),
+                    _ => format!("{l} differs from {r}"),
+                },
+                CmpOp::Le => format!("{l} is at most {r}"),
+                CmpOp::Ge => format!("{l} is at least {r}"),
+                CmpOp::Lt => format!("{l} is below {r}"),
+                CmpOp::Gt => format!("{l} is above {r}"),
+                CmpOp::Overlap => format!("{l} overlaps {r}"),
+                CmpOp::Contain => format!("{l} contains {r}"),
+            };
+            if *negated {
+                match op {
+                    CmpOp::Overlap => format!("{l} does not overlap {r}"),
+                    CmpOp::Contain => format!("{l} does not contain {r}"),
+                    _ => format!("it is not the case that {core}"),
+                }
+            } else {
+                core
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_spec::parse_check;
+
+    #[test]
+    fn explains_paper_examples() {
+        let cases = [
+            (
+                "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+                "When the `account_tier` of the SA `r` equals `Premium`, Azure requires that \
+                 the `account_replication_type` of the SA `r` differs from `GZRS`.",
+            ),
+            (
+                "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+                "When the `priority` of the VM `r` equals `Spot`, Azure requires that \
+                 the `eviction_policy` of the VM `r` is set.",
+            ),
+        ];
+        for (src, expected) in cases {
+            let check = parse_check(src).unwrap();
+            assert_eq!(explain(&check), expected);
+        }
+    }
+
+    #[test]
+    fn explains_topological_checks() {
+        let check = parse_check(
+            "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        )
+        .unwrap();
+        let text = explain(&check);
+        assert!(text.contains("a VM `r1` references"), "{text}");
+        assert!(text.contains("`location`"), "{text}");
+    }
+
+    #[test]
+    fn explains_degree_checks() {
+        let check = parse_check(
+            "let r1:GW, r2:SUBNET in conn(r1.ip_configuration.subnet_id -> r2.id) => indegree(r2, !GW) == 0",
+        )
+        .unwrap();
+        let text = explain(&check);
+        assert!(
+            text.contains("resources other than GW"),
+            "negated type specifier should render: {text}"
+        );
+        assert!(text.contains("equals 0"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_export_is_line_per_check() {
+        let checks: Vec<_> = [
+            "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+            "let r:IP in r.sku == 'Standard' => r.allocation_method == 'Static'",
+        ]
+        .iter()
+        .map(|s| parse_check(s).unwrap())
+        .collect();
+        let jsonl = export_jsonl(&checks);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["text"].as_str().unwrap().starts_with("When "));
+            assert!(!v["resource_types"].as_array().unwrap().is_empty());
+        }
+    }
+}

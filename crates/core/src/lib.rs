@@ -1,0 +1,172 @@
+//! # Zodiac
+//!
+//! A Rust reproduction of *"Unearthing Semantic Checks for Cloud
+//! Infrastructure-as-Code Programs"* (SOSP 2024): an automated pipeline that
+//! **mines** semantic checks for Terraform/Azure programs from a corpus of
+//! repositories and **validates** them through deployment-based testing.
+//!
+//! The crates compose as in the paper's Figure 2:
+//!
+//! ```text
+//! corpus ──► knowledge base ──► mining (templates + statistics + oracle)
+//!    │                                        │ hypothesized checks
+//!    │                                        ▼
+//!    └────────────► validation (MDC + solver mutation + scheduler) ──► R_v
+//!                          │ positive/negative test cases
+//!                          ▼
+//!                 cloud simulator (deploy / observe)
+//! ```
+//!
+//! This crate ties the phases together behind [`run_pipeline`] and offers
+//! the downstream use case — scanning user programs for violations of
+//! validated checks ([`scanner`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use zodiac::{PipelineConfig, run_pipeline};
+//!
+//! let mut cfg = PipelineConfig::default();
+//! cfg.corpus.projects = 300;
+//! let result = run_pipeline(&cfg);
+//! println!(
+//!     "validated {} checks ({} false positives removed)",
+//!     result.final_checks.len(),
+//!     result.validation.false_positives.len()
+//! );
+//! ```
+
+pub mod fixtures;
+pub mod insights;
+pub mod scanner;
+
+pub use scanner::{scan_corpus, MisconfigReport, Violation};
+
+use serde::Serialize;
+use zodiac_cloud::CloudSim;
+use zodiac_corpus::CorpusConfig;
+use zodiac_kb::KnowledgeBase;
+use zodiac_mining::{MiningConfig, MiningReport};
+use zodiac_model::Program;
+use zodiac_validation::{
+    counterexample::{counterexample_pass, CounterexampleReport},
+    Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
+};
+
+/// End-to-end pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Corpus generation (the crawled-repository substitute).
+    pub corpus: CorpusConfig,
+    /// Mining phase settings.
+    pub mining: MiningConfig,
+    /// Validation scheduler settings.
+    pub scheduler: SchedulerConfig,
+    /// Extra projects generated for the §5.6 counterexample pass
+    /// (0 disables the pass).
+    pub counterexample_projects: usize,
+    /// Violating programs examined per check in the counterexample pass.
+    pub counterexample_budget: usize,
+}
+
+impl PipelineConfig {
+    /// The configuration used by the evaluation binaries: a moderately
+    /// sized corpus with realistic noise.
+    pub fn evaluation() -> Self {
+        PipelineConfig {
+            corpus: CorpusConfig {
+                projects: 600,
+                noise_rate: 0.02,
+                rare_option_rate: 0.004,
+                ..Default::default()
+            },
+            counterexample_projects: 300,
+            counterexample_budget: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Serialize)]
+pub struct PipelineResult {
+    /// Number of corpus projects mined.
+    pub corpus_projects: usize,
+    /// Mining report (funnel counters + surviving checks).
+    pub mining: MiningReport,
+    /// Validation outcome (R_v, false positives, trace).
+    pub validation: ValidationOutcome,
+    /// Checks demoted by the counterexample pass (indices into
+    /// `validation.validated`).
+    pub demoted: Vec<usize>,
+    /// Counterexample-pass statistics.
+    #[serde(skip)]
+    pub counterexamples: CounterexampleReport,
+    /// The final check set: validated minus demoted.
+    pub final_checks: Vec<ValidatedCheck>,
+}
+
+/// Runs corpus generation → mining → validation → counterexample testing.
+pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
+    let kb = zodiac_kb::azure_kb();
+    let sim = CloudSim::new_azure();
+    run_pipeline_with(cfg, &kb, &sim)
+}
+
+/// [`run_pipeline`] with an injected KB and deployment oracle.
+pub fn run_pipeline_with(
+    cfg: &PipelineConfig,
+    kb: &KnowledgeBase,
+    sim: &CloudSim,
+) -> PipelineResult {
+    let corpus = zodiac_corpus::generate(&cfg.corpus);
+    let programs: Vec<Program> = corpus.iter().map(|p| p.program.clone()).collect();
+
+    let mining = zodiac_mining::mine(&programs, kb, &cfg.mining);
+
+    let scheduler = Scheduler::new(sim, kb, &programs, cfg.scheduler.clone());
+    let validation = scheduler.run(mining.checks.clone());
+
+    let (counterexamples, demoted) = if cfg.counterexample_projects > 0 {
+        let extra_cfg = CorpusConfig {
+            projects: cfg.counterexample_projects,
+            seed: cfg.corpus.seed.wrapping_add(0x5EED),
+            // The extra corpus leans on rare options so open-world false
+            // positives surface (§5.6).
+            rare_option_rate: (cfg.corpus.rare_option_rate * 4.0).clamp(0.0, 0.05),
+            ..cfg.corpus.clone()
+        };
+        let extra: Vec<Program> = zodiac_corpus::generate(&extra_cfg)
+            .into_iter()
+            .map(|p| p.program)
+            .collect();
+        let report = counterexample_pass(
+            &validation.validated,
+            &extra,
+            kb,
+            sim,
+            cfg.counterexample_budget.max(1),
+        );
+        let demoted = report.demoted.clone();
+        (report, demoted)
+    } else {
+        (CounterexampleReport::default(), Vec::new())
+    };
+
+    let final_checks: Vec<ValidatedCheck> = validation
+        .validated
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !demoted.contains(i))
+        .map(|(_, v)| v.clone())
+        .collect();
+
+    PipelineResult {
+        corpus_projects: corpus.len(),
+        mining,
+        validation,
+        demoted,
+        counterexamples,
+        final_checks,
+    }
+}

@@ -1,0 +1,130 @@
+//! Scanning user programs against validated checks (§5.5).
+//!
+//! Once validated, semantic checks become static guardrails: a program is
+//! scanned *before* deployment, catching cloud-level violations at the
+//! compilation stage. This is the downstream use case that found
+//! misconfigurations in 85 repositories (2.0% of the paper's dataset) and
+//! four buggy official usage examples.
+
+use serde::Serialize;
+use zodiac_graph::ResourceGraph;
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::{Program, ResourceId};
+use zodiac_spec::{violations, Check, EvalContext};
+
+/// One semantic violation in a scanned program.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Index of the violated check.
+    pub check_index: usize,
+    /// The violated check, rendered.
+    pub check: String,
+    /// Resources bound by the violating instance.
+    pub resources: Vec<ResourceId>,
+}
+
+/// Scan result over a corpus of programs.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MisconfigReport {
+    /// Programs scanned.
+    pub scanned: usize,
+    /// Programs with at least one violation.
+    pub buggy_programs: usize,
+    /// All violations, keyed by program index.
+    pub violations: Vec<(usize, Vec<Violation>)>,
+}
+
+impl MisconfigReport {
+    /// Fraction of scanned programs that violate at least one check.
+    pub fn buggy_rate(&self) -> f64 {
+        if self.scanned == 0 {
+            0.0
+        } else {
+            self.buggy_programs as f64 / self.scanned as f64
+        }
+    }
+
+    /// The checks most often violated, as `(check_index, violation_count)`
+    /// sorted descending — the paper's "top-3 checks" that drove the GitHub
+    /// search queries.
+    pub fn top_checks(&self, n: usize) -> Vec<(usize, usize)> {
+        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (_, vs) in &self.violations {
+            for v in vs {
+                *counts.entry(v.check_index).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(usize, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.truncate(n);
+        out
+    }
+}
+
+/// Scans one program against a check set.
+pub fn scan_program(program: &Program, checks: &[Check], kb: &KnowledgeBase) -> Vec<Violation> {
+    let graph = ResourceGraph::build(program.clone());
+    let ctx = EvalContext {
+        graph: &graph,
+        kb: Some(kb),
+    };
+    let mut out = Vec::new();
+    for (i, check) in checks.iter().enumerate() {
+        for v in violations(check, ctx) {
+            out.push(Violation {
+                check_index: i,
+                check: check.to_string(),
+                resources: v
+                    .binding
+                    .values()
+                    .map(|&n| graph.resource(n).id())
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Scans a corpus of programs.
+pub fn scan_corpus(programs: &[Program], checks: &[Check], kb: &KnowledgeBase) -> MisconfigReport {
+    let mut report = MisconfigReport {
+        scanned: programs.len(),
+        ..Default::default()
+    };
+    for (idx, p) in programs.iter().enumerate() {
+        let vs = scan_program(p, checks, kb);
+        if !vs.is_empty() {
+            report.buggy_programs += 1;
+            report.violations.push((idx, vs));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Resource;
+    use zodiac_spec::parse_check;
+
+    #[test]
+    fn scanner_finds_spot_violation() {
+        let checks =
+            vec![parse_check("let r:VM in r.priority == 'Spot' => r.eviction_policy != null")
+                .unwrap()];
+        let kb = zodiac_kb::azure_kb();
+        let bad = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm").with("priority", "Spot"),
+        );
+        let good = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm")
+                .with("priority", "Spot")
+                .with("eviction_policy", "Delete"),
+        );
+        let report = scan_corpus(&[bad, good], &checks, &kb);
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.buggy_programs, 1);
+        assert_eq!(report.top_checks(3), vec![(0, 1)]);
+        assert!((report.buggy_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-project generation context: naming, CIDR allocation, shared
+//! resource-group scaffolding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use zodiac_model::{Program, Resource, Value};
+
+/// Weighted location distribution (common regions dominate, as on GitHub).
+const LOCATION_WEIGHTS: &[(&str, u32)] = &[
+    ("eastus", 30),
+    ("eastus2", 12),
+    ("westus2", 12),
+    ("westeurope", 15),
+    ("northeurope", 8),
+    ("uksouth", 6),
+    ("centralus", 6),
+    ("southeastasia", 5),
+    ("japaneast", 3),
+    ("australiaeast", 3),
+];
+
+/// Weighted VM size distribution.
+const SIZE_WEIGHTS: &[(&str, u32)] = &[
+    ("Standard_B1s", 20),
+    ("Standard_B2s", 14),
+    ("Standard_D2s_v3", 16),
+    ("Standard_D4s_v3", 8),
+    ("Standard_DS1_v2", 8),
+    ("Standard_F2s_v2", 10),
+    ("Standard_F4s_v2", 6),
+    ("Standard_E4s_v3", 5),
+    ("Standard_B1ls", 6),
+    ("Standard_A2_v2", 4),
+    ("Standard_D8s_v3", 2),
+    ("Standard_E8s_v3", 1),
+];
+
+/// Generation context for one project.
+pub struct Ctx {
+    /// Project-local RNG.
+    pub rng: StdRng,
+    program: Program,
+    counters: BTreeMap<&'static str, usize>,
+    next_vnet_block: u8,
+    /// Project-wide default region.
+    pub location: String,
+    /// Whether this project uses the rare `Attach` create option.
+    pub rare_attach: bool,
+    rg: Option<String>,
+    project_index: usize,
+}
+
+impl Ctx {
+    /// Creates a context with its own seeded RNG.
+    pub fn new(seed: u64, project_index: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let location = pick_weighted(&mut rng, LOCATION_WEIGHTS).to_string();
+        Ctx {
+            rng,
+            program: Program::new(),
+            counters: BTreeMap::new(),
+            next_vnet_block: 0,
+            location,
+            rare_attach: false,
+            rg: None,
+            project_index,
+        }
+    }
+
+    /// Finalises the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    /// A fresh local name for a resource kind, e.g. `vnet2`.
+    pub fn fresh(&mut self, kind: &'static str) -> String {
+        let n = self.counters.entry(kind).or_default();
+        let name = if *n == 0 {
+            kind.to_string()
+        } else {
+            format!("{kind}{n}")
+        };
+        *n += 1;
+        name
+    }
+
+    /// A globally-unique-ish cloud-side name.
+    pub fn cloud_name(&mut self, kind: &'static str) -> String {
+        let local = self.fresh(kind);
+        format!("{local}-p{}", self.project_index)
+    }
+
+    /// Allocates a fresh /16 VNet block within 10.0.0.0/8.
+    pub fn alloc_vnet_cidr(&mut self) -> String {
+        let block = self.next_vnet_block;
+        self.next_vnet_block = self.next_vnet_block.wrapping_add(1);
+        format!("10.{block}.0.0/16")
+    }
+
+    /// Allocates the `i`-th /24 subnet inside a /16 VNet block.
+    pub fn subnet_cidr(vnet_cidr: &str, i: u8) -> String {
+        let base: zodiac_model::Cidr = vnet_cidr.parse().expect("valid vnet cidr");
+        let octets = base.addr().to_be_bytes();
+        format!("10.{}.{}.0/24", octets[1], i)
+    }
+
+    /// Samples a weighted VM size.
+    pub fn sample_size(&mut self) -> &'static str {
+        pick_weighted(&mut self.rng, SIZE_WEIGHTS)
+    }
+
+    /// Adds a resource to the program, panicking on duplicates (generator
+    /// names are unique by construction).
+    pub fn add(&mut self, r: Resource) {
+        self.program.add(r).expect("generator produced duplicate id");
+    }
+
+    /// Ensures a resource group exists and returns a reference to its name.
+    pub fn rg_ref(&mut self) -> Value {
+        if self.rg.is_none() {
+            let local = self.fresh("rg");
+            let name = format!("rg-p{}", self.project_index);
+            self.add(
+                Resource::new("azurerm_resource_group", local.clone())
+                    .with("name", name)
+                    .with("location", self.location.clone()),
+            );
+            self.rg = Some(local);
+        }
+        Value::r(
+            "azurerm_resource_group",
+            self.rg.as_deref().expect("just ensured"),
+            "name",
+        )
+    }
+
+}
+
+/// Picks from a weighted table.
+pub fn pick_weighted<'a>(rng: &mut StdRng, table: &[(&'a str, u32)]) -> &'a str {
+    let total: u32 = table.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for (item, w) in table {
+        if roll < *w {
+            return item;
+        }
+        roll -= w;
+    }
+    table.last().expect("non-empty table").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut ctx = Ctx::new(1, 0);
+        let a = ctx.fresh("vnet");
+        let b = ctx.fresh("vnet");
+        let c = ctx.fresh("subnet");
+        assert_ne!(a, b);
+        assert_eq!(a, "vnet");
+        assert_eq!(b, "vnet1");
+        assert_eq!(c, "subnet");
+    }
+
+    #[test]
+    fn vnet_blocks_do_not_overlap() {
+        let mut ctx = Ctx::new(1, 0);
+        let a: zodiac_model::Cidr = ctx.alloc_vnet_cidr().parse().unwrap();
+        let b: zodiac_model::Cidr = ctx.alloc_vnet_cidr().parse().unwrap();
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn subnet_cidrs_nest_in_vnet() {
+        let vnet = "10.3.0.0/16";
+        let s0: zodiac_model::Cidr = Ctx::subnet_cidr(vnet, 0).parse().unwrap();
+        let s1: zodiac_model::Cidr = Ctx::subnet_cidr(vnet, 1).parse().unwrap();
+        let v: zodiac_model::Cidr = vnet.parse().unwrap();
+        assert!(v.contains(&s0));
+        assert!(v.contains(&s1));
+        assert!(!s0.overlaps(&s1));
+    }
+
+    #[test]
+    fn rg_is_created_once() {
+        let mut ctx = Ctx::new(1, 7);
+        ctx.rg_ref();
+        ctx.rg_ref();
+        let p = ctx.finish();
+        assert_eq!(p.of_type("azurerm_resource_group").count(), 1);
+    }
+
+    #[test]
+    fn weighted_pick_hits_all_eventually() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = [("a", 1), ("b", 1)];
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            match pick_weighted(&mut rng, &table) {
+                "a" => seen_a = true,
+                _ => seen_b = true,
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+}

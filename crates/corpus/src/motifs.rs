@@ -1,0 +1,961 @@
+//! Infrastructure motifs: the building blocks of synthetic projects.
+//!
+//! Each motif emits a self-contained, ground-truth-conforming cluster of
+//! resources modelled on the infrastructure patterns that dominate public
+//! Terraform repositories (the workloads the paper's introduction
+//! motivates): single VMs, fleets, load-balanced web tiers, VPN sites,
+//! hub-and-spoke peering, application gateways, firewalled hubs, storage
+//! sites, NAT egress, bastions, secured subnets, and spot batches.
+
+use crate::ctx::{pick_weighted, Ctx};
+use rand::Rng;
+use std::collections::BTreeMap;
+use zodiac_model::{Resource, Value};
+
+const MOTIF_WEIGHTS: &[(&str, u32)] = &[
+    ("simple_vm", 22),
+    ("vm_fleet", 10),
+    ("web_lb", 9),
+    ("secured_subnet", 10),
+    ("storage_site", 12),
+    ("data_disks", 8),
+    ("vpn_site", 6),
+    ("vnet2vnet", 3),
+    ("hub_spoke", 6),
+    ("appgw_web", 5),
+    ("firewall_hub", 4),
+    ("nat_egress", 4),
+    ("bastion_admin", 3),
+    ("spot_batch", 4),
+];
+
+/// Samples one motif and appends it to the project.
+pub fn sample(ctx: &mut Ctx) -> &'static str {
+    let motif = pick_weighted(&mut ctx.rng, MOTIF_WEIGHTS);
+    match motif {
+        "simple_vm" => simple_vm(ctx),
+        "vm_fleet" => vm_fleet(ctx),
+        "web_lb" => web_lb(ctx),
+        "secured_subnet" => secured_subnet(ctx),
+        "storage_site" => storage_site(ctx),
+        "data_disks" => data_disks(ctx),
+        "vpn_site" => vpn_site(ctx),
+        "vnet2vnet" => vnet2vnet(ctx),
+        "hub_spoke" => hub_spoke(ctx),
+        "appgw_web" => appgw_web(ctx),
+        "firewall_hub" => firewall_hub(ctx),
+        "nat_egress" => nat_egress(ctx),
+        "bastion_admin" => bastion_admin(ctx),
+        _ => spot_batch(ctx),
+    }
+    // Table lookup and match arms are kept in sync by the catch-all.
+    MOTIF_WEIGHTS
+        .iter()
+        .find(|(name, _)| *name == motif)
+        .map(|(name, _)| *name)
+        .unwrap_or("spot_batch")
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+// ----------------------------------------------------------------------
+// Shared builders
+// ----------------------------------------------------------------------
+
+/// Creates a VNet, returning `(local_name, cidr)`.
+pub fn vnet(ctx: &mut Ctx) -> (String, String) {
+    let rg = ctx.rg_ref();
+    let local = ctx.fresh("vnet");
+    let cloud = ctx.cloud_name("net");
+    let cidr = ctx.alloc_vnet_cidr();
+    let loc = ctx.location.clone();
+    ctx.add(
+        Resource::new("azurerm_virtual_network", local.clone())
+            .with("name", cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with("address_space", Value::List(vec![Value::s(cidr.clone())])),
+    );
+    (local, cidr)
+}
+
+/// Creates a /24 subnet at index `idx`, returning its local name.
+pub fn subnet(ctx: &mut Ctx, vnet_local: &str, vnet_cidr: &str, idx: u8) -> String {
+    named_subnet(ctx, vnet_local, &Ctx::subnet_cidr(vnet_cidr, idx), None)
+}
+
+/// Creates a subnet with an explicit CIDR and optional reserved name.
+pub fn named_subnet(
+    ctx: &mut Ctx,
+    vnet_local: &str,
+    cidr: &str,
+    reserved: Option<&str>,
+) -> String {
+    let rg = ctx.rg_ref();
+    let local = ctx.fresh("subnet");
+    let name = match reserved {
+        Some(r) => r.to_string(),
+        None => ctx.cloud_name("snet"),
+    };
+    let mut r = Resource::new("azurerm_subnet", local.clone())
+        .with("name", name)
+        .with("resource_group_name", rg)
+        .with(
+            "virtual_network_name",
+            Value::r("azurerm_virtual_network", vnet_local, "name"),
+        )
+        .with("address_prefixes", Value::List(vec![Value::s(cidr)]));
+    // Ordinary subnets occasionally delegate to a managed service; reserved
+    // subnets never may (a polling-phase ground rule).
+    if reserved.is_none() && ctx.rng.gen_bool(0.05) {
+        r = r.with(
+            "delegation",
+            map(vec![
+                ("name", Value::s("delegation")),
+                (
+                    "service_delegation",
+                    map(vec![("name", Value::s("Microsoft.ContainerInstance/containerGroups"))]),
+                ),
+            ]),
+        );
+    }
+    ctx.add(r);
+    local
+}
+
+/// Creates a public IP with an uncorrelated random sku (Basic-weighted).
+pub fn public_ip_any(ctx: &mut Ctx) -> String {
+    let standard = ctx.rng.gen_bool(0.25);
+    public_ip(ctx, standard)
+}
+
+/// Creates a public IP with correlated sku/allocation, returning its local
+/// name. `standard` selects the Standard/Static pairing required by
+/// firewalls, NAT gateways, bastions and application gateways; `false`
+/// yields the Basic/Dynamic pairing.
+pub fn public_ip(ctx: &mut Ctx, standard: bool) -> String {
+    let rg = ctx.rg_ref();
+    let local = ctx.fresh("pip");
+    let cloud = ctx.cloud_name("ip");
+    let loc = ctx.location.clone();
+    let mut r = Resource::new("azurerm_public_ip", local.clone())
+        .with("name", cloud)
+        .with("location", loc)
+        .with("resource_group_name", rg)
+        .with(
+            "allocation_method",
+            if standard { "Static" } else { "Dynamic" },
+        );
+    // Basic-sku IPs often omit the sku attribute entirely (provider default).
+    if standard {
+        r = r.with("sku", "Standard");
+    } else if ctx.rng.gen_bool(0.4) {
+        r = r.with("sku", "Basic");
+    }
+    ctx.add(r);
+    local
+}
+
+/// Creates a NIC on a subnet, optionally with a public IP, returning its
+/// local name.
+pub fn nic(ctx: &mut Ctx, subnet_local: &str, pip_local: Option<&str>) -> String {
+    let rg = ctx.rg_ref();
+    let local = ctx.fresh("nic");
+    let cloud = ctx.cloud_name("nic");
+    let loc = ctx.location.clone();
+    let mut ipcfg = vec![
+        ("name", Value::s("internal")),
+        ("subnet_id", Value::r("azurerm_subnet", subnet_local, "id")),
+        ("private_ip_address_allocation", Value::s("Dynamic")),
+    ];
+    if let Some(p) = pip_local {
+        ipcfg.push((
+            "public_ip_address_id",
+            Value::r("azurerm_public_ip", p, "id"),
+        ));
+    }
+    ctx.add(
+        Resource::new("azurerm_network_interface", local.clone())
+            .with("name", cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with("ip_configuration", map(ipcfg)),
+    );
+    local
+}
+
+/// Options for VM creation.
+pub struct VmOpts {
+    /// Fixed size (sampled when `None`).
+    pub size: Option<&'static str>,
+    /// Spot priority with an eviction policy.
+    pub spot: bool,
+    /// Availability set local name to join.
+    pub avset: Option<String>,
+}
+
+impl Default for VmOpts {
+    fn default() -> Self {
+        VmOpts {
+            size: None,
+            spot: false,
+            avset: None,
+        }
+    }
+}
+
+/// Creates a VM over the given NICs, returning its local name.
+pub fn vm(ctx: &mut Ctx, nic_locals: &[String], opts: VmOpts) -> String {
+    let rg = ctx.rg_ref();
+    let local = ctx.fresh("vm");
+    let cloud = ctx.cloud_name("vm");
+    let loc = ctx.location.clone();
+    let mut size = opts.size.unwrap_or_else(|| ctx.sample_size());
+    // Respect regional sku availability (developers notice the portal error
+    // and pick an offered size).
+    for _ in 0..8 {
+        if zodiac_kb::docs::vm_sku_available(size, &ctx.location) {
+            break;
+        }
+        size = ctx.sample_size();
+    }
+    if !zodiac_kb::docs::vm_sku_available(size, &ctx.location) {
+        size = "Standard_B1s";
+    }
+    let nics: Vec<Value> = nic_locals
+        .iter()
+        .map(|n| Value::r("azurerm_network_interface", n, "id"))
+        .collect();
+    let mut os_disk = vec![
+        ("caching", Value::s("ReadWrite")),
+        ("storage_account_type", Value::s("Standard_LRS")),
+    ];
+    let os_disk_name = format!("{cloud}-osdisk");
+    if ctx.rng.gen_bool(0.6) {
+        os_disk.push(("name", Value::s(os_disk_name)));
+    }
+    let mut r = Resource::new("azurerm_linux_virtual_machine", local.clone())
+        .with("name", cloud)
+        .with("location", loc)
+        .with("resource_group_name", rg)
+        .with("size", size)
+        .with("admin_username", "azureuser")
+        .with("network_interface_ids", Value::List(nics))
+        .with("os_disk", map(os_disk));
+    if ctx.rare_attach {
+        r = r.with("create_option", "Attach");
+    } else {
+        r = r.with(
+            "source_image_reference",
+            map(vec![
+                ("publisher", Value::s("Canonical")),
+                ("offer", Value::s("0001-com-ubuntu-server-jammy")),
+                ("sku", Value::s("22_04-lts")),
+                ("version", Value::s("latest")),
+            ]),
+        );
+    }
+    // Authentication: ssh-key style (no password) or password auth. The
+    // password variants are what Checkov-style security baselines flag.
+    if ctx.rng.gen_bool(0.25) {
+        r = r
+            .with("admin_password", "Sup3rS3cret!")
+            .with("disable_password_authentication", false);
+    }
+    if opts.spot {
+        r = r.with("priority", "Spot").with(
+            "eviction_policy",
+            if ctx.rng.gen_bool(0.8) {
+                "Deallocate"
+            } else {
+                "Delete"
+            },
+        );
+    }
+    if let Some(avset) = opts.avset {
+        r = r.with(
+            "availability_set_id",
+            Value::r("azurerm_availability_set", &avset, "id"),
+        );
+    }
+    ctx.add(r);
+    local
+}
+
+// ----------------------------------------------------------------------
+// Motifs
+// ----------------------------------------------------------------------
+
+fn simple_vm(ctx: &mut Ctx) {
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    let pip = if ctx.rng.gen_bool(0.5) {
+        Some(public_ip_any(ctx))
+    } else {
+        None
+    };
+    let n = nic(ctx, &s, pip.as_deref());
+    vm(ctx, &[n], VmOpts::default());
+}
+
+fn vm_fleet(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    let avset_local = ctx.fresh("avset");
+    let avset_cloud = ctx.cloud_name("avset");
+    let loc = ctx.location.clone();
+    ctx.add(
+        Resource::new("azurerm_availability_set", avset_local.clone())
+            .with("name", avset_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with("managed", true),
+    );
+    let count = ctx.rng.gen_range(2..=4);
+    let size = ctx.sample_size();
+    for _ in 0..count {
+        let n = nic(ctx, &s, None);
+        vm(
+            ctx,
+            &[n],
+            VmOpts {
+                size: Some(size),
+                avset: Some(avset_local.clone()),
+                ..Default::default()
+            },
+        );
+    }
+}
+
+fn web_lb(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    let standard = ctx.rng.gen_bool(0.6);
+    let pip = public_ip(ctx, standard);
+    let lb_local = ctx.fresh("lb");
+    let lb_cloud = ctx.cloud_name("lb");
+    let loc = ctx.location.clone();
+    let mut lb = Resource::new("azurerm_lb", lb_local.clone())
+        .with("name", lb_cloud)
+        .with("location", loc)
+        .with("resource_group_name", rg)
+        .with(
+            "frontend_ip_configuration",
+            map(vec![
+                ("name", Value::s("frontend")),
+                (
+                    "public_ip_address_id",
+                    Value::r("azurerm_public_ip", &pip, "id"),
+                ),
+            ]),
+        );
+    if standard {
+        lb = lb.with("sku", "Standard");
+    }
+    ctx.add(lb);
+    let pool_local = ctx.fresh("pool");
+    let pool_cloud = ctx.cloud_name("pool");
+    ctx.add(
+        Resource::new("azurerm_lb_backend_address_pool", pool_local.clone())
+            .with("name", pool_cloud)
+            .with("loadbalancer_id", Value::r("azurerm_lb", &lb_local, "id")),
+    );
+    for _ in 0..ctx.rng.gen_range(2..=3) {
+        let n = nic(ctx, &s, None);
+        vm(ctx, &[n.clone()], VmOpts::default());
+        let assoc = ctx.fresh("lbassoc");
+        ctx.add(
+            Resource::new(
+                "azurerm_network_interface_backend_address_pool_association",
+                assoc,
+            )
+            .with(
+                "network_interface_id",
+                Value::r("azurerm_network_interface", &n, "id"),
+            )
+            .with(
+                "backend_address_pool_id",
+                Value::r("azurerm_lb_backend_address_pool", &pool_local, "id"),
+            )
+            .with("ip_configuration_name", "internal"),
+        );
+    }
+}
+
+fn secured_subnet(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    let sg_local = ctx.fresh("sg");
+    let sg_cloud = ctx.cloud_name("nsg");
+    let loc = ctx.location.clone();
+    let mut rules = Vec::new();
+    let n_rules = ctx.rng.gen_range(1..=4);
+    for i in 0..n_rules {
+        let inbound = ctx.rng.gen_bool(0.7);
+        let open_ssh = ctx.rng.gen_bool(0.15);
+        rules.push(map(vec![
+            ("name", Value::s(format!("rule-{i}"))),
+            ("priority", Value::Int(100 + 10 * i as i64)),
+            (
+                "direction",
+                Value::s(if inbound { "Inbound" } else { "Outbound" }),
+            ),
+            ("access", Value::s("Allow")),
+            ("protocol", Value::s("Tcp")),
+            ("source_port_range", Value::s("*")),
+            (
+                "destination_port_range",
+                Value::s(if open_ssh { "22" } else { "443" }),
+            ),
+            (
+                "source_address_prefix",
+                Value::s(if open_ssh { "*" } else { "10.0.0.0/8" }),
+            ),
+            ("destination_address_prefix", Value::s("*")),
+        ]));
+    }
+    // A single nested block compiles to a map (matching the HCL frontend);
+    // repeated blocks compile to a list.
+    let rules_value = if rules.len() == 1 {
+        rules.into_iter().next().expect("one rule")
+    } else {
+        Value::List(rules)
+    };
+    ctx.add(
+        Resource::new("azurerm_network_security_group", sg_local.clone())
+            .with("name", sg_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with("security_rule", rules_value),
+    );
+    let assoc = ctx.fresh("sgassoc");
+    ctx.add(
+        Resource::new("azurerm_subnet_network_security_group_association", assoc)
+            .with("subnet_id", Value::r("azurerm_subnet", &s, "id"))
+            .with(
+                "network_security_group_id",
+                Value::r("azurerm_network_security_group", &sg_local, "id"),
+            ),
+    );
+    // Often the secured subnet hosts a VM too.
+    if ctx.rng.gen_bool(0.5) {
+        let n = nic(ctx, &s, None);
+        vm(ctx, &[n], VmOpts::default());
+    }
+}
+
+fn storage_site(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let local = ctx.fresh("sa");
+    let n: usize = ctx.rng.gen_range(0..=9999);
+    let cloud = format!("sa{n:04}zodiac");
+    let loc = ctx.location.clone();
+    let premium = ctx.rng.gen_bool(0.2);
+    let replication = if premium {
+        *["LRS", "ZRS"].get(ctx.rng.gen_range(0..2)).expect("index in range")
+    } else {
+        *["LRS", "GRS", "RAGRS", "ZRS", "GZRS"]
+            .get(ctx.rng.gen_range(0..5))
+            .expect("index in range")
+    };
+    ctx.add(
+        Resource::new("azurerm_storage_account", local.clone())
+            .with("name", cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with("account_tier", if premium { "Premium" } else { "Standard" })
+            .with("account_replication_type", replication),
+    );
+    for _ in 0..ctx.rng.gen_range(1..=2) {
+        let c = ctx.fresh("container");
+        let c_cloud = ctx.cloud_name("data");
+        ctx.add(
+            Resource::new("azurerm_storage_container", c)
+                .with("name", c_cloud.to_lowercase())
+                .with(
+                    "storage_account_name",
+                    Value::r("azurerm_storage_account", &local, "name"),
+                )
+                .with("container_access_type", "private"),
+        );
+    }
+}
+
+fn data_disks(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    let n = nic(ctx, &s, None);
+    // Pick a size with data-disk headroom.
+    let size = *["Standard_D4s_v3", "Standard_E4s_v3", "Standard_B2s"]
+        .get(ctx.rng.gen_range(0..3))
+        .expect("index in range");
+    let vm_local = vm(
+        ctx,
+        &[n],
+        VmOpts {
+            size: Some(size),
+            ..Default::default()
+        },
+    );
+    let count = ctx.rng.gen_range(1..=3);
+    for lun in 0..count {
+        let disk_local = ctx.fresh("disk");
+        let disk_cloud = ctx.cloud_name("datadisk");
+        let loc = ctx.location.clone();
+        ctx.add(
+            Resource::new("azurerm_managed_disk", disk_local.clone())
+                .with("name", disk_cloud)
+                .with("location", loc)
+                .with("resource_group_name", rg.clone())
+                .with("storage_account_type", "Standard_LRS")
+                .with("create_option", "Empty")
+                .with("disk_size_gb", 64),
+        );
+        let attach = ctx.fresh("attach");
+        ctx.add(
+            Resource::new("azurerm_virtual_machine_data_disk_attachment", attach)
+                .with(
+                    "virtual_machine_id",
+                    Value::r("azurerm_linux_virtual_machine", &vm_local, "id"),
+                )
+                .with(
+                    "managed_disk_id",
+                    Value::r("azurerm_managed_disk", &disk_local, "id"),
+                )
+                .with("lun", lun as i64)
+                .with("caching", "ReadWrite"),
+        );
+    }
+}
+
+/// Gateway flavour options.
+#[derive(Default)]
+struct GwOpts {
+    policy_based: bool,
+    active_active: bool,
+}
+
+/// Creates a gateway on a fresh VNet, returning `(gw_local, vnet_local)`.
+fn gateway(ctx: &mut Ctx, sku: &str, opts: GwOpts) -> (String, String) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let octets: Vec<&str> = cidr.split('.').collect();
+    let gw_subnet_cidr = format!("10.{}.255.0/27", octets[1]);
+    let s = named_subnet(ctx, &v, &gw_subnet_cidr, Some("GatewaySubnet"));
+    let pip = public_ip_any(ctx);
+    let gw_local = ctx.fresh("gw");
+    let gw_cloud = ctx.cloud_name("vpngw");
+    let loc = ctx.location.clone();
+    let mut r = Resource::new("azurerm_virtual_network_gateway", gw_local.clone())
+        .with("name", gw_cloud)
+        .with("location", loc)
+        .with("resource_group_name", rg)
+        .with("type", "Vpn")
+        .with(
+            "vpn_type",
+            if opts.policy_based { "PolicyBased" } else { "RouteBased" },
+        )
+        .with("sku", sku);
+    let first_ipcfg = map(vec![
+        ("name", Value::s("gwipcfg")),
+        (
+            "public_ip_address_id",
+            Value::r("azurerm_public_ip", &pip, "id"),
+        ),
+        ("subnet_id", Value::r("azurerm_subnet", &s, "id")),
+    ]);
+    if opts.active_active {
+        // Active-active gateways carry two IP configurations and two IPs.
+        let pip2 = public_ip_any(ctx);
+        let second_ipcfg = map(vec![
+            ("name", Value::s("gwipcfg2")),
+            (
+                "public_ip_address_id",
+                Value::r("azurerm_public_ip", &pip2, "id"),
+            ),
+            ("subnet_id", Value::r("azurerm_subnet", &s, "id")),
+        ]);
+        r = r
+            .with("active_active", true)
+            .with("ip_configuration", Value::List(vec![first_ipcfg, second_ipcfg]));
+    } else {
+        r = r.with("ip_configuration", first_ipcfg);
+    }
+    ctx.add(r);
+    (gw_local, v)
+}
+
+fn vpn_site(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let policy_based = ctx.rng.gen_bool(0.12);
+    let sku = if policy_based || ctx.rng.gen_bool(0.3) {
+        "Basic"
+    } else {
+        "VpnGw1"
+    };
+    let active_active = !policy_based && sku != "Basic" && ctx.rng.gen_bool(0.15);
+    let (gw, _v) = gateway(
+        ctx,
+        sku,
+        GwOpts {
+            policy_based,
+            active_active,
+        },
+    );
+    let lgw_local = ctx.fresh("lgw");
+    let lgw_cloud = ctx.cloud_name("onprem");
+    let loc = ctx.location.clone();
+    ctx.add(
+        Resource::new("azurerm_local_network_gateway", lgw_local.clone())
+            .with("name", lgw_cloud)
+            .with("location", loc.clone())
+            .with("resource_group_name", rg.clone())
+            .with("gateway_address", "203.0.113.12")
+            .with(
+                "address_space",
+                Value::List(vec![Value::s("192.168.0.0/16")]),
+            ),
+    );
+    let t = ctx.fresh("tunnel");
+    let t_cloud = ctx.cloud_name("s2s");
+    ctx.add(
+        Resource::new("azurerm_virtual_network_gateway_connection", t)
+            .with("name", t_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with("type", "IPsec")
+            .with(
+                "virtual_network_gateway_id",
+                Value::r("azurerm_virtual_network_gateway", &gw, "id"),
+            )
+            .with(
+                "local_network_gateway_id",
+                Value::r("azurerm_local_network_gateway", &lgw_local, "id"),
+            )
+            .with("shared_key", "abc123!"),
+    );
+}
+
+fn vnet2vnet(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (gw1, _v1) = gateway(ctx, "VpnGw1", GwOpts::default());
+    let (gw2, _v2) = gateway(ctx, "VpnGw1", GwOpts::default());
+    let loc = ctx.location.clone();
+    for (a, b) in [(&gw1, &gw2), (&gw2, &gw1)] {
+        let t = ctx.fresh("tunnel");
+        let t_cloud = ctx.cloud_name("v2v");
+        ctx.add(
+            Resource::new("azurerm_virtual_network_gateway_connection", t)
+                .with("name", t_cloud)
+                .with("location", loc.clone())
+                .with("resource_group_name", rg.clone())
+                .with("type", "Vnet2Vnet")
+                .with(
+                    "virtual_network_gateway_id",
+                    Value::r("azurerm_virtual_network_gateway", a, "id"),
+                )
+                .with(
+                    "peer_virtual_network_gateway_id",
+                    Value::r("azurerm_virtual_network_gateway", b, "id"),
+                )
+                .with("shared_key", "xyz789!"),
+        );
+    }
+}
+
+fn hub_spoke(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (hub, hub_cidr) = vnet(ctx);
+    subnet(ctx, &hub, &hub_cidr, 1);
+    let spokes = ctx.rng.gen_range(1..=2);
+    for _ in 0..spokes {
+        let (spoke, spoke_cidr) = vnet(ctx);
+        let s = subnet(ctx, &spoke, &spoke_cidr, 1);
+        if ctx.rng.gen_bool(0.5) {
+            let n = nic(ctx, &s, None);
+            vm(ctx, &[n], VmOpts::default());
+        }
+        for (from, to) in [(&hub, &spoke), (&spoke, &hub)] {
+            let p = ctx.fresh("peer");
+            let p_cloud = ctx.cloud_name("peer");
+            ctx.add(
+                Resource::new("azurerm_virtual_network_peering", p)
+                    .with("name", p_cloud)
+                    .with("resource_group_name", rg.clone())
+                    .with(
+                        "virtual_network_name",
+                        Value::r("azurerm_virtual_network", from, "name"),
+                    )
+                    .with(
+                        "remote_virtual_network_id",
+                        Value::r("azurerm_virtual_network", to, "id"),
+                    )
+                    .with("allow_forwarded_traffic", true),
+            );
+        }
+    }
+}
+
+fn appgw_web(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let gw_subnet = subnet(ctx, &v, &cidr, 0);
+    let backend_subnet = subnet(ctx, &v, &cidr, 1);
+    let pip = public_ip(ctx, true);
+    let appgw_local = ctx.fresh("appgw");
+    let appgw_cloud = ctx.cloud_name("appgw");
+    let loc = ctx.location.clone();
+    let v2 = ctx.rng.gen_bool(0.7);
+    let (sku_name, sku_tier) = if v2 {
+        ("Standard_v2", "Standard_v2")
+    } else {
+        ("Standard_Small", "Standard")
+    };
+    let mut rule = vec![
+        ("name", Value::s("routing-rule")),
+        ("rule_type", Value::s("Basic")),
+    ];
+    if v2 {
+        rule.push(("priority", Value::Int(100)));
+    }
+    ctx.add(
+        Resource::new("azurerm_application_gateway", appgw_local.clone())
+            .with("name", appgw_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with(
+                "sku",
+                map(vec![
+                    ("name", Value::s(sku_name)),
+                    ("tier", Value::s(sku_tier)),
+                    ("capacity", Value::Int(2)),
+                ]),
+            )
+            .with(
+                "gateway_ip_configuration",
+                map(vec![
+                    ("name", Value::s("gwip")),
+                    ("subnet_id", Value::r("azurerm_subnet", &gw_subnet, "id")),
+                ]),
+            )
+            .with(
+                "frontend_ip_configuration",
+                map(vec![
+                    ("name", Value::s("frontend")),
+                    (
+                        "public_ip_address_id",
+                        Value::r("azurerm_public_ip", &pip, "id"),
+                    ),
+                ]),
+            )
+            .with(
+                "backend_address_pool",
+                map(vec![("name", Value::s("backend-pool"))]),
+            )
+            .with("request_routing_rule", map(rule)),
+    );
+    // Backend NICs go to the *other* subnet (the appgw subnet is exclusive).
+    for _ in 0..ctx.rng.gen_range(1..=2) {
+        let n = nic(ctx, &backend_subnet, None);
+        vm(ctx, &[n.clone()], VmOpts::default());
+        let assoc = ctx.fresh("agwassoc");
+        ctx.add(
+            Resource::new(
+                "azurerm_network_interface_application_gateway_backend_address_pool_association",
+                assoc,
+            )
+            .with(
+                "network_interface_id",
+                Value::r("azurerm_network_interface", &n, "id"),
+            )
+            .with(
+                "backend_address_pool_id",
+                Value::r(
+                    "azurerm_application_gateway",
+                    &appgw_local,
+                    "backend_address_pool_id",
+                ),
+            )
+            .with("ip_configuration_name", "internal"),
+        );
+    }
+}
+
+fn firewall_hub(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let octets: Vec<&str> = cidr.split('.').collect();
+    let fw_subnet_cidr = format!("10.{}.254.0/26", octets[1]);
+    let fw_subnet = named_subnet(ctx, &v, &fw_subnet_cidr, Some("AzureFirewallSubnet"));
+    let workload_subnet = subnet(ctx, &v, &cidr, 1);
+    let pip = public_ip(ctx, true);
+    let fw_local = ctx.fresh("fw");
+    let fw_cloud = ctx.cloud_name("firewall");
+    let loc = ctx.location.clone();
+    ctx.add(
+        Resource::new("azurerm_firewall", fw_local)
+            .with("name", fw_cloud)
+            .with("location", loc.clone())
+            .with("resource_group_name", rg.clone())
+            .with("sku_name", "AZFW_VNet")
+            .with("sku_tier", "Standard")
+            .with(
+                "ip_configuration",
+                map(vec![
+                    ("name", Value::s("fwipcfg")),
+                    ("subnet_id", Value::r("azurerm_subnet", &fw_subnet, "id")),
+                    (
+                        "public_ip_address_id",
+                        Value::r("azurerm_public_ip", &pip, "id"),
+                    ),
+                ]),
+            ),
+    );
+    // Route workload traffic through the firewall.
+    let rt_local = ctx.fresh("rt");
+    let rt_cloud = ctx.cloud_name("rt");
+    ctx.add(
+        Resource::new("azurerm_route_table", rt_local.clone())
+            .with("name", rt_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg.clone()),
+    );
+    let route = ctx.fresh("route");
+    let route_cloud = ctx.cloud_name("default-route");
+    let fw_ip = format!("10.{}.254.4", octets[1]);
+    ctx.add(
+        Resource::new("azurerm_route", route)
+            .with("name", route_cloud)
+            .with("resource_group_name", rg)
+            .with(
+                "route_table_name",
+                Value::r("azurerm_route_table", &rt_local, "name"),
+            )
+            .with("address_prefix", "0.0.0.0/0")
+            .with("next_hop_type", "VirtualAppliance")
+            .with("next_hop_in_ip_address", fw_ip),
+    );
+    let assoc = ctx.fresh("rtassoc");
+    ctx.add(
+        Resource::new("azurerm_subnet_route_table_association", assoc)
+            .with(
+                "subnet_id",
+                Value::r("azurerm_subnet", &workload_subnet, "id"),
+            )
+            .with(
+                "route_table_id",
+                Value::r("azurerm_route_table", &rt_local, "id"),
+            ),
+    );
+}
+
+fn nat_egress(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    let pip = public_ip(ctx, true);
+    let nat_local = ctx.fresh("nat");
+    let nat_cloud = ctx.cloud_name("natgw");
+    let loc = ctx.location.clone();
+    ctx.add(
+        Resource::new("azurerm_nat_gateway", nat_local.clone())
+            .with("name", nat_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg),
+    );
+    let ip_assoc = ctx.fresh("natip");
+    ctx.add(
+        Resource::new("azurerm_nat_gateway_public_ip_association", ip_assoc)
+            .with(
+                "nat_gateway_id",
+                Value::r("azurerm_nat_gateway", &nat_local, "id"),
+            )
+            .with(
+                "public_ip_address_id",
+                Value::r("azurerm_public_ip", &pip, "id"),
+            ),
+    );
+    let sn_assoc = ctx.fresh("natassoc");
+    ctx.add(
+        Resource::new("azurerm_subnet_nat_gateway_association", sn_assoc)
+            .with("subnet_id", Value::r("azurerm_subnet", &s, "id"))
+            .with(
+                "nat_gateway_id",
+                Value::r("azurerm_nat_gateway", &nat_local, "id"),
+            ),
+    );
+}
+
+fn bastion_admin(ctx: &mut Ctx) {
+    let rg = ctx.rg_ref();
+    let (v, cidr) = vnet(ctx);
+    let octets: Vec<&str> = cidr.split('.').collect();
+    let b_subnet_cidr = format!("10.{}.253.0/26", octets[1]);
+    let b_subnet = named_subnet(ctx, &v, &b_subnet_cidr, Some("AzureBastionSubnet"));
+    let workload = subnet(ctx, &v, &cidr, 1);
+    let n = nic(ctx, &workload, None);
+    vm(ctx, &[n], VmOpts::default());
+    let pip = public_ip(ctx, true);
+    let b_local = ctx.fresh("bastion");
+    let b_cloud = ctx.cloud_name("bastion");
+    let loc = ctx.location.clone();
+    ctx.add(
+        Resource::new("azurerm_bastion_host", b_local)
+            .with("name", b_cloud)
+            .with("location", loc)
+            .with("resource_group_name", rg)
+            .with(
+                "ip_configuration",
+                map(vec![
+                    ("name", Value::s("bastion-ipcfg")),
+                    ("subnet_id", Value::r("azurerm_subnet", &b_subnet, "id")),
+                    (
+                        "public_ip_address_id",
+                        Value::r("azurerm_public_ip", &pip, "id"),
+                    ),
+                ]),
+            ),
+    );
+}
+
+fn spot_batch(ctx: &mut Ctx) {
+    let (v, cidr) = vnet(ctx);
+    let s = subnet(ctx, &v, &cidr, 1);
+    for _ in 0..ctx.rng.gen_range(1..=3) {
+        let n = nic(ctx, &s, None);
+        vm(
+            ctx,
+            &[n],
+            VmOpts {
+                spot: true,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_motifs_build() {
+        for i in 0..MOTIF_WEIGHTS.len() {
+            let mut ctx = Ctx::new(42 + i as u64, i);
+            sample(&mut ctx);
+            let p = ctx.finish();
+            assert!(!p.is_empty());
+        }
+    }
+}

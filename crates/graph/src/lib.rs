@@ -1,0 +1,346 @@
+//! The IaC resource graph and its topological queries.
+//!
+//! Semantic checks are "assertions over a graph, where nodes represent cloud
+//! resources and edges represent resource-level composition" (§3.2). This
+//! crate builds that graph from a compiled [`Program`]: every
+//! [`zodiac_model::Value::Ref`] inside a resource's attributes becomes a
+//! directed edge from the referencing resource (its *inbound endpoint*) to
+//! the referenced resource (its *outbound endpoint*).
+//!
+//! On top of the graph it implements the query primitives of the check
+//! language — `conn`, `path`, `coconn`, `copath`, `indegree`, `outdegree` —
+//! plus the *deployment partial order* (§4.2) used by both the cloud
+//! simulator and the validation scheduler.
+
+mod order;
+
+pub use order::{ancestors, descendants, deploy_order, OrderError};
+
+use zodiac_model::{AttrPath, Program, Reference, Resource, ResourceId};
+
+/// Index of a resource node within a [`ResourceGraph`].
+pub type NodeIdx = usize;
+
+/// A directed edge: `src`'s attribute (`in_path`) references `dst`'s
+/// attribute (`out_attr`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Referencing resource (the edge tail).
+    pub src: NodeIdx,
+    /// Referenced resource (the edge head).
+    pub dst: NodeIdx,
+    /// Exact attribute path in `src` where the reference occurs,
+    /// e.g. `ip_configuration.0.subnet_id`.
+    pub in_path: AttrPath,
+    /// Normalised inbound endpoint name: `in_path` with list indices
+    /// stripped, e.g. `ip_configuration.subnet_id`.
+    pub in_endpoint: String,
+    /// Outbound endpoint attribute on `dst`, e.g. `id`.
+    pub out_attr: String,
+}
+
+/// A resource graph over a compiled program.
+///
+/// The graph borrows nothing: it indexes into the program passed to
+/// [`ResourceGraph::build`], which it stores by value, so it can outlive the
+/// original.
+#[derive(Debug, Clone)]
+pub struct ResourceGraph {
+    program: Program,
+    edges: Vec<Edge>,
+    /// Outgoing edge indices per node.
+    out_adj: Vec<Vec<usize>>,
+    /// Incoming edge indices per node.
+    in_adj: Vec<Vec<usize>>,
+}
+
+/// Normalises an attribute path into an endpoint name by dropping numeric
+/// (list-index) segments: `nic_ids.0` → `nic_ids`,
+/// `ip_configuration.0.subnet_id` → `ip_configuration.subnet_id`.
+pub fn endpoint_name(path: &AttrPath) -> String {
+    path.0
+        .iter()
+        .filter(|seg| seg.parse::<usize>().is_err())
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+impl ResourceGraph {
+    /// Builds the graph for a program.
+    ///
+    /// References to resources not present in the program (dangling
+    /// references) produce no edge; the cloud simulator reports them
+    /// separately as deploy-time "not found" failures.
+    pub fn build(program: Program) -> Self {
+        let n = program.len();
+        let mut edges = Vec::new();
+        let mut out_adj = vec![Vec::new(); n];
+        let mut in_adj = vec![Vec::new(); n];
+        for (src, r) in program.resources().iter().enumerate() {
+            for (path, reference) in r.references() {
+                if let Some(dst) = program
+                    .resources()
+                    .iter()
+                    .position(|t| t.rtype == reference.rtype && t.name == reference.name)
+                {
+                    let e = Edge {
+                        src,
+                        dst,
+                        in_endpoint: endpoint_name(&path),
+                        in_path: path,
+                        out_attr: reference.attr.clone(),
+                    };
+                    out_adj[src].push(edges.len());
+                    in_adj[dst].push(edges.len());
+                    edges.push(e);
+                }
+            }
+        }
+        ResourceGraph {
+            program,
+            edges,
+            out_adj,
+            in_adj,
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of resource nodes.
+    pub fn len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.program.is_empty()
+    }
+
+    /// The resource at a node index.
+    pub fn resource(&self, idx: NodeIdx) -> &Resource {
+        &self.program.resources()[idx]
+    }
+
+    /// Finds the node index of a resource id.
+    pub fn node(&self, id: &ResourceId) -> Option<NodeIdx> {
+        self.program
+            .resources()
+            .iter()
+            .position(|r| r.rtype == id.rtype && r.name == id.name)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, idx: NodeIdx) -> impl Iterator<Item = &Edge> + '_ {
+        self.out_adj[idx].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, idx: NodeIdx) -> impl Iterator<Item = &Edge> + '_ {
+        self.in_adj[idx].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Node indices of all resources of a given type.
+    pub fn nodes_of_type<'a>(&'a self, rtype: &'a str) -> impl Iterator<Item = NodeIdx> + 'a {
+        self.program
+            .resources()
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.rtype == rtype)
+            .map(|(i, _)| i)
+    }
+
+    /// **conn**(r1.in → r2.out): true if `src` has an edge to `dst` whose
+    /// endpoints match. `None` endpoint filters accept any endpoint.
+    pub fn conn(
+        &self,
+        src: NodeIdx,
+        in_endpoint: Option<&str>,
+        dst: NodeIdx,
+        out_attr: Option<&str>,
+    ) -> bool {
+        self.out_edges(src).any(|e| {
+            e.dst == dst
+                && in_endpoint.is_none_or(|ep| e.in_endpoint == ep)
+                && out_attr.is_none_or(|oa| e.out_attr == oa)
+        })
+    }
+
+    /// **path**(r1 → r2): true if `dst` is reachable from `src` following
+    /// edge direction. A node is reachable from itself.
+    pub fn path(&self, src: NodeIdx, dst: NodeIdx) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![src];
+        seen[src] = true;
+        while let Some(cur) = stack.pop() {
+            for e in self.out_edges(cur) {
+                if e.dst == dst {
+                    return true;
+                }
+                if !seen[e.dst] {
+                    seen[e.dst] = true;
+                    stack.push(e.dst);
+                }
+            }
+        }
+        false
+    }
+
+    /// **indegree**(r, τ): number of incoming edges whose source resource
+    /// matches the type specifier (`type_name` with `negated == false`
+    /// matches that type; `negated == true` matches every *other* type).
+    pub fn indegree(&self, idx: NodeIdx, type_name: &str, negated: bool) -> usize {
+        self.in_edges(idx)
+            .filter(|e| (self.resource(e.src).rtype == type_name) != negated)
+            .count()
+    }
+
+    /// **outdegree**(r, τ): number of outgoing edges whose destination
+    /// resource matches the type specifier.
+    ///
+    /// Note the paper's convention in examples like "no other resource can
+    /// share subnet with GW" uses outdegree of the *subnet* counted over
+    /// incoming attachments; we follow the formal definition (outgoing
+    /// edges), and the check compiler picks the right orientation.
+    pub fn outdegree(&self, idx: NodeIdx, type_name: &str, negated: bool) -> usize {
+        self.out_edges(idx)
+            .filter(|e| (self.resource(e.dst).rtype == type_name) != negated)
+            .count()
+    }
+
+    /// Distinct resources of matching type with an edge *into* `idx`.
+    ///
+    /// Used for degree checks phrased over attachments ("a NIC could only be
+    /// attached to one VM" counts VMs, not edges).
+    pub fn distinct_in_neighbors(&self, idx: NodeIdx, type_name: &str, negated: bool) -> usize {
+        let mut srcs: Vec<NodeIdx> = self
+            .in_edges(idx)
+            .filter(|e| (self.resource(e.src).rtype == type_name) != negated)
+            .map(|e| e.src)
+            .collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        srcs.len()
+    }
+
+    /// Distinct resources of matching type that `idx` has an edge *to*.
+    pub fn distinct_out_neighbors(&self, idx: NodeIdx, type_name: &str, negated: bool) -> usize {
+        let mut dsts: Vec<NodeIdx> = self
+            .out_edges(idx)
+            .filter(|e| (self.resource(e.dst).rtype == type_name) != negated)
+            .map(|e| e.dst)
+            .collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        dsts.len()
+    }
+
+    /// Resolves a reference to a node index, if the target exists.
+    pub fn resolve(&self, reference: &Reference) -> Option<NodeIdx> {
+        self.node(&ResourceId::new(&reference.rtype, &reference.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Value;
+
+    /// vnet ← subnet ← nic ← vm, plus a second nic on the same subnet.
+    fn sample() -> ResourceGraph {
+        let p = Program::new()
+            .with(Resource::new("azurerm_virtual_network", "vnet").with("name", "v"))
+            .with(
+                Resource::new("azurerm_subnet", "s").with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet", "name"),
+                ),
+            )
+            .with(
+                Resource::new("azurerm_network_interface", "nic1")
+                    .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+            )
+            .with(
+                Resource::new("azurerm_network_interface", "nic2")
+                    .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+            )
+            .with(
+                Resource::new("azurerm_virtual_machine", "vm").with(
+                    "network_interface_ids",
+                    Value::List(vec![Value::r("azurerm_network_interface", "nic1", "id")]),
+                ),
+            );
+        ResourceGraph::build(p)
+    }
+
+    #[test]
+    fn builds_edges_with_endpoints() {
+        let g = sample();
+        assert_eq!(g.edges().len(), 4);
+        let vm = g.node(&ResourceId::new("azurerm_virtual_machine", "vm")).unwrap();
+        let edge = g.out_edges(vm).next().unwrap();
+        assert_eq!(edge.in_endpoint, "network_interface_ids");
+        assert_eq!(edge.in_path.to_string(), "network_interface_ids.0");
+        assert_eq!(edge.out_attr, "id");
+    }
+
+    #[test]
+    fn conn_matches_endpoints() {
+        let g = sample();
+        let nic1 = g.node(&ResourceId::new("azurerm_network_interface", "nic1")).unwrap();
+        let s = g.node(&ResourceId::new("azurerm_subnet", "s")).unwrap();
+        assert!(g.conn(nic1, Some("subnet_id"), s, Some("id")));
+        assert!(g.conn(nic1, None, s, None));
+        assert!(!g.conn(s, None, nic1, None));
+        assert!(!g.conn(nic1, Some("wrong"), s, None));
+    }
+
+    #[test]
+    fn path_is_transitive() {
+        let g = sample();
+        let vm = g.node(&ResourceId::new("azurerm_virtual_machine", "vm")).unwrap();
+        let vnet = g.node(&ResourceId::new("azurerm_virtual_network", "vnet")).unwrap();
+        assert!(g.path(vm, vnet));
+        assert!(!g.path(vnet, vm));
+        assert!(g.path(vm, vm));
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        let s = g.node(&ResourceId::new("azurerm_subnet", "s")).unwrap();
+        let nic1 = g.node(&ResourceId::new("azurerm_network_interface", "nic1")).unwrap();
+        assert_eq!(g.indegree(s, "azurerm_network_interface", false), 2);
+        assert_eq!(g.indegree(s, "azurerm_network_interface", true), 0);
+        assert_eq!(g.indegree(nic1, "azurerm_virtual_machine", false), 1);
+        assert_eq!(g.outdegree(nic1, "azurerm_subnet", false), 1);
+        assert_eq!(g.distinct_in_neighbors(s, "azurerm_network_interface", false), 2);
+    }
+
+    #[test]
+    fn dangling_references_produce_no_edge() {
+        let p = Program::new().with(
+            Resource::new("azurerm_network_interface", "nic")
+                .with("subnet_id", Value::r("azurerm_subnet", "ghost", "id")),
+        );
+        let g = ResourceGraph::build(p);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn endpoint_name_strips_indices() {
+        let p: AttrPath = "ip_configuration.0.subnet_id".parse().unwrap();
+        assert_eq!(endpoint_name(&p), "ip_configuration.subnet_id");
+    }
+}

@@ -1,0 +1,176 @@
+//! Deployment partial order over the resource graph.
+//!
+//! A resource that references another must be deployed *after* it: Terraform
+//! creates `azurerm_virtual_network` before the `azurerm_subnet` that names
+//! it. The same order gives the validation scheduler its *evaluation partial
+//! order* (§4.2, O4): checks anchored on resources deployed earlier are
+//! evaluated first, which breaks reasoning loops among inter-resource checks.
+
+use crate::{NodeIdx, ResourceGraph};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from order computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderError {
+    /// The reference graph contains a cycle through the listed nodes.
+    Cycle(Vec<NodeIdx>),
+}
+
+impl fmt::Display for OrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrderError::Cycle(nodes) => write!(f, "dependency cycle through nodes {nodes:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+/// Computes a deployment order: every resource appears after all resources
+/// it references. Ties are broken by declaration order, making the result
+/// deterministic.
+pub fn deploy_order(graph: &ResourceGraph) -> Result<Vec<NodeIdx>, OrderError> {
+    let n = graph.len();
+    // depends_on[i] = number of outgoing edges whose target is not yet placed.
+    let mut remaining: Vec<usize> = (0..n)
+        .map(|i| {
+            let mut targets: Vec<NodeIdx> = graph.out_edges(i).map(|e| e.dst).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets.iter().filter(|&&t| t != i).count()
+        })
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    loop {
+        let mut advanced = false;
+        for i in 0..n {
+            if !placed[i] && remaining[i] == 0 {
+                placed[i] = true;
+                order.push(i);
+                advanced = true;
+                // Unblock nodes that reference i.
+                for e in graph.in_edges(i) {
+                    if e.src != i && !placed[e.src] {
+                        // Recount distinct unplaced targets of e.src lazily.
+                        let mut targets: Vec<NodeIdx> =
+                            graph.out_edges(e.src).map(|x| x.dst).collect();
+                        targets.sort_unstable();
+                        targets.dedup();
+                        remaining[e.src] =
+                            targets.iter().filter(|&&t| t != e.src && !placed[t]).count();
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            return Ok(order);
+        }
+        if !advanced {
+            let cycle: Vec<NodeIdx> = (0..n).filter(|&i| !placed[i]).collect();
+            return Err(OrderError::Cycle(cycle));
+        }
+    }
+}
+
+/// All nodes reachable from `start` following edge direction — the resources
+/// `start` (transitively) depends on, *excluding* `start` itself.
+pub fn ancestors(graph: &ResourceGraph, start: NodeIdx) -> HashSet<NodeIdx> {
+    let mut out = HashSet::new();
+    let mut stack: Vec<NodeIdx> = graph.out_edges(start).map(|e| e.dst).collect();
+    while let Some(cur) = stack.pop() {
+        if out.insert(cur) {
+            stack.extend(graph.out_edges(cur).map(|e| e.dst));
+        }
+    }
+    out.remove(&start);
+    out
+}
+
+/// All nodes that (transitively) reference `start`, excluding `start` —
+/// the resources that must be destroyed/recreated if `start` is recreated.
+pub fn descendants(graph: &ResourceGraph, start: NodeIdx) -> HashSet<NodeIdx> {
+    let mut out = HashSet::new();
+    let mut stack: Vec<NodeIdx> = graph.in_edges(start).map(|e| e.src).collect();
+    while let Some(cur) = stack.pop() {
+        if out.insert(cur) {
+            stack.extend(graph.in_edges(cur).map(|e| e.src));
+        }
+    }
+    out.remove(&start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::{Program, Resource, ResourceId, Value};
+
+    fn chain() -> ResourceGraph {
+        // vm → nic → subnet → vnet
+        let p = Program::new()
+            .with(
+                Resource::new("azurerm_virtual_machine", "vm").with(
+                    "network_interface_ids",
+                    Value::List(vec![Value::r("azurerm_network_interface", "nic", "id")]),
+                ),
+            )
+            .with(
+                Resource::new("azurerm_network_interface", "nic")
+                    .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+            )
+            .with(
+                Resource::new("azurerm_subnet", "s").with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet", "name"),
+                ),
+            )
+            .with(Resource::new("azurerm_virtual_network", "vnet"))
+            ;
+        ResourceGraph::build(p)
+    }
+
+    #[test]
+    fn deploy_order_respects_dependencies() {
+        let g = chain();
+        let order = deploy_order(&g).unwrap();
+        let pos = |t: &str, n: &str| {
+            let idx = g.node(&ResourceId::new(t, n)).unwrap();
+            order.iter().position(|&x| x == idx).unwrap()
+        };
+        assert!(pos("azurerm_virtual_network", "vnet") < pos("azurerm_subnet", "s"));
+        assert!(pos("azurerm_subnet", "s") < pos("azurerm_network_interface", "nic"));
+        assert!(pos("azurerm_network_interface", "nic") < pos("azurerm_virtual_machine", "vm"));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let p = Program::new()
+            .with(Resource::new("a", "x").with("r", Value::r("b", "y", "id")))
+            .with(Resource::new("b", "y").with("r", Value::r("a", "x", "id")));
+        let g = ResourceGraph::build(p);
+        assert!(matches!(deploy_order(&g), Err(OrderError::Cycle(_))));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let g = chain();
+        let vm = g.node(&ResourceId::new("azurerm_virtual_machine", "vm")).unwrap();
+        let vnet = g.node(&ResourceId::new("azurerm_virtual_network", "vnet")).unwrap();
+        assert_eq!(ancestors(&g, vm).len(), 3);
+        assert!(ancestors(&g, vm).contains(&vnet));
+        assert!(ancestors(&g, vnet).is_empty());
+        assert_eq!(descendants(&g, vnet).len(), 3);
+        assert!(descendants(&g, vnet).contains(&vm));
+        assert!(descendants(&g, vm).is_empty());
+    }
+
+    #[test]
+    fn self_reference_does_not_deadlock() {
+        let p = Program::new()
+            .with(Resource::new("azurerm_managed_disk", "a").with("source_resource_id", Value::r("azurerm_managed_disk", "a", "id")));
+        let g = ResourceGraph::build(p);
+        assert!(deploy_order(&g).is_ok());
+    }
+}

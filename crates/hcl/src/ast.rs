@@ -1,0 +1,111 @@
+//! Abstract syntax tree for the HCL subset.
+
+/// A parsed HCL file: a sequence of top-level blocks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct File {
+    /// Top-level blocks in source order.
+    pub blocks: Vec<Block>,
+}
+
+/// A top-level block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// `resource "type" "name" { body }`
+    Resource {
+        /// Resource type label.
+        rtype: String,
+        /// Resource local name label.
+        name: String,
+        /// Block body.
+        body: Body,
+    },
+    /// `variable "name" { default = ... }`
+    Variable {
+        /// Variable name label.
+        name: String,
+        /// Block body (only `default` is interpreted).
+        body: Body,
+    },
+    /// `locals { ... }`
+    Locals {
+        /// Local definitions.
+        body: Body,
+    },
+    /// Any other block (`provider`, `terraform`, `output`, `data`, ...) —
+    /// parsed for completeness but ignored by evaluation.
+    Other {
+        /// Block keyword.
+        keyword: String,
+        /// String labels following the keyword.
+        labels: Vec<String>,
+        /// Block body.
+        body: Body,
+    },
+}
+
+/// The body of a block: attributes and nested blocks in source order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Body {
+    /// Items in source order.
+    pub items: Vec<BodyItem>,
+}
+
+impl Body {
+    /// Finds the last attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&Expr> {
+        self.items.iter().rev().find_map(|i| match i {
+            BodyItem::Attr(k, e) if k == name => Some(e),
+            _ => None,
+        })
+    }
+}
+
+/// One item in a block body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyItem {
+    /// `key = expr`
+    Attr(String, Expr),
+    /// `key { body }` — a nested block. Repeated nested blocks with the same
+    /// key become list elements during evaluation.
+    Nested(String, Body),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal (possibly negated).
+    Int(i64),
+    /// String literal with interpolation parts already parsed as expressions.
+    Str(Vec<StrSeg>),
+    /// `[e1, e2, ...]`
+    List(Vec<Expr>),
+    /// `{ k = v, ... }` object expression.
+    Object(Vec<(String, Expr)>),
+    /// A traversal such as `azurerm_subnet.a.id`, `var.location`,
+    /// `local.prefix`, or a bare keyword.
+    Traversal(Vec<String>),
+    /// A function call, e.g. `cidrsubnet(var.base, 8, 1)`. Parsed so real
+    /// configs do not break the frontend; evaluation supports a small
+    /// builtin set and errors on the rest.
+    Call(String, Vec<Expr>),
+}
+
+/// One segment of a string literal expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrSeg {
+    /// Literal text.
+    Lit(String),
+    /// Interpolated sub-expression.
+    Interp(Expr),
+}
+
+impl Expr {
+    /// Convenience: a plain (non-interpolated) string literal.
+    pub fn lit(s: impl Into<String>) -> Expr {
+        Expr::Str(vec![StrSeg::Lit(s.into())])
+    }
+}

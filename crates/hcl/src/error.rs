@@ -1,0 +1,42 @@
+//! Error type for HCL compilation.
+
+use std::fmt;
+
+/// An error raised while lexing, parsing, or evaluating HCL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HclError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line where the error occurred (0 when unknown).
+    pub line: usize,
+}
+
+impl HclError {
+    /// Creates an error attached to a source line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        HclError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Creates an error with no source position.
+    pub fn new(message: impl Into<String>) -> Self {
+        HclError {
+            message: message.into(),
+            line: 0,
+        }
+    }
+}
+
+impl fmt::Display for HclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for HclError {}

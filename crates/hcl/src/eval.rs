@@ -1,0 +1,420 @@
+//! Evaluation of parsed HCL into a compiled [`Program`].
+//!
+//! Evaluation resolves `var.*` (from declared defaults) and `local.*`
+//! bindings, folds nested blocks into attribute values (a block occurring
+//! once becomes a map; a repeated block becomes a list of maps, matching
+//! Terraform's JSON plan), and leaves resource traversals as
+//! [`Value::Ref`] edges.
+
+use crate::ast::{Block, Body, BodyItem, Expr, File, StrSeg};
+use crate::error::HclError;
+use std::collections::BTreeMap;
+use zodiac_model::{Cidr, Program, Reference, Resource, Value};
+
+/// Evaluates a parsed file into a program.
+pub fn evaluate(file: &File) -> Result<Program, HclError> {
+    let mut env = Env::default();
+
+    // Pass 1: variable defaults.
+    for block in &file.blocks {
+        if let Block::Variable { name, body } = block {
+            if let Some(default) = body.attr("default") {
+                let v = eval_expr(default, &env)?;
+                env.vars.insert(name.clone(), v);
+            } else {
+                env.vars.insert(name.clone(), Value::Null);
+            }
+        }
+    }
+
+    // Pass 2: locals, iterated to fixpoint so ordering does not matter.
+    let local_defs: Vec<(&String, &Expr)> = file
+        .blocks
+        .iter()
+        .filter_map(|b| match b {
+            Block::Locals { body } => Some(body),
+            _ => None,
+        })
+        .flat_map(|body| {
+            body.items.iter().filter_map(|i| match i {
+                BodyItem::Attr(k, e) => Some((k, e)),
+                BodyItem::Nested(..) => None,
+            })
+        })
+        .collect();
+    let mut pending: Vec<(&String, &Expr)> = local_defs;
+    for _round in 0..8 {
+        let mut next = Vec::new();
+        let before = pending.len();
+        for (k, e) in pending {
+            match eval_expr(e, &env) {
+                Ok(v) => {
+                    env.locals.insert(k.clone(), v);
+                }
+                Err(_) => next.push((k, e)),
+            }
+        }
+        pending = next;
+        if pending.is_empty() || pending.len() == before {
+            break;
+        }
+    }
+    if let Some((k, e)) = pending.first() {
+        // Report the first unresolvable local precisely.
+        eval_expr(e, &env).map_err(|err| HclError::new(format!("local {k}: {}", err.message)))?;
+    }
+
+    // Pass 3: resources.
+    let mut program = Program::new();
+    for block in &file.blocks {
+        if let Block::Resource { rtype, name, body } = block {
+            let attrs = eval_body(body, &env)?;
+            let mut resource = Resource::new(rtype.clone(), name.clone());
+            resource.attrs = attrs;
+            program
+                .add(resource)
+                .map_err(|e| HclError::new(e.to_string()))?;
+        }
+    }
+    Ok(program)
+}
+
+#[derive(Default)]
+struct Env {
+    vars: BTreeMap<String, Value>,
+    locals: BTreeMap<String, Value>,
+}
+
+fn eval_body(body: &Body, env: &Env) -> Result<BTreeMap<String, Value>, HclError> {
+    let mut attrs: BTreeMap<String, Value> = BTreeMap::new();
+    let mut block_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for item in &body.items {
+        if let BodyItem::Nested(k, _) = item {
+            *block_counts.entry(k.as_str()).or_default() += 1;
+        }
+    }
+    for item in &body.items {
+        match item {
+            BodyItem::Attr(k, e) => {
+                attrs.insert(k.clone(), eval_expr(e, env)?);
+            }
+            BodyItem::Nested(k, b) => {
+                let inner = Value::Map(eval_body(b, env)?);
+                if block_counts[k.as_str()] > 1 {
+                    match attrs.entry(k.clone()).or_insert_with(|| Value::List(Vec::new())) {
+                        Value::List(l) => l.push(inner),
+                        other => {
+                            return Err(HclError::new(format!(
+                                "block {k} conflicts with attribute of same name ({other:?})"
+                            )));
+                        }
+                    }
+                } else {
+                    attrs.insert(k.clone(), inner);
+                }
+            }
+        }
+    }
+    Ok(attrs)
+}
+
+fn eval_expr(expr: &Expr, env: &Env) -> Result<Value, HclError> {
+    match expr {
+        Expr::Null => Ok(Value::Null),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Int(n) => Ok(Value::Int(*n)),
+        Expr::List(items) => Ok(Value::List(
+            items.iter().map(|e| eval_expr(e, env)).collect::<Result<_, _>>()?,
+        )),
+        Expr::Object(fields) => {
+            let mut m = BTreeMap::new();
+            for (k, e) in fields {
+                m.insert(k.clone(), eval_expr(e, env)?);
+            }
+            Ok(Value::Map(m))
+        }
+        Expr::Traversal(segs) => eval_traversal(segs, env),
+        Expr::Str(segs) => eval_string(segs, env),
+        Expr::Call(name, args) => eval_call(name, args, env),
+    }
+}
+
+fn eval_traversal(segs: &[String], env: &Env) -> Result<Value, HclError> {
+    match segs {
+        [kw, name, rest @ ..] if kw == "var" => {
+            let base = env
+                .vars
+                .get(name)
+                .ok_or_else(|| HclError::new(format!("undefined variable: {name}")))?;
+            navigate(base, rest, &format!("var.{name}"))
+        }
+        [kw, name, rest @ ..] if kw == "local" => {
+            let base = env
+                .locals
+                .get(name)
+                .ok_or_else(|| HclError::new(format!("undefined local: {name}")))?;
+            navigate(base, rest, &format!("local.{name}"))
+        }
+        [rtype, name, rest @ ..] if !rest.is_empty() => Ok(Value::Ref(Reference::new(
+            rtype.clone(),
+            name.clone(),
+            rest.join("."),
+        ))),
+        other => Err(HclError::new(format!(
+            "unsupported traversal: {}",
+            other.join(".")
+        ))),
+    }
+}
+
+fn navigate(base: &Value, path: &[String], what: &str) -> Result<Value, HclError> {
+    base.get_path(path).cloned().ok_or_else(|| {
+        HclError::new(format!("{what} has no element at .{}", path.join(".")))
+    })
+}
+
+fn eval_string(segs: &[StrSeg], env: &Env) -> Result<Value, HclError> {
+    // A string that is exactly one interpolation passes its value through,
+    // preserving references as graph edges.
+    if let [StrSeg::Interp(e)] = segs {
+        return eval_expr(e, env);
+    }
+    let mut out = String::new();
+    for seg in segs {
+        match seg {
+            StrSeg::Lit(s) => out.push_str(s),
+            StrSeg::Interp(e) => match eval_expr(e, env)? {
+                Value::Str(s) => out.push_str(&s),
+                Value::Int(n) => out.push_str(&n.to_string()),
+                Value::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+                Value::Ref(r) => out.push_str(&format!("${{{r}}}")),
+                other => {
+                    return Err(HclError::new(format!(
+                        "cannot interpolate non-scalar value: {}",
+                        other.render()
+                    )));
+                }
+            },
+        }
+    }
+    Ok(Value::Str(out))
+}
+
+fn eval_call(name: &str, args: &[Expr], env: &Env) -> Result<Value, HclError> {
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|e| eval_expr(e, env))
+        .collect::<Result<_, _>>()?;
+    match name {
+        "cidrsubnet" => {
+            let [Value::Str(base), Value::Int(newbits), Value::Int(netnum)] = vals.as_slice()
+            else {
+                return Err(HclError::new("cidrsubnet(base, newbits, netnum) expects (string, int, int)"));
+            };
+            let cidr: Cidr = base
+                .parse()
+                .map_err(|_| HclError::new(format!("cidrsubnet: invalid base CIDR {base}")))?;
+            let prefix = cidr.prefix() as i64 + newbits;
+            if !(0..=32).contains(&prefix) {
+                return Err(HclError::new("cidrsubnet: prefix out of range"));
+            }
+            let subs = cidr.subnets(prefix as u8);
+            let sub = subs
+                .get(*netnum as usize)
+                .ok_or_else(|| HclError::new("cidrsubnet: netnum out of range"))?;
+            Ok(Value::Str(sub.to_string()))
+        }
+        "format" => {
+            let Some((Value::Str(fmt), rest)) = vals.split_first() else {
+                return Err(HclError::new("format expects a format string"));
+            };
+            let mut out = String::new();
+            let mut args_iter = rest.iter();
+            let mut chars = fmt.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '%' {
+                    match chars.next() {
+                        Some('s') | Some('d') => {
+                            let v = args_iter
+                                .next()
+                                .ok_or_else(|| HclError::new("format: not enough arguments"))?;
+                            match v {
+                                Value::Str(s) => out.push_str(s),
+                                Value::Int(n) => out.push_str(&n.to_string()),
+                                other => out.push_str(&other.render()),
+                            }
+                        }
+                        Some('%') => out.push('%'),
+                        other => {
+                            return Err(HclError::new(format!("format: unsupported verb {other:?}")));
+                        }
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            Ok(Value::Str(out))
+        }
+        "lower" | "upper" => {
+            let [Value::Str(s)] = vals.as_slice() else {
+                return Err(HclError::new(format!("{name} expects one string")));
+            };
+            Ok(Value::Str(if name == "lower" {
+                s.to_lowercase()
+            } else {
+                s.to_uppercase()
+            }))
+        }
+        "length" => {
+            let [v] = vals.as_slice() else {
+                return Err(HclError::new("length expects one argument"));
+            };
+            let n = match v {
+                Value::List(l) => l.len(),
+                Value::Str(s) => s.len(),
+                Value::Map(m) => m.len(),
+                _ => return Err(HclError::new("length: unsupported type")),
+            };
+            Ok(Value::Int(n as i64))
+        }
+        other => Err(HclError::new(format!("unsupported function: {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn compiles_resources_with_vars_and_locals() {
+        let p = compile(
+            r#"
+variable "location" { default = "eastus" }
+locals { prefix = "prod" }
+resource "azurerm_virtual_network" "vnet" {
+  name     = "${local.prefix}-vnet"
+  location = var.location
+}
+"#,
+        )
+        .unwrap();
+        let r = &p.resources()[0];
+        assert_eq!(r.get_attr("name"), Some(&Value::s("prod-vnet")));
+        assert_eq!(r.get_attr("location"), Some(&Value::s("eastus")));
+    }
+
+    #[test]
+    fn preserves_references() {
+        let p = compile(
+            r#"
+resource "azurerm_subnet" "a" { name = "internal" }
+resource "azurerm_network_interface" "nic" {
+  subnet_id = azurerm_subnet.a.id
+  alt       = "${azurerm_subnet.a.id}"
+}
+"#,
+        )
+        .unwrap();
+        let nic = &p.resources()[1];
+        let expected = Value::r("azurerm_subnet", "a", "id");
+        assert_eq!(nic.get_attr("subnet_id"), Some(&expected));
+        // A pure single-interpolation string also stays a reference.
+        assert_eq!(nic.get_attr("alt"), Some(&expected));
+    }
+
+    #[test]
+    fn repeated_blocks_become_lists() {
+        let p = compile(
+            r#"
+resource "azurerm_network_security_group" "sg" {
+  security_rule { direction = "Inbound" }
+  security_rule { direction = "Outbound" }
+}
+"#,
+        )
+        .unwrap();
+        let sg = &p.resources()[0];
+        let rules = sg.get_attr("security_rule").unwrap().as_list().unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn single_block_becomes_map() {
+        let p = compile("resource \"azurerm_linux_virtual_machine\" \"vm\" {\n os_disk { name = \"d\" }\n}")
+            .unwrap();
+        let vm = &p.resources()[0];
+        assert!(vm.get_attr("os_disk").unwrap().as_map().is_some());
+    }
+
+    #[test]
+    fn cidrsubnet_builtin() {
+        let p = compile(
+            r#"
+variable "base" { default = "10.0.0.0/16" }
+resource "azurerm_subnet" "a" {
+  address_prefixes = [cidrsubnet(var.base, 8, 2)]
+}
+"#,
+        )
+        .unwrap();
+        let a = &p.resources()[0];
+        assert_eq!(
+            a.get_attr("address_prefixes").unwrap().as_list().unwrap()[0],
+            Value::s("10.0.2.0/24")
+        );
+    }
+
+    #[test]
+    fn locals_resolve_out_of_order() {
+        let p = compile(
+            r#"
+locals {
+  full  = "${local.base}-x"
+  base  = "abc"
+}
+resource "azurerm_subnet" "a" { name = local.full }
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.resources()[0].get_attr("name"), Some(&Value::s("abc-x")));
+    }
+
+    #[test]
+    fn undefined_variable_errors() {
+        let err = compile("resource \"t\" \"n\" { x = var.nope }").unwrap_err();
+        assert!(err.message.contains("undefined variable"));
+    }
+
+    #[test]
+    fn duplicate_resource_errors() {
+        let err = compile("resource \"t\" \"n\" {}\nresource \"t\" \"n\" {}").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn format_and_length_builtins() {
+        let p = compile(
+            r#"
+locals {
+  n = format("vm-%s-%d", "web", 3)
+  l = length(["a", "b"])
+}
+resource "t" "r" {
+  name  = local.n
+  count_hint = local.l
+}
+"#,
+        )
+        .unwrap();
+        let r = &p.resources()[0];
+        assert_eq!(r.get_attr("name"), Some(&Value::s("vm-web-3")));
+        assert_eq!(r.get_attr("count_hint"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn ignores_provider_blocks() {
+        let p = compile("provider \"azurerm\" {\n features {}\n}\nresource \"t\" \"a\" {}").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

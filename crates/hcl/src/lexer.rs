@@ -1,0 +1,365 @@
+//! Tokenizer for the HCL subset.
+
+use crate::error::HclError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds produced by [`lex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`resource`, `var`, attribute names, ...).
+    Ident(String),
+    /// String literal, pre-split into literal and interpolated parts.
+    Str(Vec<StrPart>),
+    /// Integer literal.
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Equals,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `-` (only used for negative integers in this subset)
+    Minus,
+    /// Statement separator (one or more newlines).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A piece of a string literal: either raw text or an interpolated expression
+/// source (the text between `${` and `}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrPart {
+    /// Literal text.
+    Lit(String),
+    /// Interpolated expression source.
+    Interp(String),
+}
+
+/// Tokenizes HCL source.
+///
+/// Comments (`#`, `//`, `/* */`) are skipped. Runs of newlines collapse into
+/// a single [`TokenKind::Newline`].
+pub fn lex(src: &str) -> Result<Vec<Token>, HclError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+
+    let push = |tokens: &mut Vec<Token>, kind: TokenKind, line: usize| {
+        // Collapse consecutive newlines.
+        if kind == TokenKind::Newline {
+            if matches!(
+                tokens.last().map(|t| &t.kind),
+                Some(TokenKind::Newline) | None
+            ) {
+                return;
+            }
+        }
+        tokens.push(Token { kind, line });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                push(&mut tokens, TokenKind::Newline, line);
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(HclError::at(line, "unterminated block comment"));
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '{' => {
+                push(&mut tokens, TokenKind::LBrace, line);
+                i += 1;
+            }
+            '}' => {
+                push(&mut tokens, TokenKind::RBrace, line);
+                i += 1;
+            }
+            '[' => {
+                push(&mut tokens, TokenKind::LBracket, line);
+                i += 1;
+            }
+            ']' => {
+                push(&mut tokens, TokenKind::RBracket, line);
+                i += 1;
+            }
+            '(' => {
+                push(&mut tokens, TokenKind::LParen, line);
+                i += 1;
+            }
+            ')' => {
+                push(&mut tokens, TokenKind::RParen, line);
+                i += 1;
+            }
+            '=' => {
+                push(&mut tokens, TokenKind::Equals, line);
+                i += 1;
+            }
+            ',' => {
+                push(&mut tokens, TokenKind::Comma, line);
+                i += 1;
+            }
+            '.' => {
+                push(&mut tokens, TokenKind::Dot, line);
+                i += 1;
+            }
+            ':' => {
+                push(&mut tokens, TokenKind::Colon, line);
+                i += 1;
+            }
+            '-' => {
+                push(&mut tokens, TokenKind::Minus, line);
+                i += 1;
+            }
+            '"' => {
+                let (parts, consumed, newlines) = lex_string(&chars[i..], line)?;
+                push(&mut tokens, TokenKind::Str(parts), line);
+                line += newlines;
+                i += consumed;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| HclError::at(line, format!("integer out of range: {text}")))?;
+                push(&mut tokens, TokenKind::Int(n), line);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                push(&mut tokens, TokenKind::Ident(text), line);
+            }
+            other => {
+                return Err(HclError::at(line, format!("unexpected character: {other:?}")));
+            }
+        }
+    }
+    push(&mut tokens, TokenKind::Newline, line);
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+/// Lexes a double-quoted string starting at `chars[0] == '"'`.
+///
+/// Returns the parts, the number of chars consumed, and newline count inside.
+fn lex_string(chars: &[char], line: usize) -> Result<(Vec<StrPart>, usize, usize), HclError> {
+    debug_assert_eq!(chars[0], '"');
+    let mut parts = Vec::new();
+    let mut lit = String::new();
+    let mut i = 1;
+    let mut newlines = 0;
+    loop {
+        let Some(&c) = chars.get(i) else {
+            return Err(HclError::at(line, "unterminated string literal"));
+        };
+        match c {
+            '"' => {
+                i += 1;
+                break;
+            }
+            '\\' => {
+                let Some(&esc) = chars.get(i + 1) else {
+                    return Err(HclError::at(line, "dangling escape"));
+                };
+                let ch = match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    '\\' => '\\',
+                    '"' => '"',
+                    '$' => '$',
+                    other => {
+                        return Err(HclError::at(line, format!("unknown escape: \\{other}")));
+                    }
+                };
+                lit.push(ch);
+                i += 2;
+            }
+            '$' if chars.get(i + 1) == Some(&'{') => {
+                if !lit.is_empty() {
+                    parts.push(StrPart::Lit(std::mem::take(&mut lit)));
+                }
+                i += 2;
+                let start = i;
+                let mut depth = 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        '\n' => newlines += 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                if depth != 0 {
+                    return Err(HclError::at(line, "unterminated interpolation"));
+                }
+                let expr: String = chars[start..i].iter().collect();
+                parts.push(StrPart::Interp(expr));
+                i += 1; // closing brace
+            }
+            '\n' => {
+                return Err(HclError::at(line, "newline in string literal"));
+            }
+            other => {
+                lit.push(other);
+                i += 1;
+            }
+        }
+    }
+    if !lit.is_empty() || parts.is_empty() {
+        parts.push(StrPart::Lit(lit));
+    }
+    Ok((parts, i, newlines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_resource_header() {
+        let k = kinds(r#"resource "azurerm_subnet" "a" {"#);
+        assert_eq!(k[0], TokenKind::Ident("resource".into()));
+        assert_eq!(
+            k[1],
+            TokenKind::Str(vec![StrPart::Lit("azurerm_subnet".into())])
+        );
+        assert_eq!(k[3], TokenKind::LBrace);
+    }
+
+    #[test]
+    fn collapses_newlines() {
+        let k = kinds("a\n\n\nb");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Newline,
+                TokenKind::Ident("b".into()),
+                TokenKind::Newline,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("# hello\n// world\n/* multi\nline */ x");
+        assert!(k.contains(&TokenKind::Ident("x".into())));
+        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "hello")));
+    }
+
+    #[test]
+    fn lexes_interpolation() {
+        let k = kinds(r#""${var.prefix}-vm""#);
+        assert_eq!(
+            k[0],
+            TokenKind::Str(vec![
+                StrPart::Interp("var.prefix".into()),
+                StrPart::Lit("-vm".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn lexes_escapes() {
+        let k = kinds(r#""a\"b\n""#);
+        assert_eq!(k[0], TokenKind::Str(vec![StrPart::Lit("a\"b\n".into())]));
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex(r#""abc"#).is_err());
+    }
+
+    #[test]
+    fn errors_on_unterminated_comment() {
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\nc").unwrap();
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("c".into()))
+            .unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn lexes_negative_via_minus() {
+        let k = kinds("x = -5");
+        assert!(k.contains(&TokenKind::Minus));
+        assert!(k.contains(&TokenKind::Int(5)));
+    }
+}

@@ -1,0 +1,58 @@
+//! HCL-subset frontend for Zodiac.
+//!
+//! Terraform programs are written in HCL. Zodiac's pipeline (like the paper's)
+//! operates on the *compiled* plan representation ([`zodiac_model::Program`]),
+//! so this crate provides the bridge: a lexer, a recursive-descent parser, an
+//! evaluator that resolves variables and leaves inter-resource references as
+//! graph edges, and a printer that renders compiled programs back to HCL.
+//!
+//! The supported subset covers what real-world Azure Terraform projects use
+//! for resource declarations:
+//!
+//! * `resource "type" "name" { ... }` blocks with nested blocks and
+//!   attributes,
+//! * `variable "name" { default = ... }` and `locals { ... }`,
+//! * literals (strings, integers, booleans, `null`), lists and object
+//!   expressions,
+//! * references (`azurerm_subnet.a.id`, `var.location`, `local.prefix`),
+//! * string interpolation (`"${var.prefix}-vm"`),
+//! * `#`, `//` and `/* */` comments.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! variable "location" { default = "eastus" }
+//! resource "azurerm_virtual_network" "vnet" {
+//!   name          = "vnet1"
+//!   location      = var.location
+//!   address_space = ["10.0.0.0/16"]
+//! }
+//! "#;
+//! let program = zodiac_hcl::compile(src).unwrap();
+//! assert_eq!(program.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod printer;
+
+pub use error::HclError;
+pub use plan::from_plan_json;
+pub use printer::to_hcl;
+
+use zodiac_model::Program;
+
+/// Parses and evaluates HCL source into a compiled [`Program`].
+///
+/// Variables are substituted from their declared defaults; `locals` are
+/// resolved; references to resources remain as [`zodiac_model::Value::Ref`].
+pub fn compile(src: &str) -> Result<Program, HclError> {
+    let tokens = lexer::lex(src)?;
+    let file = parser::parse(&tokens)?;
+    eval::evaluate(&file)
+}

@@ -1,0 +1,430 @@
+//! Recursive-descent parser for the HCL subset.
+
+use crate::ast::{Block, Body, BodyItem, Expr, File, StrSeg};
+use crate::error::HclError;
+use crate::lexer::{self, StrPart, Token, TokenKind};
+
+/// Parses a token stream into a [`File`].
+pub fn parse(tokens: &[Token]) -> Result<File, HclError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.file()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)].kind;
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), HclError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(HclError::at(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// Consumes a string literal token that must be a plain (uninterpolated)
+    /// label, e.g. the type/name labels of a resource block.
+    fn string_label(&mut self, what: &str) -> Result<String, HclError> {
+        let line = self.line();
+        match self.bump().clone() {
+            TokenKind::Str(parts) => match parts.as_slice() {
+                [StrPart::Lit(s)] => Ok(s.clone()),
+                _ => Err(HclError::at(line, format!("{what} must be a plain string"))),
+            },
+            other => Err(HclError::at(line, format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn file(&mut self) -> Result<File, HclError> {
+        let mut blocks = Vec::new();
+        loop {
+            self.skip_newlines();
+            if matches!(self.peek(), TokenKind::Eof) {
+                break;
+            }
+            blocks.push(self.block()?);
+        }
+        Ok(File { blocks })
+    }
+
+    fn block(&mut self) -> Result<Block, HclError> {
+        let line = self.line();
+        let keyword = match self.bump().clone() {
+            TokenKind::Ident(s) => s,
+            other => {
+                return Err(HclError::at(line, format!("expected block keyword, found {other:?}")));
+            }
+        };
+        match keyword.as_str() {
+            "resource" => {
+                let rtype = self.string_label("resource type")?;
+                let name = self.string_label("resource name")?;
+                let body = self.body()?;
+                Ok(Block::Resource { rtype, name, body })
+            }
+            "variable" => {
+                let name = self.string_label("variable name")?;
+                let body = self.body()?;
+                Ok(Block::Variable { name, body })
+            }
+            "locals" => {
+                let body = self.body()?;
+                Ok(Block::Locals { body })
+            }
+            _ => {
+                let mut labels = Vec::new();
+                while matches!(self.peek(), TokenKind::Str(_)) {
+                    labels.push(self.string_label("block label")?);
+                }
+                let body = self.body()?;
+                Ok(Block::Other {
+                    keyword,
+                    labels,
+                    body,
+                })
+            }
+        }
+    }
+
+    fn body(&mut self) -> Result<Body, HclError> {
+        self.skip_newlines();
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_newlines();
+            if matches!(self.peek(), TokenKind::RBrace) {
+                self.bump();
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Eof) {
+                return Err(HclError::at(self.line(), "unterminated block body"));
+            }
+            let line = self.line();
+            let key = match self.bump().clone() {
+                TokenKind::Ident(s) => s,
+                other => {
+                    return Err(HclError::at(
+                        line,
+                        format!("expected attribute or block name, found {other:?}"),
+                    ));
+                }
+            };
+            match self.peek() {
+                TokenKind::Equals => {
+                    self.bump();
+                    let expr = self.expr()?;
+                    items.push(BodyItem::Attr(key, expr));
+                }
+                TokenKind::LBrace | TokenKind::Str(_) => {
+                    // Nested block (possibly labelled, e.g. `provisioner "x" {}`;
+                    // labels of nested blocks are not semantically used so we
+                    // fold them into the key).
+                    let mut full_key = key;
+                    while matches!(self.peek(), TokenKind::Str(_)) {
+                        let label = self.string_label("nested block label")?;
+                        full_key = format!("{full_key}.{label}");
+                    }
+                    let body = self.body()?;
+                    items.push(BodyItem::Nested(full_key, body));
+                }
+                other => {
+                    return Err(HclError::at(
+                        line,
+                        format!("expected '=' or '{{' after {key:?}, found {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok(Body { items })
+    }
+
+    fn expr(&mut self) -> Result<Expr, HclError> {
+        self.skip_newlines_in_expr();
+        let line = self.line();
+        match self.bump().clone() {
+            TokenKind::Int(n) => Ok(Expr::Int(n)),
+            TokenKind::Minus => match self.bump().clone() {
+                TokenKind::Int(n) => Ok(Expr::Int(-n)),
+                other => Err(HclError::at(line, format!("expected integer after '-', found {other:?}"))),
+            },
+            TokenKind::Str(parts) => {
+                let mut segs = Vec::new();
+                for part in parts {
+                    match part {
+                        StrPart::Lit(s) => segs.push(StrSeg::Lit(s)),
+                        StrPart::Interp(src) => {
+                            let toks = lexer::lex(&src)
+                                .map_err(|e| HclError::at(line, format!("in interpolation: {e}")))?;
+                            let mut sub = Parser {
+                                tokens: &toks,
+                                pos: 0,
+                            };
+                            let e = sub.expr()?;
+                            segs.push(StrSeg::Interp(e));
+                        }
+                    }
+                }
+                Ok(Expr::Str(segs))
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                loop {
+                    self.skip_newlines();
+                    if matches!(self.peek(), TokenKind::RBracket) {
+                        self.bump();
+                        break;
+                    }
+                    items.push(self.expr()?);
+                    self.skip_newlines();
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    }
+                }
+                Ok(Expr::List(items))
+            }
+            TokenKind::LBrace => {
+                let mut fields = Vec::new();
+                loop {
+                    self.skip_newlines();
+                    if matches!(self.peek(), TokenKind::RBrace) {
+                        self.bump();
+                        break;
+                    }
+                    let line = self.line();
+                    let key = match self.bump().clone() {
+                        TokenKind::Ident(s) => s,
+                        TokenKind::Str(parts) => match parts.as_slice() {
+                            [StrPart::Lit(s)] => s.clone(),
+                            _ => {
+                                return Err(HclError::at(line, "object key must be plain"));
+                            }
+                        },
+                        other => {
+                            return Err(HclError::at(line, format!("expected object key, found {other:?}")));
+                        }
+                    };
+                    match self.bump().clone() {
+                        TokenKind::Equals | TokenKind::Colon => {}
+                        other => {
+                            return Err(HclError::at(
+                                line,
+                                format!("expected '=' or ':' in object, found {other:?}"),
+                            ));
+                        }
+                    }
+                    let value = self.expr()?;
+                    fields.push((key, value));
+                    self.skip_newlines();
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.bump();
+                    }
+                }
+                Ok(Expr::Object(fields))
+            }
+            TokenKind::Ident(first) => {
+                match first.as_str() {
+                    "true" => return Ok(Expr::Bool(true)),
+                    "false" => return Ok(Expr::Bool(false)),
+                    "null" => return Ok(Expr::Null),
+                    _ => {}
+                }
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        self.skip_newlines();
+                        if matches!(self.peek(), TokenKind::RParen) {
+                            self.bump();
+                            break;
+                        }
+                        args.push(self.expr()?);
+                        self.skip_newlines();
+                        if matches!(self.peek(), TokenKind::Comma) {
+                            self.bump();
+                        }
+                    }
+                    return Ok(Expr::Call(first, args));
+                }
+                let mut segs = vec![first];
+                while matches!(self.peek(), TokenKind::Dot) {
+                    self.bump();
+                    let line = self.line();
+                    match self.bump().clone() {
+                        TokenKind::Ident(s) => segs.push(s),
+                        TokenKind::Int(n) => segs.push(n.to_string()),
+                        other => {
+                            return Err(HclError::at(
+                                line,
+                                format!("expected traversal segment, found {other:?}"),
+                            ));
+                        }
+                    }
+                }
+                Ok(Expr::Traversal(segs))
+            }
+            other => Err(HclError::at(line, format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    /// Newlines are insignificant immediately inside list/object expressions;
+    /// callers handle those. At expression start we never skip (attribute
+    /// values must start on the same line), except this is relaxed for
+    /// simplicity.
+    fn skip_newlines_in_expr(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> File {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_resource_block() {
+        let f = parse_src(
+            r#"
+resource "azurerm_subnet" "a" {
+  name = "internal"
+  address_prefixes = ["10.0.1.0/24"]
+}
+"#,
+        );
+        assert_eq!(f.blocks.len(), 1);
+        match &f.blocks[0] {
+            Block::Resource { rtype, name, body } => {
+                assert_eq!(rtype, "azurerm_subnet");
+                assert_eq!(name, "a");
+                assert_eq!(body.items.len(), 2);
+            }
+            other => panic!("unexpected block: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_blocks() {
+        let f = parse_src(
+            r#"
+resource "azurerm_linux_virtual_machine" "vm" {
+  os_disk {
+    caching = "ReadWrite"
+  }
+  os_disk {
+    caching = "None"
+  }
+}
+"#,
+        );
+        match &f.blocks[0] {
+            Block::Resource { body, .. } => {
+                let nested: Vec<_> = body
+                    .items
+                    .iter()
+                    .filter(|i| matches!(i, BodyItem::Nested(k, _) if k == "os_disk"))
+                    .collect();
+                assert_eq!(nested.len(), 2);
+            }
+            other => panic!("unexpected block: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_traversals_and_calls() {
+        let f = parse_src("locals {\n  x = azurerm_subnet.a.id\n  y = cidrsubnet(var.base, 8, 1)\n}");
+        match &f.blocks[0] {
+            Block::Locals { body } => {
+                assert_eq!(
+                    body.attr("x"),
+                    Some(&Expr::Traversal(vec![
+                        "azurerm_subnet".into(),
+                        "a".into(),
+                        "id".into()
+                    ]))
+                );
+                assert!(matches!(body.attr("y"), Some(Expr::Call(name, args)) if name == "cidrsubnet" && args.len() == 3));
+            }
+            other => panic!("unexpected block: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_literals() {
+        let f = parse_src("locals {\n a = true\n b = null\n c = -3\n d = { k = \"v\" }\n}");
+        match &f.blocks[0] {
+            Block::Locals { body } => {
+                assert_eq!(body.attr("a"), Some(&Expr::Bool(true)));
+                assert_eq!(body.attr("b"), Some(&Expr::Null));
+                assert_eq!(body.attr("c"), Some(&Expr::Int(-3)));
+                assert!(matches!(body.attr("d"), Some(Expr::Object(_))));
+            }
+            other => panic!("unexpected block: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_other_blocks() {
+        let f = parse_src("terraform {\n required_version = \"1.5\"\n}\nprovider \"azurerm\" {\n}");
+        assert_eq!(f.blocks.len(), 2);
+        assert!(matches!(&f.blocks[1], Block::Other { keyword, labels, .. } if keyword == "provider" && labels == &vec!["azurerm".to_string()]));
+    }
+
+    #[test]
+    fn errors_on_missing_equals() {
+        let toks = lex("resource \"t\" \"n\" {\n  key \"oops\"\n}").unwrap();
+        // `key "oops"` parses as a labelled nested block with a body; the
+        // missing '{' then errors.
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn errors_on_unterminated_body() {
+        let toks = lex("resource \"t\" \"n\" {\n  a = 1\n").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn parses_interpolated_strings() {
+        let f = parse_src("locals {\n x = \"${var.prefix}-vm\"\n}");
+        match &f.blocks[0] {
+            Block::Locals { body } => match body.attr("x") {
+                Some(Expr::Str(segs)) => {
+                    assert_eq!(segs.len(), 2);
+                    assert!(matches!(&segs[0], StrSeg::Interp(Expr::Traversal(t)) if t[0] == "var"));
+                    assert!(matches!(&segs[1], StrSeg::Lit(s) if s == "-vm"));
+                }
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected block: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Rendering compiled programs back to HCL source.
+//!
+//! The corpus generator uses this to materialise synthetic repositories as
+//! `.tf` text, and round-tripping (`compile(to_hcl(p)) == p`) is a key
+//! integration-test invariant for the frontend.
+
+use std::fmt::Write;
+use zodiac_model::{Program, Resource, Value};
+
+/// Renders a program as HCL source text.
+pub fn to_hcl(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, r) in program.resources().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        write_resource(&mut out, r);
+    }
+    out
+}
+
+fn write_resource(out: &mut String, r: &Resource) {
+    let _ = writeln!(out, "resource \"{}\" \"{}\" {{", r.rtype, r.name);
+    for (k, v) in &r.attrs {
+        write_attr(out, 1, k, v);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_attr(out: &mut String, level: usize, key: &str, v: &Value) {
+    match v {
+        // Nested single block.
+        Value::Map(m) => {
+            indent(out, level);
+            let _ = writeln!(out, "{key} {{");
+            for (k, inner) in m {
+                write_attr(out, level + 1, k, inner);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        // Repeated nested block (list of maps) renders as repeated blocks;
+        // scalar lists render inline.
+        Value::List(items) if items.iter().all(|i| matches!(i, Value::Map(_))) && !items.is_empty() => {
+            for item in items {
+                write_attr(out, level, key, item);
+            }
+        }
+        other => {
+            indent(out, level);
+            let _ = writeln!(out, "{key} = {}", render_expr(other));
+        }
+    }
+}
+
+fn render_expr(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Str(s) => format!("\"{}\"", escape(s)),
+        Value::Ref(r) => r.to_string(),
+        Value::List(items) => {
+            let inner: Vec<String> = items.iter().map(render_expr).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Map(m) => {
+            let inner: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{k} = {}", render_expr(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '$' => out.push_str("\\$"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use zodiac_model::{Program, Resource};
+
+    fn sample() -> Program {
+        Program::new()
+            .with(
+                Resource::new("azurerm_virtual_network", "vnet")
+                    .with("name", "vnet1")
+                    .with("address_space", Value::List(vec![Value::s("10.0.0.0/16")])),
+            )
+            .with(
+                Resource::new("azurerm_subnet", "a")
+                    .with("name", "internal")
+                    .with(
+                        "virtual_network_name",
+                        Value::r("azurerm_virtual_network", "vnet", "name"),
+                    ),
+            )
+    }
+
+    #[test]
+    fn roundtrips_through_compile() {
+        let p = sample();
+        let hcl = to_hcl(&p);
+        let back = compile(&hcl).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn renders_nested_blocks() {
+        let mut vm = Resource::new("azurerm_linux_virtual_machine", "vm");
+        let path: zodiac_model::AttrPath = "os_disk.caching".parse().unwrap();
+        vm.set(&path, Value::s("ReadWrite"));
+        let p = Program::new().with(vm);
+        let hcl = to_hcl(&p);
+        assert!(hcl.contains("os_disk {"), "{hcl}");
+        let back = compile(&hcl).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let p = Program::new().with(Resource::new("t", "r").with("name", "a\"b$c"));
+        let hcl = to_hcl(&p);
+        let back = compile(&hcl).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based round-trip test: any compiled program printed as HCL
+//! compiles back to the identical program.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use zodiac_model::{Program, Resource, Value};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,11}".prop_filter("not a keyword", |s| {
+        !matches!(s.as_str(), "resource" | "variable" | "locals" | "true" | "false" | "null" | "in" | "let")
+    })
+}
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[ -~]{0,16}".prop_map(Value::s),
+        (arb_ident(), arb_ident(), arb_ident())
+            .prop_map(|(t, n, a)| Value::r(&format!("azurerm_{t}"), &n, &a)),
+    ]
+}
+
+/// Values that survive the HCL round trip: nested blocks are maps; repeated
+/// blocks are lists of ≥2 maps (a 1-element list of maps prints as a single
+/// block and compiles back to a map).
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return arb_scalar().boxed();
+    }
+    prop_oneof![
+        4 => arb_scalar(),
+        1 => prop::collection::vec(arb_scalar(), 0..4).prop_map(Value::List),
+        1 => prop::collection::btree_map(arb_ident(), arb_value(depth - 1), 1..4)
+            .prop_map(Value::Map),
+        1 => prop::collection::vec(
+            prop::collection::btree_map(arb_ident(), arb_scalar(), 1..3).prop_map(Value::Map),
+            2..4
+        )
+        .prop_map(Value::List),
+    ]
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::btree_map(
+        (arb_ident(), arb_ident()),
+        prop::collection::btree_map(arb_ident(), arb_value(2), 0..6),
+        1..5,
+    )
+    .prop_map(|resources| {
+        let mut p = Program::new();
+        for ((rtype, name), attrs) in resources {
+            let mut r = Resource::new(format!("azurerm_{rtype}"), name);
+            r.attrs = attrs;
+            p.add(r).expect("unique by map key");
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_compile_roundtrip(program in arb_program()) {
+        let hcl = zodiac_hcl::to_hcl(&program);
+        let back = zodiac_hcl::compile(&hcl)
+            .unwrap_or_else(|e| panic!("generated HCL must compile: {e}\n{hcl}"));
+        prop_assert_eq!(back, program, "HCL:\n{}", hcl);
+    }
+}

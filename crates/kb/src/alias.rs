@@ -1,0 +1,87 @@
+//! Short aliases for resource types, matching the paper's notation
+//! (`VM`, `NIC`, `SUBNET`, `GW`, ...).
+
+/// Alias table: `(short, full)` pairs.
+const ALIASES: &[(&str, &str)] = &[
+    ("RG", "azurerm_resource_group"),
+    ("VPC", "azurerm_virtual_network"),
+    ("SUBNET", "azurerm_subnet"),
+    ("NIC", "azurerm_network_interface"),
+    ("IP", "azurerm_public_ip"),
+    ("SG", "azurerm_network_security_group"),
+    ("SGRULE", "azurerm_network_security_rule"),
+    ("SGASSOC", "azurerm_subnet_network_security_group_association"),
+    ("VM", "azurerm_linux_virtual_machine"),
+    ("DISK", "azurerm_managed_disk"),
+    ("ATTACH", "azurerm_virtual_machine_data_disk_attachment"),
+    ("GW", "azurerm_virtual_network_gateway"),
+    ("LGW", "azurerm_local_network_gateway"),
+    ("TUNNEL", "azurerm_virtual_network_gateway_connection"),
+    ("PEERING", "azurerm_virtual_network_peering"),
+    ("RT", "azurerm_route_table"),
+    ("ROUTE", "azurerm_route"),
+    ("RTASSOC", "azurerm_subnet_route_table_association"),
+    ("FW", "azurerm_firewall"),
+    ("LB", "azurerm_lb"),
+    ("LBPOOL", "azurerm_lb_backend_address_pool"),
+    ("LBASSOC", "azurerm_network_interface_backend_address_pool_association"),
+    ("APPGW", "azurerm_application_gateway"),
+    (
+        "AGWASSOC",
+        "azurerm_network_interface_application_gateway_backend_address_pool_association",
+    ),
+    ("SA", "azurerm_storage_account"),
+    ("CONTAINER", "azurerm_storage_container"),
+    ("NAT", "azurerm_nat_gateway"),
+    ("NATIP", "azurerm_nat_gateway_public_ip_association"),
+    ("NATASSOC", "azurerm_subnet_nat_gateway_association"),
+    ("AVSET", "azurerm_availability_set"),
+    ("BASTION", "azurerm_bastion_host"),
+    ("KV", "azurerm_key_vault"),
+    ("DNS", "azurerm_dns_zone"),
+];
+
+/// Maps a full resource type to its short alias; falls back to the input.
+pub fn short_name(rtype: &str) -> &str {
+    ALIASES
+        .iter()
+        .find(|(_, full)| *full == rtype)
+        .map(|(short, _)| *short)
+        .unwrap_or(rtype)
+}
+
+/// Maps a short alias to the full resource type; falls back to the input.
+pub fn long_name(alias: &str) -> &str {
+    ALIASES
+        .iter()
+        .find(|(short, _)| *short == alias)
+        .map(|(_, full)| *full)
+        .unwrap_or(alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(short_name("azurerm_linux_virtual_machine"), "VM");
+        assert_eq!(long_name("VM"), "azurerm_linux_virtual_machine");
+        assert_eq!(long_name(short_name("azurerm_subnet")), "azurerm_subnet");
+    }
+
+    #[test]
+    fn unknown_passes_through() {
+        assert_eq!(short_name("azurerm_cosmosdb_account"), "azurerm_cosmosdb_account");
+        assert_eq!(long_name("WHATEVER"), "WHATEVER");
+    }
+
+    #[test]
+    fn aliases_are_unique() {
+        use std::collections::HashSet;
+        let shorts: HashSet<_> = ALIASES.iter().map(|(s, _)| s).collect();
+        let fulls: HashSet<_> = ALIASES.iter().map(|(_, f)| f).collect();
+        assert_eq!(shorts.len(), ALIASES.len());
+        assert_eq!(fulls.len(), ALIASES.len());
+    }
+}

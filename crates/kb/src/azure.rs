@@ -1,0 +1,643 @@
+//! The curated Azure provider schema (Class 1–3 base facts).
+//!
+//! This encodes the subset of the `azurerm` Terraform provider that the
+//! paper's 52 popular resource types revolve around: core networking,
+//! compute, storage, and gateway resources, with the attribute kinds, enum
+//! domains, defaults, reserved values, and endpoint legality that the mining
+//! and validation phases consume.
+
+use crate::docs;
+use crate::schema::{
+    AttrKind::{self, Optional, Required},
+    AttrShape::{self, List, ListBlock, Scalar},
+    BaseType::{self, Bool, Int, Str},
+    KnowledgeBase, SchemaBuilder, ValueFormat,
+};
+
+const LOCATIONS: &[&str] = &[
+    "eastus",
+    "eastus2",
+    "westus",
+    "westus2",
+    "westus3",
+    "centralus",
+    "northeurope",
+    "westeurope",
+    "uksouth",
+    "southeastasia",
+    "japaneast",
+    "australiaeast",
+];
+
+/// All locations the provider schema knows about.
+pub fn locations() -> Vec<String> {
+    LOCATIONS.iter().map(|s| s.to_string()).collect()
+}
+
+fn cidr_list(b: SchemaBuilder, path: &str, kind: AttrKind) -> SchemaBuilder {
+    b.attr(path, kind, List, Str, ValueFormat::Cidr)
+}
+
+fn cidr(b: SchemaBuilder, path: &str, kind: AttrKind) -> SchemaBuilder {
+    b.attr(path, kind, Scalar, Str, ValueFormat::Cidr)
+}
+
+fn bool_attr(b: SchemaBuilder, path: &str, default: bool) -> SchemaBuilder {
+    b.attr(
+        path,
+        Optional,
+        Scalar,
+        Bool,
+        ValueFormat::BoolDefault { default },
+    )
+}
+
+fn int_attr(b: SchemaBuilder, path: &str, kind: AttrKind, min: i64, max: i64) -> SchemaBuilder {
+    b.attr(path, kind, Scalar, Int, ValueFormat::IntRange { min, max })
+}
+
+fn block(b: SchemaBuilder, path: &str, kind: AttrKind, shape: AttrShape) -> SchemaBuilder {
+    b.attr(path, kind, shape, BaseType::Str, ValueFormat::Plain)
+}
+
+/// Builds the Azure knowledge base.
+pub fn build() -> KnowledgeBase {
+    let mut b = SchemaBuilder::new().locations(LOCATIONS);
+
+    // --- Resource group -------------------------------------------------
+    b = b
+        .resource("azurerm_resource_group")
+        .req_str("name")
+        .location()
+        .id();
+
+    // --- Virtual network (VPC) ------------------------------------------
+    b = b
+        .resource("azurerm_virtual_network")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = cidr_list(b, "address_space", Required);
+    b = b.opt_str("dns_servers");
+
+    // --- Subnet ----------------------------------------------------------
+    b = b
+        .resource("azurerm_subnet")
+        .attr(
+            "name",
+            Required,
+            Scalar,
+            Str,
+            ValueFormat::ReservedName {
+                reserved: docs::RESERVED_SUBNETS.iter().map(|(n, _)| n.to_string()).collect(),
+            },
+        )
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint("virtual_network_name", Required, "azurerm_virtual_network", "name", false)
+        .id();
+    b = cidr_list(b, "address_prefixes", Required);
+    b = block(b, "delegation", Optional, Scalar);
+    b = b.opt_str("delegation.name").opt_str("delegation.service_delegation.name");
+
+    // --- Network interface (NIC) -----------------------------------------
+    b = b
+        .resource("azurerm_network_interface")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = block(b, "ip_configuration", Required, ListBlock);
+    b = b
+        .req_str("ip_configuration.name")
+        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .enum_attr(
+            "ip_configuration.private_ip_address_allocation",
+            Required,
+            &["Dynamic", "Static"],
+            None,
+        )
+        .opt_str("ip_configuration.private_ip_address")
+        .endpoint(
+            "ip_configuration.public_ip_address_id",
+            Optional,
+            "azurerm_public_ip",
+            "id",
+            false,
+        );
+
+    // --- Public IP ---------------------------------------------------------
+    b = b
+        .resource("azurerm_public_ip")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("sku", Optional, &["Basic", "Standard"], Some("Basic"))
+        .enum_attr("allocation_method", Required, &["Static", "Dynamic"], None)
+        .id();
+
+    // --- Network security group (SG) ----------------------------------------
+    b = b
+        .resource("azurerm_network_security_group")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = block(b, "security_rule", Optional, ListBlock);
+    b = b
+        .req_str("security_rule.name")
+        .enum_attr("security_rule.direction", Required, &["Inbound", "Outbound"], None)
+        .enum_attr("security_rule.access", Required, &["Allow", "Deny"], None)
+        .enum_attr("security_rule.protocol", Required, &["Tcp", "Udp", "Icmp", "*"], None)
+        .attr("security_rule.source_port_range", Optional, Scalar, Str, ValueFormat::Port)
+        .attr("security_rule.destination_port_range", Optional, Scalar, Str, ValueFormat::Port)
+        .opt_str("security_rule.source_address_prefix")
+        .opt_str("security_rule.destination_address_prefix");
+    b = int_attr(b, "security_rule.priority", Required, 100, 4096);
+
+    b = b
+        .resource("azurerm_subnet_network_security_group_association")
+        .endpoint("subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "network_security_group_id",
+            Required,
+            "azurerm_network_security_group",
+            "id",
+            false,
+        )
+        .id();
+
+    // --- Virtual machine (VM) ------------------------------------------------
+    b = b
+        .resource("azurerm_linux_virtual_machine")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("size", Required, &docs::vm_sku_names(), None)
+        .req_str("admin_username")
+        .opt_str("admin_password")
+        .enum_attr("priority", Optional, &["Regular", "Spot"], Some("Regular"))
+        .enum_attr("eviction_policy", Optional, &["Deallocate", "Delete"], None)
+        .endpoint(
+            "network_interface_ids",
+            Required,
+            "azurerm_network_interface",
+            "id",
+            true,
+        )
+        .endpoint("availability_set_id", Optional, "azurerm_availability_set", "id", false)
+        .enum_attr("create_option", Optional, &["Image", "Attach"], Some("Image"))
+        .id();
+    b = bool_attr(b, "disable_password_authentication", true);
+    b = block(b, "os_disk", Required, Scalar);
+    b = b
+        .opt_str("os_disk.name")
+        .enum_attr("os_disk.caching", Required, &["None", "ReadOnly", "ReadWrite"], None)
+        .enum_attr(
+            "os_disk.storage_account_type",
+            Required,
+            &["Standard_LRS", "StandardSSD_LRS", "Premium_LRS"],
+            None,
+        );
+    b = block(b, "source_image_reference", Optional, Scalar);
+    b = b
+        .opt_str("source_image_reference.publisher")
+        .opt_str("source_image_reference.offer")
+        .opt_str("source_image_reference.sku")
+        .opt_str("source_image_reference.version")
+        .opt_str("zone");
+
+    // --- Managed disk / attachment ----------------------------------------------
+    b = b
+        .resource("azurerm_managed_disk")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr(
+            "storage_account_type",
+            Required,
+            &["Standard_LRS", "StandardSSD_LRS", "Premium_LRS", "UltraSSD_LRS"],
+            None,
+        )
+        .enum_attr("create_option", Required, &["Empty", "Copy", "FromImage"], None)
+        .endpoint("source_resource_id", Optional, "azurerm_managed_disk", "id", false)
+        .id();
+    b = int_attr(b, "disk_size_gb", Optional, 1, 32767);
+
+    b = b
+        .resource("azurerm_virtual_machine_data_disk_attachment")
+        .endpoint("virtual_machine_id", Required, "azurerm_linux_virtual_machine", "id", false)
+        .endpoint("managed_disk_id", Required, "azurerm_managed_disk", "id", false)
+        .enum_attr("caching", Required, &["None", "ReadOnly", "ReadWrite"], None)
+        .id();
+    b = int_attr(b, "lun", Required, 0, 63);
+
+    // --- VPN gateway family ---------------------------------------------------
+    b = b
+        .resource("azurerm_virtual_network_gateway")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("type", Required, &["Vpn", "ExpressRoute"], None)
+        .enum_attr("vpn_type", Optional, &["RouteBased", "PolicyBased"], Some("RouteBased"))
+        .enum_attr(
+            "sku",
+            Required,
+            &docs::GW_SKUS.iter().map(|g| g.sku).collect::<Vec<_>>(),
+            None,
+        )
+        .id();
+    b = bool_attr(b, "active_active", false);
+    b = block(b, "ip_configuration", Required, ListBlock);
+    b = b
+        .opt_str("ip_configuration.name")
+        .endpoint(
+            "ip_configuration.public_ip_address_id",
+            Required,
+            "azurerm_public_ip",
+            "id",
+            false,
+        )
+        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .enum_attr(
+            "ip_configuration.private_ip_address_allocation",
+            Optional,
+            &["Dynamic", "Static"],
+            Some("Dynamic"),
+        );
+
+    b = b
+        .resource("azurerm_local_network_gateway")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .req_str("gateway_address")
+        .id();
+    b = cidr_list(b, "address_space", Required);
+
+    b = b
+        .resource("azurerm_virtual_network_gateway_connection")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("type", Required, &["IPsec", "Vnet2Vnet", "ExpressRoute"], None)
+        .endpoint(
+            "virtual_network_gateway_id",
+            Required,
+            "azurerm_virtual_network_gateway",
+            "id",
+            false,
+        )
+        .endpoint(
+            "peer_virtual_network_gateway_id",
+            Optional,
+            "azurerm_virtual_network_gateway",
+            "id",
+            false,
+        )
+        .endpoint(
+            "local_network_gateway_id",
+            Optional,
+            "azurerm_local_network_gateway",
+            "id",
+            false,
+        )
+        .opt_str("shared_key")
+        .id();
+
+    b = b
+        .resource("azurerm_virtual_network_peering")
+        .req_str("name")
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint("virtual_network_name", Required, "azurerm_virtual_network", "name", false)
+        .endpoint("remote_virtual_network_id", Required, "azurerm_virtual_network", "id", false)
+        .id();
+    b = bool_attr(b, "allow_forwarded_traffic", false);
+    b = bool_attr(b, "allow_gateway_transit", false);
+
+    // --- Routing -----------------------------------------------------------------
+    b = b
+        .resource("azurerm_route_table")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = bool_attr(b, "bgp_route_propagation_enabled", true);
+
+    b = b
+        .resource("azurerm_route")
+        .req_str("name")
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint("route_table_name", Required, "azurerm_route_table", "name", false)
+        .enum_attr(
+            "next_hop_type",
+            Required,
+            &["VirtualNetworkGateway", "VnetLocal", "Internet", "VirtualAppliance", "None"],
+            None,
+        )
+        .opt_str("next_hop_in_ip_address")
+        .id();
+    b = cidr(b, "address_prefix", Required);
+
+    b = b
+        .resource("azurerm_subnet_route_table_association")
+        .endpoint("subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint("route_table_id", Required, "azurerm_route_table", "id", false)
+        .id();
+
+    // --- Firewall -----------------------------------------------------------------
+    b = b
+        .resource("azurerm_firewall")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("sku_name", Required, &["AZFW_VNet", "AZFW_Hub"], None)
+        .enum_attr("sku_tier", Required, &["Basic", "Standard", "Premium"], None)
+        .id();
+    b = block(b, "ip_configuration", Required, ListBlock);
+    b = b
+        .opt_str("ip_configuration.name")
+        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "ip_configuration.public_ip_address_id",
+            Required,
+            "azurerm_public_ip",
+            "id",
+            false,
+        );
+
+    // --- Load balancer ---------------------------------------------------------------
+    b = b
+        .resource("azurerm_lb")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("sku", Optional, &["Basic", "Standard"], Some("Basic"))
+        .id();
+    b = block(b, "frontend_ip_configuration", Optional, ListBlock);
+    b = b
+        .opt_str("frontend_ip_configuration.name")
+        .endpoint(
+            "frontend_ip_configuration.public_ip_address_id",
+            Optional,
+            "azurerm_public_ip",
+            "id",
+            false,
+        )
+        .endpoint("frontend_ip_configuration.subnet_id", Optional, "azurerm_subnet", "id", false);
+
+    b = b
+        .resource("azurerm_lb_backend_address_pool")
+        .req_str("name")
+        .endpoint("loadbalancer_id", Required, "azurerm_lb", "id", false)
+        .id();
+
+    b = b
+        .resource("azurerm_network_interface_backend_address_pool_association")
+        .endpoint("network_interface_id", Required, "azurerm_network_interface", "id", false)
+        .endpoint(
+            "backend_address_pool_id",
+            Required,
+            "azurerm_lb_backend_address_pool",
+            "id",
+            false,
+        )
+        .req_str("ip_configuration_name")
+        .id();
+
+    // --- Application gateway ---------------------------------------------------------
+    b = b
+        .resource("azurerm_application_gateway")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = block(b, "sku", Required, Scalar);
+    b = b.enum_attr(
+        "sku.name",
+        Required,
+        &["Standard_Small", "Standard_Medium", "Standard_v2", "WAF_Medium", "WAF_v2"],
+        None,
+    );
+    b = b.enum_attr("sku.tier", Required, &["Standard", "Standard_v2", "WAF", "WAF_v2"], None);
+    b = int_attr(b, "sku.capacity", Optional, 1, 125);
+    b = block(b, "gateway_ip_configuration", Required, ListBlock);
+    b = b
+        .opt_str("gateway_ip_configuration.name")
+        .endpoint("gateway_ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false);
+    b = block(b, "frontend_ip_configuration", Required, ListBlock);
+    b = b.opt_str("frontend_ip_configuration.name").endpoint(
+        "frontend_ip_configuration.public_ip_address_id",
+        Required,
+        "azurerm_public_ip",
+        "id",
+        false,
+    );
+    b = block(b, "backend_address_pool", Required, ListBlock);
+    b = b.opt_str("backend_address_pool.name");
+    b = block(b, "request_routing_rule", Required, ListBlock);
+    b = b
+        .opt_str("request_routing_rule.name")
+        .enum_attr("request_routing_rule.rule_type", Required, &["Basic", "PathBasedRouting"], None);
+    b = int_attr(b, "request_routing_rule.priority", Optional, 1, 20000);
+    b = block(b, "waf_configuration", Optional, Scalar);
+    b = bool_attr(b, "waf_configuration.enabled", true);
+
+    b = b
+        .resource("azurerm_network_interface_application_gateway_backend_address_pool_association")
+        .endpoint("network_interface_id", Required, "azurerm_network_interface", "id", false)
+        .endpoint(
+            "backend_address_pool_id",
+            Required,
+            "azurerm_application_gateway",
+            "backend_address_pool_id",
+            false,
+        )
+        .req_str("ip_configuration_name")
+        .id();
+
+    // --- Storage ------------------------------------------------------------------------
+    b = b
+        .resource("azurerm_storage_account")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("account_tier", Required, &["Standard", "Premium"], None)
+        .enum_attr(
+            "account_replication_type",
+            Required,
+            &["LRS", "GRS", "RAGRS", "ZRS", "GZRS", "RAGZRS"],
+            None,
+        )
+        .enum_attr(
+            "account_kind",
+            Optional,
+            &["StorageV2", "Storage", "BlockBlobStorage", "FileStorage"],
+            Some("StorageV2"),
+        )
+        .enum_attr("access_tier", Optional, &["Hot", "Cool"], Some("Hot"))
+        .id();
+
+    b = b
+        .resource("azurerm_storage_container")
+        .req_str("name")
+        .endpoint("storage_account_name", Required, "azurerm_storage_account", "name", false)
+        .enum_attr(
+            "container_access_type",
+            Optional,
+            &["private", "blob", "container"],
+            Some("private"),
+        )
+        .id();
+
+    // --- NAT gateway -----------------------------------------------------------------------
+    b = b
+        .resource("azurerm_nat_gateway")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("sku_name", Optional, &["Standard"], Some("Standard"))
+        .id();
+
+    b = b
+        .resource("azurerm_nat_gateway_public_ip_association")
+        .endpoint("nat_gateway_id", Required, "azurerm_nat_gateway", "id", false)
+        .endpoint("public_ip_address_id", Required, "azurerm_public_ip", "id", false)
+        .id();
+
+    b = b
+        .resource("azurerm_subnet_nat_gateway_association")
+        .endpoint("subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint("nat_gateway_id", Required, "azurerm_nat_gateway", "id", false)
+        .id();
+
+    // --- Availability set / bastion / key vault / DNS --------------------------------------
+    b = b
+        .resource("azurerm_availability_set")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = int_attr(b, "platform_fault_domain_count", Optional, 1, 3);
+    b = bool_attr(b, "managed", true);
+
+    b = b
+        .resource("azurerm_bastion_host")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+    b = block(b, "ip_configuration", Required, Scalar);
+    b = b
+        .opt_str("ip_configuration.name")
+        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "ip_configuration.public_ip_address_id",
+            Required,
+            "azurerm_public_ip",
+            "id",
+            false,
+        );
+
+    b = b
+        .resource("azurerm_key_vault")
+        .req_str("name")
+        .location()
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .enum_attr("sku_name", Required, &["standard", "premium"], None)
+        .req_str("tenant_id")
+        .id();
+    b = bool_attr(b, "purge_protection_enabled", false);
+
+    b = b
+        .resource("azurerm_dns_zone")
+        .req_str("name")
+        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .id();
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ValueFormat;
+
+    #[test]
+    fn covers_core_types() {
+        let kb = build();
+        for t in [
+            "azurerm_resource_group",
+            "azurerm_virtual_network",
+            "azurerm_subnet",
+            "azurerm_network_interface",
+            "azurerm_public_ip",
+            "azurerm_linux_virtual_machine",
+            "azurerm_virtual_network_gateway",
+            "azurerm_application_gateway",
+            "azurerm_storage_account",
+            "azurerm_firewall",
+        ] {
+            assert!(kb.is_attended(t), "{t} missing");
+        }
+        assert!(kb.resources.len() >= 30, "only {} types", kb.resources.len());
+    }
+
+    #[test]
+    fn subnet_name_is_reserved_format() {
+        let kb = build();
+        let fmt = kb.format("azurerm_subnet", "name").unwrap();
+        match fmt {
+            ValueFormat::ReservedName { reserved } => {
+                assert!(reserved.contains(&"GatewaySubnet".to_string()));
+            }
+            other => panic!("unexpected format: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vm_endpoints_are_class3() {
+        let kb = build();
+        let vm = kb.resource("azurerm_linux_virtual_machine").unwrap();
+        let ep = vm.endpoint("network_interface_ids").unwrap();
+        assert_eq!(ep.target_type, "azurerm_network_interface");
+        assert!(ep.many);
+        let nic = kb.resource("azurerm_network_interface").unwrap();
+        let sub = nic.endpoint("ip_configuration.subnet_id").unwrap();
+        assert_eq!(sub.target_type, "azurerm_subnet");
+        assert!(!sub.many);
+    }
+
+    #[test]
+    fn public_ip_defaults() {
+        let kb = build();
+        assert_eq!(
+            kb.default_of("azurerm_public_ip", "sku"),
+            Some(zodiac_model::Value::s("Basic"))
+        );
+    }
+
+    #[test]
+    fn endpoint_targets_exist_in_kb() {
+        let kb = build();
+        for rs in kb.resources.values() {
+            for ep in rs.endpoints.values() {
+                assert!(
+                    kb.is_attended(&ep.target_type),
+                    "{}.{} targets unknown type {}",
+                    rs.rtype,
+                    ep.in_endpoint,
+                    ep.target_type
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attr_counts_vary_by_complexity() {
+        let kb = build();
+        let vm = kb.resource("azurerm_linux_virtual_machine").unwrap().attrs.len();
+        let peering = kb.resource("azurerm_virtual_network_peering").unwrap().attrs.len();
+        assert!(vm > peering, "VM ({vm}) should have more attrs than peering ({peering})");
+    }
+}

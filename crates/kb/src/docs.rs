@@ -1,0 +1,169 @@
+//! Encoded provider documentation tables.
+//!
+//! The paper's LLM interpolation step asks GPT-4 questions like "for a sf2
+//! sku VM, what is the maximum number of NICs allowed?" and requires the
+//! model to ground its answer in cloud provider documentation (sku tables).
+//! We encode those tables directly; the interpolation oracle in
+//! `zodiac-mining` reads them (optionally with injected noise to model
+//! hallucination), and the cloud simulator treats them as ground truth.
+
+/// Per-VM-sku limits (Azure VM size documentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmSkuLimits {
+    /// The sku name, e.g. `Standard_F2s_v2`.
+    pub sku: &'static str,
+    /// Maximum number of NICs attachable.
+    pub max_nics: u32,
+    /// Maximum number of data disks attachable.
+    pub max_data_disks: u32,
+}
+
+/// The VM sku limit table.
+pub const VM_SKUS: &[VmSkuLimits] = &[
+    VmSkuLimits { sku: "Standard_B1ls", max_nics: 2, max_data_disks: 2 },
+    VmSkuLimits { sku: "Standard_B1s", max_nics: 2, max_data_disks: 2 },
+    VmSkuLimits { sku: "Standard_B2s", max_nics: 3, max_data_disks: 4 },
+    VmSkuLimits { sku: "Standard_B2ms", max_nics: 3, max_data_disks: 4 },
+    VmSkuLimits { sku: "Standard_D2s_v3", max_nics: 2, max_data_disks: 4 },
+    VmSkuLimits { sku: "Standard_D4s_v3", max_nics: 2, max_data_disks: 8 },
+    VmSkuLimits { sku: "Standard_D8s_v3", max_nics: 4, max_data_disks: 16 },
+    VmSkuLimits { sku: "Standard_DS1_v2", max_nics: 2, max_data_disks: 4 },
+    VmSkuLimits { sku: "Standard_DS2_v2", max_nics: 2, max_data_disks: 8 },
+    VmSkuLimits { sku: "Standard_F2s_v2", max_nics: 2, max_data_disks: 4 },
+    VmSkuLimits { sku: "Standard_F4s_v2", max_nics: 4, max_data_disks: 8 },
+    VmSkuLimits { sku: "Standard_F8s_v2", max_nics: 4, max_data_disks: 16 },
+    VmSkuLimits { sku: "Standard_E2s_v3", max_nics: 2, max_data_disks: 4 },
+    VmSkuLimits { sku: "Standard_E4s_v3", max_nics: 2, max_data_disks: 8 },
+    VmSkuLimits { sku: "Standard_E8s_v3", max_nics: 4, max_data_disks: 16 },
+    VmSkuLimits { sku: "Standard_A1_v2", max_nics: 2, max_data_disks: 2 },
+    VmSkuLimits { sku: "Standard_A2_v2", max_nics: 2, max_data_disks: 4 },
+];
+
+/// Looks up VM sku limits.
+pub fn vm_sku(sku: &str) -> Option<&'static VmSkuLimits> {
+    VM_SKUS.iter().find(|v| v.sku == sku)
+}
+
+/// All known VM sku names.
+pub fn vm_sku_names() -> Vec<&'static str> {
+    VM_SKUS.iter().map(|v| v.sku).collect()
+}
+
+/// Per-gateway-sku limits (Azure VPN gateway documentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GwSkuLimits {
+    /// Gateway sku name.
+    pub sku: &'static str,
+    /// Maximum site-to-site tunnels.
+    pub max_tunnels: u32,
+    /// Whether active-active mode is supported.
+    pub active_active: bool,
+}
+
+/// The gateway sku limit table.
+pub const GW_SKUS: &[GwSkuLimits] = &[
+    GwSkuLimits { sku: "Basic", max_tunnels: 10, active_active: false },
+    GwSkuLimits { sku: "VpnGw1", max_tunnels: 30, active_active: true },
+    GwSkuLimits { sku: "VpnGw2", max_tunnels: 30, active_active: true },
+    GwSkuLimits { sku: "VpnGw3", max_tunnels: 30, active_active: true },
+    GwSkuLimits { sku: "Standard", max_tunnels: 10, active_active: false },
+    GwSkuLimits { sku: "HighPerformance", max_tunnels: 30, active_active: true },
+];
+
+/// Looks up gateway sku limits.
+pub fn gw_sku(sku: &str) -> Option<&'static GwSkuLimits> {
+    GW_SKUS.iter().find(|v| v.sku == sku)
+}
+
+/// Storage-account replication types legal per account tier
+/// (Azure storage redundancy documentation; Premium is latency-optimised and
+/// supports only LRS/ZRS — notably *not* GZRS, the paper's §5.1 example 1).
+pub fn sa_replication_for_tier(tier: &str) -> &'static [&'static str] {
+    match tier {
+        "Premium" => &["LRS", "ZRS"],
+        _ => &["LRS", "GRS", "RAGRS", "ZRS", "GZRS", "RAGZRS"],
+    }
+}
+
+/// Region-restricted VM skus (§6 lists region-specific constraints as an
+/// avenue of future work; this reproduction implements them): each entry is
+/// a sku and the regions where it is *not* offered.
+pub const VM_SKU_UNAVAILABLE: &[(&str, &[&str])] = &[
+    ("Standard_E8s_v3", &["japaneast", "australiaeast"]),
+    ("Standard_D8s_v3", &["japaneast"]),
+    ("Standard_F8s_v2", &["uksouth", "japaneast"]),
+    ("Standard_B1ls", &["westus3"]),
+];
+
+/// True if the VM sku is offered in the region.
+pub fn vm_sku_available(sku: &str, region: &str) -> bool {
+    VM_SKU_UNAVAILABLE
+        .iter()
+        .find(|(s, _)| *s == sku)
+        .map(|(_, regions)| !regions.contains(&region))
+        .unwrap_or(true)
+}
+
+/// Reserved subnet names and the single resource type allowed to occupy each.
+pub const RESERVED_SUBNETS: &[(&str, &str)] = &[
+    ("GatewaySubnet", "azurerm_virtual_network_gateway"),
+    ("AzureFirewallSubnet", "azurerm_firewall"),
+    ("AzureBastionSubnet", "azurerm_bastion_host"),
+];
+
+/// If `name` is a reserved subnet name, the resource type allowed to use it.
+pub fn reserved_subnet_owner(name: &str) -> Option<&'static str> {
+    RESERVED_SUBNETS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, t)| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_sku_lookup() {
+        let f2 = vm_sku("Standard_F2s_v2").unwrap();
+        assert_eq!(f2.max_nics, 2);
+        let f4 = vm_sku("Standard_F4s_v2").unwrap();
+        assert_eq!(f4.max_nics, 4);
+        assert!(vm_sku("Standard_Nope").is_none());
+    }
+
+    #[test]
+    fn b1ls_allows_two_data_disks() {
+        // The paper's Figure 3 example: sku b1ls ⇒ ≤ 2 data disks.
+        assert_eq!(vm_sku("Standard_B1ls").unwrap().max_data_disks, 2);
+    }
+
+    #[test]
+    fn basic_gw_has_no_active_active() {
+        let basic = gw_sku("Basic").unwrap();
+        assert!(!basic.active_active);
+        assert_eq!(basic.max_tunnels, 10);
+    }
+
+    #[test]
+    fn premium_sa_prohibits_gzrs() {
+        assert!(!sa_replication_for_tier("Premium").contains(&"GZRS"));
+        assert!(sa_replication_for_tier("Standard").contains(&"GZRS"));
+    }
+
+    #[test]
+    fn region_availability() {
+        assert!(!vm_sku_available("Standard_E8s_v3", "japaneast"));
+        assert!(vm_sku_available("Standard_E8s_v3", "eastus"));
+        assert!(vm_sku_available("Standard_B1s", "japaneast"));
+    }
+
+    #[test]
+    fn reserved_subnets() {
+        assert_eq!(
+            reserved_subnet_owner("GatewaySubnet"),
+            Some("azurerm_virtual_network_gateway")
+        );
+        assert_eq!(reserved_subnet_owner("internal"), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! Corpus-driven knowledge-base extraction.
+//!
+//! The paper gathers Class-2 facts (enum domains, CIDR-ness, defaults) and
+//! Class-3 facts (reference semantics) "from the crawled Terraform
+//! repositories, which contain common usage patterns for resource
+//! attributes" (§3.1). This module implements that extraction: given a
+//! corpus of compiled programs, it infers per-attribute value formats and
+//! observed endpoint pairings, producing a [`KnowledgeBase`] that can be
+//! merged with (or used instead of) the curated schema — the latter is the
+//! "w/o KB" configuration ablated in Figure 7a.
+
+use crate::schema::{
+    AttrKind, AttrSchema, AttrShape, BaseType, EndpointSpec, KnowledgeBase, ResourceSchema,
+    ValueFormat,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use zodiac_model::{Cidr, Program, Value};
+
+/// Tunables for extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Maximum number of distinct string values for an attribute to be
+    /// considered an enum.
+    pub enum_max_distinct: usize,
+    /// Minimum number of occurrences before an attribute is classified.
+    pub min_occurrences: usize,
+    /// Fraction of values that must parse as CIDR for CIDR classification.
+    pub cidr_fraction: f64,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig {
+            enum_max_distinct: 8,
+            min_occurrences: 5,
+            cidr_fraction: 0.9,
+        }
+    }
+}
+
+#[derive(Default)]
+struct AttrStats {
+    strings: BTreeMap<String, usize>,
+    ints: usize,
+    bools: usize,
+    cidr_like: usize,
+    total: usize,
+    present_in: usize,
+    programs_with_resource: usize,
+}
+
+/// Extracts a knowledge base from a corpus of compiled programs.
+pub fn extract(programs: &[Program], cfg: &ExtractConfig) -> KnowledgeBase {
+    let mut attr_stats: BTreeMap<(String, String), AttrStats> = BTreeMap::new();
+    let mut endpoints: BTreeMap<(String, String), BTreeMap<(String, String), usize>> =
+        BTreeMap::new();
+    let mut endpoint_many: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut locations: BTreeMap<String, usize> = BTreeMap::new();
+    let mut resource_counts: BTreeMap<String, usize> = BTreeMap::new();
+
+    for program in programs {
+        for r in program.resources() {
+            *resource_counts.entry(r.rtype.clone()).or_default() += 1;
+            // Walk leaf attributes.
+            let mut leaves: Vec<(String, &Value)> = Vec::new();
+            for (k, v) in &r.attrs {
+                collect_leaves(k, v, &mut leaves);
+            }
+            for (path, v) in &leaves {
+                let stats = attr_stats
+                    .entry((r.rtype.clone(), path.clone()))
+                    .or_default();
+                stats.total += 1;
+                match v {
+                    Value::Str(s) => {
+                        *stats.strings.entry(s.clone()).or_default() += 1;
+                        if s.parse::<Cidr>().is_ok() {
+                            stats.cidr_like += 1;
+                        }
+                        if path == "location" {
+                            *locations.entry(s.clone()).or_default() += 1;
+                        }
+                    }
+                    Value::Int(_) => stats.ints += 1,
+                    Value::Bool(_) => stats.bools += 1,
+                    _ => {}
+                }
+            }
+            // References become Class-3 candidates. List-valued endpoints are
+            // detected from the raw attribute shape.
+            for (path, reference) in r.references() {
+                let ep = zodiac_graph::endpoint_name(&path);
+                let key = (r.rtype.clone(), ep.clone());
+                *endpoints
+                    .entry(key.clone())
+                    .or_default()
+                    .entry((reference.rtype.clone(), reference.attr.clone()))
+                    .or_default() += 1;
+                if path.0.last().is_some_and(|seg| seg.parse::<usize>().is_ok()) {
+                    endpoint_many.insert(key);
+                }
+            }
+        }
+        // Track presence for required/optional inference.
+        for r in program.resources() {
+            let present: BTreeSet<String> = {
+                let mut leaves = Vec::new();
+                for (k, v) in &r.attrs {
+                    collect_leaves(k, v, &mut leaves);
+                }
+                leaves.into_iter().map(|(p, _)| p).collect()
+            };
+            for path in present {
+                if let Some(st) = attr_stats.get_mut(&(r.rtype.clone(), path)) {
+                    st.present_in += 1;
+                }
+            }
+        }
+    }
+    for ((rtype, _), st) in attr_stats.iter_mut() {
+        st.programs_with_resource = resource_counts.get(rtype).copied().unwrap_or(0);
+    }
+
+    let mut kb = KnowledgeBase {
+        locations: {
+            let mut locs: Vec<(String, usize)> = locations.into_iter().collect();
+            locs.sort_by(|a, b| b.1.cmp(&a.1));
+            locs.into_iter().map(|(l, _)| l).collect()
+        },
+        ..Default::default()
+    };
+
+    for ((rtype, path), st) in attr_stats {
+        if st.total < cfg.min_occurrences {
+            continue;
+        }
+        let format = classify(&st, &path, cfg);
+        let base = if st.ints > st.total / 2 {
+            BaseType::Int
+        } else if st.bools > st.total / 2 {
+            BaseType::Bool
+        } else {
+            BaseType::Str
+        };
+        // Required inference: present in (almost) every instance.
+        let kind = if st.present_in * 100 >= st.programs_with_resource * 95 {
+            AttrKind::Required
+        } else {
+            AttrKind::Optional
+        };
+        let entry = kb
+            .resources
+            .entry(rtype.clone())
+            .or_insert_with(|| ResourceSchema {
+                rtype,
+                ..Default::default()
+            });
+        entry.attrs.insert(
+            path.clone(),
+            AttrSchema {
+                path,
+                kind,
+                shape: AttrShape::Scalar,
+                base,
+                format,
+            },
+        );
+    }
+
+    for ((rtype, ep), targets) in endpoints {
+        // Take the dominant observed target as the legal pairing.
+        let Some(((ttype, tattr), _count)) = targets.iter().max_by_key(|(_, c)| **c) else {
+            continue;
+        };
+        let many = endpoint_many.contains(&(rtype.clone(), ep.clone()));
+        let entry = kb
+            .resources
+            .entry(rtype.clone())
+            .or_insert_with(|| ResourceSchema {
+                rtype: rtype.clone(),
+                ..Default::default()
+            });
+        entry.endpoints.insert(
+            ep.clone(),
+            EndpointSpec {
+                in_endpoint: ep,
+                target_type: ttype.clone(),
+                target_attr: tattr.clone(),
+                ordering: true,
+                many,
+            },
+        );
+    }
+
+    kb
+}
+
+fn classify(st: &AttrStats, path: &str, cfg: &ExtractConfig) -> ValueFormat {
+    let str_total: usize = st.strings.values().sum();
+    if str_total > 0 && (st.cidr_like as f64) / (str_total as f64) >= cfg.cidr_fraction {
+        return ValueFormat::Cidr;
+    }
+    if path == "location" {
+        return ValueFormat::Location;
+    }
+    if st.bools > 0 && st.bools * 2 >= st.total {
+        return ValueFormat::BoolDefault { default: false };
+    }
+    if str_total >= cfg.min_occurrences
+        && !st.strings.is_empty()
+        && st.strings.len() <= cfg.enum_max_distinct
+        // Enum heuristics: values recur (not unique names).
+        && st.strings.values().all(|&c| c >= 2)
+    {
+        let mut values: Vec<(String, usize)> = st.strings.clone().into_iter().collect();
+        values.sort_by(|a, b| b.1.cmp(&a.1));
+        let default = values.first().map(|(v, _)| v.clone());
+        return ValueFormat::Enum {
+            values: values.into_iter().map(|(v, _)| v).collect(),
+            default,
+        };
+    }
+    ValueFormat::Plain
+}
+
+fn collect_leaves<'a>(path: &str, v: &'a Value, out: &mut Vec<(String, &'a Value)>) {
+    match v {
+        Value::Map(m) => {
+            for (k, inner) in m {
+                collect_leaves(&format!("{path}.{k}"), inner, out);
+            }
+        }
+        Value::List(l) => {
+            for inner in l {
+                // Indices stripped: all elements contribute to the same path.
+                match inner {
+                    Value::Map(_) | Value::List(_) => collect_leaves(path, inner, out),
+                    other => out.push((path.to_string(), other)),
+                }
+            }
+        }
+        Value::Ref(_) => {} // References are Class-3, handled separately.
+        other => out.push((path.to_string(), other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::{Program, Resource};
+
+    fn corpus() -> Vec<Program> {
+        (0..10)
+            .map(|i| {
+                Program::new()
+                    .with(
+                        Resource::new("azurerm_public_ip", "ip")
+                            .with("name", format!("ip-{i}"))
+                            .with("location", "eastus")
+                            .with("sku", if i % 2 == 0 { "Basic" } else { "Standard" })
+                            .with(
+                                "allocation_method",
+                                if i % 2 == 0 { "Dynamic" } else { "Static" },
+                            ),
+                    )
+                    .with(
+                        Resource::new("azurerm_subnet", "s")
+                            .with("address_prefixes", Value::List(vec![Value::s(format!("10.0.{i}.0/24"))])),
+                    )
+                    .with(
+                        Resource::new("azurerm_network_interface", "nic")
+                            .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+                    )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn infers_enums() {
+        let kb = extract(&corpus(), &ExtractConfig::default());
+        let fmt = kb.format("azurerm_public_ip", "sku").unwrap();
+        let values = fmt.enum_values().unwrap();
+        assert!(values.contains(&"Basic".to_string()));
+        assert!(values.contains(&"Standard".to_string()));
+    }
+
+    #[test]
+    fn names_are_not_enums() {
+        let kb = extract(&corpus(), &ExtractConfig::default());
+        let fmt = kb.format("azurerm_public_ip", "name").unwrap();
+        assert_eq!(fmt, &ValueFormat::Plain);
+    }
+
+    #[test]
+    fn infers_cidr() {
+        let kb = extract(&corpus(), &ExtractConfig::default());
+        let fmt = kb.format("azurerm_subnet", "address_prefixes").unwrap();
+        assert_eq!(fmt, &ValueFormat::Cidr);
+    }
+
+    #[test]
+    fn infers_endpoints() {
+        let kb = extract(&corpus(), &ExtractConfig::default());
+        let nic = kb.resource("azurerm_network_interface").unwrap();
+        let ep = nic.endpoint("subnet_id").unwrap();
+        assert_eq!(ep.target_type, "azurerm_subnet");
+        assert_eq!(ep.target_attr, "id");
+    }
+
+    #[test]
+    fn collects_locations() {
+        let kb = extract(&corpus(), &ExtractConfig::default());
+        assert!(kb.locations.contains(&"eastus".to_string()));
+    }
+
+    #[test]
+    fn respects_min_occurrences() {
+        let one = vec![Program::new()
+            .with(Resource::new("t", "r").with("sku", "Basic"))];
+        let kb = extract(&one, &ExtractConfig::default());
+        assert!(kb.resource("t").is_none());
+    }
+}

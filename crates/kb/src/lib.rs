@@ -1,0 +1,38 @@
+//! The Zodiac semantic knowledge base (§3.1).
+//!
+//! The KB holds the "base facts" from which semantic checks are built, in
+//! three classes mirroring the paper:
+//!
+//! * **Class 1 — IaC native constraints**, extracted from the provider
+//!   schema: whether an attribute is required/optional/computed, its shape
+//!   (scalar, list, nested block), and its base type.
+//! * **Class 2 — provider-specific constraints**: enum domains and defaults,
+//!   reserved values (e.g. the `GatewaySubnet` subnet name), whether a string
+//!   is a CIDR range, a port, or a cloud location.
+//! * **Class 3 — resource references**: which inbound endpoints may legally
+//!   connect to which outbound endpoints, and whether a reference implies
+//!   deployment ordering.
+//!
+//! The schema for 30+ Azure resource types is encoded in [`azure`]; the
+//! corpus-driven extraction that the paper performs over crawled repositories
+//! is implemented in [`extract`] and merged into the same [`KnowledgeBase`]
+//! type. Documentation tables (VM sku limits, gateway sku limits, ...) used
+//! by both the cloud simulator and the interpolation oracle live in [`docs`].
+
+pub mod alias;
+pub mod azure;
+pub mod docs;
+pub mod extract;
+pub mod schema;
+
+pub use alias::{long_name, short_name};
+pub use schema::{
+    AttrKind, AttrSchema, AttrShape, BaseType, EndpointSpec, KnowledgeBase, ResourceSchema,
+    ValueFormat,
+};
+
+/// Builds the full knowledge base for the Azure provider: the static schema
+/// (Class 1) plus the curated Class 2 / Class 3 facts.
+pub fn azure_kb() -> KnowledgeBase {
+    azure::build()
+}

@@ -1,0 +1,480 @@
+//! Knowledge-base data structures and builder.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use zodiac_model::Value;
+
+/// Class-1 fact: is the attribute required, optional, or computed?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Must be supplied by the developer.
+    Required,
+    /// May be omitted (possibly defaulted by the provider).
+    Optional,
+    /// Value only known after deployment (e.g. `id`); never written.
+    Computed,
+}
+
+/// Class-1 fact: the shape of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrShape {
+    /// A single scalar value.
+    Scalar,
+    /// A list of scalars.
+    List,
+    /// A single nested block.
+    Block,
+    /// A repeatable nested block (list of blocks).
+    ListBlock,
+}
+
+/// Class-1 fact: the base type of a scalar attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaseType {
+    /// String-valued.
+    Str,
+    /// Integer-valued.
+    Int,
+    /// Boolean-valued.
+    Bool,
+    /// A reference to another resource's attribute.
+    Ref,
+}
+
+/// Class-2 fact: the provider-specific interpretation of a value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueFormat {
+    /// No special interpretation (free-form name, key, etc.).
+    Plain,
+    /// Closed enum of legal values, with an optional provider default.
+    Enum {
+        /// Legal values.
+        values: Vec<String>,
+        /// Value assumed when the attribute is omitted.
+        default: Option<String>,
+    },
+    /// Free-form string, but certain values are reserved with special
+    /// semantics (e.g. subnet name `GatewaySubnet`).
+    ReservedName {
+        /// The reserved values.
+        reserved: Vec<String>,
+    },
+    /// An IPv4 CIDR range.
+    Cidr,
+    /// A port number or port range string.
+    Port,
+    /// A cloud region name.
+    Location,
+    /// An integer within an inclusive range.
+    IntRange {
+        /// Minimum legal value.
+        min: i64,
+        /// Maximum legal value.
+        max: i64,
+    },
+    /// A boolean with a provider default.
+    BoolDefault {
+        /// Value assumed when omitted.
+        default: bool,
+    },
+}
+
+impl ValueFormat {
+    /// The provider default for this format, as a model value, if any.
+    pub fn default_value(&self) -> Option<Value> {
+        match self {
+            ValueFormat::Enum {
+                default: Some(d), ..
+            } => Some(Value::s(d.clone())),
+            ValueFormat::BoolDefault { default } => Some(Value::Bool(*default)),
+            _ => None,
+        }
+    }
+
+    /// The enum domain if this is an enum format.
+    pub fn enum_values(&self) -> Option<&[String]> {
+        match self {
+            ValueFormat::Enum { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+}
+
+/// Class-3 fact: a legal inbound→outbound endpoint pairing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointSpec {
+    /// Inbound endpoint name on the source resource (indices stripped),
+    /// e.g. `ip_configuration.subnet_id`.
+    pub in_endpoint: String,
+    /// Legal target resource type.
+    pub target_type: String,
+    /// Outbound endpoint attribute on the target, e.g. `id`.
+    pub target_attr: String,
+    /// True if the reference implies the source deploys after the target
+    /// (attachment semantics) rather than a mere value equality.
+    pub ordering: bool,
+    /// True if the endpoint accepts a list of targets (e.g. a VM's
+    /// `network_interface_ids`); false for single-target endpoints.
+    pub many: bool,
+}
+
+/// Schema entry for one attribute (Class 1 + Class 2 combined).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrSchema {
+    /// Dotted attribute path (indices stripped), e.g. `os_disk.name`.
+    pub path: String,
+    /// Required / optional / computed.
+    pub kind: AttrKind,
+    /// Scalar / list / block shape.
+    pub shape: AttrShape,
+    /// Base type of the leaf value.
+    pub base: BaseType,
+    /// Provider-specific value interpretation.
+    pub format: ValueFormat,
+}
+
+/// Schema for one resource type.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSchema {
+    /// Full resource type name, e.g. `azurerm_subnet`.
+    pub rtype: String,
+    /// Attribute schemas keyed by dotted path.
+    pub attrs: BTreeMap<String, AttrSchema>,
+    /// Legal endpoint pairings (Class 3), keyed by inbound endpoint name.
+    pub endpoints: BTreeMap<String, EndpointSpec>,
+}
+
+impl ResourceSchema {
+    /// Attribute schema by dotted path.
+    pub fn attr(&self, path: &str) -> Option<&AttrSchema> {
+        self.attrs.get(path)
+    }
+
+    /// Endpoint spec by inbound endpoint name.
+    pub fn endpoint(&self, in_endpoint: &str) -> Option<&EndpointSpec> {
+        self.endpoints.get(in_endpoint)
+    }
+
+    /// Paths of all required attributes (excluding endpoints).
+    pub fn required_attrs(&self) -> impl Iterator<Item = &AttrSchema> {
+        self.attrs
+            .values()
+            .filter(|a| a.kind == AttrKind::Required)
+    }
+
+    /// All attributes with an enum format.
+    pub fn enum_attrs(&self) -> impl Iterator<Item = &AttrSchema> {
+        self.attrs
+            .values()
+            .filter(|a| matches!(a.format, ValueFormat::Enum { .. }))
+    }
+}
+
+/// The semantic knowledge base: schemas for every supported resource type.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    /// Resource schemas keyed by full type name.
+    pub resources: BTreeMap<String, ResourceSchema>,
+    /// Known cloud locations (Class 2, provider-wide).
+    pub locations: Vec<String>,
+}
+
+impl KnowledgeBase {
+    /// Schema for a resource type, if supported ("attended" in the paper's
+    /// terminology; unsupported types are "unattended" and left untouched by
+    /// mutation).
+    pub fn resource(&self, rtype: &str) -> Option<&ResourceSchema> {
+        self.resources.get(rtype)
+    }
+
+    /// True if the type is covered by the KB.
+    pub fn is_attended(&self, rtype: &str) -> bool {
+        self.resources.contains_key(rtype)
+    }
+
+    /// All supported resource type names.
+    pub fn types(&self) -> impl Iterator<Item = &str> {
+        self.resources.keys().map(String::as_str)
+    }
+
+    /// Looks up the Class-2 format of `rtype.path`.
+    pub fn format(&self, rtype: &str, path: &str) -> Option<&ValueFormat> {
+        self.resources
+            .get(rtype)
+            .and_then(|r| r.attrs.get(path))
+            .map(|a| &a.format)
+    }
+
+    /// Looks up the provider default of `rtype.path`, if any.
+    pub fn default_of(&self, rtype: &str, path: &str) -> Option<Value> {
+        self.format(rtype, path).and_then(ValueFormat::default_value)
+    }
+
+    /// Merges another KB into this one. Attributes and endpoints present in
+    /// `other` but missing here are added; existing entries are kept (the
+    /// static schema wins over extracted facts).
+    pub fn merge_from(&mut self, other: KnowledgeBase) {
+        for (rtype, rs) in other.resources {
+            let entry = self
+                .resources
+                .entry(rtype.clone())
+                .or_insert_with(|| ResourceSchema {
+                    rtype,
+                    ..Default::default()
+                });
+            for (path, attr) in rs.attrs {
+                entry.attrs.entry(path).or_insert(attr);
+            }
+            for (ep, spec) in rs.endpoints {
+                entry.endpoints.entry(ep).or_insert(spec);
+            }
+        }
+        for loc in other.locations {
+            if !self.locations.contains(&loc) {
+                self.locations.push(loc);
+            }
+        }
+    }
+
+    /// Total number of attribute entries across all resource types.
+    pub fn attr_count(&self) -> usize {
+        self.resources.values().map(|r| r.attrs.len()).sum()
+    }
+}
+
+/// Fluent builder for resource schemas, used by the Azure data module.
+pub struct SchemaBuilder {
+    kb: KnowledgeBase,
+    current: Option<ResourceSchema>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SchemaBuilder {
+            kb: KnowledgeBase::default(),
+            current: None,
+        }
+    }
+
+    /// Sets the provider-wide location list.
+    pub fn locations(mut self, locs: &[&str]) -> Self {
+        self.kb.locations = locs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Starts a new resource type.
+    pub fn resource(mut self, rtype: &str) -> Self {
+        self.flush();
+        self.current = Some(ResourceSchema {
+            rtype: rtype.to_string(),
+            ..Default::default()
+        });
+        self
+    }
+
+    fn cur(&mut self) -> &mut ResourceSchema {
+        self.current.as_mut().expect("attr before resource()")
+    }
+
+    /// Adds an attribute.
+    pub fn attr(
+        mut self,
+        path: &str,
+        kind: AttrKind,
+        shape: AttrShape,
+        base: BaseType,
+        format: ValueFormat,
+    ) -> Self {
+        let a = AttrSchema {
+            path: path.to_string(),
+            kind,
+            shape,
+            base,
+            format,
+        };
+        self.cur().attrs.insert(path.to_string(), a);
+        self
+    }
+
+    /// Shorthand: a required plain string attribute.
+    pub fn req_str(self, path: &str) -> Self {
+        self.attr(
+            path,
+            AttrKind::Required,
+            AttrShape::Scalar,
+            BaseType::Str,
+            ValueFormat::Plain,
+        )
+    }
+
+    /// Shorthand: an optional plain string attribute.
+    pub fn opt_str(self, path: &str) -> Self {
+        self.attr(
+            path,
+            AttrKind::Optional,
+            AttrShape::Scalar,
+            BaseType::Str,
+            ValueFormat::Plain,
+        )
+    }
+
+    /// Shorthand: a required location attribute.
+    pub fn location(self) -> Self {
+        self.attr(
+            "location",
+            AttrKind::Required,
+            AttrShape::Scalar,
+            BaseType::Str,
+            ValueFormat::Location,
+        )
+    }
+
+    /// Shorthand: an enum attribute.
+    pub fn enum_attr(self, path: &str, kind: AttrKind, values: &[&str], default: Option<&str>) -> Self {
+        self.attr(
+            path,
+            kind,
+            AttrShape::Scalar,
+            BaseType::Str,
+            ValueFormat::Enum {
+                values: values.iter().map(|s| s.to_string()).collect(),
+                default: default.map(str::to_string),
+            },
+        )
+    }
+
+    /// Shorthand: a computed `id` output attribute.
+    pub fn id(self) -> Self {
+        self.attr(
+            "id",
+            AttrKind::Computed,
+            AttrShape::Scalar,
+            BaseType::Str,
+            ValueFormat::Plain,
+        )
+    }
+
+    /// Adds a Class-3 endpoint.
+    pub fn endpoint(
+        mut self,
+        in_endpoint: &str,
+        kind: AttrKind,
+        target_type: &str,
+        target_attr: &str,
+        many: bool,
+    ) -> Self {
+        let spec = EndpointSpec {
+            in_endpoint: in_endpoint.to_string(),
+            target_type: target_type.to_string(),
+            target_attr: target_attr.to_string(),
+            ordering: true,
+            many,
+        };
+        self.cur().endpoints.insert(in_endpoint.to_string(), spec);
+        // Endpoints are also attributes from the Class-1 perspective.
+        let shape = if many { AttrShape::List } else { AttrShape::Scalar };
+        let a = AttrSchema {
+            path: in_endpoint.to_string(),
+            kind,
+            shape,
+            base: BaseType::Ref,
+            format: ValueFormat::Plain,
+        };
+        self.cur().attrs.insert(in_endpoint.to_string(), a);
+        self
+    }
+
+    fn flush(&mut self) {
+        if let Some(r) = self.current.take() {
+            self.kb.resources.insert(r.rtype.clone(), r);
+        }
+    }
+
+    /// Finalises the KB.
+    pub fn build(mut self) -> KnowledgeBase {
+        self.flush();
+        self.kb
+    }
+}
+
+impl Default for SchemaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_schema() {
+        let kb = SchemaBuilder::new()
+            .locations(&["eastus", "westus"])
+            .resource("azurerm_subnet")
+            .req_str("name")
+            .attr(
+                "address_prefixes",
+                AttrKind::Required,
+                AttrShape::List,
+                BaseType::Str,
+                ValueFormat::Cidr,
+            )
+            .endpoint(
+                "virtual_network_name",
+                AttrKind::Required,
+                "azurerm_virtual_network",
+                "name",
+                false,
+            )
+            .build();
+        let s = kb.resource("azurerm_subnet").unwrap();
+        assert_eq!(s.attrs.len(), 3);
+        assert!(s.endpoint("virtual_network_name").is_some());
+        assert_eq!(
+            s.endpoint("virtual_network_name").unwrap().target_type,
+            "azurerm_virtual_network"
+        );
+        assert!(kb.is_attended("azurerm_subnet"));
+        assert!(!kb.is_attended("azurerm_cosmosdb_account"));
+    }
+
+    #[test]
+    fn merge_prefers_existing() {
+        let mut a = SchemaBuilder::new()
+            .resource("t")
+            .enum_attr("sku", AttrKind::Optional, &["Basic"], Some("Basic"))
+            .build();
+        let b = SchemaBuilder::new()
+            .resource("t")
+            .enum_attr("sku", AttrKind::Optional, &["Other"], None)
+            .opt_str("extra")
+            .build();
+        a.merge_from(b);
+        let t = a.resource("t").unwrap();
+        assert_eq!(
+            t.attr("sku").unwrap().format.enum_values().unwrap(),
+            &["Basic".to_string()]
+        );
+        assert!(t.attr("extra").is_some());
+    }
+
+    #[test]
+    fn default_value_lookup() {
+        let kb = SchemaBuilder::new()
+            .resource("t")
+            .enum_attr("sku", AttrKind::Optional, &["Basic", "Standard"], Some("Basic"))
+            .attr(
+                "active_active",
+                AttrKind::Optional,
+                AttrShape::Scalar,
+                BaseType::Bool,
+                ValueFormat::BoolDefault { default: false },
+            )
+            .build();
+        assert_eq!(kb.default_of("t", "sku"), Some(Value::s("Basic")));
+        assert_eq!(kb.default_of("t", "active_active"), Some(Value::Bool(false)));
+        assert_eq!(kb.default_of("t", "missing"), None);
+    }
+}

@@ -1,0 +1,238 @@
+//! The Zodiac mining engine (§3.3).
+//!
+//! Mining turns a corpus of compiled IaC programs into *hypothesized
+//! semantic checks*:
+//!
+//! 1. an observation pass ([`stats`]) aggregates attribute values, edge
+//!    patterns, sibling/hub/copath co-occurrences, degrees and block
+//!    lengths across the corpus;
+//! 2. the template library ([`templates`]) instantiates candidate checks
+//!    from those observations, constrained by the semantic knowledge base
+//!    (conditions must test Enum-typed attributes, overlap applies to CIDR
+//!    attributes, and so on — the constraints that keep the search space
+//!    tractable, Figure 7a);
+//! 3. **statistical filtering** removes candidates with low *confidence*
+//!    (`P(stmt | cond)`) or low *lift* (`P(stmt|cond) / P(stmt)`);
+//! 4. the **interpolation oracle** ([`oracle`]) answers documentation
+//!    queries ("how many NICs can a `Standard_F2s_v2` VM attach?") to
+//!    generalise quantitative candidates beyond what the corpus witnessed —
+//!    the paper's GPT-4 step, backed here by encoded doc tables with
+//!    optional answer noise.
+
+pub mod oracle;
+pub mod stats;
+pub mod templates;
+
+pub use oracle::{DocOracle, InterpQuery};
+pub use stats::CorpusStats;
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::Program;
+use zodiac_spec::Check;
+
+/// Mining configuration.
+#[derive(Debug, Clone)]
+pub struct MiningConfig {
+    /// Use the semantic KB to constrain template instantiation. Disabling
+    /// this reproduces the "w/o KB" ablation of Figure 7a.
+    pub use_kb: bool,
+    /// Minimum number of condition occurrences for a candidate.
+    pub min_support: usize,
+    /// Minimum confidence `P(stmt|cond)`.
+    pub min_confidence: f64,
+    /// Minimum lift `P(stmt|cond)/P(stmt)`.
+    pub min_lift: f64,
+    /// Probability that the oracle mis-answers a query (hallucination).
+    pub oracle_noise: f64,
+    /// Oracle RNG seed.
+    pub oracle_seed: u64,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            use_kb: true,
+            min_support: 4,
+            min_confidence: 0.92,
+            min_lift: 1.01,
+            oracle_noise: 0.0,
+            oracle_seed: 7,
+        }
+    }
+}
+
+/// A mined check with its mining statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct MinedCheck {
+    /// The check.
+    pub check: Check,
+    /// Template family id (e.g. `intra/eq-eq`, `conn/attr-eq`).
+    pub family: &'static str,
+    /// Number of condition occurrences in the corpus.
+    pub support: usize,
+    /// `P(stmt | cond)` over corpus occurrences.
+    pub confidence: f64,
+    /// `confidence / P(stmt)`, when a marginal is defined for the family.
+    pub lift: Option<f64>,
+    /// Interpolation query this candidate maps to, if quantitative.
+    pub interp: Option<InterpQuery>,
+}
+
+/// Outcome of the mining phase, including the funnel counters used by
+/// Figure 7.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MiningReport {
+    /// All candidates instantiated from templates.
+    pub hypothesized: usize,
+    /// Candidates removed by the confidence filter.
+    pub removed_by_confidence: usize,
+    /// Candidates removed by the lift filter (after confidence).
+    pub removed_by_lift: usize,
+    /// Checks added by oracle interpolation.
+    pub llm_found: usize,
+    /// Interpolation queries the oracle rejected.
+    pub llm_removed: usize,
+    /// Surviving checks (statistically filtered + interpolated).
+    pub checks: Vec<MinedCheck>,
+    /// Intra-resource candidate counts per resource type (Figure 7a).
+    pub intra_candidates_per_type: BTreeMap<String, usize>,
+}
+
+/// Runs the full mining phase over a corpus.
+pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> MiningReport {
+    let stats = CorpusStats::build(programs, kb, cfg.use_kb);
+    let candidates = templates::instantiate(&stats, kb, cfg);
+
+    let mut report = MiningReport {
+        hypothesized: candidates.len(),
+        ..Default::default()
+    };
+    for c in &candidates {
+        let t = c.check.bindings[0].rtype.clone();
+        if c.check.shape_category() == zodiac_spec::ShapeCategory::Intra {
+            *report.intra_candidates_per_type.entry(t).or_default() += 1;
+        }
+    }
+
+    // Statistical filtering: confidence first, then lift.
+    let mut survivors = Vec::new();
+    for c in candidates {
+        if c.support < cfg.min_support || c.confidence < cfg.min_confidence {
+            report.removed_by_confidence += 1;
+            continue;
+        }
+        if let Some(lift) = c.lift {
+            if lift < cfg.min_lift {
+                report.removed_by_lift += 1;
+                continue;
+            }
+        }
+        survivors.push(c);
+    }
+
+    // Interpolation: quantitative candidates are generalised through the
+    // documentation oracle; the oracle also proposes checks for enum values
+    // the corpus never witnessed (mitigating data scarcity).
+    let mut oracle = DocOracle::new(cfg.oracle_noise, cfg.oracle_seed);
+    let (interpolated, removed) = oracle::interpolate(&survivors, kb, &mut oracle);
+    report.llm_found = interpolated.len();
+    report.llm_removed = removed;
+
+    // Merge: non-quantitative survivors + oracle-backed quantitative checks.
+    let mut checks: Vec<MinedCheck> = survivors
+        .into_iter()
+        .filter(|c| c.interp.is_none())
+        .collect();
+    checks.extend(interpolated);
+    dedup(&mut checks);
+    report.checks = checks;
+    report
+}
+
+/// Deduplicates by canonical form, keeping the first occurrence.
+fn dedup(checks: &mut Vec<MinedCheck>) {
+    let mut seen = std::collections::HashSet::new();
+    checks.retain(|c| seen.insert(c.check.canonical()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Resource;
+
+    fn spot_corpus() -> Vec<Program> {
+        (0..30)
+            .map(|i| {
+                let mut vm = Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("name", format!("vm-{i}"))
+                    .with("size", "Standard_B1s")
+                    .with("priority", if i % 3 == 0 { "Spot" } else { "Regular" });
+                if i % 3 == 0 {
+                    vm = vm.with("eviction_policy", "Deallocate");
+                }
+                Program::new().with(vm)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mines_spot_eviction_check() {
+        let kb = zodiac_kb::azure_kb();
+        let report = mine(&spot_corpus(), &kb, &MiningConfig::default());
+        let target = "let r:VM in r.priority == 'Spot' => r.eviction_policy != null";
+        let parsed = zodiac_spec::parse_check(target).unwrap();
+        assert!(
+            report
+                .checks
+                .iter()
+                .any(|c| c.check.canonical() == parsed.canonical()),
+            "missing spot/eviction check; got {} checks",
+            report.checks.len()
+        );
+    }
+
+    #[test]
+    fn funnel_counters_are_consistent() {
+        let kb = zodiac_kb::azure_kb();
+        let report = mine(&spot_corpus(), &kb, &MiningConfig::default());
+        assert!(report.hypothesized > 0);
+        assert!(report.removed_by_confidence < report.hypothesized);
+    }
+
+    #[test]
+    fn no_duplicate_checks() {
+        let kb = zodiac_kb::azure_kb();
+        let report = mine(&spot_corpus(), &kb, &MiningConfig::default());
+        let mut canon: Vec<String> = report.checks.iter().map(|c| c.check.canonical()).collect();
+        let before = canon.len();
+        canon.sort();
+        canon.dedup();
+        assert_eq!(before, canon.len());
+    }
+
+    #[test]
+    fn without_kb_generates_more_intra_candidates() {
+        let kb = zodiac_kb::azure_kb();
+        let with = mine(
+            &spot_corpus(),
+            &kb,
+            &MiningConfig {
+                use_kb: true,
+                ..Default::default()
+            },
+        );
+        let without = mine(
+            &spot_corpus(),
+            &kb,
+            &MiningConfig {
+                use_kb: false,
+                ..Default::default()
+            },
+        );
+        let w: usize = with.intra_candidates_per_type.values().sum();
+        let wo: usize = without.intra_candidates_per_type.values().sum();
+        assert!(wo > w, "w/o KB {wo} should exceed w/ KB {w}");
+    }
+}

@@ -1,0 +1,409 @@
+//! The documentation-oracle interpolation step.
+//!
+//! The paper queries GPT-4 with few-shot prompts like *"for a sf2 sku VM,
+//! what is the maximum number of NICs allowed?"*, requiring answers grounded
+//! in provider documentation. Offline, the oracle answers from the encoded
+//! Azure doc tables ([`zodiac_kb::docs`]); an optional noise rate perturbs
+//! answers to model hallucination (perturbed checks are later falsified by
+//! deployment-based validation, exercising the same safety net the paper
+//! relies on).
+
+use crate::{MinedCheck, MiningConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use zodiac_kb::{docs, KnowledgeBase};
+use zodiac_model::Value;
+use zodiac_spec::parse_check;
+
+/// An interpolation query, the offline analogue of an LLM prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum InterpQuery {
+    /// Maximum NICs for a VM sku.
+    VmMaxNics {
+        /// The sku.
+        sku: String,
+    },
+    /// Maximum data disks for a VM sku.
+    VmMaxDataDisks {
+        /// The sku.
+        sku: String,
+    },
+    /// Maximum tunnels for a gateway sku.
+    GwMaxTunnels {
+        /// The sku.
+        sku: String,
+    },
+    /// Whether a gateway sku supports active-active.
+    GwActiveActive {
+        /// The sku.
+        sku: String,
+    },
+    /// Whether a storage tier permits a replication type.
+    SaReplicationAllowed {
+        /// Account tier.
+        tier: String,
+        /// Replication type.
+        replication: String,
+    },
+    /// A quantitative pattern no documentation table covers; the oracle
+    /// declines to answer these.
+    Unsupported {
+        /// Description of the unmapped pattern.
+        description: String,
+    },
+}
+
+impl InterpQuery {
+    /// Builds a query from a degree-template key, falling back to
+    /// [`InterpQuery::Unsupported`] for patterns outside the doc tables.
+    pub fn from_degree(
+        rtype: &str,
+        attr: &str,
+        value: &Value,
+        dir: crate::stats::Direction,
+        tau: &str,
+    ) -> InterpQuery {
+        use crate::stats::Direction::{In, Out};
+        let sku = value.as_str().unwrap_or_default().to_string();
+        match (rtype, attr, dir, tau) {
+            ("azurerm_linux_virtual_machine", "size", Out, "azurerm_network_interface") => {
+                InterpQuery::VmMaxNics { sku }
+            }
+            (
+                "azurerm_linux_virtual_machine",
+                "size",
+                In,
+                "azurerm_virtual_machine_data_disk_attachment",
+            ) => InterpQuery::VmMaxDataDisks { sku },
+            (
+                "azurerm_virtual_network_gateway",
+                "sku",
+                In,
+                "azurerm_virtual_network_gateway_connection",
+            ) => InterpQuery::GwMaxTunnels { sku },
+            _ => InterpQuery::Unsupported {
+                description: format!("{rtype}.{attr}={} {dir:?} {tau}", value.render()),
+            },
+        }
+    }
+
+    /// The natural-language prompt this query corresponds to (what would be
+    /// sent to the LLM).
+    pub fn to_prompt(&self) -> String {
+        match self {
+            InterpQuery::VmMaxNics { sku } => {
+                format!("For a {sku} sku VM, what is the maximum number of NICs allowed?")
+            }
+            InterpQuery::VmMaxDataDisks { sku } => {
+                format!("For a {sku} sku VM, what is the maximum number of data disks allowed?")
+            }
+            InterpQuery::GwMaxTunnels { sku } => format!(
+                "For a {sku} sku virtual network gateway, how many IPsec tunnels are supported?"
+            ),
+            InterpQuery::GwActiveActive { sku } => {
+                format!("Does a {sku} sku virtual network gateway support active-active mode?")
+            }
+            InterpQuery::SaReplicationAllowed { tier, replication } => format!(
+                "Can a {tier} tier storage account use {replication} replication?"
+            ),
+            InterpQuery::Unsupported { description } => {
+                format!("(unmapped quantitative pattern: {description})")
+            }
+        }
+    }
+}
+
+/// Oracle answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// A numeric limit.
+    Limit(i64),
+    /// A boolean capability.
+    Supported(bool),
+}
+
+/// The offline documentation oracle.
+pub struct DocOracle {
+    noise: f64,
+    rng: StdRng,
+    queries_asked: usize,
+}
+
+impl DocOracle {
+    /// Creates an oracle with an answer-noise probability.
+    pub fn new(noise: f64, seed: u64) -> Self {
+        DocOracle {
+            noise: noise.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            queries_asked: 0,
+        }
+    }
+
+    /// Number of queries answered or declined so far.
+    pub fn queries_asked(&self) -> usize {
+        self.queries_asked
+    }
+
+    /// Answers a query from the documentation tables; `None` means the
+    /// oracle cannot ground an answer (the check is discarded, the paper's
+    /// `llm-remove` bucket).
+    pub fn answer(&mut self, query: &InterpQuery) -> Option<Answer> {
+        self.queries_asked += 1;
+        let truthful = match query {
+            InterpQuery::VmMaxNics { sku } => {
+                Answer::Limit(docs::vm_sku(sku)?.max_nics as i64)
+            }
+            InterpQuery::VmMaxDataDisks { sku } => {
+                Answer::Limit(docs::vm_sku(sku)?.max_data_disks as i64)
+            }
+            InterpQuery::GwMaxTunnels { sku } => {
+                Answer::Limit(docs::gw_sku(sku)?.max_tunnels as i64)
+            }
+            InterpQuery::GwActiveActive { sku } => {
+                Answer::Supported(docs::gw_sku(sku)?.active_active)
+            }
+            InterpQuery::SaReplicationAllowed { tier, replication } => Answer::Supported(
+                docs::sa_replication_for_tier(tier).contains(&replication.as_str()),
+            ),
+            InterpQuery::Unsupported { .. } => return None,
+        };
+        if self.noise > 0.0 && self.rng.gen_bool(self.noise) {
+            // Hallucination: perturb the answer.
+            return Some(match truthful {
+                Answer::Limit(n) => {
+                    let delta = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                    Answer::Limit((n + delta).max(1))
+                }
+                Answer::Supported(b) => Answer::Supported(!b),
+            });
+        }
+        Some(truthful)
+    }
+}
+
+/// Runs the interpolation pass: quantitative survivors are re-grounded
+/// through the oracle, and the oracle additionally proposes checks for enum
+/// values the corpus never witnessed. Returns `(interpolated checks,
+/// rejected query count)`.
+pub fn interpolate(
+    survivors: &[MinedCheck],
+    kb: &KnowledgeBase,
+    oracle: &mut DocOracle,
+) -> (Vec<MinedCheck>, usize) {
+    let mut out: Vec<MinedCheck> = Vec::new();
+    let mut removed = 0usize;
+
+    // 1. Witnessed quantitative candidates → re-grounded bounds.
+    for c in survivors.iter().filter(|c| c.interp.is_some()) {
+        let query = c.interp.clone().expect("filtered to quantitative");
+        match oracle.answer(&query) {
+            Some(Answer::Limit(limit)) => {
+                if let Some(check) = rebound(c, limit) {
+                    out.push(MinedCheck {
+                        check,
+                        family: "interp/degree-limit",
+                        support: c.support,
+                        confidence: 1.0,
+                        lift: None,
+                        interp: Some(query),
+                    });
+                }
+            }
+            Some(Answer::Supported(_)) | None => removed += 1,
+        }
+    }
+
+    // 2. Doc-driven generalisation over the full enum domains (the corpus
+    //    may witness only a handful of skus; the oracle covers the rest).
+    let vm_sizes = enum_domain(kb, "azurerm_linux_virtual_machine", "size");
+    for sku in &vm_sizes {
+        for (query, fun, tau) in [
+            (
+                InterpQuery::VmMaxNics { sku: sku.clone() },
+                "outdegree",
+                "NIC",
+            ),
+            (
+                InterpQuery::VmMaxDataDisks { sku: sku.clone() },
+                "indegree",
+                "ATTACH",
+            ),
+        ] {
+            match oracle.answer(&query) {
+                Some(Answer::Limit(limit)) => {
+                    let src = format!(
+                        "let r:VM in r.size == '{sku}' => {fun}(r, {tau}) <= {limit}"
+                    );
+                    if let Ok(check) = parse_check(&src) {
+                        out.push(MinedCheck {
+                            check,
+                            family: "interp/degree-limit",
+                            support: 0,
+                            confidence: 1.0,
+                            lift: None,
+                            interp: Some(query),
+                        });
+                    }
+                }
+                _ => removed += 1,
+            }
+        }
+    }
+    let gw_skus = enum_domain(kb, "azurerm_virtual_network_gateway", "sku");
+    for sku in &gw_skus {
+        match oracle.answer(&InterpQuery::GwMaxTunnels { sku: sku.clone() }) {
+            Some(Answer::Limit(limit)) => {
+                let src =
+                    format!("let r:GW in r.sku == '{sku}' => indegree(r, TUNNEL) <= {limit}");
+                if let Ok(check) = parse_check(&src) {
+                    out.push(MinedCheck {
+                        check,
+                        family: "interp/degree-limit",
+                        support: 0,
+                        confidence: 1.0,
+                        lift: None,
+                        interp: Some(InterpQuery::GwMaxTunnels { sku: sku.clone() }),
+                    });
+                }
+            }
+            _ => removed += 1,
+        }
+        match oracle.answer(&InterpQuery::GwActiveActive { sku: sku.clone() }) {
+            Some(Answer::Supported(false)) => {
+                let src = format!("let r:GW in r.sku == '{sku}' => r.active_active == false");
+                if let Ok(check) = parse_check(&src) {
+                    out.push(MinedCheck {
+                        check,
+                        family: "interp/capability",
+                        support: 0,
+                        confidence: 1.0,
+                        lift: None,
+                        interp: Some(InterpQuery::GwActiveActive { sku: sku.clone() }),
+                    });
+                }
+            }
+            Some(_) => {}
+            None => removed += 1,
+        }
+    }
+    // Storage replication capabilities per tier.
+    let tiers = enum_domain(kb, "azurerm_storage_account", "account_tier");
+    let replications = enum_domain(kb, "azurerm_storage_account", "account_replication_type");
+    for tier in &tiers {
+        for replication in &replications {
+            let query = InterpQuery::SaReplicationAllowed {
+                tier: tier.clone(),
+                replication: replication.clone(),
+            };
+            match oracle.answer(&query) {
+                Some(Answer::Supported(false)) => {
+                    let src = format!(
+                        "let r:SA in r.account_tier == '{tier}' => r.account_replication_type != '{replication}'"
+                    );
+                    if let Ok(check) = parse_check(&src) {
+                        out.push(MinedCheck {
+                            check,
+                            family: "interp/capability",
+                            support: 0,
+                            confidence: 1.0,
+                            lift: None,
+                            interp: Some(query),
+                        });
+                    }
+                }
+                Some(_) => {}
+                None => removed += 1,
+            }
+        }
+    }
+
+    (out, removed)
+}
+
+/// Rewrites the numeric bound of a mined degree check.
+fn rebound(c: &MinedCheck, limit: i64) -> Option<zodiac_spec::Check> {
+    let mut check = c.check.clone();
+    if let zodiac_spec::Expr::Cmp { rhs, .. } = &mut check.stmt {
+        *rhs = zodiac_spec::Val::Lit(Value::Int(limit));
+        return Some(check);
+    }
+    None
+}
+
+fn enum_domain(kb: &KnowledgeBase, rtype: &str, attr: &str) -> Vec<String> {
+    kb.format(rtype, attr)
+        .and_then(|f| f.enum_values().map(|v| v.to_vec()))
+        .unwrap_or_default()
+}
+
+/// Convenience used by tests: default oracle from a config.
+pub fn oracle_from(cfg: &MiningConfig) -> DocOracle {
+    DocOracle::new(cfg.oracle_noise, cfg.oracle_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_from_doc_tables() {
+        let mut o = DocOracle::new(0.0, 1);
+        assert_eq!(
+            o.answer(&InterpQuery::VmMaxNics {
+                sku: "Standard_F4s_v2".into()
+            }),
+            Some(Answer::Limit(4))
+        );
+        assert_eq!(
+            o.answer(&InterpQuery::GwActiveActive { sku: "Basic".into() }),
+            Some(Answer::Supported(false))
+        );
+        assert_eq!(
+            o.answer(&InterpQuery::SaReplicationAllowed {
+                tier: "Premium".into(),
+                replication: "GZRS".into()
+            }),
+            Some(Answer::Supported(false))
+        );
+        assert_eq!(
+            o.answer(&InterpQuery::VmMaxNics { sku: "nope".into() }),
+            None
+        );
+        assert_eq!(o.queries_asked(), 4);
+    }
+
+    #[test]
+    fn noise_perturbs_answers() {
+        let mut noisy = DocOracle::new(1.0, 2);
+        let a = noisy.answer(&InterpQuery::VmMaxNics {
+            sku: "Standard_F4s_v2".into(),
+        });
+        assert!(matches!(a, Some(Answer::Limit(n)) if n != 4));
+    }
+
+    #[test]
+    fn prompts_are_natural_language() {
+        let q = InterpQuery::VmMaxNics {
+            sku: "Standard_F2s_v2".into(),
+        };
+        assert!(q.to_prompt().contains("maximum number of NICs"));
+    }
+
+    #[test]
+    fn interpolation_generates_beyond_corpus() {
+        let kb = zodiac_kb::azure_kb();
+        let mut oracle = DocOracle::new(0.0, 3);
+        let (found, removed) = interpolate(&[], &kb, &mut oracle);
+        // All VM skus × 2 + gateway limits + storage capabilities, with no
+        // witnessed candidates at all.
+        assert!(found.len() > 30, "only {} interpolated", found.len());
+        assert_eq!(removed, 0);
+        // The GZRS prohibition appears.
+        let gzrs = zodiac_spec::parse_check(
+            "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+        )
+        .unwrap();
+        assert!(found.iter().any(|c| c.check.canonical() == gzrs.canonical()));
+    }
+}

@@ -1,0 +1,901 @@
+//! Corpus observation database.
+//!
+//! One pass over the corpus aggregates every statistic the template library
+//! needs: attribute value distributions, intra-resource joint counts, typed
+//! edge-pattern statistics, sibling/hub/copath co-occurrences, degree
+//! histograms, and nested-block lengths. Template instantiation then never
+//! has to touch the corpus again — candidate confidence comes straight from
+//! these counters (the association-rule formulation of §3.3).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use zodiac_graph::ResourceGraph;
+use zodiac_kb::{KnowledgeBase, ValueFormat};
+use zodiac_model::{Cidr, Program, Resource, Value};
+
+/// `(rtype, attr)` pair.
+pub type TypeAttr = (String, String);
+
+/// Key for intra-resource joint counts: `(rtype, cond_attr, cond_value)`.
+pub type CondKey = (String, String, Value);
+
+/// Key for a typed edge pattern:
+/// `(src_type, in_endpoint, dst_type, out_attr)`.
+pub type EdgeKey = (String, String, String, String);
+
+/// Statistics per typed edge pattern.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeStats {
+    /// Number of edge occurrences.
+    pub occurrences: usize,
+    /// Same-path attribute equality: attr → (equal, both-present).
+    pub attr_eq: BTreeMap<String, (usize, usize)>,
+    /// Destination attribute value counts (enum-ish attrs only).
+    pub dst_vals: BTreeMap<(String, Value), usize>,
+    /// Source attribute value counts (enum-ish attrs only).
+    pub src_vals: BTreeMap<(String, Value), usize>,
+    /// `contain(dst.a, src.b)` counts: (a, b) → (holds, both-present).
+    pub contain: BTreeMap<(String, String), (usize, usize)>,
+    /// Edges whose destination has exactly one incoming edge from the
+    /// source type.
+    pub dst_indeg_one: usize,
+    /// Edges whose destination has zero incoming edges from other types.
+    pub dst_excl: usize,
+}
+
+/// Pairwise statistics (siblings / copath): attr → (non-overlapping, total).
+#[derive(Debug, Clone, Default)]
+pub struct PairStats {
+    /// Per-attribute overlap counts.
+    pub overlap: BTreeMap<String, (usize, usize)>,
+    /// Number of pairs observed.
+    pub pairs: usize,
+}
+
+/// Hub statistics: one source referencing two destinations.
+#[derive(Debug, Clone, Default)]
+pub struct HubStats {
+    /// Occurrences of the hub pattern.
+    pub occurrences: usize,
+    /// Name-attribute inequality: (a1, a2) → (different, both-present).
+    pub name_ne: BTreeMap<(String, String), (usize, usize)>,
+    /// CIDR non-overlap: (a1, a2) → (non-overlapping, both-present).
+    pub no_overlap: BTreeMap<(String, String), (usize, usize)>,
+}
+
+/// Degree statistics under a condition:
+/// `(rtype, cond_attr, cond_value, direction, τ)` → stats.
+pub type DegreeKey = (String, String, Value, Direction, String);
+
+/// Edge direction for degree aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Incoming edges.
+    In,
+    /// Outgoing edges.
+    Out,
+}
+
+/// Observed degree aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeStats {
+    /// Maximum observed degree.
+    pub max: i64,
+    /// Resources observed with non-zero degree.
+    pub count: usize,
+}
+
+/// Length statistics: `(rtype, cond_attr, cond_value, list_attr)` →
+/// (min length, count).
+pub type LengthKey = (String, String, Value, String);
+
+/// The full observation database.
+#[derive(Debug, Default)]
+pub struct CorpusStats {
+    /// Number of programs observed.
+    pub total_programs: usize,
+    /// Instances per resource type.
+    pub resource_count: HashMap<String, usize>,
+    /// Presence count per `(rtype, attr)`.
+    pub attr_present: HashMap<TypeAttr, usize>,
+    /// Value count per `(rtype, attr, value)`.
+    pub attr_value: HashMap<(String, String, Value), usize>,
+    /// All attrs seen per rtype.
+    pub attrs_of: HashMap<String, HashSet<String>>,
+    /// Condition support: identical to `attr_value` restricted to enum-ish
+    /// condition attributes.
+    pub cond_support: HashMap<CondKey, usize>,
+    /// Joint value counts: cond → (attr2, v2) → count.
+    pub joint_value: HashMap<CondKey, BTreeMap<(String, Value), usize>>,
+    /// Joint presence: cond → attr2 → count.
+    pub joint_present: HashMap<CondKey, BTreeMap<String, usize>>,
+    /// Typed edge patterns.
+    pub edges: HashMap<EdgeKey, EdgeStats>,
+    /// Sibling patterns: `(src_type, in_endpoint, dst_type, out_attr)`.
+    pub siblings: HashMap<(String, String, String, String), PairStats>,
+    /// Hub patterns: `(src_type, ep1, dst1, out1, ep2, dst2, out2)` with
+    /// `ep1 < ep2`.
+    pub hubs: HashMap<(String, String, String, String, String, String, String), HubStats>,
+    /// Copath pairs: `(a_type, c_type)`.
+    pub copaths: HashMap<(String, String), PairStats>,
+    /// Path-connected location equality: `(a_type, b_type)` → (eq, both).
+    pub path_loc_eq: HashMap<(String, String), (usize, usize)>,
+    /// Conditioned degrees.
+    pub degrees: HashMap<DegreeKey, DegreeStats>,
+    /// Conditioned block lengths.
+    pub lengths: HashMap<LengthKey, (i64, usize)>,
+}
+
+impl CorpusStats {
+    /// Builds the database in one pass over the corpus.
+    ///
+    /// `use_kb` controls which attributes count as enum-ish conditions: with
+    /// the KB, only declared `Enum`/`Bool` attributes qualify (plus reserved
+    /// names for statement values); without it, *every* observed string or
+    /// boolean value does — the unconstrained search space of Figure 7a.
+    pub fn build(programs: &[Program], kb: &KnowledgeBase, use_kb: bool) -> Self {
+        let mut s = CorpusStats {
+            total_programs: programs.len(),
+            ..Default::default()
+        };
+        for program in programs {
+            let graph = ResourceGraph::build(program.clone());
+            s.observe_graph(&graph, kb, use_kb);
+        }
+        s
+    }
+
+    /// The marginal probability `P(rtype.attr == value)`.
+    pub fn p_value(&self, rtype: &str, attr: &str, value: &Value) -> f64 {
+        let total = self.resource_count.get(rtype).copied().unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self
+            .attr_value
+            .get(&(rtype.to_string(), attr.to_string(), value.clone()))
+            .copied()
+            .unwrap_or(0);
+        n as f64 / total as f64
+    }
+
+    /// The marginal probability `P(rtype.attr present)`.
+    pub fn p_present(&self, rtype: &str, attr: &str) -> f64 {
+        let total = self.resource_count.get(rtype).copied().unwrap_or(0);
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self
+            .attr_present
+            .get(&(rtype.to_string(), attr.to_string()))
+            .copied()
+            .unwrap_or(0);
+        n as f64 / total as f64
+    }
+
+    /// Probability that two independent draws of `(t1.a1, t2.a2)` are
+    /// equal, from the observed value distributions.
+    pub fn p_eq(&self, t1: &str, a1: &str, t2: &str, a2: &str) -> f64 {
+        let d1 = self.value_dist(t1, a1);
+        let d2 = self.value_dist(t2, a2);
+        let mut p = 0.0;
+        for (v, p1) in &d1 {
+            if let Some((_, p2)) = d2.iter().find(|(w, _)| w == v) {
+                p += p1 * p2;
+            }
+        }
+        p
+    }
+
+    /// Probability that two independent CIDR draws overlap.
+    pub fn p_overlap(&self, t1: &str, a1: &str, t2: &str, a2: &str) -> f64 {
+        let c1 = self.cidr_dist(t1, a1);
+        let c2 = self.cidr_dist(t2, a2);
+        let mut p = 0.0;
+        for (x, p1) in &c1 {
+            for (y, p2) in &c2 {
+                if x.overlaps(y) {
+                    p += p1 * p2;
+                }
+            }
+        }
+        p
+    }
+
+    /// Probability that `contain(t1.a1, t2.a2)` holds for independent draws.
+    pub fn p_contain(&self, t1: &str, a1: &str, t2: &str, a2: &str) -> f64 {
+        let c1 = self.cidr_dist(t1, a1);
+        let c2 = self.cidr_dist(t2, a2);
+        let mut p = 0.0;
+        for (x, p1) in &c1 {
+            for (y, p2) in &c2 {
+                if x.contains(y) {
+                    p += p1 * p2;
+                }
+            }
+        }
+        p
+    }
+
+    fn value_dist(&self, rtype: &str, attr: &str) -> Vec<(Value, f64)> {
+        let total = self.resource_count.get(rtype).copied().unwrap_or(0).max(1) as f64;
+        let mut out: Vec<(Value, f64)> = self
+            .attr_value
+            .iter()
+            .filter(|((t, a, _), _)| t == rtype && a == attr)
+            .map(|((_, _, v), n)| (v.clone(), *n as f64 / total))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out.truncate(64);
+        out
+    }
+
+    fn cidr_dist(&self, rtype: &str, attr: &str) -> Vec<(Cidr, f64)> {
+        self.value_dist(rtype, attr)
+            .into_iter()
+            .filter_map(|(v, p)| v.as_str().and_then(|s| s.parse().ok()).map(|c| (c, p)))
+            .collect()
+    }
+
+    fn observe_graph(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
+        // --- per-resource (intra) observations -------------------------
+        for idx in 0..graph.len() {
+            let r = graph.resource(idx);
+            *self.resource_count.entry(r.rtype.clone()).or_default() += 1;
+            let leaves = flatten(r, kb, use_kb);
+            for (attr, _) in &leaves {
+                self.attrs_of
+                    .entry(r.rtype.clone())
+                    .or_default()
+                    .insert(attr.clone());
+            }
+            for (attr, v) in &leaves {
+                *self
+                    .attr_present
+                    .entry((r.rtype.clone(), attr.clone()))
+                    .or_default() += 1;
+                if track_value(v) {
+                    *self
+                        .attr_value
+                        .entry((r.rtype.clone(), attr.clone(), v.clone()))
+                        .or_default() += 1;
+                }
+            }
+            // Joint counts under each enum-ish condition.
+            let conds: Vec<(String, Value)> = leaves
+                .iter()
+                .filter(|(a, v)| is_cond_attr(kb, use_kb, &r.rtype, a, v))
+                .map(|(a, v)| (a.clone(), v.clone()))
+                .collect();
+            for (ca, cv) in &conds {
+                let key = (r.rtype.clone(), ca.clone(), cv.clone());
+                *self.cond_support.entry(key.clone()).or_default() += 1;
+                let jv = self.joint_value.entry(key.clone()).or_default();
+                let jp = self.joint_present.entry(key).or_default();
+                for (attr, v) in &leaves {
+                    if attr == ca {
+                        continue;
+                    }
+                    *jp.entry(attr.clone()).or_default() += 1;
+                    if track_value(v) {
+                        *jv.entry((attr.clone(), v.clone())).or_default() += 1;
+                    }
+                }
+            }
+            // Conditioned degrees and lengths.
+            let mut touched: HashSet<(Direction, String)> = HashSet::new();
+            for e in graph.out_edges(idx) {
+                touched.insert((Direction::Out, graph.resource(e.dst).rtype.clone()));
+            }
+            for e in graph.in_edges(idx) {
+                touched.insert((Direction::In, graph.resource(e.src).rtype.clone()));
+            }
+            for (ca, cv) in &conds {
+                for (dir, tau) in &touched {
+                    let deg = match dir {
+                        Direction::In => graph.distinct_in_neighbors(idx, tau, false),
+                        Direction::Out => graph.distinct_out_neighbors(idx, tau, false),
+                    } as i64;
+                    let entry = self
+                        .degrees
+                        .entry((
+                            r.rtype.clone(),
+                            ca.clone(),
+                            cv.clone(),
+                            *dir,
+                            tau.clone(),
+                        ))
+                        .or_default();
+                    entry.max = entry.max.max(deg);
+                    entry.count += 1;
+                }
+                for (attr, value) in &r.attrs {
+                    if let Value::List(l) = value {
+                        if l.iter().all(|x| matches!(x, Value::Map(_))) {
+                            let key = (
+                                r.rtype.clone(),
+                                ca.clone(),
+                                cv.clone(),
+                                attr.clone(),
+                            );
+                            let entry = self.lengths.entry(key).or_insert((i64::MAX, 0));
+                            entry.0 = entry.0.min(l.len() as i64);
+                            entry.1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- edge observations ------------------------------------------
+        for e in graph.edges() {
+            let src = graph.resource(e.src);
+            let dst = graph.resource(e.dst);
+            let key: EdgeKey = (
+                src.rtype.clone(),
+                e.in_endpoint.clone(),
+                dst.rtype.clone(),
+                e.out_attr.clone(),
+            );
+            let src_leaves = flatten(src, kb, use_kb);
+            let dst_leaves = flatten(dst, kb, use_kb);
+            let stats = self.edges.entry(key).or_default();
+            stats.occurrences += 1;
+            // Same-path equality.
+            for (a, v) in &src_leaves {
+                if let Some((_, w)) = dst_leaves.iter().find(|(b, _)| b == a) {
+                    let entry = stats.attr_eq.entry(a.clone()).or_default();
+                    entry.1 += 1;
+                    if v == w {
+                        entry.0 += 1;
+                    }
+                }
+            }
+            // Enum-ish statement values on both sides.
+            for (a, v) in dst_leaves.iter() {
+                if is_stmt_value(kb, use_kb, &dst.rtype, a, v) {
+                    *stats.dst_vals.entry((a.clone(), v.clone())).or_default() += 1;
+                }
+            }
+            for (a, v) in src_leaves.iter() {
+                if is_stmt_value(kb, use_kb, &src.rtype, a, v) {
+                    *stats.src_vals.entry((a.clone(), v.clone())).or_default() += 1;
+                }
+            }
+            // Containment between CIDR attributes.
+            for (da, dv) in dst_leaves
+                .iter()
+                .filter(|(a, _)| is_cidr_attr(kb, use_kb, &dst.rtype, a))
+            {
+                for (sa, sv) in src_leaves
+                    .iter()
+                    .filter(|(a, _)| is_cidr_attr(kb, use_kb, &src.rtype, a))
+                {
+                    let entry = stats
+                        .contain
+                        .entry((da.clone(), sa.clone()))
+                        .or_default();
+                    entry.1 += 1;
+                    if cidr_contains_any(dst, da, src, sa, dv, sv) {
+                        entry.0 += 1;
+                    }
+                }
+            }
+            // Degree facts about the destination.
+            let indeg_same = graph.distinct_in_neighbors(e.dst, &src.rtype, false);
+            let indeg_other = graph.distinct_in_neighbors(e.dst, &src.rtype, true);
+            if indeg_same == 1 {
+                stats.dst_indeg_one += 1;
+            }
+            if indeg_other == 0 {
+                stats.dst_excl += 1;
+            }
+        }
+
+        // --- sibling patterns --------------------------------------------
+        self.observe_siblings(graph, kb, use_kb);
+        // --- hub patterns -------------------------------------------------
+        self.observe_hubs(graph, kb, use_kb);
+        // --- copath + path patterns --------------------------------------
+        self.observe_paths(graph, kb, use_kb);
+    }
+
+    fn observe_siblings(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
+        for dst in 0..graph.len() {
+            // Group incoming edges by (src_type, endpoint).
+            let mut groups: BTreeMap<(String, String, String), Vec<usize>> = BTreeMap::new();
+            for e in graph.in_edges(dst) {
+                let src = graph.resource(e.src);
+                groups
+                    .entry((src.rtype.clone(), e.in_endpoint.clone(), e.out_attr.clone()))
+                    .or_default()
+                    .push(e.src);
+            }
+            for ((stype, ep, out_attr), mut members) in groups {
+                members.sort_unstable();
+                members.dedup();
+                if members.len() < 2 {
+                    continue;
+                }
+                let key = (
+                    stype.clone(),
+                    ep.clone(),
+                    graph.resource(dst).rtype.clone(),
+                    out_attr.clone(),
+                );
+                let cidr_attrs: Vec<String> = self
+                    .attrs_of
+                    .get(&stype)
+                    .map(|attrs| {
+                        attrs
+                            .iter()
+                            .filter(|a| is_cidr_attr(kb, use_kb, &stype, a))
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let stats = self.siblings.entry(key).or_default();
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        stats.pairs += 1;
+                        for attr in &cidr_attrs {
+                            let a = cidrs_of(graph.resource(members[i]), attr);
+                            let b = cidrs_of(graph.resource(members[j]), attr);
+                            if a.is_empty() || b.is_empty() {
+                                continue;
+                            }
+                            let entry = stats.overlap.entry(attr.clone()).or_default();
+                            entry.1 += 1;
+                            let overlaps =
+                                a.iter().any(|x| b.iter().any(|y| x.overlaps(y)));
+                            if !overlaps {
+                                entry.0 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn observe_hubs(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
+        for src in 0..graph.len() {
+            let edges: Vec<_> = graph.out_edges(src).collect();
+            for i in 0..edges.len() {
+                for j in 0..edges.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let (e1, e2) = (edges[i], edges[j]);
+                    if e1.in_endpoint >= e2.in_endpoint {
+                        continue; // canonical order, distinct endpoints
+                    }
+                    let d1 = graph.resource(e1.dst);
+                    let d2 = graph.resource(e2.dst);
+                    let key = (
+                        graph.resource(src).rtype.clone(),
+                        e1.in_endpoint.clone(),
+                        d1.rtype.clone(),
+                        e1.out_attr.clone(),
+                        e2.in_endpoint.clone(),
+                        d2.rtype.clone(),
+                        e2.out_attr.clone(),
+                    );
+                    // Collect attrs before borrowing the entry mutably.
+                    let name_attrs_1 = name_attrs(d1);
+                    let name_attrs_2 = name_attrs(d2);
+                    let cidr_1: Vec<String> = leaf_attrs(d1)
+                        .into_iter()
+                        .filter(|a| is_cidr_attr(kb, use_kb, &d1.rtype, a))
+                        .collect();
+                    let cidr_2: Vec<String> = leaf_attrs(d2)
+                        .into_iter()
+                        .filter(|a| is_cidr_attr(kb, use_kb, &d2.rtype, a))
+                        .collect();
+                    let stats = self.hubs.entry(key).or_default();
+                    stats.occurrences += 1;
+                    for a1 in &name_attrs_1 {
+                        for a2 in &name_attrs_2 {
+                            let v1 = leaf_value(d1, a1);
+                            let v2 = leaf_value(d2, a2);
+                            if let (Some(v1), Some(v2)) = (v1, v2) {
+                                let entry = stats
+                                    .name_ne
+                                    .entry((a1.clone(), a2.clone()))
+                                    .or_default();
+                                entry.1 += 1;
+                                if v1 != v2 {
+                                    entry.0 += 1;
+                                }
+                            }
+                        }
+                    }
+                    for a1 in &cidr_1 {
+                        for a2 in &cidr_2 {
+                            let c1 = cidrs_of(d1, a1);
+                            let c2 = cidrs_of(d2, a2);
+                            if c1.is_empty() || c2.is_empty() {
+                                continue;
+                            }
+                            let entry = stats
+                                .no_overlap
+                                .entry((a1.clone(), a2.clone()))
+                                .or_default();
+                            entry.1 += 1;
+                            if !c1.iter().any(|x| c2.iter().any(|y| x.overlaps(y))) {
+                                entry.0 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn observe_paths(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
+        let _ = (kb, use_kb);
+        // Reachability sets (graphs are small).
+        for a in 0..graph.len() {
+            let ra = graph.resource(a);
+            let mut reach: Vec<usize> = Vec::new();
+            for b in 0..graph.len() {
+                if a != b && graph.path(a, b) {
+                    reach.push(b);
+                }
+            }
+            // Path-based location equality.
+            for &b in &reach {
+                let rb = graph.resource(b);
+                let (Some(la), Some(lb)) = (
+                    ra.get_attr("location").and_then(Value::as_str),
+                    rb.get_attr("location").and_then(Value::as_str),
+                ) else {
+                    continue;
+                };
+                let entry = self
+                    .path_loc_eq
+                    .entry((ra.rtype.clone(), rb.rtype.clone()))
+                    .or_default();
+                entry.1 += 1;
+                if la == lb {
+                    entry.0 += 1;
+                }
+            }
+            // Copath: pairs of same-type reachable targets with CIDR attrs.
+            let mut by_type: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for &b in &reach {
+                by_type
+                    .entry(graph.resource(b).rtype.clone())
+                    .or_default()
+                    .push(b);
+            }
+            for (ctype, members) in by_type {
+                if members.len() < 2 {
+                    continue;
+                }
+                let cidr_attrs: Vec<String> = leaf_attrs(graph.resource(members[0]))
+                    .into_iter()
+                    .filter(|attr| is_cidr_attr(kb, use_kb, &ctype, attr))
+                    .collect();
+                if cidr_attrs.is_empty() {
+                    continue;
+                }
+                let stats = self
+                    .copaths
+                    .entry((ra.rtype.clone(), ctype.clone()))
+                    .or_default();
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        stats.pairs += 1;
+                        for attr in &cidr_attrs {
+                            let c1 = cidrs_of(graph.resource(members[i]), attr);
+                            let c2 = cidrs_of(graph.resource(members[j]), attr);
+                            if c1.is_empty() || c2.is_empty() {
+                                continue;
+                            }
+                            let entry = stats.overlap.entry(attr.clone()).or_default();
+                            entry.1 += 1;
+                            if !c1.iter().any(|x| c2.iter().any(|y| x.overlaps(y))) {
+                                entry.0 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Attribute helpers
+// --------------------------------------------------------------------------
+
+/// Flattens a resource into `(normalised path, leaf value)` pairs, applying
+/// KB defaults for omitted enum/bool attributes when `use_kb` is set.
+pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(String, Value)> {
+    let mut out = Vec::new();
+    for (k, v) in &r.attrs {
+        flatten_value(k, v, &mut out);
+    }
+    if use_kb {
+        if let Some(schema) = kb.resource(&r.rtype) {
+            for attr in schema.attrs.values() {
+                if out.iter().any(|(a, _)| a == &attr.path) {
+                    continue;
+                }
+                if let Some(default) = attr.format.default_value() {
+                    out.push((attr.path.clone(), default));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn flatten_value(path: &str, v: &Value, out: &mut Vec<(String, Value)>) {
+    match v {
+        Value::Map(m) => {
+            for (k, inner) in m {
+                flatten_value(&format!("{path}.{k}"), inner, out);
+            }
+        }
+        Value::List(l) => {
+            for inner in l {
+                match inner {
+                    Value::Map(_) | Value::List(_) => flatten_value(path, inner, out),
+                    other => out.push((path.to_string(), other.clone())),
+                }
+            }
+        }
+        Value::Ref(_) => {}
+        other => out.push((path.to_string(), other.clone())),
+    }
+}
+
+fn leaf_attrs(r: &Resource) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in &r.attrs {
+        collect_attr_names(k, v, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_attr_names(path: &str, v: &Value, out: &mut Vec<String>) {
+    match v {
+        Value::Map(m) => {
+            for (k, inner) in m {
+                collect_attr_names(&format!("{path}.{k}"), inner, out);
+            }
+        }
+        Value::List(l) => {
+            for inner in l {
+                match inner {
+                    Value::Map(_) | Value::List(_) => collect_attr_names(path, inner, out),
+                    _ => out.push(path.to_string()),
+                }
+            }
+        }
+        Value::Ref(_) => {}
+        _ => out.push(path.to_string()),
+    }
+}
+
+fn name_attrs(r: &Resource) -> Vec<String> {
+    leaf_attrs(r)
+        .into_iter()
+        .filter(|a| a == "name" || a.ends_with(".name"))
+        .collect()
+}
+
+fn leaf_value(r: &Resource, attr: &str) -> Option<Value> {
+    let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
+    zodiac_spec::eval::resolve_multi(r, &segs).into_iter().next()
+}
+
+fn cidrs_of(r: &Resource, attr: &str) -> Vec<Cidr> {
+    let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
+    zodiac_spec::eval::resolve_multi(r, &segs)
+        .iter()
+        .filter_map(|v| v.as_str())
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+fn cidr_contains_any(
+    _dst: &Resource,
+    _da: &str,
+    _src: &Resource,
+    _sa: &str,
+    dv: &Value,
+    sv: &Value,
+) -> bool {
+    let (Some(a), Some(b)) = (
+        dv.as_str().and_then(|s| s.parse::<Cidr>().ok()),
+        sv.as_str().and_then(|s| s.parse::<Cidr>().ok()),
+    ) else {
+        return false;
+    };
+    a.contains(&b)
+}
+
+/// Should this value be tracked in value-count tables?
+fn track_value(v: &Value) -> bool {
+    matches!(v, Value::Str(_) | Value::Bool(_) | Value::Int(_))
+}
+
+/// Is `(rtype, attr)` an enum-ish *condition* attribute?
+fn is_cond_attr(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str, v: &Value) -> bool {
+    if !use_kb {
+        return matches!(v, Value::Str(_) | Value::Bool(_));
+    }
+    match kb.format(rtype, attr) {
+        Some(ValueFormat::Enum { .. }) | Some(ValueFormat::BoolDefault { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Is `(rtype, attr = v)` an acceptable *statement* value (enum member or
+/// reserved name)?
+pub(crate) fn is_stmt_value(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str, v: &Value) -> bool {
+    if !use_kb {
+        return matches!(v, Value::Str(_) | Value::Bool(_));
+    }
+    match kb.format(rtype, attr) {
+        Some(ValueFormat::Enum { .. }) | Some(ValueFormat::BoolDefault { .. }) => true,
+        Some(ValueFormat::ReservedName { reserved }) => v
+            .as_str()
+            .map(|s| reserved.iter().any(|r| r == s))
+            .unwrap_or(false),
+        _ => false,
+    }
+}
+
+/// Is `(rtype, attr)` CIDR-formatted?
+pub(crate) fn is_cidr_attr(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str) -> bool {
+    if use_kb {
+        matches!(kb.format(rtype, attr), Some(ValueFormat::Cidr))
+    } else {
+        // Without the KB, fall back to the attribute name heuristic.
+        attr.contains("address") || attr.contains("prefix") || attr.contains("cidr")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        zodiac_kb::azure_kb()
+    }
+
+    #[test]
+    fn flatten_applies_kb_defaults() {
+        let r = Resource::new("azurerm_public_ip", "ip").with("allocation_method", "Dynamic");
+        let leaves = flatten(&r, &kb(), true);
+        assert!(leaves.contains(&("sku".to_string(), Value::s("Basic"))));
+        let without = flatten(&r, &kb(), false);
+        assert!(!without.iter().any(|(a, _)| a == "sku"));
+    }
+
+    #[test]
+    fn counts_attr_values() {
+        let programs: Vec<Program> = (0..5)
+            .map(|_| {
+                Program::new().with(
+                    Resource::new("azurerm_public_ip", "ip")
+                        .with("sku", "Standard")
+                        .with("allocation_method", "Static"),
+                )
+            })
+            .collect();
+        let s = CorpusStats::build(&programs, &kb(), true);
+        assert_eq!(s.p_value("azurerm_public_ip", "sku", &Value::s("Standard")), 1.0);
+        assert_eq!(
+            s.cond_support
+                .get(&(
+                    "azurerm_public_ip".to_string(),
+                    "sku".to_string(),
+                    Value::s("Standard")
+                ))
+                .copied(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn edge_stats_capture_equality() {
+        let programs: Vec<Program> = (0..4)
+            .map(|i| {
+                Program::new()
+                    .with(
+                        Resource::new("azurerm_network_interface", "nic")
+                            .with("location", "eastus")
+                            .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+                    )
+                    .with(Resource::new("azurerm_subnet", "s").with("name", format!("sn{i}")))
+                    .with(
+                        Resource::new("azurerm_linux_virtual_machine", "vm")
+                            .with("location", "eastus")
+                            .with(
+                                "network_interface_ids",
+                                Value::List(vec![Value::r(
+                                    "azurerm_network_interface",
+                                    "nic",
+                                    "id",
+                                )]),
+                            ),
+                    )
+            })
+            .collect();
+        let s = CorpusStats::build(&programs, &kb(), true);
+        let key: EdgeKey = (
+            "azurerm_linux_virtual_machine".into(),
+            "network_interface_ids".into(),
+            "azurerm_network_interface".into(),
+            "id".into(),
+        );
+        let e = s.edges.get(&key).expect("edge pattern observed");
+        assert_eq!(e.occurrences, 4);
+        assert_eq!(e.attr_eq.get("location"), Some(&(4, 4)));
+        assert_eq!(e.dst_indeg_one, 4);
+    }
+
+    #[test]
+    fn sibling_overlap_counts() {
+        let program = Program::new()
+            .with(Resource::new("azurerm_virtual_network", "v").with("name", "vn"))
+            .with(
+                Resource::new("azurerm_subnet", "a")
+                    .with("address_prefixes", Value::List(vec![Value::s("10.0.1.0/24")]))
+                    .with(
+                        "virtual_network_name",
+                        Value::r("azurerm_virtual_network", "v", "name"),
+                    ),
+            )
+            .with(
+                Resource::new("azurerm_subnet", "b")
+                    .with("address_prefixes", Value::List(vec![Value::s("10.0.2.0/24")]))
+                    .with(
+                        "virtual_network_name",
+                        Value::r("azurerm_virtual_network", "v", "name"),
+                    ),
+            );
+        let s = CorpusStats::build(&[program], &kb(), true);
+        let key = (
+            "azurerm_subnet".to_string(),
+            "virtual_network_name".to_string(),
+            "azurerm_virtual_network".to_string(),
+            "name".to_string(),
+        );
+        let stats = s.siblings.get(&key).expect("sibling pattern");
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(stats.overlap.get("address_prefixes"), Some(&(1, 1)));
+    }
+
+    #[test]
+    fn degree_stats_record_max() {
+        let mut p = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm")
+                .with("size", "Standard_F2s_v2")
+                .with(
+                    "network_interface_ids",
+                    Value::List(vec![
+                        Value::r("azurerm_network_interface", "a", "id"),
+                        Value::r("azurerm_network_interface", "b", "id"),
+                    ]),
+                ),
+        );
+        p.add(Resource::new("azurerm_network_interface", "a")).unwrap();
+        p.add(Resource::new("azurerm_network_interface", "b")).unwrap();
+        let s = CorpusStats::build(&[p], &kb(), true);
+        let key: DegreeKey = (
+            "azurerm_linux_virtual_machine".into(),
+            "size".into(),
+            Value::s("Standard_F2s_v2"),
+            Direction::Out,
+            "azurerm_network_interface".into(),
+        );
+        assert_eq!(s.degrees.get(&key).map(|d| d.max), Some(2));
+    }
+}

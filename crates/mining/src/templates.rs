@@ -1,0 +1,602 @@
+//! The template library: instantiating candidate checks from observations.
+//!
+//! The paper curates 84 templates over the check grammar; here each
+//! *template family* below is a parameterised generator that walks the
+//! observation database and emits concrete candidates with their
+//! association-rule statistics (support, confidence, and — where a marginal
+//! is well-defined — lift). The KB constrains instantiation exactly as §3.3
+//! describes: condition/statement values must be enum members (or reserved
+//! names), `overlap`/`contain` apply only to CIDR-typed attributes, and
+//! location-typed attributes participate only in equality templates.
+
+use crate::oracle::InterpQuery;
+use crate::stats::{CorpusStats, Direction};
+use crate::{MinedCheck, MiningConfig};
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::Value;
+use zodiac_spec::parse_check;
+
+/// Renders a value as check-language literal syntax.
+fn lit(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{s}'"),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Null => "null".to_string(),
+        other => format!("'{}'", other.render()),
+    }
+}
+
+fn emit(
+    out: &mut Vec<MinedCheck>,
+    family: &'static str,
+    src: String,
+    support: usize,
+    confidence: f64,
+    lift: Option<f64>,
+    interp: Option<InterpQuery>,
+) {
+    match parse_check(&src) {
+        Ok(check) => out.push(MinedCheck {
+            check,
+            family,
+            support,
+            confidence,
+            lift,
+            interp,
+        }),
+        Err(e) => {
+            // Observed values can contain characters the check grammar cannot
+            // express (quotes); such candidates are simply skipped.
+            let _ = e;
+        }
+    }
+}
+
+/// Instantiates every template family over the observation database.
+pub fn instantiate(
+    stats: &CorpusStats,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+) -> Vec<MinedCheck> {
+    let mut out = Vec::new();
+    intra(stats, kb, cfg, &mut out);
+    conn_templates(stats, cfg, &mut out);
+    sibling_templates(stats, &mut out);
+    hub_templates(stats, &mut out);
+    copath_templates(stats, &mut out);
+    path_templates(stats, &mut out);
+    degree_templates(stats, &mut out);
+    length_templates(stats, &mut out);
+    out
+}
+
+/// Intra-resource families: `A.a1 == v ⇒ A.a2 {==,!=} v2` and
+/// `A.a1 == v ⇒ A.a2 {!=,==} null`.
+fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut Vec<MinedCheck>) {
+    for ((rtype, a1, v1), &support) in &stats.cond_support {
+        let cond = format!("let r:{rtype} in r.{a1} == {}", lit(v1));
+        let jv = stats.joint_value.get(&(rtype.clone(), a1.clone(), v1.clone()));
+        let jp = stats
+            .joint_present
+            .get(&(rtype.clone(), a1.clone(), v1.clone()));
+
+        // == candidates from observed joints.
+        if let Some(jv) = jv {
+            for ((a2, v2), &n) in jv {
+                if a2 == a1 || !stmt_eligible(kb, cfg.use_kb, rtype, a2, v2) {
+                    continue;
+                }
+                let confidence = n as f64 / support as f64;
+                let p_y = stats.p_value(rtype, a2, v2);
+                let lift = if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                };
+                emit(
+                    out,
+                    "intra/eq-eq",
+                    format!("{cond} => r.{a2} == {}", lit(v2)),
+                    support,
+                    confidence,
+                    lift,
+                    None,
+                );
+            }
+        }
+
+        // != candidates over the statement domain.
+        for (a2, domain) in stmt_domains(stats, kb, cfg.use_kb, rtype) {
+            if a2 == *a1 {
+                continue;
+            }
+            for u in domain {
+                let p_u = stats.p_value(rtype, &a2, &u);
+                if p_u == 0.0 {
+                    continue; // Never observed globally: vacuous.
+                }
+                let joint_u = jv
+                    .and_then(|m| m.get(&(a2.clone(), u.clone())))
+                    .copied()
+                    .unwrap_or(0);
+                let confidence = 1.0 - joint_u as f64 / support as f64;
+                let p_y = 1.0 - p_u;
+                let lift = if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                };
+                emit(
+                    out,
+                    "intra/eq-ne",
+                    format!("{cond} => r.{a2} != {}", lit(&u)),
+                    support,
+                    confidence,
+                    lift,
+                    None,
+                );
+            }
+        }
+
+        // Presence/absence candidates.
+        let attrs = stats.attrs_of.get(rtype).cloned().unwrap_or_default();
+        for a2 in attrs {
+            if a2 == *a1 {
+                continue;
+            }
+            let present = jp.and_then(|m| m.get(&a2)).copied().unwrap_or(0);
+            let p_present = stats.p_present(rtype, &a2);
+            // a2 must not be trivially always-present or never-present.
+            if p_present > 0.0 && p_present < 1.0 {
+                let conf_nn = present as f64 / support as f64;
+                emit(
+                    out,
+                    "intra/eq-notnull",
+                    format!("{cond} => r.{a2} != null"),
+                    support,
+                    conf_nn,
+                    Some(if p_present > 0.0 { conf_nn / p_present } else { 1.0 }),
+                    None,
+                );
+                let conf_null = 1.0 - conf_nn;
+                let p_absent = 1.0 - p_present;
+                emit(
+                    out,
+                    "intra/eq-null",
+                    format!("{cond} => r.{a2} == null"),
+                    support,
+                    conf_null,
+                    Some(if p_absent > 0.0 { conf_null / p_absent } else { 1.0 }),
+                    None,
+                );
+            }
+        }
+    }
+}
+
+/// The statement-value domain for `(rtype, attr)`: KB enum members when the
+/// KB is in use, observed values otherwise.
+fn stmt_domains(
+    stats: &CorpusStats,
+    kb: &KnowledgeBase,
+    use_kb: bool,
+    rtype: &str,
+) -> Vec<(String, Vec<Value>)> {
+    let mut out = Vec::new();
+    if use_kb {
+        if let Some(schema) = kb.resource(rtype) {
+            for attr in schema.attrs.values() {
+                if let Some(values) = attr.format.enum_values() {
+                    out.push((
+                        attr.path.clone(),
+                        values.iter().map(|v| Value::s(v.clone())).collect(),
+                    ));
+                }
+            }
+        }
+    } else {
+        // Observed string values per attribute.
+        let attrs = stats.attrs_of.get(rtype).cloned().unwrap_or_default();
+        for attr in attrs {
+            let values: Vec<Value> = stats
+                .attr_value
+                .iter()
+                .filter(|((t, a, _), _)| t == rtype && *a == attr)
+                .map(|((_, _, v), _)| v.clone())
+                .collect();
+            if !values.is_empty() && values.len() <= 12 {
+                out.push((attr, values));
+            }
+        }
+    }
+    out
+}
+
+fn stmt_eligible(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str, v: &Value) -> bool {
+    crate::stats::is_stmt_value(kb, use_kb, rtype, attr, v)
+}
+
+/// Connection families: attribute equality across an edge, endpoint value
+/// requirements, containment, and single-attachment / exclusivity degrees.
+fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCheck>) {
+    let _ = cfg;
+    for ((s, ep, d, o), e) in &stats.edges {
+        let conn = format!("let r1:{s}, r2:{d} in conn(r1.{ep} -> r2.{o})");
+        for (attr, (eq, both)) in &e.attr_eq {
+            if *both == 0 {
+                continue;
+            }
+            let confidence = *eq as f64 / *both as f64;
+            let p_y = stats.p_eq(s, attr, d, attr);
+            emit(
+                out,
+                "conn/attr-eq",
+                format!("{conn} => r1.{attr} == r2.{attr}"),
+                *both,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+        for ((attr, v), n) in &e.dst_vals {
+            let confidence = *n as f64 / e.occurrences as f64;
+            let p_y = stats.p_value(d, attr, v);
+            emit(
+                out,
+                "conn/dst-val",
+                format!("{conn} => r2.{attr} == {}", lit(v)),
+                e.occurrences,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+        for ((attr, v), n) in &e.src_vals {
+            let confidence = *n as f64 / e.occurrences as f64;
+            let p_y = stats.p_value(s, attr, v);
+            emit(
+                out,
+                "conn/src-val",
+                format!("{conn} => r1.{attr} == {}", lit(v)),
+                e.occurrences,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+        for ((da, sa), (holds, both)) in &e.contain {
+            if *both == 0 {
+                continue;
+            }
+            let confidence = *holds as f64 / *both as f64;
+            let p_y = stats.p_contain(d, da, s, sa);
+            emit(
+                out,
+                "conn/contain",
+                format!("{conn} => contain(r2.{da}, r1.{sa})"),
+                *both,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+        // Degree families (no meaningful marginal: lift is skipped, as the
+        // paper does for aggregation checks).
+        let conf_one = e.dst_indeg_one as f64 / e.occurrences as f64;
+        emit(
+            out,
+            "conn/indeg-one",
+            format!("{conn} => indegree(r2, {s}) == 1"),
+            e.occurrences,
+            conf_one,
+            None,
+            None,
+        );
+        let conf_excl = e.dst_excl as f64 / e.occurrences as f64;
+        emit(
+            out,
+            "conn/exclusive",
+            format!("{conn} => indegree(r2, !{s}) == 0"),
+            e.occurrences,
+            conf_excl,
+            None,
+            None,
+        );
+    }
+}
+
+/// Sibling family: two same-type resources sharing a destination must have
+/// non-overlapping CIDR attributes.
+fn sibling_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
+    for ((s, ep, d, o), pair) in &stats.siblings {
+        for (attr, (no_overlap, total)) in &pair.overlap {
+            if *total == 0 {
+                continue;
+            }
+            let confidence = *no_overlap as f64 / *total as f64;
+            let p_y = 1.0 - stats.p_overlap(s, attr, s, attr);
+            emit(
+                out,
+                "coconn/sibling-no-overlap",
+                format!(
+                    "let r1:{s}, r2:{s}, r3:{d} in coconn(r1.{ep} -> r3.{o}, r2.{ep} -> r3.{o}) => !overlap(r1.{attr}, r2.{attr})"
+                ),
+                *total,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+    }
+}
+
+/// Hub family: one resource referencing two others constrains their
+/// attribute pairs (name inequality, CIDR exclusivity).
+fn hub_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
+    for ((s, ep1, d1, o1, ep2, d2, o2), hub) in &stats.hubs {
+        let coconn =
+            format!("let r1:{s}, r2:{d1}, r3:{d2} in coconn(r1.{ep1} -> r2.{o1}, r1.{ep2} -> r3.{o2})");
+        for ((a1, a2), (ne, both)) in &hub.name_ne {
+            if *both == 0 {
+                continue;
+            }
+            let confidence = *ne as f64 / *both as f64;
+            // No meaningful marginal exists for inequality over open string
+            // domains (random names almost never collide, so lift ≈ 1 by
+            // construction); deployment-based validation is the arbiter.
+            emit(
+                out,
+                "coconn/hub-ne",
+                format!("{coconn} => r2.{a1} != r3.{a2}"),
+                *both,
+                confidence,
+                None,
+                None,
+            );
+        }
+        for ((a1, a2), (no_overlap, both)) in &hub.no_overlap {
+            if *both == 0 {
+                continue;
+            }
+            let confidence = *no_overlap as f64 / *both as f64;
+            let p_y = 1.0 - stats.p_overlap(d1, a1, d2, a2);
+            emit(
+                out,
+                "coconn/hub-no-overlap",
+                format!("{coconn} => !overlap(r2.{a1}, r3.{a2})"),
+                *both,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+    }
+}
+
+/// Copath family: two same-type resources reachable from one source have
+/// exclusive CIDR ranges ("two tunneled VPCs have exclusive IP CIDR").
+fn copath_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
+    for ((a, c), pair) in &stats.copaths {
+        for (attr, (no_overlap, total)) in &pair.overlap {
+            if *total == 0 {
+                continue;
+            }
+            let confidence = *no_overlap as f64 / *total as f64;
+            let p_y = 1.0 - stats.p_overlap(c, attr, c, attr);
+            emit(
+                out,
+                "copath/no-overlap",
+                format!(
+                    "let r1:{a}, r2:{c}, r3:{c} in copath(r1 -> r2, r1 -> r3) => !overlap(r2.{attr}, r3.{attr})"
+                ),
+                *total,
+                confidence,
+                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                None,
+            );
+        }
+    }
+}
+
+/// Path family: location agreement along reachability.
+fn path_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
+    for ((a, b), (eq, both)) in &stats.path_loc_eq {
+        if *both == 0 {
+            continue;
+        }
+        let confidence = *eq as f64 / *both as f64;
+        let p_y = stats.p_eq(a, "location", b, "location");
+        emit(
+            out,
+            "path/location-eq",
+            format!("let r1:{a}, r2:{b} in path(r1 -> r2) => r1.location == r2.location"),
+            *both,
+            confidence,
+            if p_y > 0.0 { Some(confidence / p_y) } else { None },
+            None,
+        );
+    }
+}
+
+/// Quantitative degree family — the interpolation candidates: an enum value
+/// bounds the in/out-degree toward a peer type. The observed maximum is the
+/// witnessed bound; the oracle later corrects or generalises it.
+fn degree_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
+    for ((rtype, attr, value, dir, tau), deg) in &stats.degrees {
+        if deg.count == 0 {
+            continue;
+        }
+        let support = stats
+            .cond_support
+            .get(&(rtype.clone(), attr.clone(), value.clone()))
+            .copied()
+            .unwrap_or(deg.count);
+        let (fun, dir_word) = match dir {
+            Direction::In => ("indegree", Direction::In),
+            Direction::Out => ("outdegree", Direction::Out),
+        };
+        let query = InterpQuery::from_degree(rtype, attr, value, dir_word, tau);
+        emit(
+            out,
+            "interp/degree-limit",
+            format!(
+                "let r:{rtype} in r.{attr} == {} => {fun}(r, {tau}) <= {}",
+                lit(value),
+                deg.max
+            ),
+            support,
+            1.0,
+            None,
+            Some(query),
+        );
+    }
+}
+
+/// Length family: an enum/bool value requires a minimum block count.
+fn length_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
+    for ((rtype, attr, value, list_attr), (min, count)) in &stats.lengths {
+        if *count == 0 || *min < 2 {
+            continue; // `length >= 1` is vacuous for present blocks.
+        }
+        let support = stats
+            .cond_support
+            .get(&(rtype.clone(), attr.clone(), value.clone()))
+            .copied()
+            .unwrap_or(*count);
+        emit(
+            out,
+            "agg/length-min",
+            format!(
+                "let r:{rtype} in r.{attr} == {} => length(r.{list_attr}) >= {min}",
+                lit(value)
+            ),
+            support,
+            1.0,
+            None,
+            None,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CorpusStats;
+    use zodiac_model::{Program, Resource};
+
+    fn stats_of(programs: &[Program]) -> CorpusStats {
+        CorpusStats::build(programs, &zodiac_kb::azure_kb(), true)
+    }
+
+    #[test]
+    fn intra_templates_cover_all_four_shapes() {
+        let programs: Vec<Program> = (0..12)
+            .map(|i| {
+                let mut vm = Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("name", format!("vm{i}"))
+                    .with("priority", if i % 2 == 0 { "Spot" } else { "Regular" });
+                if i % 2 == 0 {
+                    vm = vm.with("eviction_policy", "Deallocate");
+                }
+                Program::new().with(vm)
+            })
+            .collect();
+        let out = instantiate(&stats_of(&programs), &zodiac_kb::azure_kb(), &MiningConfig::default());
+        let families: std::collections::BTreeSet<&str> =
+            out.iter().map(|c| c.family).collect();
+        for f in ["intra/eq-eq", "intra/eq-ne", "intra/eq-notnull", "intra/eq-null"] {
+            assert!(families.contains(f), "missing family {f}: {families:?}");
+        }
+        // The spot/eviction candidate carries perfect confidence.
+        let spot = out
+            .iter()
+            .find(|c| {
+                c.family == "intra/eq-notnull"
+                    && c.check.to_string().contains("'Spot'")
+                    && c.check.to_string().contains("eviction_policy != null")
+            })
+            .expect("spot/eviction candidate mined");
+        assert_eq!(spot.confidence, 1.0);
+        assert_eq!(spot.support, 6);
+    }
+
+    #[test]
+    fn conn_equality_candidates_have_high_lift() {
+        let programs: Vec<Program> = (0..8)
+            .map(|i| {
+                let loc = if i % 2 == 0 { "eastus" } else { "westus" };
+                Program::new()
+                    .with(
+                        Resource::new("azurerm_network_interface", "nic")
+                            .with("name", format!("n{i}"))
+                            .with("location", loc),
+                    )
+                    .with(
+                        Resource::new("azurerm_linux_virtual_machine", "vm")
+                            .with("name", format!("v{i}"))
+                            .with("location", loc)
+                            .with(
+                                "network_interface_ids",
+                                Value::List(vec![Value::r(
+                                    "azurerm_network_interface",
+                                    "nic",
+                                    "id",
+                                )]),
+                            ),
+                    )
+            })
+            .collect();
+        let out = instantiate(&stats_of(&programs), &zodiac_kb::azure_kb(), &MiningConfig::default());
+        let eq = out
+            .iter()
+            .find(|c| c.family == "conn/attr-eq" && c.check.to_string().contains("location"))
+            .expect("location equality candidate");
+        assert_eq!(eq.confidence, 1.0);
+        // Locations split 50/50, so random agreement is ~0.5 and lift ~2.
+        let lift = eq.lift.expect("equality has a marginal");
+        assert!(lift > 1.5, "lift {lift}");
+    }
+
+    #[test]
+    fn degree_templates_carry_interpolation_queries() {
+        let mut p = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm")
+                .with("name", "v")
+                .with("size", "Standard_F2s_v2")
+                .with(
+                    "network_interface_ids",
+                    Value::List(vec![
+                        Value::r("azurerm_network_interface", "a", "id"),
+                        Value::r("azurerm_network_interface", "b", "id"),
+                    ]),
+                ),
+        );
+        for n in ["a", "b"] {
+            p.add(Resource::new("azurerm_network_interface", n).with("name", n))
+                .unwrap();
+        }
+        let programs = vec![p; 6];
+        let out = instantiate(&stats_of(&programs), &zodiac_kb::azure_kb(), &MiningConfig::default());
+        let degree_candidates: Vec<String> = out
+            .iter()
+            .filter(|c| c.family == "interp/degree-limit")
+            .map(|c| format!("{:?} | {}", c.interp, c.check))
+            .collect();
+        assert!(
+            out.iter().any(|c| matches!(
+                c.interp,
+                Some(crate::oracle::InterpQuery::VmMaxNics { .. })
+            )),
+            "no VmMaxNics query among: {degree_candidates:#?}"
+        );
+    }
+
+    #[test]
+    fn literal_rendering() {
+        assert_eq!(lit(&Value::s("Spot")), "'Spot'");
+        assert_eq!(lit(&Value::Bool(true)), "true");
+        assert_eq!(lit(&Value::Int(3)), "3");
+        assert_eq!(lit(&Value::Null), "null");
+    }
+}

@@ -1,0 +1,258 @@
+//! IPv4 CIDR arithmetic.
+//!
+//! Several of the paper's semantic checks are predicates over CIDR ranges —
+//! "subnets under the same VPC cannot have overlapping CIDR ranges", "peering
+//! VPC CIDRs can't overlap" — so overlap/containment tests and the
+//! "adjacent range with the same prefix length" mutation (§4.1, *minimizing
+//! changes*) are implemented here once and reused by the knowledge base, the
+//! cloud simulator, and the solver.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 CIDR block, e.g. `10.0.1.0/24`.
+///
+/// The address is stored canonicalised: host bits below the prefix are
+/// cleared on construction, so `10.0.1.7/24` and `10.0.1.0/24` compare equal.
+///
+/// # Examples
+///
+/// ```
+/// use zodiac_model::Cidr;
+/// let a: Cidr = "10.0.0.0/16".parse().unwrap();
+/// let b: Cidr = "10.0.1.0/24".parse().unwrap();
+/// assert!(a.contains(&b));
+/// assert!(a.overlaps(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cidr {
+    addr: u32,
+    prefix: u8,
+}
+
+impl Cidr {
+    /// Creates a CIDR from a raw address and prefix length.
+    ///
+    /// Host bits below the prefix are cleared. Returns an error if the
+    /// prefix exceeds 32.
+    pub fn new(addr: u32, prefix: u8) -> Result<Self, ModelError> {
+        if prefix > 32 {
+            return Err(ModelError::InvalidCidr(format!("/{prefix}")));
+        }
+        Ok(Cidr {
+            addr: addr & Self::mask(prefix),
+            prefix,
+        })
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// The network address of this block.
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length of this block.
+    pub fn prefix(&self) -> u8 {
+        self.prefix
+    }
+
+    /// The first address in the block.
+    pub fn first(&self) -> u32 {
+        self.addr
+    }
+
+    /// The last address in the block.
+    pub fn last(&self) -> u32 {
+        self.addr | !Self::mask(self.prefix)
+    }
+
+    /// The number of addresses in the block (saturating at `u32::MAX` for /0).
+    pub fn size(&self) -> u32 {
+        if self.prefix == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.prefix)
+        }
+    }
+
+    /// Returns true if the two blocks share at least one address.
+    pub fn overlaps(&self, other: &Cidr) -> bool {
+        self.first() <= other.last() && other.first() <= self.last()
+    }
+
+    /// Returns true if `other` lies entirely inside `self`.
+    pub fn contains(&self, other: &Cidr) -> bool {
+        self.prefix <= other.prefix && self.first() <= other.first() && other.last() <= self.last()
+    }
+
+    /// The adjacent block with the same prefix length (the paper's minimal
+    /// CIDR mutation: "mutating a CIDR value to its adjacent range with the
+    /// same prefix length").
+    ///
+    /// Picks the next-higher block; wraps to the next-lower block when the
+    /// next-higher one would overflow the address space.
+    pub fn adjacent(&self) -> Cidr {
+        let step = self.size();
+        let next = self.addr.checked_add(step);
+        let addr = match next {
+            Some(a) if self.prefix > 0 => a,
+            _ => self.addr.wrapping_sub(step),
+        };
+        Cidr {
+            addr: addr & Self::mask(self.prefix),
+            prefix: self.prefix,
+        }
+    }
+
+    /// Splits this block into subnets of the given (longer) prefix length.
+    ///
+    /// Returns an empty vector if `prefix` is shorter than this block's, and
+    /// caps the result at 256 entries to keep enumeration bounded.
+    pub fn subnets(&self, prefix: u8) -> Vec<Cidr> {
+        if prefix < self.prefix || prefix > 32 {
+            return Vec::new();
+        }
+        let count = 1u64 << (prefix - self.prefix).min(8);
+        let step = if prefix == 0 {
+            0
+        } else {
+            1u32 << (32 - prefix)
+        };
+        (0..count)
+            .map(|i| Cidr {
+                addr: self.addr + (i as u32) * step,
+                prefix,
+            })
+            .collect()
+    }
+}
+
+impl FromStr for Cidr {
+    type Err = ModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ModelError::InvalidCidr(s.to_string());
+        let (ip, prefix) = s.split_once('/').ok_or_else(err)?;
+        let prefix: u8 = prefix.parse().map_err(|_| err())?;
+        if prefix > 32 {
+            return Err(err());
+        }
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in ip.split('.') {
+            if n >= 4 {
+                return Err(err());
+            }
+            octets[n] = part.parse().map_err(|_| err())?;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(err());
+        }
+        let addr = u32::from_be_bytes(octets);
+        Cidr::new(addr, prefix)
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.prefix)
+    }
+}
+
+/// Parses a string as a CIDR, returning `None` on failure.
+///
+/// Convenience for check evaluation, where non-CIDR strings simply make a
+/// CIDR predicate evaluate to false rather than erroring out.
+pub fn parse_opt(s: &str) -> Option<Cidr> {
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let c: Cidr = "10.0.1.0/24".parse().unwrap();
+        assert_eq!(c.to_string(), "10.0.1.0/24");
+        assert_eq!(c.prefix(), 24);
+    }
+
+    #[test]
+    fn canonicalises_host_bits() {
+        let c: Cidr = "10.0.1.77/24".parse().unwrap();
+        assert_eq!(c.to_string(), "10.0.1.0/24");
+    }
+
+    #[test]
+    fn rejects_bad_cidrs() {
+        for s in ["10.0.0.0", "10.0.0/8", "10.0.0.0/33", "a.b.c.d/8", "10.0.0.0.0/8"] {
+            assert!(s.parse::<Cidr>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_correct() {
+        let a: Cidr = "10.0.0.0/16".parse().unwrap();
+        let b: Cidr = "10.0.1.0/24".parse().unwrap();
+        let c: Cidr = "10.1.0.0/16".parse().unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&b));
+    }
+
+    #[test]
+    fn containment() {
+        let vnet: Cidr = "10.0.0.0/16".parse().unwrap();
+        let sub: Cidr = "10.0.2.0/24".parse().unwrap();
+        assert!(vnet.contains(&sub));
+        assert!(!sub.contains(&vnet));
+        assert!(vnet.contains(&vnet));
+    }
+
+    #[test]
+    fn adjacent_does_not_overlap() {
+        let c: Cidr = "10.0.1.0/24".parse().unwrap();
+        let adj = c.adjacent();
+        assert_eq!(adj.to_string(), "10.0.2.0/24");
+        assert!(!c.overlaps(&adj));
+        assert_eq!(adj.prefix(), c.prefix());
+    }
+
+    #[test]
+    fn adjacent_wraps_at_top_of_space() {
+        let c: Cidr = "255.255.255.0/24".parse().unwrap();
+        let adj = c.adjacent();
+        assert_eq!(adj.to_string(), "255.255.254.0/24");
+    }
+
+    #[test]
+    fn subnets_split() {
+        let vnet: Cidr = "10.0.0.0/16".parse().unwrap();
+        let subs = vnet.subnets(24);
+        assert_eq!(subs.len(), 256);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/24");
+        assert_eq!(subs[1].to_string(), "10.0.1.0/24");
+        for w in subs.windows(2) {
+            assert!(!w[0].overlaps(&w[1]));
+        }
+    }
+
+    #[test]
+    fn subnets_rejects_shorter_prefix() {
+        let c: Cidr = "10.0.0.0/24".parse().unwrap();
+        assert!(c.subnets(16).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Error types for the model crate.
+
+use std::fmt;
+
+/// Errors produced when constructing or querying model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A CIDR string could not be parsed.
+    InvalidCidr(String),
+    /// An attribute path string could not be parsed.
+    InvalidAttrPath(String),
+    /// A reference string could not be parsed.
+    InvalidReference(String),
+    /// A resource was declared twice in the same program.
+    DuplicateResource(String),
+    /// A lookup referred to a resource that does not exist.
+    UnknownResource(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidCidr(s) => write!(f, "invalid CIDR: {s}"),
+            ModelError::InvalidAttrPath(s) => write!(f, "invalid attribute path: {s}"),
+            ModelError::InvalidReference(s) => write!(f, "invalid reference: {s}"),
+            ModelError::DuplicateResource(s) => write!(f, "duplicate resource: {s}"),
+            ModelError::UnknownResource(s) => write!(f, "unknown resource: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,25 @@
+//! Core data model shared by every Zodiac crate.
+//!
+//! This crate defines the representation of a compiled IaC program — the
+//! "deployment plan" view that the paper's pipeline operates on — together
+//! with attribute values, inter-resource references, and the CIDR arithmetic
+//! used throughout mining and validation.
+//!
+//! The model mirrors Terraform's compiled JSON plan: a [`Program`] is a flat
+//! set of [`Resource`]s; each resource has a type (e.g.
+//! `azurerm_network_interface`), a local name, and a tree of attribute
+//! [`Value`]s. References to attributes of other resources (the edges of the
+//! IaC resource graph) are first-class values ([`Value::Ref`]).
+
+pub mod cidr;
+pub mod error;
+pub mod program;
+pub mod value;
+
+pub use cidr::Cidr;
+pub use error::ModelError;
+pub use program::{Program, Resource, ResourceId};
+pub use value::{AttrPath, Reference, Value};
+
+/// Result alias used across the model crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,84 @@
+//! Property-based tests for CIDR arithmetic.
+
+use proptest::prelude::*;
+use zodiac_model::Cidr;
+
+fn arb_cidr() -> impl Strategy<Value = Cidr> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, prefix)| Cidr::new(addr, prefix).expect("prefix <= 32"))
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(c in arb_cidr()) {
+        let parsed: Cidr = c.to_string().parse().expect("displayed CIDR parses");
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn canonicalisation_is_idempotent(addr in any::<u32>(), prefix in 0u8..=32) {
+        let a = Cidr::new(addr, prefix).expect("valid");
+        let b = Cidr::new(a.addr(), prefix).expect("valid");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlap_is_symmetric(a in arb_cidr(), b in arb_cidr()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn self_overlap_and_containment(c in arb_cidr()) {
+        prop_assert!(c.overlaps(&c));
+        prop_assert!(c.contains(&c));
+    }
+
+    #[test]
+    fn containment_implies_overlap(a in arb_cidr(), b in arb_cidr()) {
+        if a.contains(&b) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn containment_is_antisymmetric(a in arb_cidr(), b in arb_cidr()) {
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn adjacent_preserves_prefix_and_never_overlaps(c in arb_cidr()) {
+        prop_assume!(c.prefix() > 0); // /0 covers everything.
+        let adj = c.adjacent();
+        prop_assert_eq!(adj.prefix(), c.prefix());
+        prop_assert!(!c.overlaps(&adj), "{} overlaps {}", c, adj);
+    }
+
+    #[test]
+    fn subnets_are_disjoint_and_contained(c in arb_cidr(), extra in 1u8..=6) {
+        let child_prefix = c.prefix().saturating_add(extra).min(32);
+        prop_assume!(child_prefix > c.prefix());
+        let subs = c.subnets(child_prefix);
+        prop_assert!(!subs.is_empty());
+        for s in &subs {
+            prop_assert!(c.contains(s));
+        }
+        for (i, a) in subs.iter().enumerate() {
+            for b in subs.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn first_last_bound_the_block(c in arb_cidr()) {
+        prop_assert!(c.first() <= c.last());
+        prop_assert_eq!(c.first(), c.addr());
+    }
+
+    #[test]
+    fn overlap_matches_interval_semantics(a in arb_cidr(), b in arb_cidr()) {
+        let interval = a.first() <= b.last() && b.first() <= a.last();
+        prop_assert_eq!(a.overlaps(&b), interval);
+    }
+}

@@ -1,0 +1,95 @@
+//! A finite-domain constraint solver with weighted soft constraints.
+//!
+//! Zodiac's solver-aided mutation (§4.1) encodes a positive test case with
+//! symbolic attribute values and asks a solver for a concrete assignment
+//! that violates the target check, conforms to every other known check, and
+//! *minimises the distance* from the original program. The paper uses Z3
+//! with MaxSMT optimisation objectives; this crate implements the same
+//! contract over the (finite) mutation search space:
+//!
+//! * variables range over explicit candidate-value domains (enum members,
+//!   locations, adjacent CIDR ranges, candidate endpoints, booleans);
+//! * **hard** constraints must hold — if they cannot, the problem is UNSAT
+//!   (the signal the validation scheduler uses to classify checks);
+//! * **soft** constraints carry weights; the solver branch-and-bounds to an
+//!   assignment of minimum total violated weight, which encodes both
+//!   "prefer original values" and "prefer violating no `R_c` check".
+//!
+//! The search is exact for the sizes mutation produces (tens of variables,
+//! small domains); a node budget bounds pathological cases, returning the
+//! best solution found so far (and never spuriously reporting UNSAT: the
+//! budget only kicks in after a first solution exists).
+
+mod constraint;
+mod search;
+
+pub use constraint::{Constraint, Op, Term};
+pub use search::{solve, Outcome, Solution};
+
+use zodiac_model::Value;
+
+/// Index of a solver variable.
+pub type VarId = usize;
+
+/// A constraint problem over finite-domain variables.
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    domains: Vec<Vec<Value>>,
+    hard: Vec<Constraint>,
+    soft: Vec<(Constraint, u64)>,
+    node_budget: Option<u64>,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Problem::default()
+    }
+
+    /// Adds a variable with a candidate domain, ordered by preference
+    /// (the search tries earlier values first). Empty domains make the
+    /// problem trivially UNSAT.
+    pub fn add_var(&mut self, domain: Vec<Value>) -> VarId {
+        self.domains.push(domain);
+        self.domains.len() - 1
+    }
+
+    /// Adds a boolean variable (preferring `false`).
+    pub fn add_bool(&mut self) -> VarId {
+        self.add_var(vec![Value::Bool(false), Value::Bool(true)])
+    }
+
+    /// Adds a hard constraint.
+    pub fn require(&mut self, c: Constraint) {
+        self.hard.push(c);
+    }
+
+    /// Adds a soft constraint with a violation weight.
+    pub fn prefer(&mut self, c: Constraint, weight: u64) {
+        self.soft.push((c, weight));
+    }
+
+    /// Caps the number of search nodes explored after the first solution.
+    pub fn set_node_budget(&mut self, budget: u64) {
+        self.node_budget = Some(budget);
+    }
+
+    /// The variable domains.
+    pub fn domains(&self) -> &[Vec<Value>] {
+        &self.domains
+    }
+
+    /// The hard constraints.
+    pub fn hard(&self) -> &[Constraint] {
+        &self.hard
+    }
+
+    /// The soft constraints.
+    pub fn soft(&self) -> &[(Constraint, u64)] {
+        &self.soft
+    }
+
+    pub(crate) fn budget(&self) -> u64 {
+        self.node_budget.unwrap_or(2_000_000)
+    }
+}

@@ -1,0 +1,402 @@
+//! Branch-and-bound search over finite domains.
+//!
+//! The search maintains per-variable watch lists: when a variable is
+//! assigned, only the constraints mentioning it are re-evaluated. Because
+//! three-valued evaluation is monotone (a constraint decided under a partial
+//! assignment keeps its value under every extension), this is sound for both
+//! hard-constraint pruning and the incremental soft-penalty lower bound used
+//! for branch-and-bound.
+
+use crate::constraint::{Constraint, Term};
+use crate::{Problem, VarId};
+use zodiac_model::Value;
+
+/// A satisfying assignment with its soft-constraint penalty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// One value per variable.
+    pub assignment: Vec<Value>,
+    /// Total weight of violated soft constraints.
+    pub penalty: u64,
+    /// Indices of violated soft constraints.
+    pub violated_soft: Vec<usize>,
+}
+
+/// The result of solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// An optimal (or budget-capped best) solution.
+    Sat(Solution),
+    /// No assignment satisfies the hard constraints.
+    Unsat,
+}
+
+impl Outcome {
+    /// The solution, if SAT.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Outcome::Sat(s) => Some(s),
+            Outcome::Unsat => None,
+        }
+    }
+
+    /// True if UNSAT.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+}
+
+/// Collects the variables a constraint mentions.
+fn vars_of(c: &Constraint, out: &mut Vec<VarId>) {
+    match c {
+        Constraint::True | Constraint::False => {}
+        Constraint::Cmp { lhs, rhs, .. } => {
+            if let Term::Var(v) = lhs {
+                out.push(*v);
+            }
+            if let Term::Var(v) = rhs {
+                out.push(*v);
+            }
+        }
+        Constraint::Not(inner) => vars_of(inner, out),
+        Constraint::And(items) | Constraint::Or(items) => {
+            for i in items {
+                vars_of(i, out);
+            }
+        }
+        Constraint::Linear { vars, .. } => out.extend(vars.iter().copied()),
+    }
+}
+
+/// Solves a problem by branch-and-bound, minimising soft-constraint penalty.
+///
+/// Variable order is by increasing domain size (fail-first); value order is
+/// the domain's preference order. The node budget only limits *optimality*
+/// proving when a solution exists; UNSAT results are exact unless the budget
+/// is hit first, in which case the best-known solution (if any) is returned.
+pub fn solve(problem: &Problem) -> Outcome {
+    let n = problem.domains().len();
+    if problem.domains().iter().any(Vec::is_empty) {
+        return Outcome::Unsat;
+    }
+    let mut order: Vec<VarId> = (0..n).collect();
+    order.sort_by_key(|&v| problem.domains()[v].len());
+
+    // Watch lists.
+    let mut hard_watch: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut soft_watch: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut ground_hard_false = false;
+    for (i, c) in problem.hard().iter().enumerate() {
+        let mut vs = Vec::new();
+        vars_of(c, &mut vs);
+        vs.sort_unstable();
+        vs.dedup();
+        if vs.is_empty() {
+            if c.eval(&[]) == Some(false) {
+                ground_hard_false = true;
+            }
+            continue;
+        }
+        for v in vs {
+            hard_watch[v].push(i);
+        }
+    }
+    if ground_hard_false {
+        return Outcome::Unsat;
+    }
+    let mut ground_penalty = 0u64;
+    let mut ground_violated: Vec<usize> = Vec::new();
+    for (i, (c, w)) in problem.soft().iter().enumerate() {
+        let mut vs = Vec::new();
+        vars_of(c, &mut vs);
+        vs.sort_unstable();
+        vs.dedup();
+        if vs.is_empty() {
+            if c.eval(&[]) != Some(true) {
+                ground_penalty += w;
+                ground_violated.push(i);
+            }
+            continue;
+        }
+        for v in vs {
+            soft_watch[v].push(i);
+        }
+    }
+
+    let mut state = Search {
+        problem,
+        order,
+        hard_watch,
+        soft_watch,
+        assignment: vec![None; n],
+        soft_false: vec![false; problem.soft().len()],
+        lb: ground_penalty,
+        best: None,
+        nodes: 0,
+    };
+    state.dfs(0);
+    match state.best {
+        Some(mut s) => {
+            s.violated_soft.extend(ground_violated);
+            s.violated_soft.sort_unstable();
+            s.violated_soft.dedup();
+            Outcome::Sat(s)
+        }
+        None => Outcome::Unsat,
+    }
+}
+
+struct Search<'a> {
+    problem: &'a Problem,
+    order: Vec<VarId>,
+    hard_watch: Vec<Vec<usize>>,
+    soft_watch: Vec<Vec<usize>>,
+    assignment: Vec<Option<Value>>,
+    soft_false: Vec<bool>,
+    lb: u64,
+    best: Option<Solution>,
+    nodes: u64,
+}
+
+impl Search<'_> {
+    /// Returns `true` to abort the whole search (budget exhausted after a
+    /// first solution was found).
+    fn dfs(&mut self, depth: usize) -> bool {
+        self.nodes += 1;
+        if self.best.is_some() && self.nodes > self.problem.budget() {
+            return true;
+        }
+        if let Some(best) = &self.best {
+            if self.lb >= best.penalty {
+                return false; // Bound.
+            }
+        }
+        if depth == self.order.len() {
+            let violated_soft: Vec<usize> = self
+                .soft_false
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| **f)
+                .map(|(i, _)| i)
+                .collect();
+            let better = self.best.as_ref().is_none_or(|b| self.lb < b.penalty);
+            if better {
+                self.best = Some(Solution {
+                    assignment: self
+                        .assignment
+                        .iter()
+                        .map(|o| o.clone().expect("complete assignment"))
+                        .collect(),
+                    penalty: self.lb,
+                    violated_soft,
+                });
+            }
+            return false;
+        }
+
+        let var = self.order[depth];
+        let domain = self.problem.domains()[var].clone();
+        for value in domain {
+            self.assignment[var] = Some(value);
+            // Hard pruning: only constraints watching `var` can have changed.
+            let mut feasible = true;
+            for &ci in &self.hard_watch[var] {
+                if self.problem.hard()[ci].eval(&self.assignment) == Some(false) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if !feasible {
+                self.assignment[var] = None;
+                continue;
+            }
+            // Incremental soft lower bound with an undo trail.
+            let mut newly_false: Vec<usize> = Vec::new();
+            for &si in &self.soft_watch[var] {
+                if !self.soft_false[si]
+                    && self.problem.soft()[si].0.eval(&self.assignment) == Some(false)
+                {
+                    self.soft_false[si] = true;
+                    self.lb += self.problem.soft()[si].1;
+                    newly_false.push(si);
+                }
+            }
+            let abort = self.dfs(depth + 1);
+            for si in newly_false {
+                self.soft_false[si] = false;
+                self.lb -= self.problem.soft()[si].1;
+            }
+            self.assignment[var] = None;
+            if abort {
+                return true;
+            }
+            if matches!(&self.best, Some(b) if b.penalty <= self.lb) && self.lb == 0 {
+                return true; // A zero-penalty optimum cannot be improved.
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{Constraint, Op, Term};
+
+    #[test]
+    fn solves_simple_equality() {
+        let mut p = Problem::new();
+        let x = p.add_var(vec![Value::s("a"), Value::s("b")]);
+        p.require(Constraint::eq(Term::Var(x), Term::s("b")));
+        let sol = solve(&p);
+        assert_eq!(sol.solution().unwrap().assignment[x], Value::s("b"));
+    }
+
+    #[test]
+    fn reports_unsat() {
+        let mut p = Problem::new();
+        let x = p.add_var(vec![Value::s("a")]);
+        p.require(Constraint::eq(Term::Var(x), Term::s("b")));
+        assert!(solve(&p).is_unsat());
+    }
+
+    #[test]
+    fn ground_false_hard_is_unsat() {
+        let mut p = Problem::new();
+        p.add_var(vec![Value::Int(0)]);
+        p.require(Constraint::False);
+        assert!(solve(&p).is_unsat());
+    }
+
+    #[test]
+    fn ground_soft_counts_in_penalty() {
+        let mut p = Problem::new();
+        p.add_var(vec![Value::Int(0)]);
+        p.prefer(Constraint::False, 7);
+        let sol = solve(&p);
+        let s = sol.solution().unwrap();
+        assert_eq!(s.penalty, 7);
+        assert_eq!(s.violated_soft, vec![0]);
+    }
+
+    #[test]
+    fn empty_domain_is_unsat() {
+        let mut p = Problem::new();
+        p.add_var(vec![]);
+        assert!(solve(&p).is_unsat());
+    }
+
+    #[test]
+    fn prefers_low_penalty() {
+        let mut p = Problem::new();
+        let x = p.add_var(vec![Value::s("orig"), Value::s("mut1"), Value::s("mut2")]);
+        p.require(Constraint::ne(Term::Var(x), Term::s("orig")));
+        p.prefer(Constraint::eq(Term::Var(x), Term::s("mut2")), 5);
+        let sol = solve(&p);
+        let s = sol.solution().unwrap();
+        assert_eq!(s.assignment[x], Value::s("mut2"));
+        assert_eq!(s.penalty, 0);
+    }
+
+    #[test]
+    fn minimises_total_weight() {
+        let mut p = Problem::new();
+        let x = p.add_var(vec![Value::Int(0), Value::Int(1)]);
+        let y = p.add_var(vec![Value::Int(0), Value::Int(1)]);
+        p.require(Constraint::Or(vec![
+            Constraint::eq(Term::Var(x), Term::i(1)),
+            Constraint::eq(Term::Var(y), Term::i(1)),
+        ]));
+        p.prefer(Constraint::eq(Term::Var(x), Term::i(0)), 1);
+        p.prefer(Constraint::eq(Term::Var(y), Term::i(0)), 3);
+        let sol = solve(&p);
+        let s = sol.solution().unwrap();
+        assert_eq!(s.assignment[x], Value::Int(1));
+        assert_eq!(s.assignment[y], Value::Int(0));
+        assert_eq!(s.penalty, 1);
+        assert_eq!(s.violated_soft, vec![0]);
+    }
+
+    #[test]
+    fn linear_degree_constraints() {
+        let mut p = Problem::new();
+        let a = p.add_bool();
+        let b = p.add_bool();
+        let c = p.add_bool();
+        p.require(Constraint::Linear {
+            vars: vec![a, b, c],
+            offset: 2,
+            op: Op::Le,
+            bound: 3,
+        });
+        p.require(Constraint::Linear {
+            vars: vec![a, b, c],
+            offset: 2,
+            op: Op::Ge,
+            bound: 3,
+        });
+        for v in [a, b, c] {
+            p.prefer(
+                Constraint::eq(Term::Var(v), Term::Const(Value::Bool(false))),
+                1,
+            );
+        }
+        let sol = solve(&p);
+        let s = sol.solution().unwrap();
+        let count = s
+            .assignment
+            .iter()
+            .filter(|v| **v == Value::Bool(true))
+            .count();
+        assert_eq!(count, 1);
+        assert_eq!(s.penalty, 1);
+    }
+
+    #[test]
+    fn overlap_constraints_choose_adjacent_cidr() {
+        let mut p = Problem::new();
+        let cidr = p.add_var(vec![Value::s("10.0.1.0/24"), Value::s("10.0.2.0/24")]);
+        p.require(Constraint::Not(Box::new(Constraint::Cmp {
+            op: Op::Overlap,
+            lhs: Term::Var(cidr),
+            rhs: Term::s("10.0.1.0/24"),
+        })));
+        let sol = solve(&p);
+        assert_eq!(
+            sol.solution().unwrap().assignment[cidr],
+            Value::s("10.0.2.0/24")
+        );
+    }
+
+    #[test]
+    fn budget_still_returns_best_found() {
+        let mut p = Problem::new();
+        for _ in 0..8 {
+            p.add_var(vec![Value::Int(0), Value::Int(1)]);
+        }
+        p.set_node_budget(10);
+        let sol = solve(&p);
+        assert!(sol.solution().is_some());
+    }
+
+    #[test]
+    fn large_problem_terminates_quickly() {
+        // 30 variables with 10-value domains and chained inequalities: the
+        // watch-list search must not enumerate the cross product.
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..30)
+            .map(|_| p.add_var((0..10).map(Value::Int).collect()))
+            .collect();
+        for w in vars.windows(2) {
+            p.require(Constraint::ne(Term::Var(w[0]), Term::Var(w[1])));
+        }
+        p.require(Constraint::eq(Term::Var(vars[0]), Term::i(3)));
+        for &v in &vars {
+            p.prefer(Constraint::eq(Term::Var(v), Term::i(0)), 1);
+        }
+        let t0 = std::time::Instant::now();
+        let sol = solve(&p);
+        assert!(sol.solution().is_some());
+        assert!(t0.elapsed().as_secs() < 5, "took {:?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests: the branch-and-bound solver agrees with brute-force
+//! enumeration on satisfiability and optimal penalty.
+
+use proptest::prelude::*;
+use zodiac_model::Value;
+use zodiac_solver::{solve, Constraint, Op, Problem, Term};
+
+fn arb_term(nvars: usize) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..nvars).prop_map(Term::Var),
+        (0i64..4).prop_map(|n| Term::Const(Value::Int(n))),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Le),
+        Just(Op::Ge),
+        Just(Op::Lt),
+        Just(Op::Gt),
+    ]
+}
+
+fn arb_constraint(nvars: usize, depth: u32) -> BoxedStrategy<Constraint> {
+    let leaf = (arb_op(), arb_term(nvars), arb_term(nvars))
+        .prop_map(|(op, lhs, rhs)| Constraint::Cmp { op, lhs, rhs });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_constraint(nvars, depth - 1);
+    prop_oneof![
+        3 => leaf,
+        1 => sub.clone().prop_map(|c| Constraint::Not(Box::new(c))),
+        1 => prop::collection::vec(arb_constraint(nvars, depth - 1), 1..3).prop_map(Constraint::And),
+        1 => prop::collection::vec(arb_constraint(nvars, depth - 1), 1..3).prop_map(Constraint::Or),
+        1 => (prop::collection::vec(0..nvars, 1..3), -2i64..3, arb_op(), 0i64..4).prop_map(
+            |(vars, offset, op, bound)| Constraint::Linear { vars, offset, op, bound }
+        ),
+    ]
+    .boxed()
+}
+
+/// Brute-force: enumerate every assignment, return (any SAT, best penalty).
+fn brute_force(
+    domains: &[Vec<Value>],
+    hard: &[Constraint],
+    soft: &[(Constraint, u64)],
+) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    let mut idx = vec![0usize; domains.len()];
+    loop {
+        let assignment: Vec<Option<Value>> = idx
+            .iter()
+            .zip(domains)
+            .map(|(&i, d)| Some(d[i].clone()))
+            .collect();
+        if hard.iter().all(|c| c.eval(&assignment) == Some(true)) {
+            let penalty: u64 = soft
+                .iter()
+                .filter(|(c, _)| c.eval(&assignment) != Some(true))
+                .map(|(_, w)| *w)
+                .sum();
+            best = Some(best.map_or(penalty, |b: u64| b.min(penalty)));
+        }
+        // Increment the multi-index.
+        let mut k = 0;
+        loop {
+            if k == domains.len() {
+                return best;
+            }
+            idx[k] += 1;
+            if idx[k] < domains[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Linear vars must range over booleans for the Linear constraint to make
+/// sense, so every variable's domain mixes ints and the booleans it needs.
+fn arb_problem() -> impl Strategy<Value = (Vec<Vec<Value>>, Vec<Constraint>, Vec<(Constraint, u64)>)>
+{
+    (2usize..=4).prop_flat_map(|nvars| {
+        let domain = prop::collection::vec(
+            prop_oneof![
+                (0i64..4).prop_map(Value::Int),
+                any::<bool>().prop_map(Value::Bool),
+            ],
+            1..4,
+        )
+        .prop_map(|mut d| {
+            d.dedup();
+            d
+        });
+        (
+            prop::collection::vec(domain, nvars..=nvars),
+            prop::collection::vec(arb_constraint(nvars, 1), 0..4),
+            prop::collection::vec((arb_constraint(nvars, 1), 1u64..5), 0..4),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agrees_with_brute_force((domains, hard, soft) in arb_problem()) {
+        let mut p = Problem::new();
+        for d in &domains {
+            p.add_var(d.clone());
+        }
+        for c in &hard {
+            p.require(c.clone());
+        }
+        for (c, w) in &soft {
+            p.prefer(c.clone(), *w);
+        }
+        let expected = brute_force(&domains, &hard, &soft);
+        let got = solve(&p);
+        match (expected, got.solution()) {
+            (None, None) => {}
+            (Some(best), Some(sol)) => {
+                prop_assert_eq!(sol.penalty, best, "suboptimal penalty");
+                // The returned assignment actually satisfies the hard set.
+                let assignment: Vec<Option<Value>> =
+                    sol.assignment.iter().cloned().map(Some).collect();
+                for c in &hard {
+                    prop_assert_eq!(c.eval(&assignment), Some(true));
+                }
+                // And the reported violated set matches reality.
+                let actual_penalty: u64 = soft
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (c, _))| c.eval(&assignment) != Some(true))
+                    .map(|(_, (_, w))| *w)
+                    .sum();
+                prop_assert_eq!(actual_penalty, sol.penalty);
+            }
+            (None, Some(sol)) => {
+                prop_assert!(false, "solver returned SAT {sol:?} on an UNSAT problem");
+            }
+            (Some(best), None) => {
+                prop_assert!(false, "solver returned UNSAT but penalty {best} is achievable");
+            }
+        }
+    }
+}

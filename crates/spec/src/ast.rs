@@ -1,0 +1,316 @@
+//! AST for the check specification language.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zodiac_kb::short_name;
+use zodiac_model::Value;
+
+/// A resource variable binding: `r1 : azurerm_linux_virtual_machine`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Binding {
+    /// Variable name.
+    pub var: String,
+    /// Full resource type name.
+    pub rtype: String,
+}
+
+/// A type specifier `τ ::= t | !t` used by degree aggregations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeSpec {
+    /// Matches exactly this type.
+    Is(String),
+    /// Matches every type except this one.
+    Not(String),
+}
+
+impl TypeSpec {
+    /// The underlying type name.
+    pub fn type_name(&self) -> &str {
+        match self {
+            TypeSpec::Is(t) | TypeSpec::Not(t) => t,
+        }
+    }
+
+    /// True if this is the negated form.
+    pub fn negated(&self) -> bool {
+        matches!(self, TypeSpec::Not(_))
+    }
+}
+
+/// Comparison / function operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// CIDR ranges share addresses.
+    Overlap,
+    /// First CIDR contains the second.
+    Contain,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Overlap => "overlap",
+            CmpOp::Contain => "contain",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A value term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Val {
+    /// A literal base value.
+    Lit(Value),
+    /// `r.attr` — an attribute endpoint (dotted path allowed).
+    Endpoint {
+        /// Variable name.
+        var: String,
+        /// Dotted attribute path.
+        attr: String,
+    },
+    /// `indegree(r, τ)`.
+    InDegree {
+        /// Variable name.
+        var: String,
+        /// Edge-source type filter.
+        tau: TypeSpec,
+    },
+    /// `outdegree(r, τ)`.
+    OutDegree {
+        /// Variable name.
+        var: String,
+        /// Edge-target type filter.
+        tau: TypeSpec,
+    },
+    /// `length(r.attr)` — number of elements of a list attribute.
+    Length(Box<Val>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// `conn(r1.in → r2.out)`.
+    Conn {
+        /// Source variable.
+        src: String,
+        /// Inbound endpoint on the source (indices stripped).
+        in_endpoint: String,
+        /// Destination variable.
+        dst: String,
+        /// Outbound attribute on the destination.
+        out_attr: String,
+    },
+    /// `path(r1 → r2)`.
+    Path {
+        /// Source variable.
+        src: String,
+        /// Destination variable.
+        dst: String,
+    },
+    /// `coconn(e1, e2)` — both edges exist.
+    CoConn {
+        /// First edge.
+        first: Box<Expr>,
+        /// Second edge.
+        second: Box<Expr>,
+    },
+    /// `copath(p1, p2)` — both paths exist.
+    CoPath {
+        /// First path.
+        first: Box<Expr>,
+        /// Second path.
+        second: Box<Expr>,
+    },
+    /// `op(val1, val2)` or infix comparison; `negated` renders as `!op(...)`.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Val,
+        /// Right operand.
+        rhs: Val,
+        /// Outer negation.
+        negated: bool,
+    },
+}
+
+/// A semantic check: `let bindings in cond ⇒ stmt`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Check {
+    /// Quantified resource variables.
+    pub bindings: Vec<Binding>,
+    /// Condition expression.
+    pub cond: Expr,
+    /// Statement expression.
+    pub stmt: Expr,
+}
+
+/// Structural category of a check (Table 2's grouping, minus the
+/// mining-provenance "interpolation" class which is not a shape property).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeCategory {
+    /// Constrains one resource's attributes.
+    Intra,
+    /// Relates multiple resources without aggregation.
+    Inter,
+    /// Uses `indegree`/`outdegree`/`length` aggregation.
+    InterAgg,
+}
+
+impl Check {
+    /// The structural category of this check.
+    pub fn shape_category(&self) -> ShapeCategory {
+        fn val_aggregates(v: &Val) -> bool {
+            matches!(v, Val::InDegree { .. } | Val::OutDegree { .. } | Val::Length(_))
+        }
+        fn expr_aggregates(e: &Expr) -> bool {
+            match e {
+                Expr::Cmp { lhs, rhs, .. } => val_aggregates(lhs) || val_aggregates(rhs),
+                Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
+                    expr_aggregates(first) || expr_aggregates(second)
+                }
+                _ => false,
+            }
+        }
+        if expr_aggregates(&self.cond) || expr_aggregates(&self.stmt) {
+            ShapeCategory::InterAgg
+        } else if self.bindings.len() > 1 {
+            ShapeCategory::Inter
+        } else {
+            ShapeCategory::Intra
+        }
+    }
+
+    /// The declared type of a variable, if bound.
+    pub fn type_of(&self, var: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .find(|b| b.var == var)
+            .map(|b| b.rtype.as_str())
+    }
+
+    /// Resource types mentioned in the bindings (deduplicated, in order).
+    pub fn types(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for b in &self.bindings {
+            if !out.contains(&b.rtype.as_str()) {
+                out.push(&b.rtype);
+            }
+        }
+        out
+    }
+
+    /// A stable canonical string form, used for deduplication.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+}
+
+fn fmt_val(v: &Val, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Val::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+        Val::Lit(other) => write!(f, "{}", other.render()),
+        Val::Endpoint { var, attr } => write!(f, "{var}.{attr}"),
+        Val::InDegree { var, tau } => write!(f, "indegree({var}, {})", fmt_tau(tau)),
+        Val::OutDegree { var, tau } => write!(f, "outdegree({var}, {})", fmt_tau(tau)),
+        Val::Length(inner) => {
+            write!(f, "length(")?;
+            fmt_val(inner, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_tau(tau: &TypeSpec) -> String {
+    match tau {
+        TypeSpec::Is(t) => short_name(t).to_string(),
+        TypeSpec::Not(t) => format!("!{}", short_name(t)),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Conn {
+                src,
+                in_endpoint,
+                dst,
+                out_attr,
+            } => write!(f, "conn({src}.{in_endpoint} -> {dst}.{out_attr})"),
+            Expr::Path { src, dst } => write!(f, "path({src} -> {dst})"),
+            Expr::CoConn { first, second } => {
+                let strip = |e: &Expr| {
+                    let s = e.to_string();
+                    s.trim_start_matches("conn(")
+                        .trim_end_matches(')')
+                        .to_string()
+                };
+                write!(f, "coconn({}, {})", strip(first), strip(second))
+            }
+            Expr::CoPath { first, second } => {
+                let strip = |e: &Expr| {
+                    let s = e.to_string();
+                    s.trim_start_matches("path(")
+                        .trim_end_matches(')')
+                        .to_string()
+                };
+                write!(f, "copath({}, {})", strip(first), strip(second))
+            }
+            Expr::Cmp {
+                op,
+                lhs,
+                rhs,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "!")?;
+                }
+                match op {
+                    CmpOp::Overlap | CmpOp::Contain => {
+                        write!(f, "{op}(")?;
+                        fmt_val(lhs, f)?;
+                        write!(f, ", ")?;
+                        fmt_val(rhs, f)?;
+                        write!(f, ")")
+                    }
+                    _ => {
+                        fmt_val(lhs, f)?;
+                        write!(f, " {op} ")?;
+                        fmt_val(rhs, f)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "let ")?;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", b.var, short_name(&b.rtype))?;
+        }
+        write!(f, " in {} => {}", self.cond, self.stmt)
+    }
+}

@@ -1,0 +1,589 @@
+//! Evaluation of semantic checks over resource graphs.
+//!
+//! A check `let r₁:t₁,…,rₙ:tₙ in cond ⇒ stmt` is evaluated by enumerating
+//! every binding of the variables to *distinct* resources of the declared
+//! types and testing `cond` and `stmt` on each. The check **holds** on a
+//! program when every binding with a true condition also has a true
+//! statement; bindings where `cond ∧ ¬stmt` are **violations**, and bindings
+//! where `cond ∧ stmt` are **witnesses** (used by mining statistics and by
+//! positive-test-case selection).
+//!
+//! Attribute endpoints resolve with *multi* semantics: a dotted path descends
+//! through nested blocks, fanning out over list elements, so
+//! `r.address_prefixes` yields every CIDR in the list and
+//! `r.security_rule.priority` yields the priority of every rule. Comparisons
+//! are existential over the resolved sets; outer negation flips the result,
+//! giving `!overlap(...)` the expected universal reading. When a
+//! [`KnowledgeBase`] is supplied, omitted attributes fall back to their
+//! provider defaults (Class-2 facts) before defaulting to `Null`.
+
+use crate::ast::{Check, CmpOp, Expr, Val};
+use std::collections::BTreeMap;
+use zodiac_graph::{NodeIdx, ResourceGraph};
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::{Cidr, Resource, Value};
+
+/// Evaluation context: the graph plus an optional KB for default values.
+#[derive(Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// The resource graph under evaluation.
+    pub graph: &'a ResourceGraph,
+    /// Knowledge base for Class-2 defaults (optional).
+    pub kb: Option<&'a KnowledgeBase>,
+}
+
+/// One evaluated binding of a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Variable → node assignments, keyed by variable name.
+    pub binding: BTreeMap<String, NodeIdx>,
+    /// Whether the condition held.
+    pub cond: bool,
+    /// Whether the statement held.
+    pub stmt: bool,
+}
+
+impl Instance {
+    /// True if this instance violates the check (`cond ∧ ¬stmt`).
+    pub fn is_violation(&self) -> bool {
+        self.cond && !self.stmt
+    }
+
+    /// True if this instance witnesses the check (`cond ∧ stmt`).
+    pub fn is_witness(&self) -> bool {
+        self.cond && self.stmt
+    }
+}
+
+/// Evaluates a check over all bindings.
+pub fn instances(check: &Check, ctx: EvalContext<'_>) -> Vec<Instance> {
+    let mut out = Vec::new();
+    let candidates: Vec<Vec<NodeIdx>> = check
+        .bindings
+        .iter()
+        .map(|b| ctx.graph.nodes_of_type(&b.rtype).collect())
+        .collect();
+    let mut assignment: Vec<NodeIdx> = Vec::with_capacity(check.bindings.len());
+    enumerate(check, ctx, &candidates, &mut assignment, &mut out);
+    out
+}
+
+fn enumerate(
+    check: &Check,
+    ctx: EvalContext<'_>,
+    candidates: &[Vec<NodeIdx>],
+    assignment: &mut Vec<NodeIdx>,
+    out: &mut Vec<Instance>,
+) {
+    let depth = assignment.len();
+    if depth == check.bindings.len() {
+        let binding: BTreeMap<String, NodeIdx> = check
+            .bindings
+            .iter()
+            .zip(assignment.iter())
+            .map(|(b, &n)| (b.var.clone(), n))
+            .collect();
+        let cond = eval_expr(&check.cond, &binding, ctx);
+        let stmt = eval_expr(&check.stmt, &binding, ctx);
+        out.push(Instance {
+            binding,
+            cond,
+            stmt,
+        });
+        return;
+    }
+    for &node in &candidates[depth] {
+        if assignment.contains(&node) {
+            continue; // Distinct variables bind distinct resources.
+        }
+        assignment.push(node);
+        enumerate(check, ctx, candidates, assignment, out);
+        assignment.pop();
+    }
+}
+
+/// True if the check holds on the graph (no violating binding).
+pub fn holds(check: &Check, ctx: EvalContext<'_>) -> bool {
+    instances(check, ctx).iter().all(|i| !i.is_violation())
+}
+
+/// All violating bindings.
+pub fn violations(check: &Check, ctx: EvalContext<'_>) -> Vec<Instance> {
+    instances(check, ctx)
+        .into_iter()
+        .filter(Instance::is_violation)
+        .collect()
+}
+
+/// All witnessing bindings.
+pub fn witnesses(check: &Check, ctx: EvalContext<'_>) -> Vec<Instance> {
+    instances(check, ctx)
+        .into_iter()
+        .filter(Instance::is_witness)
+        .collect()
+}
+
+fn eval_expr(expr: &Expr, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<'_>) -> bool {
+    match expr {
+        Expr::Conn {
+            src,
+            in_endpoint,
+            dst,
+            out_attr,
+        } => {
+            let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
+                return false;
+            };
+            ctx.graph.conn(s, Some(in_endpoint), d, Some(out_attr))
+        }
+        Expr::Path { src, dst } => {
+            let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
+                return false;
+            };
+            ctx.graph.path(s, d)
+        }
+        Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
+            eval_expr(first, binding, ctx) && eval_expr(second, binding, ctx)
+        }
+        Expr::Cmp {
+            op,
+            lhs,
+            rhs,
+            negated,
+        } => {
+            let l = resolve(lhs, binding, ctx);
+            let r = resolve(rhs, binding, ctx);
+            let result = compare(*op, &l, &r);
+            result != *negated
+        }
+    }
+}
+
+/// Resolves a value term to the set of concrete values it denotes.
+fn resolve(val: &Val, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<'_>) -> Vec<Value> {
+    match val {
+        Val::Lit(v) => vec![v.clone()],
+        Val::Endpoint { var, attr } => {
+            let Some(&node) = binding.get(var) else {
+                return vec![Value::Null];
+            };
+            let resource = ctx.graph.resource(node);
+            let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
+            let mut found = resolve_multi(resource, &segs);
+            if found.is_empty() {
+                if let Some(kb) = ctx.kb {
+                    if let Some(default) = kb.default_of(&resource.rtype, attr) {
+                        found.push(default);
+                    }
+                }
+            }
+            if found.is_empty() {
+                found.push(Value::Null);
+            }
+            found
+        }
+        Val::InDegree { var, tau } => {
+            let Some(&node) = binding.get(var) else {
+                return vec![Value::Null];
+            };
+            vec![Value::Int(ctx.graph.distinct_in_neighbors(
+                node,
+                tau.type_name(),
+                tau.negated(),
+            ) as i64)]
+        }
+        Val::OutDegree { var, tau } => {
+            let Some(&node) = binding.get(var) else {
+                return vec![Value::Null];
+            };
+            vec![Value::Int(ctx.graph.distinct_out_neighbors(
+                node,
+                tau.type_name(),
+                tau.negated(),
+            ) as i64)]
+        }
+        Val::Length(inner) => {
+            let Val::Endpoint { var, attr } = inner.as_ref() else {
+                let vals = resolve(inner, binding, ctx);
+                return vec![Value::Int(vals.len() as i64)];
+            };
+            let Some(&node) = binding.get(var) else {
+                return vec![Value::Null];
+            };
+            let resource = ctx.graph.resource(node);
+            let path: Result<zodiac_model::AttrPath, _> = attr.parse();
+            let n = match path.ok().and_then(|p| resource.get(&p).cloned()) {
+                Some(Value::List(l)) => l.len(),
+                Some(Value::Null) | None => 0,
+                Some(_) => 1,
+            };
+            vec![Value::Int(n as i64)]
+        }
+    }
+}
+
+/// Multi-resolution: descends `segs` through `resource`'s attributes,
+/// fanning out over list elements at non-index segments.
+pub fn resolve_multi(resource: &Resource, segs: &[String]) -> Vec<Value> {
+    fn descend(v: &Value, segs: &[String], out: &mut Vec<Value>) {
+        let Some((head, rest)) = segs.split_first() else {
+            match v {
+                // A terminal list fans out into its leaves.
+                Value::List(l) => {
+                    for item in l {
+                        descend(item, &[], out);
+                    }
+                }
+                other => out.push(other.clone()),
+            }
+            return;
+        };
+        match v {
+            Value::Map(m) => {
+                if let Some(inner) = m.get(head) {
+                    descend(inner, rest, out);
+                }
+            }
+            Value::List(l) => {
+                if let Ok(idx) = head.parse::<usize>() {
+                    if let Some(inner) = l.get(idx) {
+                        descend(inner, rest, out);
+                    }
+                } else {
+                    for item in l {
+                        descend(item, segs, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let Some((head, rest)) = segs.split_first() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if let Some(v) = resource.attrs.get(head) {
+        descend(v, rest, &mut out);
+    }
+    out
+}
+
+fn compare(op: CmpOp, lhs: &[Value], rhs: &[Value]) -> bool {
+    lhs.iter()
+        .any(|l| rhs.iter().any(|r| compare_one(op, l, r)))
+}
+
+fn compare_one(op: CmpOp, l: &Value, r: &Value) -> bool {
+    match op {
+        CmpOp::Eq => values_eq(l, r),
+        CmpOp::Ne => !values_eq(l, r),
+        CmpOp::Le | CmpOp::Ge | CmpOp::Lt | CmpOp::Gt => {
+            let (Some(a), Some(b)) = (l.as_int(), r.as_int()) else {
+                return false;
+            };
+            match op {
+                CmpOp::Le => a <= b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Lt => a < b,
+                CmpOp::Gt => a > b,
+                _ => unreachable!(),
+            }
+        }
+        CmpOp::Overlap | CmpOp::Contain => {
+            let (Some(a), Some(b)) = (as_cidr(l), as_cidr(r)) else {
+                return false;
+            };
+            if op == CmpOp::Overlap {
+                a.overlaps(&b)
+            } else {
+                a.contains(&b)
+            }
+        }
+    }
+}
+
+fn values_eq(l: &Value, r: &Value) -> bool {
+    match (l, r) {
+        // Integer/string cross-comparison tolerates "2" vs 2.
+        (Value::Int(a), Value::Str(b)) | (Value::Str(b), Value::Int(a)) => {
+            b.parse::<i64>().map(|x| x == *a).unwrap_or(false)
+        }
+        _ => l == r,
+    }
+}
+
+fn as_cidr(v: &Value) -> Option<Cidr> {
+    v.as_str().and_then(|s| s.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_check;
+    use zodiac_model::{Program, Resource};
+
+    fn graph(p: Program) -> ResourceGraph {
+        ResourceGraph::build(p)
+    }
+
+    fn vm_nic_program(vm_loc: &str, nic_loc: &str) -> Program {
+        Program::new()
+            .with(
+                Resource::new("azurerm_network_interface", "nic")
+                    .with("location", nic_loc)
+                    .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+            )
+            .with(Resource::new("azurerm_subnet", "s").with("name", "internal"))
+            .with(
+                Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("location", vm_loc)
+                    .with(
+                        "network_interface_ids",
+                        Value::List(vec![Value::r("azurerm_network_interface", "nic", "id")]),
+                    ),
+            )
+    }
+
+    fn check_vm_nic_location() -> Check {
+        parse_check(
+            "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conforming_program_holds() {
+        let g = graph(vm_nic_program("eastus", "eastus"));
+        let ctx = EvalContext {
+            graph: &g,
+            kb: None,
+        };
+        assert!(holds(&check_vm_nic_location(), ctx));
+        assert_eq!(witnesses(&check_vm_nic_location(), ctx).len(), 1);
+    }
+
+    #[test]
+    fn violating_program_fails() {
+        let g = graph(vm_nic_program("eastus", "westus"));
+        let ctx = EvalContext {
+            graph: &g,
+            kb: None,
+        };
+        let v = violations(&check_vm_nic_location(), ctx);
+        assert_eq!(v.len(), 1);
+        assert!(!holds(&check_vm_nic_location(), ctx));
+    }
+
+    #[test]
+    fn unconnected_resources_satisfy_vacuously() {
+        let p = Program::new()
+            .with(Resource::new("azurerm_linux_virtual_machine", "vm").with("location", "a"))
+            .with(Resource::new("azurerm_network_interface", "nic").with("location", "b"));
+        let g = graph(p);
+        let ctx = EvalContext {
+            graph: &g,
+            kb: None,
+        };
+        assert!(holds(&check_vm_nic_location(), ctx));
+        assert!(witnesses(&check_vm_nic_location(), ctx).is_empty());
+    }
+
+    #[test]
+    fn null_checks_detect_missing_attrs() {
+        let check =
+            parse_check("let r:VM in r.priority == 'Spot' => r.eviction_policy != null").unwrap();
+        let spot_without = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm").with("priority", "Spot"),
+        );
+        let g = graph(spot_without);
+        let ctx = EvalContext {
+            graph: &g,
+            kb: None,
+        };
+        assert!(!holds(&check, ctx));
+
+        let spot_with = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm")
+                .with("priority", "Spot")
+                .with("eviction_policy", "Deallocate"),
+        );
+        let g2 = graph(spot_with);
+        assert!(holds(
+            &check,
+            EvalContext {
+                graph: &g2,
+                kb: None
+            }
+        ));
+    }
+
+    #[test]
+    fn kb_defaults_apply() {
+        // sku omitted on public IP defaults to Basic via the KB.
+        let kb = zodiac_kb::azure_kb();
+        let check = parse_check(
+            "let r:IP in r.allocation_method == 'Dynamic' => r.sku == 'Basic'",
+        )
+        .unwrap();
+        let p = Program::new().with(
+            Resource::new("azurerm_public_ip", "ip").with("allocation_method", "Dynamic"),
+        );
+        let g = graph(p);
+        assert!(holds(
+            &check,
+            EvalContext {
+                graph: &g,
+                kb: Some(&kb)
+            }
+        ));
+        // Without the KB the default is unknown and the check is violated.
+        assert!(!holds(
+            &check,
+            EvalContext {
+                graph: &g,
+                kb: None
+            }
+        ));
+    }
+
+    #[test]
+    fn overlap_over_cidr_lists() {
+        let check = parse_check(
+            "let r1:SUBNET, r2:SUBNET, r3:VPC in \
+             coconn(r1.virtual_network_name -> r3.name, r2.virtual_network_name -> r3.name) \
+             => !overlap(r1.address_prefixes, r2.address_prefixes)",
+        )
+        .unwrap();
+        let mk = |c1: &str, c2: &str| {
+            Program::new()
+                .with(Resource::new("azurerm_virtual_network", "v").with("name", "vnet"))
+                .with(
+                    Resource::new("azurerm_subnet", "a")
+                        .with("address_prefixes", Value::List(vec![Value::s(c1)]))
+                        .with(
+                            "virtual_network_name",
+                            Value::r("azurerm_virtual_network", "v", "name"),
+                        ),
+                )
+                .with(
+                    Resource::new("azurerm_subnet", "b")
+                        .with("address_prefixes", Value::List(vec![Value::s(c2)]))
+                        .with(
+                            "virtual_network_name",
+                            Value::r("azurerm_virtual_network", "v", "name"),
+                        ),
+                )
+        };
+        let ok = graph(mk("10.0.1.0/24", "10.0.2.0/24"));
+        assert!(holds(
+            &check,
+            EvalContext {
+                graph: &ok,
+                kb: None
+            }
+        ));
+        let bad = graph(mk("10.0.1.0/24", "10.0.1.128/25"));
+        assert!(!holds(
+            &check,
+            EvalContext {
+                graph: &bad,
+                kb: None
+            }
+        ));
+    }
+
+    #[test]
+    fn degree_checks() {
+        let check = parse_check(
+            "let r:VM in r.size == 'Standard_F2s_v2' => indegree(r, NIC) <= 2",
+        )
+        .unwrap();
+        // Degree here counts NICs referencing the VM; build the inverse shape:
+        // attachments point from NIC to VM via an attachment-like edge.
+        let mut p = Program::new().with(
+            Resource::new("azurerm_linux_virtual_machine", "vm").with("size", "Standard_F2s_v2"),
+        );
+        for i in 0..3 {
+            p.add(
+                Resource::new("azurerm_network_interface", format!("nic{i}")).with(
+                    "attached_vm_id",
+                    Value::r("azurerm_linux_virtual_machine", "vm", "id"),
+                ),
+            )
+            .unwrap();
+        }
+        let g = graph(p);
+        assert!(!holds(
+            &check,
+            EvalContext {
+                graph: &g,
+                kb: None
+            }
+        ));
+    }
+
+    #[test]
+    fn nested_multi_resolution() {
+        let check = parse_check(
+            "let r:SG in r.security_rule.direction == 'Inbound' => r.security_rule.priority >= 100",
+        )
+        .unwrap();
+        let mut sg = Resource::new("azurerm_network_security_group", "sg");
+        sg.attrs.insert(
+            "security_rule".into(),
+            Value::List(vec![
+                Value::Map(
+                    [
+                        ("direction".to_string(), Value::s("Inbound")),
+                        ("priority".to_string(), Value::Int(50)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                ),
+            ]),
+        );
+        let g = graph(Program::new().with(sg));
+        // Existential semantics: priority 50 < 100, so the stmt fails.
+        assert!(!holds(
+            &check,
+            EvalContext {
+                graph: &g,
+                kb: None
+            }
+        ));
+    }
+
+    #[test]
+    fn length_counts_blocks() {
+        let check =
+            parse_check("let r:GW in r.active_active == true => length(r.ip_configuration) >= 2")
+                .unwrap();
+        let mut gw = Resource::new("azurerm_virtual_network_gateway", "gw");
+        gw.attrs.insert("active_active".into(), Value::Bool(true));
+        gw.attrs.insert(
+            "ip_configuration".into(),
+            Value::List(vec![Value::Map(Default::default())]),
+        );
+        let g = graph(Program::new().with(gw));
+        assert!(!holds(
+            &check,
+            EvalContext {
+                graph: &g,
+                kb: None
+            }
+        ));
+    }
+
+    #[test]
+    fn distinct_variables_bind_distinct_nodes() {
+        // A single subnet must not bind both r1 and r2.
+        let check = parse_check(
+            "let r1:SUBNET, r2:SUBNET in path(r1 -> r2) => r1.name != r2.name",
+        )
+        .unwrap();
+        let p = Program::new().with(Resource::new("azurerm_subnet", "only").with("name", "x"));
+        let g = graph(p);
+        assert!(instances(&check, EvalContext { graph: &g, kb: None }).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based test: every syntactically valid check AST renders to text
+//! that parses back to the same AST.
+
+use proptest::prelude::*;
+use zodiac_spec::{parse_check, Binding, Check, CmpOp, Expr, TypeSpec, Val};
+use zodiac_model::Value;
+
+fn arb_type() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("azurerm_linux_virtual_machine".to_string()),
+        Just("azurerm_network_interface".to_string()),
+        Just("azurerm_subnet".to_string()),
+        Just("azurerm_virtual_network".to_string()),
+        Just("azurerm_storage_account".to_string()),
+        "azurerm_[a-z]{3,10}".prop_map(|s| s),
+    ]
+}
+
+fn arb_attr() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z_]{0,10}",
+        ("[a-z][a-z_]{0,8}", "[a-z][a-z_]{0,8}").prop_map(|(a, b)| format!("{a}.{b}")),
+    ]
+    .prop_filter("reserved words break parsing", |s| {
+        !s.split('.').any(|seg| {
+            matches!(
+                seg,
+                "in" | "let" | "conn" | "path" | "coconn" | "copath" | "overlap" | "contain"
+                    | "length" | "indegree" | "outdegree" | "null" | "true" | "false"
+            )
+        })
+    })
+}
+
+fn arb_lit() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..100000).prop_map(Value::Int),
+        "[a-zA-Z0-9_./*-]{0,12}".prop_map(Value::s),
+    ]
+}
+
+fn var(i: usize) -> String {
+    format!("r{}", i + 1)
+}
+
+fn arb_val(nvars: usize) -> BoxedStrategy<Val> {
+    let v = 0..nvars;
+    prop_oneof![
+        arb_lit().prop_map(Val::Lit),
+        (v.clone(), arb_attr()).prop_map(|(i, attr)| Val::Endpoint { var: var(i), attr }),
+        (v.clone(), arb_type(), any::<bool>()).prop_map(|(i, t, neg)| Val::InDegree {
+            var: var(i),
+            tau: if neg { TypeSpec::Not(t) } else { TypeSpec::Is(t) },
+        }),
+        (v.clone(), arb_type(), any::<bool>()).prop_map(|(i, t, neg)| Val::OutDegree {
+            var: var(i),
+            tau: if neg { TypeSpec::Not(t) } else { TypeSpec::Is(t) },
+        }),
+        (v, arb_attr()).prop_map(|(i, attr)| Val::Length(Box::new(Val::Endpoint {
+            var: var(i),
+            attr,
+        }))),
+    ]
+    .boxed()
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Le),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Overlap),
+        Just(CmpOp::Contain),
+    ]
+}
+
+fn arb_conn(nvars: usize) -> BoxedStrategy<Expr> {
+    (0..nvars, arb_attr(), 0..nvars, arb_attr()).prop_map(|(s, i, d, o)| Expr::Conn {
+        src: var(s),
+        in_endpoint: i,
+        dst: var(d),
+        out_attr: o,
+    })
+    .boxed()
+}
+
+fn arb_expr(nvars: usize) -> BoxedStrategy<Expr> {
+    prop_oneof![
+        arb_conn(nvars),
+        (0..nvars, 0..nvars).prop_map(|(s, d)| Expr::Path {
+            src: var(s),
+            dst: var(d)
+        }),
+        (arb_conn(nvars), arb_conn(nvars)).prop_map(|(a, b)| Expr::CoConn {
+            first: Box::new(a),
+            second: Box::new(b)
+        }),
+        (0..nvars, 0..nvars, 0..nvars, 0..nvars).prop_map(|(a, b, c, d)| Expr::CoPath {
+            first: Box::new(Expr::Path { src: var(a), dst: var(b) }),
+            second: Box::new(Expr::Path { src: var(c), dst: var(d) }),
+        }),
+        (arb_cmp_op(), arb_val(nvars), arb_val(nvars), any::<bool>()).prop_map(
+            |(op, lhs, rhs, negated)| {
+                // The grammar only negates function-style comparisons; infix
+                // comparisons express negation through the operator itself.
+                let negated = negated && matches!(op, CmpOp::Overlap | CmpOp::Contain);
+                Expr::Cmp { op, lhs, rhs, negated }
+            }
+        ),
+    ]
+    .boxed()
+}
+
+fn arb_check() -> impl Strategy<Value = Check> {
+    (1usize..=3)
+        .prop_flat_map(|nvars| {
+            (
+                prop::collection::vec(arb_type(), nvars..=nvars),
+                arb_expr(nvars),
+                arb_expr(nvars),
+            )
+        })
+        .prop_map(|(types, cond, stmt)| Check {
+            bindings: types
+                .into_iter()
+                .enumerate()
+                .map(|(i, rtype)| Binding { var: var(i), rtype })
+                .collect(),
+            cond,
+            stmt,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_roundtrip(check in arb_check()) {
+        let text = check.to_string();
+        let parsed = parse_check(&text)
+            .unwrap_or_else(|e| panic!("rendered check must parse: {e}\n{text}"));
+        prop_assert_eq!(parsed, check, "text: {}", text);
+    }
+}

@@ -1,0 +1,66 @@
+//! Automated counterexample testing (§5.6).
+//!
+//! The open-world assumption means validated checks can still be false
+//! positives: the negative test's deployment failure may have a root cause
+//! Zodiac does not know about. This pass hunts for such cases in *additional
+//! repositories*: if a program that violates a validated check nevertheless
+//! deploys successfully, the check is demoted.
+
+use crate::mdc;
+use crate::scheduler::ValidatedCheck;
+use crate::DeployOracle;
+use zodiac_graph::ResourceGraph;
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::Program;
+use zodiac_spec::{violations, EvalContext};
+
+/// Result of the counterexample pass.
+#[derive(Debug, Clone, Default)]
+pub struct CounterexampleReport {
+    /// Indices (into the validated list) of demoted checks.
+    pub demoted: Vec<usize>,
+    /// Number of violating programs examined.
+    pub examined: usize,
+}
+
+/// Runs counterexample testing over extra corpus programs.
+///
+/// For each validated check, violating programs are pruned around the
+/// violation and deployed; a successful deployment is a counterexample.
+pub fn counterexample_pass<D: DeployOracle>(
+    validated: &[ValidatedCheck],
+    extra_corpus: &[Program],
+    kb: &KnowledgeBase,
+    oracle: &D,
+    max_per_check: usize,
+) -> CounterexampleReport {
+    let mut report = CounterexampleReport::default();
+    for (idx, v) in validated.iter().enumerate() {
+        let mut tried = 0usize;
+        'programs: for program in extra_corpus {
+            if tried >= max_per_check {
+                break;
+            }
+            let graph = ResourceGraph::build(program.clone());
+            let ctx = EvalContext {
+                graph: &graph,
+                kb: Some(kb),
+            };
+            for violation in violations(&v.mined.check, ctx) {
+                tried += 1;
+                report.examined += 1;
+                let case = mdc::prune(&graph, &violation.binding, kb);
+                if oracle.deploys_ok(&case.program) {
+                    report.demoted.push(idx);
+                    break 'programs;
+                }
+                if tried >= max_per_check {
+                    break 'programs;
+                }
+            }
+        }
+    }
+    report.demoted.sort_unstable();
+    report.demoted.dedup();
+    report
+}

@@ -1,0 +1,48 @@
+//! Deployment-based validation of hypothesized semantic checks (§4).
+//!
+//! For every candidate check the engine finds a **positive test case** — a
+//! corpus program that witnesses the check, pruned to a *minimal deployable
+//! configuration* ([`mdc`]) — and derives a **negative test case** by
+//! solver-aided mutation ([`mutate`]): an assignment that violates the
+//! target check while conforming to every validated check (hard) and
+//! minimally disturbing the other candidates (soft). The **validation
+//! scheduler** ([`scheduler`], Figure 5) alternates false-positive removal
+//! and true-positive validation passes, grouping *indistinguishable* checks
+//! that no test case can separate, until the candidate set empties.
+//!
+//! Deployment itself goes through the [`DeployOracle`] trait — the cloud
+//! simulator in this repository, real Azure in the paper.
+
+pub mod counterexample;
+pub mod mdc;
+pub mod mutate;
+pub mod scheduler;
+
+pub use mdc::{find_positive, MdcStats, PositiveCase};
+pub use mutate::{MutationConfig, MutationResult, NegativeCase};
+pub use scheduler::{
+    Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome, ValidationTrace,
+};
+
+use zodiac_cloud::{CloudSim, DeployReport};
+use zodiac_model::Program;
+
+/// Anything that can deploy a program and report the outcome.
+///
+/// The simulator implements this; the paper's implementation shells out to
+/// `terraform apply` against live Azure.
+pub trait DeployOracle {
+    /// Attempts a deployment.
+    fn deploy(&self, program: &Program) -> DeployReport;
+
+    /// Convenience: did the deployment succeed?
+    fn deploys_ok(&self, program: &Program) -> bool {
+        self.deploy(program).outcome.is_success()
+    }
+}
+
+impl DeployOracle for CloudSim {
+    fn deploy(&self, program: &Program) -> DeployReport {
+        CloudSim::deploy(self, program)
+    }
+}

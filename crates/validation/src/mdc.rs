@@ -1,0 +1,216 @@
+//! Positive test cases and minimal-deployable-configuration pruning.
+//!
+//! Given a candidate check, [`find_positive`] scans the corpus for a program
+//! containing a *witness* (a binding satisfying both condition and
+//! statement), then prunes it to the witness resources plus their ancestor
+//! closure — the resources required for the witness to deploy. Everything
+//! else (unreachable resources, and child resources that would deploy after
+//! the check takes effect) is removed, shrinking SMT encodings and cloud
+//! cost (§4.1, *pruning IaC programs*; evaluated in Table 6).
+
+use serde::Serialize;
+use std::collections::{BTreeMap, HashSet};
+use zodiac_graph::{ancestors, NodeIdx, ResourceGraph};
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::{Program, ResourceId};
+use zodiac_spec::{witnesses, Check, EvalContext};
+
+/// A positive test case for a check.
+#[derive(Debug, Clone)]
+pub struct PositiveCase {
+    /// The pruned (MDC) program.
+    pub program: Program,
+    /// Witness binding: variable → resource id in `program`.
+    pub witness: BTreeMap<String, ResourceId>,
+    /// Pruning statistics for this case.
+    pub stats: MdcStats,
+}
+
+/// Before/after pruning statistics (Table 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct MdcStats {
+    /// KB-attended resources after pruning.
+    pub pruned_attended: usize,
+    /// KB-attended resources before pruning.
+    pub orig_attended: usize,
+    /// Unattended resources after pruning.
+    pub pruned_unattended: usize,
+    /// Unattended resources before pruning.
+    pub orig_unattended: usize,
+}
+
+/// Finds a positive test case for `check` in the corpus, preferring the
+/// program that yields the smallest MDC.
+pub fn find_positive(
+    check: &Check,
+    corpus: &[Program],
+    kb: &KnowledgeBase,
+    max_scan: usize,
+) -> Option<PositiveCase> {
+    let mut best: Option<PositiveCase> = None;
+    for program in corpus.iter().take(max_scan.max(1)) {
+        let graph = ResourceGraph::build(program.clone());
+        let ctx = EvalContext {
+            graph: &graph,
+            kb: Some(kb),
+        };
+        let found = witnesses(check, ctx);
+        let Some(w) = found.first() else { continue };
+        let case = prune(&graph, &w.binding, kb);
+        let better = best
+            .as_ref()
+            .is_none_or(|b| case.program.len() < b.program.len());
+        if better {
+            let minimal = case.program.len();
+            best = Some(case);
+            if minimal <= check.bindings.len() + 2 {
+                break; // Cannot get much smaller.
+            }
+        }
+    }
+    best
+}
+
+/// Prunes a program to the witness binding plus its ancestor closure.
+pub fn prune(
+    graph: &ResourceGraph,
+    binding: &BTreeMap<String, NodeIdx>,
+    kb: &KnowledgeBase,
+) -> PositiveCase {
+    let mut keep: HashSet<NodeIdx> = binding.values().copied().collect();
+    for &node in binding.values() {
+        keep.extend(ancestors(graph, node));
+    }
+
+    let program = graph.program();
+    let mut stats = MdcStats::default();
+    for (idx, r) in program.resources().iter().enumerate() {
+        let attended = kb.is_attended(&r.rtype);
+        if attended {
+            stats.orig_attended += 1;
+        } else {
+            stats.orig_unattended += 1;
+        }
+        if keep.contains(&idx) {
+            if attended {
+                stats.pruned_attended += 1;
+            } else {
+                stats.pruned_unattended += 1;
+            }
+        }
+    }
+
+    let keep_ids: HashSet<ResourceId> = keep
+        .iter()
+        .map(|&n| graph.resource(n).id())
+        .collect();
+    let mut pruned = program.clone();
+    pruned.retain_ids(&keep_ids);
+
+    let witness = binding
+        .iter()
+        .map(|(var, &node)| (var.clone(), graph.resource(node).id()))
+        .collect();
+
+    PositiveCase {
+        program: pruned,
+        witness,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::{Resource, Value};
+    use zodiac_spec::parse_check;
+
+    /// rg ← vnet ← subnet ← nic ← vm, plus an unrelated storage account and
+    /// an unattended custom resource.
+    fn sample() -> Program {
+        Program::new()
+            .with(
+                Resource::new("azurerm_resource_group", "rg")
+                    .with("name", "rg")
+                    .with("location", "eastus"),
+            )
+            .with(
+                Resource::new("azurerm_virtual_network", "v")
+                    .with("name", "vn")
+                    .with(
+                        "resource_group_name",
+                        Value::r("azurerm_resource_group", "rg", "name"),
+                    ),
+            )
+            .with(
+                Resource::new("azurerm_subnet", "s").with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "v", "name"),
+                ),
+            )
+            .with(
+                Resource::new("azurerm_network_interface", "n")
+                    .with("location", "eastus")
+                    .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
+            )
+            .with(
+                Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("location", "eastus")
+                    .with(
+                        "network_interface_ids",
+                        Value::List(vec![Value::r("azurerm_network_interface", "n", "id")]),
+                    ),
+            )
+            .with(Resource::new("azurerm_storage_account", "sa").with("name", "saxyz"))
+            .with(Resource::new("custom_thing", "x").with("name", "x"))
+    }
+
+    #[test]
+    fn finds_and_prunes_witness() {
+        let kb = zodiac_kb::azure_kb();
+        let check = parse_check(
+            "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        )
+        .unwrap();
+        let case = find_positive(&check, &[sample()], &kb, 100).expect("witness exists");
+        // Keeps vm + nic + subnet + vnet + rg; drops SA and the custom type.
+        assert_eq!(case.program.len(), 5);
+        assert!(case
+            .program
+            .find(&ResourceId::new("azurerm_storage_account", "sa"))
+            .is_none());
+        assert!(case.program.find(&ResourceId::new("custom_thing", "x")).is_none());
+        assert_eq!(case.stats.orig_attended, 6);
+        assert_eq!(case.stats.pruned_attended, 5);
+        assert_eq!(case.stats.orig_unattended, 1);
+        assert_eq!(case.stats.pruned_unattended, 0);
+        assert_eq!(
+            case.witness.get("r1"),
+            Some(&ResourceId::new("azurerm_linux_virtual_machine", "vm"))
+        );
+    }
+
+    #[test]
+    fn no_witness_returns_none() {
+        let kb = zodiac_kb::azure_kb();
+        let check =
+            parse_check("let r:GW in r.sku == 'Basic' => r.active_active == false").unwrap();
+        assert!(find_positive(&check, &[sample()], &kb, 100).is_none());
+    }
+
+    #[test]
+    fn pruned_program_still_witnesses() {
+        let kb = zodiac_kb::azure_kb();
+        let check = parse_check(
+            "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        )
+        .unwrap();
+        let case = find_positive(&check, &[sample()], &kb, 100).unwrap();
+        let graph = ResourceGraph::build(case.program.clone());
+        let ctx = EvalContext {
+            graph: &graph,
+            kb: Some(&kb),
+        };
+        assert_eq!(witnesses(&check, ctx).len(), 1);
+    }
+}

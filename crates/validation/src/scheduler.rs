@@ -1,0 +1,756 @@
+//! The validation scheduling algorithm (Figure 5).
+//!
+//! The scheduler alternates two passes over the candidate set `R_c` until it
+//! empties (O1):
+//!
+//! * **False-positive removal**: each candidate gets a negative test that
+//!   conforms to every validated check (hard) while minimising violations of
+//!   the other candidates (soft, O2). Candidates whose negative test cannot
+//!   exist (UNSAT) or *deploys successfully* are false positives — and when
+//!   a successful deployment violates several candidates at once, all of
+//!   them fall together.
+//! * **True-positive validation**: a candidate whose negative test fails to
+//!   deploy is validated when it is the *only* violated candidate, or when
+//!   every violated candidate belongs to the same *indistinguishable group*
+//!   (O3) — a set of checks no test case can separate, established by UNSAT
+//!   probes.
+//!
+//! Candidates are processed in *evaluation partial order* (O4): checks
+//! anchored on types that deploy earlier are evaluated first, which breaks
+//! reasoning loops among inter-resource checks.
+
+use crate::mdc::{self, PositiveCase};
+use crate::mutate::{self, MutationConfig, MutationResult};
+use crate::DeployOracle;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use zodiac_cloud::DeployReport;
+use zodiac_kb::KnowledgeBase;
+use zodiac_mining::MinedCheck;
+use zodiac_model::{Program, Value};
+use zodiac_spec::{Check, Expr, Val};
+
+/// Scheduler configuration, including the Figure 8 ablation switches.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Resolve indistinguishable groups (O3). Disabling reproduces
+    /// Figure 8b: validation stalls with a non-empty `R_c`.
+    pub handle_indistinguishable: bool,
+    /// Order candidates by the deployment partial order (O4).
+    pub use_partial_order: bool,
+    /// Maximum outer iterations before declaring the rest unresolved.
+    pub max_iterations: usize,
+    /// Mutation settings (Table 5 ablations).
+    pub mutation: MutationConfig,
+    /// Maximum corpus programs scanned per positive-case search.
+    pub max_scan: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            handle_indistinguishable: true,
+            use_partial_order: true,
+            max_iterations: 8,
+            mutation: MutationConfig::default(),
+            max_scan: 400,
+        }
+    }
+}
+
+/// Why a candidate was discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FalsifyReason {
+    /// No corpus program witnesses the check and none could be synthesised.
+    NoPositiveCase,
+    /// Every mutation violating the check also violates `R_v` (solver
+    /// UNSAT).
+    Unsatisfiable,
+    /// A negative test deployed successfully.
+    Deployable,
+    /// The statement shape is outside the mutation repertoire.
+    NotApplicable,
+}
+
+/// A validated check.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValidatedCheck {
+    /// The mined check and its statistics.
+    pub mined: MinedCheck,
+    /// True if validated through an indistinguishable group (more than one
+    /// candidate violated by its negative test).
+    pub via_group: bool,
+    /// The deployment report of the failing negative test.
+    pub negative_report: DeployReport,
+    /// Size of the negative test program.
+    pub negative_size: usize,
+}
+
+/// A falsified check.
+#[derive(Debug, Clone, Serialize)]
+pub struct FalsifiedCheck {
+    /// The mined check.
+    pub mined: MinedCheck,
+    /// Why it fell.
+    pub reason: FalsifyReason,
+}
+
+/// Per-iteration statistics (Figure 8).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct IterationStats {
+    /// Cumulative validated checks after this iteration.
+    pub validated_total: usize,
+    /// Cumulative false positives after this iteration.
+    pub false_positive_total: usize,
+    /// Candidates still open.
+    pub remaining: usize,
+    /// FPs removed this iteration because the negative test deployed.
+    pub fp_deployable: usize,
+    /// FPs removed this iteration because mutation was UNSAT.
+    pub fp_unsatisfiable: usize,
+    /// TPs validated with a single-violation negative test.
+    pub tp_single: usize,
+    /// TPs validated through an indistinguishable group.
+    pub tp_multiple: usize,
+}
+
+/// Full per-run trace.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ValidationTrace {
+    /// One entry per outer iteration.
+    pub iterations: Vec<IterationStats>,
+}
+
+/// Outcome of a validation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ValidationOutcome {
+    /// `R_v`: validated checks.
+    pub validated: Vec<ValidatedCheck>,
+    /// Discarded candidates.
+    pub false_positives: Vec<FalsifiedCheck>,
+    /// Candidates still open when the run ended (non-empty only when the
+    /// scheduler stalls, e.g. with indistinguishability handling disabled).
+    pub unresolved: Vec<MinedCheck>,
+    /// Indistinguishable groups found (indices into `validated`).
+    pub groups: Vec<Vec<usize>>,
+    /// Per-iteration trace.
+    pub trace: ValidationTrace,
+}
+
+impl ValidationOutcome {
+    /// Number of validated checks counting each indistinguishable group as
+    /// one (the paper's reporting convention).
+    pub fn validated_groups_as_one(&self) -> usize {
+        let grouped: usize = self.groups.iter().map(|g| g.len()).sum();
+        self.validated.len() - grouped + self.groups.len()
+    }
+}
+
+/// The validation scheduler.
+pub struct Scheduler<'a, D: DeployOracle> {
+    oracle: &'a D,
+    kb: &'a KnowledgeBase,
+    corpus: &'a [Program],
+    cfg: SchedulerConfig,
+}
+
+struct Candidate {
+    mined: MinedCheck,
+    positive: Option<PositiveCase>,
+    order: i64,
+}
+
+/// Soft-constraint weight of a candidate: better-supported candidates are
+/// costlier to violate, breaking ties toward the corpus evidence.
+fn soft_weight(c: &MinedCheck) -> u64 {
+    (c.support as u64).min(100)
+}
+
+impl<'a, D: DeployOracle> Scheduler<'a, D> {
+    /// Creates a scheduler over a deployment oracle, KB, and corpus.
+    pub fn new(
+        oracle: &'a D,
+        kb: &'a KnowledgeBase,
+        corpus: &'a [Program],
+        cfg: SchedulerConfig,
+    ) -> Self {
+        Scheduler {
+            oracle,
+            kb,
+            corpus,
+            cfg,
+        }
+    }
+
+    /// Runs validation to completion (Figure 5).
+    pub fn run(&self, candidates: Vec<MinedCheck>) -> ValidationOutcome {
+        let depths = type_depths(self.kb);
+        let mut rc: Vec<Candidate> = candidates
+            .into_iter()
+            .map(|mined| {
+                let order = check_order(&mined.check, &depths);
+                Candidate {
+                    mined,
+                    positive: None,
+                    order,
+                }
+            })
+            .collect();
+        if self.cfg.use_partial_order {
+            rc.sort_by_key(|c| c.order); // O4
+        }
+
+        let mut validated: Vec<ValidatedCheck> = Vec::new();
+        let mut false_positives: Vec<FalsifiedCheck> = Vec::new();
+        let mut groups_out: Vec<Vec<usize>> = Vec::new();
+        let mut trace = ValidationTrace::default();
+
+        for _iter in 0..self.cfg.max_iterations {
+            if rc.is_empty() {
+                break;
+            }
+            let mut stats = IterationStats::default();
+            let progress_before = rc.len();
+
+            // ---------------- false positive removal pass -----------------
+            let mut removed: BTreeSet<usize> = BTreeSet::new();
+            for i in 0..rc.len() {
+                if removed.contains(&i) {
+                    continue;
+                }
+                if self.ensure_positive(&mut rc[i]).is_none() {
+                    removed.insert(i);
+                    false_positives.push(FalsifiedCheck {
+                        mined: rc[i].mined.clone(),
+                        reason: FalsifyReason::NoPositiveCase,
+                    });
+                    continue;
+                }
+                let soft: Vec<(Check, u64)> = rc
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i && !removed.contains(j))
+                    .map(|(_, c)| (c.mined.check.clone(), soft_weight(&c.mined)))
+                    .collect();
+                let hard: Vec<Check> =
+                    validated.iter().map(|v| v.mined.check.clone()).collect();
+                let result = mutate::negative_test(
+                    &rc[i].mined.check,
+                    rc[i].positive.as_ref().expect("ensured"),
+                    &hard,
+                    &soft,
+                    self.kb,
+                    self.corpus,
+                    &self.cfg.mutation,
+                );
+                match result {
+                    MutationResult::Unsat => {
+                        stats.fp_unsatisfiable += 1;
+                        removed.insert(i);
+                        false_positives.push(FalsifiedCheck {
+                            mined: rc[i].mined.clone(),
+                            reason: FalsifyReason::Unsatisfiable,
+                        });
+                    }
+                    MutationResult::NotApplicable => {
+                        removed.insert(i);
+                        false_positives.push(FalsifiedCheck {
+                            mined: rc[i].mined.clone(),
+                            reason: FalsifyReason::NotApplicable,
+                        });
+                    }
+                    MutationResult::Negative(neg) => {
+                        if self.oracle.deploys_ok(&neg.program) {
+                            stats.fp_deployable += 1;
+                            removed.insert(i);
+                            false_positives.push(FalsifiedCheck {
+                                mined: rc[i].mined.clone(),
+                                reason: FalsifyReason::Deployable,
+                            });
+                            // Every violated open candidate falls with it:
+                            // the deployment succeeded despite violating
+                            // them all.
+                            let soft_indices: Vec<usize> = rc
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != i && !removed.contains(j))
+                                .map(|(j, _)| j)
+                                .collect();
+                            for (pos_in_soft, &j) in soft_indices.iter().enumerate() {
+                                if neg.violated_soft.contains(&pos_in_soft) {
+                                    stats.fp_deployable += 1;
+                                    removed.insert(j);
+                                    false_positives.push(FalsifiedCheck {
+                                        mined: rc[j].mined.clone(),
+                                        reason: FalsifyReason::Deployable,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            retain_not(&mut rc, &removed);
+
+            // ---------------- shared negatives for grouping + TP -----------
+            let negatives = self.generate_negatives(&mut rc, &validated);
+
+            // ---------------- indistinguishable grouping (O3) --------------
+            let groups = if self.cfg.handle_indistinguishable {
+                self.group_indistinct(&mut rc, &validated, &negatives)
+            } else {
+                Vec::new()
+            };
+
+            // ---------------- true positive validation pass ----------------
+            let mut newly_validated: BTreeSet<usize> = BTreeSet::new();
+            for i in 0..rc.len() {
+                if newly_validated.contains(&i) {
+                    continue;
+                }
+                let Some(neg) = negatives[i].as_ref() else {
+                    continue;
+                };
+                let report = self.oracle.deploy(&neg.program);
+                if report.outcome.is_success() {
+                    continue; // Handled next iteration's FP pass.
+                }
+                // R_n: the open candidates the negative test violates
+                // (including the target itself).
+                let soft_global: Vec<usize> = (0..rc.len()).filter(|j| *j != i).collect();
+                let mut rn: BTreeSet<usize> = neg
+                    .violated_soft
+                    .iter()
+                    .filter_map(|&pos| soft_global.get(pos).copied())
+                    .collect();
+                rn.insert(i);
+                let single = rn.len() == 1;
+                let in_group = groups.iter().any(|g| rn.iter().all(|j| g.contains(j)));
+                if single || in_group {
+                    if single {
+                        stats.tp_single += 1;
+                    } else {
+                        stats.tp_multiple += 1;
+                    }
+                    newly_validated.insert(i);
+                    validated.push(ValidatedCheck {
+                        mined: rc[i].mined.clone(),
+                        via_group: !single,
+                        negative_size: neg.program.len(),
+                        negative_report: report,
+                    });
+                }
+            }
+            // Record group memberships among the newly validated.
+            if !groups.is_empty() {
+                let offset = validated.len() - newly_validated.len();
+                let validated_this_round: Vec<usize> =
+                    newly_validated.iter().copied().collect();
+                for g in &groups {
+                    let members: Vec<usize> = validated_this_round
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, idx)| g.contains(idx))
+                        .map(|(k, _)| offset + k)
+                        .collect();
+                    if members.len() > 1 {
+                        groups_out.push(members);
+                    }
+                }
+            }
+            retain_not(&mut rc, &newly_validated);
+
+            stats.validated_total = validated.len();
+            stats.false_positive_total = false_positives.len();
+            stats.remaining = rc.len();
+            trace.iterations.push(stats);
+
+            if rc.len() == progress_before {
+                break; // Stalled (Figure 8b without O3).
+            }
+        }
+
+        ValidationOutcome {
+            validated,
+            false_positives,
+            unresolved: rc.into_iter().map(|c| c.mined).collect(),
+            groups: groups_out,
+            trace,
+        }
+    }
+
+    /// Finds (or synthesises) and caches a positive case for a candidate.
+    fn ensure_positive<'b>(&self, c: &'b mut Candidate) -> Option<&'b PositiveCase> {
+        if c.positive.is_none() {
+            c.positive = mdc::find_positive(&c.mined.check, self.corpus, self.kb, self.cfg.max_scan)
+                .or_else(|| self.synthesize_positive(&c.mined.check));
+        }
+        c.positive.as_ref()
+    }
+
+    /// Synthesises a positive case for single-binding enum-conditioned
+    /// checks whose condition value never appears in the corpus (oracle
+    /// interpolation covers skus the corpus never witnessed): take any
+    /// resource of the bound type, rewrite the condition attribute, and
+    /// verify the check holds.
+    fn synthesize_positive(&self, check: &Check) -> Option<PositiveCase> {
+        let [binding] = check.bindings.as_slice() else {
+            return None;
+        };
+        let Expr::Cmp {
+            op: zodiac_spec::CmpOp::Eq,
+            lhs: Val::Endpoint { var, attr },
+            rhs: Val::Lit(value),
+            negated: false,
+        } = &check.cond
+        else {
+            return None;
+        };
+        for program in self.corpus.iter().take(self.cfg.max_scan) {
+            let Some(donor) = program.of_type(&binding.rtype).next() else {
+                continue;
+            };
+            let donor_id = donor.id();
+            let mut modified = program.clone();
+            let path: zodiac_model::AttrPath = attr.parse().ok()?;
+            modified.find_mut(&donor_id)?.set(&path, value.clone());
+            let graph = zodiac_graph::ResourceGraph::build(modified);
+            let ctx = zodiac_spec::EvalContext {
+                graph: &graph,
+                kb: Some(self.kb),
+            };
+            let donor_node = graph.node(&donor_id);
+            let found = zodiac_spec::witnesses(check, ctx);
+            let Some(w) = found
+                .iter()
+                .find(|w| w.binding.get(var).copied() == donor_node)
+            else {
+                continue;
+            };
+            return Some(mdc::prune(&graph, &w.binding, self.kb));
+        }
+        None
+    }
+}
+
+fn retain_not(rc: &mut Vec<Candidate>, drop: &BTreeSet<usize>) {
+    let mut i = 0usize;
+    rc.retain(|_| {
+        let keep = !drop.contains(&i);
+        i += 1;
+        keep
+    });
+}
+
+/// Deployment depth of each KB type: types referencing nothing deploy first
+/// (depth 0); a type's depth is one more than the deepest type it can
+/// reference.
+pub fn type_depths(kb: &KnowledgeBase) -> HashMap<String, i64> {
+    let mut depths: HashMap<String, i64> = HashMap::new();
+    fn depth_of(
+        kb: &KnowledgeBase,
+        t: &str,
+        depths: &mut HashMap<String, i64>,
+        stack: &mut Vec<String>,
+    ) -> i64 {
+        if let Some(&d) = depths.get(t) {
+            return d;
+        }
+        if stack.iter().any(|s| s == t) {
+            return 0; // Self/cyclic references (DISK → DISK) bottom out.
+        }
+        stack.push(t.to_string());
+        let d = kb
+            .resource(t)
+            .map(|schema| {
+                schema
+                    .endpoints
+                    .values()
+                    .map(|e| depth_of(kb, &e.target_type, depths, stack) + 1)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        stack.pop();
+        depths.insert(t.to_string(), d);
+        d
+    }
+    let types: Vec<String> = kb.types().map(str::to_string).collect();
+    for t in &types {
+        let mut stack = Vec::new();
+        depth_of(kb, t, &mut depths, &mut stack);
+    }
+    depths
+}
+
+/// A check's evaluation order: the *minimum* deployment depth among its
+/// bound types — checks about early-deploying resources go first.
+fn check_order(check: &Check, depths: &HashMap<String, i64>) -> i64 {
+    check
+        .bindings
+        .iter()
+        .map(|b| depths.get(&b.rtype).copied().unwrap_or(i64::MAX / 2))
+        .min()
+        .unwrap_or(0)
+}
+
+impl<'a, D: DeployOracle> Scheduler<'a, D> {
+    /// Generates (and deduplicates work for) one negative test per open
+    /// candidate, shared by the grouping and TP passes of one iteration.
+    fn generate_negatives(
+        &self,
+        rc: &mut [Candidate],
+        validated: &[ValidatedCheck],
+    ) -> Vec<Option<crate::mutate::NegativeCase>> {
+        let n = rc.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if self.ensure_positive(&mut rc[i]).is_none() {
+                out.push(None);
+                continue;
+            }
+            let soft: Vec<(Check, u64)> = (0..n)
+                .filter(|j| *j != i)
+                .map(|j| (rc[j].mined.check.clone(), soft_weight(&rc[j].mined)))
+                .collect();
+            let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
+            let result = mutate::negative_test(
+                &rc[i].mined.check,
+                rc[i].positive.as_ref().expect("ensured"),
+                &hard,
+                &soft,
+                self.kb,
+                self.corpus,
+                &self.cfg.mutation,
+            );
+            out.push(match result {
+                MutationResult::Negative(neg) => Some(*neg),
+                _ => None,
+            });
+        }
+        out
+    }
+
+    /// Finds indistinguishable groups (O3): candidates that mutually violate
+    /// each other's negative tests and for which no test separates them.
+    fn group_indistinct(
+        &self,
+        rc: &mut [Candidate],
+        validated: &[ValidatedCheck],
+        negatives: &[Option<crate::mutate::NegativeCase>],
+    ) -> Vec<Vec<usize>> {
+        let n = rc.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        // Step 1: mutual-violation adjacency from the shared negative tests.
+        let mut violates: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for i in 0..n {
+            if let Some(neg) = negatives[i].as_ref() {
+                let soft_global: Vec<usize> = (0..n).filter(|j| *j != i).collect();
+                for &pos in &neg.violated_soft {
+                    if let Some(&j) = soft_global.get(pos) {
+                        violates[i].insert(j);
+                    }
+                }
+            }
+        }
+        // Candidate groups come from two granularities: components over
+        // *mutual* violation (the paper's step 1), and weakly-connected
+        // components of the violation digraph — needed when equivalent
+        // check families chain through one-directional violations (e.g.
+        // `Regular ⇒ no eviction policy` and its `eviction ⇒ Spot`
+        // contrapositives). The UNSAT probes of step 2 reject any
+        // over-approximation.
+        let components = |mutual: bool| -> Vec<Vec<usize>> {
+            let mut component = vec![usize::MAX; n];
+            let mut next = 0usize;
+            for i in 0..n {
+                if component[i] != usize::MAX {
+                    continue;
+                }
+                let mut stack = vec![i];
+                component[i] = next;
+                while let Some(cur) = stack.pop() {
+                    let neighbours: Vec<usize> = if mutual {
+                        violates[cur]
+                            .iter()
+                            .copied()
+                            .filter(|&j| violates[j].contains(&cur))
+                            .collect()
+                    } else {
+                        // Weak connectivity: edges in either direction.
+                        (0..n)
+                            .filter(|&j| {
+                                violates[cur].contains(&j) || violates[j].contains(&cur)
+                            })
+                            .collect()
+                    };
+                    for j in neighbours {
+                        if component[j] == usize::MAX {
+                            component[j] = next;
+                            stack.push(j);
+                        }
+                    }
+                }
+                next += 1;
+            }
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (i, &c) in component.iter().enumerate() {
+                groups.entry(c).or_default().push(i);
+            }
+            groups.into_values().collect()
+        };
+        let mut candidate_groups: Vec<Vec<usize>> = components(true);
+        for weak in components(false) {
+            if weak.len() <= 12 && !candidate_groups.contains(&weak) {
+                candidate_groups.push(weak);
+            }
+        }
+        // Step 2: UNSAT probes — a candidate group is real only if no member
+        // can be violated while conforming to the rest of the group.
+        let mut out = Vec::new();
+        'group: for members in candidate_groups {
+            if members.len() < 2 {
+                continue;
+            }
+            for &i in &members {
+                let Some(positive) = rc[i].positive.as_ref() else {
+                    continue;
+                };
+                let mut hard: Vec<Check> =
+                    validated.iter().map(|v| v.mined.check.clone()).collect();
+                hard.extend(
+                    members
+                        .iter()
+                        .filter(|&&j| j != i)
+                        .map(|&j| rc[j].mined.check.clone()),
+                );
+                let no_soft: [(Check, u64); 0] = [];
+                let result = mutate::negative_test(
+                    &rc[i].mined.check,
+                    positive,
+                    &hard,
+                    &no_soft,
+                    self.kb,
+                    self.corpus,
+                    &self.cfg.mutation,
+                );
+                if matches!(result, MutationResult::Negative(_)) {
+                    // Separable: not an indistinguishable group.
+                    continue 'group;
+                }
+            }
+            out.push(members);
+        }
+        out
+    }
+}
+
+/// Literal helper re-exported for tests.
+pub fn value_str(v: &str) -> Value {
+    Value::s(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_depths_follow_reference_chains() {
+        let kb = zodiac_kb::azure_kb();
+        let depths = type_depths(&kb);
+        let d = |t: &str| depths.get(t).copied().unwrap_or(-1);
+        // RG references nothing; VNet references RG; subnet references VNet;
+        // NIC references subnet; VM references NICs.
+        assert_eq!(d("azurerm_resource_group"), 0);
+        assert!(d("azurerm_virtual_network") > d("azurerm_resource_group"));
+        assert!(d("azurerm_subnet") > d("azurerm_virtual_network"));
+        assert!(d("azurerm_network_interface") > d("azurerm_subnet"));
+        assert!(d("azurerm_linux_virtual_machine") > d("azurerm_network_interface"));
+    }
+
+    #[test]
+    fn self_referencing_types_terminate() {
+        // azurerm_managed_disk can reference itself (source_resource_id).
+        let kb = zodiac_kb::azure_kb();
+        let depths = type_depths(&kb);
+        assert!(depths.contains_key("azurerm_managed_disk"));
+    }
+
+    #[test]
+    fn check_order_uses_min_binding_depth() {
+        let kb = zodiac_kb::azure_kb();
+        let depths = type_depths(&kb);
+        let nic_vpc = zodiac_spec::parse_check(
+            "let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
+        )
+        .unwrap();
+        let vm_nic = zodiac_spec::parse_check(
+            "let r1:VM, r2:NIC in path(r1 -> r2) => r1.location == r2.location",
+        )
+        .unwrap();
+        // Both touch NICs, but the NIC/VPC check bottoms out at the VPC,
+        // which deploys earlier — so it is evaluated first (O4).
+        assert!(check_order(&nic_vpc, &depths) < check_order(&vm_nic, &depths));
+    }
+
+    #[test]
+    fn soft_weight_saturates() {
+        let mined = |support: usize| zodiac_mining::MinedCheck {
+            check: zodiac_spec::parse_check(
+                "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+            )
+            .unwrap(),
+            family: "t",
+            support,
+            confidence: 1.0,
+            lift: None,
+            interp: None,
+        };
+        assert_eq!(soft_weight(&mined(3)), 3);
+        assert_eq!(soft_weight(&mined(5000)), 100);
+    }
+
+    #[test]
+    fn groups_as_one_counts_correctly() {
+        let outcome = ValidationOutcome {
+            validated: Vec::new(),
+            false_positives: Vec::new(),
+            unresolved: Vec::new(),
+            groups: vec![vec![0, 1, 2], vec![3, 4]],
+            trace: ValidationTrace::default(),
+        };
+        // 0 validated entries but 5 grouped indices is inconsistent in real
+        // runs; the arithmetic is what we check: len - grouped + groups.
+        let fake = ValidationOutcome {
+            validated: (0..7)
+                .map(|_| ValidatedCheck {
+                    mined: zodiac_mining::MinedCheck {
+                        check: zodiac_spec::parse_check(
+                            "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+                        )
+                        .unwrap(),
+                        family: "t",
+                        support: 1,
+                        confidence: 1.0,
+                        lift: None,
+                        interp: None,
+                    },
+                    via_group: false,
+                    negative_report: zodiac_cloud::DeployReport {
+                        outcome: zodiac_cloud::DeployOutcome::Success,
+                        deployed: Vec::new(),
+                        halted: Vec::new(),
+                        rollback: Vec::new(),
+                        violations: Vec::new(),
+                    },
+                    negative_size: 1,
+                })
+                .collect(),
+            ..outcome
+        };
+        // 7 checks, groups of 3 and 2 → 7 - 5 + 2 = 4.
+        assert_eq!(fake.validated_groups_as_one(), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Reproduces §5.5: the official application-gateway usage example that
+//! compiles cleanly but violates two semantic checks at once — and why the
+//! naive fix is wrong.
+//!
+//! ```sh
+//! cargo run --release --example appgw_doc_bug
+//! ```
+
+use zodiac::fixtures::{APPGW_CHECKS, APPGW_DOC_EXAMPLE, APPGW_DOC_EXAMPLE_FIXED, IP_ALLOCATION_CHECK};
+use zodiac::scanner::scan_program;
+use zodiac_cloud::{CloudSim, DeployOutcome};
+use zodiac_spec::parse_check;
+
+fn main() {
+    let kb = zodiac_kb::azure_kb();
+    let sim = CloudSim::new_azure();
+    let checks: Vec<_> = APPGW_CHECKS.iter().map(|s| parse_check(s).unwrap()).collect();
+
+    println!("== the official usage example (buggy) ==");
+    let buggy = zodiac_hcl::compile(APPGW_DOC_EXAMPLE).expect("the example compiles — that is the problem");
+    println!("Terraform-level compilation: OK ({} resources)", buggy.len());
+
+    let violations = scan_program(&buggy, &checks, &kb);
+    println!("Zodiac static scan: {} violations", violations.len());
+    for v in &violations {
+        println!("  ✗ {}", v.check);
+        for r in &v.resources {
+            println!("      involves {r}");
+        }
+    }
+
+    match sim.deploy(&buggy).outcome {
+        DeployOutcome::Failure {
+            phase,
+            rule_id,
+            resource,
+            message,
+        } => println!("Deployment: FAILED at {phase} on {resource}\n  {rule_id}: {message}"),
+        DeployOutcome::Success => println!("Deployment: unexpectedly succeeded?!"),
+    }
+
+    println!("\n== the naive fix (sku = Standard, allocation untouched) ==");
+    let naive = APPGW_DOC_EXAMPLE.replace(
+        "sku                 = \"Basic\"",
+        "sku                 = \"Standard\"",
+    );
+    let naive_program = zodiac_hcl::compile(&naive).unwrap();
+    let coupled = parse_check(IP_ALLOCATION_CHECK).unwrap();
+    let naive_violations = scan_program(&naive_program, &[coupled], &kb);
+    println!(
+        "Flipping the sku alone trips the coupled check ({} violation):",
+        naive_violations.len()
+    );
+    for v in &naive_violations {
+        println!("  ✗ {}", v.check);
+    }
+    println!(
+        "Deployment of the naive fix: {}",
+        if sim.deploys_ok(&naive_program) { "OK" } else { "FAILED (as Zodiac predicts)" }
+    );
+
+    println!("\n== the complete fix (Standard/Static IP, NIC on the backend subnet) ==");
+    let fixed = zodiac_hcl::compile(APPGW_DOC_EXAMPLE_FIXED).unwrap();
+    let fixed_violations = scan_program(&fixed, &checks, &kb);
+    println!("Zodiac static scan: {} violations", fixed_violations.len());
+    println!(
+        "Deployment: {}",
+        if sim.deploys_ok(&fixed) { "OK" } else { "FAILED" }
+    );
+}

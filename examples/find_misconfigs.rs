@@ -1,0 +1,65 @@
+//! Scan a repository corpus for semantic misconfigurations (§5.5): mine and
+//! validate checks on one corpus, then scan a *different* corpus with them,
+//! reporting the buggy-project rate and the top offending checks.
+//!
+//! ```sh
+//! cargo run --release --example find_misconfigs
+//! ```
+
+use zodiac::scanner::scan_corpus;
+use zodiac::{run_pipeline, PipelineConfig};
+use zodiac_corpus::CorpusConfig;
+use zodiac_model::Program;
+
+fn main() {
+    let mut cfg = PipelineConfig::evaluation();
+    cfg.corpus.projects = 200;
+    cfg.counterexample_projects = 100;
+    println!("==> mining + validating checks on {} projects...", cfg.corpus.projects);
+    let result = run_pipeline(&cfg);
+    let checks: Vec<_> = result
+        .final_checks
+        .iter()
+        .map(|v| v.mined.check.clone())
+        .collect();
+    println!("    {} validated checks ready", checks.len());
+
+    // A fresh "wild" corpus with real-world noise levels.
+    let wild: Vec<Program> = zodiac_corpus::generate(&CorpusConfig {
+        projects: 400,
+        seed: 0xBEEF,
+        noise_rate: 0.02,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect();
+
+    let kb = zodiac_kb::azure_kb();
+    println!("==> scanning {} wild projects...", wild.len());
+    let report = scan_corpus(&wild, &checks, &kb);
+    println!(
+        "    {} / {} projects violate at least one check ({:.1}%)",
+        report.buggy_programs,
+        report.scanned,
+        100.0 * report.buggy_rate()
+    );
+    println!("\nTop violated checks:");
+    for (check_idx, count) in report.top_checks(3) {
+        println!("  {count:>3} × {}", checks[check_idx]);
+    }
+    println!("\nSample violations:");
+    for (program_idx, vs) in report.violations.iter().take(5) {
+        for v in vs.iter().take(1) {
+            println!(
+                "  project #{program_idx}: {} (resources: {})",
+                v.check,
+                v.resources
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: run the whole Zodiac pipeline on a small synthetic corpus
+//! and print the validated semantic checks.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use zodiac::{run_pipeline, PipelineConfig};
+
+fn main() {
+    let mut cfg = PipelineConfig::evaluation();
+    // Keep the quickstart quick: a smaller corpus than the evaluation runs.
+    cfg.corpus.projects = 150;
+    cfg.counterexample_projects = 100;
+
+    println!("==> generating corpus ({} projects)...", cfg.corpus.projects);
+    let result = run_pipeline(&cfg);
+
+    println!(
+        "==> mining: {} hypothesized, {} removed by confidence, {} by lift, \
+         {} interpolated, {} kept",
+        result.mining.hypothesized,
+        result.mining.removed_by_confidence,
+        result.mining.removed_by_lift,
+        result.mining.llm_found,
+        result.mining.checks.len(),
+    );
+    println!(
+        "==> validation: {} validated / {} false positives / {} unresolved \
+         in {} iterations",
+        result.validation.validated.len(),
+        result.validation.false_positives.len(),
+        result.validation.unresolved.len(),
+        result.validation.trace.iterations.len(),
+    );
+    println!(
+        "==> counterexample pass demoted {} checks; final set: {}",
+        result.demoted.len(),
+        result.final_checks.len(),
+    );
+
+    println!("\nValidated semantic checks:");
+    for (i, v) in result.final_checks.iter().enumerate() {
+        println!("{:>3}. [{}] {}", i + 1, v.mined.family, v.mined.check);
+    }
+}

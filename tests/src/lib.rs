@@ -1,0 +1,1 @@
+//! Integration tests for the Zodiac workspace live in `tests/tests/`.

@@ -1,0 +1,120 @@
+//! Blast-radius semantics (§5.1 "impact of failures"): a slow tunnel
+//! failing over overlapping VNets leaves fast-deployed children in the
+//! rollback radius.
+
+use rand::SeedableRng;
+use zodiac_cloud::{CloudSim, DeployOutcome};
+use zodiac_corpus::CorpusConfig;
+
+#[test]
+fn tunnel_overlap_has_wide_rollback_radius() {
+    let corpus = zodiac_corpus::generate(&CorpusConfig {
+        projects: 300,
+        noise_rate: 0.0,
+        seed: 5,
+        ..Default::default()
+    });
+    let sim = CloudSim::new_azure();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut tested = 0;
+    for p in &corpus {
+        if !p.motifs.contains(&"vnet2vnet") {
+            continue;
+        }
+        let mut program = p.program.clone();
+        if !zodiac_corpus::inject_kind(&mut rng, &mut program, "tunnel-vpc-overlap") {
+            continue;
+        }
+        let report = sim.deploy(&program);
+        let DeployOutcome::Failure { phase: _, rule_id, .. } = &report.outcome else {
+            panic!("{}: overlapping tunneled VNets must fail", p.name);
+        };
+        assert_eq!(rule_id, "gw/tunnel-vpc-overlap", "{}", p.name);
+        // The paper's §5.1 walk-through: the VNets and their children
+        // deployed before the tunnel failed, so the rollback radius spans
+        // several resource types (VNet + subnet + gateway at minimum).
+        assert!(
+            report.rollback_radius() >= 3,
+            "{}: rollback radius {} too small: {:?}",
+            p.name,
+            report.rollback_radius(),
+            report.rollback
+        );
+        // The fix target is a virtual network.
+        assert!(report
+            .rollback
+            .iter()
+            .any(|r| r.rtype == "azurerm_virtual_network"));
+        tested += 1;
+        if tested >= 3 {
+            break;
+        }
+    }
+    assert!(tested > 0, "corpus must contain vnet2vnet projects");
+}
+
+#[test]
+fn intra_resource_failures_have_minimal_rollback() {
+    let corpus = zodiac_corpus::generate(&CorpusConfig {
+        projects: 120,
+        noise_rate: 0.0,
+        seed: 6,
+        ..Default::default()
+    });
+    let sim = CloudSim::new_azure();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut tested = 0;
+    for p in &corpus {
+        let mut program = p.program.clone();
+        if !zodiac_corpus::inject_kind(&mut rng, &mut program, "premium-gzrs") {
+            continue;
+        }
+        let report = sim.deploy(&program);
+        assert!(!report.outcome.is_success());
+        // Fixing a storage-account attribute touches only the SA itself.
+        assert_eq!(report.rollback_radius(), 1, "{}", p.name);
+        tested += 1;
+        if tested >= 3 {
+            break;
+        }
+    }
+    assert!(tested > 0, "corpus must contain storage accounts");
+}
+
+#[test]
+fn slow_resources_let_independent_branches_finish() {
+    // A project with a gateway (slow) and an independent VM (fast): if the
+    // gateway fails, the VM has already deployed.
+    let corpus = zodiac_corpus::generate(&CorpusConfig {
+        projects: 400,
+        noise_rate: 0.0,
+        seed: 9,
+        min_motifs: 2,
+        max_motifs: 3,
+        ..Default::default()
+    });
+    let sim = CloudSim::new_azure();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for p in &corpus {
+        if !(p.motifs.contains(&"vpn_site") && p.motifs.contains(&"simple_vm")) {
+            continue;
+        }
+        let mut program = p.program.clone();
+        if !zodiac_corpus::inject_kind(&mut rng, &mut program, "basic-gw-active-active") {
+            continue;
+        }
+        let report = sim.deploy(&program);
+        assert!(!report.outcome.is_success());
+        assert!(
+            report
+                .deployed
+                .iter()
+                .any(|r| r.rtype == "azurerm_linux_virtual_machine"),
+            "{}: the independent VM deploys before the slow gateway fails; deployed: {:?}",
+            p.name,
+            report.deployed
+        );
+        return;
+    }
+    panic!("no project with both vpn_site and simple_vm motifs found");
+}

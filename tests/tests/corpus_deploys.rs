@@ -1,0 +1,60 @@
+//! Corpus ↔ simulator contract: clean projects deploy, noisy ones fail.
+
+use zodiac_cloud::{CloudSim, DeployOutcome};
+use zodiac_corpus::{generate, CorpusConfig};
+
+#[test]
+fn clean_corpus_deploys_successfully() {
+    let corpus = generate(&CorpusConfig {
+        projects: 120,
+        noise_rate: 0.0,
+        seed: 7,
+        ..Default::default()
+    });
+    let sim = CloudSim::new_azure();
+    let mut failures = Vec::new();
+    for p in &corpus {
+        let report = sim.deploy(&p.program);
+        if let DeployOutcome::Failure {
+            rule_id, message, ..
+        } = &report.outcome
+        {
+            failures.push(format!("{} [{:?}]: {rule_id}: {message}", p.name, p.motifs));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} clean projects failed to deploy:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn injected_noise_causes_deployment_failures() {
+    let corpus = generate(&CorpusConfig {
+        projects: 120,
+        noise_rate: 1.0,
+        seed: 11,
+        ..Default::default()
+    });
+    let sim = CloudSim::new_azure();
+    let injected: Vec<_> = corpus
+        .iter()
+        .filter(|p| p.injected_noise.is_some())
+        .collect();
+    assert!(injected.len() > 60, "too few injected: {}", injected.len());
+    let mut silent = Vec::new();
+    for p in &injected {
+        if sim.deploys_ok(&p.program) {
+            silent.push(format!("{}: {:?}", p.name, p.injected_noise));
+        }
+    }
+    // Every injector is designed to violate a ground-truth rule.
+    assert!(
+        silent.is_empty(),
+        "{} noisy projects deployed cleanly:\n{}",
+        silent.len(),
+        silent.join("\n")
+    );
+}

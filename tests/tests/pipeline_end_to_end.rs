@@ -1,0 +1,107 @@
+//! End-to-end pipeline: corpus → mining → validation → counterexamples →
+//! scanner, asserting the paper's qualitative results hold.
+
+use zodiac::{run_pipeline, PipelineConfig};
+use zodiac_corpus::CorpusConfig;
+use zodiac_spec::parse_check;
+
+fn small_pipeline() -> zodiac::PipelineResult {
+    let mut cfg = PipelineConfig::evaluation();
+    cfg.corpus.projects = 250;
+    cfg.counterexample_projects = 120;
+    run_pipeline(&cfg)
+}
+
+#[test]
+fn pipeline_recovers_known_ground_truth_checks() {
+    let result = small_pipeline();
+    assert!(result.mining.hypothesized > result.mining.checks.len());
+    assert!(
+        result.final_checks.len() >= 20,
+        "too few validated checks: {}",
+        result.final_checks.len()
+    );
+
+    // Known paper checks the pipeline must rediscover (canonical matching).
+    let expected = [
+        "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+        "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+        "let r1:APPGW, r2:IP in conn(r1.frontend_ip_configuration.public_ip_address_id -> r2.id) => r2.sku == 'Standard'",
+        "let r1:SUBNET, r2:VPC in conn(r1.virtual_network_name -> r2.name) => contain(r2.address_space, r1.address_prefixes)",
+        "let r1:GW, r2:SUBNET in conn(r1.ip_configuration.subnet_id -> r2.id) => indegree(r2, !GW) == 0",
+    ];
+    for src in expected {
+        let canon = parse_check(src).unwrap().canonical();
+        assert!(
+            result
+                .final_checks
+                .iter()
+                .any(|v| v.mined.check.canonical() == canon),
+            "pipeline must validate: {src}"
+        );
+    }
+
+    // False positives were removed, and the trace converged.
+    assert!(!result.validation.false_positives.is_empty());
+    assert!(!result.validation.trace.iterations.is_empty());
+    let last = result.validation.trace.iterations.last().unwrap();
+    assert!(
+        last.remaining <= result.mining.checks.len() / 10,
+        "scheduler should nearly empty R_c: {} remaining",
+        last.remaining
+    );
+}
+
+#[test]
+fn validated_checks_flag_real_misconfigurations() {
+    let result = small_pipeline();
+    let checks: Vec<_> = result
+        .final_checks
+        .iter()
+        .map(|v| v.mined.check.clone())
+        .collect();
+    let kb = zodiac_kb::azure_kb();
+
+    // A noisy wild corpus: injected misconfigurations should be caught.
+    let wild = zodiac_corpus::generate(&CorpusConfig {
+        projects: 150,
+        seed: 0xFACADE,
+        noise_rate: 0.15,
+        ..Default::default()
+    });
+    let programs: Vec<_> = wild.iter().map(|p| p.program.clone()).collect();
+    let report = zodiac::scan_corpus(&programs, &checks, &kb);
+    let injected = wild.iter().filter(|p| p.injected_noise.is_some()).count();
+    assert!(injected > 0);
+    assert!(
+        report.buggy_programs > 0,
+        "scanner must flag some of the {injected} injected misconfigurations"
+    );
+    // And scanner hits imply actual deployment failures (high precision).
+    let sim = zodiac_cloud::CloudSim::new_azure();
+    let mut confirmed = 0usize;
+    for (idx, _) in &report.violations {
+        if !sim.deploys_ok(&programs[*idx]) {
+            confirmed += 1;
+        }
+    }
+    assert!(
+        confirmed * 100 >= report.buggy_programs * 80,
+        "{confirmed}/{} flagged programs actually fail to deploy",
+        report.buggy_programs
+    );
+}
+
+#[test]
+fn counterexample_pass_examines_validated_checks() {
+    let result = small_pipeline();
+    // The pass ran (§5.6) and every demotion points into the validated set.
+    assert!(result.counterexamples.examined > 0);
+    for idx in &result.demoted {
+        assert!(*idx < result.validation.validated.len());
+    }
+    assert_eq!(
+        result.final_checks.len(),
+        result.validation.validated.len() - result.demoted.len()
+    );
+}

@@ -1,0 +1,154 @@
+//! Scheduler behaviour on the paper's §4.2 scenarios: location checks whose
+//! negative tests conflict, resolved by partial order and indistinguishable
+//! grouping.
+
+use zodiac_cloud::CloudSim;
+use zodiac_corpus::CorpusConfig;
+use zodiac_mining::MinedCheck;
+use zodiac_model::Program;
+use zodiac_spec::parse_check;
+use zodiac_validation::{Scheduler, SchedulerConfig};
+
+fn corpus() -> Vec<Program> {
+    zodiac_corpus::generate(&CorpusConfig {
+        projects: 150,
+        noise_rate: 0.0,
+        seed: 21,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect()
+}
+
+fn candidates(srcs: &[&str]) -> Vec<MinedCheck> {
+    srcs.iter()
+        .map(|src| MinedCheck {
+            check: parse_check(src).expect("valid check"),
+            family: "scenario",
+            support: 20,
+            confidence: 1.0,
+            lift: None,
+            interp: None,
+        })
+        .collect()
+}
+
+/// The §4.2 running example: three location checks along NIC → VPC and
+/// VM → NIC/VPC paths. All three are true in the simulated cloud; the
+/// scheduler must validate all of them despite their test-case conflicts.
+#[test]
+fn location_check_trio_all_validate() {
+    let corpus = corpus();
+    let sim = CloudSim::new_azure();
+    let kb = zodiac_kb::azure_kb();
+    let checks = candidates(&[
+        "let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
+        "let r1:VM, r2:NIC in path(r1 -> r2) => r1.location == r2.location",
+        "let r1:VM, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
+    ]);
+    let scheduler = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default());
+    let outcome = scheduler.run(checks);
+    assert_eq!(
+        outcome.validated.len(),
+        3,
+        "all three location checks are true positives; falsified: {:?}, unresolved: {:?}",
+        outcome
+            .false_positives
+            .iter()
+            .map(|f| (f.mined.check.to_string(), f.reason))
+            .collect::<Vec<_>>(),
+        outcome
+            .unresolved
+            .iter()
+            .map(|u| u.check.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Scenario II of §4.2: when one of the checks is a false positive, the FP
+/// pass removes it and the rest validate cleanly.
+#[test]
+fn false_positive_among_true_ones_is_removed() {
+    let corpus = corpus();
+    let sim = CloudSim::new_azure();
+    let kb = zodiac_kb::azure_kb();
+    let checks = candidates(&[
+        // True.
+        "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        // False: nothing requires VMs to avoid Standard_B1s.
+        "let r:VM in r.priority == 'Regular' => r.size != 'Standard_B1s'",
+    ]);
+    let scheduler = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default());
+    let outcome = scheduler.run(checks);
+    assert_eq!(outcome.validated.len(), 1, "only the true check validates");
+    assert_eq!(outcome.false_positives.len(), 1);
+    assert!(
+        outcome.validated[0].mined.check.to_string().contains("location"),
+        "the location check is the survivor"
+    );
+}
+
+/// Negative reports of validated checks must be deployment failures.
+#[test]
+fn validated_checks_carry_failing_negative_reports() {
+    let corpus = corpus();
+    let sim = CloudSim::new_azure();
+    let kb = zodiac_kb::azure_kb();
+    let checks = candidates(&[
+        "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+        "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+    ]);
+    let scheduler = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default());
+    let outcome = scheduler.run(checks);
+    assert_eq!(outcome.validated.len(), 2, "{:?}", outcome.false_positives.iter().map(|f| (f.mined.check.to_string(), f.reason)).collect::<Vec<_>>());
+    for v in &outcome.validated {
+        assert!(
+            !v.negative_report.outcome.is_success(),
+            "negative test must fail for {}",
+            v.mined.check
+        );
+        assert!(v.negative_size > 0);
+    }
+}
+
+/// Indistinguishable equivalents validate together; disabling O3 stalls.
+#[test]
+fn indistinguishable_pair_requires_grouping()
+{
+    let corpus = corpus();
+    let sim = CloudSim::new_azure();
+    let kb = zodiac_kb::azure_kb();
+    // Two logically equivalent phrasings over a two-value domain: any test
+    // violating one violates the other.
+    let pair = &[
+        "let r:IP in r.sku == 'Standard' => r.allocation_method == 'Static'",
+        "let r:IP in r.sku == 'Standard' => r.allocation_method != 'Dynamic'",
+    ];
+    let with_grouping = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default())
+        .run(candidates(pair));
+    assert_eq!(
+        with_grouping.validated.len(),
+        2,
+        "grouping validates both: unresolved {:?}",
+        with_grouping.unresolved.iter().map(|u| u.check.to_string()).collect::<Vec<_>>()
+    );
+    assert!(with_grouping.validated.iter().any(|v| v.via_group));
+    // Counted as one by the paper's convention.
+    assert_eq!(with_grouping.validated_groups_as_one(), 1);
+
+    let without = Scheduler::new(
+        &sim,
+        &kb,
+        &corpus,
+        SchedulerConfig {
+            handle_indistinguishable: false,
+            ..Default::default()
+        },
+    )
+    .run(candidates(pair));
+    assert!(
+        !without.unresolved.is_empty(),
+        "without O3 the pair stalls (Figure 8b)"
+    );
+}
