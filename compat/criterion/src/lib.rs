@@ -1,0 +1,178 @@
+//! Workspace-local, offline replacement for the parts of `criterion` this
+//! repository uses: `Criterion::bench_function`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Mirrors criterion's cargo integration: `cargo bench` passes `--bench` to
+//! the harness, which triggers full timed runs; under `cargo test` (no
+//! `--bench` flag) every benchmark body executes exactly once as a smoke
+//! test, keeping the tier-1 test suite fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The compat harness times each
+/// batch individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver, configured per group.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark. In bench mode prints mean/min/max wall time; in
+    /// test mode executes the body once.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: if self.bench_mode { self.sample_size } else { 1 },
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.bench_mode {
+            report(name, &bencher.timings);
+        } else {
+            println!("test {name} ... ok (smoke run)");
+        }
+        self
+    }
+}
+
+fn report(name: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("bench {name}: no samples recorded");
+        return;
+    }
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    let min = timings.iter().min().expect("non-empty");
+    let max = timings.iter().max().expect("non-empty");
+    println!(
+        "bench {name}: mean {mean:?}, min {min:?}, max {max:?} ({} samples)",
+        timings.len()
+    );
+}
+
+/// Passed to each benchmark body; collects timed samples.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` with per-sample inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            sample_size: 3,
+            bench_mode: true,
+        };
+        let mut runs = 0;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut c = Criterion {
+            sample_size: 4,
+            bench_mode: true,
+        };
+        let mut seen = Vec::new();
+        c.bench_function("batched", |b| {
+            let mut n = 0;
+            b.iter_batched(
+                || {
+                    n += 1;
+                    n
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+}

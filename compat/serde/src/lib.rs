@@ -1,0 +1,646 @@
+//! Workspace-local, offline replacement for the parts of `serde` this
+//! repository actually uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors a minimal serde facade: a self-describing [`Value`]
+//! tree, [`Serialize`]/[`Deserialize`] traits that convert to and from it,
+//! and (behind the `derive` feature) the `serde_derive` proc-macros. The
+//! surface is intentionally small — exactly what the zodiac crates call —
+//! but the names mirror upstream serde/serde_json so swapping the real
+//! crates back in later is a one-line Cargo.toml change.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Map type used for JSON objects (mirrors `serde_json::Map`).
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON number: integer-preserving, with a float fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(Repr);
+
+#[derive(Debug, Clone, PartialEq)]
+enum Repr {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    pub fn from_i64(n: i64) -> Self {
+        Number(Repr::I(n))
+    }
+
+    pub fn from_u64(n: u64) -> Self {
+        Number(Repr::U(n))
+    }
+
+    pub fn from_f64(n: f64) -> Self {
+        Number(Repr::F(n))
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Repr::I(n) => Some(n),
+            Repr::U(n) => i64::try_from(n).ok(),
+            Repr::F(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Repr::I(n) => u64::try_from(n).ok(),
+            Repr::U(n) => Some(n),
+            Repr::F(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Repr::I(n) => Some(n as f64),
+            Repr::U(n) => Some(n as f64),
+            Repr::F(n) => Some(n),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Repr::I(n) => write!(f, "{n}"),
+            Repr::U(n) => write!(f, "{n}"),
+            Repr::F(n) => {
+                if n.is_finite() {
+                    if n == n.trunc() && n.abs() < 1e15 {
+                        // Keep a decimal point so the value re-parses as float.
+                        write!(f, "{n:.1}")
+                    } else {
+                        write!(f, "{n}")
+                    }
+                } else {
+                    // JSON has no Inf/NaN; match serde_json by emitting null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// A self-describing JSON value (mirrors `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key (objects) — mirrors `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+
+    /// RFC 6901 JSON-pointer lookup (`/a/b/0`).
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        pointer
+            .split('/')
+            .skip(1)
+            .map(|seg| seg.replace("~1", "/").replace("~0", "~"))
+            .try_fold(self, |v, seg| match v {
+                Value::Object(o) => o.get(&seg),
+                Value::Array(a) => seg.parse::<usize>().ok().and_then(|i| a.get(i)),
+                _ => None,
+            })
+    }
+
+    /// Serialises to compact JSON into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                use fmt::Write;
+                let _ = write!(out, "{n}");
+            }
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialises to pretty JSON (two-space indent) into `out`.
+    pub fn write_json_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_json_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_json_string(k, out);
+                    out.push_str(": ");
+                    v.write_json_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_json(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a value into the self-describing [`Value`] tree.
+///
+/// Upstream serde parameterises this over a `Serializer`; every consumer in
+/// this workspace serialises to JSON, so the single-output form suffices.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- Serialize impls -------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+            self.3.serialize(),
+        ])
+    }
+}
+
+// ---- Deserialize impls -----------------------------------------------------
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v}")))
+    }
+}
+
+macro_rules! deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n).map_err(Error::custom)
+            }
+        }
+    )*};
+}
+
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|n| n as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected 2-tuple, got {v}")))?;
+        if items.len() != 2 {
+            return Err(Error::custom(format!("expected 2-tuple, got {v}")));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected 3-tuple, got {v}")))?;
+        if items.len() != 3 {
+            return Err(Error::custom(format!("expected 3-tuple, got {v}")));
+        }
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_navigates_nested_objects_and_arrays() {
+        let mut resources = Vec::new();
+        let mut r = Map::new();
+        r.insert("type".to_string(), Value::String("vm".to_string()));
+        resources.push(Value::Object(r));
+        let mut module = Map::new();
+        module.insert("resources".to_string(), Value::Array(resources));
+        let mut planned = Map::new();
+        planned.insert("root_module".to_string(), Value::Object(module));
+        let mut root = Map::new();
+        root.insert("planned_values".to_string(), Value::Object(planned));
+        let v = Value::Object(root);
+
+        let found = v
+            .pointer("/planned_values/root_module/resources")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0]["type"].as_str(), Some("vm"));
+        assert!(v.pointer("/missing").is_none());
+        assert!(v.pointer("").is_some());
+    }
+
+    #[test]
+    fn index_missing_key_yields_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["nope"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn numbers_round_trip_through_accessors() {
+        assert_eq!(Number::from_i64(-3).as_i64(), Some(-3));
+        assert_eq!(Number::from_u64(u64::MAX).as_i64(), None);
+        assert_eq!(Number::from_f64(1.5).as_f64(), Some(1.5));
+        assert_eq!(Number::from_f64(1.0).to_string(), "1.0");
+    }
+}

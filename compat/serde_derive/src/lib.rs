@@ -1,0 +1,475 @@
+//! Derive macros for the workspace-local `serde` facade.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the type
+//! shapes this repository uses — non-generic structs (named, newtype, tuple,
+//! unit) and enums (unit, newtype, tuple, and struct variants) with serde's
+//! externally-tagged representation. The only field attribute honoured is
+//! `#[serde(skip)]` (omitted on serialise, `Default::default()` on
+//! deserialise). Parsing is done directly on `proc_macro` token trees so the
+//! crate has no dependencies.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes, visibility, and any other modifiers until the
+    // `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    i += 1;
+                    break word;
+                }
+                i += 1;
+            }
+            Some(_) => i += 1,
+            None => panic!("derive input has no struct or enum keyword"),
+        }
+    };
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{kind}`, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("compat serde_derive does not support generic type `{name}`");
+        }
+    }
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        };
+        Input::Struct { name, fields }
+    } else {
+        let variants = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        };
+        Input::Enum { name, variants }
+    }
+}
+
+/// Returns true for `#[serde(skip)]` attribute bodies (the bracket group).
+fn attr_is_serde_skip(attr: &Group) -> bool {
+    let tokens: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                skip |= attr_is_serde_skip(attr);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &Group) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0;
+    let mut segment_has_tokens = false;
+    for t in body.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                segment_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_has_tokens {
+                    count += 1;
+                }
+                segment_has_tokens = false;
+            }
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes (e.g. doc comments become #[doc = ...]).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Advance to the next comma at top level (tolerates discriminants).
+        while let Some(t) = tokens.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- codegen: Serialize ----------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fields) => gen_serialize_named(fields, "self.", "."),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\n\
+                         let mut map = serde::Map::new();\n\
+                         map.insert(\"{vname}\".to_string(), serde::Serialize::serialize(f0));\n\
+                         serde::Value::Object(map)\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut map = serde::Map::new();\n\
+                             map.insert(\"{vname}\".to_string(), serde::Value::Array(vec![{}]));\n\
+                             serde::Value::Object(map)\n\
+                             }}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = gen_serialize_named(fields, "", "_inner");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let inner_value = {inner};\n\
+                             let mut map = serde::Map::new();\n\
+                             map.insert(\"{vname}\".to_string(), inner_value);\n\
+                             serde::Value::Object(map)\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Builds an `Object` expression from named fields. `prefix` is prepended to
+/// each field access (`self.` for structs, empty for match bindings);
+/// `map_suffix` uniquifies the local map variable name.
+fn gen_serialize_named(fields: &[Field], prefix: &str, map_suffix: &str) -> String {
+    let map_var = format!("map_{}", map_suffix.replace('.', "s"));
+    let mut body = format!("{{ let mut {map_var} = serde::Map::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let fname = &f.name;
+        let access = if prefix.is_empty() {
+            // Match binding: already a reference.
+            format!("serde::Serialize::serialize({fname})")
+        } else {
+            format!("serde::Serialize::serialize(&{prefix}{fname})")
+        };
+        body.push_str(&format!(
+            "{map_var}.insert(\"{fname}\".to_string(), {access});\n"
+        ));
+    }
+    body.push_str(&format!("serde::Value::Object({map_var}) }}"));
+    body
+}
+
+// ---- codegen: Deserialize --------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::deserialize(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::deserialize(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| \
+                         serde::Error::custom(\"{name}: expected array\"))?;\n\
+                         if items.len() != {n} {{ return Err(serde::Error::custom(\
+                         \"{name}: expected {n} elements\")); }}\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    format!(
+                        "let obj = v.as_object().ok_or_else(|| \
+                         serde::Error::custom(\"{name}: expected object\"))?;\n\
+                         Ok({name} {{ {} }})",
+                        gen_deserialize_named(fields, "obj")
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         serde::Deserialize::deserialize(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             serde::Error::custom(\"{name}::{vname}: expected array\"))?;\n\
+                             if items.len() != {n} {{ return Err(serde::Error::custom(\
+                             \"{name}::{vname}: expected {n} elements\")); }}\n\
+                             Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                         serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                         Ok({name}::{vname} {{ {} }})\n\
+                         }}\n",
+                        gen_deserialize_named(fields, "obj")
+                    )),
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 match v {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(serde::Error::custom(format!(\
+                 \"{name}: unknown variant {{other}}\"))),\n\
+                 }},\n\
+                 serde::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(serde::Error::custom(format!(\
+                 \"{name}: unknown variant {{other}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(serde::Error::custom(format!(\
+                 \"{name}: invalid enum encoding {{other}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize_named(fields: &[Field], obj_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            if f.skip {
+                format!("{fname}: Default::default()")
+            } else {
+                format!(
+                    "{fname}: match {obj_var}.get(\"{fname}\") {{\n\
+                     Some(x) => serde::Deserialize::deserialize(x)?,\n\
+                     None => serde::Deserialize::deserialize(&serde::Value::Null)?,\n\
+                     }}"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}

@@ -1,0 +1,341 @@
+//! Workspace-local, offline replacement for the parts of `serde_json` this
+//! repository uses: `Value`, `to_string`, `to_string_pretty`, and `from_str`.
+//!
+//! The `Value` tree itself lives in the companion `serde` compat crate (so
+//! derive-generated code can reference it without a circular dependency);
+//! this crate re-exports it and adds the JSON text encoder/parser.
+
+use std::fmt;
+
+pub use serde::{Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// JSON encode/decode error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serialises a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize().write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialises a value as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize().write_json_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Parses a JSON document.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::deserialize(&value).map_err(Error::from)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we just consumed.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty slice");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        let number = if is_float {
+            Number::from_f64(
+                text.parse()
+                    .map_err(|e| Error::new(format!("{e}: {text}")))?,
+            )
+        } else if let Ok(n) = text.parse::<i64>() {
+            Number::from_i64(n)
+        } else if let Ok(n) = text.parse::<u64>() {
+            Number::from_u64(n)
+        } else {
+            Number::from_f64(
+                text.parse()
+                    .map_err(|e| Error::new(format!("{e}: {text}")))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_json() {
+        let src = r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":null},"e":true}"#;
+        let v: Value = from_str(src).unwrap();
+        assert_eq!(to_string(&v).unwrap(), src);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: Value = from_str(r#""tab\t quote\" solidus\/ snowman☃""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\t quote\" solidus/ snowman\u{2603}"));
+        let pair: Value = from_str(r#""😀""#).unwrap();
+        assert_eq!(pair.as_str(), Some("\u{1f600}"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("{").is_err());
+    }
+
+    #[test]
+    fn pretty_print_is_reparseable() {
+        let src = r#"{"list":[1,2],"obj":{"k":"v"},"empty":[]}"#;
+        let v: Value = from_str(src).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+}

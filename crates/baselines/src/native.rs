@@ -54,27 +54,28 @@ impl NativeValidate {
             let segs: Vec<String> = attr.path.split('.').map(str::to_string).collect();
             for v in zodiac_spec::eval::resolve_multi(r, &segs) {
                 match (&attr.format, &v) {
-                    (ValueFormat::Enum { values, .. }, Value::Str(s)) => {
-                        if !values.iter().any(|x| x == s) {
-                            out.push(Finding {
-                                tool: "native",
-                                rule: "invalid-enum".into(),
-                                resource: r.id(),
-                                message: format!("expected {} to be one of {values:?}, got {s:?}", attr.path),
-                                deployment_relevant: true,
-                            });
-                        }
+                    (ValueFormat::Enum { values, .. }, Value::Str(s))
+                        if !values.iter().any(|x| x == s) =>
+                    {
+                        out.push(Finding {
+                            tool: "native",
+                            rule: "invalid-enum".into(),
+                            resource: r.id(),
+                            message: format!(
+                                "expected {} to be one of {values:?}, got {s:?}",
+                                attr.path
+                            ),
+                            deployment_relevant: true,
+                        });
                     }
-                    (ValueFormat::IntRange { min, max }, Value::Int(n)) => {
-                        if n < min || n > max {
-                            out.push(Finding {
-                                tool: "native",
-                                rule: "out-of-range".into(),
-                                resource: r.id(),
-                                message: format!("{} must be in [{min}, {max}]", attr.path),
-                                deployment_relevant: true,
-                            });
-                        }
+                    (ValueFormat::IntRange { min, max }, Value::Int(n)) if n < min || n > max => {
+                        out.push(Finding {
+                            tool: "native",
+                            rule: "out-of-range".into(),
+                            resource: r.id(),
+                            message: format!("{} must be in [{min}, {max}]", attr.path),
+                            deployment_relevant: true,
+                        });
                     }
                     _ => {}
                 }
@@ -156,28 +157,30 @@ mod tests {
     fn passes_semantic_violations() {
         // The paper's point: a VM/NIC region mismatch sails through native
         // validation.
-        let p = Program::new()
-            .with(
-                Resource::new("azurerm_network_interface", "nic")
-                    .with("name", "n")
-                    .with("location", "westus")
-                    .with("resource_group_name", "rg")
-                    .with(
-                        "ip_configuration",
-                        Value::Map(
-                            [
-                                ("name".to_string(), Value::s("i")),
-                                ("subnet_id".to_string(), Value::r("azurerm_subnet", "s", "id")),
-                                (
-                                    "private_ip_address_allocation".to_string(),
-                                    Value::s("Dynamic"),
-                                ),
-                            ]
-                            .into_iter()
-                            .collect(),
-                        ),
+        let p = Program::new().with(
+            Resource::new("azurerm_network_interface", "nic")
+                .with("name", "n")
+                .with("location", "westus")
+                .with("resource_group_name", "rg")
+                .with(
+                    "ip_configuration",
+                    Value::Map(
+                        [
+                            ("name".to_string(), Value::s("i")),
+                            (
+                                "subnet_id".to_string(),
+                                Value::r("azurerm_subnet", "s", "id"),
+                            ),
+                            (
+                                "private_ip_address_allocation".to_string(),
+                                Value::s("Dynamic"),
+                            ),
+                        ]
+                        .into_iter()
+                        .collect(),
                     ),
-            );
+                ),
+        );
         let v = NativeValidate::new_azure();
         let findings = v.check(&p);
         assert!(

@@ -144,23 +144,26 @@ impl IacChecker for SecurityChecker {
                     for r in program.of_type("azurerm_network_security_group") {
                         // A single block compiles to a map, repeated blocks
                         // to a list of maps.
-                        let blocks: Vec<&std::collections::BTreeMap<String, Value>> =
-                            match r.get_attr("security_rule") {
-                                Some(Value::List(l)) => l.iter().filter_map(Value::as_map).collect(),
-                                Some(Value::Map(m)) => vec![m],
-                                _ => continue,
-                            };
+                        let blocks: Vec<&std::collections::BTreeMap<String, Value>> = match r
+                            .get_attr("security_rule")
+                        {
+                            Some(Value::List(l)) => l.iter().filter_map(Value::as_map).collect(),
+                            Some(Value::Map(m)) => vec![m],
+                            _ => continue,
+                        };
                         for sec in blocks {
                             let get = |k: &str| sec.get(k).and_then(Value::as_str).unwrap_or("");
-                            let open_source =
-                                get("source_address_prefix") == "*" || get("source_address_prefix") == "0.0.0.0/0";
+                            let open_source = get("source_address_prefix") == "*"
+                                || get("source_address_prefix") == "0.0.0.0/0";
                             let inbound = get("direction") == "Inbound";
                             let allow = get("access") == "Allow";
                             if !inbound || !allow || !open_source {
                                 continue;
                             }
                             let port = get("destination_port_range");
-                            if *rule == SecurityRule::SshOpenToWorld && (port == "22" || port == "*") {
+                            if *rule == SecurityRule::SshOpenToWorld
+                                && (port == "22" || port == "*")
+                            {
                                 push(
                                     "ssh-open-to-world",
                                     r.id(),
@@ -264,9 +267,9 @@ impl IacChecker for SecurityChecker {
                 }
                 SecurityRule::VmWithPublicIp => {
                     for idx in graph.nodes_of_type("azurerm_network_interface") {
-                        let has_pip = graph.out_edges(idx).any(|e| {
-                            graph.resource(e.dst).rtype == "azurerm_public_ip"
-                        });
+                        let has_pip = graph
+                            .out_edges(idx)
+                            .any(|e| graph.resource(e.dst).rtype == "azurerm_public_ip");
                         let on_vm = graph.in_edges(idx).any(|e| {
                             graph.resource(e.src).rtype == "azurerm_linux_virtual_machine"
                         });
@@ -353,7 +356,10 @@ mod tests {
 
     #[test]
     fn clean_program_produces_nothing_for_tfcomp() {
-        let p = Program::new().with(Resource::new("azurerm_virtual_network", "v").with("name", "x"));
-        assert!(SecurityChecker::new(SecurityProfile::TfComp).check(&p).is_empty());
+        let p =
+            Program::new().with(Resource::new("azurerm_virtual_network", "v").with("name", "x"));
+        assert!(SecurityChecker::new(SecurityProfile::TfComp)
+            .check(&p)
+            .is_empty());
     }
 }

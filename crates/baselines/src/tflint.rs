@@ -99,7 +99,9 @@ resource "azurerm_public_ip" "ip" {
 "#;
         let lint = TfLint::new_azure();
         let findings = lint.check_hcl(src).unwrap();
-        assert!(findings.iter().any(|f| f.rule.contains("allocation_method")));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule.contains("allocation_method")));
     }
 
     #[test]

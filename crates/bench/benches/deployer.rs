@@ -1,0 +1,66 @@
+//! Deployment-engine benchmarks: sequential vs pooled batches, cold vs
+//! warm memoization cache, and the overhead of fault injection + retries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{DeployEngine, DeployOracle, DeployerConfig, FaultConfig, RetryPolicy};
+use zodiac_model::Program;
+
+fn suite() -> Vec<Program> {
+    zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        projects: 40,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect()
+}
+
+fn engine(workers: usize, cache: bool, faults: Option<FaultConfig>) -> DeployEngine<CloudSim> {
+    DeployEngine::new(
+        CloudSim::new_azure(),
+        DeployerConfig {
+            workers,
+            cache,
+            faults,
+            retry: RetryPolicy::default(),
+        },
+    )
+}
+
+fn bench_deployer(c: &mut Criterion) {
+    let programs = suite();
+
+    c.bench_function("deploy_batch/sequential_uncached", |b| {
+        b.iter_batched(
+            || engine(1, false, None),
+            |e| e.deploy_batch(&programs),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("deploy_batch/pool4_cold_cache", |b| {
+        b.iter_batched(
+            || engine(4, true, None),
+            |e| e.deploy_batch(&programs),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("deploy_batch/pool4_warm_cache", |b| {
+        let e = engine(4, true, None);
+        e.deploy_batch(&programs); // Warm the cache once.
+        b.iter(|| e.deploy_batch(&programs))
+    });
+
+    c.bench_function("deploy_batch/pool4_faults_retries", |b| {
+        b.iter_batched(
+            || engine(4, true, Some(FaultConfig::default())),
+            |e| e.deploy_batch(&programs),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_deployer);
+criterion_main!(benches);

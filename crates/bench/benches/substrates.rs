@@ -25,7 +25,9 @@ fn sample_program() -> zodiac_model::Program {
 fn bench_hcl(c: &mut Criterion) {
     let program = sample_program();
     let hcl = zodiac_hcl::to_hcl(&program);
-    c.bench_function("hcl/compile", |b| b.iter(|| zodiac_hcl::compile(&hcl).unwrap()));
+    c.bench_function("hcl/compile", |b| {
+        b.iter(|| zodiac_hcl::compile(&hcl).unwrap())
+    });
     c.bench_function("hcl/print", |b| b.iter(|| zodiac_hcl::to_hcl(&program)));
 }
 
@@ -44,10 +46,8 @@ fn bench_spec_eval(c: &mut Criterion) {
     let program = sample_program();
     let graph = ResourceGraph::build(program);
     let kb = zodiac_kb::azure_kb();
-    let check = parse_check(
-        "let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
-    )
-    .unwrap();
+    let check =
+        parse_check("let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location").unwrap();
     c.bench_function("spec/eval-path-check", |b| {
         b.iter(|| {
             instances(

@@ -53,7 +53,11 @@ fn main() {
     let mut per_type = Vec::new();
     for t in &types {
         let attrs = kb.resource(t).map(|r| r.attrs.len()).unwrap_or(0);
-        let w = with_kb.intra_candidates_per_type.get(t).copied().unwrap_or(0);
+        let w = with_kb
+            .intra_candidates_per_type
+            .get(t)
+            .copied()
+            .unwrap_or(0);
         let wo = without_kb
             .intra_candidates_per_type
             .get(t)
@@ -91,7 +95,8 @@ fn main() {
     );
 
     // ---- (b) the filtering funnel ----------------------------------------
-    let conf_pct = 100.0 * with_kb.removed_by_confidence as f64 / with_kb.hypothesized.max(1) as f64;
+    let conf_pct =
+        100.0 * with_kb.removed_by_confidence as f64 / with_kb.hypothesized.max(1) as f64;
     let lift_pct = 100.0 * with_kb.removed_by_lift as f64 / with_kb.hypothesized.max(1) as f64;
     print_table(
         "Figure 7b — statistical filtering and interpolation funnel",
@@ -138,7 +143,10 @@ fn main() {
 
     let mut funnel = BTreeMap::new();
     funnel.insert("hypothesized".to_string(), with_kb.hypothesized);
-    funnel.insert("removed_by_confidence".to_string(), with_kb.removed_by_confidence);
+    funnel.insert(
+        "removed_by_confidence".to_string(),
+        with_kb.removed_by_confidence,
+    );
     funnel.insert("removed_by_lift".to_string(), with_kb.removed_by_lift);
     funnel.insert("llm_found".to_string(), with_kb.llm_found);
     funnel.insert("llm_removed".to_string(), with_kb.llm_removed);

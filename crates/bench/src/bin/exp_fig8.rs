@@ -10,7 +10,8 @@
 
 use serde::Serialize;
 use zodiac_bench::{eval_config, print_table, write_json};
-use zodiac_cloud::CloudSim;
+use zodiac_cloud::{CloudSim, DeployTelemetry};
+use zodiac_deployer::{DeployEngine, DeployerConfig};
 use zodiac_mining::{mine, MiningConfig};
 use zodiac_model::Program;
 use zodiac_validation::{Scheduler, SchedulerConfig, ValidationTrace};
@@ -20,6 +21,7 @@ struct Record {
     default_trace: ValidationTrace,
     default_validated: usize,
     default_unresolved: usize,
+    default_deploy: DeployTelemetry,
     no_indistinct_trace: ValidationTrace,
     no_indistinct_validated: usize,
     no_indistinct_unresolved: usize,
@@ -28,12 +30,20 @@ struct Record {
     no_partial_order_iterations: usize,
 }
 
-fn run(cfg: SchedulerConfig, corpus: &[Program]) -> zodiac_validation::ValidationOutcome {
+/// Each run goes through a 4-worker, memoizing execution engine — the
+/// engine is semantics-preserving, so the figure is unchanged while the
+/// telemetry quantifies how much deployment work the cache absorbs.
+fn run(
+    cfg: SchedulerConfig,
+    corpus: &[Program],
+) -> (zodiac_validation::ValidationOutcome, DeployTelemetry) {
     let kb = zodiac_kb::azure_kb();
-    let sim = CloudSim::new_azure();
+    let engine = DeployEngine::new(CloudSim::new_azure(), DeployerConfig::default());
     let mining = mine(corpus, &kb, &MiningConfig::default());
-    let scheduler = Scheduler::new(&sim, &kb, corpus, cfg);
-    scheduler.run(mining.checks)
+    let scheduler = Scheduler::new(&engine, &kb, corpus, cfg);
+    let outcome = scheduler.run(mining.checks);
+    let telemetry = engine.telemetry_snapshot();
+    (outcome, telemetry)
 }
 
 fn trace_rows(trace: &ValidationTrace) -> Vec<Vec<String>> {
@@ -51,12 +61,24 @@ fn trace_rows(trace: &ValidationTrace) -> Vec<Vec<String>> {
                 s.fp_unsatisfiable.to_string(),
                 s.tp_single.to_string(),
                 s.tp_multiple.to_string(),
+                s.deploy_requests.to_string(),
+                s.deploy_cache_hits.to_string(),
             ]
         })
         .collect()
 }
 
-const HEADERS: [&str; 8] = [
+fn print_telemetry(label: &str, tel: &DeployTelemetry) {
+    println!(
+        "{label}: {} deploy requests, {} backend deploys, {} cache hits ({:.1}% hit rate)",
+        tel.requests,
+        tel.backend_deploys,
+        tel.cache_hits,
+        tel.cache_hit_rate() * 100.0
+    );
+}
+
+const HEADERS: [&str; 10] = [
     "iter",
     "validated",
     "false-pos",
@@ -65,6 +87,8 @@ const HEADERS: [&str; 8] = [
     "fp:unsat",
     "tp:single",
     "tp:multiple",
+    "deploys",
+    "cache-hits",
 ];
 
 fn main() {
@@ -74,7 +98,7 @@ fn main() {
         .map(|p| p.program)
         .collect();
 
-    let default = run(SchedulerConfig::default(), &corpus);
+    let (default, default_tel) = run(SchedulerConfig::default(), &corpus);
     print_table(
         "Figure 8a/c/d — scheduler convergence (default)",
         &HEADERS,
@@ -86,8 +110,9 @@ fn main() {
         default.validated.len(),
         default.unresolved.len()
     );
+    print_telemetry("deploy engine (4 workers, cache on)", &default_tel);
 
-    let no_indistinct = run(
+    let (no_indistinct, _) = run(
         SchedulerConfig {
             handle_indistinguishable: false,
             ..Default::default()
@@ -106,7 +131,7 @@ fn main() {
         no_indistinct.unresolved.len()
     );
 
-    let no_order = run(
+    let (no_order, _) = run(
         SchedulerConfig {
             use_partial_order: false,
             ..Default::default()
@@ -130,6 +155,7 @@ fn main() {
         &Record {
             default_validated: default.validated.len(),
             default_unresolved: default.unresolved.len(),
+            default_deploy: default_tel,
             default_trace: default.trace,
             no_indistinct_validated: no_indistinct.validated.len(),
             no_indistinct_unresolved: no_indistinct.unresolved.len(),

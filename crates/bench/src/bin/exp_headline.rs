@@ -24,12 +24,18 @@ struct Headline {
     demoted_by_counterexamples: usize,
     final_checks: usize,
     counterexample_fp_rate_pct: f64,
+    deploy_requests: u64,
+    deploy_backend: u64,
+    deploy_cache_hits: u64,
+    deploy_cache_hit_rate_pct: f64,
+    deploy_retries: u64,
 }
 
 fn main() {
     let t0 = std::time::Instant::now();
     let (result, _corpus) = run_eval_pipeline();
     let validated_raw = result.validation.validated.len();
+    let tel = result.deploy_telemetry.unwrap_or_default();
     let headline = Headline {
         corpus_projects: result.corpus_projects,
         hypothesized: result.mining.hypothesized,
@@ -48,21 +54,41 @@ fn main() {
         } else {
             0.0
         },
+        deploy_requests: tel.requests,
+        deploy_backend: tel.backend_deploys,
+        deploy_cache_hits: tel.cache_hits,
+        deploy_cache_hit_rate_pct: tel.cache_hit_rate() * 100.0,
+        deploy_retries: tel.retries,
     };
 
     print_table(
         "Headline (§5.1 / §5.6)",
         &["stage", "count"],
         &[
-            vec!["corpus projects".into(), headline.corpus_projects.to_string()],
-            vec!["hypothesized checks".into(), headline.hypothesized.to_string()],
+            vec![
+                "corpus projects".into(),
+                headline.corpus_projects.to_string(),
+            ],
+            vec![
+                "hypothesized checks".into(),
+                headline.hypothesized.to_string(),
+            ],
             vec![
                 "removed by confidence".into(),
                 headline.removed_by_confidence.to_string(),
             ],
-            vec!["removed by lift".into(), headline.removed_by_lift.to_string()],
-            vec!["oracle-interpolated (llm-found)".into(), headline.llm_found.to_string()],
-            vec!["oracle-rejected (llm-remove)".into(), headline.llm_removed.to_string()],
+            vec![
+                "removed by lift".into(),
+                headline.removed_by_lift.to_string(),
+            ],
+            vec![
+                "oracle-interpolated (llm-found)".into(),
+                headline.llm_found.to_string(),
+            ],
+            vec![
+                "oracle-rejected (llm-remove)".into(),
+                headline.llm_removed.to_string(),
+            ],
             vec![
                 "candidates to validation".into(),
                 headline.candidates_to_validation.to_string(),
@@ -86,6 +112,14 @@ fn main() {
             vec!["final check set".into(), headline.final_checks.to_string()],
         ],
     );
-    println!("\ntotal wall time: {:?}", t0.elapsed());
+    println!(
+        "\ndeploy engine: {} requests, {} backend deploys, {} cache hits ({:.1}% hit rate), {} retries",
+        headline.deploy_requests,
+        headline.deploy_backend,
+        headline.deploy_cache_hits,
+        headline.deploy_cache_hit_rate_pct,
+        headline.deploy_retries,
+    );
+    println!("total wall time: {:?}", t0.elapsed());
     write_json("exp_headline", &headline);
 }

@@ -54,11 +54,18 @@ fn main() {
         .iter()
         .map(|(idx, count)| vec![count.to_string(), checks[*idx].to_string()])
         .collect();
-    print_table("Top-3 violated checks (GitHub-query candidates)", &["violations", "check"], &rows);
+    print_table(
+        "Top-3 violated checks (GitHub-query candidates)",
+        &["violations", "check"],
+        &rows,
+    );
 
     // The documentation bug.
     let doc = zodiac_hcl::compile(APPGW_DOC_EXAMPLE).expect("doc example compiles");
-    let doc_checks: Vec<_> = APPGW_CHECKS.iter().map(|s| parse_check(s).unwrap()).collect();
+    let doc_checks: Vec<_> = APPGW_CHECKS
+        .iter()
+        .map(|s| parse_check(s).unwrap())
+        .collect();
     let doc_violations = scan_program(&doc, &doc_checks, &kb);
     println!(
         "\nofficial APPGW usage example: {} semantic violations detected (paper: 2)",

@@ -46,7 +46,12 @@ fn main() {
     }
     print_table(
         "Table 2 — validated check formats",
-        &["template family", "category", "count", "example mined by Zodiac"],
+        &[
+            "template family",
+            "category",
+            "count",
+            "example mined by Zodiac",
+        ],
         &rows,
     );
 
@@ -54,7 +59,11 @@ fn main() {
         .iter()
         .map(|(c, n)| vec![c.label().to_string(), n.to_string()])
         .collect();
-    print_table("Validated checks per category", &["category", "count"], &cat_rows);
+    print_table(
+        "Validated checks per category",
+        &["category", "count"],
+        &cat_rows,
+    );
 
     write_json(
         "exp_table2",

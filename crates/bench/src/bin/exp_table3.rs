@@ -78,7 +78,12 @@ fn main() {
     }
     print_table(
         "Table 3 — failure phases of violating deployments",
-        &["error phase", "failures", "share (measured)", "share (paper)"],
+        &[
+            "error phase",
+            "failures",
+            "share (measured)",
+            "share (paper)",
+        ],
         &rows,
     );
     write_json(

@@ -9,7 +9,9 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use zodiac_baselines::{IacChecker, NativeValidate, SecurityChecker, SecurityProfile, TfLint, ToolStats};
+use zodiac_baselines::{
+    IacChecker, NativeValidate, SecurityChecker, SecurityProfile, TfLint, ToolStats,
+};
 use zodiac_bench::{negative_suite, print_table, run_eval_pipeline, write_json};
 
 #[derive(Serialize)]
@@ -22,7 +24,11 @@ struct Record {
 fn main() {
     let (result, corpus) = run_eval_pipeline();
     let kb = zodiac_kb::azure_kb();
-    let checks: Vec<_> = result.final_checks.iter().map(|v| v.mined.clone()).collect();
+    let checks: Vec<_> = result
+        .final_checks
+        .iter()
+        .map(|v| v.mined.clone())
+        .collect();
     let suite = negative_suite(&checks, &corpus, &kb, 500);
     println!("negative suite size: {}", suite.len());
 

@@ -61,10 +61,7 @@ fn main() {
             .filter(|c| c.canonical() != target.mined.check.canonical())
             .cloned()
             .collect();
-        let soft_fp: Vec<(Check, u64)> = fp_checks
-            .iter()
-            .map(|c| (c.clone(), 50))
-            .collect();
+        let soft_fp: Vec<(Check, u64)> = fp_checks.iter().map(|c| (c.clone(), 50)).collect();
         let others_soft: Vec<(Check, u64)> = tp_checks
             .iter()
             .chain(fp_checks.iter())
@@ -147,7 +144,12 @@ fn main() {
 
     print_table(
         "Table 5 (top) — check encoding strategy",
-        &["strategy", "TP violations", "FP violations", "paper (TP/FP)"],
+        &[
+            "strategy",
+            "TP violations",
+            "FP violations",
+            "paper (TP/FP)",
+        ],
         &[
             vec![
                 "ignoring non-target checks".into(),
@@ -165,7 +167,12 @@ fn main() {
     );
     print_table(
         "Table 5 (bottom) — config mutation strategy",
-        &["strategy", "attr changes", "topo changes", "paper (attr/topo)"],
+        &[
+            "strategy",
+            "attr changes",
+            "topo changes",
+            "paper (attr/topo)",
+        ],
         &[
             vec![
                 "no constraints on changes".into(),

@@ -50,7 +50,10 @@ fn main() {
         }
         // ...and unattended *ancestors*: an application security group the
         // NICs reference survives pruning as a dependency.
-        let has_nic = program.of_type("azurerm_network_interface").next().is_some();
+        let has_nic = program
+            .of_type("azurerm_network_interface")
+            .next()
+            .is_some();
         if has_nic {
             let _ = program.add(
                 zodiac_model::Resource::new("azurerm_application_security_group", "asg")
@@ -147,6 +150,9 @@ fn main() {
     );
     write_json(
         "exp_table6",
-        &rows.iter().map(|(k, v)| (k.to_string(), *v)).collect::<BTreeMap<_, _>>(),
+        &rows
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect::<BTreeMap<_, _>>(),
     );
 }

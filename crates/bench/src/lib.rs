@@ -158,12 +158,15 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
-/// Deploys a suite of programs and returns reports.
+/// Deploys a suite of programs and returns reports (in suite order). Goes
+/// through [`DeployOracle::deploy_batch`] so an execution engine can fan
+/// the suite across its worker pool.
 pub fn deploy_all<D: DeployOracle>(
     oracle: &D,
     suite: &[(usize, Program)],
 ) -> Vec<zodiac_cloud::DeployReport> {
-    suite.iter().map(|(_, p)| oracle.deploy(p)).collect()
+    let programs: Vec<Program> = suite.iter().map(|(_, p)| p.clone()).collect();
+    oracle.deploy_batch(&programs)
 }
 
 #[cfg(test)]
@@ -182,7 +185,10 @@ mod tests {
             interp: None,
         };
         assert_eq!(
-            category_of(&mk("let r:VM in r.priority == 'Spot' => r.eviction_policy != null", "intra/eq-notnull")),
+            category_of(&mk(
+                "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+                "intra/eq-notnull"
+            )),
             Category::Intra
         );
         assert_eq!(
@@ -200,7 +206,10 @@ mod tests {
             Category::InterAgg
         );
         assert_eq!(
-            category_of(&mk("let r:VM in r.size == 'Standard_B1s' => outdegree(r, NIC) <= 2", "interp/degree-limit")),
+            category_of(&mk(
+                "let r:VM in r.size == 'Standard_B1s' => outdegree(r, NIC) <= 2",
+                "interp/degree-limit"
+            )),
             Category::Interpolation
         );
     }

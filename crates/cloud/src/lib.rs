@@ -20,9 +20,13 @@
 //! validation probes with positive/negative test cases, exactly as the real
 //! cloud is for the paper.
 
+pub mod oracle;
 pub mod report;
 pub mod rules;
 
+pub use oracle::{
+    is_transient, DeployOracle, DeployTelemetry, FaultInjector, FaultKind, TRANSIENT_PREFIX,
+};
 pub use report::{DeployOutcome, DeployReport, Phase, ViolationRecord};
 pub use rules::{CheckCategory, GroundRule, RuleBody};
 
@@ -71,6 +75,30 @@ impl CloudSim {
     /// which is exactly why a slow tunnel failure leaves whole VNets of
     /// fast-deploying children needing rollback (Figure 6).
     pub fn deploy(&self, program: &Program) -> DeployReport {
+        self.deploy_inner(program, None)
+    }
+
+    /// Like [`CloudSim::deploy`], but consults `injector` at every request
+    /// phase ([`Phase::SendingRequest`], [`Phase::PollingRequest`]) before
+    /// evaluating ground truth, modelling real-cloud transients. An injected
+    /// fault preempts any ground-truth violation at the same step (exactly
+    /// as throttling masks a real error until retried); the resulting report
+    /// carries a `transient/` rule id, an empty rollback set (nothing is
+    /// wrong with the program), and otherwise the same timing-derived
+    /// deployed/halted split as a real failure.
+    pub fn deploy_with_faults(
+        &self,
+        program: &Program,
+        injector: &dyn FaultInjector,
+    ) -> DeployReport {
+        self.deploy_inner(program, Some(injector))
+    }
+
+    fn deploy_inner(
+        &self,
+        program: &Program,
+        injector: Option<&dyn FaultInjector>,
+    ) -> DeployReport {
         let graph = ResourceGraph::build(program.clone());
         if deploy_order(&graph).is_err() {
             // A dependency cycle fails before anything deploys.
@@ -109,6 +137,26 @@ impl CloudSim {
         let mut order: Vec<NodeIdx> = topo.clone();
         order.sort_by_key(|&i| (finish[i], i));
 
+        // In-flight resources (started before the failure finished) complete
+        // and count as deployed; the failing resource itself counts as
+        // halted — it cannot deploy until the violation is fixed (or, for a
+        // transient fault, until the deploy is retried).
+        let split_at = |step: usize, node: NodeIdx| -> (Vec<NodeIdx>, Vec<NodeIdx>) {
+            let fail_time = finish[node];
+            let mut completed: Vec<NodeIdx> = (0..n)
+                .filter(|&i| i != node && start[i] < fail_time && !order[step..].contains(&i))
+                .collect();
+            let inflight: Vec<NodeIdx> = order[step + 1..]
+                .iter()
+                .copied()
+                .filter(|&i| start[i] < fail_time)
+                .collect();
+            completed.extend(inflight);
+            let deployed_set: HashSet<NodeIdx> = completed.iter().copied().collect();
+            let halted: Vec<NodeIdx> = (0..n).filter(|&i| !deployed_set.contains(&i)).collect();
+            (completed, halted)
+        };
+
         let mut deployed: HashSet<NodeIdx> = HashSet::new();
         for (step, &node) in order.iter().enumerate() {
             for phase in [
@@ -117,25 +165,33 @@ impl CloudSim {
                 Phase::SendingRequest,
                 Phase::PollingRequest,
             ] {
+                // Transients (throttling, flakes, polling timeouts) surface
+                // in the request phases and mask any ground-truth error at
+                // the same step, exactly as on the real cloud.
+                if let Some(kind) = injector
+                    .filter(|_| matches!(phase, Phase::SendingRequest | Phase::PollingRequest))
+                    .and_then(|inj| inj.inject(&graph.resource(node).id(), phase))
+                    .filter(|k| k.phase() == phase)
+                {
+                    let (completed, halted) = split_at(step, node);
+                    let id = graph.resource(node).id();
+                    return DeployReport {
+                        outcome: DeployOutcome::Failure {
+                            phase,
+                            rule_id: kind.rule_id().to_string(),
+                            resource: id.to_string(),
+                            message: kind.message(&id),
+                        },
+                        deployed: completed.iter().map(|&i| graph.resource(i).id()).collect(),
+                        halted: halted.iter().map(|&i| graph.resource(i).id()).collect(),
+                        // Nothing is wrong with the program: no fix, no
+                        // rollback — the deploy should simply be retried.
+                        rollback: Vec::new(),
+                        violations: Vec::new(),
+                    };
+                }
                 if let Some(v) = self.first_violation(&graph, node, &deployed, phase) {
-                    // In-flight resources (started before the failure
-                    // finished) complete and count as deployed.
-                    let fail_time = finish[node];
-                    let mut completed: Vec<NodeIdx> = (0..n)
-                        .filter(|&i| i != node && start[i] < fail_time && !order[step..].contains(&i))
-                        .collect();
-                    let inflight: Vec<NodeIdx> = order[step + 1..]
-                        .iter()
-                        .copied()
-                        .filter(|&i| start[i] < fail_time)
-                        .collect();
-                    completed.extend(inflight);
-                    let deployed_set: HashSet<NodeIdx> = completed.iter().copied().collect();
-                    // The failing resource itself counts as halted: it
-                    // cannot deploy until the violation is fixed.
-                    let halted: Vec<NodeIdx> = (0..n)
-                        .filter(|&i| !deployed_set.contains(&i))
-                        .collect();
+                    let (completed, halted) = split_at(step, node);
                     return self.fail_timed(&graph, node, &completed, &halted, v);
                 }
             }
@@ -246,6 +302,16 @@ impl CloudSim {
     }
 }
 
+impl DeployOracle for CloudSim {
+    fn deploy(&self, program: &Program) -> DeployReport {
+        CloudSim::deploy(self, program)
+    }
+
+    fn deploy_with_faults(&self, program: &Program, injector: &dyn FaultInjector) -> DeployReport {
+        CloudSim::deploy_with_faults(self, program, injector)
+    }
+}
+
 /// Nominal creation duration per resource type, in seconds. Gateways,
 /// firewalls, and tunnels are the slow outliers (Azure provisions VPN
 /// gateways in ~30–45 minutes), which is what makes their late failures so
@@ -293,7 +359,10 @@ mod tests {
             .with(
                 Resource::new("azurerm_subnet", "s")
                     .with("name", "internal")
-                    .with("address_prefixes", Value::List(vec![Value::s("10.0.1.0/24")]))
+                    .with(
+                        "address_prefixes",
+                        Value::List(vec![Value::s("10.0.1.0/24")]),
+                    )
                     .with(
                         "resource_group_name",
                         Value::r("azurerm_resource_group", "rg", "name"),
@@ -350,10 +419,7 @@ mod tests {
                         Value::Map(
                             [
                                 ("caching".to_string(), Value::s("ReadWrite")),
-                                (
-                                    "storage_account_type".to_string(),
-                                    Value::s("Standard_LRS"),
-                                ),
+                                ("storage_account_type".to_string(), Value::s("Standard_LRS")),
                             ]
                             .into_iter()
                             .collect(),
@@ -407,9 +473,12 @@ mod tests {
     fn missing_required_attr_fails_at_plugin() {
         let sim = CloudSim::new_azure();
         let mut p = base_network("eastus", "eastus");
-        p.find_mut(&zodiac_model::ResourceId::new("azurerm_virtual_network", "vnet"))
-            .unwrap()
-            .unset("address_space");
+        p.find_mut(&zodiac_model::ResourceId::new(
+            "azurerm_virtual_network",
+            "vnet",
+        ))
+        .unwrap()
+        .unset("address_space");
         let report = sim.deploy(&p);
         match &report.outcome {
             DeployOutcome::Failure { phase, .. } => assert_eq!(*phase, Phase::PluginCheck),

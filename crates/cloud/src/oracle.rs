@@ -1,0 +1,170 @@
+//! The deployment-oracle abstraction shared by every deploy consumer.
+//!
+//! The paper treats the cloud as an expensive, unreliable oracle: deploys
+//! are slow, rate-limited, and transiently flaky. This module defines the
+//! [`DeployOracle`] trait (implemented by [`CloudSim`](crate::CloudSim)
+//! here, by real Azure in the paper), the [`FaultInjector`] hook that lets a
+//! harness model those real-cloud transients inside the five-phase engine,
+//! and the [`DeployTelemetry`] surface that execution engines report.
+//!
+//! Transient failures are distinguished from ground-truth (deterministic)
+//! failures by rule id: every injected fault uses a rule id under the
+//! `transient/` prefix ([`TRANSIENT_PREFIX`]), so retry policies can
+//! classify an outcome without knowing the fault source.
+
+use serde::Serialize;
+use zodiac_model::{Program, ResourceId};
+
+use crate::report::{DeployOutcome, DeployReport, Phase};
+
+/// Rule-id prefix marking transient (retryable) failures.
+pub const TRANSIENT_PREFIX: &str = "transient/";
+
+/// True if a failure rule id denotes a transient fault rather than a
+/// ground-truth violation.
+pub fn is_transient(rule_id: &str) -> bool {
+    rule_id.starts_with(TRANSIENT_PREFIX)
+}
+
+/// The kinds of real-cloud transients the simulator can model (request
+/// throttling, polling timeouts on slow resources, and spurious request
+/// failures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The cloud rejected the creation request with a retry-after hint
+    /// (HTTP 429-style throttling).
+    Throttled {
+        /// Seconds the client is told to back off before retrying.
+        retry_after_secs: u64,
+    },
+    /// Asynchronous polling on a slow resource timed out.
+    PollingTimeout,
+    /// The creation request failed for no ground-truth reason
+    /// (HTTP 5xx-style flake).
+    SpuriousFailure,
+}
+
+impl FaultKind {
+    /// The deployment phase where this fault surfaces.
+    pub fn phase(&self) -> Phase {
+        match self {
+            FaultKind::Throttled { .. } | FaultKind::SpuriousFailure => Phase::SendingRequest,
+            FaultKind::PollingTimeout => Phase::PollingRequest,
+        }
+    }
+
+    /// The `transient/` rule id recorded for this fault.
+    pub fn rule_id(&self) -> &'static str {
+        match self {
+            FaultKind::Throttled { .. } => "transient/throttled",
+            FaultKind::PollingTimeout => "transient/polling-timeout",
+            FaultKind::SpuriousFailure => "transient/spurious-failure",
+        }
+    }
+
+    /// Cloud-API-style error message.
+    pub fn message(&self, resource: &ResourceId) -> String {
+        match self {
+            FaultKind::Throttled { retry_after_secs } => format!(
+                "TooManyRequests: request rate limit reached creating {resource}; \
+                 retry after {retry_after_secs}s"
+            ),
+            FaultKind::PollingTimeout => {
+                format!("OperationTimedOut: polling on {resource} exceeded the client deadline")
+            }
+            FaultKind::SpuriousFailure => {
+                format!("InternalServerError: transient error creating {resource}")
+            }
+        }
+    }
+}
+
+/// Decides, per resource and phase, whether a deployment step fails
+/// transiently. Implementations must be deterministic functions of their own
+/// state (they are consulted from worker threads, hence `Sync`).
+pub trait FaultInjector: Sync {
+    /// Returns the fault to inject at this (resource, phase) step, if any.
+    /// Only the request phases ([`Phase::SendingRequest`],
+    /// [`Phase::PollingRequest`]) are consulted.
+    fn inject(&self, resource: &ResourceId, phase: Phase) -> Option<FaultKind>;
+}
+
+/// Counters reported by a deployment execution engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct DeployTelemetry {
+    /// Deploy requests received from consumers.
+    pub requests: u64,
+    /// Requests served from the memoization cache.
+    pub cache_hits: u64,
+    /// Requests that reached the backend (`requests - cache_hits` when a
+    /// cache is in front).
+    pub backend_deploys: u64,
+    /// Transient failures observed across all attempts.
+    pub transient_failures: u64,
+    /// Extra backend attempts spent retrying transient failures.
+    pub retries: u64,
+    /// Highest request-queue depth observed by the worker pool.
+    pub max_queue_depth: u64,
+    /// Simulated seconds spent honouring retry-after hints and backoff.
+    pub simulated_backoff_secs: u64,
+    /// Wall-clock milliseconds spent inside the engine.
+    pub wall_time_ms: u64,
+}
+
+impl DeployTelemetry {
+    /// Cache hit rate over all requests, in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Anything that can deploy a program and report the outcome.
+///
+/// The simulator implements this; the paper's implementation shells out to
+/// `terraform apply` against live Azure. Execution engines (worker pools,
+/// caches) wrap another oracle and implement it too, so consumers never know
+/// whether they talk to the backend directly.
+pub trait DeployOracle {
+    /// Attempts a deployment.
+    fn deploy(&self, program: &Program) -> DeployReport;
+
+    /// Attempts a deployment under a fault injector. Backends that cannot
+    /// model transients ignore the injector.
+    fn deploy_with_faults(&self, program: &Program, _injector: &dyn FaultInjector) -> DeployReport {
+        self.deploy(program)
+    }
+
+    /// Deploys a batch of independent programs, returning reports in input
+    /// order. The default runs sequentially; execution engines override this
+    /// with a worker pool.
+    fn deploy_batch(&self, programs: &[Program]) -> Vec<DeployReport> {
+        programs.iter().map(|p| self.deploy(p)).collect()
+    }
+
+    /// Convenience: did the deployment succeed?
+    fn deploys_ok(&self, program: &Program) -> bool {
+        self.deploy(program).outcome.is_success()
+    }
+
+    /// Execution-engine telemetry, if this oracle collects any.
+    fn telemetry(&self) -> Option<DeployTelemetry> {
+        None
+    }
+}
+
+/// Transient outcomes never describe ground truth; helpers for classifying
+/// a report.
+impl DeployReport {
+    /// True if this report's failure (if any) is transient and the deploy
+    /// should be retried rather than interpreted.
+    pub fn is_transient_failure(&self) -> bool {
+        match &self.outcome {
+            DeployOutcome::Failure { rule_id, .. } => is_transient(rule_id),
+            DeployOutcome::Success => false,
+        }
+    }
+}

@@ -69,7 +69,7 @@ pub enum RuleBody {
     /// variable whose resource is the fix target.
     Spec {
         /// The check.
-        check: Check,
+        check: Box<Check>,
         /// Fix-target variable.
         fix_var: String,
     },
@@ -163,7 +163,7 @@ impl GroundRule {
     /// The check text, for spec-based rules.
     pub fn check(&self) -> Option<&Check> {
         match &self.body {
-            RuleBody::Spec { check, .. } => Some(check),
+            RuleBody::Spec { check, .. } => Some(check.as_ref()),
             RuleBody::Custom(_) => None,
         }
     }
@@ -178,8 +178,8 @@ fn spec_rule(
     check_src: &str,
     description: &str,
 ) -> GroundRule {
-    let check = parse_check(check_src)
-        .unwrap_or_else(|e| panic!("ground rule {id}: {e} in `{check_src}`"));
+    let check =
+        parse_check(check_src).unwrap_or_else(|e| panic!("ground rule {id}: {e} in `{check_src}`"));
     assert!(
         check.bindings.iter().any(|b| b.var == fix_var),
         "ground rule {id}: fix var {fix_var} unbound"
@@ -190,7 +190,7 @@ fn spec_rule(
         phase,
         category,
         body: RuleBody::Spec {
-            check,
+            check: Box::new(check),
             fix_var: fix_var.to_string(),
         },
     }
@@ -703,7 +703,10 @@ pub fn ground_truth() -> Vec<GroundRule> {
                 "let r:GW in r.sku == '{}' => indegree(r, TUNNEL) <= {}",
                 sku.sku, sku.max_tunnels
             ),
-            &format!("{} gateways support at most {} tunnels", sku.sku, sku.max_tunnels),
+            &format!(
+                "{} gateways support at most {} tunnels",
+                sku.sku, sku.max_tunnels
+            ),
         ));
         if !sku.active_active {
             rules.push(spec_rule(
@@ -820,10 +823,7 @@ fn eval_custom(
                 "AzureFirewallSubnet" | "AzureBastionSubnet" => 26,
                 _ => return Vec::new(),
             };
-            let prefixes = zodiac_spec::eval::resolve_multi(
-                r,
-                &["address_prefixes".to_string()],
-            );
+            let prefixes = zodiac_spec::eval::resolve_multi(r, &["address_prefixes".to_string()]);
             prefixes
                 .iter()
                 .filter_map(|v| v.as_str())
@@ -875,7 +875,8 @@ fn eval_custom(
                 return Vec::new();
             }
             let (Some(vm_ref), Some(lun)) = (
-                r.get_attr("virtual_machine_id").and_then(Value::as_ref_value),
+                r.get_attr("virtual_machine_id")
+                    .and_then(Value::as_ref_value),
                 r.get_attr("lun").and_then(Value::as_int),
             ) else {
                 return Vec::new();
@@ -888,7 +889,8 @@ fn eval_custom(
                     }
                     let o = graph.resource(other);
                     o.rtype == r.rtype
-                        && o.get_attr("virtual_machine_id").and_then(Value::as_ref_value)
+                        && o.get_attr("virtual_machine_id")
+                            .and_then(Value::as_ref_value)
                             == Some(vm_ref)
                         && o.get_attr("lun").and_then(Value::as_int) == Some(lun)
                 })
@@ -929,7 +931,10 @@ fn eval_custom(
             }
             let ips = zodiac_spec::eval::resolve_multi(
                 r,
-                &["ip_configuration".to_string(), "private_ip_address".to_string()],
+                &[
+                    "ip_configuration".to_string(),
+                    "private_ip_address".to_string(),
+                ],
             );
             let mut out = Vec::new();
             for ip in ips.iter().filter_map(|v| v.as_str()) {
@@ -1000,7 +1005,11 @@ fn validate_schema(graph: &ResourceGraph, kb: &KnowledgeBase, node: NodeIdx) -> 
         let segs: Vec<String> = attr.path.split('.').map(str::to_string).collect();
         if segs.len() == 1 {
             if r.get_attr(&segs[0]).is_none() {
-                errors.push(format!("{}: missing required attribute {}", r.id(), attr.path));
+                errors.push(format!(
+                    "{}: missing required attribute {}",
+                    r.id(),
+                    attr.path
+                ));
             }
         } else {
             // Parent present, child missing in at least one instance?
@@ -1024,29 +1033,23 @@ fn validate_schema(graph: &ResourceGraph, kb: &KnowledgeBase, node: NodeIdx) -> 
         let values = zodiac_spec::eval::resolve_multi(r, &segs);
         for v in &values {
             match (&attr.format, v) {
-                (ValueFormat::Enum { values: domain, .. }, Value::Str(s)) => {
-                    if !domain.iter().any(|d| d == s) {
-                        errors.push(format!("{}: {} has invalid value {s:?}", r.id(), attr.path));
-                    }
+                (ValueFormat::Enum { values: domain, .. }, Value::Str(s))
+                    if !domain.iter().any(|d| d == s) =>
+                {
+                    errors.push(format!("{}: {} has invalid value {s:?}", r.id(), attr.path));
                 }
-                (ValueFormat::IntRange { min, max }, Value::Int(n)) => {
-                    if n < min || n > max {
-                        errors.push(format!(
-                            "{}: {} = {n} outside [{min}, {max}]",
-                            r.id(),
-                            attr.path
-                        ));
-                    }
+                (ValueFormat::IntRange { min, max }, Value::Int(n)) if n < min || n > max => {
+                    errors.push(format!(
+                        "{}: {} = {n} outside [{min}, {max}]",
+                        r.id(),
+                        attr.path
+                    ));
                 }
-                (ValueFormat::Location, Value::Str(s)) => {
-                    if !kb.locations.iter().any(|l| l == s) {
-                        errors.push(format!("{}: unknown location {s:?}", r.id()));
-                    }
+                (ValueFormat::Location, Value::Str(s)) if !kb.locations.iter().any(|l| l == s) => {
+                    errors.push(format!("{}: unknown location {s:?}", r.id()));
                 }
-                (ValueFormat::Cidr, Value::Str(s)) => {
-                    if s.parse::<Cidr>().is_err() {
-                        errors.push(format!("{}: {} is not a CIDR: {s:?}", r.id(), attr.path));
-                    }
+                (ValueFormat::Cidr, Value::Str(s)) if s.parse::<Cidr>().is_err() => {
+                    errors.push(format!("{}: {} is not a CIDR: {s:?}", r.id(), attr.path));
                 }
                 _ => {}
             }

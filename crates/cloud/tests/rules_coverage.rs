@@ -43,7 +43,10 @@ fn base() -> Program {
                     "virtual_network_name",
                     Value::r("azurerm_virtual_network", "vnet", "name"),
                 )
-                .with("address_prefixes", Value::List(vec![Value::s("10.0.1.0/24")])),
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.0.1.0/24")]),
+                ),
         )
 }
 
@@ -118,10 +121,13 @@ fn sa_premium_gzrs_fails_standard_ok() {
 #[test]
 fn sa_name_format_enforced() {
     let mut p = storage_account("Standard", "LRS");
-    p.find_mut(&zodiac_model::ResourceId::new("azurerm_storage_account", "sa"))
-        .unwrap()
-        .attrs
-        .insert("name".into(), Value::s("Has-Uppercase!"));
+    p.find_mut(&zodiac_model::ResourceId::new(
+        "azurerm_storage_account",
+        "sa",
+    ))
+    .unwrap()
+    .attrs
+    .insert("name".into(), Value::s("Has-Uppercase!"));
     assert_fails_with(&p, "schema/sa-name-format", Phase::PluginCheck);
 }
 
@@ -187,7 +193,10 @@ fn duplicate_subnet_names_scope_per_vnet() {
                     "virtual_network_name",
                     Value::r("azurerm_virtual_network", "vnet2", "name"),
                 )
-                .with("address_prefixes", Value::List(vec![Value::s("10.1.1.0/24")])),
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.1.1.0/24")]),
+                ),
         );
     assert_deploys(&p);
     // Same name under the same VNet collides.
@@ -199,7 +208,10 @@ fn duplicate_subnet_names_scope_per_vnet() {
                 "virtual_network_name",
                 Value::r("azurerm_virtual_network", "vnet", "name"),
             )
-            .with("address_prefixes", Value::List(vec![Value::s("10.0.9.0/24")])),
+            .with(
+                "address_prefixes",
+                Value::List(vec![Value::s("10.0.9.0/24")]),
+            ),
     );
     assert_fails_with(&bad, "name/duplicate", Phase::PreDeploySync);
 }
@@ -548,12 +560,12 @@ fn subnet_two_route_tables_is_postsync_inconsistency() {
         )
         .unwrap();
         p.add(
-            Resource::new("azurerm_subnet_route_table_association", format!("assoc{i}"))
-                .with("subnet_id", Value::r("azurerm_subnet", "snet", "id"))
-                .with(
-                    "route_table_id",
-                    Value::r("azurerm_route_table", &rt, "id"),
-                ),
+            Resource::new(
+                "azurerm_subnet_route_table_association",
+                format!("assoc{i}"),
+            )
+            .with("subnet_id", Value::r("azurerm_subnet", "snet", "id"))
+            .with("route_table_id", Value::r("azurerm_route_table", &rt, "id")),
         )
         .unwrap();
     }

@@ -49,10 +49,14 @@ const USAGE: &str = "zodiac — mine and validate semantic checks for cloud IaC 
 
 USAGE:
     zodiac mine [--projects N] [--seed S] --out FILE   run the pipeline, write validated checks
-    zodiac scan --checks FILE PROGRAM...               scan programs against a check file
+    zodiac scan --checks FILE PROGRAM...               scan programs, deploy-confirm violations
     zodiac deploy PROGRAM...                           simulate deployment and report outcome
     zodiac explain \"<check>\"                           render a check as a deployment insight
     zodiac insights --checks FILE                      export a JSON-lines RAG knowledge base
+
+DEPLOYMENT OPTIONS (mine, scan, deploy):
+    --workers N          worker threads in the deployment engine (default 4)
+    --no-deploy-cache    disable deploy-result memoization
 
 PROGRAM is .tf (Terraform source) or .json (terraform show -json plan).";
 
@@ -67,9 +71,49 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Pulls a boolean `--switch` out of an argument list.
+fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    match args.iter().position(|a| a == switch) {
+        Some(idx) => {
+            args.remove(idx);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Parses the shared `--workers` / `--no-deploy-cache` engine flags.
+fn take_deployer_flags(args: &mut Vec<String>) -> Result<zodiac_deployer::DeployerConfig, String> {
+    let mut cfg = zodiac_deployer::DeployerConfig::default();
+    if let Some(v) = take_flag(args, "--workers") {
+        cfg.workers = v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--workers expects a number >= 1")?;
+    }
+    if take_switch(args, "--no-deploy-cache") {
+        cfg.cache = false;
+    }
+    Ok(cfg)
+}
+
+/// Prints the engine's telemetry summary after a run.
+fn print_telemetry(tel: &zodiac_deployer::DeployTelemetry) {
+    eprintln!(
+        "deploys: {} requests, {} backend deploys, {} cache hits ({:.0}% hit rate), \
+         {} retries, peak queue depth {}",
+        tel.requests,
+        tel.backend_deploys,
+        tel.cache_hits,
+        tel.cache_hit_rate() * 100.0,
+        tel.retries,
+        tel.max_queue_depth,
+    );
+}
+
 fn load_program(path: &str) -> Result<Program, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".json") {
         zodiac_hcl::from_plan_json(&source).map_err(|e| format!("{path}: {e}"))
     } else {
@@ -85,8 +129,7 @@ fn load_checks(path: &str) -> Result<Vec<Check>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let check =
-            parse_check(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let check = parse_check(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         checks.push(check);
     }
     Ok(checks)
@@ -95,7 +138,10 @@ fn load_checks(path: &str) -> Result<Vec<Check>, String> {
 fn cmd_mine(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let projects: usize = take_flag(&mut args, "--projects")
-        .map(|v| v.parse().map_err(|_| "--projects expects a number".to_string()))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--projects expects a number".to_string())
+        })
         .transpose()?
         .unwrap_or(300);
     let seed: u64 = take_flag(&mut args, "--seed")
@@ -103,10 +149,12 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0xC0FFEE);
     let out = take_flag(&mut args, "--out").ok_or("mine requires --out FILE")?;
+    let deployer = take_deployer_flags(&mut args)?;
 
     let mut cfg = zodiac::PipelineConfig::evaluation();
     cfg.corpus.projects = projects;
     cfg.corpus.seed = seed;
+    cfg.deployer = deployer;
     eprintln!("mining + validating over {projects} synthetic projects...");
     let result = zodiac::run_pipeline(&cfg);
     eprintln!(
@@ -116,6 +164,9 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         result.validation.validated.len(),
         result.demoted.len(),
     );
+    if let Some(tel) = &result.deploy_telemetry {
+        print_telemetry(tel);
+    }
     let mut lines = String::new();
     for v in &result.final_checks {
         lines.push_str(&v.mined.check.to_string());
@@ -129,12 +180,14 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let checks_path = take_flag(&mut args, "--checks").ok_or("scan requires --checks FILE")?;
+    let deployer = take_deployer_flags(&mut args)?;
     if args.is_empty() {
         return Err("scan requires at least one program file".into());
     }
     let checks = load_checks(&checks_path)?;
     let kb = zodiac_kb::azure_kb();
     let mut total_violations = 0usize;
+    let mut flagged: Vec<(String, Program)> = Vec::new();
     for path in &args {
         let program = load_program(path)?;
         let violations = zodiac::scanner::scan_program(&program, &checks, &kb);
@@ -149,7 +202,24 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
                 }
             }
             total_violations += violations.len();
+            flagged.push((path.clone(), program));
         }
+    }
+    // Cross-check flagged programs against the simulator (the paper's
+    // precision claim: scanner hits should fail real deployment).
+    if !flagged.is_empty() {
+        use zodiac_deployer::DeployOracle;
+        let engine =
+            zodiac_deployer::DeployEngine::new(zodiac_cloud::CloudSim::new_azure(), deployer);
+        let programs: Vec<Program> = flagged.iter().map(|(_, p)| p.clone()).collect();
+        for ((path, _), report) in flagged.iter().zip(engine.deploy_batch(&programs)) {
+            if report.outcome.is_success() {
+                println!("{path}: violation NOT confirmed by simulated deployment");
+            } else {
+                println!("{path}: confirmed — deployment fails");
+            }
+        }
+        print_telemetry(&engine.telemetry_snapshot());
     }
     if total_violations > 0 {
         Err(format!("{total_violations} violation(s) found"))
@@ -159,14 +229,20 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_deploy(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let deployer = take_deployer_flags(&mut args)?;
     if args.is_empty() {
         return Err("deploy requires at least one program file".into());
     }
-    let sim = zodiac_cloud::CloudSim::new_azure();
+    use zodiac_deployer::DeployOracle;
+    let engine = zodiac_deployer::DeployEngine::new(zodiac_cloud::CloudSim::new_azure(), deployer);
     let mut failed = false;
-    for path in args {
-        let program = load_program(path)?;
-        let report = sim.deploy(&program);
+    let programs: Vec<(String, Program)> = args
+        .iter()
+        .map(|path| load_program(path).map(|p| (path.clone(), p)))
+        .collect::<Result<_, _>>()?;
+    let batch: Vec<Program> = programs.iter().map(|(_, p)| p.clone()).collect();
+    for ((path, _), report) in programs.iter().zip(engine.deploy_batch(&batch)) {
         match &report.outcome {
             zodiac_cloud::DeployOutcome::Success => {
                 println!("{path}: deployed {} resources", report.deployed.len());
@@ -190,6 +266,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    print_telemetry(&engine.telemetry_snapshot());
     if failed {
         Err("deployment failed".into())
     } else {
@@ -208,8 +285,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
 
 fn cmd_insights(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
-    let checks_path =
-        take_flag(&mut args, "--checks").ok_or("insights requires --checks FILE")?;
+    let checks_path = take_flag(&mut args, "--checks").ok_or("insights requires --checks FILE")?;
     let checks = load_checks(&checks_path)?;
     println!("{}", zodiac::insights::export_jsonl(&checks));
     Ok(())

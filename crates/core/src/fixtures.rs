@@ -241,7 +241,10 @@ mod tests {
     #[test]
     fn naive_fix_trips_the_coupled_check() {
         // Flip only the sku to Standard: allocation stays Dynamic.
-        let naive = APPGW_DOC_EXAMPLE.replace("sku                 = \"Basic\"", "sku                 = \"Standard\"");
+        let naive = APPGW_DOC_EXAMPLE.replace(
+            "sku                 = \"Basic\"",
+            "sku                 = \"Standard\"",
+        );
         let program = zodiac_hcl::compile(&naive).unwrap();
         let kb = zodiac_kb::azure_kb();
         let check = parse_check(IP_ALLOCATION_CHECK).unwrap();

@@ -26,8 +26,8 @@ pub struct Insight {
 
 /// Renders one check as an English deployment insight.
 pub fn explain(check: &Check) -> String {
-    let cond = explain_expr(&check.cond, check, true);
-    let stmt = explain_expr(&check.stmt, check, false);
+    let cond = explain_expr(&check.cond, check);
+    let stmt = explain_expr(&check.stmt, check);
     format!("When {cond}, Azure requires that {stmt}.")
 }
 
@@ -89,14 +89,12 @@ fn val_phrase(v: &Val, check: &Check) -> String {
     match v {
         Val::Lit(value) => value_phrase(value),
         Val::Endpoint { var, attr } => attr_phrase(check, var, attr),
-        Val::InDegree { var, tau } => format!(
-            "the number of {} attached to `{var}`",
-            tau_phrase(tau)
-        ),
-        Val::OutDegree { var, tau } => format!(
-            "the number of {} that `{var}` uses",
-            tau_phrase(tau)
-        ),
+        Val::InDegree { var, tau } => {
+            format!("the number of {} attached to `{var}`", tau_phrase(tau))
+        }
+        Val::OutDegree { var, tau } => {
+            format!("the number of {} that `{var}` uses", tau_phrase(tau))
+        }
         Val::Length(inner) => match inner.as_ref() {
             Val::Endpoint { var, attr } => {
                 format!("the number of `{attr}` blocks of `{var}`")
@@ -106,7 +104,7 @@ fn val_phrase(v: &Val, check: &Check) -> String {
     }
 }
 
-fn explain_expr(expr: &Expr, check: &Check, as_condition: bool) -> String {
+fn explain_expr(expr: &Expr, check: &Check) -> String {
     match expr {
         Expr::Conn {
             src,
@@ -125,8 +123,8 @@ fn explain_expr(expr: &Expr, check: &Check, as_condition: bool) -> String {
         ),
         Expr::CoConn { first, second } | Expr::CoPath { first, second } => format!(
             "{} and {}",
-            explain_expr(first, check, as_condition),
-            explain_expr(second, check, as_condition)
+            explain_expr(first, check),
+            explain_expr(second, check)
         ),
         Expr::Cmp {
             op,

@@ -43,14 +43,16 @@ pub mod scanner;
 pub use scanner::{scan_corpus, MisconfigReport, Violation};
 
 use serde::Serialize;
+use std::collections::BTreeSet;
 use zodiac_cloud::CloudSim;
 use zodiac_corpus::CorpusConfig;
+use zodiac_deployer::{DeployEngine, DeployerConfig};
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::{MiningConfig, MiningReport};
 use zodiac_model::Program;
 use zodiac_validation::{
     counterexample::{counterexample_pass, CounterexampleReport},
-    Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
+    DeployOracle, DeployTelemetry, Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
 };
 
 /// End-to-end pipeline configuration.
@@ -62,6 +64,10 @@ pub struct PipelineConfig {
     pub mining: MiningConfig,
     /// Validation scheduler settings.
     pub scheduler: SchedulerConfig,
+    /// Deployment execution engine settings (worker pool, memoization,
+    /// fault injection). The engine is semantics-preserving, so these only
+    /// affect speed and telemetry, never `R_v`.
+    pub deployer: DeployerConfig,
     /// Extra projects generated for the §5.6 counterexample pass
     /// (0 disables the pass).
     pub counterexample_projects: usize,
@@ -104,20 +110,28 @@ pub struct PipelineResult {
     pub counterexamples: CounterexampleReport,
     /// The final check set: validated minus demoted.
     pub final_checks: Vec<ValidatedCheck>,
+    /// Execution-engine counters for the whole run (requests, cache hits,
+    /// retries, …), when deployment went through an engine.
+    pub deploy_telemetry: Option<DeployTelemetry>,
 }
 
 /// Runs corpus generation → mining → validation → counterexample testing.
+///
+/// Deployment goes through a [`DeployEngine`] configured by
+/// [`PipelineConfig::deployer`] wrapping the Azure simulator.
 pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
     let kb = zodiac_kb::azure_kb();
-    let sim = CloudSim::new_azure();
-    run_pipeline_with(cfg, &kb, &sim)
+    let engine = DeployEngine::new(CloudSim::new_azure(), cfg.deployer.clone());
+    run_pipeline_with(cfg, &kb, &engine)
 }
 
-/// [`run_pipeline`] with an injected KB and deployment oracle.
-pub fn run_pipeline_with(
+/// [`run_pipeline`] with an injected KB and deployment oracle — any
+/// [`DeployOracle`]: the bare simulator, an execution engine wrapping it, or
+/// a test double.
+pub fn run_pipeline_with<D: DeployOracle>(
     cfg: &PipelineConfig,
     kb: &KnowledgeBase,
-    sim: &CloudSim,
+    sim: &D,
 ) -> PipelineResult {
     let corpus = zodiac_corpus::generate(&cfg.corpus);
     let programs: Vec<Program> = corpus.iter().map(|p| p.program.clone()).collect();
@@ -153,11 +167,14 @@ pub fn run_pipeline_with(
         (CounterexampleReport::default(), Vec::new())
     };
 
+    // Set-membership filtering: `demoted` is sorted but can grow with the
+    // validated set, and `Vec::contains` per element made this quadratic.
+    let demoted_set: BTreeSet<usize> = demoted.iter().copied().collect();
     let final_checks: Vec<ValidatedCheck> = validation
         .validated
         .iter()
         .enumerate()
-        .filter(|(i, _)| !demoted.contains(i))
+        .filter(|(i, _)| !demoted_set.contains(i))
         .map(|(_, v)| v.clone())
         .collect();
 
@@ -168,5 +185,6 @@ pub fn run_pipeline_with(
         demoted,
         counterexamples,
         final_checks,
+        deploy_telemetry: sim.telemetry(),
     }
 }

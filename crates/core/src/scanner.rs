@@ -55,7 +55,7 @@ impl MisconfigReport {
             }
         }
         let mut out: Vec<(usize, usize)> = counts.into_iter().collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|o| std::cmp::Reverse(o.1));
         out.truncate(n);
         out
     }
@@ -110,12 +110,13 @@ mod tests {
     #[test]
     fn scanner_finds_spot_violation() {
         let checks =
-            vec![parse_check("let r:VM in r.priority == 'Spot' => r.eviction_policy != null")
-                .unwrap()];
+            vec![
+                parse_check("let r:VM in r.priority == 'Spot' => r.eviction_policy != null")
+                    .unwrap(),
+            ];
         let kb = zodiac_kb::azure_kb();
-        let bad = Program::new().with(
-            Resource::new("azurerm_linux_virtual_machine", "vm").with("priority", "Spot"),
-        );
+        let bad = Program::new()
+            .with(Resource::new("azurerm_linux_virtual_machine", "vm").with("priority", "Spot"));
         let good = Program::new().with(
             Resource::new("azurerm_linux_virtual_machine", "vm")
                 .with("priority", "Spot")

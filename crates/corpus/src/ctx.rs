@@ -113,7 +113,9 @@ impl Ctx {
     /// Adds a resource to the program, panicking on duplicates (generator
     /// names are unique by construction).
     pub fn add(&mut self, r: Resource) {
-        self.program.add(r).expect("generator produced duplicate id");
+        self.program
+            .add(r)
+            .expect("generator produced duplicate id");
     }
 
     /// Ensures a resource group exists and returns a reference to its name.
@@ -134,7 +136,6 @@ impl Ctx {
             "name",
         )
     }
-
 }
 
 /// Picks from a weighted table.

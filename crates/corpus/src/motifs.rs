@@ -92,12 +92,7 @@ pub fn subnet(ctx: &mut Ctx, vnet_local: &str, vnet_cidr: &str, idx: u8) -> Stri
 }
 
 /// Creates a subnet with an explicit CIDR and optional reserved name.
-pub fn named_subnet(
-    ctx: &mut Ctx,
-    vnet_local: &str,
-    cidr: &str,
-    reserved: Option<&str>,
-) -> String {
+pub fn named_subnet(ctx: &mut Ctx, vnet_local: &str, cidr: &str, reserved: Option<&str>) -> String {
     let rg = ctx.rg_ref();
     let local = ctx.fresh("subnet");
     let name = match reserved {
@@ -121,7 +116,10 @@ pub fn named_subnet(
                 ("name", Value::s("delegation")),
                 (
                     "service_delegation",
-                    map(vec![("name", Value::s("Microsoft.ContainerInstance/containerGroups"))]),
+                    map(vec![(
+                        "name",
+                        Value::s("Microsoft.ContainerInstance/containerGroups"),
+                    )]),
                 ),
             ]),
         );
@@ -192,6 +190,7 @@ pub fn nic(ctx: &mut Ctx, subnet_local: &str, pip_local: Option<&str>) -> String
 }
 
 /// Options for VM creation.
+#[derive(Default)]
 pub struct VmOpts {
     /// Fixed size (sampled when `None`).
     pub size: Option<&'static str>,
@@ -199,16 +198,6 @@ pub struct VmOpts {
     pub spot: bool,
     /// Availability set local name to join.
     pub avset: Option<String>,
-}
-
-impl Default for VmOpts {
-    fn default() -> Self {
-        VmOpts {
-            size: None,
-            spot: false,
-            avset: None,
-        }
-    }
 }
 
 /// Creates a VM over the given NICs, returning its local name.
@@ -371,7 +360,7 @@ fn web_lb(ctx: &mut Ctx) {
     );
     for _ in 0..ctx.rng.gen_range(2..=3) {
         let n = nic(ctx, &s, None);
-        vm(ctx, &[n.clone()], VmOpts::default());
+        vm(ctx, std::slice::from_ref(&n), VmOpts::default());
         let assoc = ctx.fresh("lbassoc");
         ctx.add(
             Resource::new(
@@ -462,7 +451,9 @@ fn storage_site(ctx: &mut Ctx) {
     let loc = ctx.location.clone();
     let premium = ctx.rng.gen_bool(0.2);
     let replication = if premium {
-        *["LRS", "ZRS"].get(ctx.rng.gen_range(0..2)).expect("index in range")
+        *["LRS", "ZRS"]
+            .get(ctx.rng.gen_range(0..2))
+            .expect("index in range")
     } else {
         *["LRS", "GRS", "RAGRS", "ZRS", "GZRS"]
             .get(ctx.rng.gen_range(0..5))
@@ -564,7 +555,11 @@ fn gateway(ctx: &mut Ctx, sku: &str, opts: GwOpts) -> (String, String) {
         .with("type", "Vpn")
         .with(
             "vpn_type",
-            if opts.policy_based { "PolicyBased" } else { "RouteBased" },
+            if opts.policy_based {
+                "PolicyBased"
+            } else {
+                "RouteBased"
+            },
         )
         .with("sku", sku);
     let first_ipcfg = map(vec![
@@ -586,9 +581,10 @@ fn gateway(ctx: &mut Ctx, sku: &str, opts: GwOpts) -> (String, String) {
             ),
             ("subnet_id", Value::r("azurerm_subnet", &s, "id")),
         ]);
-        r = r
-            .with("active_active", true)
-            .with("ip_configuration", Value::List(vec![first_ipcfg, second_ipcfg]));
+        r = r.with("active_active", true).with(
+            "ip_configuration",
+            Value::List(vec![first_ipcfg, second_ipcfg]),
+        );
     } else {
         r = r.with("ip_configuration", first_ipcfg);
     }
@@ -768,7 +764,7 @@ fn appgw_web(ctx: &mut Ctx) {
     // Backend NICs go to the *other* subnet (the appgw subnet is exclusive).
     for _ in 0..ctx.rng.gen_range(1..=2) {
         let n = nic(ctx, &backend_subnet, None);
-        vm(ctx, &[n.clone()], VmOpts::default());
+        vm(ctx, std::slice::from_ref(&n), VmOpts::default());
         let assoc = ctx.fresh("agwassoc");
         ctx.add(
             Resource::new(

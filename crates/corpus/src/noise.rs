@@ -35,18 +35,15 @@ pub const NOISE_KINDS: &[&str] = &[
 pub fn inject(rng: &mut StdRng, program: &mut Program) -> Option<&'static str> {
     let mut order: Vec<&'static str> = NOISE_KINDS.to_vec();
     order.shuffle(rng);
-    for kind in order {
-        if inject_kind(rng, program, kind) {
-            return Some(kind);
-        }
-    }
-    None
+    order
+        .into_iter()
+        .find(|kind| inject_kind(rng, program, kind))
 }
 
 /// Applies a *specific* injector, returning whether it took effect.
 pub fn inject_kind(rng: &mut StdRng, program: &mut Program, kind: &str) -> bool {
     {
-        let applied = match kind {
+        match kind {
             "vm-nic-location-mismatch" => vm_nic_location(rng, program),
             "subnet-outside-vnet" => subnet_outside_vnet(program),
             "sibling-subnet-overlap" => sibling_overlap(program),
@@ -64,13 +61,15 @@ pub fn inject_kind(rng: &mut StdRng, program: &mut Program, kind: &str) -> bool 
             "tunnel-vpc-overlap" => tunnel_overlap(program),
             "v2-rule-no-priority" => v2_no_priority(program),
             _ => false,
-        };
-        applied
+        }
     }
 }
 
 fn first_of<'a>(program: &'a mut Program, rtype: &str) -> Option<&'a mut zodiac_model::Resource> {
-    program.resources_mut().iter_mut().find(|r| r.rtype == rtype)
+    program
+        .resources_mut()
+        .iter_mut()
+        .find(|r| r.rtype == rtype)
 }
 
 fn vm_nic_location(rng: &mut StdRng, program: &mut Program) -> bool {
@@ -80,7 +79,9 @@ fn vm_nic_location(rng: &mut StdRng, program: &mut Program) -> bool {
         .flat_map(|vm| vm.references())
         .find(|(_, r)| r.rtype == "azurerm_network_interface")
         .map(|(_, r)| r.name.clone());
-    let Some(nic_name) = nic_name else { return false };
+    let Some(nic_name) = nic_name else {
+        return false;
+    };
     let Some(nic) = program.find_mut(&zodiac_model::ResourceId::new(
         "azurerm_network_interface",
         &nic_name,
@@ -102,11 +103,10 @@ fn vm_nic_location(rng: &mut StdRng, program: &mut Program) -> bool {
 }
 
 fn subnet_outside_vnet(program: &mut Program) -> bool {
-    let Some(subnet) = program
-        .resources_mut()
-        .iter_mut()
-        .find(|r| r.rtype == "azurerm_subnet" && r.get_attr("name").and_then(Value::as_str) != Some("GatewaySubnet"))
-    else {
+    let Some(subnet) = program.resources_mut().iter_mut().find(|r| {
+        r.rtype == "azurerm_subnet"
+            && r.get_attr("name").and_then(Value::as_str) != Some("GatewaySubnet")
+    }) else {
         return false;
     };
     subnet.attrs.insert(
@@ -186,13 +186,13 @@ fn appgw_basic_ip(program: &mut Program) -> bool {
     let ip_name = program
         .of_type("azurerm_application_gateway")
         .flat_map(|g| g.references())
-        .find(|(path, r)| {
-            r.rtype == "azurerm_public_ip" && path.to_string().contains("frontend")
-        })
+        .find(|(path, r)| r.rtype == "azurerm_public_ip" && path.to_string().contains("frontend"))
         .map(|(_, r)| r.name.clone());
     let Some(ip_name) = ip_name else { return false };
-    let Some(ip) = program.find_mut(&zodiac_model::ResourceId::new("azurerm_public_ip", &ip_name))
-    else {
+    let Some(ip) = program.find_mut(&zodiac_model::ResourceId::new(
+        "azurerm_public_ip",
+        &ip_name,
+    )) else {
         return false;
     };
     ip.attrs.insert("sku".into(), Value::s("Basic"));
@@ -227,7 +227,9 @@ fn nic_in_gateway_subnet(program: &mut Program) -> bool {
                 && r.get_attr("name").and_then(Value::as_str) == Some("GatewaySubnet")
         })
         .map(|r| r.name.clone());
-    let Some(gw_subnet) = gw_subnet else { return false };
+    let Some(gw_subnet) = gw_subnet else {
+        return false;
+    };
     let Some(nic) = first_of(program, "azurerm_network_interface") else {
         return false;
     };
@@ -247,17 +249,19 @@ fn basic_gw_active_active(program: &mut Program) -> bool {
 
 fn disk_name_clash(program: &mut Program) -> bool {
     // Give a data disk the same name as its VM's os_disk.
-    let vm_and_disk = program.of_type("azurerm_virtual_machine_data_disk_attachment").find_map(|a| {
-        let vm = a
-            .references()
-            .into_iter()
-            .find(|(_, r)| r.rtype == "azurerm_linux_virtual_machine")?;
-        let disk = a
-            .references()
-            .into_iter()
-            .find(|(_, r)| r.rtype == "azurerm_managed_disk")?;
-        Some((vm.1.name.clone(), disk.1.name.clone()))
-    });
+    let vm_and_disk = program
+        .of_type("azurerm_virtual_machine_data_disk_attachment")
+        .find_map(|a| {
+            let vm = a
+                .references()
+                .into_iter()
+                .find(|(_, r)| r.rtype == "azurerm_linux_virtual_machine")?;
+            let disk = a
+                .references()
+                .into_iter()
+                .find(|(_, r)| r.rtype == "azurerm_managed_disk")?;
+            Some((vm.1.name.clone(), disk.1.name.clone()))
+        });
     let Some((vm_name, disk_name)) = vm_and_disk else {
         return false;
     };
@@ -300,22 +304,24 @@ fn invalid_enum(program: &mut Program) -> bool {
 fn peering_overlap(program: &mut Program) -> bool {
     // Make two peered VNets share an address space (moving the remote VNet's
     // subnets along, so the only violation is the peering itself).
-    let peering = program.of_type("azurerm_virtual_network_peering").find_map(|p| {
-        let refs = p.references();
-        let local = refs
-            .iter()
-            .find(|(path, _)| path.to_string() == "virtual_network_name")?
-            .1
-            .name
-            .clone();
-        let remote = refs
-            .iter()
-            .find(|(path, _)| path.to_string() == "remote_virtual_network_id")?
-            .1
-            .name
-            .clone();
-        Some((local, remote))
-    });
+    let peering = program
+        .of_type("azurerm_virtual_network_peering")
+        .find_map(|p| {
+            let refs = p.references();
+            let local = refs
+                .iter()
+                .find(|(path, _)| path.to_string() == "virtual_network_name")?
+                .1
+                .name
+                .clone();
+            let remote = refs
+                .iter()
+                .find(|(path, _)| path.to_string() == "remote_virtual_network_id")?
+                .1
+                .name
+                .clone();
+            Some((local, remote))
+        });
     let Some((local, remote)) = peering else {
         return false;
     };
@@ -349,8 +355,7 @@ fn tunnel_overlap(program: &mut Program) -> bool {
             .find(|(_, r)| r.rtype == "azurerm_subnet")?
             .1
             .name;
-        let subnet_res =
-            program.find(&zodiac_model::ResourceId::new("azurerm_subnet", &subnet))?;
+        let subnet_res = program.find(&zodiac_model::ResourceId::new("azurerm_subnet", &subnet))?;
         Some(
             subnet_res
                 .references()
@@ -373,7 +378,10 @@ fn tunnel_overlap(program: &mut Program) -> bool {
 /// subnet of `vnet` into the new space (same third/fourth octet layout).
 fn move_vnet_onto(program: &mut Program, vnet: &str, onto: &str) -> bool {
     let space = program
-        .find(&zodiac_model::ResourceId::new("azurerm_virtual_network", onto))
+        .find(&zodiac_model::ResourceId::new(
+            "azurerm_virtual_network",
+            onto,
+        ))
         .and_then(|v| v.get_attr("address_space").cloned());
     let Some(space) = space else { return false };
     let new_octet = space
@@ -381,7 +389,9 @@ fn move_vnet_onto(program: &mut Program, vnet: &str, onto: &str) -> bool {
         .and_then(|l| l.first())
         .and_then(Value::as_str)
         .and_then(|s| s.split('.').nth(1).map(str::to_string));
-    let Some(new_octet) = new_octet else { return false };
+    let Some(new_octet) = new_octet else {
+        return false;
+    };
     let Some(vnet_res) = program.find_mut(&zodiac_model::ResourceId::new(
         "azurerm_virtual_network",
         vnet,
@@ -471,7 +481,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(vm_nic_location(&mut rng, &mut p));
         let nic = p
-            .find(&zodiac_model::ResourceId::new("azurerm_network_interface", "nic"))
+            .find(&zodiac_model::ResourceId::new(
+                "azurerm_network_interface",
+                "nic",
+            ))
             .unwrap();
         assert_ne!(nic.get_attr("location"), Some(&Value::s("eastus")));
     }

@@ -1,0 +1,256 @@
+//! The deployment execution engine.
+
+use crate::fault::{AttemptInjector, FaultConfig};
+use crate::fingerprint::fingerprint;
+use crate::RetryPolicy;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use zodiac_cloud::{DeployOracle, DeployReport, DeployTelemetry};
+use zodiac_model::Program;
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployerConfig {
+    /// Worker threads used by [`DeployOracle::deploy_batch`]. `1` keeps
+    /// everything on the calling thread.
+    pub workers: usize,
+    /// Memoize deploy results by canonical program fingerprint.
+    pub cache: bool,
+    /// Inject deterministic transient faults (None = fault-free backend).
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff policy for transient failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DeployerConfig {
+    fn default() -> Self {
+        DeployerConfig {
+            workers: 4,
+            cache: true,
+            faults: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    backend_deploys: AtomicU64,
+    transient_failures: AtomicU64,
+    retries: AtomicU64,
+    max_queue_depth: AtomicU64,
+    simulated_backoff_secs: AtomicU64,
+    wall_time_ms: AtomicU64,
+}
+
+impl Stats {
+    fn bump_max(cell: &AtomicU64, observed: u64) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        while observed > cur {
+            match cell.compare_exchange_weak(cur, observed, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// A concurrent, fault-tolerant, memoizing deployment engine wrapping any
+/// [`DeployOracle`] backend.
+///
+/// The engine is itself a `DeployOracle`, so consumers (the validation
+/// scheduler, the counterexample pass, the scanner) are oblivious to
+/// whether they talk to the backend directly or through the engine.
+///
+/// # Equivalence guarantee
+///
+/// For a deterministic backend, `engine.deploy(p)` returns exactly
+/// `backend.deploy(p)` — regardless of worker count, cache state, or fault
+/// injection. Three mechanisms compose to give this:
+///
+/// * the cache key is a canonical fingerprint ([`crate::fingerprint`]), so a
+///   hit can only return the verdict of a semantically identical program;
+/// * transient failures (rule ids under `transient/`) are never returned:
+///   the retry loop consumes them, and every retry of a deterministic
+///   backend that gets past the injector yields the fault-free verdict
+///   (injected faults preempt evaluation but never alter it);
+/// * the final retry attempt always runs injector-free, so the loop
+///   terminates with the backend's own verdict even under fault rates of
+///   `1.0`.
+pub struct DeployEngine<B> {
+    backend: B,
+    cfg: DeployerConfig,
+    cache: Vec<RwLock<HashMap<u128, DeployReport>>>,
+    stats: Stats,
+}
+
+impl<B: DeployOracle + Sync> DeployEngine<B> {
+    /// Wraps `backend` with the given configuration.
+    pub fn new(backend: B, cfg: DeployerConfig) -> Self {
+        DeployEngine {
+            backend,
+            cfg,
+            cache: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DeployerConfig {
+        &self.cfg
+    }
+
+    /// A point-in-time snapshot of the engine's counters.
+    pub fn telemetry_snapshot(&self) -> DeployTelemetry {
+        DeployTelemetry {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            backend_deploys: self.stats.backend_deploys.load(Ordering::Relaxed),
+            transient_failures: self.stats.transient_failures.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            max_queue_depth: self.stats.max_queue_depth.load(Ordering::Relaxed),
+            simulated_backoff_secs: self.stats.simulated_backoff_secs.load(Ordering::Relaxed),
+            wall_time_ms: self.stats.wall_time_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, fp: u128) -> &RwLock<HashMap<u128, DeployReport>> {
+        &self.cache[(fp % CACHE_SHARDS as u128) as usize]
+    }
+
+    /// One deploy request: cache lookup, then the retrying attempt loop.
+    fn deploy_one(&self, program: &Program) -> DeployReport {
+        let t0 = Instant::now();
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let fp = fingerprint(program);
+        if self.cfg.cache {
+            if let Some(hit) = self.shard(fp).read().get(&fp).cloned() {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .wall_time_ms
+                    .fetch_add(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        self.stats.backend_deploys.fetch_add(1, Ordering::Relaxed);
+        let report = self.attempt_loop(program, fp);
+        if self.cfg.cache {
+            // Two workers may race to a cold fingerprint; both compute the
+            // same verdict (deterministic backend), so last-write-wins is
+            // harmless.
+            self.shard(fp).write().insert(fp, report.clone());
+        }
+        self.stats
+            .wall_time_ms
+            .fetch_add(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+        report
+    }
+
+    /// Deploys with retries until a non-transient verdict.
+    ///
+    /// # Retry policy
+    ///
+    /// A transient failure (`transient/` rule id) is retried up to
+    /// [`RetryPolicy::max_attempts`] total attempts; each retry charges the
+    /// fault's retry-after hint (throttling) or exponential backoff
+    /// (`base_backoff_secs << attempt`) to the simulated-backoff counter.
+    /// Any other outcome — success or a deterministic (ground-truth)
+    /// failure — returns immediately. The last attempt runs without the
+    /// injector, so the loop always terminates with a deterministic verdict.
+    fn attempt_loop(&self, program: &Program, fp: u128) -> DeployReport {
+        let Some(faults) = &self.cfg.faults else {
+            return self.backend.deploy(program);
+        };
+        let attempts = self.cfg.retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let report = if attempt + 1 == attempts {
+                self.backend.deploy(program)
+            } else {
+                let injector = AttemptInjector::new(faults, fp, attempt);
+                self.backend.deploy_with_faults(program, &injector)
+            };
+            if !report.is_transient_failure() {
+                return report;
+            }
+            self.stats
+                .transient_failures
+                .fetch_add(1, Ordering::Relaxed);
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            let backoff = if matches!(
+                &report.outcome,
+                zodiac_cloud::DeployOutcome::Failure { rule_id, .. }
+                    if rule_id == "transient/throttled"
+            ) {
+                faults.retry_after_secs
+            } else {
+                self.cfg.retry.base_backoff_secs << attempt.min(16)
+            };
+            self.stats
+                .simulated_backoff_secs
+                .fetch_add(backoff, Ordering::Relaxed);
+        }
+        unreachable!("final attempt runs fault-free and always returns");
+    }
+}
+
+impl<B: DeployOracle + Sync> DeployOracle for DeployEngine<B> {
+    fn deploy(&self, program: &Program) -> DeployReport {
+        self.deploy_one(program)
+    }
+
+    /// Fans the batch across the worker pool through a bounded request
+    /// queue; reports come back in input order.
+    fn deploy_batch(&self, programs: &[Program]) -> Vec<DeployReport> {
+        let workers = self.cfg.workers.max(1).min(programs.len());
+        if workers <= 1 {
+            return programs.iter().map(|p| self.deploy_one(p)).collect();
+        }
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<(usize, &Program)>(workers * 2);
+        let (res_tx, res_rx) = crossbeam::channel::bounded::<(usize, DeployReport)>(programs.len());
+        let mut out: Vec<Option<DeployReport>> = vec![None; programs.len()];
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((idx, program)) = job_rx.recv() {
+                        let report = self.deploy_one(program);
+                        if res_tx.send((idx, report)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(res_tx);
+            for job in programs.iter().enumerate() {
+                job_tx.send(job).expect("workers alive while sending");
+                Stats::bump_max(&self.stats.max_queue_depth, job_tx.len() as u64);
+            }
+            drop(job_tx);
+            for (idx, report) in res_rx.iter() {
+                out[idx] = Some(report);
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every job produced a report"))
+            .collect()
+    }
+
+    fn telemetry(&self) -> Option<DeployTelemetry> {
+        Some(self.telemetry_snapshot())
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic, seeded fault injection.
+//!
+//! # Fault model
+//!
+//! The engine models the three transients the paper's Azure deployments hit
+//! in practice:
+//!
+//! * **Throttling** — the cloud rejects a creation request with an HTTP-429
+//!   style retry-after hint ([`FaultKind::Throttled`], surfaces at
+//!   [`Phase::SendingRequest`]);
+//! * **Spurious request failures** — 5xx-style flakes with no ground-truth
+//!   cause ([`FaultKind::SpuriousFailure`], also `SendingRequest`);
+//! * **Polling timeouts** — asynchronous polling on slow resources exceeds
+//!   the client deadline ([`FaultKind::PollingTimeout`], surfaces at
+//!   [`Phase::PollingRequest`]).
+//!
+//! Faults are *deterministic*: whether step `(resource, phase)` of attempt
+//! `k` of program `fp` fails is a pure hash of
+//! `(seed, fp, k, resource, phase)` compared against the configured rates.
+//! Runs with the same seed replay the exact same fault schedule — across
+//! processes, thread counts, and batch orders — which is what makes the
+//! engine's parallel-equals-sequential equivalence testable at all.
+//!
+//! Because the decision depends on the attempt number, a fault observed on
+//! attempt `k` is generally gone on attempt `k + 1`, exactly like real
+//! throttling; the engine additionally guarantees the final retry attempt
+//! runs injector-free, so a deterministic verdict is always reached.
+
+use zodiac_cloud::{FaultInjector, FaultKind, Phase};
+use zodiac_model::ResourceId;
+
+/// Configuration of the seeded fault injector. Rates are per *step* (one
+/// resource passing one request phase), in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Probability a creation request is throttled.
+    pub throttle_rate: f64,
+    /// Probability a creation request fails spuriously.
+    pub spurious_rate: f64,
+    /// Probability asynchronous polling times out.
+    pub polling_timeout_rate: f64,
+    /// Retry-after hint attached to throttling faults, in seconds.
+    pub retry_after_secs: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA_017,
+            throttle_rate: 0.02,
+            spurious_rate: 0.01,
+            polling_timeout_rate: 0.01,
+            retry_after_secs: 30,
+        }
+    }
+}
+
+/// The injector for one attempt of one program: decisions hash the config
+/// seed together with the program fingerprint, the attempt number, and the
+/// step identity.
+pub struct AttemptInjector<'a> {
+    cfg: &'a FaultConfig,
+    fingerprint: u128,
+    attempt: u32,
+}
+
+impl<'a> AttemptInjector<'a> {
+    /// Creates the injector for attempt `attempt` (0-based) of the program
+    /// with canonical fingerprint `fingerprint`.
+    pub fn new(cfg: &'a FaultConfig, fingerprint: u128, attempt: u32) -> Self {
+        AttemptInjector {
+            cfg,
+            fingerprint,
+            attempt,
+        }
+    }
+
+    /// A uniform draw in [0, 1) for one (step, decision-tag) pair.
+    fn draw(&self, resource: &ResourceId, phase: Phase, tag: u8) -> f64 {
+        let mut h = 0xcbf29ce484222325u64 ^ self.cfg.seed.rotate_left(17);
+        let mut eat = |bs: &[u8]| {
+            for &b in bs {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(&self.fingerprint.to_le_bytes());
+        eat(&self.attempt.to_le_bytes());
+        eat(&[tag, phase as u8]);
+        eat(resource.rtype.as_bytes());
+        eat(&[0xff]);
+        eat(resource.name.as_bytes());
+        // Final avalanche (splitmix64 finaliser) so low rates still sample
+        // uniformly.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FaultInjector for AttemptInjector<'_> {
+    fn inject(&self, resource: &ResourceId, phase: Phase) -> Option<FaultKind> {
+        match phase {
+            Phase::SendingRequest => {
+                if self.draw(resource, phase, b'T') < self.cfg.throttle_rate {
+                    return Some(FaultKind::Throttled {
+                        retry_after_secs: self.cfg.retry_after_secs,
+                    });
+                }
+                if self.draw(resource, phase, b'S') < self.cfg.spurious_rate {
+                    return Some(FaultKind::SpuriousFailure);
+                }
+                None
+            }
+            Phase::PollingRequest => {
+                if self.draw(resource, phase, b'P') < self.cfg.polling_timeout_rate {
+                    Some(FaultKind::PollingTimeout)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let cfg = FaultConfig {
+            throttle_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let id = ResourceId::new("azurerm_subnet", "s");
+        let a = AttemptInjector::new(&cfg, 42, 0);
+        let b = AttemptInjector::new(&cfg, 42, 0);
+        for phase in [Phase::SendingRequest, Phase::PollingRequest] {
+            assert_eq!(a.inject(&id, phase), b.inject(&id, phase));
+        }
+    }
+
+    #[test]
+    fn decisions_vary_with_attempt_and_seed() {
+        let cfg = FaultConfig {
+            throttle_rate: 0.5,
+            spurious_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let id = ResourceId::new("azurerm_subnet", "s");
+        // Across many (fingerprint, attempt) pairs, outcomes must differ at
+        // least once; a constant schedule would make retries pointless.
+        let outcomes: Vec<Option<FaultKind>> = (0..32u32)
+            .map(|attempt| {
+                AttemptInjector::new(&cfg, 7, attempt).inject(&id, Phase::SendingRequest)
+            })
+            .collect();
+        assert!(outcomes.iter().any(|o| o.is_some()));
+        assert!(outcomes.iter().any(|o| o.is_none()));
+    }
+
+    #[test]
+    fn rates_zero_injects_nothing() {
+        let cfg = FaultConfig {
+            throttle_rate: 0.0,
+            spurious_rate: 0.0,
+            polling_timeout_rate: 0.0,
+            ..FaultConfig::default()
+        };
+        let inj = AttemptInjector::new(&cfg, 1, 0);
+        for i in 0..64 {
+            let id = ResourceId::new("azurerm_subnet", format!("s{i}"));
+            assert_eq!(inj.inject(&id, Phase::SendingRequest), None);
+            assert_eq!(inj.inject(&id, Phase::PollingRequest), None);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Canonical program fingerprints for deploy-result memoization.
+//!
+//! Two programs that differ only in declaration order describe the same
+//! infrastructure, and the simulator's verdict depends only on the resource
+//! graph — so the cache key must be *canonical*: resources are folded in
+//! `(rtype, name)` order and attributes in key order (attribute maps are
+//! already `BTreeMap`s), making the fingerprint invariant under reordering
+//! while any change to a type, name, attribute, or nested value changes it.
+//!
+//! The digest is 128-bit FNV-1a. FNV is not cryptographic, but the cache is
+//! an in-process optimisation over a few thousand generated test programs;
+//! 128 bits of a well-mixed non-adversarial hash make collisions a
+//! non-concern, and the function is dependency-free and fast.
+
+use zodiac_model::{Program, Resource, Value};
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit FNV-1a accumulator.
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u128;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// Length-prefixed string: avoids ambiguity between `("ab","c")` and
+    /// `("a","bc")`.
+    fn str(&mut self, s: &str) {
+        self.bytes(&(s.len() as u64).to_le_bytes());
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// Computes the canonical fingerprint of a program.
+pub fn fingerprint(program: &Program) -> u128 {
+    let mut h = Fnv::new();
+    let mut order: Vec<&Resource> = program.resources().iter().collect();
+    order.sort_by_key(|r| (&r.rtype, &r.name));
+    h.u64(order.len() as u64);
+    for r in order {
+        h.byte(b'R');
+        h.str(&r.rtype);
+        h.str(&r.name);
+        h.u64(r.attrs.len() as u64);
+        for (k, v) in &r.attrs {
+            h.str(k);
+            hash_value(&mut h, v);
+        }
+    }
+    h.0
+}
+
+fn hash_value(h: &mut Fnv, v: &Value) {
+    // A distinct tag byte per variant keeps e.g. Str("1") and Int(1) apart.
+    match v {
+        Value::Null => h.byte(0),
+        Value::Bool(b) => {
+            h.byte(1);
+            h.byte(*b as u8);
+        }
+        Value::Int(i) => {
+            h.byte(2);
+            h.u64(*i as u64);
+        }
+        Value::Str(s) => {
+            h.byte(3);
+            h.str(s);
+        }
+        Value::List(items) => {
+            // List order is semantic (e.g. address prefixes), so it hashes
+            // in declared order.
+            h.byte(4);
+            h.u64(items.len() as u64);
+            for item in items {
+                hash_value(h, item);
+            }
+        }
+        Value::Map(m) => {
+            h.byte(5);
+            h.u64(m.len() as u64);
+            for (k, item) in m {
+                h.str(k);
+                hash_value(h, item);
+            }
+        }
+        Value::Ref(r) => {
+            h.byte(6);
+            h.str(&r.rtype);
+            h.str(&r.name);
+            h.str(&r.attr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Resource;
+
+    fn two_resources() -> (Resource, Resource) {
+        let a = Resource::new("azurerm_subnet", "a")
+            .with("name", "a1")
+            .with(
+                "address_prefixes",
+                Value::List(vec![Value::s("10.0.1.0/24")]),
+            );
+        let b = Resource::new("azurerm_virtual_network", "b")
+            .with("name", "b1")
+            .with("location", "eastus");
+        (a, b)
+    }
+
+    #[test]
+    fn reordering_resources_preserves_fingerprint() {
+        let (a, b) = two_resources();
+        let p1 = Program::new().with(a.clone()).with(b.clone());
+        let p2 = Program::new().with(b).with(a);
+        assert_eq!(fingerprint(&p1), fingerprint(&p2));
+    }
+
+    #[test]
+    fn attribute_changes_change_fingerprint() {
+        let (a, b) = two_resources();
+        let p1 = Program::new().with(a.clone()).with(b.clone());
+        let p2 = Program::new().with(a.with("location", "westus")).with(b);
+        assert_ne!(fingerprint(&p1), fingerprint(&p2));
+    }
+
+    #[test]
+    fn value_variants_do_not_collide() {
+        let base =
+            |v: Value| Program::new().with(Resource::new("azurerm_subnet", "s").with("x", v));
+        let fps = [
+            fingerprint(&base(Value::s("1"))),
+            fingerprint(&base(Value::Int(1))),
+            fingerprint(&base(Value::Bool(true))),
+            fingerprint(&base(Value::List(vec![Value::Int(1)]))),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Concurrent, fault-tolerant deployment execution engine with result
+//! memoization.
+//!
+//! Deployment is the paper's dominant cost: validating ~400 candidate
+//! checks takes thousands of cloud deploys, each minutes long, throttled,
+//! and transiently flaky. This crate inserts an execution engine between
+//! every deploy consumer and the [`DeployOracle`] backend:
+//!
+//! * **worker pool** — [`DeployOracle::deploy_batch`] fans independent test
+//!   deployments across OS threads through a bounded request queue
+//!   (mirroring cloud-side concurrency limits);
+//! * **memoization** — verdicts are cached under a canonical program
+//!   [`fingerprint`](fingerprint::fingerprint) that is invariant under
+//!   resource/attribute declaration order, so the scheduler's repeated
+//!   probes of identical test cases hit the cache instead of the cloud;
+//! * **fault injection + retry** — a deterministic, seeded
+//!   [`FaultConfig`] schedule models throttling, spurious request
+//!   failures, and polling timeouts (see [`fault`] for the fault model);
+//!   the engine's retry loop absorbs them (see
+//!   [`DeployEngine::attempt_loop`'s policy][DeployEngine]) so consumers
+//!   only ever observe deterministic verdicts;
+//! * **telemetry** — [`DeployTelemetry`] counters (requests, cache hits,
+//!   retries, queue depth, simulated backoff) thread into the validation
+//!   trace and the experiment binaries.
+//!
+//! The engine implements [`DeployOracle`] itself, so swapping it in is
+//! transparent: `R_v` from a parallel, cached, fault-injected run is
+//! identical to a direct sequential run against the same backend.
+
+pub mod engine;
+pub mod fault;
+pub mod fingerprint;
+
+pub use engine::{DeployEngine, DeployerConfig};
+pub use fault::{AttemptInjector, FaultConfig};
+pub use fingerprint::fingerprint;
+pub use zodiac_cloud::{DeployOracle, DeployTelemetry};
+
+/// Retry/backoff policy for transient deploy failures.
+///
+/// `max_attempts` bounds *total* attempts (first try included); retries
+/// sleep — in simulated time, charged to
+/// [`DeployTelemetry::simulated_backoff_secs`] — for the fault's
+/// retry-after hint when throttled, or `base_backoff_secs * 2^attempt`
+/// otherwise. The final attempt always runs fault-free, so a deploy request
+/// never surfaces a transient failure to its consumer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per deploy request, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base of the exponential backoff applied to non-throttle transients.
+    pub base_backoff_secs: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_secs: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_cloud::{CloudSim, DeployOutcome};
+    use zodiac_model::{Program, Resource, Value};
+
+    fn vnet_program(cidr: &str) -> Program {
+        Program::new()
+            .with(
+                Resource::new("azurerm_resource_group", "rg")
+                    .with("name", "rg1")
+                    .with("location", "eastus"),
+            )
+            .with(
+                Resource::new("azurerm_virtual_network", "vnet")
+                    .with("name", "vnet1")
+                    .with("location", "eastus")
+                    .with("address_space", Value::List(vec![Value::s(cidr)]))
+                    .with(
+                        "resource_group_name",
+                        Value::r("azurerm_resource_group", "rg", "name"),
+                    ),
+            )
+    }
+
+    #[test]
+    fn cache_hit_skips_backend() {
+        let engine = DeployEngine::new(CloudSim::new_azure(), DeployerConfig::default());
+        let p = vnet_program("10.0.0.0/16");
+        let first = engine.deploy(&p);
+        let second = engine.deploy(&p);
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+        let tel = engine.telemetry_snapshot();
+        assert_eq!(tel.requests, 2);
+        assert_eq!(tel.cache_hits, 1);
+        assert_eq!(tel.backend_deploys, 1);
+    }
+
+    #[test]
+    fn faults_are_absorbed_by_retries() {
+        let cfg = DeployerConfig {
+            faults: Some(FaultConfig {
+                throttle_rate: 1.0,
+                ..FaultConfig::default()
+            }),
+            ..DeployerConfig::default()
+        };
+        let engine = DeployEngine::new(CloudSim::new_azure(), cfg);
+        let report = engine.deploy(&vnet_program("10.0.0.0/16"));
+        assert!(
+            matches!(report.outcome, DeployOutcome::Success),
+            "retries must absorb transients: {:?}",
+            report.outcome
+        );
+        let tel = engine.telemetry_snapshot();
+        assert!(tel.retries > 0);
+        assert!(tel.simulated_backoff_secs > 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_backend() {
+        let sim = CloudSim::new_azure();
+        let programs: Vec<Program> = (0..24)
+            .map(|i| {
+                if i % 3 == 0 {
+                    vnet_program("10.0.0.0/16")
+                } else {
+                    vnet_program(&format!("10.{i}.0.0/16"))
+                }
+            })
+            .collect();
+        let expected: Vec<String> = programs
+            .iter()
+            .map(|p| serde_json::to_string(&sim.deploy(p)).unwrap())
+            .collect();
+        let engine = DeployEngine::new(sim, DeployerConfig::default());
+        let got: Vec<String> = engine
+            .deploy_batch(&programs)
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect();
+        assert_eq!(got, expected);
+        let tel = engine.telemetry_snapshot();
+        assert_eq!(tel.requests, 24);
+        assert!(
+            tel.backend_deploys < tel.requests,
+            "duplicates must hit the cache"
+        );
+    }
+}

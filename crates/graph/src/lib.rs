@@ -14,7 +14,7 @@
 
 mod order;
 
-pub use order::{ancestors, descendants, deploy_order, OrderError};
+pub use order::{ancestors, deploy_order, descendants, OrderError};
 
 use zodiac_model::{AttrPath, Program, Reference, Resource, ResourceId};
 
@@ -261,12 +261,10 @@ mod tests {
     fn sample() -> ResourceGraph {
         let p = Program::new()
             .with(Resource::new("azurerm_virtual_network", "vnet").with("name", "v"))
-            .with(
-                Resource::new("azurerm_subnet", "s").with(
-                    "virtual_network_name",
-                    Value::r("azurerm_virtual_network", "vnet", "name"),
-                ),
-            )
+            .with(Resource::new("azurerm_subnet", "s").with(
+                "virtual_network_name",
+                Value::r("azurerm_virtual_network", "vnet", "name"),
+            ))
             .with(
                 Resource::new("azurerm_network_interface", "nic1")
                     .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
@@ -275,12 +273,10 @@ mod tests {
                 Resource::new("azurerm_network_interface", "nic2")
                     .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
             )
-            .with(
-                Resource::new("azurerm_virtual_machine", "vm").with(
-                    "network_interface_ids",
-                    Value::List(vec![Value::r("azurerm_network_interface", "nic1", "id")]),
-                ),
-            );
+            .with(Resource::new("azurerm_virtual_machine", "vm").with(
+                "network_interface_ids",
+                Value::List(vec![Value::r("azurerm_network_interface", "nic1", "id")]),
+            ));
         ResourceGraph::build(p)
     }
 
@@ -288,7 +284,9 @@ mod tests {
     fn builds_edges_with_endpoints() {
         let g = sample();
         assert_eq!(g.edges().len(), 4);
-        let vm = g.node(&ResourceId::new("azurerm_virtual_machine", "vm")).unwrap();
+        let vm = g
+            .node(&ResourceId::new("azurerm_virtual_machine", "vm"))
+            .unwrap();
         let edge = g.out_edges(vm).next().unwrap();
         assert_eq!(edge.in_endpoint, "network_interface_ids");
         assert_eq!(edge.in_path.to_string(), "network_interface_ids.0");
@@ -298,7 +296,9 @@ mod tests {
     #[test]
     fn conn_matches_endpoints() {
         let g = sample();
-        let nic1 = g.node(&ResourceId::new("azurerm_network_interface", "nic1")).unwrap();
+        let nic1 = g
+            .node(&ResourceId::new("azurerm_network_interface", "nic1"))
+            .unwrap();
         let s = g.node(&ResourceId::new("azurerm_subnet", "s")).unwrap();
         assert!(g.conn(nic1, Some("subnet_id"), s, Some("id")));
         assert!(g.conn(nic1, None, s, None));
@@ -309,8 +309,12 @@ mod tests {
     #[test]
     fn path_is_transitive() {
         let g = sample();
-        let vm = g.node(&ResourceId::new("azurerm_virtual_machine", "vm")).unwrap();
-        let vnet = g.node(&ResourceId::new("azurerm_virtual_network", "vnet")).unwrap();
+        let vm = g
+            .node(&ResourceId::new("azurerm_virtual_machine", "vm"))
+            .unwrap();
+        let vnet = g
+            .node(&ResourceId::new("azurerm_virtual_network", "vnet"))
+            .unwrap();
         assert!(g.path(vm, vnet));
         assert!(!g.path(vnet, vm));
         assert!(g.path(vm, vm));
@@ -320,12 +324,17 @@ mod tests {
     fn degrees() {
         let g = sample();
         let s = g.node(&ResourceId::new("azurerm_subnet", "s")).unwrap();
-        let nic1 = g.node(&ResourceId::new("azurerm_network_interface", "nic1")).unwrap();
+        let nic1 = g
+            .node(&ResourceId::new("azurerm_network_interface", "nic1"))
+            .unwrap();
         assert_eq!(g.indegree(s, "azurerm_network_interface", false), 2);
         assert_eq!(g.indegree(s, "azurerm_network_interface", true), 0);
         assert_eq!(g.indegree(nic1, "azurerm_virtual_machine", false), 1);
         assert_eq!(g.outdegree(nic1, "azurerm_subnet", false), 1);
-        assert_eq!(g.distinct_in_neighbors(s, "azurerm_network_interface", false), 2);
+        assert_eq!(
+            g.distinct_in_neighbors(s, "azurerm_network_interface", false),
+            2
+        );
     }
 
     #[test]

@@ -58,8 +58,10 @@ pub fn deploy_order(graph: &ResourceGraph) -> Result<Vec<NodeIdx>, OrderError> {
                             graph.out_edges(e.src).map(|x| x.dst).collect();
                         targets.sort_unstable();
                         targets.dedup();
-                        remaining[e.src] =
-                            targets.iter().filter(|&&t| t != e.src && !placed[t]).count();
+                        remaining[e.src] = targets
+                            .iter()
+                            .filter(|&&t| t != e.src && !placed[t])
+                            .count();
                     }
                 }
             }
@@ -110,24 +112,19 @@ mod tests {
     fn chain() -> ResourceGraph {
         // vm → nic → subnet → vnet
         let p = Program::new()
-            .with(
-                Resource::new("azurerm_virtual_machine", "vm").with(
-                    "network_interface_ids",
-                    Value::List(vec![Value::r("azurerm_network_interface", "nic", "id")]),
-                ),
-            )
+            .with(Resource::new("azurerm_virtual_machine", "vm").with(
+                "network_interface_ids",
+                Value::List(vec![Value::r("azurerm_network_interface", "nic", "id")]),
+            ))
             .with(
                 Resource::new("azurerm_network_interface", "nic")
                     .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
             )
-            .with(
-                Resource::new("azurerm_subnet", "s").with(
-                    "virtual_network_name",
-                    Value::r("azurerm_virtual_network", "vnet", "name"),
-                ),
-            )
-            .with(Resource::new("azurerm_virtual_network", "vnet"))
-            ;
+            .with(Resource::new("azurerm_subnet", "s").with(
+                "virtual_network_name",
+                Value::r("azurerm_virtual_network", "vnet", "name"),
+            ))
+            .with(Resource::new("azurerm_virtual_network", "vnet"));
         ResourceGraph::build(p)
     }
 
@@ -156,8 +153,12 @@ mod tests {
     #[test]
     fn ancestors_and_descendants() {
         let g = chain();
-        let vm = g.node(&ResourceId::new("azurerm_virtual_machine", "vm")).unwrap();
-        let vnet = g.node(&ResourceId::new("azurerm_virtual_network", "vnet")).unwrap();
+        let vm = g
+            .node(&ResourceId::new("azurerm_virtual_machine", "vm"))
+            .unwrap();
+        let vnet = g
+            .node(&ResourceId::new("azurerm_virtual_network", "vnet"))
+            .unwrap();
         assert_eq!(ancestors(&g, vm).len(), 3);
         assert!(ancestors(&g, vm).contains(&vnet));
         assert!(ancestors(&g, vnet).is_empty());
@@ -168,8 +169,10 @@ mod tests {
 
     #[test]
     fn self_reference_does_not_deadlock() {
-        let p = Program::new()
-            .with(Resource::new("azurerm_managed_disk", "a").with("source_resource_id", Value::r("azurerm_managed_disk", "a", "id")));
+        let p = Program::new().with(Resource::new("azurerm_managed_disk", "a").with(
+            "source_resource_id",
+            Value::r("azurerm_managed_disk", "a", "id"),
+        ));
         let g = ResourceGraph::build(p);
         assert!(deploy_order(&g).is_ok());
     }

@@ -101,7 +101,10 @@ fn eval_body(body: &Body, env: &Env) -> Result<BTreeMap<String, Value>, HclError
             BodyItem::Nested(k, b) => {
                 let inner = Value::Map(eval_body(b, env)?);
                 if block_counts[k.as_str()] > 1 {
-                    match attrs.entry(k.clone()).or_insert_with(|| Value::List(Vec::new())) {
+                    match attrs
+                        .entry(k.clone())
+                        .or_insert_with(|| Value::List(Vec::new()))
+                    {
                         Value::List(l) => l.push(inner),
                         other => {
                             return Err(HclError::new(format!(
@@ -124,7 +127,10 @@ fn eval_expr(expr: &Expr, env: &Env) -> Result<Value, HclError> {
         Expr::Bool(b) => Ok(Value::Bool(*b)),
         Expr::Int(n) => Ok(Value::Int(*n)),
         Expr::List(items) => Ok(Value::List(
-            items.iter().map(|e| eval_expr(e, env)).collect::<Result<_, _>>()?,
+            items
+                .iter()
+                .map(|e| eval_expr(e, env))
+                .collect::<Result<_, _>>()?,
         )),
         Expr::Object(fields) => {
             let mut m = BTreeMap::new();
@@ -168,9 +174,9 @@ fn eval_traversal(segs: &[String], env: &Env) -> Result<Value, HclError> {
 }
 
 fn navigate(base: &Value, path: &[String], what: &str) -> Result<Value, HclError> {
-    base.get_path(path).cloned().ok_or_else(|| {
-        HclError::new(format!("{what} has no element at .{}", path.join(".")))
-    })
+    base.get_path(path)
+        .cloned()
+        .ok_or_else(|| HclError::new(format!("{what} has no element at .{}", path.join("."))))
 }
 
 fn eval_string(segs: &[StrSeg], env: &Env) -> Result<Value, HclError> {
@@ -209,7 +215,9 @@ fn eval_call(name: &str, args: &[Expr], env: &Env) -> Result<Value, HclError> {
         "cidrsubnet" => {
             let [Value::Str(base), Value::Int(newbits), Value::Int(netnum)] = vals.as_slice()
             else {
-                return Err(HclError::new("cidrsubnet(base, newbits, netnum) expects (string, int, int)"));
+                return Err(HclError::new(
+                    "cidrsubnet(base, newbits, netnum) expects (string, int, int)",
+                ));
             };
             let cidr: Cidr = base
                 .parse()
@@ -246,7 +254,9 @@ fn eval_call(name: &str, args: &[Expr], env: &Env) -> Result<Value, HclError> {
                         }
                         Some('%') => out.push('%'),
                         other => {
-                            return Err(HclError::new(format!("format: unsupported verb {other:?}")));
+                            return Err(HclError::new(format!(
+                                "format: unsupported verb {other:?}"
+                            )));
                         }
                     }
                 } else {
@@ -341,8 +351,10 @@ resource "azurerm_network_security_group" "sg" {
 
     #[test]
     fn single_block_becomes_map() {
-        let p = compile("resource \"azurerm_linux_virtual_machine\" \"vm\" {\n os_disk { name = \"d\" }\n}")
-            .unwrap();
+        let p = compile(
+            "resource \"azurerm_linux_virtual_machine\" \"vm\" {\n os_disk { name = \"d\" }\n}",
+        )
+        .unwrap();
         let vm = &p.resources()[0];
         assert!(vm.get_attr("os_disk").unwrap().as_map().is_some());
     }
@@ -414,7 +426,8 @@ resource "t" "r" {
 
     #[test]
     fn ignores_provider_blocks() {
-        let p = compile("provider \"azurerm\" {\n features {}\n}\nresource \"t\" \"a\" {}").unwrap();
+        let p =
+            compile("provider \"azurerm\" {\n features {}\n}\nresource \"t\" \"a\" {}").unwrap();
         assert_eq!(p.len(), 1);
     }
 }

@@ -70,13 +70,13 @@ pub fn lex(src: &str) -> Result<Vec<Token>, HclError> {
 
     let push = |tokens: &mut Vec<Token>, kind: TokenKind, line: usize| {
         // Collapse consecutive newlines.
-        if kind == TokenKind::Newline {
-            if matches!(
+        if kind == TokenKind::Newline
+            && matches!(
                 tokens.last().map(|t| &t.kind),
                 Some(TokenKind::Newline) | None
-            ) {
-                return;
-            }
+            )
+        {
+            return;
         }
         tokens.push(Token { kind, line });
     };
@@ -179,7 +179,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, HclError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '-')
                 {
                     i += 1;
                 }
@@ -187,7 +188,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, HclError> {
                 push(&mut tokens, TokenKind::Ident(text), line);
             }
             other => {
-                return Err(HclError::at(line, format!("unexpected character: {other:?}")));
+                return Err(HclError::at(
+                    line,
+                    format!("unexpected character: {other:?}"),
+                ));
             }
         }
     }
@@ -315,7 +319,9 @@ mod tests {
     fn skips_comments() {
         let k = kinds("# hello\n// world\n/* multi\nline */ x");
         assert!(k.contains(&TokenKind::Ident("x".into())));
-        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "hello")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "hello")));
     }
 
     #[test]

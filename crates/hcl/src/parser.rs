@@ -59,7 +59,10 @@ impl<'a> Parser<'a> {
                 [StrPart::Lit(s)] => Ok(s.clone()),
                 _ => Err(HclError::at(line, format!("{what} must be a plain string"))),
             },
-            other => Err(HclError::at(line, format!("expected {what}, found {other:?}"))),
+            other => Err(HclError::at(
+                line,
+                format!("expected {what}, found {other:?}"),
+            )),
         }
     }
 
@@ -80,7 +83,10 @@ impl<'a> Parser<'a> {
         let keyword = match self.bump().clone() {
             TokenKind::Ident(s) => s,
             other => {
-                return Err(HclError::at(line, format!("expected block keyword, found {other:?}")));
+                return Err(HclError::at(
+                    line,
+                    format!("expected block keyword, found {other:?}"),
+                ));
             }
         };
         match keyword.as_str() {
@@ -173,7 +179,10 @@ impl<'a> Parser<'a> {
             TokenKind::Int(n) => Ok(Expr::Int(n)),
             TokenKind::Minus => match self.bump().clone() {
                 TokenKind::Int(n) => Ok(Expr::Int(-n)),
-                other => Err(HclError::at(line, format!("expected integer after '-', found {other:?}"))),
+                other => Err(HclError::at(
+                    line,
+                    format!("expected integer after '-', found {other:?}"),
+                )),
             },
             TokenKind::Str(parts) => {
                 let mut segs = Vec::new();
@@ -181,8 +190,9 @@ impl<'a> Parser<'a> {
                     match part {
                         StrPart::Lit(s) => segs.push(StrSeg::Lit(s)),
                         StrPart::Interp(src) => {
-                            let toks = lexer::lex(&src)
-                                .map_err(|e| HclError::at(line, format!("in interpolation: {e}")))?;
+                            let toks = lexer::lex(&src).map_err(|e| {
+                                HclError::at(line, format!("in interpolation: {e}"))
+                            })?;
                             let mut sub = Parser {
                                 tokens: &toks,
                                 pos: 0,
@@ -228,7 +238,10 @@ impl<'a> Parser<'a> {
                             }
                         },
                         other => {
-                            return Err(HclError::at(line, format!("expected object key, found {other:?}")));
+                            return Err(HclError::at(
+                                line,
+                                format!("expected object key, found {other:?}"),
+                            ));
                         }
                     };
                     match self.bump().clone() {
@@ -290,7 +303,10 @@ impl<'a> Parser<'a> {
                 }
                 Ok(Expr::Traversal(segs))
             }
-            other => Err(HclError::at(line, format!("expected expression, found {other:?}"))),
+            other => Err(HclError::at(
+                line,
+                format!("expected expression, found {other:?}"),
+            )),
         }
     }
 
@@ -360,7 +376,8 @@ resource "azurerm_linux_virtual_machine" "vm" {
 
     #[test]
     fn parses_traversals_and_calls() {
-        let f = parse_src("locals {\n  x = azurerm_subnet.a.id\n  y = cidrsubnet(var.base, 8, 1)\n}");
+        let f =
+            parse_src("locals {\n  x = azurerm_subnet.a.id\n  y = cidrsubnet(var.base, 8, 1)\n}");
         match &f.blocks[0] {
             Block::Locals { body } => {
                 assert_eq!(
@@ -371,7 +388,9 @@ resource "azurerm_linux_virtual_machine" "vm" {
                         "id".into()
                     ]))
                 );
-                assert!(matches!(body.attr("y"), Some(Expr::Call(name, args)) if name == "cidrsubnet" && args.len() == 3));
+                assert!(
+                    matches!(body.attr("y"), Some(Expr::Call(name, args)) if name == "cidrsubnet" && args.len() == 3)
+                );
             }
             other => panic!("unexpected block: {other:?}"),
         }
@@ -395,7 +414,9 @@ resource "azurerm_linux_virtual_machine" "vm" {
     fn parses_other_blocks() {
         let f = parse_src("terraform {\n required_version = \"1.5\"\n}\nprovider \"azurerm\" {\n}");
         assert_eq!(f.blocks.len(), 2);
-        assert!(matches!(&f.blocks[1], Block::Other { keyword, labels, .. } if keyword == "provider" && labels == &vec!["azurerm".to_string()]));
+        assert!(
+            matches!(&f.blocks[1], Block::Other { keyword, labels, .. } if keyword == "provider" && labels == &vec!["azurerm".to_string()])
+        );
     }
 
     #[test]
@@ -419,7 +440,9 @@ resource "azurerm_linux_virtual_machine" "vm" {
             Block::Locals { body } => match body.attr("x") {
                 Some(Expr::Str(segs)) => {
                     assert_eq!(segs.len(), 2);
-                    assert!(matches!(&segs[0], StrSeg::Interp(Expr::Traversal(t)) if t[0] == "var"));
+                    assert!(
+                        matches!(&segs[0], StrSeg::Interp(Expr::Traversal(t)) if t[0] == "var")
+                    );
                     assert!(matches!(&segs[1], StrSeg::Lit(s) if s == "-vm"));
                 }
                 other => panic!("unexpected: {other:?}"),

@@ -191,7 +191,10 @@ mod tests {
         );
         // The nested list block got its reference too.
         let nic = program
-            .find(&zodiac_model::ResourceId::new("azurerm_network_interface", "n"))
+            .find(&zodiac_model::ResourceId::new(
+                "azurerm_network_interface",
+                "n",
+            ))
             .unwrap();
         let path: AttrPath = "ip_configuration.0.subnet_id".parse().unwrap();
         assert_eq!(nic.get(&path), Some(&Value::r("azurerm_subnet", "a", "id")));
@@ -208,7 +211,10 @@ mod tests {
     fn rejects_malformed_plans() {
         assert!(from_plan_json("not json").is_err());
         assert!(from_plan_json("{}").is_err());
-        assert!(from_plan_json(r#"{"planned_values":{"root_module":{"resources":[{"name":"x"}]}}}"#).is_err());
+        assert!(from_plan_json(
+            r#"{"planned_values":{"root_module":{"resources":[{"name":"x"}]}}}"#
+        )
+        .is_err());
     }
 
     #[test]

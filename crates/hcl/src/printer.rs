@@ -47,7 +47,9 @@ fn write_attr(out: &mut String, level: usize, key: &str, v: &Value) {
         }
         // Repeated nested block (list of maps) renders as repeated blocks;
         // scalar lists render inline.
-        Value::List(items) if items.iter().all(|i| matches!(i, Value::Map(_))) && !items.is_empty() => {
+        Value::List(items)
+            if items.iter().all(|i| matches!(i, Value::Map(_))) && !items.is_empty() =>
+        {
             for item in items {
                 write_attr(out, level, key, item);
             }

@@ -1,73 +1,119 @@
 //! Property-based round-trip test: any compiled program printed as HCL
-//! compiles back to the identical program.
+//! compiles back to the identical program. Programs come from a seeded RNG
+//! so every run replays the same sample.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use zodiac_model::{Program, Resource, Value};
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,11}".prop_filter("not a keyword", |s| {
-        !matches!(s.as_str(), "resource" | "variable" | "locals" | "true" | "false" | "null" | "in" | "let")
-    })
+const IDENT_TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+
+fn arb_ident(rng: &mut StdRng) -> String {
+    loop {
+        let len = rng.gen_range(1..=12usize);
+        let mut s = String::with_capacity(len);
+        s.push((b'a' + rng.gen_range(0..26u8)) as char);
+        for _ in 1..len {
+            s.push(IDENT_TAIL[rng.gen_range(0..IDENT_TAIL.len())] as char);
+        }
+        let keyword = matches!(
+            s.as_str(),
+            "resource" | "variable" | "locals" | "true" | "false" | "null" | "in" | "let"
+        );
+        if !keyword {
+            return s;
+        }
+    }
 }
 
-fn arb_scalar() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        "[ -~]{0,16}".prop_map(Value::s),
-        (arb_ident(), arb_ident(), arb_ident())
-            .prop_map(|(t, n, a)| Value::r(&format!("azurerm_{t}"), &n, &a)),
-    ]
+fn arb_scalar(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5u8) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen::<u64>() as i64),
+        3 => {
+            let len = rng.gen_range(0..=16usize);
+            // Printable ASCII, space through tilde.
+            let s: String = (0..len)
+                .map(|_| rng.gen_range(0x20..=0x7eu8) as char)
+                .collect();
+            Value::s(s)
+        }
+        _ => {
+            let t = arb_ident(rng);
+            let n = arb_ident(rng);
+            let a = arb_ident(rng);
+            Value::r(&format!("azurerm_{t}"), &n, &a)
+        }
+    }
 }
 
 /// Values that survive the HCL round trip: nested blocks are maps; repeated
 /// blocks are lists of ≥2 maps (a 1-element list of maps prints as a single
 /// block and compiles back to a map).
-fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+fn arb_value(rng: &mut StdRng, depth: u32) -> Value {
     if depth == 0 {
-        return arb_scalar().boxed();
+        return arb_scalar(rng);
     }
-    prop_oneof![
-        4 => arb_scalar(),
-        1 => prop::collection::vec(arb_scalar(), 0..4).prop_map(Value::List),
-        1 => prop::collection::btree_map(arb_ident(), arb_value(depth - 1), 1..4)
-            .prop_map(Value::Map),
-        1 => prop::collection::vec(
-            prop::collection::btree_map(arb_ident(), arb_scalar(), 1..3).prop_map(Value::Map),
-            2..4
-        )
-        .prop_map(Value::List),
-    ]
-    .boxed()
-}
-
-fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::btree_map(
-        (arb_ident(), arb_ident()),
-        prop::collection::btree_map(arb_ident(), arb_value(2), 0..6),
-        1..5,
-    )
-    .prop_map(|resources| {
-        let mut p = Program::new();
-        for ((rtype, name), attrs) in resources {
-            let mut r = Resource::new(format!("azurerm_{rtype}"), name);
-            r.attrs = attrs;
-            p.add(r).expect("unique by map key");
+    match rng.gen_range(0..7u8) {
+        // Weight 4: plain scalars.
+        0..=3 => arb_scalar(rng),
+        4 => Value::List(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| arb_scalar(rng))
+                .collect(),
+        ),
+        5 => {
+            let mut m = BTreeMap::new();
+            for _ in 0..rng.gen_range(1..4usize) {
+                m.insert(arb_ident(rng), arb_value(rng, depth - 1));
+            }
+            Value::Map(m)
         }
-        p
-    })
+        _ => Value::List(
+            (0..rng.gen_range(2..4usize))
+                .map(|_| {
+                    let mut m = BTreeMap::new();
+                    for _ in 0..rng.gen_range(1..3usize) {
+                        m.insert(arb_ident(rng), arb_scalar(rng));
+                    }
+                    Value::Map(m)
+                })
+                .collect(),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_program(rng: &mut StdRng) -> Program {
+    // A BTreeMap keyed by (type, name) deduplicates resource identities, like
+    // the original proptest strategy did.
+    let mut resources: BTreeMap<(String, String), BTreeMap<String, Value>> = BTreeMap::new();
+    for _ in 0..rng.gen_range(1..5usize) {
+        let key = (arb_ident(rng), arb_ident(rng));
+        let mut attrs = BTreeMap::new();
+        for _ in 0..rng.gen_range(0..6usize) {
+            attrs.insert(arb_ident(rng), arb_value(rng, 2));
+        }
+        resources.insert(key, attrs);
+    }
+    let mut p = Program::new();
+    for ((rtype, name), attrs) in resources {
+        let mut r = Resource::new(format!("azurerm_{rtype}"), name);
+        r.attrs = attrs;
+        p.add(r).expect("unique by map key");
+    }
+    p
+}
 
-    #[test]
-    fn print_compile_roundtrip(program in arb_program()) {
+#[test]
+fn print_compile_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x4C11_0001);
+    for case in 0..128 {
+        let program = arb_program(&mut rng);
         let hcl = zodiac_hcl::to_hcl(&program);
         let back = zodiac_hcl::compile(&hcl)
-            .unwrap_or_else(|e| panic!("generated HCL must compile: {e}\n{hcl}"));
-        prop_assert_eq!(back, program, "HCL:\n{}", hcl);
+            .unwrap_or_else(|e| panic!("case {case}: generated HCL must compile: {e}\n{hcl}"));
+        assert_eq!(back, program, "case {case}: HCL:\n{hcl}");
     }
 }

@@ -10,7 +10,10 @@ const ALIASES: &[(&str, &str)] = &[
     ("IP", "azurerm_public_ip"),
     ("SG", "azurerm_network_security_group"),
     ("SGRULE", "azurerm_network_security_rule"),
-    ("SGASSOC", "azurerm_subnet_network_security_group_association"),
+    (
+        "SGASSOC",
+        "azurerm_subnet_network_security_group_association",
+    ),
     ("VM", "azurerm_linux_virtual_machine"),
     ("DISK", "azurerm_managed_disk"),
     ("ATTACH", "azurerm_virtual_machine_data_disk_attachment"),
@@ -24,7 +27,10 @@ const ALIASES: &[(&str, &str)] = &[
     ("FW", "azurerm_firewall"),
     ("LB", "azurerm_lb"),
     ("LBPOOL", "azurerm_lb_backend_address_pool"),
-    ("LBASSOC", "azurerm_network_interface_backend_address_pool_association"),
+    (
+        "LBASSOC",
+        "azurerm_network_interface_backend_address_pool_association",
+    ),
     ("APPGW", "azurerm_application_gateway"),
     (
         "AGWASSOC",
@@ -72,7 +78,10 @@ mod tests {
 
     #[test]
     fn unknown_passes_through() {
-        assert_eq!(short_name("azurerm_cosmosdb_account"), "azurerm_cosmosdb_account");
+        assert_eq!(
+            short_name("azurerm_cosmosdb_account"),
+            "azurerm_cosmosdb_account"
+        );
         assert_eq!(long_name("WHATEVER"), "WHATEVER");
     }
 

@@ -76,7 +76,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_virtual_network")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = cidr_list(b, "address_space", Required);
     b = b.opt_str("dns_servers");
@@ -90,27 +96,56 @@ pub fn build() -> KnowledgeBase {
             Scalar,
             Str,
             ValueFormat::ReservedName {
-                reserved: docs::RESERVED_SUBNETS.iter().map(|(n, _)| n.to_string()).collect(),
+                reserved: docs::RESERVED_SUBNETS
+                    .iter()
+                    .map(|(n, _)| n.to_string())
+                    .collect(),
             },
         )
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
-        .endpoint("virtual_network_name", Required, "azurerm_virtual_network", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
+        .endpoint(
+            "virtual_network_name",
+            Required,
+            "azurerm_virtual_network",
+            "name",
+            false,
+        )
         .id();
     b = cidr_list(b, "address_prefixes", Required);
     b = block(b, "delegation", Optional, Scalar);
-    b = b.opt_str("delegation.name").opt_str("delegation.service_delegation.name");
+    b = b
+        .opt_str("delegation.name")
+        .opt_str("delegation.service_delegation.name");
 
     // --- Network interface (NIC) -----------------------------------------
     b = b
         .resource("azurerm_network_interface")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = block(b, "ip_configuration", Required, ListBlock);
     b = b
         .req_str("ip_configuration.name")
-        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "ip_configuration.subnet_id",
+            Required,
+            "azurerm_subnet",
+            "id",
+            false,
+        )
         .enum_attr(
             "ip_configuration.private_ip_address_allocation",
             Required,
@@ -131,7 +166,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_public_ip")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("sku", Optional, &["Basic", "Standard"], Some("Basic"))
         .enum_attr("allocation_method", Required, &["Static", "Dynamic"], None)
         .id();
@@ -141,16 +182,44 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_network_security_group")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = block(b, "security_rule", Optional, ListBlock);
     b = b
         .req_str("security_rule.name")
-        .enum_attr("security_rule.direction", Required, &["Inbound", "Outbound"], None)
+        .enum_attr(
+            "security_rule.direction",
+            Required,
+            &["Inbound", "Outbound"],
+            None,
+        )
         .enum_attr("security_rule.access", Required, &["Allow", "Deny"], None)
-        .enum_attr("security_rule.protocol", Required, &["Tcp", "Udp", "Icmp", "*"], None)
-        .attr("security_rule.source_port_range", Optional, Scalar, Str, ValueFormat::Port)
-        .attr("security_rule.destination_port_range", Optional, Scalar, Str, ValueFormat::Port)
+        .enum_attr(
+            "security_rule.protocol",
+            Required,
+            &["Tcp", "Udp", "Icmp", "*"],
+            None,
+        )
+        .attr(
+            "security_rule.source_port_range",
+            Optional,
+            Scalar,
+            Str,
+            ValueFormat::Port,
+        )
+        .attr(
+            "security_rule.destination_port_range",
+            Optional,
+            Scalar,
+            Str,
+            ValueFormat::Port,
+        )
         .opt_str("security_rule.source_address_prefix")
         .opt_str("security_rule.destination_address_prefix");
     b = int_attr(b, "security_rule.priority", Required, 100, 4096);
@@ -172,7 +241,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_linux_virtual_machine")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("size", Required, &docs::vm_sku_names(), None)
         .req_str("admin_username")
         .opt_str("admin_password")
@@ -185,14 +260,30 @@ pub fn build() -> KnowledgeBase {
             "id",
             true,
         )
-        .endpoint("availability_set_id", Optional, "azurerm_availability_set", "id", false)
-        .enum_attr("create_option", Optional, &["Image", "Attach"], Some("Image"))
+        .endpoint(
+            "availability_set_id",
+            Optional,
+            "azurerm_availability_set",
+            "id",
+            false,
+        )
+        .enum_attr(
+            "create_option",
+            Optional,
+            &["Image", "Attach"],
+            Some("Image"),
+        )
         .id();
     b = bool_attr(b, "disable_password_authentication", true);
     b = block(b, "os_disk", Required, Scalar);
     b = b
         .opt_str("os_disk.name")
-        .enum_attr("os_disk.caching", Required, &["None", "ReadOnly", "ReadWrite"], None)
+        .enum_attr(
+            "os_disk.caching",
+            Required,
+            &["None", "ReadOnly", "ReadWrite"],
+            None,
+        )
         .enum_attr(
             "os_disk.storage_account_type",
             Required,
@@ -212,23 +303,62 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_managed_disk")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr(
             "storage_account_type",
             Required,
-            &["Standard_LRS", "StandardSSD_LRS", "Premium_LRS", "UltraSSD_LRS"],
+            &[
+                "Standard_LRS",
+                "StandardSSD_LRS",
+                "Premium_LRS",
+                "UltraSSD_LRS",
+            ],
             None,
         )
-        .enum_attr("create_option", Required, &["Empty", "Copy", "FromImage"], None)
-        .endpoint("source_resource_id", Optional, "azurerm_managed_disk", "id", false)
+        .enum_attr(
+            "create_option",
+            Required,
+            &["Empty", "Copy", "FromImage"],
+            None,
+        )
+        .endpoint(
+            "source_resource_id",
+            Optional,
+            "azurerm_managed_disk",
+            "id",
+            false,
+        )
         .id();
     b = int_attr(b, "disk_size_gb", Optional, 1, 32767);
 
     b = b
         .resource("azurerm_virtual_machine_data_disk_attachment")
-        .endpoint("virtual_machine_id", Required, "azurerm_linux_virtual_machine", "id", false)
-        .endpoint("managed_disk_id", Required, "azurerm_managed_disk", "id", false)
-        .enum_attr("caching", Required, &["None", "ReadOnly", "ReadWrite"], None)
+        .endpoint(
+            "virtual_machine_id",
+            Required,
+            "azurerm_linux_virtual_machine",
+            "id",
+            false,
+        )
+        .endpoint(
+            "managed_disk_id",
+            Required,
+            "azurerm_managed_disk",
+            "id",
+            false,
+        )
+        .enum_attr(
+            "caching",
+            Required,
+            &["None", "ReadOnly", "ReadWrite"],
+            None,
+        )
         .id();
     b = int_attr(b, "lun", Required, 0, 63);
 
@@ -237,9 +367,20 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_virtual_network_gateway")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("type", Required, &["Vpn", "ExpressRoute"], None)
-        .enum_attr("vpn_type", Optional, &["RouteBased", "PolicyBased"], Some("RouteBased"))
+        .enum_attr(
+            "vpn_type",
+            Optional,
+            &["RouteBased", "PolicyBased"],
+            Some("RouteBased"),
+        )
         .enum_attr(
             "sku",
             Required,
@@ -258,7 +399,13 @@ pub fn build() -> KnowledgeBase {
             "id",
             false,
         )
-        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "ip_configuration.subnet_id",
+            Required,
+            "azurerm_subnet",
+            "id",
+            false,
+        )
         .enum_attr(
             "ip_configuration.private_ip_address_allocation",
             Optional,
@@ -270,7 +417,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_local_network_gateway")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .req_str("gateway_address")
         .id();
     b = cidr_list(b, "address_space", Required);
@@ -279,8 +432,19 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_virtual_network_gateway_connection")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
-        .enum_attr("type", Required, &["IPsec", "Vnet2Vnet", "ExpressRoute"], None)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
+        .enum_attr(
+            "type",
+            Required,
+            &["IPsec", "Vnet2Vnet", "ExpressRoute"],
+            None,
+        )
         .endpoint(
             "virtual_network_gateway_id",
             Required,
@@ -308,9 +472,27 @@ pub fn build() -> KnowledgeBase {
     b = b
         .resource("azurerm_virtual_network_peering")
         .req_str("name")
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
-        .endpoint("virtual_network_name", Required, "azurerm_virtual_network", "name", false)
-        .endpoint("remote_virtual_network_id", Required, "azurerm_virtual_network", "id", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
+        .endpoint(
+            "virtual_network_name",
+            Required,
+            "azurerm_virtual_network",
+            "name",
+            false,
+        )
+        .endpoint(
+            "remote_virtual_network_id",
+            Required,
+            "azurerm_virtual_network",
+            "id",
+            false,
+        )
         .id();
     b = bool_attr(b, "allow_forwarded_traffic", false);
     b = bool_attr(b, "allow_gateway_transit", false);
@@ -320,19 +502,43 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_route_table")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = bool_attr(b, "bgp_route_propagation_enabled", true);
 
     b = b
         .resource("azurerm_route")
         .req_str("name")
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
-        .endpoint("route_table_name", Required, "azurerm_route_table", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
+        .endpoint(
+            "route_table_name",
+            Required,
+            "azurerm_route_table",
+            "name",
+            false,
+        )
         .enum_attr(
             "next_hop_type",
             Required,
-            &["VirtualNetworkGateway", "VnetLocal", "Internet", "VirtualAppliance", "None"],
+            &[
+                "VirtualNetworkGateway",
+                "VnetLocal",
+                "Internet",
+                "VirtualAppliance",
+                "None",
+            ],
             None,
         )
         .opt_str("next_hop_in_ip_address")
@@ -342,7 +548,13 @@ pub fn build() -> KnowledgeBase {
     b = b
         .resource("azurerm_subnet_route_table_association")
         .endpoint("subnet_id", Required, "azurerm_subnet", "id", false)
-        .endpoint("route_table_id", Required, "azurerm_route_table", "id", false)
+        .endpoint(
+            "route_table_id",
+            Required,
+            "azurerm_route_table",
+            "id",
+            false,
+        )
         .id();
 
     // --- Firewall -----------------------------------------------------------------
@@ -350,14 +562,31 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_firewall")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("sku_name", Required, &["AZFW_VNet", "AZFW_Hub"], None)
-        .enum_attr("sku_tier", Required, &["Basic", "Standard", "Premium"], None)
+        .enum_attr(
+            "sku_tier",
+            Required,
+            &["Basic", "Standard", "Premium"],
+            None,
+        )
         .id();
     b = block(b, "ip_configuration", Required, ListBlock);
     b = b
         .opt_str("ip_configuration.name")
-        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "ip_configuration.subnet_id",
+            Required,
+            "azurerm_subnet",
+            "id",
+            false,
+        )
         .endpoint(
             "ip_configuration.public_ip_address_id",
             Required,
@@ -371,7 +600,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_lb")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("sku", Optional, &["Basic", "Standard"], Some("Basic"))
         .id();
     b = block(b, "frontend_ip_configuration", Optional, ListBlock);
@@ -384,7 +619,13 @@ pub fn build() -> KnowledgeBase {
             "id",
             false,
         )
-        .endpoint("frontend_ip_configuration.subnet_id", Optional, "azurerm_subnet", "id", false);
+        .endpoint(
+            "frontend_ip_configuration.subnet_id",
+            Optional,
+            "azurerm_subnet",
+            "id",
+            false,
+        );
 
     b = b
         .resource("azurerm_lb_backend_address_pool")
@@ -394,7 +635,13 @@ pub fn build() -> KnowledgeBase {
 
     b = b
         .resource("azurerm_network_interface_backend_address_pool_association")
-        .endpoint("network_interface_id", Required, "azurerm_network_interface", "id", false)
+        .endpoint(
+            "network_interface_id",
+            Required,
+            "azurerm_network_interface",
+            "id",
+            false,
+        )
         .endpoint(
             "backend_address_pool_id",
             Required,
@@ -410,21 +657,42 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_application_gateway")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = block(b, "sku", Required, Scalar);
     b = b.enum_attr(
         "sku.name",
         Required,
-        &["Standard_Small", "Standard_Medium", "Standard_v2", "WAF_Medium", "WAF_v2"],
+        &[
+            "Standard_Small",
+            "Standard_Medium",
+            "Standard_v2",
+            "WAF_Medium",
+            "WAF_v2",
+        ],
         None,
     );
-    b = b.enum_attr("sku.tier", Required, &["Standard", "Standard_v2", "WAF", "WAF_v2"], None);
+    b = b.enum_attr(
+        "sku.tier",
+        Required,
+        &["Standard", "Standard_v2", "WAF", "WAF_v2"],
+        None,
+    );
     b = int_attr(b, "sku.capacity", Optional, 1, 125);
     b = block(b, "gateway_ip_configuration", Required, ListBlock);
-    b = b
-        .opt_str("gateway_ip_configuration.name")
-        .endpoint("gateway_ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false);
+    b = b.opt_str("gateway_ip_configuration.name").endpoint(
+        "gateway_ip_configuration.subnet_id",
+        Required,
+        "azurerm_subnet",
+        "id",
+        false,
+    );
     b = block(b, "frontend_ip_configuration", Required, ListBlock);
     b = b.opt_str("frontend_ip_configuration.name").endpoint(
         "frontend_ip_configuration.public_ip_address_id",
@@ -436,16 +704,25 @@ pub fn build() -> KnowledgeBase {
     b = block(b, "backend_address_pool", Required, ListBlock);
     b = b.opt_str("backend_address_pool.name");
     b = block(b, "request_routing_rule", Required, ListBlock);
-    b = b
-        .opt_str("request_routing_rule.name")
-        .enum_attr("request_routing_rule.rule_type", Required, &["Basic", "PathBasedRouting"], None);
+    b = b.opt_str("request_routing_rule.name").enum_attr(
+        "request_routing_rule.rule_type",
+        Required,
+        &["Basic", "PathBasedRouting"],
+        None,
+    );
     b = int_attr(b, "request_routing_rule.priority", Optional, 1, 20000);
     b = block(b, "waf_configuration", Optional, Scalar);
     b = bool_attr(b, "waf_configuration.enabled", true);
 
     b = b
         .resource("azurerm_network_interface_application_gateway_backend_address_pool_association")
-        .endpoint("network_interface_id", Required, "azurerm_network_interface", "id", false)
+        .endpoint(
+            "network_interface_id",
+            Required,
+            "azurerm_network_interface",
+            "id",
+            false,
+        )
         .endpoint(
             "backend_address_pool_id",
             Required,
@@ -461,7 +738,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_storage_account")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("account_tier", Required, &["Standard", "Premium"], None)
         .enum_attr(
             "account_replication_type",
@@ -481,7 +764,13 @@ pub fn build() -> KnowledgeBase {
     b = b
         .resource("azurerm_storage_container")
         .req_str("name")
-        .endpoint("storage_account_name", Required, "azurerm_storage_account", "name", false)
+        .endpoint(
+            "storage_account_name",
+            Required,
+            "azurerm_storage_account",
+            "name",
+            false,
+        )
         .enum_attr(
             "container_access_type",
             Optional,
@@ -495,20 +784,44 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_nat_gateway")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("sku_name", Optional, &["Standard"], Some("Standard"))
         .id();
 
     b = b
         .resource("azurerm_nat_gateway_public_ip_association")
-        .endpoint("nat_gateway_id", Required, "azurerm_nat_gateway", "id", false)
-        .endpoint("public_ip_address_id", Required, "azurerm_public_ip", "id", false)
+        .endpoint(
+            "nat_gateway_id",
+            Required,
+            "azurerm_nat_gateway",
+            "id",
+            false,
+        )
+        .endpoint(
+            "public_ip_address_id",
+            Required,
+            "azurerm_public_ip",
+            "id",
+            false,
+        )
         .id();
 
     b = b
         .resource("azurerm_subnet_nat_gateway_association")
         .endpoint("subnet_id", Required, "azurerm_subnet", "id", false)
-        .endpoint("nat_gateway_id", Required, "azurerm_nat_gateway", "id", false)
+        .endpoint(
+            "nat_gateway_id",
+            Required,
+            "azurerm_nat_gateway",
+            "id",
+            false,
+        )
         .id();
 
     // --- Availability set / bastion / key vault / DNS --------------------------------------
@@ -516,7 +829,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_availability_set")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = int_attr(b, "platform_fault_domain_count", Optional, 1, 3);
     b = bool_attr(b, "managed", true);
@@ -525,12 +844,24 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_bastion_host")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
     b = block(b, "ip_configuration", Required, Scalar);
     b = b
         .opt_str("ip_configuration.name")
-        .endpoint("ip_configuration.subnet_id", Required, "azurerm_subnet", "id", false)
+        .endpoint(
+            "ip_configuration.subnet_id",
+            Required,
+            "azurerm_subnet",
+            "id",
+            false,
+        )
         .endpoint(
             "ip_configuration.public_ip_address_id",
             Required,
@@ -543,7 +874,13 @@ pub fn build() -> KnowledgeBase {
         .resource("azurerm_key_vault")
         .req_str("name")
         .location()
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .enum_attr("sku_name", Required, &["standard", "premium"], None)
         .req_str("tenant_id")
         .id();
@@ -552,7 +889,13 @@ pub fn build() -> KnowledgeBase {
     b = b
         .resource("azurerm_dns_zone")
         .req_str("name")
-        .endpoint("resource_group_name", Required, "azurerm_resource_group", "name", false)
+        .endpoint(
+            "resource_group_name",
+            Required,
+            "azurerm_resource_group",
+            "name",
+            false,
+        )
         .id();
 
     b.build()
@@ -580,7 +923,11 @@ mod tests {
         ] {
             assert!(kb.is_attended(t), "{t} missing");
         }
-        assert!(kb.resources.len() >= 30, "only {} types", kb.resources.len());
+        assert!(
+            kb.resources.len() >= 30,
+            "only {} types",
+            kb.resources.len()
+        );
     }
 
     #[test]
@@ -636,8 +983,19 @@ mod tests {
     #[test]
     fn attr_counts_vary_by_complexity() {
         let kb = build();
-        let vm = kb.resource("azurerm_linux_virtual_machine").unwrap().attrs.len();
-        let peering = kb.resource("azurerm_virtual_network_peering").unwrap().attrs.len();
-        assert!(vm > peering, "VM ({vm}) should have more attrs than peering ({peering})");
+        let vm = kb
+            .resource("azurerm_linux_virtual_machine")
+            .unwrap()
+            .attrs
+            .len();
+        let peering = kb
+            .resource("azurerm_virtual_network_peering")
+            .unwrap()
+            .attrs
+            .len();
+        assert!(
+            vm > peering,
+            "VM ({vm}) should have more attrs than peering ({peering})"
+        );
     }
 }

@@ -20,23 +20,91 @@ pub struct VmSkuLimits {
 
 /// The VM sku limit table.
 pub const VM_SKUS: &[VmSkuLimits] = &[
-    VmSkuLimits { sku: "Standard_B1ls", max_nics: 2, max_data_disks: 2 },
-    VmSkuLimits { sku: "Standard_B1s", max_nics: 2, max_data_disks: 2 },
-    VmSkuLimits { sku: "Standard_B2s", max_nics: 3, max_data_disks: 4 },
-    VmSkuLimits { sku: "Standard_B2ms", max_nics: 3, max_data_disks: 4 },
-    VmSkuLimits { sku: "Standard_D2s_v3", max_nics: 2, max_data_disks: 4 },
-    VmSkuLimits { sku: "Standard_D4s_v3", max_nics: 2, max_data_disks: 8 },
-    VmSkuLimits { sku: "Standard_D8s_v3", max_nics: 4, max_data_disks: 16 },
-    VmSkuLimits { sku: "Standard_DS1_v2", max_nics: 2, max_data_disks: 4 },
-    VmSkuLimits { sku: "Standard_DS2_v2", max_nics: 2, max_data_disks: 8 },
-    VmSkuLimits { sku: "Standard_F2s_v2", max_nics: 2, max_data_disks: 4 },
-    VmSkuLimits { sku: "Standard_F4s_v2", max_nics: 4, max_data_disks: 8 },
-    VmSkuLimits { sku: "Standard_F8s_v2", max_nics: 4, max_data_disks: 16 },
-    VmSkuLimits { sku: "Standard_E2s_v3", max_nics: 2, max_data_disks: 4 },
-    VmSkuLimits { sku: "Standard_E4s_v3", max_nics: 2, max_data_disks: 8 },
-    VmSkuLimits { sku: "Standard_E8s_v3", max_nics: 4, max_data_disks: 16 },
-    VmSkuLimits { sku: "Standard_A1_v2", max_nics: 2, max_data_disks: 2 },
-    VmSkuLimits { sku: "Standard_A2_v2", max_nics: 2, max_data_disks: 4 },
+    VmSkuLimits {
+        sku: "Standard_B1ls",
+        max_nics: 2,
+        max_data_disks: 2,
+    },
+    VmSkuLimits {
+        sku: "Standard_B1s",
+        max_nics: 2,
+        max_data_disks: 2,
+    },
+    VmSkuLimits {
+        sku: "Standard_B2s",
+        max_nics: 3,
+        max_data_disks: 4,
+    },
+    VmSkuLimits {
+        sku: "Standard_B2ms",
+        max_nics: 3,
+        max_data_disks: 4,
+    },
+    VmSkuLimits {
+        sku: "Standard_D2s_v3",
+        max_nics: 2,
+        max_data_disks: 4,
+    },
+    VmSkuLimits {
+        sku: "Standard_D4s_v3",
+        max_nics: 2,
+        max_data_disks: 8,
+    },
+    VmSkuLimits {
+        sku: "Standard_D8s_v3",
+        max_nics: 4,
+        max_data_disks: 16,
+    },
+    VmSkuLimits {
+        sku: "Standard_DS1_v2",
+        max_nics: 2,
+        max_data_disks: 4,
+    },
+    VmSkuLimits {
+        sku: "Standard_DS2_v2",
+        max_nics: 2,
+        max_data_disks: 8,
+    },
+    VmSkuLimits {
+        sku: "Standard_F2s_v2",
+        max_nics: 2,
+        max_data_disks: 4,
+    },
+    VmSkuLimits {
+        sku: "Standard_F4s_v2",
+        max_nics: 4,
+        max_data_disks: 8,
+    },
+    VmSkuLimits {
+        sku: "Standard_F8s_v2",
+        max_nics: 4,
+        max_data_disks: 16,
+    },
+    VmSkuLimits {
+        sku: "Standard_E2s_v3",
+        max_nics: 2,
+        max_data_disks: 4,
+    },
+    VmSkuLimits {
+        sku: "Standard_E4s_v3",
+        max_nics: 2,
+        max_data_disks: 8,
+    },
+    VmSkuLimits {
+        sku: "Standard_E8s_v3",
+        max_nics: 4,
+        max_data_disks: 16,
+    },
+    VmSkuLimits {
+        sku: "Standard_A1_v2",
+        max_nics: 2,
+        max_data_disks: 2,
+    },
+    VmSkuLimits {
+        sku: "Standard_A2_v2",
+        max_nics: 2,
+        max_data_disks: 4,
+    },
 ];
 
 /// Looks up VM sku limits.
@@ -62,12 +130,36 @@ pub struct GwSkuLimits {
 
 /// The gateway sku limit table.
 pub const GW_SKUS: &[GwSkuLimits] = &[
-    GwSkuLimits { sku: "Basic", max_tunnels: 10, active_active: false },
-    GwSkuLimits { sku: "VpnGw1", max_tunnels: 30, active_active: true },
-    GwSkuLimits { sku: "VpnGw2", max_tunnels: 30, active_active: true },
-    GwSkuLimits { sku: "VpnGw3", max_tunnels: 30, active_active: true },
-    GwSkuLimits { sku: "Standard", max_tunnels: 10, active_active: false },
-    GwSkuLimits { sku: "HighPerformance", max_tunnels: 30, active_active: true },
+    GwSkuLimits {
+        sku: "Basic",
+        max_tunnels: 10,
+        active_active: false,
+    },
+    GwSkuLimits {
+        sku: "VpnGw1",
+        max_tunnels: 30,
+        active_active: true,
+    },
+    GwSkuLimits {
+        sku: "VpnGw2",
+        max_tunnels: 30,
+        active_active: true,
+    },
+    GwSkuLimits {
+        sku: "VpnGw3",
+        max_tunnels: 30,
+        active_active: true,
+    },
+    GwSkuLimits {
+        sku: "Standard",
+        max_tunnels: 10,
+        active_active: false,
+    },
+    GwSkuLimits {
+        sku: "HighPerformance",
+        max_tunnels: 30,
+        active_active: true,
+    },
 ];
 
 /// Looks up gateway sku limits.

@@ -96,7 +96,11 @@ pub fn extract(programs: &[Program], cfg: &ExtractConfig) -> KnowledgeBase {
                     .or_default()
                     .entry((reference.rtype.clone(), reference.attr.clone()))
                     .or_default() += 1;
-                if path.0.last().is_some_and(|seg| seg.parse::<usize>().is_ok()) {
+                if path
+                    .0
+                    .last()
+                    .is_some_and(|seg| seg.parse::<usize>().is_ok())
+                {
                     endpoint_many.insert(key);
                 }
             }
@@ -124,7 +128,7 @@ pub fn extract(programs: &[Program], cfg: &ExtractConfig) -> KnowledgeBase {
     let mut kb = KnowledgeBase {
         locations: {
             let mut locs: Vec<(String, usize)> = locations.into_iter().collect();
-            locs.sort_by(|a, b| b.1.cmp(&a.1));
+            locs.sort_by_key(|l| std::cmp::Reverse(l.1));
             locs.into_iter().map(|(l, _)| l).collect()
         },
         ..Default::default()
@@ -213,7 +217,7 @@ fn classify(st: &AttrStats, path: &str, cfg: &ExtractConfig) -> ValueFormat {
         && st.strings.values().all(|&c| c >= 2)
     {
         let mut values: Vec<(String, usize)> = st.strings.clone().into_iter().collect();
-        values.sort_by(|a, b| b.1.cmp(&a.1));
+        values.sort_by_key(|v| std::cmp::Reverse(v.1));
         let default = values.first().map(|(v, _)| v.clone());
         return ValueFormat::Enum {
             values: values.into_iter().map(|(v, _)| v).collect(),
@@ -263,10 +267,10 @@ mod tests {
                                 if i % 2 == 0 { "Dynamic" } else { "Static" },
                             ),
                     )
-                    .with(
-                        Resource::new("azurerm_subnet", "s")
-                            .with("address_prefixes", Value::List(vec![Value::s(format!("10.0.{i}.0/24"))])),
-                    )
+                    .with(Resource::new("azurerm_subnet", "s").with(
+                        "address_prefixes",
+                        Value::List(vec![Value::s(format!("10.0.{i}.0/24"))]),
+                    ))
                     .with(
                         Resource::new("azurerm_network_interface", "nic")
                             .with("subnet_id", Value::r("azurerm_subnet", "s", "id")),
@@ -315,8 +319,7 @@ mod tests {
 
     #[test]
     fn respects_min_occurrences() {
-        let one = vec![Program::new()
-            .with(Resource::new("t", "r").with("sku", "Basic"))];
+        let one = vec![Program::new().with(Resource::new("t", "r").with("sku", "Basic"))];
         let kb = extract(&one, &ExtractConfig::default());
         assert!(kb.resource("t").is_none());
     }

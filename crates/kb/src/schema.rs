@@ -157,9 +157,7 @@ impl ResourceSchema {
 
     /// Paths of all required attributes (excluding endpoints).
     pub fn required_attrs(&self) -> impl Iterator<Item = &AttrSchema> {
-        self.attrs
-            .values()
-            .filter(|a| a.kind == AttrKind::Required)
+        self.attrs.values().filter(|a| a.kind == AttrKind::Required)
     }
 
     /// All attributes with an enum format.
@@ -207,7 +205,8 @@ impl KnowledgeBase {
 
     /// Looks up the provider default of `rtype.path`, if any.
     pub fn default_of(&self, rtype: &str, path: &str) -> Option<Value> {
-        self.format(rtype, path).and_then(ValueFormat::default_value)
+        self.format(rtype, path)
+            .and_then(ValueFormat::default_value)
     }
 
     /// Merges another KB into this one. Attributes and endpoints present in
@@ -331,7 +330,13 @@ impl SchemaBuilder {
     }
 
     /// Shorthand: an enum attribute.
-    pub fn enum_attr(self, path: &str, kind: AttrKind, values: &[&str], default: Option<&str>) -> Self {
+    pub fn enum_attr(
+        self,
+        path: &str,
+        kind: AttrKind,
+        values: &[&str],
+        default: Option<&str>,
+    ) -> Self {
         self.attr(
             path,
             kind,
@@ -373,7 +378,11 @@ impl SchemaBuilder {
         };
         self.cur().endpoints.insert(in_endpoint.to_string(), spec);
         // Endpoints are also attributes from the Class-1 perspective.
-        let shape = if many { AttrShape::List } else { AttrShape::Scalar };
+        let shape = if many {
+            AttrShape::List
+        } else {
+            AttrShape::Scalar
+        };
         let a = AttrSchema {
             path: in_endpoint.to_string(),
             kind,
@@ -464,7 +473,12 @@ mod tests {
     fn default_value_lookup() {
         let kb = SchemaBuilder::new()
             .resource("t")
-            .enum_attr("sku", AttrKind::Optional, &["Basic", "Standard"], Some("Basic"))
+            .enum_attr(
+                "sku",
+                AttrKind::Optional,
+                &["Basic", "Standard"],
+                Some("Basic"),
+            )
             .attr(
                 "active_active",
                 AttrKind::Optional,
@@ -474,7 +488,10 @@ mod tests {
             )
             .build();
         assert_eq!(kb.default_of("t", "sku"), Some(Value::s("Basic")));
-        assert_eq!(kb.default_of("t", "active_active"), Some(Value::Bool(false)));
+        assert_eq!(
+            kb.default_of("t", "active_active"),
+            Some(Value::Bool(false))
+        );
         assert_eq!(kb.default_of("t", "missing"), None);
     }
 }

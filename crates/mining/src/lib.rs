@@ -103,7 +103,18 @@ pub struct MiningReport {
 /// Runs the full mining phase over a corpus.
 pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> MiningReport {
     let stats = CorpusStats::build(programs, kb, cfg.use_kb);
-    let candidates = templates::instantiate(&stats, kb, cfg);
+    let mut candidates = templates::instantiate(&stats, kb, cfg);
+    // Everything downstream — solver soft constraints, validation grouping,
+    // report ordering — is order-sensitive, so pin a canonical total order
+    // here rather than depending on template iteration details.
+    candidates.sort_by(|a, b| {
+        a.check
+            .canonical()
+            .cmp(&b.check.canonical())
+            .then_with(|| a.family.cmp(b.family))
+            .then_with(|| a.support.cmp(&b.support))
+            .then_with(|| a.confidence.total_cmp(&b.confidence))
+    });
 
     let mut report = MiningReport {
         hypothesized: candidates.len(),

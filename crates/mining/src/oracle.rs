@@ -104,9 +104,9 @@ impl InterpQuery {
             InterpQuery::GwActiveActive { sku } => {
                 format!("Does a {sku} sku virtual network gateway support active-active mode?")
             }
-            InterpQuery::SaReplicationAllowed { tier, replication } => format!(
-                "Can a {tier} tier storage account use {replication} replication?"
-            ),
+            InterpQuery::SaReplicationAllowed { tier, replication } => {
+                format!("Can a {tier} tier storage account use {replication} replication?")
+            }
             InterpQuery::Unsupported { description } => {
                 format!("(unmapped quantitative pattern: {description})")
             }
@@ -151,9 +151,7 @@ impl DocOracle {
     pub fn answer(&mut self, query: &InterpQuery) -> Option<Answer> {
         self.queries_asked += 1;
         let truthful = match query {
-            InterpQuery::VmMaxNics { sku } => {
-                Answer::Limit(docs::vm_sku(sku)?.max_nics as i64)
-            }
+            InterpQuery::VmMaxNics { sku } => Answer::Limit(docs::vm_sku(sku)?.max_nics as i64),
             InterpQuery::VmMaxDataDisks { sku } => {
                 Answer::Limit(docs::vm_sku(sku)?.max_data_disks as i64)
             }
@@ -232,9 +230,8 @@ pub fn interpolate(
         ] {
             match oracle.answer(&query) {
                 Some(Answer::Limit(limit)) => {
-                    let src = format!(
-                        "let r:VM in r.size == '{sku}' => {fun}(r, {tau}) <= {limit}"
-                    );
+                    let src =
+                        format!("let r:VM in r.size == '{sku}' => {fun}(r, {tau}) <= {limit}");
                     if let Ok(check) = parse_check(&src) {
                         out.push(MinedCheck {
                             check,
@@ -254,8 +251,7 @@ pub fn interpolate(
     for sku in &gw_skus {
         match oracle.answer(&InterpQuery::GwMaxTunnels { sku: sku.clone() }) {
             Some(Answer::Limit(limit)) => {
-                let src =
-                    format!("let r:GW in r.sku == '{sku}' => indegree(r, TUNNEL) <= {limit}");
+                let src = format!("let r:GW in r.sku == '{sku}' => indegree(r, TUNNEL) <= {limit}");
                 if let Ok(check) = parse_check(&src) {
                     out.push(MinedCheck {
                         check,
@@ -356,7 +352,9 @@ mod tests {
             Some(Answer::Limit(4))
         );
         assert_eq!(
-            o.answer(&InterpQuery::GwActiveActive { sku: "Basic".into() }),
+            o.answer(&InterpQuery::GwActiveActive {
+                sku: "Basic".into()
+            }),
             Some(Answer::Supported(false))
         );
         assert_eq!(
@@ -404,6 +402,8 @@ mod tests {
             "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
         )
         .unwrap();
-        assert!(found.iter().any(|c| c.check.canonical() == gzrs.canonical()));
+        assert!(found
+            .iter()
+            .any(|c| c.check.canonical() == gzrs.canonical()));
     }
 }

@@ -7,7 +7,7 @@
 //! has to touch the corpus again — candidate confidence comes straight from
 //! these counters (the association-rule formulation of §3.3).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use zodiac_graph::ResourceGraph;
 use zodiac_kb::{KnowledgeBase, ValueFormat};
 use zodiac_model::{Cidr, Program, Resource, Value};
@@ -50,6 +50,9 @@ pub struct PairStats {
     /// Number of pairs observed.
     pub pairs: usize,
 }
+
+/// Hub pattern key: `(src_type, ep1, dst1, out1, ep2, dst2, out2)`.
+pub type HubKey = (String, String, String, String, String, String, String);
 
 /// Hub statistics: one source referencing two destinations.
 #[derive(Debug, Clone, Default)]
@@ -94,35 +97,35 @@ pub struct CorpusStats {
     /// Number of programs observed.
     pub total_programs: usize,
     /// Instances per resource type.
-    pub resource_count: HashMap<String, usize>,
+    pub resource_count: BTreeMap<String, usize>,
     /// Presence count per `(rtype, attr)`.
-    pub attr_present: HashMap<TypeAttr, usize>,
+    pub attr_present: BTreeMap<TypeAttr, usize>,
     /// Value count per `(rtype, attr, value)`.
-    pub attr_value: HashMap<(String, String, Value), usize>,
+    pub attr_value: BTreeMap<(String, String, Value), usize>,
     /// All attrs seen per rtype.
-    pub attrs_of: HashMap<String, HashSet<String>>,
+    pub attrs_of: BTreeMap<String, BTreeSet<String>>,
     /// Condition support: identical to `attr_value` restricted to enum-ish
     /// condition attributes.
-    pub cond_support: HashMap<CondKey, usize>,
+    pub cond_support: BTreeMap<CondKey, usize>,
     /// Joint value counts: cond → (attr2, v2) → count.
-    pub joint_value: HashMap<CondKey, BTreeMap<(String, Value), usize>>,
+    pub joint_value: BTreeMap<CondKey, BTreeMap<(String, Value), usize>>,
     /// Joint presence: cond → attr2 → count.
-    pub joint_present: HashMap<CondKey, BTreeMap<String, usize>>,
+    pub joint_present: BTreeMap<CondKey, BTreeMap<String, usize>>,
     /// Typed edge patterns.
-    pub edges: HashMap<EdgeKey, EdgeStats>,
+    pub edges: BTreeMap<EdgeKey, EdgeStats>,
     /// Sibling patterns: `(src_type, in_endpoint, dst_type, out_attr)`.
-    pub siblings: HashMap<(String, String, String, String), PairStats>,
+    pub siblings: BTreeMap<(String, String, String, String), PairStats>,
     /// Hub patterns: `(src_type, ep1, dst1, out1, ep2, dst2, out2)` with
     /// `ep1 < ep2`.
-    pub hubs: HashMap<(String, String, String, String, String, String, String), HubStats>,
+    pub hubs: BTreeMap<HubKey, HubStats>,
     /// Copath pairs: `(a_type, c_type)`.
-    pub copaths: HashMap<(String, String), PairStats>,
+    pub copaths: BTreeMap<(String, String), PairStats>,
     /// Path-connected location equality: `(a_type, b_type)` → (eq, both).
-    pub path_loc_eq: HashMap<(String, String), (usize, usize)>,
+    pub path_loc_eq: BTreeMap<(String, String), (usize, usize)>,
     /// Conditioned degrees.
-    pub degrees: HashMap<DegreeKey, DegreeStats>,
+    pub degrees: BTreeMap<DegreeKey, DegreeStats>,
     /// Conditioned block lengths.
-    pub lengths: HashMap<LengthKey, (i64, usize)>,
+    pub lengths: BTreeMap<LengthKey, (i64, usize)>,
 }
 
 impl CorpusStats {
@@ -282,7 +285,7 @@ impl CorpusStats {
                 }
             }
             // Conditioned degrees and lengths.
-            let mut touched: HashSet<(Direction, String)> = HashSet::new();
+            let mut touched: BTreeSet<(Direction, String)> = BTreeSet::new();
             for e in graph.out_edges(idx) {
                 touched.insert((Direction::Out, graph.resource(e.dst).rtype.clone()));
             }
@@ -297,13 +300,7 @@ impl CorpusStats {
                     } as i64;
                     let entry = self
                         .degrees
-                        .entry((
-                            r.rtype.clone(),
-                            ca.clone(),
-                            cv.clone(),
-                            *dir,
-                            tau.clone(),
-                        ))
+                        .entry((r.rtype.clone(), ca.clone(), cv.clone(), *dir, tau.clone()))
                         .or_default();
                     entry.max = entry.max.max(deg);
                     entry.count += 1;
@@ -311,12 +308,7 @@ impl CorpusStats {
                 for (attr, value) in &r.attrs {
                     if let Value::List(l) = value {
                         if l.iter().all(|x| matches!(x, Value::Map(_))) {
-                            let key = (
-                                r.rtype.clone(),
-                                ca.clone(),
-                                cv.clone(),
-                                attr.clone(),
-                            );
+                            let key = (r.rtype.clone(), ca.clone(), cv.clone(), attr.clone());
                             let entry = self.lengths.entry(key).or_insert((i64::MAX, 0));
                             entry.0 = entry.0.min(l.len() as i64);
                             entry.1 += 1;
@@ -370,10 +362,7 @@ impl CorpusStats {
                     .iter()
                     .filter(|(a, _)| is_cidr_attr(kb, use_kb, &src.rtype, a))
                 {
-                    let entry = stats
-                        .contain
-                        .entry((da.clone(), sa.clone()))
-                        .or_default();
+                    let entry = stats.contain.entry((da.clone(), sa.clone())).or_default();
                     entry.1 += 1;
                     if cidr_contains_any(dst, da, src, sa, dv, sv) {
                         entry.0 += 1;
@@ -445,8 +434,7 @@ impl CorpusStats {
                             }
                             let entry = stats.overlap.entry(attr.clone()).or_default();
                             entry.1 += 1;
-                            let overlaps =
-                                a.iter().any(|x| b.iter().any(|y| x.overlaps(y)));
+                            let overlaps = a.iter().any(|x| b.iter().any(|y| x.overlaps(y)));
                             if !overlaps {
                                 entry.0 += 1;
                             }
@@ -498,10 +486,8 @@ impl CorpusStats {
                             let v1 = leaf_value(d1, a1);
                             let v2 = leaf_value(d2, a2);
                             if let (Some(v1), Some(v2)) = (v1, v2) {
-                                let entry = stats
-                                    .name_ne
-                                    .entry((a1.clone(), a2.clone()))
-                                    .or_default();
+                                let entry =
+                                    stats.name_ne.entry((a1.clone(), a2.clone())).or_default();
                                 entry.1 += 1;
                                 if v1 != v2 {
                                     entry.0 += 1;
@@ -690,7 +676,9 @@ fn name_attrs(r: &Resource) -> Vec<String> {
 
 fn leaf_value(r: &Resource, attr: &str) -> Option<Value> {
     let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
-    zodiac_spec::eval::resolve_multi(r, &segs).into_iter().next()
+    zodiac_spec::eval::resolve_multi(r, &segs)
+        .into_iter()
+        .next()
 }
 
 fn cidrs_of(r: &Resource, attr: &str) -> Vec<Cidr> {
@@ -729,15 +717,21 @@ fn is_cond_attr(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str, v: &V
     if !use_kb {
         return matches!(v, Value::Str(_) | Value::Bool(_));
     }
-    match kb.format(rtype, attr) {
-        Some(ValueFormat::Enum { .. }) | Some(ValueFormat::BoolDefault { .. }) => true,
-        _ => false,
-    }
+    matches!(
+        kb.format(rtype, attr),
+        Some(ValueFormat::Enum { .. }) | Some(ValueFormat::BoolDefault { .. })
+    )
 }
 
 /// Is `(rtype, attr = v)` an acceptable *statement* value (enum member or
 /// reserved name)?
-pub(crate) fn is_stmt_value(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str, v: &Value) -> bool {
+pub(crate) fn is_stmt_value(
+    kb: &KnowledgeBase,
+    use_kb: bool,
+    rtype: &str,
+    attr: &str,
+    v: &Value,
+) -> bool {
     if !use_kb {
         return matches!(v, Value::Str(_) | Value::Bool(_));
     }
@@ -790,7 +784,10 @@ mod tests {
             })
             .collect();
         let s = CorpusStats::build(&programs, &kb(), true);
-        assert_eq!(s.p_value("azurerm_public_ip", "sku", &Value::s("Standard")), 1.0);
+        assert_eq!(
+            s.p_value("azurerm_public_ip", "sku", &Value::s("Standard")),
+            1.0
+        );
         assert_eq!(
             s.cond_support
                 .get(&(
@@ -847,7 +844,10 @@ mod tests {
             .with(Resource::new("azurerm_virtual_network", "v").with("name", "vn"))
             .with(
                 Resource::new("azurerm_subnet", "a")
-                    .with("address_prefixes", Value::List(vec![Value::s("10.0.1.0/24")]))
+                    .with(
+                        "address_prefixes",
+                        Value::List(vec![Value::s("10.0.1.0/24")]),
+                    )
                     .with(
                         "virtual_network_name",
                         Value::r("azurerm_virtual_network", "v", "name"),
@@ -855,7 +855,10 @@ mod tests {
             )
             .with(
                 Resource::new("azurerm_subnet", "b")
-                    .with("address_prefixes", Value::List(vec![Value::s("10.0.2.0/24")]))
+                    .with(
+                        "address_prefixes",
+                        Value::List(vec![Value::s("10.0.2.0/24")]),
+                    )
                     .with(
                         "virtual_network_name",
                         Value::r("azurerm_virtual_network", "v", "name"),
@@ -886,8 +889,10 @@ mod tests {
                     ]),
                 ),
         );
-        p.add(Resource::new("azurerm_network_interface", "a")).unwrap();
-        p.add(Resource::new("azurerm_network_interface", "b")).unwrap();
+        p.add(Resource::new("azurerm_network_interface", "a"))
+            .unwrap();
+        p.add(Resource::new("azurerm_network_interface", "b"))
+            .unwrap();
         let s = CorpusStats::build(&[p], &kb(), true);
         let key: DegreeKey = (
             "azurerm_linux_virtual_machine".into(),

@@ -54,11 +54,7 @@ fn emit(
 }
 
 /// Instantiates every template family over the observation database.
-pub fn instantiate(
-    stats: &CorpusStats,
-    kb: &KnowledgeBase,
-    cfg: &MiningConfig,
-) -> Vec<MinedCheck> {
+pub fn instantiate(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig) -> Vec<MinedCheck> {
     let mut out = Vec::new();
     intra(stats, kb, cfg, &mut out);
     conn_templates(stats, cfg, &mut out);
@@ -76,7 +72,9 @@ pub fn instantiate(
 fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut Vec<MinedCheck>) {
     for ((rtype, a1, v1), &support) in &stats.cond_support {
         let cond = format!("let r:{rtype} in r.{a1} == {}", lit(v1));
-        let jv = stats.joint_value.get(&(rtype.clone(), a1.clone(), v1.clone()));
+        let jv = stats
+            .joint_value
+            .get(&(rtype.clone(), a1.clone(), v1.clone()));
         let jp = stats
             .joint_present
             .get(&(rtype.clone(), a1.clone(), v1.clone()));
@@ -156,7 +154,11 @@ fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut 
                     format!("{cond} => r.{a2} != null"),
                     support,
                     conf_nn,
-                    Some(if p_present > 0.0 { conf_nn / p_present } else { 1.0 }),
+                    Some(if p_present > 0.0 {
+                        conf_nn / p_present
+                    } else {
+                        1.0
+                    }),
                     None,
                 );
                 let conf_null = 1.0 - conf_nn;
@@ -167,7 +169,11 @@ fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut 
                     format!("{cond} => r.{a2} == null"),
                     support,
                     conf_null,
-                    Some(if p_absent > 0.0 { conf_null / p_absent } else { 1.0 }),
+                    Some(if p_absent > 0.0 {
+                        conf_null / p_absent
+                    } else {
+                        1.0
+                    }),
                     None,
                 );
             }
@@ -235,7 +241,11 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 format!("{conn} => r1.{attr} == r2.{attr}"),
                 *both,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -248,7 +258,11 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 format!("{conn} => r2.{attr} == {}", lit(v)),
                 e.occurrences,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -261,7 +275,11 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 format!("{conn} => r1.{attr} == {}", lit(v)),
                 e.occurrences,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -277,7 +295,11 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 format!("{conn} => contain(r2.{da}, r1.{sa})"),
                 *both,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -335,8 +357,9 @@ fn sibling_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
 /// attribute pairs (name inequality, CIDR exclusivity).
 fn hub_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
     for ((s, ep1, d1, o1, ep2, d2, o2), hub) in &stats.hubs {
-        let coconn =
-            format!("let r1:{s}, r2:{d1}, r3:{d2} in coconn(r1.{ep1} -> r2.{o1}, r1.{ep2} -> r3.{o2})");
+        let coconn = format!(
+            "let r1:{s}, r2:{d1}, r3:{d2} in coconn(r1.{ep1} -> r2.{o1}, r1.{ep2} -> r3.{o2})"
+        );
         for ((a1, a2), (ne, both)) in &hub.name_ne {
             if *both == 0 {
                 continue;
@@ -367,7 +390,11 @@ fn hub_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
                 format!("{coconn} => !overlap(r2.{a1}, r3.{a2})"),
                 *both,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -413,7 +440,11 @@ fn path_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
             format!("let r1:{a}, r2:{b} in path(r1 -> r2) => r1.location == r2.location"),
             *both,
             confidence,
-            if p_y > 0.0 { Some(confidence / p_y) } else { None },
+            if p_y > 0.0 {
+                Some(confidence / p_y)
+            } else {
+                None
+            },
             None,
         );
     }
@@ -502,10 +533,18 @@ mod tests {
                 Program::new().with(vm)
             })
             .collect();
-        let out = instantiate(&stats_of(&programs), &zodiac_kb::azure_kb(), &MiningConfig::default());
-        let families: std::collections::BTreeSet<&str> =
-            out.iter().map(|c| c.family).collect();
-        for f in ["intra/eq-eq", "intra/eq-ne", "intra/eq-notnull", "intra/eq-null"] {
+        let out = instantiate(
+            &stats_of(&programs),
+            &zodiac_kb::azure_kb(),
+            &MiningConfig::default(),
+        );
+        let families: std::collections::BTreeSet<&str> = out.iter().map(|c| c.family).collect();
+        for f in [
+            "intra/eq-eq",
+            "intra/eq-ne",
+            "intra/eq-notnull",
+            "intra/eq-null",
+        ] {
             assert!(families.contains(f), "missing family {f}: {families:?}");
         }
         // The spot/eviction candidate carries perfect confidence.
@@ -547,7 +586,11 @@ mod tests {
                     )
             })
             .collect();
-        let out = instantiate(&stats_of(&programs), &zodiac_kb::azure_kb(), &MiningConfig::default());
+        let out = instantiate(
+            &stats_of(&programs),
+            &zodiac_kb::azure_kb(),
+            &MiningConfig::default(),
+        );
         let eq = out
             .iter()
             .find(|c| c.family == "conn/attr-eq" && c.check.to_string().contains("location"))
@@ -577,17 +620,19 @@ mod tests {
                 .unwrap();
         }
         let programs = vec![p; 6];
-        let out = instantiate(&stats_of(&programs), &zodiac_kb::azure_kb(), &MiningConfig::default());
+        let out = instantiate(
+            &stats_of(&programs),
+            &zodiac_kb::azure_kb(),
+            &MiningConfig::default(),
+        );
         let degree_candidates: Vec<String> = out
             .iter()
             .filter(|c| c.family == "interp/degree-limit")
             .map(|c| format!("{:?} | {}", c.interp, c.check))
             .collect();
         assert!(
-            out.iter().any(|c| matches!(
-                c.interp,
-                Some(crate::oracle::InterpQuery::VmMaxNics { .. })
-            )),
+            out.iter()
+                .any(|c| matches!(c.interp, Some(crate::oracle::InterpQuery::VmMaxNics { .. }))),
             "no VmMaxNics query among: {degree_candidates:#?}"
         );
     }

@@ -197,7 +197,13 @@ mod tests {
 
     #[test]
     fn rejects_bad_cidrs() {
-        for s in ["10.0.0.0", "10.0.0/8", "10.0.0.0/33", "a.b.c.d/8", "10.0.0.0.0/8"] {
+        for s in [
+            "10.0.0.0",
+            "10.0.0/8",
+            "10.0.0.0/33",
+            "a.b.c.d/8",
+            "10.0.0.0.0/8",
+        ] {
             assert!(s.parse::<Cidr>().is_err(), "{s} should fail");
         }
     }

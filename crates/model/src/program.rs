@@ -294,7 +294,9 @@ mod tests {
         assert!(r.set(&path, Value::s("osdisk1")));
         assert_eq!(r.get(&path), Some(&Value::s("osdisk1")));
         assert_eq!(
-            r.get_attr("os_disk").and_then(|v| v.as_map()).map(|m| m.len()),
+            r.get_attr("os_disk")
+                .and_then(|v| v.as_map())
+                .map(|m| m.len()),
             Some(1)
         );
     }

@@ -24,11 +24,7 @@ pub struct Reference {
 
 impl Reference {
     /// Creates a reference to `rtype.name.attr`.
-    pub fn new(
-        rtype: impl Into<String>,
-        name: impl Into<String>,
-        attr: impl Into<String>,
-    ) -> Self {
+    pub fn new(rtype: impl Into<String>, name: impl Into<String>, attr: impl Into<String>) -> Self {
         Reference {
             rtype: rtype.into(),
             name: name.into(),
@@ -229,7 +225,10 @@ impl Value {
                 format!("[{}]", items.join(", "))
             }
             Value::Map(m) => {
-                let items: Vec<String> = m.iter().map(|(k, v)| format!("{k} = {}", v.render())).collect();
+                let items: Vec<String> = m
+                    .iter()
+                    .map(|(k, v)| format!("{k} = {}", v.render()))
+                    .collect();
                 format!("{{{}}}", items.join("; "))
             }
         }

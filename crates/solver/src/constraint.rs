@@ -277,8 +277,14 @@ mod tests {
         let f = Constraint::False;
         let unknown = Constraint::eq(Term::Var(0), Term::i(1));
         let a = &[None];
-        assert_eq!(Constraint::And(vec![f.clone(), unknown.clone()]).eval(a), Some(false));
-        assert_eq!(Constraint::And(vec![t.clone(), unknown.clone()]).eval(a), None);
+        assert_eq!(
+            Constraint::And(vec![f.clone(), unknown.clone()]).eval(a),
+            Some(false)
+        );
+        assert_eq!(
+            Constraint::And(vec![t.clone(), unknown.clone()]).eval(a),
+            None
+        );
         assert_eq!(Constraint::Or(vec![t, unknown.clone()]).eval(a), Some(true));
         assert_eq!(Constraint::Or(vec![f, unknown]).eval(a), None);
     }

@@ -1,45 +1,67 @@
 //! Property-based tests: the branch-and-bound solver agrees with brute-force
-//! enumeration on satisfiability and optimal penalty.
+//! enumeration on satisfiability and optimal penalty. Random problems come
+//! from a seeded RNG so every run replays the same sample.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use zodiac_model::Value;
 use zodiac_solver::{solve, Constraint, Op, Problem, Term};
 
-fn arb_term(nvars: usize) -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0..nvars).prop_map(Term::Var),
-        (0i64..4).prop_map(|n| Term::Const(Value::Int(n))),
-    ]
-}
-
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Eq),
-        Just(Op::Ne),
-        Just(Op::Le),
-        Just(Op::Ge),
-        Just(Op::Lt),
-        Just(Op::Gt),
-    ]
-}
-
-fn arb_constraint(nvars: usize, depth: u32) -> BoxedStrategy<Constraint> {
-    let leaf = (arb_op(), arb_term(nvars), arb_term(nvars))
-        .prop_map(|(op, lhs, rhs)| Constraint::Cmp { op, lhs, rhs });
-    if depth == 0 {
-        return leaf.boxed();
+fn arb_term(rng: &mut StdRng, nvars: usize) -> Term {
+    if rng.gen_bool(0.5) {
+        Term::Var(rng.gen_range(0..nvars))
+    } else {
+        Term::Const(Value::Int(rng.gen_range(0..4i64)))
     }
-    let sub = arb_constraint(nvars, depth - 1);
-    prop_oneof![
-        3 => leaf,
-        1 => sub.clone().prop_map(|c| Constraint::Not(Box::new(c))),
-        1 => prop::collection::vec(arb_constraint(nvars, depth - 1), 1..3).prop_map(Constraint::And),
-        1 => prop::collection::vec(arb_constraint(nvars, depth - 1), 1..3).prop_map(Constraint::Or),
-        1 => (prop::collection::vec(0..nvars, 1..3), -2i64..3, arb_op(), 0i64..4).prop_map(
-            |(vars, offset, op, bound)| Constraint::Linear { vars, offset, op, bound }
+}
+
+fn arb_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..6u8) {
+        0 => Op::Eq,
+        1 => Op::Ne,
+        2 => Op::Le,
+        3 => Op::Ge,
+        4 => Op::Lt,
+        _ => Op::Gt,
+    }
+}
+
+fn leaf(rng: &mut StdRng, nvars: usize) -> Constraint {
+    Constraint::Cmp {
+        op: arb_op(rng),
+        lhs: arb_term(rng, nvars),
+        rhs: arb_term(rng, nvars),
+    }
+}
+
+fn arb_constraint(rng: &mut StdRng, nvars: usize, depth: u32) -> Constraint {
+    if depth == 0 {
+        return leaf(rng, nvars);
+    }
+    // Weights mirror the original strategy: leaves three times as likely as
+    // each compound form.
+    match rng.gen_range(0..7u8) {
+        0..=2 => leaf(rng, nvars),
+        3 => Constraint::Not(Box::new(arb_constraint(rng, nvars, depth - 1))),
+        4 => Constraint::And(
+            (0..rng.gen_range(1..3usize))
+                .map(|_| arb_constraint(rng, nvars, depth - 1))
+                .collect(),
         ),
-    ]
-    .boxed()
+        5 => Constraint::Or(
+            (0..rng.gen_range(1..3usize))
+                .map(|_| arb_constraint(rng, nvars, depth - 1))
+                .collect(),
+        ),
+        _ => Constraint::Linear {
+            vars: (0..rng.gen_range(1..3usize))
+                .map(|_| rng.gen_range(0..nvars))
+                .collect(),
+            offset: rng.gen_range(-2..3i64),
+            op: arb_op(rng),
+            bound: rng.gen_range(0..4i64),
+        },
+    }
 }
 
 /// Brute-force: enumerate every assignment, return (any SAT, best penalty).
@@ -82,33 +104,37 @@ fn brute_force(
 
 /// Linear vars must range over booleans for the Linear constraint to make
 /// sense, so every variable's domain mixes ints and the booleans it needs.
-fn arb_problem() -> impl Strategy<Value = (Vec<Vec<Value>>, Vec<Constraint>, Vec<(Constraint, u64)>)>
-{
-    (2usize..=4).prop_flat_map(|nvars| {
-        let domain = prop::collection::vec(
-            prop_oneof![
-                (0i64..4).prop_map(Value::Int),
-                any::<bool>().prop_map(Value::Bool),
-            ],
-            1..4,
-        )
-        .prop_map(|mut d| {
-            d.dedup();
-            d
-        });
-        (
-            prop::collection::vec(domain, nvars..=nvars),
-            prop::collection::vec(arb_constraint(nvars, 1), 0..4),
-            prop::collection::vec((arb_constraint(nvars, 1), 1u64..5), 0..4),
-        )
-    })
+#[allow(clippy::type_complexity)]
+fn arb_problem(rng: &mut StdRng) -> (Vec<Vec<Value>>, Vec<Constraint>, Vec<(Constraint, u64)>) {
+    let nvars = rng.gen_range(2..=4usize);
+    let mut domains = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let mut d: Vec<Value> = (0..rng.gen_range(1..4usize))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Value::Int(rng.gen_range(0..4i64))
+                } else {
+                    Value::Bool(rng.gen_bool(0.5))
+                }
+            })
+            .collect();
+        d.dedup();
+        domains.push(d);
+    }
+    let hard = (0..rng.gen_range(0..4usize))
+        .map(|_| arb_constraint(rng, nvars, 1))
+        .collect();
+    let soft = (0..rng.gen_range(0..4usize))
+        .map(|_| (arb_constraint(rng, nvars, 1), rng.gen_range(1..5u64)))
+        .collect();
+    (domains, hard, soft)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn agrees_with_brute_force((domains, hard, soft) in arb_problem()) {
+#[test]
+fn agrees_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x501_4E12);
+    for case in 0..256 {
+        let (domains, hard, soft) = arb_problem(&mut rng);
         let mut p = Problem::new();
         for d in &domains {
             p.add_var(d.clone());
@@ -124,27 +150,26 @@ proptest! {
         match (expected, got.solution()) {
             (None, None) => {}
             (Some(best), Some(sol)) => {
-                prop_assert_eq!(sol.penalty, best, "suboptimal penalty");
+                assert_eq!(sol.penalty, best, "case {case}: suboptimal penalty");
                 // The returned assignment actually satisfies the hard set.
                 let assignment: Vec<Option<Value>> =
                     sol.assignment.iter().cloned().map(Some).collect();
                 for c in &hard {
-                    prop_assert_eq!(c.eval(&assignment), Some(true));
+                    assert_eq!(c.eval(&assignment), Some(true), "case {case}");
                 }
                 // And the reported violated set matches reality.
                 let actual_penalty: u64 = soft
                     .iter()
-                    .enumerate()
-                    .filter(|(_, (c, _))| c.eval(&assignment) != Some(true))
-                    .map(|(_, (_, w))| *w)
+                    .filter(|(c, _)| c.eval(&assignment) != Some(true))
+                    .map(|(_, w)| *w)
                     .sum();
-                prop_assert_eq!(actual_penalty, sol.penalty);
+                assert_eq!(actual_penalty, sol.penalty, "case {case}");
             }
             (None, Some(sol)) => {
-                prop_assert!(false, "solver returned SAT {sol:?} on an UNSAT problem");
+                panic!("case {case}: solver returned SAT {sol:?} on an UNSAT problem");
             }
             (Some(best), None) => {
-                prop_assert!(false, "solver returned UNSAT but penalty {best} is achievable");
+                panic!("case {case}: solver returned UNSAT but penalty {best} is achievable");
             }
         }
     }

@@ -179,7 +179,10 @@ impl Check {
     /// The structural category of this check.
     pub fn shape_category(&self) -> ShapeCategory {
         fn val_aggregates(v: &Val) -> bool {
-            matches!(v, Val::InDegree { .. } | Val::OutDegree { .. } | Val::Length(_))
+            matches!(
+                v,
+                Val::InDegree { .. } | Val::OutDegree { .. } | Val::Length(_)
+            )
         }
         fn expr_aggregates(e: &Expr) -> bool {
             match e {

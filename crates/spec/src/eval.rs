@@ -186,21 +186,21 @@ fn resolve(val: &Val, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<'_>)
             let Some(&node) = binding.get(var) else {
                 return vec![Value::Null];
             };
-            vec![Value::Int(ctx.graph.distinct_in_neighbors(
-                node,
-                tau.type_name(),
-                tau.negated(),
-            ) as i64)]
+            vec![Value::Int(
+                ctx.graph
+                    .distinct_in_neighbors(node, tau.type_name(), tau.negated())
+                    as i64,
+            )]
         }
         Val::OutDegree { var, tau } => {
             let Some(&node) = binding.get(var) else {
                 return vec![Value::Null];
             };
-            vec![Value::Int(ctx.graph.distinct_out_neighbors(
-                node,
-                tau.type_name(),
-                tau.negated(),
-            ) as i64)]
+            vec![Value::Int(
+                ctx.graph
+                    .distinct_out_neighbors(node, tau.type_name(), tau.negated())
+                    as i64,
+            )]
         }
         Val::Length(inner) => {
             let Val::Endpoint { var, attr } = inner.as_ref() else {
@@ -393,9 +393,8 @@ mod tests {
     fn null_checks_detect_missing_attrs() {
         let check =
             parse_check("let r:VM in r.priority == 'Spot' => r.eviction_policy != null").unwrap();
-        let spot_without = Program::new().with(
-            Resource::new("azurerm_linux_virtual_machine", "vm").with("priority", "Spot"),
-        );
+        let spot_without = Program::new()
+            .with(Resource::new("azurerm_linux_virtual_machine", "vm").with("priority", "Spot"));
         let g = graph(spot_without);
         let ctx = EvalContext {
             graph: &g,
@@ -422,13 +421,10 @@ mod tests {
     fn kb_defaults_apply() {
         // sku omitted on public IP defaults to Basic via the KB.
         let kb = zodiac_kb::azure_kb();
-        let check = parse_check(
-            "let r:IP in r.allocation_method == 'Dynamic' => r.sku == 'Basic'",
-        )
-        .unwrap();
-        let p = Program::new().with(
-            Resource::new("azurerm_public_ip", "ip").with("allocation_method", "Dynamic"),
-        );
+        let check = parse_check("let r:IP in r.allocation_method == 'Dynamic' => r.sku == 'Basic'")
+            .unwrap();
+        let p = Program::new()
+            .with(Resource::new("azurerm_public_ip", "ip").with("allocation_method", "Dynamic"));
         let g = graph(p);
         assert!(holds(
             &check,
@@ -495,10 +491,8 @@ mod tests {
 
     #[test]
     fn degree_checks() {
-        let check = parse_check(
-            "let r:VM in r.size == 'Standard_F2s_v2' => indegree(r, NIC) <= 2",
-        )
-        .unwrap();
+        let check = parse_check("let r:VM in r.size == 'Standard_F2s_v2' => indegree(r, NIC) <= 2")
+            .unwrap();
         // Degree here counts NICs referencing the VM; build the inverse shape:
         // attachments point from NIC to VM via an attachment-like edge.
         let mut p = Program::new().with(
@@ -532,16 +526,14 @@ mod tests {
         let mut sg = Resource::new("azurerm_network_security_group", "sg");
         sg.attrs.insert(
             "security_rule".into(),
-            Value::List(vec![
-                Value::Map(
-                    [
-                        ("direction".to_string(), Value::s("Inbound")),
-                        ("priority".to_string(), Value::Int(50)),
-                    ]
-                    .into_iter()
-                    .collect(),
-                ),
-            ]),
+            Value::List(vec![Value::Map(
+                [
+                    ("direction".to_string(), Value::s("Inbound")),
+                    ("priority".to_string(), Value::Int(50)),
+                ]
+                .into_iter()
+                .collect(),
+            )]),
         );
         let g = graph(Program::new().with(sg));
         // Existential semantics: priority 50 < 100, so the stmt fails.
@@ -578,12 +570,17 @@ mod tests {
     #[test]
     fn distinct_variables_bind_distinct_nodes() {
         // A single subnet must not bind both r1 and r2.
-        let check = parse_check(
-            "let r1:SUBNET, r2:SUBNET in path(r1 -> r2) => r1.name != r2.name",
-        )
-        .unwrap();
+        let check = parse_check("let r1:SUBNET, r2:SUBNET in path(r1 -> r2) => r1.name != r2.name")
+            .unwrap();
         let p = Program::new().with(Resource::new("azurerm_subnet", "only").with("name", "x"));
         let g = graph(p);
-        assert!(instances(&check, EvalContext { graph: &g, kb: None }).is_empty());
+        assert!(instances(
+            &check,
+            EvalContext {
+                graph: &g,
+                kb: None
+            }
+        )
+        .is_empty());
     }
 }

@@ -64,7 +64,9 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let n: i64 = text.parse().map_err(|_| ParseError(format!("bad int {text}")))?;
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad int {text}")))?;
                 out.push(Tok::Int(-n));
             }
             '=' if chars.get(i + 1) == Some(&'>') => {
@@ -118,7 +120,9 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                let n: i64 = text.parse().map_err(|_| ParseError(format!("bad int {text}")))?;
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad int {text}")))?;
                 out.push(Tok::Int(n));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -183,7 +187,11 @@ impl P {
             match self.bump() {
                 Some(Tok::Ident(s)) => segs.push(s),
                 Some(Tok::Int(n)) => segs.push(n.to_string()),
-                other => return Err(ParseError(format!("expected path segment, found {other:?}"))),
+                other => {
+                    return Err(ParseError(format!(
+                        "expected path segment, found {other:?}"
+                    )))
+                }
             }
         }
         if segs.is_empty() {
@@ -196,7 +204,11 @@ impl P {
         let neg = self.eat_sym("!");
         let t = self.ident("type name")?;
         let full = long_name(&t).to_string();
-        Ok(if neg { TypeSpec::Not(full) } else { TypeSpec::Is(full) })
+        Ok(if neg {
+            TypeSpec::Not(full)
+        } else {
+            TypeSpec::Is(full)
+        })
     }
 
     fn val(&mut self) -> Result<Val, ParseError> {
@@ -414,9 +426,9 @@ pub fn parse_check(src: &str) -> Result<Check, ParseError> {
 fn used_vars(e: &Expr) -> Vec<String> {
     fn from_val(v: &Val, out: &mut Vec<String>) {
         match v {
-            Val::Endpoint { var, .. }
-            | Val::InDegree { var, .. }
-            | Val::OutDegree { var, .. } => out.push(var.clone()),
+            Val::Endpoint { var, .. } | Val::InDegree { var, .. } | Val::OutDegree { var, .. } => {
+                out.push(var.clone())
+            }
             Val::Length(inner) => from_val(inner, out),
             Val::Lit(_) => {}
         }
@@ -467,7 +479,11 @@ mod tests {
         assert_eq!(c.bindings.len(), 1);
         assert!(matches!(
             &c.stmt,
-            Expr::Cmp { op: CmpOp::Ne, rhs: Val::Lit(Value::Null), .. }
+            Expr::Cmp {
+                op: CmpOp::Ne,
+                rhs: Val::Lit(Value::Null),
+                ..
+            }
         ));
     }
 
@@ -477,7 +493,11 @@ mod tests {
             .unwrap();
         assert!(matches!(
             &c.stmt,
-            Expr::Cmp { op: CmpOp::Le, lhs: Val::InDegree { .. }, .. }
+            Expr::Cmp {
+                op: CmpOp::Le,
+                lhs: Val::InDegree { .. },
+                ..
+            }
         ));
         let c2 = parse_check(
             "let r1:GW, r2:SUBNET in conn(r1.ip_configuration.subnet_id -> r2.id) => outdegree(r2, !GW) == 0",
@@ -502,7 +522,11 @@ mod tests {
         .unwrap();
         assert!(matches!(
             &c.stmt,
-            Expr::Cmp { op: CmpOp::Overlap, negated: true, .. }
+            Expr::Cmp {
+                op: CmpOp::Overlap,
+                negated: true,
+                ..
+            }
         ));
     }
 
@@ -552,10 +576,16 @@ mod tests {
 
     #[test]
     fn parses_length_and_bools() {
-        let c = parse_check("let r:GW in r.active_active == true => length(r.ip_configuration) >= 2").unwrap();
+        let c =
+            parse_check("let r:GW in r.active_active == true => length(r.ip_configuration) >= 2")
+                .unwrap();
         assert!(matches!(
             &c.stmt,
-            Expr::Cmp { lhs: Val::Length(_), op: CmpOp::Ge, .. }
+            Expr::Cmp {
+                lhs: Val::Length(_),
+                op: CmpOp::Ge,
+                ..
+            }
         ));
     }
 }

@@ -1,149 +1,203 @@
 //! Property-based test: every syntactically valid check AST renders to text
-//! that parses back to the same AST.
+//! that parses back to the same AST. Checks come from a seeded RNG so every
+//! run replays the same sample.
 
-use proptest::prelude::*;
-use zodiac_spec::{parse_check, Binding, Check, CmpOp, Expr, TypeSpec, Val};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use zodiac_model::Value;
+use zodiac_spec::{parse_check, Binding, Check, CmpOp, Expr, TypeSpec, Val};
 
-fn arb_type() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("azurerm_linux_virtual_machine".to_string()),
-        Just("azurerm_network_interface".to_string()),
-        Just("azurerm_subnet".to_string()),
-        Just("azurerm_virtual_network".to_string()),
-        Just("azurerm_storage_account".to_string()),
-        "azurerm_[a-z]{3,10}".prop_map(|s| s),
-    ]
+fn arb_type(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..6u8) {
+        0 => "azurerm_linux_virtual_machine".to_string(),
+        1 => "azurerm_network_interface".to_string(),
+        2 => "azurerm_subnet".to_string(),
+        3 => "azurerm_virtual_network".to_string(),
+        4 => "azurerm_storage_account".to_string(),
+        _ => {
+            let len = rng.gen_range(3..=10usize);
+            let tail: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect();
+            format!("azurerm_{tail}")
+        }
+    }
 }
 
-fn arb_attr() -> impl Strategy<Value = String> {
-    prop_oneof![
-        "[a-z][a-z_]{0,10}",
-        ("[a-z][a-z_]{0,8}", "[a-z][a-z_]{0,8}").prop_map(|(a, b)| format!("{a}.{b}")),
-    ]
-    .prop_filter("reserved words break parsing", |s| {
-        !s.split('.').any(|seg| {
-            matches!(
-                seg,
-                "in" | "let" | "conn" | "path" | "coconn" | "copath" | "overlap" | "contain"
-                    | "length" | "indegree" | "outdegree" | "null" | "true" | "false"
-            )
-        })
-    })
+fn reserved(seg: &str) -> bool {
+    matches!(
+        seg,
+        "in" | "let"
+            | "conn"
+            | "path"
+            | "coconn"
+            | "copath"
+            | "overlap"
+            | "contain"
+            | "length"
+            | "indegree"
+            | "outdegree"
+            | "null"
+            | "true"
+            | "false"
+    )
 }
 
-fn arb_lit() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-1000i64..100000).prop_map(Value::Int),
-        "[a-zA-Z0-9_./*-]{0,12}".prop_map(Value::s),
-    ]
+fn attr_segment(rng: &mut StdRng, max_tail: usize) -> String {
+    loop {
+        let len = rng.gen_range(1..=max_tail + 1);
+        let mut s = String::with_capacity(len);
+        s.push((b'a' + rng.gen_range(0..26u8)) as char);
+        for _ in 1..len {
+            const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+            s.push(TAIL[rng.gen_range(0..TAIL.len())] as char);
+        }
+        if !reserved(&s) {
+            return s;
+        }
+    }
+}
+
+fn arb_attr(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        attr_segment(rng, 10)
+    } else {
+        format!("{}.{}", attr_segment(rng, 8), attr_segment(rng, 8))
+    }
+}
+
+fn arb_lit(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..4u8) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(-1000i64..100000)),
+        _ => {
+            const CHARS: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./*-";
+            let len = rng.gen_range(0..=12usize);
+            let s: String = (0..len)
+                .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+                .collect();
+            Value::s(s)
+        }
+    }
 }
 
 fn var(i: usize) -> String {
     format!("r{}", i + 1)
 }
 
-fn arb_val(nvars: usize) -> BoxedStrategy<Val> {
-    let v = 0..nvars;
-    prop_oneof![
-        arb_lit().prop_map(Val::Lit),
-        (v.clone(), arb_attr()).prop_map(|(i, attr)| Val::Endpoint { var: var(i), attr }),
-        (v.clone(), arb_type(), any::<bool>()).prop_map(|(i, t, neg)| Val::InDegree {
-            var: var(i),
-            tau: if neg { TypeSpec::Not(t) } else { TypeSpec::Is(t) },
-        }),
-        (v.clone(), arb_type(), any::<bool>()).prop_map(|(i, t, neg)| Val::OutDegree {
-            var: var(i),
-            tau: if neg { TypeSpec::Not(t) } else { TypeSpec::Is(t) },
-        }),
-        (v, arb_attr()).prop_map(|(i, attr)| Val::Length(Box::new(Val::Endpoint {
-            var: var(i),
-            attr,
-        }))),
-    ]
-    .boxed()
+fn arb_tau(rng: &mut StdRng) -> TypeSpec {
+    let t = arb_type(rng);
+    if rng.gen_bool(0.5) {
+        TypeSpec::Not(t)
+    } else {
+        TypeSpec::Is(t)
+    }
 }
 
-fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Le),
-        Just(CmpOp::Ge),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Overlap),
-        Just(CmpOp::Contain),
-    ]
+fn arb_val(rng: &mut StdRng, nvars: usize) -> Val {
+    match rng.gen_range(0..5u8) {
+        0 => Val::Lit(arb_lit(rng)),
+        1 => Val::Endpoint {
+            var: var(rng.gen_range(0..nvars)),
+            attr: arb_attr(rng),
+        },
+        2 => Val::InDegree {
+            var: var(rng.gen_range(0..nvars)),
+            tau: arb_tau(rng),
+        },
+        3 => Val::OutDegree {
+            var: var(rng.gen_range(0..nvars)),
+            tau: arb_tau(rng),
+        },
+        _ => Val::Length(Box::new(Val::Endpoint {
+            var: var(rng.gen_range(0..nvars)),
+            attr: arb_attr(rng),
+        })),
+    }
 }
 
-fn arb_conn(nvars: usize) -> BoxedStrategy<Expr> {
-    (0..nvars, arb_attr(), 0..nvars, arb_attr()).prop_map(|(s, i, d, o)| Expr::Conn {
-        src: var(s),
-        in_endpoint: i,
-        dst: var(d),
-        out_attr: o,
-    })
-    .boxed()
+fn arb_cmp_op(rng: &mut StdRng) -> CmpOp {
+    match rng.gen_range(0..8u8) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Le,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Lt,
+        5 => CmpOp::Gt,
+        6 => CmpOp::Overlap,
+        _ => CmpOp::Contain,
+    }
 }
 
-fn arb_expr(nvars: usize) -> BoxedStrategy<Expr> {
-    prop_oneof![
-        arb_conn(nvars),
-        (0..nvars, 0..nvars).prop_map(|(s, d)| Expr::Path {
-            src: var(s),
-            dst: var(d)
-        }),
-        (arb_conn(nvars), arb_conn(nvars)).prop_map(|(a, b)| Expr::CoConn {
-            first: Box::new(a),
-            second: Box::new(b)
-        }),
-        (0..nvars, 0..nvars, 0..nvars, 0..nvars).prop_map(|(a, b, c, d)| Expr::CoPath {
-            first: Box::new(Expr::Path { src: var(a), dst: var(b) }),
-            second: Box::new(Expr::Path { src: var(c), dst: var(d) }),
-        }),
-        (arb_cmp_op(), arb_val(nvars), arb_val(nvars), any::<bool>()).prop_map(
-            |(op, lhs, rhs, negated)| {
-                // The grammar only negates function-style comparisons; infix
-                // comparisons express negation through the operator itself.
-                let negated = negated && matches!(op, CmpOp::Overlap | CmpOp::Contain);
-                Expr::Cmp { op, lhs, rhs, negated }
+fn arb_conn(rng: &mut StdRng, nvars: usize) -> Expr {
+    Expr::Conn {
+        src: var(rng.gen_range(0..nvars)),
+        in_endpoint: arb_attr(rng),
+        dst: var(rng.gen_range(0..nvars)),
+        out_attr: arb_attr(rng),
+    }
+}
+
+fn arb_expr(rng: &mut StdRng, nvars: usize) -> Expr {
+    match rng.gen_range(0..5u8) {
+        0 => arb_conn(rng, nvars),
+        1 => Expr::Path {
+            src: var(rng.gen_range(0..nvars)),
+            dst: var(rng.gen_range(0..nvars)),
+        },
+        2 => Expr::CoConn {
+            first: Box::new(arb_conn(rng, nvars)),
+            second: Box::new(arb_conn(rng, nvars)),
+        },
+        3 => Expr::CoPath {
+            first: Box::new(Expr::Path {
+                src: var(rng.gen_range(0..nvars)),
+                dst: var(rng.gen_range(0..nvars)),
+            }),
+            second: Box::new(Expr::Path {
+                src: var(rng.gen_range(0..nvars)),
+                dst: var(rng.gen_range(0..nvars)),
+            }),
+        },
+        _ => {
+            let op = arb_cmp_op(rng);
+            // The grammar only negates function-style comparisons; infix
+            // comparisons express negation through the operator itself.
+            let negated = rng.gen_bool(0.5) && matches!(op, CmpOp::Overlap | CmpOp::Contain);
+            Expr::Cmp {
+                op,
+                lhs: arb_val(rng, nvars),
+                rhs: arb_val(rng, nvars),
+                negated,
             }
-        ),
-    ]
-    .boxed()
+        }
+    }
 }
 
-fn arb_check() -> impl Strategy<Value = Check> {
-    (1usize..=3)
-        .prop_flat_map(|nvars| {
-            (
-                prop::collection::vec(arb_type(), nvars..=nvars),
-                arb_expr(nvars),
-                arb_expr(nvars),
-            )
-        })
-        .prop_map(|(types, cond, stmt)| Check {
-            bindings: types
-                .into_iter()
-                .enumerate()
-                .map(|(i, rtype)| Binding { var: var(i), rtype })
-                .collect(),
-            cond,
-            stmt,
-        })
+fn arb_check(rng: &mut StdRng) -> Check {
+    let nvars = rng.gen_range(1..=3usize);
+    Check {
+        bindings: (0..nvars)
+            .map(|i| Binding {
+                var: var(i),
+                rtype: arb_type(rng),
+            })
+            .collect(),
+        cond: arb_expr(rng, nvars),
+        stmt: arb_expr(rng, nvars),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn display_parse_roundtrip(check in arb_check()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5bec_0001);
+    for case in 0..128 {
+        let check = arb_check(&mut rng);
         let text = check.to_string();
         let parsed = parse_check(&text)
-            .unwrap_or_else(|e| panic!("rendered check must parse: {e}\n{text}"));
-        prop_assert_eq!(parsed, check, "text: {}", text);
+            .unwrap_or_else(|e| panic!("case {case}: rendered check must parse: {e}\n{text}"));
+        assert_eq!(parsed, check, "case {case}: text: {text}");
     }
 }

@@ -36,9 +36,12 @@ pub fn counterexample_pass<D: DeployOracle>(
 ) -> CounterexampleReport {
     let mut report = CounterexampleReport::default();
     for (idx, v) in validated.iter().enumerate() {
-        let mut tried = 0usize;
+        // Gather up to `max_per_check` pruned violating cases first, then
+        // deploy them as one batch: an execution engine fans the batch over
+        // its worker pool and memoizes repeated cases.
+        let mut cases: Vec<Program> = Vec::new();
         'programs: for program in extra_corpus {
-            if tried >= max_per_check {
+            if cases.len() >= max_per_check {
                 break;
             }
             let graph = ResourceGraph::build(program.clone());
@@ -47,17 +50,22 @@ pub fn counterexample_pass<D: DeployOracle>(
                 kb: Some(kb),
             };
             for violation in violations(&v.mined.check, ctx) {
-                tried += 1;
-                report.examined += 1;
-                let case = mdc::prune(&graph, &violation.binding, kb);
-                if oracle.deploys_ok(&case.program) {
-                    report.demoted.push(idx);
-                    break 'programs;
-                }
-                if tried >= max_per_check {
+                cases.push(mdc::prune(&graph, &violation.binding, kb).program);
+                if cases.len() >= max_per_check {
                     break 'programs;
                 }
             }
+        }
+        // `examined` keeps the sequential contract: cases after the first
+        // counterexample do not count (a one-at-a-time pass never reaches
+        // them), so the report is identical either way.
+        let reports = oracle.deploy_batch(&cases);
+        match reports.iter().position(|r| r.outcome.is_success()) {
+            Some(k) => {
+                report.examined += k + 1;
+                report.demoted.push(idx);
+            }
+            None => report.examined += cases.len(),
         }
     }
     report.demoted.sort_unstable();

@@ -24,25 +24,7 @@ pub use scheduler::{
     Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome, ValidationTrace,
 };
 
-use zodiac_cloud::{CloudSim, DeployReport};
-use zodiac_model::Program;
-
-/// Anything that can deploy a program and report the outcome.
-///
-/// The simulator implements this; the paper's implementation shells out to
-/// `terraform apply` against live Azure.
-pub trait DeployOracle {
-    /// Attempts a deployment.
-    fn deploy(&self, program: &Program) -> DeployReport;
-
-    /// Convenience: did the deployment succeed?
-    fn deploys_ok(&self, program: &Program) -> bool {
-        self.deploy(program).outcome.is_success()
-    }
-}
-
-impl DeployOracle for CloudSim {
-    fn deploy(&self, program: &Program) -> DeployReport {
-        CloudSim::deploy(self, program)
-    }
-}
+// The oracle abstraction lives next to the simulator; re-exported here
+// because validation is its primary consumer and callers historically
+// imported it from this crate.
+pub use zodiac_cloud::{DeployOracle, DeployTelemetry};

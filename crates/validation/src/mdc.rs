@@ -100,10 +100,7 @@ pub fn prune(
         }
     }
 
-    let keep_ids: HashSet<ResourceId> = keep
-        .iter()
-        .map(|&n| graph.resource(n).id())
-        .collect();
+    let keep_ids: HashSet<ResourceId> = keep.iter().map(|&n| graph.resource(n).id()).collect();
     let mut pruned = program.clone();
     pruned.retain_ids(&keep_ids);
 
@@ -142,12 +139,10 @@ mod tests {
                         Value::r("azurerm_resource_group", "rg", "name"),
                     ),
             )
-            .with(
-                Resource::new("azurerm_subnet", "s").with(
-                    "virtual_network_name",
-                    Value::r("azurerm_virtual_network", "v", "name"),
-                ),
-            )
+            .with(Resource::new("azurerm_subnet", "s").with(
+                "virtual_network_name",
+                Value::r("azurerm_virtual_network", "v", "name"),
+            ))
             .with(
                 Resource::new("azurerm_network_interface", "n")
                     .with("location", "eastus")
@@ -179,7 +174,10 @@ mod tests {
             .program
             .find(&ResourceId::new("azurerm_storage_account", "sa"))
             .is_none());
-        assert!(case.program.find(&ResourceId::new("custom_thing", "x")).is_none());
+        assert!(case
+            .program
+            .find(&ResourceId::new("custom_thing", "x"))
+            .is_none());
         assert_eq!(case.stats.orig_attended, 6);
         assert_eq!(case.stats.pruned_attended, 5);
         assert_eq!(case.stats.orig_unattended, 1);

@@ -18,7 +18,7 @@
 //!    the negative case minimally different (Table 5, bottom).
 
 use crate::mdc::PositiveCase;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use zodiac_graph::ResourceGraph;
 use zodiac_kb::{AttrKind, KnowledgeBase, ValueFormat};
 use zodiac_model::{AttrPath, Cidr, Program, Resource, ResourceId, Value};
@@ -97,8 +97,15 @@ pub fn negative_test(
         match negative_test_variant(target, positive, hard, soft, kb, corpus, cfg, fresh_deps) {
             MutationResult::Negative(neg) => {
                 let better = best.as_ref().is_none_or(|b| {
-                    (neg.violated_hard.len(), neg.violated_soft.len(), neg.changed_attrs)
-                        < (b.violated_hard.len(), b.violated_soft.len(), b.changed_attrs)
+                    (
+                        neg.violated_hard.len(),
+                        neg.violated_soft.len(),
+                        neg.changed_attrs,
+                    ) < (
+                        b.violated_hard.len(),
+                        b.violated_soft.len(),
+                        b.changed_attrs,
+                    )
                 });
                 let zero = neg.violated_soft.is_empty() && neg.violated_hard.is_empty();
                 if better {
@@ -148,14 +155,16 @@ fn negative_test_variant(
 
     // ---- symbolic attributes --------------------------------------------
     let mut problem = Problem::new();
-    let mut vars: HashMap<(ResourceId, String), (VarId, SymbolicAttr)> = HashMap::new();
+    // Ordered so the apply loop below is deterministic: attribute paths can
+    // overlap (a whole `security_rule` block variable plus per-field
+    // `security_rule.*` variables), and a parent path must be written before
+    // its children or the children's values are clobbered.
+    let mut vars: BTreeMap<(ResourceId, String), (VarId, SymbolicAttr)> = BTreeMap::new();
     let symbolic_resources: Vec<ResourceId> = program
         .resources()
         .iter()
         .map(Resource::id)
-        .filter(|id| {
-            witness_ids.values().any(|w| w == id) || id.name.contains("-zv")
-        })
+        .filter(|id| witness_ids.values().any(|w| w == id) || id.name.contains("-zv"))
         .collect();
     // Only attributes that some known check mentions can matter to the
     // solver; restricting the variable set keeps search tractable.
@@ -288,7 +297,13 @@ fn plan_structure(
     corpus: &[Program],
     fresh_deps: bool,
 ) -> PlanOutcome {
-    let Expr::Cmp { op, lhs, rhs, negated } = &target.stmt else {
+    let Expr::Cmp {
+        op,
+        lhs,
+        rhs,
+        negated,
+    } = &target.stmt
+    else {
         return PlanOutcome::NotApplicable;
     };
     let (agg, bound) = match (lhs, rhs) {
@@ -352,7 +367,9 @@ fn plan_structure(
     for i in 0..to_add {
         let suffix = format!("zv{i}");
         let ok = if inbound {
-            add_referencing_clone(program, anchor_id, &peer_type, &suffix, kb, corpus, fresh_deps)
+            add_referencing_clone(
+                program, anchor_id, &peer_type, &suffix, kb, corpus, fresh_deps,
+            )
         } else {
             add_referenced_clone(program, anchor_id, &peer_type, &suffix, kb, corpus)
         };
@@ -580,13 +597,7 @@ fn find_donor(
         .of_type(rtype)
         .next()
         .cloned()
-        .or_else(|| {
-            corpus
-                .iter()
-                .flat_map(|p| p.of_type(rtype))
-                .next()
-                .cloned()
-        })?;
+        .or_else(|| corpus.iter().flat_map(|p| p.of_type(rtype)).next().cloned())?;
     let mut clone = donor;
     clone.name = format!("{}-{suffix}", clone.name);
     if let Some(Value::Str(n)) = clone.attrs.get("name").cloned() {
@@ -675,8 +686,8 @@ fn relevant_attrs(
     target: &Check,
     hard: &[Check],
     soft: &[(Check, u64)],
-) -> HashMap<String, std::collections::HashSet<String>> {
-    let mut out: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
+) -> BTreeMap<String, std::collections::BTreeSet<String>> {
+    let mut out: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
     let mut add_check = |check: &Check| {
         let mut record = |var: &str, attr: &str| {
             if let Some(rtype) = check.type_of(var) {
@@ -724,8 +735,8 @@ fn cross_values(
     target: &Check,
     program: &Program,
     witness: &BTreeMap<String, ResourceId>,
-) -> HashMap<(ResourceId, String), Vec<Value>> {
-    let mut out: HashMap<(ResourceId, String), Vec<Value>> = HashMap::new();
+) -> BTreeMap<(ResourceId, String), Vec<Value>> {
+    let mut out: BTreeMap<(ResourceId, String), Vec<Value>> = BTreeMap::new();
     let Expr::Cmp {
         lhs: Val::Endpoint { var: lv, attr: la },
         rhs: Val::Endpoint { var: rv, attr: ra },
@@ -747,10 +758,14 @@ fn cross_values(
     let l_vals = resolve(lv, la);
     let r_vals = resolve(rv, ra);
     if let Some(rid) = witness.get(lv) {
-        out.entry((rid.clone(), la.clone())).or_default().extend(r_vals.clone());
+        out.entry((rid.clone(), la.clone()))
+            .or_default()
+            .extend(r_vals.clone());
     }
     if let Some(rid) = witness.get(rv) {
-        out.entry((rid.clone(), ra.clone())).or_default().extend(l_vals);
+        out.entry((rid.clone(), ra.clone()))
+            .or_default()
+            .extend(l_vals);
     }
     out
 }
@@ -760,8 +775,8 @@ fn symbolic_attrs(
     target: &Check,
     kb: &KnowledgeBase,
     corpus: &[Program],
-    relevant: &HashMap<String, std::collections::HashSet<String>>,
-    cross: &HashMap<(ResourceId, String), Vec<Value>>,
+    relevant: &BTreeMap<String, std::collections::BTreeSet<String>>,
+    cross: &BTreeMap<(ResourceId, String), Vec<Value>>,
 ) -> Vec<SymbolicAttr> {
     let Some(schema) = kb.resource(&resource.rtype) else {
         // Unattended resources are immutable (§4.1).
@@ -1012,7 +1027,7 @@ fn remove_path(resource: &mut Resource, path: &AttrPath) {
 struct Grounder<'a> {
     graph: &'a ResourceGraph,
     kb: &'a KnowledgeBase,
-    vars: &'a HashMap<(ResourceId, String), (VarId, SymbolicAttr)>,
+    vars: &'a BTreeMap<(ResourceId, String), (VarId, SymbolicAttr)>,
 }
 
 impl Grounder<'_> {
@@ -1036,13 +1051,13 @@ impl Grounder<'_> {
 
     fn ground(&self, expr: &Expr, binding: &BTreeMap<String, usize>) -> Constraint {
         match expr {
-            Expr::Conn { .. } | Expr::Path { .. } => {
-                constant(self.eval_fixed(expr, binding))
+            Expr::Conn { .. } | Expr::Path { .. } => constant(self.eval_fixed(expr, binding)),
+            Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
+                Constraint::And(vec![
+                    self.ground(first, binding),
+                    self.ground(second, binding),
+                ])
             }
-            Expr::CoConn { first, second } | Expr::CoPath { first, second } => Constraint::And(vec![
-                self.ground(first, binding),
-                self.ground(second, binding),
-            ]),
             Expr::Cmp {
                 op,
                 lhs,
@@ -1218,8 +1233,7 @@ mod tests {
     }
 
     fn positive_for(check: &Check, program: &Program) -> PositiveCase {
-        mdc::find_positive(check, std::slice::from_ref(program), &kb(), 10)
-            .expect("witness exists")
+        mdc::find_positive(check, std::slice::from_ref(program), &kb(), 10).expect("witness exists")
     }
 
     #[test]
@@ -1230,7 +1244,15 @@ mod tests {
         .unwrap();
         let program = vm_nic_program();
         let positive = positive_for(&check, &program);
-        let result = negative_test(&check, &positive, &[], &[], &kb(), &[], &MutationConfig::default());
+        let result = negative_test(
+            &check,
+            &positive,
+            &[],
+            &[],
+            &kb(),
+            &[],
+            &MutationConfig::default(),
+        );
         let MutationResult::Negative(neg) = result else {
             panic!("expected a negative case");
         };
@@ -1239,16 +1261,18 @@ mod tests {
         assert_eq!(neg.added_resources, 0);
         // The case indeed violates the check.
         let graph = ResourceGraph::build(neg.program.clone());
-        let ctx = EvalContext { graph: &graph, kb: Some(&kb()) };
+        let ctx = EvalContext {
+            graph: &graph,
+            kb: Some(&kb()),
+        };
         assert!(!zodiac_spec::holds(&check, ctx));
     }
 
     #[test]
     fn hard_checks_block_the_only_mutation() {
-        let target = parse_check(
-            "let r:IP in r.sku == 'Standard' => r.allocation_method == 'Static'",
-        )
-        .unwrap();
+        let target =
+            parse_check("let r:IP in r.sku == 'Standard' => r.allocation_method == 'Static'")
+                .unwrap();
         // An equivalent hard check closes the only violating assignment.
         let hard = vec![parse_check(
             "let r:IP in r.sku == 'Standard' => r.allocation_method != 'Dynamic'",
@@ -1261,8 +1285,15 @@ mod tests {
                 .with("allocation_method", "Static"),
         );
         let positive = positive_for(&target, &program);
-        let result =
-            negative_test(&target, &positive, &hard, &[], &kb(), &[], &MutationConfig::default());
+        let result = negative_test(
+            &target,
+            &positive,
+            &hard,
+            &[],
+            &kb(),
+            &[],
+            &MutationConfig::default(),
+        );
         assert!(
             matches!(result, MutationResult::Unsat),
             "the hard equivalent must make mutation UNSAT"
@@ -1308,8 +1339,15 @@ mod tests {
                 .with("eviction_policy", "Deallocate"),
         );
         let positive = positive_for(&check, &program);
-        let result =
-            negative_test(&check, &positive, &[], &[], &kb(), &[], &MutationConfig::default());
+        let result = negative_test(
+            &check,
+            &positive,
+            &[],
+            &[],
+            &kb(),
+            &[],
+            &MutationConfig::default(),
+        );
         let MutationResult::Negative(neg) = result else {
             panic!("expected a negative case");
         };
@@ -1354,22 +1392,31 @@ mod tests {
                     .with("caching", Value::s("ReadWrite")),
             );
         let positive = positive_for(&check, &program);
-        let result =
-            negative_test(&check, &positive, &[], &[], &kb(), &[], &MutationConfig::default());
+        let result = negative_test(
+            &check,
+            &positive,
+            &[],
+            &[],
+            &kb(),
+            &[],
+            &MutationConfig::default(),
+        );
         let MutationResult::Negative(neg) = result else {
             panic!("expected a negative case (cross values must unlock it)");
         };
         let graph = ResourceGraph::build(neg.program.clone());
-        let ctx = EvalContext { graph: &graph, kb: Some(&kb()) };
+        let ctx = EvalContext {
+            graph: &graph,
+            kb: Some(&kb()),
+        };
         assert!(!zodiac_spec::holds(&check, ctx), "names now clash");
     }
 
     #[test]
     fn length_mutation_truncates_blocks() {
-        let check = parse_check(
-            "let r:GW in r.active_active == true => length(r.ip_configuration) >= 2",
-        )
-        .unwrap();
+        let check =
+            parse_check("let r:GW in r.active_active == true => length(r.ip_configuration) >= 2")
+                .unwrap();
         let mut gw = Resource::new("azurerm_virtual_network_gateway", "gw")
             .with("name", "gw1")
             .with("active_active", true);
@@ -1382,8 +1429,15 @@ mod tests {
         );
         let program = Program::new().with(gw);
         let positive = positive_for(&check, &program);
-        let result =
-            negative_test(&check, &positive, &[], &[], &kb(), &[], &MutationConfig::default());
+        let result = negative_test(
+            &check,
+            &positive,
+            &[],
+            &[],
+            &kb(),
+            &[],
+            &MutationConfig::default(),
+        );
         let MutationResult::Negative(neg) = result else {
             panic!("expected a negative case");
         };
@@ -1392,7 +1446,9 @@ mod tests {
             .find(&ResourceId::new("azurerm_virtual_network_gateway", "gw"))
             .unwrap();
         assert_eq!(
-            gw.get_attr("ip_configuration").and_then(Value::as_list).map(<[Value]>::len),
+            gw.get_attr("ip_configuration")
+                .and_then(Value::as_list)
+                .map(<[Value]>::len),
             Some(1)
         );
     }

@@ -24,7 +24,7 @@ use crate::mutate::{self, MutationConfig, MutationResult};
 use crate::DeployOracle;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use zodiac_cloud::DeployReport;
+use zodiac_cloud::{DeployReport, DeployTelemetry};
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::MinedCheck;
 use zodiac_model::{Program, Value};
@@ -112,6 +112,11 @@ pub struct IterationStats {
     pub tp_single: usize,
     /// TPs validated through an indistinguishable group.
     pub tp_multiple: usize,
+    /// Deploy requests issued this iteration (0 unless the oracle reports
+    /// telemetry, i.e. deployment goes through an execution engine).
+    pub deploy_requests: u64,
+    /// Of those, requests served from the engine's memoization cache.
+    pub deploy_cache_hits: u64,
 }
 
 /// Full per-run trace.
@@ -119,6 +124,8 @@ pub struct IterationStats {
 pub struct ValidationTrace {
     /// One entry per outer iteration.
     pub iterations: Vec<IterationStats>,
+    /// Final execution-engine telemetry, when the oracle collects any.
+    pub deploy: Option<DeployTelemetry>,
 }
 
 /// Outcome of a validation run.
@@ -211,6 +218,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             }
             let mut stats = IterationStats::default();
             let progress_before = rc.len();
+            let tel_before = self.oracle.telemetry();
 
             // ---------------- false positive removal pass -----------------
             let mut removed: BTreeSet<usize> = BTreeSet::new();
@@ -232,8 +240,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                     .filter(|(j, _)| *j != i && !removed.contains(j))
                     .map(|(_, c)| (c.mined.check.clone(), soft_weight(&c.mined)))
                     .collect();
-                let hard: Vec<Check> =
-                    validated.iter().map(|v| v.mined.check.clone()).collect();
+                let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
                 let result = mutate::negative_test(
                     &rc[i].mined.check,
                     rc[i].positive.as_ref().expect("ensured"),
@@ -303,6 +310,20 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             };
 
             // ---------------- true positive validation pass ----------------
+            // The negative tests are mutually independent, so deploy them as
+            // one batch: an execution engine fans the batch across its
+            // worker pool and memoizes repeats, a plain oracle runs them
+            // sequentially — either way reports come back in input order,
+            // so the outcome is identical to the one-at-a-time loop.
+            let to_deploy: Vec<usize> = (0..rc.len()).filter(|&i| negatives[i].is_some()).collect();
+            let batch: Vec<Program> = to_deploy
+                .iter()
+                .map(|&i| negatives[i].as_ref().expect("filtered").program.clone())
+                .collect();
+            let mut reports: Vec<Option<DeployReport>> = vec![None; rc.len()];
+            for (&i, report) in to_deploy.iter().zip(self.oracle.deploy_batch(&batch)) {
+                reports[i] = Some(report);
+            }
             let mut newly_validated: BTreeSet<usize> = BTreeSet::new();
             for i in 0..rc.len() {
                 if newly_validated.contains(&i) {
@@ -311,7 +332,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 let Some(neg) = negatives[i].as_ref() else {
                     continue;
                 };
-                let report = self.oracle.deploy(&neg.program);
+                let report = reports[i].take().expect("deployed with its negative");
                 if report.outcome.is_success() {
                     continue; // Handled next iteration's FP pass.
                 }
@@ -344,8 +365,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             // Record group memberships among the newly validated.
             if !groups.is_empty() {
                 let offset = validated.len() - newly_validated.len();
-                let validated_this_round: Vec<usize> =
-                    newly_validated.iter().copied().collect();
+                let validated_this_round: Vec<usize> = newly_validated.iter().copied().collect();
                 for g in &groups {
                     let members: Vec<usize> = validated_this_round
                         .iter()
@@ -363,12 +383,18 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             stats.validated_total = validated.len();
             stats.false_positive_total = false_positives.len();
             stats.remaining = rc.len();
+            if let Some(before) = tel_before {
+                let after = self.oracle.telemetry().unwrap_or(before);
+                stats.deploy_requests = after.requests.saturating_sub(before.requests);
+                stats.deploy_cache_hits = after.cache_hits.saturating_sub(before.cache_hits);
+            }
             trace.iterations.push(stats);
 
             if rc.len() == progress_before {
                 break; // Stalled (Figure 8b without O3).
             }
         }
+        trace.deploy = self.oracle.telemetry();
 
         ValidationOutcome {
             validated,
@@ -382,8 +408,9 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
     /// Finds (or synthesises) and caches a positive case for a candidate.
     fn ensure_positive<'b>(&self, c: &'b mut Candidate) -> Option<&'b PositiveCase> {
         if c.positive.is_none() {
-            c.positive = mdc::find_positive(&c.mined.check, self.corpus, self.kb, self.cfg.max_scan)
-                .or_else(|| self.synthesize_positive(&c.mined.check));
+            c.positive =
+                mdc::find_positive(&c.mined.check, self.corpus, self.kb, self.cfg.max_scan)
+                    .or_else(|| self.synthesize_positive(&c.mined.check));
         }
         c.positive.as_ref()
     }
@@ -581,9 +608,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                     } else {
                         // Weak connectivity: edges in either direction.
                         (0..n)
-                            .filter(|&j| {
-                                violates[cur].contains(&j) || violates[j].contains(&cur)
-                            })
+                            .filter(|&j| violates[cur].contains(&j) || violates[j].contains(&cur))
                             .collect()
                     };
                     for j in neighbours {

@@ -6,7 +6,9 @@
 //! cargo run --release --example appgw_doc_bug
 //! ```
 
-use zodiac::fixtures::{APPGW_CHECKS, APPGW_DOC_EXAMPLE, APPGW_DOC_EXAMPLE_FIXED, IP_ALLOCATION_CHECK};
+use zodiac::fixtures::{
+    APPGW_CHECKS, APPGW_DOC_EXAMPLE, APPGW_DOC_EXAMPLE_FIXED, IP_ALLOCATION_CHECK,
+};
 use zodiac::scanner::scan_program;
 use zodiac_cloud::{CloudSim, DeployOutcome};
 use zodiac_spec::parse_check;
@@ -14,11 +16,18 @@ use zodiac_spec::parse_check;
 fn main() {
     let kb = zodiac_kb::azure_kb();
     let sim = CloudSim::new_azure();
-    let checks: Vec<_> = APPGW_CHECKS.iter().map(|s| parse_check(s).unwrap()).collect();
+    let checks: Vec<_> = APPGW_CHECKS
+        .iter()
+        .map(|s| parse_check(s).unwrap())
+        .collect();
 
     println!("== the official usage example (buggy) ==");
-    let buggy = zodiac_hcl::compile(APPGW_DOC_EXAMPLE).expect("the example compiles — that is the problem");
-    println!("Terraform-level compilation: OK ({} resources)", buggy.len());
+    let buggy =
+        zodiac_hcl::compile(APPGW_DOC_EXAMPLE).expect("the example compiles — that is the problem");
+    println!(
+        "Terraform-level compilation: OK ({} resources)",
+        buggy.len()
+    );
 
     let violations = scan_program(&buggy, &checks, &kb);
     println!("Zodiac static scan: {} violations", violations.len());
@@ -56,7 +65,11 @@ fn main() {
     }
     println!(
         "Deployment of the naive fix: {}",
-        if sim.deploys_ok(&naive_program) { "OK" } else { "FAILED (as Zodiac predicts)" }
+        if sim.deploys_ok(&naive_program) {
+            "OK"
+        } else {
+            "FAILED (as Zodiac predicts)"
+        }
     );
 
     println!("\n== the complete fix (Standard/Static IP, NIC on the backend subnet) ==");
@@ -65,6 +78,10 @@ fn main() {
     println!("Zodiac static scan: {} violations", fixed_violations.len());
     println!(
         "Deployment: {}",
-        if sim.deploys_ok(&fixed) { "OK" } else { "FAILED" }
+        if sim.deploys_ok(&fixed) {
+            "OK"
+        } else {
+            "FAILED"
+        }
     );
 }

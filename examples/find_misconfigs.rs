@@ -15,7 +15,10 @@ fn main() {
     let mut cfg = PipelineConfig::evaluation();
     cfg.corpus.projects = 200;
     cfg.counterexample_projects = 100;
-    println!("==> mining + validating checks on {} projects...", cfg.corpus.projects);
+    println!(
+        "==> mining + validating checks on {} projects...",
+        cfg.corpus.projects
+    );
     let result = run_pipeline(&cfg);
     let checks: Vec<_> = result
         .final_checks

@@ -13,7 +13,10 @@ fn main() {
     cfg.corpus.projects = 150;
     cfg.counterexample_projects = 100;
 
-    println!("==> generating corpus ({} projects)...", cfg.corpus.projects);
+    println!(
+        "==> generating corpus ({} projects)...",
+        cfg.corpus.projects
+    );
     let result = run_pipeline(&cfg);
 
     println!(

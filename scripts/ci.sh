@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings

@@ -26,7 +26,10 @@ fn tunnel_overlap_has_wide_rollback_radius() {
             continue;
         }
         let report = sim.deploy(&program);
-        let DeployOutcome::Failure { phase: _, rule_id, .. } = &report.outcome else {
+        let DeployOutcome::Failure {
+            phase: _, rule_id, ..
+        } = &report.outcome
+        else {
             panic!("{}: overlapping tunneled VNets must fail", p.name);
         };
         assert_eq!(rule_id, "gw/tunnel-vpc-overlap", "{}", p.name);

@@ -1,0 +1,123 @@
+//! The tentpole invariant of the execution engine: validation through the
+//! parallel, memoizing, fault-injected `DeployEngine` produces exactly the
+//! same `R_v` as the direct, sequential `CloudSim` path.
+//!
+//! Three properties compose to make this hold (see `zodiac_deployer`):
+//! canonical fingerprints make cache hits semantics-preserving, the retry
+//! loop consumes every transient failure, and the final retry attempt runs
+//! injector-free so verdicts are always the backend's own.
+
+use serde_json::to_string;
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{DeployEngine, DeployOracle, DeployerConfig, FaultConfig, RetryPolicy};
+use zodiac_mining::{mine, MiningConfig};
+use zodiac_model::Program;
+use zodiac_validation::{Scheduler, SchedulerConfig, ValidationOutcome};
+
+fn corpus_150() -> Vec<Program> {
+    zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        projects: 150,
+        noise_rate: 0.02,
+        rare_option_rate: 0.004,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect()
+}
+
+fn validate<D: DeployOracle>(oracle: &D, corpus: &[Program]) -> ValidationOutcome {
+    let kb = zodiac_kb::azure_kb();
+    let mining = mine(corpus, &kb, &MiningConfig::default());
+    Scheduler::new(oracle, &kb, corpus, SchedulerConfig::default()).run(mining.checks)
+}
+
+/// The semantically meaningful outcome, serialized for deep comparison.
+/// The trace is excluded because its deploy-telemetry fields intentionally
+/// differ between an engine and a bare simulator.
+fn summary(outcome: &ValidationOutcome) -> [String; 4] {
+    [
+        to_string(&outcome.validated).unwrap(),
+        to_string(&outcome.false_positives).unwrap(),
+        to_string(&outcome.unresolved).unwrap(),
+        to_string(&outcome.groups).unwrap(),
+    ]
+}
+
+#[test]
+fn parallel_cached_faulted_engine_matches_sequential_simulator() {
+    let corpus = corpus_150();
+
+    let sequential = validate(&CloudSim::new_azure(), &corpus);
+
+    let engine = DeployEngine::new(
+        CloudSim::new_azure(),
+        DeployerConfig {
+            workers: 4,
+            cache: true,
+            // Aggressive transient rates so faults demonstrably fire and
+            // the retry loop demonstrably absorbs them.
+            faults: Some(FaultConfig {
+                throttle_rate: 0.10,
+                spurious_rate: 0.05,
+                polling_timeout_rate: 0.05,
+                ..FaultConfig::default()
+            }),
+            retry: RetryPolicy::default(),
+        },
+    );
+    let parallel = validate(&engine, &corpus);
+
+    // R_v (with full deployment reports), the falsified set, the unresolved
+    // set, and the indistinguishable groups are all byte-for-byte equal.
+    assert_eq!(summary(&sequential), summary(&parallel));
+
+    // The run actually exercised concurrency, memoization, and retries.
+    let tel = engine.telemetry_snapshot();
+    assert!(tel.cache_hits > 0, "memoization never hit: {tel:?}");
+    assert!(
+        tel.backend_deploys < tel.requests,
+        "cache must absorb backend work: {tel:?}"
+    );
+    assert!(tel.transient_failures > 0, "faults never fired: {tel:?}");
+    assert!(tel.retries > 0, "retries never ran: {tel:?}");
+}
+
+#[test]
+fn fault_schedule_is_deterministic_across_runs() {
+    let corpus: Vec<Program> = corpus_150().into_iter().take(30).collect();
+    let cfg = DeployerConfig {
+        workers: 4,
+        cache: false, // Every request reaches the fault layer.
+        faults: Some(FaultConfig {
+            throttle_rate: 0.2,
+            spurious_rate: 0.1,
+            polling_timeout_rate: 0.1,
+            ..FaultConfig::default()
+        }),
+        retry: RetryPolicy::default(),
+    };
+    let run = |cfg: DeployerConfig| {
+        let engine = DeployEngine::new(CloudSim::new_azure(), cfg);
+        let reports = engine.deploy_batch(&corpus);
+        let tel = engine.telemetry_snapshot();
+        (
+            reports
+                .iter()
+                .map(|r| to_string(r).unwrap())
+                .collect::<Vec<_>>(),
+            tel.transient_failures,
+            tel.retries,
+            tel.simulated_backoff_secs,
+        )
+    };
+    let a = run(cfg.clone());
+    let b = run(cfg);
+    // Same seed → byte-for-byte identical reports and identical fault
+    // counters, regardless of worker scheduling.
+    assert_eq!(a, b);
+    assert!(
+        a.1 > 0,
+        "expected the fault schedule to fire at these rates"
+    );
+}

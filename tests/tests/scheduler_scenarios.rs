@@ -84,7 +84,11 @@ fn false_positive_among_true_ones_is_removed() {
     assert_eq!(outcome.validated.len(), 1, "only the true check validates");
     assert_eq!(outcome.false_positives.len(), 1);
     assert!(
-        outcome.validated[0].mined.check.to_string().contains("location"),
+        outcome.validated[0]
+            .mined
+            .check
+            .to_string()
+            .contains("location"),
         "the location check is the survivor"
     );
 }
@@ -101,7 +105,16 @@ fn validated_checks_carry_failing_negative_reports() {
     ]);
     let scheduler = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default());
     let outcome = scheduler.run(checks);
-    assert_eq!(outcome.validated.len(), 2, "{:?}", outcome.false_positives.iter().map(|f| (f.mined.check.to_string(), f.reason)).collect::<Vec<_>>());
+    assert_eq!(
+        outcome.validated.len(),
+        2,
+        "{:?}",
+        outcome
+            .false_positives
+            .iter()
+            .map(|f| (f.mined.check.to_string(), f.reason))
+            .collect::<Vec<_>>()
+    );
     for v in &outcome.validated {
         assert!(
             !v.negative_report.outcome.is_success(),
@@ -114,8 +127,7 @@ fn validated_checks_carry_failing_negative_reports() {
 
 /// Indistinguishable equivalents validate together; disabling O3 stalls.
 #[test]
-fn indistinguishable_pair_requires_grouping()
-{
+fn indistinguishable_pair_requires_grouping() {
     let corpus = corpus();
     let sim = CloudSim::new_azure();
     let kb = zodiac_kb::azure_kb();
@@ -125,13 +137,17 @@ fn indistinguishable_pair_requires_grouping()
         "let r:IP in r.sku == 'Standard' => r.allocation_method == 'Static'",
         "let r:IP in r.sku == 'Standard' => r.allocation_method != 'Dynamic'",
     ];
-    let with_grouping = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default())
-        .run(candidates(pair));
+    let with_grouping =
+        Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(candidates(pair));
     assert_eq!(
         with_grouping.validated.len(),
         2,
         "grouping validates both: unresolved {:?}",
-        with_grouping.unresolved.iter().map(|u| u.check.to_string()).collect::<Vec<_>>()
+        with_grouping
+            .unresolved
+            .iter()
+            .map(|u| u.check.to_string())
+            .collect::<Vec<_>>()
     );
     assert!(with_grouping.validated.iter().any(|v| v.via_group));
     // Counted as one by the paper's convention.
