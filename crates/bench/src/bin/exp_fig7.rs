@@ -11,7 +11,7 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use zodiac_bench::{eval_config, print_table, write_json};
 use zodiac_mining::{mine, MiningConfig};
-use zodiac_model::Program;
+use zodiac_model::{Program, Symbol};
 
 #[derive(Serialize)]
 struct Record {
@@ -42,11 +42,11 @@ fn main() {
     );
 
     // ---- (a) per-resource-type intra candidates, w/ and w/o KB ----------
-    let mut types: Vec<String> = with_kb
+    let mut types: Vec<Symbol> = with_kb
         .intra_candidates_per_type
         .keys()
         .chain(without_kb.intra_candidates_per_type.keys())
-        .cloned()
+        .copied()
         .collect();
     types.sort();
     types.dedup();
@@ -63,7 +63,7 @@ fn main() {
             .get(t)
             .copied()
             .unwrap_or(0);
-        per_type.push((t.clone(), attrs, w, wo));
+        per_type.push((t.to_string(), attrs, w, wo));
     }
     per_type.sort_by_key(|(_, attrs, _, _)| *attrs);
     let rows: Vec<Vec<String>> = per_type

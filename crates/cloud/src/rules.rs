@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use zodiac_graph::{NodeIdx, ResourceGraph};
 use zodiac_kb::{docs, AttrKind, KnowledgeBase, ValueFormat};
-use zodiac_model::{Cidr, Value};
+use zodiac_model::{Cidr, Symbol, Value};
 use zodiac_spec::{instances, parse_check, Check, EvalContext};
 
 /// Category of a check, used for blast-radius bucketing (Figure 6).
@@ -71,7 +71,7 @@ pub enum RuleBody {
         /// The check.
         check: Box<Check>,
         /// Fix-target variable.
-        fix_var: String,
+        fix_var: Symbol,
     },
     /// A procedurally implemented rule.
     Custom(CustomRule),
@@ -191,7 +191,7 @@ fn spec_rule(
         category,
         body: RuleBody::Spec {
             check: Box::new(check),
-            fix_var: fix_var.to_string(),
+            fix_var: Symbol::intern(fix_var),
         },
     }
 }

@@ -74,7 +74,7 @@ impl Stats {
 /// `backend.deploy(p)` — regardless of worker count, cache state, or fault
 /// injection. Three mechanisms compose to give this:
 ///
-/// * the cache key is a canonical fingerprint ([`crate::fingerprint`]), so a
+/// * the cache key is a canonical fingerprint ([`crate::fingerprint()`]), so a
 ///   hit can only return the verdict of a semantically identical program;
 /// * transient failures (rule ids under `transient/`) are never returned:
 ///   the retry loop consumes them, and every retry of a deterministic

@@ -29,7 +29,7 @@ pub use stats::CorpusStats;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use zodiac_kb::KnowledgeBase;
-use zodiac_model::Program;
+use zodiac_model::{Program, Symbol};
 use zodiac_spec::Check;
 
 /// Mining configuration.
@@ -97,7 +97,7 @@ pub struct MiningReport {
     /// Surviving checks (statistically filtered + interpolated).
     pub checks: Vec<MinedCheck>,
     /// Intra-resource candidate counts per resource type (Figure 7a).
-    pub intra_candidates_per_type: BTreeMap<String, usize>,
+    pub intra_candidates_per_type: BTreeMap<Symbol, usize>,
 }
 
 /// Runs the full mining phase over a corpus.
@@ -106,11 +106,12 @@ pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> Min
     let mut candidates = templates::instantiate(&stats, kb, cfg);
     // Everything downstream — solver soft constraints, validation grouping,
     // report ordering — is order-sensitive, so pin a canonical total order
-    // here rather than depending on template iteration details.
+    // here rather than depending on template iteration details. The IR
+    // derives `Ord` (symbols compare by resolved string), so this needs no
+    // text rendering.
     candidates.sort_by(|a, b| {
         a.check
-            .canonical()
-            .cmp(&b.check.canonical())
+            .cmp(&b.check)
             .then_with(|| a.family.cmp(b.family))
             .then_with(|| a.support.cmp(&b.support))
             .then_with(|| a.confidence.total_cmp(&b.confidence))
@@ -121,7 +122,7 @@ pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> Min
         ..Default::default()
     };
     for c in &candidates {
-        let t = c.check.bindings[0].rtype.clone();
+        let t = c.check.bindings[0].rtype;
         if c.check.shape_category() == zodiac_spec::ShapeCategory::Intra {
             *report.intra_candidates_per_type.entry(t).or_default() += 1;
         }
@@ -162,10 +163,11 @@ pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> Min
     report
 }
 
-/// Deduplicates by canonical form, keeping the first occurrence.
+/// Deduplicates structurally, keeping the first occurrence. Checks hash by
+/// interned symbol ids, so this never renders text.
 fn dedup(checks: &mut Vec<MinedCheck>) {
-    let mut seen = std::collections::HashSet::new();
-    checks.retain(|c| seen.insert(c.check.canonical()));
+    let mut seen: std::collections::HashSet<Check> = std::collections::HashSet::new();
+    checks.retain(|c| seen.insert(c.check.clone()));
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use zodiac_kb::{docs, KnowledgeBase};
 use zodiac_model::Value;
-use zodiac_spec::parse_check;
+use zodiac_spec::build::{binding, check, endpoint, eq, indegree, is_type, le, lit, ne, outdegree};
 
 /// An interpolation query, the offline analogue of an LLM prompt.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -193,8 +193,10 @@ pub fn interpolate(
     let mut removed = 0usize;
 
     // 1. Witnessed quantitative candidates → re-grounded bounds.
-    for c in survivors.iter().filter(|c| c.interp.is_some()) {
-        let query = c.interp.clone().expect("filtered to quantitative");
+    for c in survivors {
+        let Some(query) = c.interp.clone() else {
+            continue;
+        };
         match oracle.answer(&query) {
             Some(Answer::Limit(limit)) => {
                 if let Some(check) = rebound(c, limit) {
@@ -216,32 +218,31 @@ pub fn interpolate(
     //    may witness only a handful of skus; the oracle covers the rest).
     let vm_sizes = enum_domain(kb, "azurerm_linux_virtual_machine", "size");
     for sku in &vm_sizes {
-        for (query, fun, tau) in [
-            (
-                InterpQuery::VmMaxNics { sku: sku.clone() },
-                "outdegree",
-                "NIC",
-            ),
-            (
-                InterpQuery::VmMaxDataDisks { sku: sku.clone() },
-                "indegree",
-                "ATTACH",
-            ),
-        ] {
+        for nics in [true, false] {
+            let query = if nics {
+                InterpQuery::VmMaxNics { sku: sku.clone() }
+            } else {
+                InterpQuery::VmMaxDataDisks { sku: sku.clone() }
+            };
             match oracle.answer(&query) {
                 Some(Answer::Limit(limit)) => {
-                    let src =
-                        format!("let r:VM in r.size == '{sku}' => {fun}(r, {tau}) <= {limit}");
-                    if let Ok(check) = parse_check(&src) {
-                        out.push(MinedCheck {
-                            check,
-                            family: "interp/degree-limit",
-                            support: 0,
-                            confidence: 1.0,
-                            lift: None,
-                            interp: Some(query),
-                        });
-                    }
+                    let degree = if nics {
+                        le(outdegree("r", is_type("NIC")), lit(limit))
+                    } else {
+                        le(indegree("r", is_type("ATTACH")), lit(limit))
+                    };
+                    out.push(MinedCheck {
+                        check: check(
+                            [binding("r", "VM")],
+                            eq(endpoint("r", "size"), lit(sku.clone())),
+                            degree,
+                        ),
+                        family: "interp/degree-limit",
+                        support: 0,
+                        confidence: 1.0,
+                        lift: None,
+                        interp: Some(query),
+                    });
                 }
                 _ => removed += 1,
             }
@@ -251,33 +252,35 @@ pub fn interpolate(
     for sku in &gw_skus {
         match oracle.answer(&InterpQuery::GwMaxTunnels { sku: sku.clone() }) {
             Some(Answer::Limit(limit)) => {
-                let src = format!("let r:GW in r.sku == '{sku}' => indegree(r, TUNNEL) <= {limit}");
-                if let Ok(check) = parse_check(&src) {
-                    out.push(MinedCheck {
-                        check,
-                        family: "interp/degree-limit",
-                        support: 0,
-                        confidence: 1.0,
-                        lift: None,
-                        interp: Some(InterpQuery::GwMaxTunnels { sku: sku.clone() }),
-                    });
-                }
+                out.push(MinedCheck {
+                    check: check(
+                        [binding("r", "GW")],
+                        eq(endpoint("r", "sku"), lit(sku.clone())),
+                        le(indegree("r", is_type("TUNNEL")), lit(limit)),
+                    ),
+                    family: "interp/degree-limit",
+                    support: 0,
+                    confidence: 1.0,
+                    lift: None,
+                    interp: Some(InterpQuery::GwMaxTunnels { sku: sku.clone() }),
+                });
             }
             _ => removed += 1,
         }
         match oracle.answer(&InterpQuery::GwActiveActive { sku: sku.clone() }) {
             Some(Answer::Supported(false)) => {
-                let src = format!("let r:GW in r.sku == '{sku}' => r.active_active == false");
-                if let Ok(check) = parse_check(&src) {
-                    out.push(MinedCheck {
-                        check,
-                        family: "interp/capability",
-                        support: 0,
-                        confidence: 1.0,
-                        lift: None,
-                        interp: Some(InterpQuery::GwActiveActive { sku: sku.clone() }),
-                    });
-                }
+                out.push(MinedCheck {
+                    check: check(
+                        [binding("r", "GW")],
+                        eq(endpoint("r", "sku"), lit(sku.clone())),
+                        eq(endpoint("r", "active_active"), lit(Value::Bool(false))),
+                    ),
+                    family: "interp/capability",
+                    support: 0,
+                    confidence: 1.0,
+                    lift: None,
+                    interp: Some(InterpQuery::GwActiveActive { sku: sku.clone() }),
+                });
             }
             Some(_) => {}
             None => removed += 1,
@@ -294,19 +297,21 @@ pub fn interpolate(
             };
             match oracle.answer(&query) {
                 Some(Answer::Supported(false)) => {
-                    let src = format!(
-                        "let r:SA in r.account_tier == '{tier}' => r.account_replication_type != '{replication}'"
-                    );
-                    if let Ok(check) = parse_check(&src) {
-                        out.push(MinedCheck {
-                            check,
-                            family: "interp/capability",
-                            support: 0,
-                            confidence: 1.0,
-                            lift: None,
-                            interp: Some(query),
-                        });
-                    }
+                    out.push(MinedCheck {
+                        check: check(
+                            [binding("r", "SA")],
+                            eq(endpoint("r", "account_tier"), lit(tier.clone())),
+                            ne(
+                                endpoint("r", "account_replication_type"),
+                                lit(replication.clone()),
+                            ),
+                        ),
+                        family: "interp/capability",
+                        support: 0,
+                        confidence: 1.0,
+                        lift: None,
+                        interp: Some(query),
+                    });
                 }
                 Some(_) => {}
                 None => removed += 1,

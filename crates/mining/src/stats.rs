@@ -6,21 +6,25 @@
 //! histograms, and nested-block lengths. Template instantiation then never
 //! has to touch the corpus again — candidate confidence comes straight from
 //! these counters (the association-rule formulation of §3.3).
+//!
+//! All keys are interned [`Symbol`]s: resource types and attribute paths
+//! recur across every table, so interning makes key comparison O(1) and the
+//! same symbols flow straight into the check IR when templates instantiate.
 
 use std::collections::{BTreeMap, BTreeSet};
 use zodiac_graph::ResourceGraph;
 use zodiac_kb::{KnowledgeBase, ValueFormat};
-use zodiac_model::{Cidr, Program, Resource, Value};
+use zodiac_model::{Cidr, Program, Resource, Symbol, Value};
 
 /// `(rtype, attr)` pair.
-pub type TypeAttr = (String, String);
+pub type TypeAttr = (Symbol, Symbol);
 
 /// Key for intra-resource joint counts: `(rtype, cond_attr, cond_value)`.
-pub type CondKey = (String, String, Value);
+pub type CondKey = (Symbol, Symbol, Value);
 
 /// Key for a typed edge pattern:
 /// `(src_type, in_endpoint, dst_type, out_attr)`.
-pub type EdgeKey = (String, String, String, String);
+pub type EdgeKey = (Symbol, Symbol, Symbol, Symbol);
 
 /// Statistics per typed edge pattern.
 #[derive(Debug, Clone, Default)]
@@ -28,13 +32,13 @@ pub struct EdgeStats {
     /// Number of edge occurrences.
     pub occurrences: usize,
     /// Same-path attribute equality: attr → (equal, both-present).
-    pub attr_eq: BTreeMap<String, (usize, usize)>,
+    pub attr_eq: BTreeMap<Symbol, (usize, usize)>,
     /// Destination attribute value counts (enum-ish attrs only).
-    pub dst_vals: BTreeMap<(String, Value), usize>,
+    pub dst_vals: BTreeMap<(Symbol, Value), usize>,
     /// Source attribute value counts (enum-ish attrs only).
-    pub src_vals: BTreeMap<(String, Value), usize>,
+    pub src_vals: BTreeMap<(Symbol, Value), usize>,
     /// `contain(dst.a, src.b)` counts: (a, b) → (holds, both-present).
-    pub contain: BTreeMap<(String, String), (usize, usize)>,
+    pub contain: BTreeMap<(Symbol, Symbol), (usize, usize)>,
     /// Edges whose destination has exactly one incoming edge from the
     /// source type.
     pub dst_indeg_one: usize,
@@ -46,13 +50,13 @@ pub struct EdgeStats {
 #[derive(Debug, Clone, Default)]
 pub struct PairStats {
     /// Per-attribute overlap counts.
-    pub overlap: BTreeMap<String, (usize, usize)>,
+    pub overlap: BTreeMap<Symbol, (usize, usize)>,
     /// Number of pairs observed.
     pub pairs: usize,
 }
 
 /// Hub pattern key: `(src_type, ep1, dst1, out1, ep2, dst2, out2)`.
-pub type HubKey = (String, String, String, String, String, String, String);
+pub type HubKey = (Symbol, Symbol, Symbol, Symbol, Symbol, Symbol, Symbol);
 
 /// Hub statistics: one source referencing two destinations.
 #[derive(Debug, Clone, Default)]
@@ -60,14 +64,14 @@ pub struct HubStats {
     /// Occurrences of the hub pattern.
     pub occurrences: usize,
     /// Name-attribute inequality: (a1, a2) → (different, both-present).
-    pub name_ne: BTreeMap<(String, String), (usize, usize)>,
+    pub name_ne: BTreeMap<(Symbol, Symbol), (usize, usize)>,
     /// CIDR non-overlap: (a1, a2) → (non-overlapping, both-present).
-    pub no_overlap: BTreeMap<(String, String), (usize, usize)>,
+    pub no_overlap: BTreeMap<(Symbol, Symbol), (usize, usize)>,
 }
 
 /// Degree statistics under a condition:
 /// `(rtype, cond_attr, cond_value, direction, τ)` → stats.
-pub type DegreeKey = (String, String, Value, Direction, String);
+pub type DegreeKey = (Symbol, Symbol, Value, Direction, Symbol);
 
 /// Edge direction for degree aggregation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -89,7 +93,7 @@ pub struct DegreeStats {
 
 /// Length statistics: `(rtype, cond_attr, cond_value, list_attr)` →
 /// (min length, count).
-pub type LengthKey = (String, String, Value, String);
+pub type LengthKey = (Symbol, Symbol, Value, Symbol);
 
 /// The full observation database.
 #[derive(Debug, Default)]
@@ -97,31 +101,31 @@ pub struct CorpusStats {
     /// Number of programs observed.
     pub total_programs: usize,
     /// Instances per resource type.
-    pub resource_count: BTreeMap<String, usize>,
+    pub resource_count: BTreeMap<Symbol, usize>,
     /// Presence count per `(rtype, attr)`.
     pub attr_present: BTreeMap<TypeAttr, usize>,
     /// Value count per `(rtype, attr, value)`.
-    pub attr_value: BTreeMap<(String, String, Value), usize>,
+    pub attr_value: BTreeMap<(Symbol, Symbol, Value), usize>,
     /// All attrs seen per rtype.
-    pub attrs_of: BTreeMap<String, BTreeSet<String>>,
+    pub attrs_of: BTreeMap<Symbol, BTreeSet<Symbol>>,
     /// Condition support: identical to `attr_value` restricted to enum-ish
     /// condition attributes.
     pub cond_support: BTreeMap<CondKey, usize>,
     /// Joint value counts: cond → (attr2, v2) → count.
-    pub joint_value: BTreeMap<CondKey, BTreeMap<(String, Value), usize>>,
+    pub joint_value: BTreeMap<CondKey, BTreeMap<(Symbol, Value), usize>>,
     /// Joint presence: cond → attr2 → count.
-    pub joint_present: BTreeMap<CondKey, BTreeMap<String, usize>>,
+    pub joint_present: BTreeMap<CondKey, BTreeMap<Symbol, usize>>,
     /// Typed edge patterns.
     pub edges: BTreeMap<EdgeKey, EdgeStats>,
     /// Sibling patterns: `(src_type, in_endpoint, dst_type, out_attr)`.
-    pub siblings: BTreeMap<(String, String, String, String), PairStats>,
+    pub siblings: BTreeMap<EdgeKey, PairStats>,
     /// Hub patterns: `(src_type, ep1, dst1, out1, ep2, dst2, out2)` with
     /// `ep1 < ep2`.
     pub hubs: BTreeMap<HubKey, HubStats>,
     /// Copath pairs: `(a_type, c_type)`.
-    pub copaths: BTreeMap<(String, String), PairStats>,
+    pub copaths: BTreeMap<(Symbol, Symbol), PairStats>,
     /// Path-connected location equality: `(a_type, b_type)` → (eq, both).
-    pub path_loc_eq: BTreeMap<(String, String), (usize, usize)>,
+    pub path_loc_eq: BTreeMap<(Symbol, Symbol), (usize, usize)>,
     /// Conditioned degrees.
     pub degrees: BTreeMap<DegreeKey, DegreeStats>,
     /// Conditioned block lengths.
@@ -148,28 +152,30 @@ impl CorpusStats {
     }
 
     /// The marginal probability `P(rtype.attr == value)`.
-    pub fn p_value(&self, rtype: &str, attr: &str, value: &Value) -> f64 {
-        let total = self.resource_count.get(rtype).copied().unwrap_or(0);
+    pub fn p_value(&self, rtype: impl Into<Symbol>, attr: impl Into<Symbol>, value: &Value) -> f64 {
+        let rtype = rtype.into();
+        let total = self.resource_count.get(&rtype).copied().unwrap_or(0);
         if total == 0 {
             return 0.0;
         }
         let n = self
             .attr_value
-            .get(&(rtype.to_string(), attr.to_string(), value.clone()))
+            .get(&(rtype, attr.into(), value.clone()))
             .copied()
             .unwrap_or(0);
         n as f64 / total as f64
     }
 
     /// The marginal probability `P(rtype.attr present)`.
-    pub fn p_present(&self, rtype: &str, attr: &str) -> f64 {
-        let total = self.resource_count.get(rtype).copied().unwrap_or(0);
+    pub fn p_present(&self, rtype: impl Into<Symbol>, attr: impl Into<Symbol>) -> f64 {
+        let rtype = rtype.into();
+        let total = self.resource_count.get(&rtype).copied().unwrap_or(0);
         if total == 0 {
             return 0.0;
         }
         let n = self
             .attr_present
-            .get(&(rtype.to_string(), attr.to_string()))
+            .get(&(rtype, attr.into()))
             .copied()
             .unwrap_or(0);
         n as f64 / total as f64
@@ -177,9 +183,15 @@ impl CorpusStats {
 
     /// Probability that two independent draws of `(t1.a1, t2.a2)` are
     /// equal, from the observed value distributions.
-    pub fn p_eq(&self, t1: &str, a1: &str, t2: &str, a2: &str) -> f64 {
-        let d1 = self.value_dist(t1, a1);
-        let d2 = self.value_dist(t2, a2);
+    pub fn p_eq(
+        &self,
+        t1: impl Into<Symbol>,
+        a1: impl Into<Symbol>,
+        t2: impl Into<Symbol>,
+        a2: impl Into<Symbol>,
+    ) -> f64 {
+        let d1 = self.value_dist(t1.into(), a1.into());
+        let d2 = self.value_dist(t2.into(), a2.into());
         let mut p = 0.0;
         for (v, p1) in &d1 {
             if let Some((_, p2)) = d2.iter().find(|(w, _)| w == v) {
@@ -190,9 +202,15 @@ impl CorpusStats {
     }
 
     /// Probability that two independent CIDR draws overlap.
-    pub fn p_overlap(&self, t1: &str, a1: &str, t2: &str, a2: &str) -> f64 {
-        let c1 = self.cidr_dist(t1, a1);
-        let c2 = self.cidr_dist(t2, a2);
+    pub fn p_overlap(
+        &self,
+        t1: impl Into<Symbol>,
+        a1: impl Into<Symbol>,
+        t2: impl Into<Symbol>,
+        a2: impl Into<Symbol>,
+    ) -> f64 {
+        let c1 = self.cidr_dist(t1.into(), a1.into());
+        let c2 = self.cidr_dist(t2.into(), a2.into());
         let mut p = 0.0;
         for (x, p1) in &c1 {
             for (y, p2) in &c2 {
@@ -205,9 +223,15 @@ impl CorpusStats {
     }
 
     /// Probability that `contain(t1.a1, t2.a2)` holds for independent draws.
-    pub fn p_contain(&self, t1: &str, a1: &str, t2: &str, a2: &str) -> f64 {
-        let c1 = self.cidr_dist(t1, a1);
-        let c2 = self.cidr_dist(t2, a2);
+    pub fn p_contain(
+        &self,
+        t1: impl Into<Symbol>,
+        a1: impl Into<Symbol>,
+        t2: impl Into<Symbol>,
+        a2: impl Into<Symbol>,
+    ) -> f64 {
+        let c1 = self.cidr_dist(t1.into(), a1.into());
+        let c2 = self.cidr_dist(t2.into(), a2.into());
         let mut p = 0.0;
         for (x, p1) in &c1 {
             for (y, p2) in &c2 {
@@ -219,12 +243,12 @@ impl CorpusStats {
         p
     }
 
-    fn value_dist(&self, rtype: &str, attr: &str) -> Vec<(Value, f64)> {
-        let total = self.resource_count.get(rtype).copied().unwrap_or(0).max(1) as f64;
+    fn value_dist(&self, rtype: Symbol, attr: Symbol) -> Vec<(Value, f64)> {
+        let total = self.resource_count.get(&rtype).copied().unwrap_or(0).max(1) as f64;
         let mut out: Vec<(Value, f64)> = self
             .attr_value
             .iter()
-            .filter(|((t, a, _), _)| t == rtype && a == attr)
+            .filter(|((t, a, _), _)| *t == rtype && *a == attr)
             .map(|((_, _, v), n)| (v.clone(), *n as f64 / total))
             .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -232,7 +256,7 @@ impl CorpusStats {
         out
     }
 
-    fn cidr_dist(&self, rtype: &str, attr: &str) -> Vec<(Cidr, f64)> {
+    fn cidr_dist(&self, rtype: Symbol, attr: Symbol) -> Vec<(Cidr, f64)> {
         self.value_dist(rtype, attr)
             .into_iter()
             .filter_map(|(v, p)| v.as_str().and_then(|s| s.parse().ok()).map(|c| (c, p)))
@@ -243,34 +267,26 @@ impl CorpusStats {
         // --- per-resource (intra) observations -------------------------
         for idx in 0..graph.len() {
             let r = graph.resource(idx);
-            *self.resource_count.entry(r.rtype.clone()).or_default() += 1;
+            let rt = Symbol::intern(&r.rtype);
+            *self.resource_count.entry(rt).or_default() += 1;
             let leaves = flatten(r, kb, use_kb);
             for (attr, _) in &leaves {
-                self.attrs_of
-                    .entry(r.rtype.clone())
-                    .or_default()
-                    .insert(attr.clone());
+                self.attrs_of.entry(rt).or_default().insert(*attr);
             }
             for (attr, v) in &leaves {
-                *self
-                    .attr_present
-                    .entry((r.rtype.clone(), attr.clone()))
-                    .or_default() += 1;
+                *self.attr_present.entry((rt, *attr)).or_default() += 1;
                 if track_value(v) {
-                    *self
-                        .attr_value
-                        .entry((r.rtype.clone(), attr.clone(), v.clone()))
-                        .or_default() += 1;
+                    *self.attr_value.entry((rt, *attr, v.clone())).or_default() += 1;
                 }
             }
             // Joint counts under each enum-ish condition.
-            let conds: Vec<(String, Value)> = leaves
+            let conds: Vec<(Symbol, Value)> = leaves
                 .iter()
                 .filter(|(a, v)| is_cond_attr(kb, use_kb, &r.rtype, a, v))
-                .map(|(a, v)| (a.clone(), v.clone()))
+                .map(|(a, v)| (*a, v.clone()))
                 .collect();
             for (ca, cv) in &conds {
-                let key = (r.rtype.clone(), ca.clone(), cv.clone());
+                let key = (rt, *ca, cv.clone());
                 *self.cond_support.entry(key.clone()).or_default() += 1;
                 let jv = self.joint_value.entry(key.clone()).or_default();
                 let jp = self.joint_present.entry(key).or_default();
@@ -278,19 +294,19 @@ impl CorpusStats {
                     if attr == ca {
                         continue;
                     }
-                    *jp.entry(attr.clone()).or_default() += 1;
+                    *jp.entry(*attr).or_default() += 1;
                     if track_value(v) {
-                        *jv.entry((attr.clone(), v.clone())).or_default() += 1;
+                        *jv.entry((*attr, v.clone())).or_default() += 1;
                     }
                 }
             }
             // Conditioned degrees and lengths.
-            let mut touched: BTreeSet<(Direction, String)> = BTreeSet::new();
+            let mut touched: BTreeSet<(Direction, Symbol)> = BTreeSet::new();
             for e in graph.out_edges(idx) {
-                touched.insert((Direction::Out, graph.resource(e.dst).rtype.clone()));
+                touched.insert((Direction::Out, Symbol::intern(&graph.resource(e.dst).rtype)));
             }
             for e in graph.in_edges(idx) {
-                touched.insert((Direction::In, graph.resource(e.src).rtype.clone()));
+                touched.insert((Direction::In, Symbol::intern(&graph.resource(e.src).rtype)));
             }
             for (ca, cv) in &conds {
                 for (dir, tau) in &touched {
@@ -300,7 +316,7 @@ impl CorpusStats {
                     } as i64;
                     let entry = self
                         .degrees
-                        .entry((r.rtype.clone(), ca.clone(), cv.clone(), *dir, tau.clone()))
+                        .entry((rt, *ca, cv.clone(), *dir, *tau))
                         .or_default();
                     entry.max = entry.max.max(deg);
                     entry.count += 1;
@@ -308,7 +324,7 @@ impl CorpusStats {
                 for (attr, value) in &r.attrs {
                     if let Value::List(l) = value {
                         if l.iter().all(|x| matches!(x, Value::Map(_))) {
-                            let key = (r.rtype.clone(), ca.clone(), cv.clone(), attr.clone());
+                            let key = (rt, *ca, cv.clone(), Symbol::intern(attr));
                             let entry = self.lengths.entry(key).or_insert((i64::MAX, 0));
                             entry.0 = entry.0.min(l.len() as i64);
                             entry.1 += 1;
@@ -323,10 +339,10 @@ impl CorpusStats {
             let src = graph.resource(e.src);
             let dst = graph.resource(e.dst);
             let key: EdgeKey = (
-                src.rtype.clone(),
-                e.in_endpoint.clone(),
-                dst.rtype.clone(),
-                e.out_attr.clone(),
+                Symbol::intern(&src.rtype),
+                Symbol::intern(&e.in_endpoint),
+                Symbol::intern(&dst.rtype),
+                Symbol::intern(&e.out_attr),
             );
             let src_leaves = flatten(src, kb, use_kb);
             let dst_leaves = flatten(dst, kb, use_kb);
@@ -335,7 +351,7 @@ impl CorpusStats {
             // Same-path equality.
             for (a, v) in &src_leaves {
                 if let Some((_, w)) = dst_leaves.iter().find(|(b, _)| b == a) {
-                    let entry = stats.attr_eq.entry(a.clone()).or_default();
+                    let entry = stats.attr_eq.entry(*a).or_default();
                     entry.1 += 1;
                     if v == w {
                         entry.0 += 1;
@@ -345,12 +361,12 @@ impl CorpusStats {
             // Enum-ish statement values on both sides.
             for (a, v) in dst_leaves.iter() {
                 if is_stmt_value(kb, use_kb, &dst.rtype, a, v) {
-                    *stats.dst_vals.entry((a.clone(), v.clone())).or_default() += 1;
+                    *stats.dst_vals.entry((*a, v.clone())).or_default() += 1;
                 }
             }
             for (a, v) in src_leaves.iter() {
                 if is_stmt_value(kb, use_kb, &src.rtype, a, v) {
-                    *stats.src_vals.entry((a.clone(), v.clone())).or_default() += 1;
+                    *stats.src_vals.entry((*a, v.clone())).or_default() += 1;
                 }
             }
             // Containment between CIDR attributes.
@@ -362,7 +378,7 @@ impl CorpusStats {
                     .iter()
                     .filter(|(a, _)| is_cidr_attr(kb, use_kb, &src.rtype, a))
                 {
-                    let entry = stats.contain.entry((da.clone(), sa.clone())).or_default();
+                    let entry = stats.contain.entry((*da, *sa)).or_default();
                     entry.1 += 1;
                     if cidr_contains_any(dst, da, src, sa, dv, sv) {
                         entry.0 += 1;
@@ -391,11 +407,15 @@ impl CorpusStats {
     fn observe_siblings(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
         for dst in 0..graph.len() {
             // Group incoming edges by (src_type, endpoint).
-            let mut groups: BTreeMap<(String, String, String), Vec<usize>> = BTreeMap::new();
+            let mut groups: BTreeMap<(Symbol, Symbol, Symbol), Vec<usize>> = BTreeMap::new();
             for e in graph.in_edges(dst) {
                 let src = graph.resource(e.src);
                 groups
-                    .entry((src.rtype.clone(), e.in_endpoint.clone(), e.out_attr.clone()))
+                    .entry((
+                        Symbol::intern(&src.rtype),
+                        Symbol::intern(&e.in_endpoint),
+                        Symbol::intern(&e.out_attr),
+                    ))
                     .or_default()
                     .push(e.src);
             }
@@ -406,19 +426,19 @@ impl CorpusStats {
                     continue;
                 }
                 let key = (
-                    stype.clone(),
-                    ep.clone(),
-                    graph.resource(dst).rtype.clone(),
-                    out_attr.clone(),
+                    stype,
+                    ep,
+                    Symbol::intern(&graph.resource(dst).rtype),
+                    out_attr,
                 );
-                let cidr_attrs: Vec<String> = self
+                let cidr_attrs: Vec<Symbol> = self
                     .attrs_of
                     .get(&stype)
                     .map(|attrs| {
                         attrs
                             .iter()
                             .filter(|a| is_cidr_attr(kb, use_kb, &stype, a))
-                            .cloned()
+                            .copied()
                             .collect()
                     })
                     .unwrap_or_default();
@@ -427,12 +447,12 @@ impl CorpusStats {
                     for j in (i + 1)..members.len() {
                         stats.pairs += 1;
                         for attr in &cidr_attrs {
-                            let a = cidrs_of(graph.resource(members[i]), attr);
-                            let b = cidrs_of(graph.resource(members[j]), attr);
+                            let a = cidrs_of(graph.resource(members[i]), *attr);
+                            let b = cidrs_of(graph.resource(members[j]), *attr);
                             if a.is_empty() || b.is_empty() {
                                 continue;
                             }
-                            let entry = stats.overlap.entry(attr.clone()).or_default();
+                            let entry = stats.overlap.entry(*attr).or_default();
                             entry.1 += 1;
                             let overlaps = a.iter().any(|x| b.iter().any(|y| x.overlaps(y)));
                             if !overlaps {
@@ -460,22 +480,22 @@ impl CorpusStats {
                     let d1 = graph.resource(e1.dst);
                     let d2 = graph.resource(e2.dst);
                     let key = (
-                        graph.resource(src).rtype.clone(),
-                        e1.in_endpoint.clone(),
-                        d1.rtype.clone(),
-                        e1.out_attr.clone(),
-                        e2.in_endpoint.clone(),
-                        d2.rtype.clone(),
-                        e2.out_attr.clone(),
+                        Symbol::intern(&graph.resource(src).rtype),
+                        Symbol::intern(&e1.in_endpoint),
+                        Symbol::intern(&d1.rtype),
+                        Symbol::intern(&e1.out_attr),
+                        Symbol::intern(&e2.in_endpoint),
+                        Symbol::intern(&d2.rtype),
+                        Symbol::intern(&e2.out_attr),
                     );
                     // Collect attrs before borrowing the entry mutably.
                     let name_attrs_1 = name_attrs(d1);
                     let name_attrs_2 = name_attrs(d2);
-                    let cidr_1: Vec<String> = leaf_attrs(d1)
+                    let cidr_1: Vec<Symbol> = leaf_attrs(d1)
                         .into_iter()
                         .filter(|a| is_cidr_attr(kb, use_kb, &d1.rtype, a))
                         .collect();
-                    let cidr_2: Vec<String> = leaf_attrs(d2)
+                    let cidr_2: Vec<Symbol> = leaf_attrs(d2)
                         .into_iter()
                         .filter(|a| is_cidr_attr(kb, use_kb, &d2.rtype, a))
                         .collect();
@@ -483,11 +503,10 @@ impl CorpusStats {
                     stats.occurrences += 1;
                     for a1 in &name_attrs_1 {
                         for a2 in &name_attrs_2 {
-                            let v1 = leaf_value(d1, a1);
-                            let v2 = leaf_value(d2, a2);
+                            let v1 = leaf_value(d1, *a1);
+                            let v2 = leaf_value(d2, *a2);
                             if let (Some(v1), Some(v2)) = (v1, v2) {
-                                let entry =
-                                    stats.name_ne.entry((a1.clone(), a2.clone())).or_default();
+                                let entry = stats.name_ne.entry((*a1, *a2)).or_default();
                                 entry.1 += 1;
                                 if v1 != v2 {
                                     entry.0 += 1;
@@ -497,15 +516,12 @@ impl CorpusStats {
                     }
                     for a1 in &cidr_1 {
                         for a2 in &cidr_2 {
-                            let c1 = cidrs_of(d1, a1);
-                            let c2 = cidrs_of(d2, a2);
+                            let c1 = cidrs_of(d1, *a1);
+                            let c2 = cidrs_of(d2, *a2);
                             if c1.is_empty() || c2.is_empty() {
                                 continue;
                             }
-                            let entry = stats
-                                .no_overlap
-                                .entry((a1.clone(), a2.clone()))
-                                .or_default();
+                            let entry = stats.no_overlap.entry((*a1, *a2)).or_default();
                             entry.1 += 1;
                             if !c1.iter().any(|x| c2.iter().any(|y| x.overlaps(y))) {
                                 entry.0 += 1;
@@ -539,7 +555,7 @@ impl CorpusStats {
                 };
                 let entry = self
                     .path_loc_eq
-                    .entry((ra.rtype.clone(), rb.rtype.clone()))
+                    .entry((Symbol::intern(&ra.rtype), Symbol::intern(&rb.rtype)))
                     .or_default();
                 entry.1 += 1;
                 if la == lb {
@@ -547,10 +563,10 @@ impl CorpusStats {
                 }
             }
             // Copath: pairs of same-type reachable targets with CIDR attrs.
-            let mut by_type: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            let mut by_type: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
             for &b in &reach {
                 by_type
-                    .entry(graph.resource(b).rtype.clone())
+                    .entry(Symbol::intern(&graph.resource(b).rtype))
                     .or_default()
                     .push(b);
             }
@@ -558,7 +574,7 @@ impl CorpusStats {
                 if members.len() < 2 {
                     continue;
                 }
-                let cidr_attrs: Vec<String> = leaf_attrs(graph.resource(members[0]))
+                let cidr_attrs: Vec<Symbol> = leaf_attrs(graph.resource(members[0]))
                     .into_iter()
                     .filter(|attr| is_cidr_attr(kb, use_kb, &ctype, attr))
                     .collect();
@@ -567,18 +583,18 @@ impl CorpusStats {
                 }
                 let stats = self
                     .copaths
-                    .entry((ra.rtype.clone(), ctype.clone()))
+                    .entry((Symbol::intern(&ra.rtype), ctype))
                     .or_default();
                 for i in 0..members.len() {
                     for j in (i + 1)..members.len() {
                         stats.pairs += 1;
                         for attr in &cidr_attrs {
-                            let c1 = cidrs_of(graph.resource(members[i]), attr);
-                            let c2 = cidrs_of(graph.resource(members[j]), attr);
+                            let c1 = cidrs_of(graph.resource(members[i]), *attr);
+                            let c2 = cidrs_of(graph.resource(members[j]), *attr);
                             if c1.is_empty() || c2.is_empty() {
                                 continue;
                             }
-                            let entry = stats.overlap.entry(attr.clone()).or_default();
+                            let entry = stats.overlap.entry(*attr).or_default();
                             entry.1 += 1;
                             if !c1.iter().any(|x| c2.iter().any(|y| x.overlaps(y))) {
                                 entry.0 += 1;
@@ -597,7 +613,7 @@ impl CorpusStats {
 
 /// Flattens a resource into `(normalised path, leaf value)` pairs, applying
 /// KB defaults for omitted enum/bool attributes when `use_kb` is set.
-pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(String, Value)> {
+pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(Symbol, Value)> {
     let mut out = Vec::new();
     for (k, v) in &r.attrs {
         flatten_value(k, v, &mut out);
@@ -605,11 +621,11 @@ pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(String, V
     if use_kb {
         if let Some(schema) = kb.resource(&r.rtype) {
             for attr in schema.attrs.values() {
-                if out.iter().any(|(a, _)| a == &attr.path) {
+                if out.iter().any(|(a, _)| *a == attr.path) {
                     continue;
                 }
                 if let Some(default) = attr.format.default_value() {
-                    out.push((attr.path.clone(), default));
+                    out.push((Symbol::intern(&attr.path), default));
                 }
             }
         }
@@ -617,7 +633,7 @@ pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(String, V
     out
 }
 
-fn flatten_value(path: &str, v: &Value, out: &mut Vec<(String, Value)>) {
+fn flatten_value(path: &str, v: &Value, out: &mut Vec<(Symbol, Value)>) {
     match v {
         Value::Map(m) => {
             for (k, inner) in m {
@@ -628,16 +644,16 @@ fn flatten_value(path: &str, v: &Value, out: &mut Vec<(String, Value)>) {
             for inner in l {
                 match inner {
                     Value::Map(_) | Value::List(_) => flatten_value(path, inner, out),
-                    other => out.push((path.to_string(), other.clone())),
+                    other => out.push((Symbol::intern(path), other.clone())),
                 }
             }
         }
         Value::Ref(_) => {}
-        other => out.push((path.to_string(), other.clone())),
+        other => out.push((Symbol::intern(path), other.clone())),
     }
 }
 
-fn leaf_attrs(r: &Resource) -> Vec<String> {
+fn leaf_attrs(r: &Resource) -> Vec<Symbol> {
     let mut out = Vec::new();
     for (k, v) in &r.attrs {
         collect_attr_names(k, v, &mut out);
@@ -647,7 +663,7 @@ fn leaf_attrs(r: &Resource) -> Vec<String> {
     out
 }
 
-fn collect_attr_names(path: &str, v: &Value, out: &mut Vec<String>) {
+fn collect_attr_names(path: &str, v: &Value, out: &mut Vec<Symbol>) {
     match v {
         Value::Map(m) => {
             for (k, inner) in m {
@@ -658,30 +674,30 @@ fn collect_attr_names(path: &str, v: &Value, out: &mut Vec<String>) {
             for inner in l {
                 match inner {
                     Value::Map(_) | Value::List(_) => collect_attr_names(path, inner, out),
-                    _ => out.push(path.to_string()),
+                    _ => out.push(Symbol::intern(path)),
                 }
             }
         }
         Value::Ref(_) => {}
-        _ => out.push(path.to_string()),
+        _ => out.push(Symbol::intern(path)),
     }
 }
 
-fn name_attrs(r: &Resource) -> Vec<String> {
+fn name_attrs(r: &Resource) -> Vec<Symbol> {
     leaf_attrs(r)
         .into_iter()
-        .filter(|a| a == "name" || a.ends_with(".name"))
+        .filter(|a| *a == "name" || a.ends_with(".name"))
         .collect()
 }
 
-fn leaf_value(r: &Resource, attr: &str) -> Option<Value> {
+fn leaf_value(r: &Resource, attr: Symbol) -> Option<Value> {
     let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
     zodiac_spec::eval::resolve_multi(r, &segs)
         .into_iter()
         .next()
 }
 
-fn cidrs_of(r: &Resource, attr: &str) -> Vec<Cidr> {
+fn cidrs_of(r: &Resource, attr: Symbol) -> Vec<Cidr> {
     let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
     zodiac_spec::eval::resolve_multi(r, &segs)
         .iter()
@@ -692,9 +708,9 @@ fn cidrs_of(r: &Resource, attr: &str) -> Vec<Cidr> {
 
 fn cidr_contains_any(
     _dst: &Resource,
-    _da: &str,
+    _da: &Symbol,
     _src: &Resource,
-    _sa: &str,
+    _sa: &Symbol,
     dv: &Value,
     sv: &Value,
 ) -> bool {
@@ -763,13 +779,17 @@ mod tests {
         zodiac_kb::azure_kb()
     }
 
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
     #[test]
     fn flatten_applies_kb_defaults() {
         let r = Resource::new("azurerm_public_ip", "ip").with("allocation_method", "Dynamic");
         let leaves = flatten(&r, &kb(), true);
-        assert!(leaves.contains(&("sku".to_string(), Value::s("Basic"))));
+        assert!(leaves.contains(&(sym("sku"), Value::s("Basic"))));
         let without = flatten(&r, &kb(), false);
-        assert!(!without.iter().any(|(a, _)| a == "sku"));
+        assert!(!without.iter().any(|(a, _)| *a == "sku"));
     }
 
     #[test]
@@ -790,11 +810,7 @@ mod tests {
         );
         assert_eq!(
             s.cond_support
-                .get(&(
-                    "azurerm_public_ip".to_string(),
-                    "sku".to_string(),
-                    Value::s("Standard")
-                ))
+                .get(&(sym("azurerm_public_ip"), sym("sku"), Value::s("Standard")))
                 .copied(),
             Some(5)
         );
@@ -827,14 +843,14 @@ mod tests {
             .collect();
         let s = CorpusStats::build(&programs, &kb(), true);
         let key: EdgeKey = (
-            "azurerm_linux_virtual_machine".into(),
-            "network_interface_ids".into(),
-            "azurerm_network_interface".into(),
-            "id".into(),
+            sym("azurerm_linux_virtual_machine"),
+            sym("network_interface_ids"),
+            sym("azurerm_network_interface"),
+            sym("id"),
         );
         let e = s.edges.get(&key).expect("edge pattern observed");
         assert_eq!(e.occurrences, 4);
-        assert_eq!(e.attr_eq.get("location"), Some(&(4, 4)));
+        assert_eq!(e.attr_eq.get(&sym("location")), Some(&(4, 4)));
         assert_eq!(e.dst_indeg_one, 4);
     }
 
@@ -866,14 +882,14 @@ mod tests {
             );
         let s = CorpusStats::build(&[program], &kb(), true);
         let key = (
-            "azurerm_subnet".to_string(),
-            "virtual_network_name".to_string(),
-            "azurerm_virtual_network".to_string(),
-            "name".to_string(),
+            sym("azurerm_subnet"),
+            sym("virtual_network_name"),
+            sym("azurerm_virtual_network"),
+            sym("name"),
         );
         let stats = s.siblings.get(&key).expect("sibling pattern");
         assert_eq!(stats.pairs, 1);
-        assert_eq!(stats.overlap.get("address_prefixes"), Some(&(1, 1)));
+        assert_eq!(stats.overlap.get(&sym("address_prefixes")), Some(&(1, 1)));
     }
 
     #[test]
@@ -895,11 +911,11 @@ mod tests {
             .unwrap();
         let s = CorpusStats::build(&[p], &kb(), true);
         let key: DegreeKey = (
-            "azurerm_linux_virtual_machine".into(),
-            "size".into(),
+            sym("azurerm_linux_virtual_machine"),
+            sym("size"),
             Value::s("Standard_F2s_v2"),
             Direction::Out,
-            "azurerm_network_interface".into(),
+            sym("azurerm_network_interface"),
         );
         assert_eq!(s.degrees.get(&key).map(|d| d.max), Some(2));
     }

@@ -8,49 +8,42 @@
 //! describes: condition/statement values must be enum members (or reserved
 //! names), `overlap`/`contain` apply only to CIDR-typed attributes, and
 //! location-typed attributes participate only in equality templates.
+//!
+//! Candidates are built directly as [`Check`] IR through
+//! [`zodiac_spec::build`] — the observation database already holds interned
+//! symbols for every type and attribute, so instantiation never renders or
+//! re-parses spec text, and no observed value (however oddly spelled) is
+//! outside the representable set.
 
 use crate::oracle::InterpQuery;
 use crate::stats::{CorpusStats, Direction};
 use crate::{MinedCheck, MiningConfig};
 use zodiac_kb::KnowledgeBase;
-use zodiac_model::Value;
-use zodiac_spec::parse_check;
-
-/// Renders a value as check-language literal syntax.
-fn lit(v: &Value) -> String {
-    match v {
-        Value::Str(s) => format!("'{s}'"),
-        Value::Bool(b) => b.to_string(),
-        Value::Int(n) => n.to_string(),
-        Value::Null => "null".to_string(),
-        other => format!("'{}'", other.render()),
-    }
-}
+use zodiac_model::{Symbol, Value};
+use zodiac_spec::build::lit;
+use zodiac_spec::build::{
+    binding, check, coconn, conn, contain, copath, endpoint, eq, ge, indegree, is_type, le, length,
+    ne, negate, not_type, null, outdegree, overlap, path,
+};
+use zodiac_spec::Check;
 
 fn emit(
     out: &mut Vec<MinedCheck>,
     family: &'static str,
-    src: String,
+    check: Check,
     support: usize,
     confidence: f64,
     lift: Option<f64>,
     interp: Option<InterpQuery>,
 ) {
-    match parse_check(&src) {
-        Ok(check) => out.push(MinedCheck {
-            check,
-            family,
-            support,
-            confidence,
-            lift,
-            interp,
-        }),
-        Err(e) => {
-            // Observed values can contain characters the check grammar cannot
-            // express (quotes); such candidates are simply skipped.
-            let _ = e;
-        }
-    }
+    out.push(MinedCheck {
+        check,
+        family,
+        support,
+        confidence,
+        lift,
+        interp,
+    });
 }
 
 /// Instantiates every template family over the observation database.
@@ -70,24 +63,21 @@ pub fn instantiate(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig) 
 /// Intra-resource families: `A.a1 == v ⇒ A.a2 {==,!=} v2` and
 /// `A.a1 == v ⇒ A.a2 {!=,==} null`.
 fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut Vec<MinedCheck>) {
-    for ((rtype, a1, v1), &support) in &stats.cond_support {
-        let cond = format!("let r:{rtype} in r.{a1} == {}", lit(v1));
-        let jv = stats
-            .joint_value
-            .get(&(rtype.clone(), a1.clone(), v1.clone()));
-        let jp = stats
-            .joint_present
-            .get(&(rtype.clone(), a1.clone(), v1.clone()));
+    for (&(rtype, a1, ref v1), &support) in &stats.cond_support {
+        let cond = || eq(endpoint("r", a1), lit(v1.clone()));
+        let bind = || [binding("r", rtype)];
+        let jv = stats.joint_value.get(&(rtype, a1, v1.clone()));
+        let jp = stats.joint_present.get(&(rtype, a1, v1.clone()));
 
         // == candidates from observed joints.
         if let Some(jv) = jv {
-            for ((a2, v2), &n) in jv {
-                if a2 == a1 || !stmt_eligible(kb, cfg.use_kb, rtype, a2, v2) {
+            for (&(a2, ref v2), &n) in jv {
+                if a2 == a1 || !stmt_eligible(kb, cfg.use_kb, &rtype, &a2, v2) {
                     continue;
                 }
                 let confidence = n as f64 / support as f64;
                 let p_y = stats.p_value(rtype, a2, v2);
-                let lift = if p_y > 0.0 {
+                let lift_v = if p_y > 0.0 {
                     Some(confidence / p_y)
                 } else {
                     None
@@ -95,10 +85,10 @@ fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut 
                 emit(
                     out,
                     "intra/eq-eq",
-                    format!("{cond} => r.{a2} == {}", lit(v2)),
+                    check(bind(), cond(), eq(endpoint("r", a2), lit(v2.clone()))),
                     support,
                     confidence,
-                    lift,
+                    lift_v,
                     None,
                 );
             }
@@ -106,21 +96,21 @@ fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut 
 
         // != candidates over the statement domain.
         for (a2, domain) in stmt_domains(stats, kb, cfg.use_kb, rtype) {
-            if a2 == *a1 {
+            if a2 == a1 {
                 continue;
             }
             for u in domain {
-                let p_u = stats.p_value(rtype, &a2, &u);
+                let p_u = stats.p_value(rtype, a2, &u);
                 if p_u == 0.0 {
                     continue; // Never observed globally: vacuous.
                 }
                 let joint_u = jv
-                    .and_then(|m| m.get(&(a2.clone(), u.clone())))
+                    .and_then(|m| m.get(&(a2, u.clone())))
                     .copied()
                     .unwrap_or(0);
                 let confidence = 1.0 - joint_u as f64 / support as f64;
                 let p_y = 1.0 - p_u;
-                let lift = if p_y > 0.0 {
+                let lift_v = if p_y > 0.0 {
                     Some(confidence / p_y)
                 } else {
                     None
@@ -128,30 +118,30 @@ fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut 
                 emit(
                     out,
                     "intra/eq-ne",
-                    format!("{cond} => r.{a2} != {}", lit(&u)),
+                    check(bind(), cond(), ne(endpoint("r", a2), lit(u))),
                     support,
                     confidence,
-                    lift,
+                    lift_v,
                     None,
                 );
             }
         }
 
         // Presence/absence candidates.
-        let attrs = stats.attrs_of.get(rtype).cloned().unwrap_or_default();
+        let attrs = stats.attrs_of.get(&rtype).cloned().unwrap_or_default();
         for a2 in attrs {
-            if a2 == *a1 {
+            if a2 == a1 {
                 continue;
             }
             let present = jp.and_then(|m| m.get(&a2)).copied().unwrap_or(0);
-            let p_present = stats.p_present(rtype, &a2);
+            let p_present = stats.p_present(rtype, a2);
             // a2 must not be trivially always-present or never-present.
             if p_present > 0.0 && p_present < 1.0 {
                 let conf_nn = present as f64 / support as f64;
                 emit(
                     out,
                     "intra/eq-notnull",
-                    format!("{cond} => r.{a2} != null"),
+                    check(bind(), cond(), ne(endpoint("r", a2), null())),
                     support,
                     conf_nn,
                     Some(if p_present > 0.0 {
@@ -166,7 +156,7 @@ fn intra(stats: &CorpusStats, kb: &KnowledgeBase, cfg: &MiningConfig, out: &mut 
                 emit(
                     out,
                     "intra/eq-null",
-                    format!("{cond} => r.{a2} == null"),
+                    check(bind(), cond(), eq(endpoint("r", a2), null())),
                     support,
                     conf_null,
                     Some(if p_absent > 0.0 {
@@ -187,15 +177,15 @@ fn stmt_domains(
     stats: &CorpusStats,
     kb: &KnowledgeBase,
     use_kb: bool,
-    rtype: &str,
-) -> Vec<(String, Vec<Value>)> {
+    rtype: Symbol,
+) -> Vec<(Symbol, Vec<Value>)> {
     let mut out = Vec::new();
     if use_kb {
-        if let Some(schema) = kb.resource(rtype) {
+        if let Some(schema) = kb.resource(&rtype) {
             for attr in schema.attrs.values() {
                 if let Some(values) = attr.format.enum_values() {
                     out.push((
-                        attr.path.clone(),
+                        Symbol::intern(&attr.path),
                         values.iter().map(|v| Value::s(v.clone())).collect(),
                     ));
                 }
@@ -203,12 +193,12 @@ fn stmt_domains(
         }
     } else {
         // Observed string values per attribute.
-        let attrs = stats.attrs_of.get(rtype).cloned().unwrap_or_default();
+        let attrs = stats.attrs_of.get(&rtype).cloned().unwrap_or_default();
         for attr in attrs {
             let values: Vec<Value> = stats
                 .attr_value
                 .iter()
-                .filter(|((t, a, _), _)| t == rtype && *a == attr)
+                .filter(|((t, a, _), _)| *t == rtype && *a == attr)
                 .map(|((_, _, v), _)| v.clone())
                 .collect();
             if !values.is_empty() && values.len() <= 12 {
@@ -227,19 +217,24 @@ fn stmt_eligible(kb: &KnowledgeBase, use_kb: bool, rtype: &str, attr: &str, v: &
 /// requirements, containment, and single-attachment / exclusivity degrees.
 fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCheck>) {
     let _ = cfg;
-    for ((s, ep, d, o), e) in &stats.edges {
-        let conn = format!("let r1:{s}, r2:{d} in conn(r1.{ep} -> r2.{o})");
-        for (attr, (eq, both)) in &e.attr_eq {
-            if *both == 0 {
+    for (&(s, ep, d, o), e) in &stats.edges {
+        let bind = || [binding("r1", s), binding("r2", d)];
+        let edge = || conn("r1", ep, "r2", o);
+        for (&attr, &(eq_n, both)) in &e.attr_eq {
+            if both == 0 {
                 continue;
             }
-            let confidence = *eq as f64 / *both as f64;
+            let confidence = eq_n as f64 / both as f64;
             let p_y = stats.p_eq(s, attr, d, attr);
             emit(
                 out,
                 "conn/attr-eq",
-                format!("{conn} => r1.{attr} == r2.{attr}"),
-                *both,
+                check(
+                    bind(),
+                    edge(),
+                    eq(endpoint("r1", attr), endpoint("r2", attr)),
+                ),
+                both,
                 confidence,
                 if p_y > 0.0 {
                     Some(confidence / p_y)
@@ -249,13 +244,13 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 None,
             );
         }
-        for ((attr, v), n) in &e.dst_vals {
+        for (&(attr, ref v), n) in &e.dst_vals {
             let confidence = *n as f64 / e.occurrences as f64;
             let p_y = stats.p_value(d, attr, v);
             emit(
                 out,
                 "conn/dst-val",
-                format!("{conn} => r2.{attr} == {}", lit(v)),
+                check(bind(), edge(), eq(endpoint("r2", attr), lit(v.clone()))),
                 e.occurrences,
                 confidence,
                 if p_y > 0.0 {
@@ -266,13 +261,13 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 None,
             );
         }
-        for ((attr, v), n) in &e.src_vals {
+        for (&(attr, ref v), n) in &e.src_vals {
             let confidence = *n as f64 / e.occurrences as f64;
             let p_y = stats.p_value(s, attr, v);
             emit(
                 out,
                 "conn/src-val",
-                format!("{conn} => r1.{attr} == {}", lit(v)),
+                check(bind(), edge(), eq(endpoint("r1", attr), lit(v.clone()))),
                 e.occurrences,
                 confidence,
                 if p_y > 0.0 {
@@ -283,17 +278,21 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
                 None,
             );
         }
-        for ((da, sa), (holds, both)) in &e.contain {
-            if *both == 0 {
+        for (&(da, sa), &(holds, both)) in &e.contain {
+            if both == 0 {
                 continue;
             }
-            let confidence = *holds as f64 / *both as f64;
+            let confidence = holds as f64 / both as f64;
             let p_y = stats.p_contain(d, da, s, sa);
             emit(
                 out,
                 "conn/contain",
-                format!("{conn} => contain(r2.{da}, r1.{sa})"),
-                *both,
+                check(
+                    bind(),
+                    edge(),
+                    contain(endpoint("r2", da), endpoint("r1", sa)),
+                ),
+                both,
                 confidence,
                 if p_y > 0.0 {
                     Some(confidence / p_y)
@@ -309,7 +308,7 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
         emit(
             out,
             "conn/indeg-one",
-            format!("{conn} => indegree(r2, {s}) == 1"),
+            check(bind(), edge(), eq(indegree("r2", is_type(s)), lit(1))),
             e.occurrences,
             conf_one,
             None,
@@ -319,7 +318,7 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
         emit(
             out,
             "conn/exclusive",
-            format!("{conn} => indegree(r2, !{s}) == 0"),
+            check(bind(), edge(), eq(indegree("r2", not_type(s)), lit(0))),
             e.occurrences,
             conf_excl,
             None,
@@ -331,22 +330,28 @@ fn conn_templates(stats: &CorpusStats, cfg: &MiningConfig, out: &mut Vec<MinedCh
 /// Sibling family: two same-type resources sharing a destination must have
 /// non-overlapping CIDR attributes.
 fn sibling_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
-    for ((s, ep, d, o), pair) in &stats.siblings {
-        for (attr, (no_overlap, total)) in &pair.overlap {
-            if *total == 0 {
+    for (&(s, ep, d, o), pair) in &stats.siblings {
+        for (&attr, &(no_overlap, total)) in &pair.overlap {
+            if total == 0 {
                 continue;
             }
-            let confidence = *no_overlap as f64 / *total as f64;
+            let confidence = no_overlap as f64 / total as f64;
             let p_y = 1.0 - stats.p_overlap(s, attr, s, attr);
             emit(
                 out,
                 "coconn/sibling-no-overlap",
-                format!(
-                    "let r1:{s}, r2:{s}, r3:{d} in coconn(r1.{ep} -> r3.{o}, r2.{ep} -> r3.{o}) => !overlap(r1.{attr}, r2.{attr})"
+                check(
+                    [binding("r1", s), binding("r2", s), binding("r3", d)],
+                    coconn(conn("r1", ep, "r3", o), conn("r2", ep, "r3", o)),
+                    negate(overlap(endpoint("r1", attr), endpoint("r2", attr))),
                 ),
-                *total,
+                total,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -356,39 +361,42 @@ fn sibling_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
 /// Hub family: one resource referencing two others constrains their
 /// attribute pairs (name inequality, CIDR exclusivity).
 fn hub_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
-    for ((s, ep1, d1, o1, ep2, d2, o2), hub) in &stats.hubs {
-        let coconn = format!(
-            "let r1:{s}, r2:{d1}, r3:{d2} in coconn(r1.{ep1} -> r2.{o1}, r1.{ep2} -> r3.{o2})"
-        );
-        for ((a1, a2), (ne, both)) in &hub.name_ne {
-            if *both == 0 {
+    for (&(s, ep1, d1, o1, ep2, d2, o2), hub) in &stats.hubs {
+        let bind = || [binding("r1", s), binding("r2", d1), binding("r3", d2)];
+        let edges = || coconn(conn("r1", ep1, "r2", o1), conn("r1", ep2, "r3", o2));
+        for (&(a1, a2), &(ne_n, both)) in &hub.name_ne {
+            if both == 0 {
                 continue;
             }
-            let confidence = *ne as f64 / *both as f64;
+            let confidence = ne_n as f64 / both as f64;
             // No meaningful marginal exists for inequality over open string
             // domains (random names almost never collide, so lift ≈ 1 by
             // construction); deployment-based validation is the arbiter.
             emit(
                 out,
                 "coconn/hub-ne",
-                format!("{coconn} => r2.{a1} != r3.{a2}"),
-                *both,
+                check(bind(), edges(), ne(endpoint("r2", a1), endpoint("r3", a2))),
+                both,
                 confidence,
                 None,
                 None,
             );
         }
-        for ((a1, a2), (no_overlap, both)) in &hub.no_overlap {
-            if *both == 0 {
+        for (&(a1, a2), &(no_overlap, both)) in &hub.no_overlap {
+            if both == 0 {
                 continue;
             }
-            let confidence = *no_overlap as f64 / *both as f64;
+            let confidence = no_overlap as f64 / both as f64;
             let p_y = 1.0 - stats.p_overlap(d1, a1, d2, a2);
             emit(
                 out,
                 "coconn/hub-no-overlap",
-                format!("{coconn} => !overlap(r2.{a1}, r3.{a2})"),
-                *both,
+                check(
+                    bind(),
+                    edges(),
+                    negate(overlap(endpoint("r2", a1), endpoint("r3", a2))),
+                ),
+                both,
                 confidence,
                 if p_y > 0.0 {
                     Some(confidence / p_y)
@@ -404,22 +412,28 @@ fn hub_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
 /// Copath family: two same-type resources reachable from one source have
 /// exclusive CIDR ranges ("two tunneled VPCs have exclusive IP CIDR").
 fn copath_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
-    for ((a, c), pair) in &stats.copaths {
-        for (attr, (no_overlap, total)) in &pair.overlap {
-            if *total == 0 {
+    for (&(a, c), pair) in &stats.copaths {
+        for (&attr, &(no_overlap, total)) in &pair.overlap {
+            if total == 0 {
                 continue;
             }
-            let confidence = *no_overlap as f64 / *total as f64;
+            let confidence = no_overlap as f64 / total as f64;
             let p_y = 1.0 - stats.p_overlap(c, attr, c, attr);
             emit(
                 out,
                 "copath/no-overlap",
-                format!(
-                    "let r1:{a}, r2:{c}, r3:{c} in copath(r1 -> r2, r1 -> r3) => !overlap(r2.{attr}, r3.{attr})"
+                check(
+                    [binding("r1", a), binding("r2", c), binding("r3", c)],
+                    copath(path("r1", "r2"), path("r1", "r3")),
+                    negate(overlap(endpoint("r2", attr), endpoint("r3", attr))),
                 ),
-                *total,
+                total,
                 confidence,
-                if p_y > 0.0 { Some(confidence / p_y) } else { None },
+                if p_y > 0.0 {
+                    Some(confidence / p_y)
+                } else {
+                    None
+                },
                 None,
             );
         }
@@ -428,17 +442,21 @@ fn copath_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
 
 /// Path family: location agreement along reachability.
 fn path_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
-    for ((a, b), (eq, both)) in &stats.path_loc_eq {
-        if *both == 0 {
+    for (&(a, b), &(eq_n, both)) in &stats.path_loc_eq {
+        if both == 0 {
             continue;
         }
-        let confidence = *eq as f64 / *both as f64;
+        let confidence = eq_n as f64 / both as f64;
         let p_y = stats.p_eq(a, "location", b, "location");
         emit(
             out,
             "path/location-eq",
-            format!("let r1:{a}, r2:{b} in path(r1 -> r2) => r1.location == r2.location"),
-            *both,
+            check(
+                [binding("r1", a), binding("r2", b)],
+                path("r1", "r2"),
+                eq(endpoint("r1", "location"), endpoint("r2", "location")),
+            ),
+            both,
             confidence,
             if p_y > 0.0 {
                 Some(confidence / p_y)
@@ -454,27 +472,27 @@ fn path_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
 /// bounds the in/out-degree toward a peer type. The observed maximum is the
 /// witnessed bound; the oracle later corrects or generalises it.
 fn degree_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
-    for ((rtype, attr, value, dir, tau), deg) in &stats.degrees {
+    for (&(rtype, attr, ref value, dir, tau), deg) in &stats.degrees {
         if deg.count == 0 {
             continue;
         }
         let support = stats
             .cond_support
-            .get(&(rtype.clone(), attr.clone(), value.clone()))
+            .get(&(rtype, attr, value.clone()))
             .copied()
             .unwrap_or(deg.count);
-        let (fun, dir_word) = match dir {
-            Direction::In => ("indegree", Direction::In),
-            Direction::Out => ("outdegree", Direction::Out),
+        let degree_val = match dir {
+            Direction::In => indegree("r", is_type(tau)),
+            Direction::Out => outdegree("r", is_type(tau)),
         };
-        let query = InterpQuery::from_degree(rtype, attr, value, dir_word, tau);
+        let query = InterpQuery::from_degree(&rtype, &attr, value, dir, &tau);
         emit(
             out,
             "interp/degree-limit",
-            format!(
-                "let r:{rtype} in r.{attr} == {} => {fun}(r, {tau}) <= {}",
-                lit(value),
-                deg.max
+            check(
+                [binding("r", rtype)],
+                eq(endpoint("r", attr), lit(value.clone())),
+                le(degree_val, lit(deg.max)),
             ),
             support,
             1.0,
@@ -486,21 +504,22 @@ fn degree_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
 
 /// Length family: an enum/bool value requires a minimum block count.
 fn length_templates(stats: &CorpusStats, out: &mut Vec<MinedCheck>) {
-    for ((rtype, attr, value, list_attr), (min, count)) in &stats.lengths {
-        if *count == 0 || *min < 2 {
+    for (&(rtype, attr, ref value, list_attr), &(min, count)) in &stats.lengths {
+        if count == 0 || min < 2 {
             continue; // `length >= 1` is vacuous for present blocks.
         }
         let support = stats
             .cond_support
-            .get(&(rtype.clone(), attr.clone(), value.clone()))
+            .get(&(rtype, attr, value.clone()))
             .copied()
-            .unwrap_or(*count);
+            .unwrap_or(count);
         emit(
             out,
             "agg/length-min",
-            format!(
-                "let r:{rtype} in r.{attr} == {} => length(r.{list_attr}) >= {min}",
-                lit(value)
+            check(
+                [binding("r", rtype)],
+                eq(endpoint("r", attr), lit(value.clone())),
+                ge(length(endpoint("r", list_attr)), lit(min)),
             ),
             support,
             1.0,
@@ -638,10 +657,34 @@ mod tests {
     }
 
     #[test]
-    fn literal_rendering() {
-        assert_eq!(lit(&Value::s("Spot")), "'Spot'");
-        assert_eq!(lit(&Value::Bool(true)), "true");
-        assert_eq!(lit(&Value::Int(3)), "3");
-        assert_eq!(lit(&Value::Null), "null");
+    fn candidates_with_quoted_values_survive() {
+        // The string pipeline silently dropped any candidate whose observed
+        // value contained a quote (it could not be rendered and re-parsed).
+        // Typed IR represents such values directly, and the canonical printer
+        // escapes them.
+        let programs: Vec<Program> = (0..4)
+            .map(|_| {
+                Program::new().with(
+                    Resource::new("azurerm_storage_account", "sa")
+                        .with("account_tier", "Premium")
+                        .with("tags.note", "it's quoted"),
+                )
+            })
+            .collect();
+        let out = instantiate(
+            &stats_of(&programs),
+            &zodiac_kb::azure_kb(),
+            &MiningConfig {
+                use_kb: false,
+                ..MiningConfig::default()
+            },
+        );
+        let quoted = out
+            .iter()
+            .find(|c| c.check.to_string().contains("it\\'s quoted"))
+            .expect("quoted-value candidate mined and printed escaped");
+        let reparsed = zodiac_spec::parse_check(&quoted.check.to_string())
+            .expect("escaped candidate parses back");
+        assert_eq!(reparsed, quoted.check);
     }
 }

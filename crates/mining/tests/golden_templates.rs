@@ -1,0 +1,141 @@
+//! Golden test for the template library: builder-constructed IR must print
+//! to exactly the spec text the pre-refactor string pipeline produced.
+//!
+//! Before the typed check IR, templates rendered checks with `format!` and
+//! re-parsed them; the canonical strings below are what that pipeline
+//! emitted for a representative corpus. The builders must yield IR whose
+//! `Display` matches those strings byte-for-byte, and the strings must
+//! re-parse to the identical IR (printer/parser agreement at the user
+//! boundary).
+
+use zodiac_mining::{templates, CorpusStats, MiningConfig};
+use zodiac_model::{Program, Resource, Value};
+use zodiac_spec::parse_check;
+
+/// One project exercising intra, conn, sibling, path, and degree families:
+/// a Spot VM on one NIC, the NIC on a subnet, two sibling subnets under one
+/// virtual network with disjoint CIDRs.
+fn golden_corpus() -> Vec<Program> {
+    let program = Program::new()
+        .with(
+            Resource::new("azurerm_virtual_network", "v")
+                .with("name", "vn")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "s1")
+                .with("name", "s1")
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "v", "name"),
+                )
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.0.1.0/24")]),
+                ),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "s2")
+                .with("name", "s2")
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "v", "name"),
+                )
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.0.2.0/24")]),
+                ),
+        )
+        .with(
+            Resource::new("azurerm_network_interface", "n")
+                .with("name", "n")
+                .with("location", "eastus")
+                .with("subnet_id", Value::r("azurerm_subnet", "s1", "id")),
+        )
+        .with(
+            Resource::new("azurerm_linux_virtual_machine", "vm")
+                .with("name", "vm")
+                .with("location", "eastus")
+                .with("size", "Standard_F2s_v2")
+                .with("priority", "Spot")
+                .with("eviction_policy", "Deallocate")
+                .with(
+                    "network_interface_ids",
+                    Value::List(vec![Value::r("azurerm_network_interface", "n", "id")]),
+                ),
+        )
+        .with(
+            // A Regular VM without an eviction policy, so presence of
+            // `eviction_policy` varies and the eq-notnull family fires.
+            Resource::new("azurerm_linux_virtual_machine", "vm2")
+                .with("name", "vm2")
+                .with("location", "eastus")
+                .with("priority", "Regular"),
+        );
+    vec![program; 6]
+}
+
+/// `(family, canonical spec text the string pipeline produced)`.
+const GOLDEN: &[(&str, &str)] = &[
+    (
+        "intra/eq-notnull",
+        "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+    ),
+    (
+        "conn/attr-eq",
+        "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+    ),
+    (
+        "conn/indeg-one",
+        "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => indegree(r2, VM) == 1",
+    ),
+    (
+        "conn/exclusive",
+        "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => indegree(r2, !VM) == 0",
+    ),
+    (
+        "coconn/sibling-no-overlap",
+        "let r1:SUBNET, r2:SUBNET, r3:VPC in coconn(r1.virtual_network_name -> r3.name, r2.virtual_network_name -> r3.name) => !overlap(r1.address_prefixes, r2.address_prefixes)",
+    ),
+    (
+        "path/location-eq",
+        "let r1:VM, r2:NIC in path(r1 -> r2) => r1.location == r2.location",
+    ),
+    (
+        "interp/degree-limit",
+        "let r:VM in r.size == 'Standard_F2s_v2' => outdegree(r, NIC) <= 1",
+    ),
+];
+
+#[test]
+fn template_output_matches_pre_refactor_strings() {
+    let kb = zodiac_kb::azure_kb();
+    let corpus = golden_corpus();
+    let stats = CorpusStats::build(&corpus, &kb, true);
+    let mined = templates::instantiate(&stats, &kb, &MiningConfig::default());
+
+    for (family, expected) in GOLDEN {
+        let found = mined
+            .iter()
+            .filter(|c| c.family == *family)
+            .find(|c| c.check.to_string() == *expected);
+        assert!(
+            found.is_some(),
+            "family {family}: no candidate printing as\n  {expected}\ngot:\n{}",
+            mined
+                .iter()
+                .filter(|c| c.family == *family)
+                .map(|c| format!("  {}", c.check))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The printed form must re-parse to the identical IR — the textual
+        // boundary is lossless for everything templates generate.
+        let reparsed = parse_check(expected).expect("golden string parses");
+        assert_eq!(
+            &reparsed,
+            &found.unwrap().check,
+            "family {family}: parse(print(check)) != check"
+        );
+    }
+}

@@ -15,6 +15,15 @@ pub enum ModelError {
     DuplicateResource(String),
     /// A lookup referred to a resource that does not exist.
     UnknownResource(String),
+    /// A pipeline stage received a check whose shape it cannot handle.
+    UnsupportedCheck {
+        /// What the stage was trying to do.
+        stage: &'static str,
+        /// The offending check in assertion-language syntax.
+        check: String,
+    },
+    /// An invariant that a pipeline stage relies on did not hold.
+    Internal(String),
 }
 
 impl fmt::Display for ModelError {
@@ -25,6 +34,10 @@ impl fmt::Display for ModelError {
             ModelError::InvalidReference(s) => write!(f, "invalid reference: {s}"),
             ModelError::DuplicateResource(s) => write!(f, "duplicate resource: {s}"),
             ModelError::UnknownResource(s) => write!(f, "unknown resource: {s}"),
+            ModelError::UnsupportedCheck { stage, check } => {
+                write!(f, "{stage}: unsupported check shape: {check}")
+            }
+            ModelError::Internal(s) => write!(f, "internal invariant violated: {s}"),
         }
     }
 }

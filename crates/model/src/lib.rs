@@ -13,12 +13,16 @@
 
 pub mod cidr;
 pub mod error;
+pub mod op;
 pub mod program;
+pub mod symbol;
 pub mod value;
 
 pub use cidr::Cidr;
 pub use error::ModelError;
+pub use op::CmpOp;
 pub use program::{Program, Resource, ResourceId};
+pub use symbol::Symbol;
 pub use value::{AttrPath, Reference, Value};
 
 /// Result alias used across the model crate.

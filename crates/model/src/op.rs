@@ -1,0 +1,46 @@
+//! The comparison operators shared by the check language and the solver.
+//!
+//! The spec AST (`zodiac-spec`) and the finite-domain constraint language
+//! (`zodiac-solver`) use the exact same operator set; defining it once here
+//! lets the mutation engine pass operators straight from a check into solver
+//! constraints without a conversion table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison / function operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// CIDR ranges share addresses.
+    Overlap,
+    /// First CIDR contains the second.
+    Contain,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Overlap => "overlap",
+            CmpOp::Contain => "contain",
+        };
+        write!(f, "{s}")
+    }
+}

@@ -1,0 +1,202 @@
+//! Interned strings for the hot identifiers of the check pipeline.
+//!
+//! Resource-type names and attribute paths recur millions of times during
+//! mining and validation: every stats key, every candidate check, every
+//! scheduler conflict key mentions them. Interning maps each distinct string
+//! to a small integer once, so equality and hashing are O(1) `u32`
+//! comparisons instead of byte-wise string walks, and every copy of a check
+//! shares one allocation.
+//!
+//! The interner is a global append-only table. Interned strings are leaked
+//! (`Box::leak`) so a [`Symbol`] can hand out `&'static str` without
+//! lifetimes infecting the AST; the set of distinct identifiers in a run is
+//! small (hundreds), so the leak is bounded and intentional.
+//!
+//! `Ord` deliberately compares the *resolved strings*, not the ids: the
+//! pipeline iterates `BTreeMap`s keyed by symbols and its output order must
+//! not depend on interning order (which varies with thread scheduling).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Copyable, 4 bytes, O(1) `Eq`/`Hash`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its symbol. Idempotent: equal strings always
+    /// yield equal symbols.
+    pub fn intern(s: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = int.strings.len() as u32;
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("symbol interner poisoned").strings[self.0 as usize]
+    }
+}
+
+impl Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl Serialize for Symbol {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Symbol {
+    fn deserialize(v: &serde::Value) -> Result<Symbol, serde::Error> {
+        let s = String::deserialize(v)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("azurerm_linux_virtual_machine");
+        let b = Symbol::intern("azurerm_linux_virtual_machine");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "azurerm_linux_virtual_machine");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("size"), Symbol::intern("location"));
+    }
+
+    #[test]
+    fn orders_by_string_not_by_interning_order() {
+        let z = Symbol::intern("zzz-ordering-probe");
+        let a = Symbol::intern("aaa-ordering-probe");
+        assert!(a < z, "symbols must sort like their strings");
+        let mut map = BTreeMap::new();
+        map.insert(z, 1);
+        map.insert(a, 2);
+        let keys: Vec<&str> = map.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["aaa-ordering-probe", "zzz-ordering-probe"]);
+    }
+
+    #[test]
+    fn compares_with_plain_strings() {
+        let s = Symbol::intern("account_tier");
+        assert_eq!(s, "account_tier");
+        assert_eq!(s, "account_tier".to_string());
+        assert!(s.starts_with("account"));
+    }
+
+    #[test]
+    fn serde_round_trips_as_string() {
+        let s = Symbol::intern("network_interface_ids");
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "\"network_interface_ids\"");
+        let back: Symbol = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

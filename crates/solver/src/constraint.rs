@@ -31,26 +31,9 @@ impl Term {
     }
 }
 
-/// Relational operators over terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Op {
-    /// Equality.
-    Eq,
-    /// Inequality.
-    Ne,
-    /// `<=` over integers.
-    Le,
-    /// `>=` over integers.
-    Ge,
-    /// `<` over integers.
-    Lt,
-    /// `>` over integers.
-    Gt,
-    /// CIDR overlap.
-    Overlap,
-    /// CIDR containment (lhs contains rhs).
-    Contain,
-}
+/// Relational operators over terms — the same operator set the check
+/// language uses, so mutation passes check operators through unchanged.
+pub use zodiac_model::CmpOp as Op;
 
 /// A constraint over solver variables.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,33 +1,42 @@
 //! AST for the check specification language.
+//!
+//! This is the typed check IR shared by the whole pipeline: mining
+//! constructs it through [`crate::build`], validation and the CLI consume it
+//! directly, and the textual form exists only at the user boundary (parsing
+//! user-authored specs, printing reports). Identifiers — variable names,
+//! resource types, attribute paths — are interned [`Symbol`]s, so checks
+//! hash and compare in O(1) and a cloned check shares no heap allocations.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use zodiac_kb::short_name;
-use zodiac_model::Value;
+use zodiac_model::{Symbol, Value};
+
+pub use zodiac_model::CmpOp;
 
 /// A resource variable binding: `r1 : azurerm_linux_virtual_machine`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Binding {
     /// Variable name.
-    pub var: String,
+    pub var: Symbol,
     /// Full resource type name.
-    pub rtype: String,
+    pub rtype: Symbol,
 }
 
 /// A type specifier `τ ::= t | !t` used by degree aggregations.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TypeSpec {
     /// Matches exactly this type.
-    Is(String),
+    Is(Symbol),
     /// Matches every type except this one.
-    Not(String),
+    Not(Symbol),
 }
 
 impl TypeSpec {
     /// The underlying type name.
-    pub fn type_name(&self) -> &str {
+    pub fn type_name(&self) -> &'static str {
         match self {
-            TypeSpec::Is(t) | TypeSpec::Not(t) => t,
+            TypeSpec::Is(t) | TypeSpec::Not(t) => t.as_str(),
         }
     }
 
@@ -37,66 +46,29 @@ impl TypeSpec {
     }
 }
 
-/// Comparison / function operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum CmpOp {
-    /// `==`
-    Eq,
-    /// `!=`
-    Ne,
-    /// `<=`
-    Le,
-    /// `>=`
-    Ge,
-    /// `<`
-    Lt,
-    /// `>`
-    Gt,
-    /// CIDR ranges share addresses.
-    Overlap,
-    /// First CIDR contains the second.
-    Contain,
-}
-
-impl fmt::Display for CmpOp {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            CmpOp::Eq => "==",
-            CmpOp::Ne => "!=",
-            CmpOp::Le => "<=",
-            CmpOp::Ge => ">=",
-            CmpOp::Lt => "<",
-            CmpOp::Gt => ">",
-            CmpOp::Overlap => "overlap",
-            CmpOp::Contain => "contain",
-        };
-        write!(f, "{s}")
-    }
-}
-
 /// A value term.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Val {
     /// A literal base value.
     Lit(Value),
     /// `r.attr` — an attribute endpoint (dotted path allowed).
     Endpoint {
         /// Variable name.
-        var: String,
+        var: Symbol,
         /// Dotted attribute path.
-        attr: String,
+        attr: Symbol,
     },
     /// `indegree(r, τ)`.
     InDegree {
         /// Variable name.
-        var: String,
+        var: Symbol,
         /// Edge-source type filter.
         tau: TypeSpec,
     },
     /// `outdegree(r, τ)`.
     OutDegree {
         /// Variable name.
-        var: String,
+        var: Symbol,
         /// Edge-target type filter.
         tau: TypeSpec,
     },
@@ -105,25 +77,25 @@ pub enum Val {
 }
 
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Expr {
     /// `conn(r1.in → r2.out)`.
     Conn {
         /// Source variable.
-        src: String,
+        src: Symbol,
         /// Inbound endpoint on the source (indices stripped).
-        in_endpoint: String,
+        in_endpoint: Symbol,
         /// Destination variable.
-        dst: String,
+        dst: Symbol,
         /// Outbound attribute on the destination.
-        out_attr: String,
+        out_attr: Symbol,
     },
     /// `path(r1 → r2)`.
     Path {
         /// Source variable.
-        src: String,
+        src: Symbol,
         /// Destination variable.
-        dst: String,
+        dst: Symbol,
     },
     /// `coconn(e1, e2)` — both edges exist.
     CoConn {
@@ -153,7 +125,7 @@ pub enum Expr {
 }
 
 /// A semantic check: `let bindings in cond ⇒ stmt`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Check {
     /// Quantified resource variables.
     pub bindings: Vec<Binding>,
@@ -203,33 +175,48 @@ impl Check {
     }
 
     /// The declared type of a variable, if bound.
-    pub fn type_of(&self, var: &str) -> Option<&str> {
+    pub fn type_of(&self, var: &str) -> Option<&'static str> {
         self.bindings
             .iter()
-            .find(|b| b.var == var)
+            .find(|b| b.var == *var)
             .map(|b| b.rtype.as_str())
     }
 
     /// Resource types mentioned in the bindings (deduplicated, in order).
-    pub fn types(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
+    pub fn types(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
         for b in &self.bindings {
             if !out.contains(&b.rtype.as_str()) {
-                out.push(&b.rtype);
+                out.push(b.rtype.as_str());
             }
         }
         out
     }
 
-    /// A stable canonical string form, used for deduplication.
+    /// A stable canonical string form, used at text boundaries (reports,
+    /// logs, fixtures). In-pipeline dedup hashes the IR directly.
     pub fn canonical(&self) -> String {
         self.to_string()
     }
 }
 
+/// Escapes a string literal for the check language: backslash-escapes the
+/// quote and the backslash itself so every string round-trips through
+/// [`crate::parse_check`].
+fn escape_str(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "'")?;
+    for c in s.chars() {
+        match c {
+            '\'' | '\\' => write!(f, "\\{c}")?,
+            _ => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "'")
+}
+
 fn fmt_val(v: &Val, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match v {
-        Val::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+        Val::Lit(Value::Str(s)) => escape_str(s, f),
         Val::Lit(other) => write!(f, "{}", other.render()),
         Val::Endpoint { var, attr } => write!(f, "{var}.{attr}"),
         Val::InDegree { var, tau } => write!(f, "indegree({var}, {})", fmt_tau(tau)),
@@ -249,33 +236,49 @@ fn fmt_tau(tau: &TypeSpec) -> String {
     }
 }
 
+/// Prints the interior of a `conn`/`path` edge (no surrounding call syntax),
+/// used by the `coconn`/`copath` forms.
+fn fmt_edge(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Conn {
+            src,
+            in_endpoint,
+            dst,
+            out_attr,
+        } => write!(f, "{src}.{in_endpoint} -> {dst}.{out_attr}"),
+        Expr::Path { src, dst } => write!(f, "{src} -> {dst}"),
+        // Grammatically co-forms only nest edges; print anything else in
+        // full so malformed IR stays visible rather than truncated.
+        other => write!(f, "{other}"),
+    }
+}
+
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Conn {
-                src,
-                in_endpoint,
-                dst,
-                out_attr,
-            } => write!(f, "conn({src}.{in_endpoint} -> {dst}.{out_attr})"),
-            Expr::Path { src, dst } => write!(f, "path({src} -> {dst})"),
+            Expr::Conn { .. } => {
+                write!(f, "conn(")?;
+                fmt_edge(self, f)?;
+                write!(f, ")")
+            }
+            Expr::Path { .. } => {
+                write!(f, "path(")?;
+                fmt_edge(self, f)?;
+                write!(f, ")")
+            }
             Expr::CoConn { first, second } => {
-                let strip = |e: &Expr| {
-                    let s = e.to_string();
-                    s.trim_start_matches("conn(")
-                        .trim_end_matches(')')
-                        .to_string()
-                };
-                write!(f, "coconn({}, {})", strip(first), strip(second))
+                write!(f, "coconn(")?;
+                fmt_edge(first, f)?;
+                write!(f, ", ")?;
+                fmt_edge(second, f)?;
+                write!(f, ")")
             }
             Expr::CoPath { first, second } => {
-                let strip = |e: &Expr| {
-                    let s = e.to_string();
-                    s.trim_start_matches("path(")
-                        .trim_end_matches(')')
-                        .to_string()
-                };
-                write!(f, "copath({}, {})", strip(first), strip(second))
+                write!(f, "copath(")?;
+                fmt_edge(first, f)?;
+                write!(f, ", ")?;
+                fmt_edge(second, f)?;
+                write!(f, ")")
             }
             Expr::Cmp {
                 op,

@@ -1,0 +1,240 @@
+//! Builder API for constructing checks as typed IR.
+//!
+//! Mining and every later pipeline stage build [`Check`] values with these
+//! functions instead of formatting spec text and re-parsing it. The builders
+//! do the same normalisation the parser does — resource types are widened to
+//! full provider names via [`zodiac_kb::long_name`] — so a check built from
+//! a short alias (`"VM"`) is structurally equal to one built from the full
+//! name or parsed from text, and two equal checks always print identically.
+//!
+//! ```
+//! use zodiac_spec::build::*;
+//! use zodiac_spec::parse_check;
+//!
+//! let built = check(
+//!     [binding("r", "SA")],
+//!     eq(endpoint("r", "account_tier"), lit("Premium")),
+//!     ne(endpoint("r", "account_replication_type"), lit("GZRS")),
+//! );
+//! let parsed = parse_check(
+//!     "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+//! )
+//! .unwrap();
+//! assert_eq!(built, parsed);
+//! ```
+
+use crate::ast::{Binding, Check, CmpOp, Expr, TypeSpec, Val};
+use zodiac_kb::long_name;
+use zodiac_model::{Symbol, Value};
+
+/// Builds a check from bindings, condition, and statement.
+pub fn check(bindings: impl IntoIterator<Item = Binding>, cond: Expr, stmt: Expr) -> Check {
+    Check {
+        bindings: bindings.into_iter().collect(),
+        cond,
+        stmt,
+    }
+}
+
+/// Binds `var` to a resource type; accepts short aliases or full names.
+pub fn binding(var: impl Into<Symbol>, rtype: impl AsRef<str>) -> Binding {
+    Binding {
+        var: var.into(),
+        rtype: Symbol::intern(long_name(rtype.as_ref())),
+    }
+}
+
+/// Type specifier matching exactly `rtype` (short alias or full name).
+pub fn is_type(rtype: impl AsRef<str>) -> TypeSpec {
+    TypeSpec::Is(Symbol::intern(long_name(rtype.as_ref())))
+}
+
+/// Type specifier matching everything but `rtype`.
+pub fn not_type(rtype: impl AsRef<str>) -> TypeSpec {
+    TypeSpec::Not(Symbol::intern(long_name(rtype.as_ref())))
+}
+
+/// A literal value term.
+pub fn lit(v: impl Into<Value>) -> Val {
+    Val::Lit(v.into())
+}
+
+/// The `null` literal.
+pub fn null() -> Val {
+    Val::Lit(Value::Null)
+}
+
+/// An attribute endpoint `var.attr`.
+pub fn endpoint(var: impl Into<Symbol>, attr: impl Into<Symbol>) -> Val {
+    Val::Endpoint {
+        var: var.into(),
+        attr: attr.into(),
+    }
+}
+
+/// `indegree(var, tau)`.
+pub fn indegree(var: impl Into<Symbol>, tau: TypeSpec) -> Val {
+    Val::InDegree {
+        var: var.into(),
+        tau,
+    }
+}
+
+/// `outdegree(var, tau)`.
+pub fn outdegree(var: impl Into<Symbol>, tau: TypeSpec) -> Val {
+    Val::OutDegree {
+        var: var.into(),
+        tau,
+    }
+}
+
+/// `length(inner)`.
+pub fn length(inner: Val) -> Val {
+    Val::Length(Box::new(inner))
+}
+
+/// A comparison with an explicit operator.
+pub fn cmp(op: CmpOp, lhs: Val, rhs: Val) -> Expr {
+    Expr::Cmp {
+        op,
+        lhs,
+        rhs,
+        negated: false,
+    }
+}
+
+/// `lhs == rhs`.
+pub fn eq(lhs: Val, rhs: Val) -> Expr {
+    cmp(CmpOp::Eq, lhs, rhs)
+}
+
+/// `lhs != rhs`.
+pub fn ne(lhs: Val, rhs: Val) -> Expr {
+    cmp(CmpOp::Ne, lhs, rhs)
+}
+
+/// `lhs <= rhs`.
+pub fn le(lhs: Val, rhs: Val) -> Expr {
+    cmp(CmpOp::Le, lhs, rhs)
+}
+
+/// `lhs >= rhs`.
+pub fn ge(lhs: Val, rhs: Val) -> Expr {
+    cmp(CmpOp::Ge, lhs, rhs)
+}
+
+/// `overlap(lhs, rhs)`.
+pub fn overlap(lhs: Val, rhs: Val) -> Expr {
+    cmp(CmpOp::Overlap, lhs, rhs)
+}
+
+/// `contain(lhs, rhs)`.
+pub fn contain(lhs: Val, rhs: Val) -> Expr {
+    cmp(CmpOp::Contain, lhs, rhs)
+}
+
+/// Negates a comparison (`!overlap(...)`, `!(a == b)`).
+pub fn negate(e: Expr) -> Expr {
+    match e {
+        Expr::Cmp { op, lhs, rhs, .. } => Expr::Cmp {
+            op,
+            lhs,
+            rhs,
+            negated: true,
+        },
+        other => other,
+    }
+}
+
+/// A `conn(src.in_endpoint -> dst.out_attr)` edge.
+pub fn conn(
+    src: impl Into<Symbol>,
+    in_endpoint: impl Into<Symbol>,
+    dst: impl Into<Symbol>,
+    out_attr: impl Into<Symbol>,
+) -> Expr {
+    Expr::Conn {
+        src: src.into(),
+        in_endpoint: in_endpoint.into(),
+        dst: dst.into(),
+        out_attr: out_attr.into(),
+    }
+}
+
+/// A `path(src -> dst)` reachability edge.
+pub fn path(src: impl Into<Symbol>, dst: impl Into<Symbol>) -> Expr {
+    Expr::Path {
+        src: src.into(),
+        dst: dst.into(),
+    }
+}
+
+/// `coconn(first, second)` — both edges exist.
+pub fn coconn(first: Expr, second: Expr) -> Expr {
+    Expr::CoConn {
+        first: Box::new(first),
+        second: Box::new(second),
+    }
+}
+
+/// `copath(first, second)` — both paths exist.
+pub fn copath(first: Expr, second: Expr) -> Expr {
+    Expr::CoPath {
+        first: Box::new(first),
+        second: Box::new(second),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_check;
+
+    #[test]
+    fn builders_match_parser_output() {
+        let built = check(
+            [binding("r1", "VM"), binding("r2", "NIC")],
+            conn("r1", "network_interface_ids", "r2", "id"),
+            eq(endpoint("r1", "location"), endpoint("r2", "location")),
+        );
+        let parsed = parse_check(
+            "let r1:VM, r2:NIC in conn(r1.network_interface_ids -> r2.id) => r1.location == r2.location",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+        assert_eq!(built.to_string(), parsed.to_string());
+    }
+
+    #[test]
+    fn short_and_long_type_names_build_equal_checks() {
+        let short = binding("r", "VM");
+        let long = binding("r", "azurerm_linux_virtual_machine");
+        assert_eq!(short, long);
+        assert_eq!(is_type("VM"), is_type("azurerm_linux_virtual_machine"));
+    }
+
+    #[test]
+    fn degree_builders_round_trip() {
+        let built = check(
+            [binding("r1", "GW"), binding("r2", "SUBNET")],
+            conn("r1", "ip_configuration.subnet_id", "r2", "id"),
+            eq(indegree("r2", not_type("GW")), lit(0)),
+        );
+        let parsed = parse_check(
+            "let r1:GW, r2:SUBNET in conn(r1.ip_configuration.subnet_id -> r2.id) => indegree(r2, !GW) == 0",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn negate_flips_cmp_only() {
+        let e = negate(overlap(
+            endpoint("r1", "address_prefixes"),
+            endpoint("r2", "address_prefixes"),
+        ));
+        assert!(matches!(e, Expr::Cmp { negated: true, .. }));
+        let c = negate(conn("r1", "a", "r2", "b"));
+        assert!(matches!(c, Expr::Conn { .. }));
+    }
+}

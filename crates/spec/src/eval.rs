@@ -21,7 +21,7 @@ use crate::ast::{Check, CmpOp, Expr, Val};
 use std::collections::BTreeMap;
 use zodiac_graph::{NodeIdx, ResourceGraph};
 use zodiac_kb::KnowledgeBase;
-use zodiac_model::{Cidr, Resource, Value};
+use zodiac_model::{Cidr, Resource, Symbol, Value};
 
 /// Evaluation context: the graph plus an optional KB for default values.
 #[derive(Clone, Copy)]
@@ -36,7 +36,7 @@ pub struct EvalContext<'a> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     /// Variable → node assignments, keyed by variable name.
-    pub binding: BTreeMap<String, NodeIdx>,
+    pub binding: BTreeMap<Symbol, NodeIdx>,
     /// Whether the condition held.
     pub cond: bool,
     /// Whether the statement held.
@@ -77,11 +77,11 @@ fn enumerate(
 ) {
     let depth = assignment.len();
     if depth == check.bindings.len() {
-        let binding: BTreeMap<String, NodeIdx> = check
+        let binding: BTreeMap<Symbol, NodeIdx> = check
             .bindings
             .iter()
             .zip(assignment.iter())
-            .map(|(b, &n)| (b.var.clone(), n))
+            .map(|(b, &n)| (b.var, n))
             .collect();
         let cond = eval_expr(&check.cond, &binding, ctx);
         let stmt = eval_expr(&check.stmt, &binding, ctx);
@@ -123,7 +123,7 @@ pub fn witnesses(check: &Check, ctx: EvalContext<'_>) -> Vec<Instance> {
         .collect()
 }
 
-fn eval_expr(expr: &Expr, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<'_>) -> bool {
+fn eval_expr(expr: &Expr, binding: &BTreeMap<Symbol, NodeIdx>, ctx: EvalContext<'_>) -> bool {
     match expr {
         Expr::Conn {
             src,
@@ -134,7 +134,8 @@ fn eval_expr(expr: &Expr, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<
             let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
                 return false;
             };
-            ctx.graph.conn(s, Some(in_endpoint), d, Some(out_attr))
+            ctx.graph
+                .conn(s, Some(in_endpoint.as_str()), d, Some(out_attr.as_str()))
         }
         Expr::Path { src, dst } => {
             let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
@@ -160,7 +161,7 @@ fn eval_expr(expr: &Expr, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<
 }
 
 /// Resolves a value term to the set of concrete values it denotes.
-fn resolve(val: &Val, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<'_>) -> Vec<Value> {
+fn resolve(val: &Val, binding: &BTreeMap<Symbol, NodeIdx>, ctx: EvalContext<'_>) -> Vec<Value> {
     match val {
         Val::Lit(v) => vec![v.clone()],
         Val::Endpoint { var, attr } => {
@@ -172,7 +173,7 @@ fn resolve(val: &Val, binding: &BTreeMap<String, NodeIdx>, ctx: EvalContext<'_>)
             let mut found = resolve_multi(resource, &segs);
             if found.is_empty() {
                 if let Some(kb) = ctx.kb {
-                    if let Some(default) = kb.default_of(&resource.rtype, attr) {
+                    if let Some(default) = kb.default_of(&resource.rtype, attr.as_str()) {
                         found.push(default);
                     }
                 }

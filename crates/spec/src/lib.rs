@@ -21,6 +21,7 @@
 //! ```
 
 pub mod ast;
+pub mod build;
 pub mod eval;
 pub mod parser;
 

@@ -13,7 +13,7 @@
 use crate::ast::{Binding, Check, CmpOp, Expr, TypeSpec, Val};
 use std::fmt;
 use zodiac_kb::long_name;
-use zodiac_model::Value;
+use zodiac_model::{Symbol, Value};
 
 /// A parse failure with a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,15 +103,28 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, ParseError> {
             }
             '\'' | '"' => {
                 let quote = c;
-                let start = i + 1;
-                let mut j = start;
-                while j < chars.len() && chars[j] != quote {
-                    j += 1;
+                let mut j = i + 1;
+                let mut text = String::new();
+                loop {
+                    match chars.get(j) {
+                        None => return Err(ParseError("unterminated string".into())),
+                        Some(&ch) if ch == quote => break,
+                        // Backslash escapes the next character (the printer
+                        // emits `\'` and `\\`; any escaped char is accepted).
+                        Some('\\') => match chars.get(j + 1) {
+                            Some(&esc) => {
+                                text.push(esc);
+                                j += 2;
+                            }
+                            None => return Err(ParseError("unterminated string".into())),
+                        },
+                        Some(&ch) => {
+                            text.push(ch);
+                            j += 1;
+                        }
+                    }
                 }
-                if j >= chars.len() {
-                    return Err(ParseError("unterminated string".into()));
-                }
-                out.push(Tok::Str(chars[start..j].iter().collect()));
+                out.push(Tok::Str(text));
                 i = j + 1;
             }
             c if c.is_ascii_digit() => {
@@ -203,7 +216,7 @@ impl P {
     fn type_spec(&mut self) -> Result<TypeSpec, ParseError> {
         let neg = self.eat_sym("!");
         let t = self.ident("type name")?;
-        let full = long_name(&t).to_string();
+        let full = Symbol::intern(long_name(&t));
         Ok(if neg {
             TypeSpec::Not(full)
         } else {
@@ -233,7 +246,7 @@ impl P {
                 "indegree" | "outdegree" => {
                     self.bump();
                     self.expect_sym("(")?;
-                    let var = self.ident("variable")?;
+                    let var = Symbol::intern(&self.ident("variable")?);
                     self.expect_sym(",")?;
                     let tau = self.type_spec()?;
                     self.expect_sym(")")?;
@@ -252,7 +265,10 @@ impl P {
                 }
                 _ => {
                     let (var, attr) = self.dotted()?;
-                    Ok(Val::Endpoint { var, attr })
+                    Ok(Val::Endpoint {
+                        var: Symbol::intern(&var),
+                        attr: Symbol::intern(&attr),
+                    })
                 }
             },
             other => Err(ParseError(format!("expected value, found {other:?}"))),
@@ -264,17 +280,17 @@ impl P {
         self.expect_sym("->")?;
         let (dst, out_attr) = self.dotted()?;
         Ok(Expr::Conn {
-            src,
-            in_endpoint,
-            dst,
-            out_attr,
+            src: Symbol::intern(&src),
+            in_endpoint: Symbol::intern(&in_endpoint),
+            dst: Symbol::intern(&dst),
+            out_attr: Symbol::intern(&out_attr),
         })
     }
 
     fn path_edge(&mut self) -> Result<Expr, ParseError> {
-        let src = self.ident("variable")?;
+        let src = Symbol::intern(&self.ident("variable")?);
         self.expect_sym("->")?;
-        let dst = self.ident("variable")?;
+        let dst = Symbol::intern(&self.ident("variable")?);
         Ok(Expr::Path { src, dst })
     }
 
@@ -389,8 +405,8 @@ pub fn parse_check(src: &str) -> Result<Check, ParseError> {
         p.expect_sym(":")?;
         let t = p.ident("type")?;
         bindings.push(Binding {
-            var,
-            rtype: long_name(&t).to_string(),
+            var: Symbol::intern(&var),
+            rtype: Symbol::intern(long_name(&t)),
         });
         if !p.eat_sym(",") {
             break;
@@ -423,11 +439,11 @@ pub fn parse_check(src: &str) -> Result<Check, ParseError> {
     })
 }
 
-fn used_vars(e: &Expr) -> Vec<String> {
-    fn from_val(v: &Val, out: &mut Vec<String>) {
+fn used_vars(e: &Expr) -> Vec<Symbol> {
+    fn from_val(v: &Val, out: &mut Vec<Symbol>) {
         match v {
             Val::Endpoint { var, .. } | Val::InDegree { var, .. } | Val::OutDegree { var, .. } => {
-                out.push(var.clone())
+                out.push(*var)
             }
             Val::Length(inner) => from_val(inner, out),
             Val::Lit(_) => {}
@@ -436,8 +452,8 @@ fn used_vars(e: &Expr) -> Vec<String> {
     let mut out = Vec::new();
     match e {
         Expr::Conn { src, dst, .. } | Expr::Path { src, dst } => {
-            out.push(src.clone());
-            out.push(dst.clone());
+            out.push(*src);
+            out.push(*dst);
         }
         Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
             out.extend(used_vars(first));

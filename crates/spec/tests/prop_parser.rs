@@ -1,14 +1,17 @@
-//! Property-based test: every syntactically valid check AST renders to text
-//! that parses back to the same AST. Checks come from a seeded RNG so every
-//! run replays the same sample.
+//! Property-based tests over the check IR: every syntactically valid check
+//! AST renders to text that parses back to the same AST, and the printed
+//! form is *canonical* — two structurally equal checks print identically,
+//! however they were constructed (builders, struct literals, short or full
+//! type names, or a parse of the printed text). Checks come from a seeded
+//! RNG so every run replays the same sample.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use zodiac_model::Value;
+use zodiac_model::{Symbol, Value};
 use zodiac_spec::{parse_check, Binding, Check, CmpOp, Expr, TypeSpec, Val};
 
-fn arb_type(rng: &mut StdRng) -> String {
-    match rng.gen_range(0..6u8) {
+fn arb_type(rng: &mut StdRng) -> Symbol {
+    let name = match rng.gen_range(0..6u8) {
         0 => "azurerm_linux_virtual_machine".to_string(),
         1 => "azurerm_network_interface".to_string(),
         2 => "azurerm_subnet".to_string(),
@@ -21,7 +24,8 @@ fn arb_type(rng: &mut StdRng) -> String {
                 .collect();
             format!("azurerm_{tail}")
         }
-    }
+    };
+    Symbol::intern(&name)
 }
 
 fn reserved(seg: &str) -> bool {
@@ -58,12 +62,13 @@ fn attr_segment(rng: &mut StdRng, max_tail: usize) -> String {
     }
 }
 
-fn arb_attr(rng: &mut StdRng) -> String {
-    if rng.gen_bool(0.5) {
+fn arb_attr(rng: &mut StdRng) -> Symbol {
+    let attr = if rng.gen_bool(0.5) {
         attr_segment(rng, 10)
     } else {
         format!("{}.{}", attr_segment(rng, 8), attr_segment(rng, 8))
-    }
+    };
+    Symbol::intern(&attr)
 }
 
 fn arb_lit(rng: &mut StdRng) -> Value {
@@ -72,8 +77,10 @@ fn arb_lit(rng: &mut StdRng) -> Value {
         1 => Value::Bool(rng.gen_bool(0.5)),
         2 => Value::Int(rng.gen_range(-1000i64..100000)),
         _ => {
+            // Includes the quote and backslash so string literals exercise
+            // the printer's escaping and the tokenizer's escape handling.
             const CHARS: &[u8] =
-                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./*-";
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./*-'\\\" ";
             let len = rng.gen_range(0..=12usize);
             let s: String = (0..len)
                 .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
@@ -83,8 +90,8 @@ fn arb_lit(rng: &mut StdRng) -> Value {
     }
 }
 
-fn var(i: usize) -> String {
-    format!("r{}", i + 1)
+fn var(i: usize) -> Symbol {
+    Symbol::intern(&format!("r{}", i + 1))
 }
 
 fn arb_tau(rng: &mut StdRng) -> TypeSpec {
@@ -193,11 +200,72 @@ fn arb_check(rng: &mut StdRng) -> Check {
 #[test]
 fn display_parse_roundtrip() {
     let mut rng = StdRng::seed_from_u64(0x5bec_0001);
-    for case in 0..128 {
+    for case in 0..256 {
         let check = arb_check(&mut rng);
         let text = check.to_string();
         let parsed = parse_check(&text)
             .unwrap_or_else(|e| panic!("case {case}: rendered check must parse: {e}\n{text}"));
         assert_eq!(parsed, check, "case {case}: text: {text}");
+    }
+}
+
+#[test]
+fn printing_is_canonical() {
+    // Structural equality must imply identical printed text: a deep clone, a
+    // parse of the printed form, and an independently built equal check all
+    // render byte-for-byte the same.
+    let mut rng = StdRng::seed_from_u64(0x5bec_0002);
+    for case in 0..128 {
+        let check = arb_check(&mut rng);
+        let text = check.to_string();
+
+        let cloned = check.clone();
+        assert_eq!(
+            cloned.to_string(),
+            text,
+            "case {case}: clone must print equal"
+        );
+
+        if let Ok(parsed) = parse_check(&text) {
+            assert_eq!(parsed, check, "case {case}");
+            assert_eq!(
+                parsed.to_string(),
+                text,
+                "case {case}: reparse must print identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn short_alias_and_full_name_print_identically() {
+    use zodiac_spec::build::{binding, check, endpoint, eq, lit};
+    let via_alias = check(
+        [binding("r", "VM")],
+        eq(endpoint("r", "priority"), lit("Spot")),
+        eq(endpoint("r", "eviction_policy"), lit("Deallocate")),
+    );
+    let via_full = check(
+        [binding("r", "azurerm_linux_virtual_machine")],
+        eq(endpoint("r", "priority"), lit("Spot")),
+        eq(endpoint("r", "eviction_policy"), lit("Deallocate")),
+    );
+    assert_eq!(via_alias, via_full);
+    assert_eq!(via_alias.to_string(), via_full.to_string());
+}
+
+#[test]
+fn hashes_agree_with_equality() {
+    use std::collections::HashSet;
+    let mut rng = StdRng::seed_from_u64(0x5bec_0003);
+    let mut set: HashSet<Check> = HashSet::new();
+    let mut checks = Vec::new();
+    for _ in 0..64 {
+        let c = arb_check(&mut rng);
+        set.insert(c.clone());
+        checks.push(c);
+    }
+    for c in &checks {
+        assert!(set.contains(c), "equal checks must hash equal: {c}");
     }
 }

@@ -12,7 +12,7 @@ use serde::Serialize;
 use std::collections::{BTreeMap, HashSet};
 use zodiac_graph::{ancestors, NodeIdx, ResourceGraph};
 use zodiac_kb::KnowledgeBase;
-use zodiac_model::{Program, ResourceId};
+use zodiac_model::{Program, ResourceId, Symbol};
 use zodiac_spec::{witnesses, Check, EvalContext};
 
 /// A positive test case for a check.
@@ -21,7 +21,7 @@ pub struct PositiveCase {
     /// The pruned (MDC) program.
     pub program: Program,
     /// Witness binding: variable → resource id in `program`.
-    pub witness: BTreeMap<String, ResourceId>,
+    pub witness: BTreeMap<Symbol, ResourceId>,
     /// Pruning statistics for this case.
     pub stats: MdcStats,
 }
@@ -74,7 +74,7 @@ pub fn find_positive(
 /// Prunes a program to the witness binding plus its ancestor closure.
 pub fn prune(
     graph: &ResourceGraph,
-    binding: &BTreeMap<String, NodeIdx>,
+    binding: &BTreeMap<Symbol, NodeIdx>,
     kb: &KnowledgeBase,
 ) -> PositiveCase {
     let mut keep: HashSet<NodeIdx> = binding.values().copied().collect();
@@ -106,7 +106,7 @@ pub fn prune(
 
     let witness = binding
         .iter()
-        .map(|(var, &node)| (var.clone(), graph.resource(node).id()))
+        .map(|(&var, &node)| (var, graph.resource(node).id()))
         .collect();
 
     PositiveCase {
@@ -183,7 +183,7 @@ mod tests {
         assert_eq!(case.stats.orig_unattended, 1);
         assert_eq!(case.stats.pruned_unattended, 0);
         assert_eq!(
-            case.witness.get("r1"),
+            case.witness.get(&Symbol::intern("r1")),
             Some(&ResourceId::new("azurerm_linux_virtual_machine", "vm"))
         );
     }

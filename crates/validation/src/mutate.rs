@@ -21,8 +21,8 @@ use crate::mdc::PositiveCase;
 use std::collections::BTreeMap;
 use zodiac_graph::ResourceGraph;
 use zodiac_kb::{AttrKind, KnowledgeBase, ValueFormat};
-use zodiac_model::{AttrPath, Cidr, Program, Resource, ResourceId, Value};
-use zodiac_solver::{solve, Constraint, Op, Problem, Term, VarId};
+use zodiac_model::{AttrPath, Cidr, Program, Resource, ResourceId, Symbol, Value};
+use zodiac_solver::{solve, Constraint, Problem, Term, VarId};
 use zodiac_spec::{instances, Check, CmpOp, EvalContext, Expr, Val};
 
 /// Mutation configuration, including the Table 5 ablation switches.
@@ -142,7 +142,7 @@ fn negative_test_variant(
 ) -> MutationResult {
     // ---- structural plan ------------------------------------------------
     let mut program = positive.program.clone();
-    let witness_ids: BTreeMap<String, ResourceId> = positive.witness.clone();
+    let witness_ids: BTreeMap<Symbol, ResourceId> = positive.witness.clone();
     let mut added = 0usize;
     match plan_structure(target, &mut program, &witness_ids, kb, corpus, fresh_deps) {
         PlanOutcome::Ok { added_resources } => added = added_resources,
@@ -159,7 +159,7 @@ fn negative_test_variant(
     // overlap (a whole `security_rule` block variable plus per-field
     // `security_rule.*` variables), and a parent path must be written before
     // its children or the children's values are clobbered.
-    let mut vars: BTreeMap<(ResourceId, String), (VarId, SymbolicAttr)> = BTreeMap::new();
+    let mut vars: BTreeMap<(ResourceId, Symbol), (VarId, SymbolicAttr)> = BTreeMap::new();
     let symbolic_resources: Vec<ResourceId> = program
         .resources()
         .iter()
@@ -175,7 +175,9 @@ fn negative_test_variant(
     // endpoint's domain.
     let cross = cross_values(target, &program, &witness_ids);
     for id in &symbolic_resources {
-        let resource = program.find(id).expect("symbolic resource exists");
+        let Some(resource) = program.find(id) else {
+            continue; // Ids were just collected from this program.
+        };
         for sym in symbolic_attrs(resource, target, kb, corpus, &relevant, &cross) {
             let mut domain = sym.domain.clone();
             if !cfg.minimize_changes {
@@ -189,7 +191,7 @@ fn negative_test_variant(
                     1,
                 );
             }
-            vars.insert((id.clone(), sym.attr.clone()), (var, sym));
+            vars.insert((id.clone(), sym.attr), (var, sym));
         }
     }
 
@@ -198,9 +200,9 @@ fn negative_test_variant(
         graph: &graph,
         kb: Some(kb),
     };
-    let witness_nodes: BTreeMap<String, usize> = witness_ids
+    let witness_nodes: BTreeMap<Symbol, usize> = witness_ids
         .iter()
-        .filter_map(|(v, id)| graph.node(id).map(|n| (v.clone(), n)))
+        .filter_map(|(&v, id)| graph.node(id).map(|n| (v, n)))
         .collect();
     if witness_nodes.len() != witness_ids.len() {
         return MutationResult::NotApplicable;
@@ -292,7 +294,7 @@ enum PlanOutcome {
 fn plan_structure(
     target: &Check,
     program: &mut Program,
-    witness: &BTreeMap<String, ResourceId>,
+    witness: &BTreeMap<Symbol, ResourceId>,
     kb: &KnowledgeBase,
     corpus: &[Program],
     fresh_deps: bool,
@@ -389,7 +391,7 @@ fn plan_length(
     op: CmpOp,
     negated: bool,
     program: &mut Program,
-    witness: &BTreeMap<String, ResourceId>,
+    witness: &BTreeMap<Symbol, ResourceId>,
 ) -> PlanOutcome {
     if op != CmpOp::Ge || negated {
         return PlanOutcome::NotApplicable;
@@ -675,7 +677,7 @@ fn retarget_or_import(
 /// (original first).
 #[derive(Debug, Clone)]
 pub struct SymbolicAttr {
-    attr: String,
+    attr: Symbol,
     original: Value,
     domain: Vec<Value>,
     wrap_list: bool,
@@ -734,9 +736,9 @@ fn relevant_attrs(
 fn cross_values(
     target: &Check,
     program: &Program,
-    witness: &BTreeMap<String, ResourceId>,
-) -> BTreeMap<(ResourceId, String), Vec<Value>> {
-    let mut out: BTreeMap<(ResourceId, String), Vec<Value>> = BTreeMap::new();
+    witness: &BTreeMap<Symbol, ResourceId>,
+) -> BTreeMap<(ResourceId, Symbol), Vec<Value>> {
+    let mut out: BTreeMap<(ResourceId, Symbol), Vec<Value>> = BTreeMap::new();
     let Expr::Cmp {
         lhs: Val::Endpoint { var: lv, attr: la },
         rhs: Val::Endpoint { var: rv, attr: ra },
@@ -745,7 +747,7 @@ fn cross_values(
     else {
         return out;
     };
-    let resolve = |var: &str, attr: &str| -> Vec<Value> {
+    let resolve = |var: &Symbol, attr: &Symbol| -> Vec<Value> {
         let Some(rid) = witness.get(var) else {
             return Vec::new();
         };
@@ -758,14 +760,12 @@ fn cross_values(
     let l_vals = resolve(lv, la);
     let r_vals = resolve(rv, ra);
     if let Some(rid) = witness.get(lv) {
-        out.entry((rid.clone(), la.clone()))
+        out.entry((rid.clone(), *la))
             .or_default()
             .extend(r_vals.clone());
     }
     if let Some(rid) = witness.get(rv) {
-        out.entry((rid.clone(), ra.clone()))
-            .or_default()
-            .extend(l_vals);
+        out.entry((rid.clone(), *ra)).or_default().extend(l_vals);
     }
     out
 }
@@ -776,7 +776,7 @@ fn symbolic_attrs(
     kb: &KnowledgeBase,
     corpus: &[Program],
     relevant: &BTreeMap<String, std::collections::BTreeSet<String>>,
-    cross: &BTreeMap<(ResourceId, String), Vec<Value>>,
+    cross: &BTreeMap<(ResourceId, Symbol), Vec<Value>>,
 ) -> Vec<SymbolicAttr> {
     let Some(schema) = kb.resource(&resource.rtype) else {
         // Unattended resources are immutable (§4.1).
@@ -863,7 +863,7 @@ fn symbolic_attrs(
             _ => {}
         }
         // Cross values from the target statement's comparison.
-        if let Some(extra) = cross.get(&(rid.clone(), attr.path.clone())) {
+        if let Some(extra) = cross.get(&(rid.clone(), Symbol::intern(&attr.path))) {
             for v in extra {
                 if !matches!(v, Value::Null) && !domain.contains(v) {
                     domain.push(v.clone());
@@ -902,7 +902,7 @@ fn symbolic_attrs(
         }
         if domain.len() > 1 {
             out.push(SymbolicAttr {
-                attr: attr.path.clone(),
+                attr: Symbol::intern(&attr.path),
                 original,
                 domain,
                 wrap_list,
@@ -1027,7 +1027,7 @@ fn remove_path(resource: &mut Resource, path: &AttrPath) {
 struct Grounder<'a> {
     graph: &'a ResourceGraph,
     kb: &'a KnowledgeBase,
-    vars: &'a BTreeMap<(ResourceId, String), (VarId, SymbolicAttr)>,
+    vars: &'a BTreeMap<(ResourceId, Symbol), (VarId, SymbolicAttr)>,
 }
 
 impl Grounder<'_> {
@@ -1049,7 +1049,7 @@ impl Grounder<'_> {
         out
     }
 
-    fn ground(&self, expr: &Expr, binding: &BTreeMap<String, usize>) -> Constraint {
+    fn ground(&self, expr: &Expr, binding: &BTreeMap<Symbol, usize>) -> Constraint {
         match expr {
             Expr::Conn { .. } | Expr::Path { .. } => constant(self.eval_fixed(expr, binding)),
             Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
@@ -1066,7 +1066,7 @@ impl Grounder<'_> {
             } => {
                 let l = self.terms(lhs, binding);
                 let r = self.terms(rhs, binding);
-                let op = convert_op(*op);
+                let op = *op;
                 let mut alternatives = Vec::new();
                 for lt in &l {
                     for rt in &r {
@@ -1093,7 +1093,7 @@ impl Grounder<'_> {
 
     /// Topology is fixed after structural planning, so topological atoms
     /// ground to constants.
-    fn eval_fixed(&self, expr: &Expr, binding: &BTreeMap<String, usize>) -> bool {
+    fn eval_fixed(&self, expr: &Expr, binding: &BTreeMap<Symbol, usize>) -> bool {
         match expr {
             Expr::Conn {
                 src,
@@ -1104,7 +1104,8 @@ impl Grounder<'_> {
                 let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
                     return false;
                 };
-                self.graph.conn(s, Some(in_endpoint), d, Some(out_attr))
+                self.graph
+                    .conn(s, Some(in_endpoint.as_str()), d, Some(out_attr.as_str()))
             }
             Expr::Path { src, dst } => {
                 let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
@@ -1117,7 +1118,7 @@ impl Grounder<'_> {
     }
 
     /// Resolves a value term into solver terms (variables or constants).
-    fn terms(&self, val: &Val, binding: &BTreeMap<String, usize>) -> Vec<Term> {
+    fn terms(&self, val: &Val, binding: &BTreeMap<Symbol, usize>) -> Vec<Term> {
         match val {
             Val::Lit(v) => vec![Term::Const(v.clone())],
             Val::Endpoint { var, attr } => {
@@ -1125,7 +1126,7 @@ impl Grounder<'_> {
                     return vec![Term::Const(Value::Null)];
                 };
                 let id = self.graph.resource(node).id();
-                if let Some((v, _)) = self.vars.get(&(id.clone(), attr.clone())) {
+                if let Some((v, _)) = self.vars.get(&(id.clone(), *attr)) {
                     return vec![Term::Var(*v)];
                 }
                 let resource = self.graph.resource(node);
@@ -1178,19 +1179,6 @@ impl Grounder<'_> {
                 vec![Term::Const(Value::Int(n as i64))]
             }
         }
-    }
-}
-
-fn convert_op(op: CmpOp) -> Op {
-    match op {
-        CmpOp::Eq => Op::Eq,
-        CmpOp::Ne => Op::Ne,
-        CmpOp::Le => Op::Le,
-        CmpOp::Ge => Op::Ge,
-        CmpOp::Lt => Op::Lt,
-        CmpOp::Gt => Op::Gt,
-        CmpOp::Overlap => Op::Overlap,
-        CmpOp::Contain => Op::Contain,
     }
 }
 

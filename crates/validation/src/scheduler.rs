@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use zodiac_cloud::{DeployReport, DeployTelemetry};
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::MinedCheck;
-use zodiac_model::{Program, Value};
+use zodiac_model::{Program, Symbol, Value};
 use zodiac_spec::{Check, Expr, Val};
 
 /// Scheduler configuration, including the Figure 8 ablation switches.
@@ -241,9 +241,14 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                     .map(|(_, c)| (c.mined.check.clone(), soft_weight(&c.mined)))
                     .collect();
                 let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
+                // `ensure_positive` succeeded above, so the case is cached;
+                // skip defensively rather than panic if it is ever not.
+                let Some(positive) = rc[i].positive.as_ref() else {
+                    continue;
+                };
                 let result = mutate::negative_test(
                     &rc[i].mined.check,
-                    rc[i].positive.as_ref().expect("ensured"),
+                    positive,
                     &hard,
                     &soft,
                     self.kb,
@@ -318,7 +323,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             let to_deploy: Vec<usize> = (0..rc.len()).filter(|&i| negatives[i].is_some()).collect();
             let batch: Vec<Program> = to_deploy
                 .iter()
-                .map(|&i| negatives[i].as_ref().expect("filtered").program.clone())
+                .filter_map(|&i| negatives[i].as_ref().map(|n| n.program.clone()))
                 .collect();
             let mut reports: Vec<Option<DeployReport>> = vec![None; rc.len()];
             for (&i, report) in to_deploy.iter().zip(self.oracle.deploy_batch(&batch)) {
@@ -332,7 +337,9 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 let Some(neg) = negatives[i].as_ref() else {
                     continue;
                 };
-                let report = reports[i].take().expect("deployed with its negative");
+                let Some(report) = reports[i].take() else {
+                    continue; // Every negative in `to_deploy` got a report.
+                };
                 if report.outcome.is_success() {
                     continue; // Handled next iteration's FP pass.
                 }
@@ -472,38 +479,38 @@ fn retain_not(rc: &mut Vec<Candidate>, drop: &BTreeSet<usize>) {
 /// Deployment depth of each KB type: types referencing nothing deploy first
 /// (depth 0); a type's depth is one more than the deepest type it can
 /// reference.
-pub fn type_depths(kb: &KnowledgeBase) -> HashMap<String, i64> {
-    let mut depths: HashMap<String, i64> = HashMap::new();
+pub fn type_depths(kb: &KnowledgeBase) -> HashMap<Symbol, i64> {
+    let mut depths: HashMap<Symbol, i64> = HashMap::new();
     fn depth_of(
         kb: &KnowledgeBase,
-        t: &str,
-        depths: &mut HashMap<String, i64>,
-        stack: &mut Vec<String>,
+        t: Symbol,
+        depths: &mut HashMap<Symbol, i64>,
+        stack: &mut Vec<Symbol>,
     ) -> i64 {
-        if let Some(&d) = depths.get(t) {
+        if let Some(&d) = depths.get(&t) {
             return d;
         }
-        if stack.iter().any(|s| s == t) {
+        if stack.contains(&t) {
             return 0; // Self/cyclic references (DISK → DISK) bottom out.
         }
-        stack.push(t.to_string());
+        stack.push(t);
         let d = kb
-            .resource(t)
+            .resource(&t)
             .map(|schema| {
                 schema
                     .endpoints
                     .values()
-                    .map(|e| depth_of(kb, &e.target_type, depths, stack) + 1)
+                    .map(|e| depth_of(kb, Symbol::intern(&e.target_type), depths, stack) + 1)
                     .max()
                     .unwrap_or(0)
             })
             .unwrap_or(0);
         stack.pop();
-        depths.insert(t.to_string(), d);
+        depths.insert(t, d);
         d
     }
-    let types: Vec<String> = kb.types().map(str::to_string).collect();
-    for t in &types {
+    let types: Vec<Symbol> = kb.types().map(Symbol::intern).collect();
+    for &t in &types {
         let mut stack = Vec::new();
         depth_of(kb, t, &mut depths, &mut stack);
     }
@@ -512,7 +519,7 @@ pub fn type_depths(kb: &KnowledgeBase) -> HashMap<String, i64> {
 
 /// A check's evaluation order: the *minimum* deployment depth among its
 /// bound types — checks about early-deploying resources go first.
-fn check_order(check: &Check, depths: &HashMap<String, i64>) -> i64 {
+fn check_order(check: &Check, depths: &HashMap<Symbol, i64>) -> i64 {
     check
         .bindings
         .iter()
@@ -541,9 +548,13 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 .map(|j| (rc[j].mined.check.clone(), soft_weight(&rc[j].mined)))
                 .collect();
             let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
+            let Some(positive) = rc[i].positive.as_ref() else {
+                out.push(None);
+                continue;
+            };
             let result = mutate::negative_test(
                 &rc[i].mined.check,
-                rc[i].positive.as_ref().expect("ensured"),
+                positive,
                 &hard,
                 &soft,
                 self.kb,
@@ -685,7 +696,7 @@ mod tests {
     fn type_depths_follow_reference_chains() {
         let kb = zodiac_kb::azure_kb();
         let depths = type_depths(&kb);
-        let d = |t: &str| depths.get(t).copied().unwrap_or(-1);
+        let d = |t: &str| depths.get(&Symbol::intern(t)).copied().unwrap_or(-1);
         // RG references nothing; VNet references RG; subnet references VNet;
         // NIC references subnet; VM references NICs.
         assert_eq!(d("azurerm_resource_group"), 0);
@@ -700,7 +711,7 @@ mod tests {
         // azurerm_managed_disk can reference itself (source_resource_id).
         let kb = zodiac_kb::azure_kb();
         let depths = type_depths(&kb);
-        assert!(depths.contains_key("azurerm_managed_disk"));
+        assert!(depths.contains_key(&Symbol::intern("azurerm_managed_disk")));
     }
 
     #[test]

@@ -7,3 +7,7 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+# Bench smoke-run: each Criterion harness executes one untimed iteration
+# when invoked without `--bench`, catching bit-rot in bench-only code.
+cargo test --benches -q
