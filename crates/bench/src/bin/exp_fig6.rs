@@ -12,7 +12,7 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use zodiac_bench::{print_table, write_json};
+use zodiac_bench::{print_table, ExpObs};
 use zodiac_cloud::{CheckCategory, CloudSim, DeployOutcome};
 use zodiac_corpus::CorpusConfig;
 
@@ -35,6 +35,7 @@ fn label(cat: CheckCategory) -> &'static str {
 }
 
 fn main() {
+    let exp = ExpObs::from_args();
     let sim = CloudSim::new_azure();
     let rule_category: BTreeMap<String, CheckCategory> = sim
         .rules()
@@ -44,14 +45,17 @@ fn main() {
 
     // Full-size clean projects; each noise kind is injected explicitly so
     // every violation class contributes to the measurement.
-    let corpus = zodiac_corpus::generate(&CorpusConfig {
-        projects: 250,
-        seed: 0xB1A57,
-        noise_rate: 0.0,
-        min_motifs: 2,
-        max_motifs: 4,
-        ..Default::default()
-    });
+    let corpus = zodiac_corpus::generate_obs(
+        &CorpusConfig {
+            projects: 250,
+            seed: 0xB1A57,
+            noise_rate: 0.0,
+            min_motifs: 2,
+            max_motifs: 4,
+            ..Default::default()
+        },
+        &exp.obs,
+    );
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let mut cases: Vec<zodiac_model::Program> = Vec::new();
@@ -135,7 +139,7 @@ fn main() {
         &rows,
     );
     println!("\npaper worst case: rollback ≈7 types, halting ≈6 types");
-    write_json(
+    exp.write_json_with_metrics(
         "exp_fig6",
         &per_cat
             .iter()

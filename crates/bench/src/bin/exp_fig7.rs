@@ -9,8 +9,8 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use zodiac_bench::{eval_config, print_table, write_json};
-use zodiac_mining::{mine, MiningConfig};
+use zodiac_bench::{eval_config, print_table, ExpObs};
+use zodiac_mining::{mine, mine_obs, MiningConfig};
 use zodiac_model::{Program, Symbol};
 
 #[derive(Serialize)]
@@ -24,14 +24,15 @@ struct Record {
 }
 
 fn main() {
+    let exp = ExpObs::from_args();
     let cfg = eval_config();
-    let corpus: Vec<Program> = zodiac_corpus::generate(&cfg.corpus)
+    let corpus: Vec<Program> = zodiac_corpus::generate_obs(&cfg.corpus, &exp.obs)
         .into_iter()
         .map(|p| p.program)
         .collect();
     let kb = zodiac_kb::azure_kb();
 
-    let with_kb = mine(&corpus, &kb, &MiningConfig::default());
+    let with_kb = mine_obs(&corpus, &kb, &MiningConfig::default(), &exp.obs);
     let without_kb = mine(
         &corpus,
         &kb,
@@ -151,7 +152,7 @@ fn main() {
     funnel.insert("llm_found".to_string(), with_kb.llm_found);
     funnel.insert("llm_removed".to_string(), with_kb.llm_removed);
     funnel.insert("kept".to_string(), with_kb.checks.len());
-    write_json(
+    exp.write_json_with_metrics(
         "exp_fig7",
         &Record {
             per_type,

@@ -9,11 +9,12 @@
 //! Plus an extra ablation for the evaluation partial order (O4).
 
 use serde::Serialize;
-use zodiac_bench::{eval_config, print_table, write_json};
-use zodiac_cloud::{CloudSim, DeployTelemetry};
+use zodiac_bench::{eval_config, print_table, ExpObs};
+use zodiac_cloud::CloudSim;
 use zodiac_deployer::{DeployEngine, DeployerConfig};
 use zodiac_mining::{mine, MiningConfig};
 use zodiac_model::Program;
+use zodiac_obs::MetricsSnapshot;
 use zodiac_validation::{Scheduler, SchedulerConfig, ValidationTrace};
 
 #[derive(Serialize)]
@@ -21,7 +22,7 @@ struct Record {
     default_trace: ValidationTrace,
     default_validated: usize,
     default_unresolved: usize,
-    default_deploy: DeployTelemetry,
+    default_deploy: MetricsSnapshot,
     no_indistinct_trace: ValidationTrace,
     no_indistinct_validated: usize,
     no_indistinct_unresolved: usize,
@@ -32,18 +33,18 @@ struct Record {
 
 /// Each run goes through a 4-worker, memoizing execution engine — the
 /// engine is semantics-preserving, so the figure is unchanged while the
-/// telemetry quantifies how much deployment work the cache absorbs.
+/// `deploy.*` metrics quantify how much deployment work the cache absorbs.
 fn run(
     cfg: SchedulerConfig,
     corpus: &[Program],
-) -> (zodiac_validation::ValidationOutcome, DeployTelemetry) {
+) -> (zodiac_validation::ValidationOutcome, MetricsSnapshot) {
     let kb = zodiac_kb::azure_kb();
     let engine = DeployEngine::new(CloudSim::new_azure(), DeployerConfig::default());
     let mining = mine(corpus, &kb, &MiningConfig::default());
     let scheduler = Scheduler::new(&engine, &kb, corpus, cfg);
     let outcome = scheduler.run(mining.checks);
-    let telemetry = engine.telemetry_snapshot();
-    (outcome, telemetry)
+    let metrics = engine.metrics();
+    (outcome, metrics)
 }
 
 fn trace_rows(trace: &ValidationTrace) -> Vec<Vec<String>> {
@@ -68,13 +69,20 @@ fn trace_rows(trace: &ValidationTrace) -> Vec<Vec<String>> {
         .collect()
 }
 
-fn print_telemetry(label: &str, tel: &DeployTelemetry) {
+fn print_telemetry(label: &str, tel: &MetricsSnapshot) {
+    let requests = tel.counter("deploy.requests");
+    let cache_hits = tel.counter("deploy.cache_hits");
+    let hit_rate = if requests > 0 {
+        100.0 * cache_hits as f64 / requests as f64
+    } else {
+        0.0
+    };
     println!(
         "{label}: {} deploy requests, {} backend deploys, {} cache hits ({:.1}% hit rate)",
-        tel.requests,
-        tel.backend_deploys,
-        tel.cache_hits,
-        tel.cache_hit_rate() * 100.0
+        requests,
+        tel.counter("deploy.backend_deploys"),
+        cache_hits,
+        hit_rate
     );
 }
 
@@ -92,8 +100,9 @@ const HEADERS: [&str; 10] = [
 ];
 
 fn main() {
+    let exp = ExpObs::from_args();
     let cfg = eval_config();
-    let corpus: Vec<Program> = zodiac_corpus::generate(&cfg.corpus)
+    let corpus: Vec<Program> = zodiac_corpus::generate_obs(&cfg.corpus, &exp.obs)
         .into_iter()
         .map(|p| p.program)
         .collect();
@@ -150,7 +159,7 @@ fn main() {
         default.trace.iterations.len()
     );
 
-    write_json(
+    exp.write_json_with_metrics(
         "exp_fig8",
         &Record {
             default_validated: default.validated.len(),

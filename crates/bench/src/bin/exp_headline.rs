@@ -5,9 +5,12 @@
 //! validated (indistinguishable groups counted as one); 539 initially
 //! output, 29 (5.4%) identified as false positives — 17 (3.1%) by the
 //! automated counterexample pass.
+//!
+//! Supports `--trace-out FILE` to stream `zodiac-obs` stage spans and the
+//! final metrics snapshot as JSON lines (used by the CI smoke job).
 
 use serde::Serialize;
-use zodiac_bench::{print_table, run_eval_pipeline, write_json};
+use zodiac_bench::{print_table, run_eval_pipeline_obs, ExpObs};
 
 #[derive(Serialize)]
 struct Headline {
@@ -33,9 +36,13 @@ struct Headline {
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let (result, _corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, _corpus) = run_eval_pipeline_obs(&exp.obs);
     let validated_raw = result.validation.validated.len();
-    let tel = result.deploy_telemetry.unwrap_or_default();
+    let tel = result.deploy_metrics.unwrap_or_default();
+    let deploy_requests = tel.counter("deploy.requests");
+    let deploy_backend = tel.counter("deploy.backend_deploys");
+    let deploy_cache_hits = tel.counter("deploy.cache_hits");
     let headline = Headline {
         corpus_projects: result.corpus_projects,
         hypothesized: result.mining.hypothesized,
@@ -54,11 +61,15 @@ fn main() {
         } else {
             0.0
         },
-        deploy_requests: tel.requests,
-        deploy_backend: tel.backend_deploys,
-        deploy_cache_hits: tel.cache_hits,
-        deploy_cache_hit_rate_pct: tel.cache_hit_rate() * 100.0,
-        deploy_retries: tel.retries,
+        deploy_requests,
+        deploy_backend,
+        deploy_cache_hits,
+        deploy_cache_hit_rate_pct: if deploy_requests > 0 {
+            100.0 * deploy_cache_hits as f64 / deploy_requests as f64
+        } else {
+            0.0
+        },
+        deploy_retries: tel.counter("deploy.retries"),
     };
 
     print_table(
@@ -121,5 +132,5 @@ fn main() {
         headline.deploy_retries,
     );
     println!("total wall time: {:?}", t0.elapsed());
-    write_json("exp_headline", &headline);
+    exp.write_json_with_metrics("exp_headline", &headline);
 }

@@ -6,7 +6,7 @@
 use serde::Serialize;
 use zodiac::fixtures::{APPGW_CHECKS, APPGW_DOC_EXAMPLE};
 use zodiac::scanner::{scan_corpus, scan_program};
-use zodiac_bench::{print_table, run_eval_pipeline, write_json};
+use zodiac_bench::{print_table, run_eval_pipeline_obs, ExpObs};
 use zodiac_corpus::CorpusConfig;
 use zodiac_model::Program;
 use zodiac_spec::parse_check;
@@ -21,7 +21,8 @@ struct Record {
 }
 
 fn main() {
-    let (result, _corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, _corpus) = run_eval_pipeline_obs(&exp.obs);
     let checks: Vec<_> = result
         .final_checks
         .iter()
@@ -76,7 +77,7 @@ fn main() {
             .len()
     );
 
-    write_json(
+    exp.write_json_with_metrics(
         "exp_misconfig",
         &Record {
             scanned: report.scanned,

@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use zodiac_bench::{category_of, print_table, run_eval_pipeline, write_json, Category};
+use zodiac_bench::{category_of, print_table, run_eval_pipeline_obs, Category, ExpObs};
 
 #[derive(Serialize)]
 struct Record {
@@ -14,7 +14,8 @@ struct Record {
 }
 
 fn main() {
-    let (result, _corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, _corpus) = run_eval_pipeline_obs(&exp.obs);
     let mut per_category: BTreeMap<Category, usize> = BTreeMap::new();
     let mut per_family: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut example: BTreeMap<&'static str, String> = BTreeMap::new();
@@ -65,7 +66,7 @@ fn main() {
         &cat_rows,
     );
 
-    write_json(
+    exp.write_json_with_metrics(
         "exp_table2",
         &Record {
             per_category: per_category

@@ -5,7 +5,7 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use zodiac_bench::{negative_suite, print_table, run_eval_pipeline, write_json};
+use zodiac_bench::{negative_suite, print_table, run_eval_pipeline_obs, ExpObs};
 use zodiac_cloud::{CloudSim, DeployOutcome, Phase};
 
 #[derive(Serialize)]
@@ -15,7 +15,8 @@ struct Record {
 }
 
 fn main() {
-    let (result, corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, corpus) = run_eval_pipeline_obs(&exp.obs);
     let kb = zodiac_kb::azure_kb();
     let sim = CloudSim::new_azure();
 
@@ -86,7 +87,7 @@ fn main() {
         ],
         &rows,
     );
-    write_json(
+    exp.write_json_with_metrics(
         "exp_table3",
         &Record {
             total_failures: total,

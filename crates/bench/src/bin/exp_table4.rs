@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use zodiac_baselines::{
     IacChecker, NativeValidate, SecurityChecker, SecurityProfile, TfLint, ToolStats,
 };
-use zodiac_bench::{negative_suite, print_table, run_eval_pipeline, write_json};
+use zodiac_bench::{negative_suite, print_table, run_eval_pipeline_obs, ExpObs};
 
 #[derive(Serialize)]
 struct Record {
@@ -22,7 +22,8 @@ struct Record {
 }
 
 fn main() {
-    let (result, corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, corpus) = run_eval_pipeline_obs(&exp.obs);
     let kb = zodiac_kb::azure_kb();
     let checks: Vec<_> = result
         .final_checks
@@ -86,7 +87,7 @@ fn main() {
         "\nNote: TFLint consumes HCL only; its row goes through the HCL printer \
          round-trip (the paper reports '---' for the same format mismatch)."
     );
-    write_json(
+    exp.write_json_with_metrics(
         "exp_table4",
         &Record {
             suite_size: suite.len(),

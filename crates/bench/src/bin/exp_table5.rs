@@ -9,7 +9,7 @@
 //! number of attribute changes per negative case (paper: 11.05 vs 2.87).
 
 use serde::Serialize;
-use zodiac_bench::{print_table, run_eval_pipeline, write_json};
+use zodiac_bench::{print_table, run_eval_pipeline_obs, ExpObs};
 use zodiac_graph::ResourceGraph;
 use zodiac_spec::{holds, Check, EvalContext};
 use zodiac_validation::{mdc, mutate};
@@ -28,7 +28,8 @@ struct Record {
 }
 
 fn main() {
-    let (result, corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, corpus) = run_eval_pipeline_obs(&exp.obs);
     let kb = zodiac_kb::azure_kb();
 
     // True positives = checks that survived validation and counterexamples;
@@ -188,5 +189,5 @@ fn main() {
             ],
         ],
     );
-    write_json("exp_table5", &record);
+    exp.write_json_with_metrics("exp_table5", &record);
 }

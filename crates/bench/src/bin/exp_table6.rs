@@ -7,7 +7,7 @@
 
 use serde::Serialize;
 use std::collections::BTreeMap;
-use zodiac_bench::{print_table, run_eval_pipeline, write_json};
+use zodiac_bench::{print_table, run_eval_pipeline_obs, ExpObs};
 use zodiac_validation::mdc;
 
 #[derive(Serialize, Default, Clone, Copy)]
@@ -20,7 +20,8 @@ struct Row {
 }
 
 fn main() {
-    let (result, corpus) = run_eval_pipeline();
+    let exp = ExpObs::from_args();
+    let (result, corpus) = run_eval_pipeline_obs(&exp.obs);
     let kb = zodiac_kb::azure_kb();
 
     let targets = [
@@ -148,7 +149,7 @@ fn main() {
         ],
         &table,
     );
-    write_json(
+    exp.write_json_with_metrics(
         "exp_table6",
         &rows
             .iter()

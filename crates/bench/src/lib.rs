@@ -6,10 +6,12 @@
 
 use serde::Serialize;
 use std::path::PathBuf;
-use zodiac::{run_pipeline, PipelineConfig, PipelineResult};
+use std::sync::Arc;
+use zodiac::{PipelineConfig, PipelineResult};
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::MinedCheck;
 use zodiac_model::Program;
+use zodiac_obs::{JsonLinesSink, MemoryRecorder, MetricsSnapshot, Obs, Recorder};
 use zodiac_spec::{Check, ShapeCategory};
 use zodiac_validation::{mdc, mutate, DeployOracle};
 
@@ -23,13 +25,87 @@ pub fn eval_config() -> PipelineConfig {
 
 /// Runs the shared pipeline and returns the result plus the mined corpus.
 pub fn run_eval_pipeline() -> (PipelineResult, Vec<Program>) {
+    run_eval_pipeline_obs(&Obs::null())
+}
+
+/// [`run_eval_pipeline`] recording funnel counters and stage spans into an
+/// observability handle.
+pub fn run_eval_pipeline_obs(obs: &Obs) -> (PipelineResult, Vec<Program>) {
     let cfg = eval_config();
     let corpus: Vec<Program> = zodiac_corpus::generate(&cfg.corpus)
         .into_iter()
         .map(|p| p.program)
         .collect();
-    let result = run_pipeline(&cfg);
+    let result = zodiac::run_pipeline_obs(&cfg, obs);
     (result, corpus)
+}
+
+/// Observability harness shared by the experiment binaries: an always-on
+/// in-memory registry (so every record gains a funnel-stage metrics dump),
+/// plus an optional JSON-lines trace sink enabled by `--trace-out FILE` on
+/// the process command line.
+pub struct ExpObs {
+    registry: Arc<MemoryRecorder>,
+    trace: Option<Arc<JsonLinesSink>>,
+    /// The handle to thread into pipeline runs and deploy engines.
+    pub obs: Obs,
+}
+
+impl Default for ExpObs {
+    fn default() -> Self {
+        ExpObs::from_args()
+    }
+}
+
+impl ExpObs {
+    /// Builds the harness from the process arguments (`--trace-out FILE`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let trace_path = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1).cloned());
+        let registry = Arc::new(MemoryRecorder::new());
+        let mut sinks: Vec<Arc<dyn Recorder>> = vec![registry.clone()];
+        let trace = trace_path.and_then(|path| match JsonLinesSink::create(&path) {
+            Ok(sink) => Some(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("warning: cannot create trace file {path}: {e}");
+                None
+            }
+        });
+        if let Some(sink) = &trace {
+            sinks.push(sink.clone());
+        }
+        let obs = Obs::fanout(sinks);
+        ExpObs {
+            registry,
+            trace,
+            obs,
+        }
+    }
+
+    /// A point-in-time snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Writes the experiment record under `target/experiments/` with the
+    /// funnel metrics embedded as a top-level `metrics` key, then appends
+    /// the final snapshot line to the trace file (if `--trace-out` was
+    /// given) and flushes it.
+    pub fn write_json_with_metrics<T: Serialize>(&self, name: &str, value: &T) {
+        let snap = self.snapshot();
+        let mut record = value.serialize();
+        if let serde::Value::Object(fields) = &mut record {
+            fields.insert("metrics".to_string(), snap.serialize());
+        }
+        write_json(name, &record);
+        if let Some(sink) = &self.trace {
+            sink.write_snapshot(&snap);
+            let _ = sink.flush();
+        }
+    }
 }
 
 /// Table 2 / Figure 6 category of a check.

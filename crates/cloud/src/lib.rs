@@ -24,9 +24,7 @@ pub mod oracle;
 pub mod report;
 pub mod rules;
 
-pub use oracle::{
-    is_transient, DeployOracle, DeployTelemetry, FaultInjector, FaultKind, TRANSIENT_PREFIX,
-};
+pub use oracle::{is_transient, DeployOracle, FaultInjector, FaultKind, TRANSIENT_PREFIX};
 pub use report::{DeployOutcome, DeployReport, Phase, ViolationRecord};
 pub use rules::{CheckCategory, GroundRule, RuleBody};
 
@@ -100,7 +98,7 @@ impl CloudSim {
         injector: Option<&dyn FaultInjector>,
     ) -> DeployReport {
         let graph = ResourceGraph::build(program.clone());
-        if deploy_order(&graph).is_err() {
+        let Ok(topo) = deploy_order(&graph) else {
             // A dependency cycle fails before anything deploys.
             return DeployReport {
                 outcome: DeployOutcome::Failure {
@@ -114,16 +112,13 @@ impl CloudSim {
                 rollback: Vec::new(),
                 violations: Vec::new(),
             };
-        }
+        };
 
         // Discrete-event schedule: start = max(finish of dependencies),
         // finish = start + duration. Ties resolve by declaration order.
         let n = graph.len();
         let mut finish: Vec<u64> = vec![0; n];
         let mut start: Vec<u64> = vec![0; n];
-        // deploy_order() succeeded, so a fixpoint pass in topological order
-        // is well-defined; iterate until stable (bounded by depth).
-        let topo = deploy_order(&graph).expect("acyclic");
         for &node in &topo {
             let deps_finish = graph
                 .out_edges(node)

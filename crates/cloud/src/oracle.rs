@@ -3,17 +3,19 @@
 //! The paper treats the cloud as an expensive, unreliable oracle: deploys
 //! are slow, rate-limited, and transiently flaky. This module defines the
 //! [`DeployOracle`] trait (implemented by [`CloudSim`](crate::CloudSim)
-//! here, by real Azure in the paper), the [`FaultInjector`] hook that lets a
-//! harness model those real-cloud transients inside the five-phase engine,
-//! and the [`DeployTelemetry`] surface that execution engines report.
+//! here, by real Azure in the paper) and the [`FaultInjector`] hook that
+//! lets a harness model those real-cloud transients inside the five-phase
+//! engine. Execution engines report their counters through the
+//! `zodiac-obs` [`MetricsSnapshot`] surface (see the `deploy.*` metric
+//! namespace) rather than a bespoke telemetry struct.
 //!
 //! Transient failures are distinguished from ground-truth (deterministic)
 //! failures by rule id: every injected fault uses a rule id under the
 //! `transient/` prefix ([`TRANSIENT_PREFIX`]), so retry policies can
 //! classify an outcome without knowing the fault source.
 
-use serde::Serialize;
 use zodiac_model::{Program, ResourceId};
+use zodiac_obs::MetricsSnapshot;
 
 use crate::report::{DeployOutcome, DeployReport, Phase};
 
@@ -89,39 +91,6 @@ pub trait FaultInjector: Sync {
     fn inject(&self, resource: &ResourceId, phase: Phase) -> Option<FaultKind>;
 }
 
-/// Counters reported by a deployment execution engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
-pub struct DeployTelemetry {
-    /// Deploy requests received from consumers.
-    pub requests: u64,
-    /// Requests served from the memoization cache.
-    pub cache_hits: u64,
-    /// Requests that reached the backend (`requests - cache_hits` when a
-    /// cache is in front).
-    pub backend_deploys: u64,
-    /// Transient failures observed across all attempts.
-    pub transient_failures: u64,
-    /// Extra backend attempts spent retrying transient failures.
-    pub retries: u64,
-    /// Highest request-queue depth observed by the worker pool.
-    pub max_queue_depth: u64,
-    /// Simulated seconds spent honouring retry-after hints and backoff.
-    pub simulated_backoff_secs: u64,
-    /// Wall-clock milliseconds spent inside the engine.
-    pub wall_time_ms: u64,
-}
-
-impl DeployTelemetry {
-    /// Cache hit rate over all requests, in [0, 1].
-    pub fn cache_hit_rate(&self) -> f64 {
-        if self.requests == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / self.requests as f64
-        }
-    }
-}
-
 /// Anything that can deploy a program and report the outcome.
 ///
 /// The simulator implements this; the paper's implementation shells out to
@@ -150,8 +119,10 @@ pub trait DeployOracle {
         self.deploy(program).outcome.is_success()
     }
 
-    /// Execution-engine telemetry, if this oracle collects any.
-    fn telemetry(&self) -> Option<DeployTelemetry> {
+    /// Execution-engine metrics (the `deploy.*` namespace — requests,
+    /// cache hits, retries, latency histograms), if this oracle collects
+    /// any.
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
         None
     }
 }

@@ -169,7 +169,10 @@ impl GroundRule {
     }
 }
 
-/// Builds a spec-based rule.
+/// Builds a spec-based rule. Returns `None` when the check source fails to
+/// parse or the fix variable is unbound; a malformed entry is dropped from
+/// the table rather than panicking, and `tests/rules_coverage.rs` exercises
+/// every rule id so a dropped rule fails the suite.
 fn spec_rule(
     id: &str,
     phase: Phase,
@@ -177,14 +180,12 @@ fn spec_rule(
     fix_var: &str,
     check_src: &str,
     description: &str,
-) -> GroundRule {
-    let check =
-        parse_check(check_src).unwrap_or_else(|e| panic!("ground rule {id}: {e} in `{check_src}`"));
-    assert!(
-        check.bindings.iter().any(|b| b.var == fix_var),
-        "ground rule {id}: fix var {fix_var} unbound"
-    );
-    GroundRule {
+) -> Option<GroundRule> {
+    let check = parse_check(check_src).ok()?;
+    if !check.bindings.iter().any(|b| b.var == fix_var) {
+        return None;
+    }
+    Some(GroundRule {
         id: id.to_string(),
         description: description.to_string(),
         phase,
@@ -193,23 +194,25 @@ fn spec_rule(
             check: Box::new(check),
             fix_var: Symbol::intern(fix_var),
         },
-    }
+    })
 }
 
+/// Builds a custom (imperative) rule. Infallible, but returns `Option` so
+/// the rule table composes uniformly with [`spec_rule`].
 fn custom_rule(
     id: &str,
     phase: Phase,
     category: CheckCategory,
     rule: CustomRule,
     description: &str,
-) -> GroundRule {
-    GroundRule {
+) -> Option<GroundRule> {
+    Some(GroundRule {
         id: id.to_string(),
         description: description.to_string(),
         phase,
         category,
         body: RuleBody::Custom(rule),
-    }
+    })
 }
 
 /// The full Azure ground-truth rule set.
@@ -217,7 +220,7 @@ pub fn ground_truth() -> Vec<GroundRule> {
     use CheckCategory::*;
     use Phase::*;
 
-    let mut rules = vec![
+    let table: Vec<Option<GroundRule>> = vec![
         // ------------------------------------------------ plugin checks ---
         custom_rule(
             "schema/validate",
@@ -663,11 +666,12 @@ pub fn ground_truth() -> Vec<GroundRule> {
             "routes in one table silently overwrite on equal prefixes",
         ),
     ];
+    let mut rules: Vec<GroundRule> = table.into_iter().flatten().collect();
 
     // Interpolation rules: VM sku → NIC / data-disk limits, GW sku → tunnel
     // limits, generated from the documentation tables.
     for sku in docs::VM_SKUS {
-        rules.push(spec_rule(
+        rules.extend(spec_rule(
             &format!("vm/max-nics-{}", sku.sku),
             SendingRequest,
             Interpolation,
@@ -678,7 +682,7 @@ pub fn ground_truth() -> Vec<GroundRule> {
             ),
             &format!("{} VMs attach at most {} NICs", sku.sku, sku.max_nics),
         ));
-        rules.push(spec_rule(
+        rules.extend(spec_rule(
             &format!("vm/max-data-disks-{}", sku.sku),
             SendingRequest,
             Interpolation,
@@ -694,7 +698,7 @@ pub fn ground_truth() -> Vec<GroundRule> {
         ));
     }
     for sku in docs::GW_SKUS {
-        rules.push(spec_rule(
+        rules.extend(spec_rule(
             &format!("gw/max-tunnels-{}", sku.sku),
             PollingRequest,
             Interpolation,
@@ -709,7 +713,7 @@ pub fn ground_truth() -> Vec<GroundRule> {
             ),
         ));
         if !sku.active_active {
-            rules.push(spec_rule(
+            rules.extend(spec_rule(
                 &format!("gw/no-active-active-{}", sku.sku),
                 SendingRequest,
                 Interpolation,
@@ -1011,16 +1015,15 @@ fn validate_schema(graph: &ResourceGraph, kb: &KnowledgeBase, node: NodeIdx) -> 
                     attr.path
                 ));
             }
-        } else {
+        } else if let Some((child, parent)) = segs.split_last() {
             // Parent present, child missing in at least one instance?
-            let parent = &segs[..segs.len() - 1];
             let parents = count_instances(r, parent);
             let children = zodiac_spec::eval::resolve_multi(r, &segs).len();
             if parents > 0 && children < parents {
                 errors.push(format!(
                     "{}: missing required attribute {} in a {} block",
                     r.id(),
-                    segs.last().expect("nested path"),
+                    child,
                     parent.join(".")
                 ));
             }

@@ -15,7 +15,9 @@
 //! failure phase and blast radius.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use zodiac_model::Program;
+use zodiac_obs::{JsonLinesSink, MemoryRecorder, MetricsSnapshot, Obs, Recorder};
 use zodiac_spec::{parse_check, Check};
 
 fn main() -> ExitCode {
@@ -58,6 +60,11 @@ DEPLOYMENT OPTIONS (mine, scan, deploy):
     --workers N          worker threads in the deployment engine (default 4)
     --no-deploy-cache    disable deploy-result memoization
 
+OBSERVABILITY OPTIONS (mine, scan, deploy):
+    --metrics            print the funnel/latency metrics summary on exit
+    --trace-out FILE     stream stage spans as JSON lines, plus a final
+                         metrics snapshot, to FILE
+
 PROGRAM is .tf (Terraform source) or .json (terraform show -json plan).";
 
 /// Pulls `--flag value` out of an argument list.
@@ -99,17 +106,79 @@ fn take_deployer_flags(args: &mut Vec<String>) -> Result<zodiac_deployer::Deploy
 }
 
 /// Prints the engine's telemetry summary after a run.
-fn print_telemetry(tel: &zodiac_deployer::DeployTelemetry) {
+fn print_telemetry(tel: &MetricsSnapshot) {
+    let requests = tel.counter("deploy.requests");
+    let cache_hits = tel.counter("deploy.cache_hits");
+    let hit_rate = if requests == 0 {
+        0.0
+    } else {
+        cache_hits as f64 / requests as f64
+    };
     eprintln!(
         "deploys: {} requests, {} backend deploys, {} cache hits ({:.0}% hit rate), \
          {} retries, peak queue depth {}",
-        tel.requests,
-        tel.backend_deploys,
-        tel.cache_hits,
-        tel.cache_hit_rate() * 100.0,
-        tel.retries,
-        tel.max_queue_depth,
+        requests,
+        tel.counter("deploy.backend_deploys"),
+        cache_hits,
+        hit_rate * 100.0,
+        tel.counter("deploy.retries"),
+        tel.gauge("deploy.queue_depth.max"),
     );
+}
+
+/// The CLI's observability wiring, parsed from `--metrics`/`--trace-out`.
+struct ObsFlags {
+    metrics: bool,
+    trace: Option<Arc<JsonLinesSink>>,
+    registry: Arc<MemoryRecorder>,
+    obs: Obs,
+}
+
+/// Parses the shared `--metrics` / `--trace-out FILE` observability flags.
+/// With neither flag the returned handle is null, so instrumented code
+/// paths stay free.
+fn take_obs_flags(args: &mut Vec<String>) -> Result<ObsFlags, String> {
+    let metrics = take_switch(args, "--metrics");
+    let trace_path = take_flag(args, "--trace-out");
+    let registry = Arc::new(MemoryRecorder::new());
+    let mut sinks: Vec<Arc<dyn Recorder>> = vec![registry.clone()];
+    let trace = match trace_path {
+        Some(path) => {
+            let sink = Arc::new(
+                JsonLinesSink::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            sinks.push(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let obs = if metrics || trace.is_some() {
+        Obs::fanout(sinks)
+    } else {
+        Obs::null()
+    };
+    Ok(ObsFlags {
+        metrics,
+        trace,
+        registry,
+        obs,
+    })
+}
+
+impl ObsFlags {
+    /// Emits the end-of-run artifacts: the final snapshot line of the trace
+    /// file and the `--metrics` summary table.
+    fn finish(&self) -> Result<(), String> {
+        if let Some(sink) = &self.trace {
+            sink.write_snapshot(&self.registry.snapshot());
+            sink.flush()
+                .map_err(|e| format!("cannot flush trace file: {e}"))?;
+        }
+        if self.metrics {
+            eprint!("{}", self.registry.snapshot().render());
+        }
+        Ok(())
+    }
 }
 
 fn load_program(path: &str) -> Result<Program, String> {
@@ -150,13 +219,16 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .unwrap_or(0xC0FFEE);
     let out = take_flag(&mut args, "--out").ok_or("mine requires --out FILE")?;
     let deployer = take_deployer_flags(&mut args)?;
+    let obs_flags = take_obs_flags(&mut args)?;
 
     let mut cfg = zodiac::PipelineConfig::evaluation();
     cfg.corpus.projects = projects;
     cfg.corpus.seed = seed;
     cfg.deployer = deployer;
     eprintln!("mining + validating over {projects} synthetic projects...");
-    let result = zodiac::run_pipeline(&cfg);
+    let cli_span = obs_flags.obs.start_span("cli/mine");
+    let result = zodiac::run_pipeline_obs(&cfg, &obs_flags.obs);
+    cli_span.finish();
     eprintln!(
         "hypothesized {} → candidates {} → validated {} ({} demoted by counterexamples)",
         result.mining.hypothesized,
@@ -164,7 +236,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         result.validation.validated.len(),
         result.demoted.len(),
     );
-    if let Some(tel) = &result.deploy_telemetry {
+    if let Some(tel) = &result.deploy_metrics {
         print_telemetry(tel);
     }
     let mut lines = String::new();
@@ -174,16 +246,18 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     }
     std::fs::write(&out, lines).map_err(|e| format!("cannot write {out}: {e}"))?;
     eprintln!("{} checks written to {out}", result.final_checks.len());
-    Ok(())
+    obs_flags.finish()
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let checks_path = take_flag(&mut args, "--checks").ok_or("scan requires --checks FILE")?;
     let deployer = take_deployer_flags(&mut args)?;
+    let obs_flags = take_obs_flags(&mut args)?;
     if args.is_empty() {
         return Err("scan requires at least one program file".into());
     }
+    let cli_span = obs_flags.obs.start_span("cli/scan");
     let checks = load_checks(&checks_path)?;
     let kb = zodiac_kb::azure_kb();
     let mut total_violations = 0usize;
@@ -209,8 +283,11 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     // precision claim: scanner hits should fail real deployment).
     if !flagged.is_empty() {
         use zodiac_deployer::DeployOracle;
-        let engine =
-            zodiac_deployer::DeployEngine::new(zodiac_cloud::CloudSim::new_azure(), deployer);
+        let engine = zodiac_deployer::DeployEngine::with_obs(
+            zodiac_cloud::CloudSim::new_azure(),
+            deployer,
+            obs_flags.obs.clone(),
+        );
         let programs: Vec<Program> = flagged.iter().map(|(_, p)| p.clone()).collect();
         for ((path, _), report) in flagged.iter().zip(engine.deploy_batch(&programs)) {
             if report.outcome.is_success() {
@@ -219,8 +296,10 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
                 println!("{path}: confirmed — deployment fails");
             }
         }
-        print_telemetry(&engine.telemetry_snapshot());
+        print_telemetry(&engine.metrics());
     }
+    cli_span.finish();
+    obs_flags.finish()?;
     if total_violations > 0 {
         Err(format!("{total_violations} violation(s) found"))
     } else {
@@ -231,11 +310,17 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
 fn cmd_deploy(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let deployer = take_deployer_flags(&mut args)?;
+    let obs_flags = take_obs_flags(&mut args)?;
     if args.is_empty() {
         return Err("deploy requires at least one program file".into());
     }
+    let cli_span = obs_flags.obs.start_span("cli/deploy");
     use zodiac_deployer::DeployOracle;
-    let engine = zodiac_deployer::DeployEngine::new(zodiac_cloud::CloudSim::new_azure(), deployer);
+    let engine = zodiac_deployer::DeployEngine::with_obs(
+        zodiac_cloud::CloudSim::new_azure(),
+        deployer,
+        obs_flags.obs.clone(),
+    );
     let mut failed = false;
     let programs: Vec<(String, Program)> = args
         .iter()
@@ -266,7 +351,9 @@ fn cmd_deploy(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    print_telemetry(&engine.telemetry_snapshot());
+    print_telemetry(&engine.metrics());
+    cli_span.finish();
+    obs_flags.finish()?;
     if failed {
         Err("deployment failed".into())
     } else {

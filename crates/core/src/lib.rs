@@ -21,6 +21,11 @@
 //! the downstream use case — scanning user programs for violations of
 //! validated checks ([`scanner`]).
 //!
+//! Every phase threads a `zodiac-obs` [`Obs`] handle: pass one to
+//! [`run_pipeline_obs`] to collect funnel counters and
+//! `pipeline/corpus` → `pipeline/mining` → `pipeline/validation` →
+//! deployment stage spans across the whole run.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -50,9 +55,10 @@ use zodiac_deployer::{DeployEngine, DeployerConfig};
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::{MiningConfig, MiningReport};
 use zodiac_model::Program;
+use zodiac_obs::{MetricsSnapshot, Obs};
 use zodiac_validation::{
-    counterexample::{counterexample_pass, CounterexampleReport},
-    DeployOracle, DeployTelemetry, Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
+    counterexample::{counterexample_pass_obs, CounterexampleReport},
+    DeployOracle, Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
 };
 
 /// End-to-end pipeline configuration.
@@ -110,9 +116,10 @@ pub struct PipelineResult {
     pub counterexamples: CounterexampleReport,
     /// The final check set: validated minus demoted.
     pub final_checks: Vec<ValidatedCheck>,
-    /// Execution-engine counters for the whole run (requests, cache hits,
-    /// retries, …), when deployment went through an engine.
-    pub deploy_telemetry: Option<DeployTelemetry>,
+    /// Execution-engine metrics for the whole run (the `deploy.*`
+    /// namespace: requests, cache hits, retries, latency histograms), when
+    /// deployment went through an engine.
+    pub deploy_metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs corpus generation → mining → validation → counterexample testing.
@@ -120,9 +127,16 @@ pub struct PipelineResult {
 /// Deployment goes through a [`DeployEngine`] configured by
 /// [`PipelineConfig::deployer`] wrapping the Azure simulator.
 pub fn run_pipeline(cfg: &PipelineConfig) -> PipelineResult {
+    run_pipeline_obs(cfg, &Obs::null())
+}
+
+/// [`run_pipeline`] with an observability handle: every phase records its
+/// funnel counters and stage spans into `obs`, and the deploy engine fans
+/// its `deploy.*` metrics out to it as well.
+pub fn run_pipeline_obs(cfg: &PipelineConfig, obs: &Obs) -> PipelineResult {
     let kb = zodiac_kb::azure_kb();
-    let engine = DeployEngine::new(CloudSim::new_azure(), cfg.deployer.clone());
-    run_pipeline_with(cfg, &kb, &engine)
+    let engine = DeployEngine::with_obs(CloudSim::new_azure(), cfg.deployer.clone(), obs.clone());
+    run_pipeline_with_obs(cfg, &kb, &engine, obs)
 }
 
 /// [`run_pipeline`] with an injected KB and deployment oracle — any
@@ -133,13 +147,27 @@ pub fn run_pipeline_with<D: DeployOracle>(
     kb: &KnowledgeBase,
     sim: &D,
 ) -> PipelineResult {
-    let corpus = zodiac_corpus::generate(&cfg.corpus);
+    run_pipeline_with_obs(cfg, kb, sim, &Obs::null())
+}
+
+/// [`run_pipeline_with`] plus an observability handle threaded through
+/// every phase.
+pub fn run_pipeline_with_obs<D: DeployOracle>(
+    cfg: &PipelineConfig,
+    kb: &KnowledgeBase,
+    sim: &D,
+    obs: &Obs,
+) -> PipelineResult {
+    let pipeline_span = obs.start_span("pipeline");
+    let corpus = zodiac_corpus::generate_obs(&cfg.corpus, obs);
     let programs: Vec<Program> = corpus.iter().map(|p| p.program.clone()).collect();
 
-    let mining = zodiac_mining::mine(&programs, kb, &cfg.mining);
+    let mining = zodiac_mining::mine_obs(&programs, kb, &cfg.mining, obs);
 
-    let scheduler = Scheduler::new(sim, kb, &programs, cfg.scheduler.clone());
+    let validation_span = obs.start_span("pipeline/validation");
+    let scheduler = Scheduler::new(sim, kb, &programs, cfg.scheduler.clone()).with_obs(obs.clone());
     let validation = scheduler.run(mining.checks.clone());
+    validation_span.finish();
 
     let (counterexamples, demoted) = if cfg.counterexample_projects > 0 {
         let extra_cfg = CorpusConfig {
@@ -154,12 +182,13 @@ pub fn run_pipeline_with<D: DeployOracle>(
             .into_iter()
             .map(|p| p.program)
             .collect();
-        let report = counterexample_pass(
+        let report = counterexample_pass_obs(
             &validation.validated,
             &extra,
             kb,
             sim,
             cfg.counterexample_budget.max(1),
+            obs,
         );
         let demoted = report.demoted.clone();
         (report, demoted)
@@ -178,6 +207,9 @@ pub fn run_pipeline_with<D: DeployOracle>(
         .map(|(_, v)| v.clone())
         .collect();
 
+    obs.gauge_set("pipeline.final_checks", final_checks.len() as u64);
+    pipeline_span.finish();
+
     PipelineResult {
         corpus_projects: corpus.len(),
         mining,
@@ -185,6 +217,6 @@ pub fn run_pipeline_with<D: DeployOracle>(
         demoted,
         counterexamples,
         final_checks,
-        deploy_telemetry: sim.telemetry(),
+        deploy_metrics: sim.telemetry(),
     }
 }

@@ -98,11 +98,15 @@ impl Ctx {
         format!("10.{block}.0.0/16")
     }
 
-    /// Allocates the `i`-th /24 subnet inside a /16 VNet block.
+    /// Allocates the `i`-th /24 subnet inside a /16 VNet block. An
+    /// unparsable block (impossible for generator-produced CIDRs) falls back
+    /// to the 10.0.0.0/16 block.
     pub fn subnet_cidr(vnet_cidr: &str, i: u8) -> String {
-        let base: zodiac_model::Cidr = vnet_cidr.parse().expect("valid vnet cidr");
-        let octets = base.addr().to_be_bytes();
-        format!("10.{}.{}.0/24", octets[1], i)
+        let second = vnet_cidr
+            .parse::<zodiac_model::Cidr>()
+            .map(|c| c.addr().to_be_bytes()[1])
+            .unwrap_or(0);
+        format!("10.{second}.{i}.0/24")
     }
 
     /// Samples a weighted VM size.
@@ -110,45 +114,44 @@ impl Ctx {
         pick_weighted(&mut self.rng, SIZE_WEIGHTS)
     }
 
-    /// Adds a resource to the program, panicking on duplicates (generator
-    /// names are unique by construction).
+    /// Adds a resource to the program. Generator names are unique by
+    /// construction, so a duplicate id cannot occur; if one ever did, the
+    /// first occurrence wins.
     pub fn add(&mut self, r: Resource) {
-        self.program
-            .add(r)
-            .expect("generator produced duplicate id");
+        let _ = self.program.add(r);
     }
 
     /// Ensures a resource group exists and returns a reference to its name.
     pub fn rg_ref(&mut self) -> Value {
-        if self.rg.is_none() {
-            let local = self.fresh("rg");
-            let name = format!("rg-p{}", self.project_index);
-            self.add(
-                Resource::new("azurerm_resource_group", local.clone())
-                    .with("name", name)
-                    .with("location", self.location.clone()),
-            );
-            self.rg = Some(local);
-        }
-        Value::r(
-            "azurerm_resource_group",
-            self.rg.as_deref().expect("just ensured"),
-            "name",
-        )
+        let local = match &self.rg {
+            Some(local) => local.clone(),
+            None => {
+                let local = self.fresh("rg");
+                let name = format!("rg-p{}", self.project_index);
+                self.add(
+                    Resource::new("azurerm_resource_group", local.clone())
+                        .with("name", name)
+                        .with("location", self.location.clone()),
+                );
+                self.rg = Some(local.clone());
+                local
+            }
+        };
+        Value::r("azurerm_resource_group", &local, "name")
     }
 }
 
-/// Picks from a weighted table.
+/// Picks from a weighted table (empty tables yield `""`).
 pub fn pick_weighted<'a>(rng: &mut StdRng, table: &[(&'a str, u32)]) -> &'a str {
     let total: u32 = table.iter().map(|(_, w)| w).sum();
-    let mut roll = rng.gen_range(0..total);
+    let mut roll = rng.gen_range(0..total.max(1));
     for (item, w) in table {
         if roll < *w {
             return item;
         }
         roll -= w;
     }
-    table.last().expect("non-empty table").0
+    table.last().map(|(item, _)| *item).unwrap_or("")
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@ pub use noise::{inject_kind, NOISE_KINDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use zodiac_model::Program;
+use zodiac_obs::Obs;
 
 /// Configuration for corpus generation.
 #[derive(Debug, Clone)]
@@ -75,10 +76,31 @@ impl Project {
 
 /// Generates a corpus.
 pub fn generate(cfg: &CorpusConfig) -> Vec<Project> {
+    generate_obs(cfg, &Obs::null())
+}
+
+/// [`generate`] with an observability handle: records a `pipeline/corpus`
+/// span plus `corpus.projects`, `corpus.resources`, `corpus.noise.<kind>`,
+/// and `corpus.motif.<name>` counters describing the generated mix.
+pub fn generate_obs(cfg: &CorpusConfig, obs: &Obs) -> Vec<Project> {
+    let _span = obs.start_span("pipeline/corpus");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    (0..cfg.projects)
+    let projects: Vec<Project> = (0..cfg.projects)
         .map(|i| generate_project(&mut rng, cfg, i))
-        .collect()
+        .collect();
+    if obs.is_enabled() {
+        obs.counter("corpus.projects", projects.len() as u64);
+        for p in &projects {
+            obs.counter("corpus.resources", p.program.len() as u64);
+            if let Some(kind) = p.injected_noise {
+                obs.counter(&format!("corpus.noise.{kind}"), 1);
+            }
+            for motif in &p.motifs {
+                obs.counter(&format!("corpus.motif.{motif}"), 1);
+            }
+        }
+    }
+    projects
 }
 
 fn generate_project(rng: &mut StdRng, cfg: &CorpusConfig, index: usize) -> Project {

@@ -415,10 +415,13 @@ fn secured_subnet(ctx: &mut Ctx) {
     }
     // A single nested block compiles to a map (matching the HCL frontend);
     // repeated blocks compile to a list.
-    let rules_value = if rules.len() == 1 {
-        rules.into_iter().next().expect("one rule")
-    } else {
-        Value::List(rules)
+    let rules_value = match (rules.pop(), rules.is_empty()) {
+        (Some(single), true) => single,
+        (Some(last), false) => {
+            rules.push(last);
+            Value::List(rules)
+        }
+        (None, _) => Value::List(rules),
     };
     ctx.add(
         Resource::new("azurerm_network_security_group", sg_local.clone())
@@ -453,11 +456,11 @@ fn storage_site(ctx: &mut Ctx) {
     let replication = if premium {
         *["LRS", "ZRS"]
             .get(ctx.rng.gen_range(0..2))
-            .expect("index in range")
+            .unwrap_or(&"LRS")
     } else {
         *["LRS", "GRS", "RAGRS", "ZRS", "GZRS"]
             .get(ctx.rng.gen_range(0..5))
-            .expect("index in range")
+            .unwrap_or(&"LRS")
     };
     ctx.add(
         Resource::new("azurerm_storage_account", local.clone())
@@ -490,7 +493,7 @@ fn data_disks(ctx: &mut Ctx) {
     // Pick a size with data-disk headroom.
     let size = *["Standard_D4s_v3", "Standard_E4s_v3", "Standard_B2s"]
         .get(ctx.rng.gen_range(0..3))
-        .expect("index in range");
+        .unwrap_or(&"Standard_D4s_v3");
     let vm_local = vm(
         ctx,
         &[n],

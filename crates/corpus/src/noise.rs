@@ -233,7 +233,9 @@ fn nic_in_gateway_subnet(program: &mut Program) -> bool {
     let Some(nic) = first_of(program, "azurerm_network_interface") else {
         return false;
     };
-    let path: AttrPath = "ip_configuration.subnet_id".parse().expect("static path");
+    let Ok(path) = "ip_configuration.subnet_id".parse::<AttrPath>() else {
+        return false;
+    };
     nic.set(&path, Value::r("azurerm_subnet", &gw_subnet, "id"));
     true
 }
@@ -444,10 +446,13 @@ fn move_vnet_onto(program: &mut Program, vnet: &str, onto: &str) -> bool {
 
 fn v2_no_priority(program: &mut Program) -> bool {
     let Some(appgw) = program.resources_mut().iter_mut().find(|r| {
-        r.rtype == "azurerm_application_gateway" && {
-            let path: AttrPath = "sku.name".parse().expect("static path");
-            r.get(&path).and_then(Value::as_str) == Some("Standard_v2")
-        }
+        r.rtype == "azurerm_application_gateway"
+            && "sku.name"
+                .parse::<AttrPath>()
+                .ok()
+                .and_then(|path| r.get(&path))
+                .and_then(Value::as_str)
+                == Some("Standard_v2")
     }) else {
         return false;
     };

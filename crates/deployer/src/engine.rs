@@ -5,10 +5,11 @@ use crate::fingerprint::fingerprint;
 use crate::RetryPolicy;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
-use zodiac_cloud::{DeployOracle, DeployReport, DeployTelemetry};
+use zodiac_cloud::{DeployOracle, DeployReport};
 use zodiac_model::Program;
+use zodiac_obs::{MemoryRecorder, MetricsSnapshot, Obs};
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,36 +38,25 @@ impl Default for DeployerConfig {
 
 const CACHE_SHARDS: usize = 16;
 
-#[derive(Default)]
-struct Stats {
-    requests: AtomicU64,
-    cache_hits: AtomicU64,
-    backend_deploys: AtomicU64,
-    transient_failures: AtomicU64,
-    retries: AtomicU64,
-    max_queue_depth: AtomicU64,
-    simulated_backoff_secs: AtomicU64,
-    wall_time_ms: AtomicU64,
-}
-
-impl Stats {
-    fn bump_max(cell: &AtomicU64, observed: u64) {
-        let mut cur = cell.load(Ordering::Relaxed);
-        while observed > cur {
-            match cell.compare_exchange_weak(cur, observed, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => break,
-                Err(now) => cur = now,
-            }
-        }
-    }
-}
-
 /// A concurrent, fault-tolerant, memoizing deployment engine wrapping any
 /// [`DeployOracle`] backend.
 ///
 /// The engine is itself a `DeployOracle`, so consumers (the validation
 /// scheduler, the counterexample pass, the scanner) are oblivious to
 /// whether they talk to the backend directly or through the engine.
+///
+/// # Metrics
+///
+/// The engine always records into an internal `zodiac-obs` registry
+/// (surfaced by [`DeployOracle::telemetry`] / [`DeployEngine::metrics`]),
+/// and additionally fans out to any external [`Obs`] handle passed to
+/// [`DeployEngine::with_obs`] — e.g. the CLI's trace sink. Counters live
+/// under the `deploy.*` namespace:
+///
+/// * `deploy.requests`, `deploy.cache_hits`, `deploy.backend_deploys`
+/// * `deploy.transient_failures`, `deploy.retries`, `deploy.backoff_secs`
+/// * gauge `deploy.queue_depth.max` (worker-pool high-water mark)
+/// * histograms `deploy.latency_us.cache_hit` / `deploy.latency_us.backend`
 ///
 /// # Equivalence guarantee
 ///
@@ -87,19 +77,32 @@ pub struct DeployEngine<B> {
     backend: B,
     cfg: DeployerConfig,
     cache: Vec<RwLock<HashMap<u128, DeployReport>>>,
-    stats: Stats,
+    registry: Arc<MemoryRecorder>,
+    obs: Obs,
 }
 
 impl<B: DeployOracle + Sync> DeployEngine<B> {
     /// Wraps `backend` with the given configuration.
     pub fn new(backend: B, cfg: DeployerConfig) -> Self {
+        DeployEngine::with_obs(backend, cfg, Obs::null())
+    }
+
+    /// Wraps `backend`, fanning metrics out to `obs` in addition to the
+    /// engine's own in-memory registry.
+    pub fn with_obs(backend: B, cfg: DeployerConfig, obs: Obs) -> Self {
+        let registry = Arc::new(MemoryRecorder::new());
+        let mut sinks: Vec<Arc<dyn zodiac_obs::Recorder>> = vec![registry.clone()];
+        if obs.is_enabled() {
+            sinks.push(Arc::new(obs));
+        }
         DeployEngine {
             backend,
             cfg,
             cache: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
-            stats: Stats::default(),
+            registry,
+            obs: Obs::fanout(sinks),
         }
     }
 
@@ -113,18 +116,14 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
         &self.cfg
     }
 
-    /// A point-in-time snapshot of the engine's counters.
-    pub fn telemetry_snapshot(&self) -> DeployTelemetry {
-        DeployTelemetry {
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
-            backend_deploys: self.stats.backend_deploys.load(Ordering::Relaxed),
-            transient_failures: self.stats.transient_failures.load(Ordering::Relaxed),
-            retries: self.stats.retries.load(Ordering::Relaxed),
-            max_queue_depth: self.stats.max_queue_depth.load(Ordering::Relaxed),
-            simulated_backoff_secs: self.stats.simulated_backoff_secs.load(Ordering::Relaxed),
-            wall_time_ms: self.stats.wall_time_ms.load(Ordering::Relaxed),
-        }
+    /// A point-in-time snapshot of the engine's `deploy.*` metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Backward-compatible alias for [`DeployEngine::metrics`].
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        self.metrics()
     }
 
     fn shard(&self, fp: u128) -> &RwLock<HashMap<u128, DeployReport>> {
@@ -134,18 +133,19 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
     /// One deploy request: cache lookup, then the retrying attempt loop.
     fn deploy_one(&self, program: &Program) -> DeployReport {
         let t0 = Instant::now();
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("deploy.requests", 1);
         let fp = fingerprint(program);
         if self.cfg.cache {
             if let Some(hit) = self.shard(fp).read().get(&fp).cloned() {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .wall_time_ms
-                    .fetch_add(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+                self.obs.counter("deploy.cache_hits", 1);
+                self.obs.histogram(
+                    "deploy.latency_us.cache_hit",
+                    t0.elapsed().as_micros() as u64,
+                );
                 return hit;
             }
         }
-        self.stats.backend_deploys.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("deploy.backend_deploys", 1);
         let report = self.attempt_loop(program, fp);
         if self.cfg.cache {
             // Two workers may race to a cold fingerprint; both compute the
@@ -153,9 +153,8 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
             // harmless.
             self.shard(fp).write().insert(fp, report.clone());
         }
-        self.stats
-            .wall_time_ms
-            .fetch_add(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+        self.obs
+            .histogram("deploy.latency_us.backend", t0.elapsed().as_micros() as u64);
         report
     }
 
@@ -175,6 +174,7 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
             return self.backend.deploy(program);
         };
         let attempts = self.cfg.retry.max_attempts.max(1);
+        let mut last = None;
         for attempt in 0..attempts {
             let report = if attempt + 1 == attempts {
                 self.backend.deploy(program)
@@ -185,10 +185,8 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
             if !report.is_transient_failure() {
                 return report;
             }
-            self.stats
-                .transient_failures
-                .fetch_add(1, Ordering::Relaxed);
-            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter("deploy.transient_failures", 1);
+            self.obs.counter("deploy.retries", 1);
             let backoff = if matches!(
                 &report.outcome,
                 zodiac_cloud::DeployOutcome::Failure { rule_id, .. }
@@ -198,11 +196,15 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
             } else {
                 self.cfg.retry.base_backoff_secs << attempt.min(16)
             };
-            self.stats
-                .simulated_backoff_secs
-                .fetch_add(backoff, Ordering::Relaxed);
+            self.obs.counter("deploy.backoff_secs", backoff);
+            last = Some(report);
         }
-        unreachable!("final attempt runs fault-free and always returns");
+        // Unreachable in practice: the final attempt runs fault-free, so the
+        // loop always returns from inside. Kept panic-free regardless.
+        match last {
+            Some(report) => report,
+            None => self.backend.deploy(program),
+        }
     }
 }
 
@@ -237,8 +239,13 @@ impl<B: DeployOracle + Sync> DeployOracle for DeployEngine<B> {
             drop(job_rx);
             drop(res_tx);
             for job in programs.iter().enumerate() {
-                job_tx.send(job).expect("workers alive while sending");
-                Stats::bump_max(&self.stats.max_queue_depth, job_tx.len() as u64);
+                // A send can only fail if every worker already exited; any
+                // job not handed off is deployed on this thread below.
+                if job_tx.send(job).is_err() {
+                    break;
+                }
+                self.obs
+                    .gauge_max("deploy.queue_depth.max", job_tx.len() as u64);
             }
             drop(job_tx);
             for (idx, report) in res_rx.iter() {
@@ -246,11 +253,16 @@ impl<B: DeployOracle + Sync> DeployOracle for DeployEngine<B> {
             }
         });
         out.into_iter()
-            .map(|r| r.expect("every job produced a report"))
+            .enumerate()
+            .map(|(idx, r)| match r {
+                Some(report) => report,
+                // Fallback for jobs the pool never reported on.
+                None => self.deploy_one(&programs[idx]),
+            })
             .collect()
     }
 
-    fn telemetry(&self) -> Option<DeployTelemetry> {
-        Some(self.telemetry_snapshot())
+    fn telemetry(&self) -> Option<MetricsSnapshot> {
+        Some(self.metrics())
     }
 }

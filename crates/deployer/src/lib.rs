@@ -19,9 +19,12 @@
 //!   the engine's retry loop absorbs them (see
 //!   [`DeployEngine::attempt_loop`'s policy][DeployEngine]) so consumers
 //!   only ever observe deterministic verdicts;
-//! * **telemetry** — [`DeployTelemetry`] counters (requests, cache hits,
-//!   retries, queue depth, simulated backoff) thread into the validation
-//!   trace and the experiment binaries.
+//! * **metrics** — the engine records `deploy.*` counters, gauges, and
+//!   latency histograms (requests, cache hits, retries, queue depth,
+//!   simulated backoff) into a `zodiac-obs` registry that threads into the
+//!   validation trace and the experiment binaries; pass an external
+//!   [`Obs`](zodiac_obs::Obs) via [`DeployEngine::with_obs`] to mirror
+//!   them into a trace sink.
 //!
 //! The engine implements [`DeployOracle`] itself, so swapping it in is
 //! transparent: `R_v` from a parallel, cached, fault-injected run is
@@ -34,16 +37,16 @@ pub mod fingerprint;
 pub use engine::{DeployEngine, DeployerConfig};
 pub use fault::{AttemptInjector, FaultConfig};
 pub use fingerprint::fingerprint;
-pub use zodiac_cloud::{DeployOracle, DeployTelemetry};
+pub use zodiac_cloud::DeployOracle;
 
 /// Retry/backoff policy for transient deploy failures.
 ///
 /// `max_attempts` bounds *total* attempts (first try included); retries
-/// sleep — in simulated time, charged to
-/// [`DeployTelemetry::simulated_backoff_secs`] — for the fault's
-/// retry-after hint when throttled, or `base_backoff_secs * 2^attempt`
-/// otherwise. The final attempt always runs fault-free, so a deploy request
-/// never surfaces a transient failure to its consumer.
+/// sleep — in simulated time, charged to the `deploy.backoff_secs`
+/// counter — for the fault's retry-after hint when throttled, or
+/// `base_backoff_secs * 2^attempt` otherwise. The final attempt always
+/// runs fault-free, so a deploy request never surfaces a transient failure
+/// to its consumer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per deploy request, including the first (≥ 1).
@@ -96,10 +99,12 @@ mod tests {
             serde_json::to_string(&first).unwrap(),
             serde_json::to_string(&second).unwrap()
         );
-        let tel = engine.telemetry_snapshot();
-        assert_eq!(tel.requests, 2);
-        assert_eq!(tel.cache_hits, 1);
-        assert_eq!(tel.backend_deploys, 1);
+        let tel = engine.metrics();
+        assert_eq!(tel.counter("deploy.requests"), 2);
+        assert_eq!(tel.counter("deploy.cache_hits"), 1);
+        assert_eq!(tel.counter("deploy.backend_deploys"), 1);
+        assert_eq!(tel.histogram("deploy.latency_us.cache_hit").count, 1);
+        assert_eq!(tel.histogram("deploy.latency_us.backend").count, 1);
     }
 
     #[test]
@@ -118,9 +123,9 @@ mod tests {
             "retries must absorb transients: {:?}",
             report.outcome
         );
-        let tel = engine.telemetry_snapshot();
-        assert!(tel.retries > 0);
-        assert!(tel.simulated_backoff_secs > 0);
+        let tel = engine.metrics();
+        assert!(tel.counter("deploy.retries") > 0);
+        assert!(tel.counter("deploy.backoff_secs") > 0);
     }
 
     #[test]
@@ -146,10 +151,10 @@ mod tests {
             .map(|r| serde_json::to_string(r).unwrap())
             .collect();
         assert_eq!(got, expected);
-        let tel = engine.telemetry_snapshot();
-        assert_eq!(tel.requests, 24);
+        let tel = engine.metrics();
+        assert_eq!(tel.counter("deploy.requests"), 24);
         assert!(
-            tel.backend_deploys < tel.requests,
+            tel.counter("deploy.backend_deploys") < tel.counter("deploy.requests"),
             "duplicates must hit the cache"
         );
     }

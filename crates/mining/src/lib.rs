@@ -30,6 +30,7 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use zodiac_kb::KnowledgeBase;
 use zodiac_model::{Program, Symbol};
+use zodiac_obs::Obs;
 use zodiac_spec::Check;
 
 /// Mining configuration.
@@ -102,8 +103,26 @@ pub struct MiningReport {
 
 /// Runs the full mining phase over a corpus.
 pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> MiningReport {
+    mine_obs(programs, kb, cfg, &Obs::null())
+}
+
+/// [`mine`] with an observability handle: records `pipeline/mining/*` stage
+/// spans plus `mining.*` funnel counters (candidates hypothesized per
+/// template family, statistical-filter kills by reason, oracle
+/// interpolation adds/removes).
+pub fn mine_obs(
+    programs: &[Program],
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    obs: &Obs,
+) -> MiningReport {
+    let _span = obs.start_span("pipeline/mining");
+    let stats_span = obs.start_span("pipeline/mining/stats");
     let stats = CorpusStats::build(programs, kb, cfg.use_kb);
+    stats_span.finish();
+    let templates_span = obs.start_span("pipeline/mining/templates");
     let mut candidates = templates::instantiate(&stats, kb, cfg);
+    templates_span.finish();
     // Everything downstream — solver soft constraints, validation grouping,
     // report ordering — is order-sensitive, so pin a canonical total order
     // here rather than depending on template iteration details. The IR
@@ -128,7 +147,14 @@ pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> Min
         }
     }
 
+    if obs.is_enabled() {
+        for c in &candidates {
+            obs.counter(&format!("mining.hypothesized.{}", c.family), 1);
+        }
+    }
+
     // Statistical filtering: confidence first, then lift.
+    let filter_span = obs.start_span("pipeline/mining/filter");
     let mut survivors = Vec::new();
     for c in candidates {
         if c.support < cfg.min_support || c.confidence < cfg.min_confidence {
@@ -143,12 +169,15 @@ pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> Min
         }
         survivors.push(c);
     }
+    filter_span.finish();
 
     // Interpolation: quantitative candidates are generalised through the
     // documentation oracle; the oracle also proposes checks for enum values
     // the corpus never witnessed (mitigating data scarcity).
+    let oracle_span = obs.start_span("pipeline/mining/oracle");
     let mut oracle = DocOracle::new(cfg.oracle_noise, cfg.oracle_seed);
     let (interpolated, removed) = oracle::interpolate(&survivors, kb, &mut oracle);
+    oracle_span.finish();
     report.llm_found = interpolated.len();
     report.llm_removed = removed;
 
@@ -160,6 +189,15 @@ pub fn mine(programs: &[Program], kb: &KnowledgeBase, cfg: &MiningConfig) -> Min
     checks.extend(interpolated);
     dedup(&mut checks);
     report.checks = checks;
+    obs.counter("mining.hypothesized", report.hypothesized as u64);
+    obs.counter(
+        "mining.filtered.confidence",
+        report.removed_by_confidence as u64,
+    );
+    obs.counter("mining.filtered.lift", report.removed_by_lift as u64);
+    obs.counter("mining.oracle.found", report.llm_found as u64);
+    obs.counter("mining.oracle.removed", report.llm_removed as u64);
+    obs.counter("mining.checks", report.checks.len() as u64);
     report
 }
 

@@ -1,0 +1,155 @@
+//! Streaming JSON-lines trace sink.
+
+use crate::snapshot::MetricsSnapshot;
+use crate::{escape_json, Recorder};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+/// A [`Recorder`] that streams completed stage spans to a writer as JSON
+/// lines (one object per line), for the CLI's `--trace-out <path>`.
+///
+/// Only spans are streamed — counters/gauges/histograms are high-frequency
+/// and belong in the in-memory registry; call [`JsonLinesSink::write_snapshot`]
+/// once at end of run to append the aggregate metrics as a final line.
+///
+/// Line shapes:
+///
+/// ```text
+/// {"event":"span","path":"pipeline/mining","us":40812}
+/// {"event":"snapshot","metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+/// ```
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// A sink writing to an arbitrary writer (buffered writers recommended).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonLinesSink::new(Box::new(BufWriter::new(file))))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        // Trace output is best-effort: a full disk must not fail the pipeline.
+        let _ = writeln!(out, "{line}");
+    }
+
+    /// Appends the aggregate metrics snapshot as a final `snapshot` event.
+    pub fn write_snapshot(&self, snapshot: &MetricsSnapshot) {
+        let line = format!(
+            "{{\"event\":\"snapshot\",\"metrics\":{}}}",
+            snapshot.to_json()
+        );
+        self.write_line(&line);
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
+    }
+}
+
+impl Recorder for JsonLinesSink {
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge_set(&self, _name: &str, _value: u64) {}
+    fn gauge_max(&self, _name: &str, _observed: u64) {}
+    fn histogram(&self, _name: &str, _value: u64) {}
+
+    fn span(&self, path: &str, micros: u64) {
+        let mut line = String::with_capacity(48 + path.len());
+        line.push_str("{\"event\":\"span\",\"path\":\"");
+        escape_json(path, &mut line);
+        let _ = write!(line, "\",\"us\":{micros}}}");
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryRecorder, Obs};
+    use std::sync::Arc;
+
+    /// A Write handle that appends into a shared buffer we can inspect.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(
+                self.0
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            )
+            .expect("trace is utf-8")
+        }
+    }
+
+    #[test]
+    fn streams_spans_and_final_snapshot_as_json_lines() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JsonLinesSink::new(Box::new(buf.clone())));
+        let reg = Arc::new(MemoryRecorder::new());
+        let obs = Obs::fanout(vec![sink.clone(), reg.clone()]);
+
+        obs.start_span("pipeline/corpus").finish();
+        obs.counter("deploy.requests", 3);
+        obs.start_span("pipeline/mining").finish();
+        sink.write_snapshot(&reg.snapshot());
+        sink.flush().expect("flush in-memory buffer");
+
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.get("event").is_some());
+        }
+        assert!(lines[0].contains("\"path\":\"pipeline/corpus\""));
+        assert!(lines[1].contains("\"path\":\"pipeline/mining\""));
+        assert!(lines[2].contains("\"event\":\"snapshot\""));
+        assert!(lines[2].contains("\"deploy.requests\":3"));
+    }
+
+    #[test]
+    fn span_paths_are_escaped() {
+        let buf = SharedBuf::default();
+        let sink = JsonLinesSink::new(Box::new(buf.clone()));
+        sink.span("weird\"path\\x", 1);
+        sink.flush().expect("flush");
+        let text = buf.contents();
+        let v: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+        assert_eq!(
+            v.get("path").and_then(|p| p.as_str()),
+            Some("weird\"path\\x")
+        );
+    }
+}

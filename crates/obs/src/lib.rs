@@ -1,0 +1,277 @@
+//! Pipeline observability for the mine → filter → schedule → mutate →
+//! deploy funnel.
+//!
+//! Zodiac's value is its funnel: candidates die at well-defined stages
+//! (statistical filtering, false-positive removal, counterexample demotion)
+//! and wall-clock concentrates in well-defined places (deployment, solver
+//! mutation). This crate gives every stage a first-class instrumentation
+//! surface instead of ad-hoc counter structs:
+//!
+//! * the [`Recorder`] trait — counters, gauges, histograms, and stage
+//!   spans — implemented by pluggable sinks;
+//! * [`MemoryRecorder`], a sharded in-memory registry whose hot path is a
+//!   read-lock + atomic add (no allocation, no write-lock after first
+//!   touch), cheap enough to stay enabled in benches and tests;
+//! * [`JsonLinesSink`], a streaming JSON-lines event sink for the CLI's
+//!   `--trace-out`: one line per completed span, plus a final metrics
+//!   snapshot;
+//! * [`Obs`], a cheaply-clonable fan-out handle threaded through the
+//!   pipeline. A disabled (null) handle makes every call a no-op over an
+//!   empty sink list, so un-instrumented callers pay nothing measurable.
+//!
+//! # Span naming convention
+//!
+//! Spans are hierarchical by *path*, slash-separated, rooted at the
+//! subsystem: `pipeline/corpus`, `pipeline/mining/stats`,
+//! `pipeline/validation/iter/3`, `cli/mine`. Span durations are recorded
+//! into the registry as histograms named `span.<path>` (microseconds), so
+//! one snapshot carries both the funnel counts and the stage timings.
+//!
+//! # Metric naming convention
+//!
+//! Dotted, lowercase, subsystem-first: `corpus.motif.<name>`,
+//! `mining.filtered.confidence`, `validation.fp.deployable`,
+//! `deploy.cache_hits`, `deploy.latency_us.success`. Dynamic label values
+//! (motif names, template families, failure phases) go in the last
+//! segment.
+
+mod jsonl;
+mod registry;
+mod snapshot;
+
+pub use jsonl::JsonLinesSink;
+pub use registry::MemoryRecorder;
+pub use snapshot::{HistogramSummary, MetricsSnapshot};
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A metrics + tracing sink. All methods take `&self`: recorders are shared
+/// across worker threads (the deployment engine records from its pool).
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the counter `name`.
+    fn counter(&self, name: &str, delta: u64);
+    /// Sets the gauge `name` to `value`.
+    fn gauge_set(&self, name: &str, value: u64);
+    /// Raises the gauge `name` to `observed` if higher (high-water mark).
+    fn gauge_max(&self, name: &str, observed: u64);
+    /// Records one observation of `value` into the histogram `name`.
+    fn histogram(&self, name: &str, value: u64);
+    /// Records a completed stage span: `path` per the naming convention,
+    /// `micros` of monotonic elapsed time.
+    fn span(&self, path: &str, micros: u64);
+}
+
+/// A cheaply-clonable handle fanning instrumentation out to zero or more
+/// sinks. The zero-sink ("null") handle is the default and makes every
+/// record call a no-op.
+#[derive(Clone, Default)]
+pub struct Obs {
+    sinks: Arc<[Arc<dyn Recorder>]>,
+}
+
+impl Obs {
+    /// The disabled handle: every call is a no-op.
+    pub fn null() -> Self {
+        Obs::default()
+    }
+
+    /// A handle recording into a single sink.
+    pub fn single(sink: Arc<dyn Recorder>) -> Self {
+        Obs {
+            sinks: Arc::from(vec![sink].into_boxed_slice()),
+        }
+    }
+
+    /// A handle fanning out to several sinks (e.g. a registry plus a
+    /// JSON-lines trace file).
+    pub fn fanout(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        Obs {
+            sinks: Arc::from(sinks.into_boxed_slice()),
+        }
+    }
+
+    /// True if at least one sink is attached. Callers building dynamic
+    /// metric names (string concatenation) should guard on this so the
+    /// null handle stays free.
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// See [`Recorder::counter`].
+    pub fn counter(&self, name: &str, delta: u64) {
+        for s in self.sinks.iter() {
+            s.counter(name, delta);
+        }
+    }
+
+    /// See [`Recorder::gauge_set`].
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        for s in self.sinks.iter() {
+            s.gauge_set(name, value);
+        }
+    }
+
+    /// See [`Recorder::gauge_max`].
+    pub fn gauge_max(&self, name: &str, observed: u64) {
+        for s in self.sinks.iter() {
+            s.gauge_max(name, observed);
+        }
+    }
+
+    /// See [`Recorder::histogram`].
+    pub fn histogram(&self, name: &str, value: u64) {
+        for s in self.sinks.iter() {
+            s.histogram(name, value);
+        }
+    }
+
+    /// Records an already-measured span.
+    pub fn span(&self, path: &str, micros: u64) {
+        for s in self.sinks.iter() {
+            s.span(path, micros);
+        }
+    }
+
+    /// Starts a monotonic stage span; the returned guard records the
+    /// elapsed time into every sink when dropped (or on
+    /// [`SpanGuard::finish`]).
+    pub fn start_span(&self, path: impl Into<String>) -> SpanGuard {
+        SpanGuard {
+            obs: self.clone(),
+            path: path.into(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+}
+
+/// An [`Obs`] handle is itself a recorder, so handles can nest: a subsystem
+/// can fan out to its own registry *plus* a caller-provided handle.
+impl Recorder for Obs {
+    fn counter(&self, name: &str, delta: u64) {
+        Obs::counter(self, name, delta);
+    }
+    fn gauge_set(&self, name: &str, value: u64) {
+        Obs::gauge_set(self, name, value);
+    }
+    fn gauge_max(&self, name: &str, observed: u64) {
+        Obs::gauge_max(self, name, observed);
+    }
+    fn histogram(&self, name: &str, value: u64) {
+        Obs::histogram(self, name, value);
+    }
+    fn span(&self, path: &str, micros: u64) {
+        Obs::span(self, path, micros);
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Obs({} sink(s))", self.sinks.len())
+    }
+}
+
+/// RAII guard for a stage span; records on drop.
+pub struct SpanGuard {
+    obs: Obs,
+    path: String,
+    start: Instant,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Ends the span now (instead of at scope exit) and records it.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn record(&mut self) {
+        if !self.done {
+            self.done = true;
+            if self.obs.is_enabled() {
+                let micros = self.start.elapsed().as_micros() as u64;
+                self.obs.span(&self.path, micros);
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// JSON string escaping shared by the sink and snapshot encoders.
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_disabled_and_free() {
+        let obs = Obs::null();
+        assert!(!obs.is_enabled());
+        obs.counter("x", 1);
+        obs.histogram("y", 2);
+        let g = obs.start_span("a/b");
+        g.finish();
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Arc::new(MemoryRecorder::new());
+        let b = Arc::new(MemoryRecorder::new());
+        let obs = Obs::fanout(vec![a.clone(), b.clone()]);
+        assert!(obs.is_enabled());
+        obs.counter("hits", 3);
+        obs.counter("hits", 2);
+        assert_eq!(a.snapshot().counter("hits"), 5);
+        assert_eq!(b.snapshot().counter("hits"), 5);
+    }
+
+    #[test]
+    fn span_guard_records_into_registry() {
+        let reg = Arc::new(MemoryRecorder::new());
+        let obs = Obs::single(reg.clone());
+        {
+            let _g = obs.start_span("pipeline/mining");
+        }
+        obs.start_span("pipeline/mining").finish();
+        let snap = reg.snapshot();
+        let h = snap
+            .histograms
+            .get("span.pipeline/mining")
+            .expect("span histogram present");
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,194 @@
+//! Point-in-time metric snapshots.
+
+use crate::escape_json;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate view of one histogram: count/sum exactly, min/max exactly,
+/// quantiles to power-of-two bucket resolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A name-sorted snapshot of every metric a [`MemoryRecorder`] has seen.
+/// Embeds into experiment JSON records and validation traces via the
+/// workspace serde facade.
+///
+/// [`MemoryRecorder`]: crate::MemoryRecorder
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0 if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary, empty if absent.
+    pub fn histogram(&self, name: &str) -> HistogramSummary {
+        self.histograms.get(name).copied().unwrap_or_default()
+    }
+
+    /// True if no metric of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Hand-rolled single-line JSON encoding, used by the JSON-lines sink so
+    /// the trace format does not depend on any serialization crate.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(name, &mut out);
+            let _ = write!(
+                out,
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                h.count, h.sum, h.min, h.max, h.p50, h.p95
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable summary table for the CLI's `--metrics` flag: counters
+    /// and gauges first, then stage latencies.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (us):\n");
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "p50", "p95", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.p50,
+                    h.p95,
+                    h.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("deploy.requests".into(), 42);
+        s.gauges.insert("deploy.queue_depth.max".into(), 7);
+        s.histograms.insert(
+            "span.pipeline/mining".into(),
+            HistogramSummary {
+                count: 2,
+                sum: 100,
+                min: 40,
+                max: 60,
+                p50: 60,
+                p95: 60,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let s = sample();
+        assert_eq!(s.counter("deploy.requests"), 42);
+        assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.gauge("nope"), 0);
+        assert_eq!(s.histogram("nope").count, 0);
+        assert!(!s.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn hand_rolled_json_matches_serde_encoding() {
+        let s = sample();
+        let hand = s.to_json();
+        let via_serde = serde_json::to_string(&s).expect("snapshot serializes");
+        let hand_val: serde_json::Value = serde_json::from_str(&hand).expect("hand JSON parses");
+        let serde_val: serde_json::Value =
+            serde_json::from_str(&via_serde).expect("serde JSON parses");
+        assert_eq!(hand_val, serde_val);
+    }
+
+    #[test]
+    fn render_includes_every_section() {
+        let text = sample().render();
+        assert!(text.contains("deploy.requests"));
+        assert!(text.contains("deploy.queue_depth.max"));
+        assert!(text.contains("span.pipeline/mining"));
+        assert!(MetricsSnapshot::default().render().contains("no metrics"));
+    }
+}

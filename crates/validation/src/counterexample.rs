@@ -12,6 +12,7 @@ use crate::DeployOracle;
 use zodiac_graph::ResourceGraph;
 use zodiac_kb::KnowledgeBase;
 use zodiac_model::Program;
+use zodiac_obs::Obs;
 use zodiac_spec::{violations, EvalContext};
 
 /// Result of the counterexample pass.
@@ -34,6 +35,28 @@ pub fn counterexample_pass<D: DeployOracle>(
     oracle: &D,
     max_per_check: usize,
 ) -> CounterexampleReport {
+    counterexample_pass_obs(
+        validated,
+        extra_corpus,
+        kb,
+        oracle,
+        max_per_check,
+        &Obs::null(),
+    )
+}
+
+/// [`counterexample_pass`] with an observability handle: records
+/// `validation.ce.*` counters (cases examined, batch sizes, demotions) and
+/// a `pipeline/validation/counterexample` span.
+pub fn counterexample_pass_obs<D: DeployOracle>(
+    validated: &[ValidatedCheck],
+    extra_corpus: &[Program],
+    kb: &KnowledgeBase,
+    oracle: &D,
+    max_per_check: usize,
+    obs: &Obs,
+) -> CounterexampleReport {
+    let _span = obs.start_span("pipeline/validation/counterexample");
     let mut report = CounterexampleReport::default();
     for (idx, v) in validated.iter().enumerate() {
         // Gather up to `max_per_check` pruned violating cases first, then
@@ -59,16 +82,136 @@ pub fn counterexample_pass<D: DeployOracle>(
         // `examined` keeps the sequential contract: cases after the first
         // counterexample do not count (a one-at-a-time pass never reaches
         // them), so the report is identical either way.
+        obs.histogram("validation.ce.batch_size", cases.len() as u64);
         let reports = oracle.deploy_batch(&cases);
         match reports.iter().position(|r| r.outcome.is_success()) {
             Some(k) => {
                 report.examined += k + 1;
                 report.demoted.push(idx);
+                obs.counter("validation.ce.demoted", 1);
             }
             None => report.examined += cases.len(),
         }
     }
     report.demoted.sort_unstable();
     report.demoted.dedup();
+    obs.counter("validation.ce.examined", report.examined as u64);
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zodiac_cloud::{CloudSim, DeployOutcome, DeployReport};
+    use zodiac_corpus::CorpusConfig;
+
+    fn validated(src: &str) -> ValidatedCheck {
+        ValidatedCheck {
+            mined: zodiac_mining::MinedCheck {
+                check: zodiac_spec::parse_check(src).expect("valid check"),
+                family: "test",
+                support: 10,
+                confidence: 1.0,
+                lift: None,
+                interp: None,
+            },
+            via_group: false,
+            negative_report: DeployReport {
+                outcome: DeployOutcome::Success,
+                deployed: Vec::new(),
+                halted: Vec::new(),
+                rollback: Vec::new(),
+                violations: Vec::new(),
+            },
+            negative_size: 1,
+        }
+    }
+
+    fn corpus(rare_option_rate: f64) -> Vec<Program> {
+        zodiac_corpus::generate(&CorpusConfig {
+            projects: 25,
+            noise_rate: 0.0,
+            rare_option_rate,
+            seed: 0xCE11,
+            ..Default::default()
+        })
+        .into_iter()
+        .map(|p| p.program)
+        .collect()
+    }
+
+    // The §5.6 open-world false positive: `source_image_reference` looks
+    // mandatory in the corpus, but a rare-`Attach` VM deploys fine without
+    // it — the pass must find that counterexample and demote the check.
+    const OPEN_WORLD_FP: &str =
+        "let r:VM in r.create_option == 'Attach' => r.source_image_reference != null";
+
+    #[test]
+    fn demotes_on_rare_option_counterexample() {
+        let kb = zodiac_kb::azure_kb();
+        let sim = CloudSim::new_azure();
+        let checks = vec![validated(OPEN_WORLD_FP)];
+        let extra = corpus(1.0); // Every project uses the rare Attach option.
+        let report = counterexample_pass(&checks, &extra, &kb, &sim, 8);
+        assert_eq!(report.demoted, vec![0], "the open-world FP is demoted");
+        assert!(report.examined >= 1);
+    }
+
+    #[test]
+    fn conforming_corpus_never_demotes() {
+        let kb = zodiac_kb::azure_kb();
+        let sim = CloudSim::new_azure();
+        let checks = vec![validated(OPEN_WORLD_FP)];
+        let extra = corpus(0.0); // No project violates the check.
+        let report = counterexample_pass(&checks, &extra, &kb, &sim, 8);
+        assert!(
+            report.demoted.is_empty(),
+            "no violating program, no demotion"
+        );
+        assert_eq!(report.examined, 0);
+    }
+
+    #[test]
+    fn enforced_check_survives_violating_programs() {
+        let kb = zodiac_kb::azure_kb();
+        let sim = CloudSim::new_azure();
+        // A check the cloud actually enforces: its violating programs fail
+        // to deploy, so none of them is a counterexample.
+        let checks = vec![validated(
+            "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+        )];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let extra: Vec<Program> = corpus(0.0)
+            .into_iter()
+            .map(|mut p| {
+                zodiac_corpus::inject_kind(&mut rng, &mut p, "spot-without-eviction");
+                p
+            })
+            .collect();
+        let report = counterexample_pass(&checks, &extra, &kb, &sim, 8);
+        assert!(
+            report.examined > 0,
+            "the injected violations must be exercised"
+        );
+        assert!(
+            report.demoted.is_empty(),
+            "enforced checks are never demoted"
+        );
+    }
+
+    #[test]
+    fn pass_is_deterministic() {
+        let kb = zodiac_kb::azure_kb();
+        let sim = CloudSim::new_azure();
+        let checks = vec![
+            validated(OPEN_WORLD_FP),
+            validated("let r:VM in r.priority == 'Spot' => r.eviction_policy != null"),
+        ];
+        let extra = corpus(1.0);
+        let a = counterexample_pass(&checks, &extra, &kb, &sim, 4);
+        let b = counterexample_pass(&checks, &extra, &kb, &sim, 4);
+        assert_eq!(a.demoted, b.demoted);
+        assert_eq!(a.examined, b.examined);
+    }
 }

@@ -21,10 +21,11 @@ pub mod scheduler;
 pub use mdc::{find_positive, MdcStats, PositiveCase};
 pub use mutate::{MutationConfig, MutationResult, NegativeCase};
 pub use scheduler::{
-    Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome, ValidationTrace,
+    FalsifiedCheck, FalsifyReason, Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
+    ValidationTrace,
 };
 
 // The oracle abstraction lives next to the simulator; re-exported here
 // because validation is its primary consumer and callers historically
 // imported it from this crate.
-pub use zodiac_cloud::{DeployOracle, DeployTelemetry};
+pub use zodiac_cloud::DeployOracle;

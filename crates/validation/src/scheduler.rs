@@ -24,10 +24,11 @@ use crate::mutate::{self, MutationConfig, MutationResult};
 use crate::DeployOracle;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use zodiac_cloud::{DeployReport, DeployTelemetry};
+use zodiac_cloud::DeployReport;
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::MinedCheck;
 use zodiac_model::{Program, Symbol, Value};
+use zodiac_obs::{MetricsSnapshot, Obs};
 use zodiac_spec::{Check, Expr, Val};
 
 /// Scheduler configuration, including the Figure 8 ablation switches.
@@ -124,8 +125,9 @@ pub struct IterationStats {
 pub struct ValidationTrace {
     /// One entry per outer iteration.
     pub iterations: Vec<IterationStats>,
-    /// Final execution-engine telemetry, when the oracle collects any.
-    pub deploy: Option<DeployTelemetry>,
+    /// Final execution-engine metrics (the `deploy.*` namespace), when the
+    /// oracle collects any.
+    pub deploy: Option<MetricsSnapshot>,
 }
 
 /// Outcome of a validation run.
@@ -159,6 +161,7 @@ pub struct Scheduler<'a, D: DeployOracle> {
     kb: &'a KnowledgeBase,
     corpus: &'a [Program],
     cfg: SchedulerConfig,
+    obs: Obs,
 }
 
 struct Candidate {
@@ -186,7 +189,16 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             kb,
             corpus,
             cfg,
+            obs: Obs::null(),
         }
+    }
+
+    /// Attaches an observability handle: the scheduler records
+    /// `validation.*` funnel counters and per-iteration
+    /// `pipeline/validation/iter/<n>` spans into it.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Runs validation to completion (Figure 5).
@@ -211,11 +223,21 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
         let mut false_positives: Vec<FalsifiedCheck> = Vec::new();
         let mut groups_out: Vec<Vec<usize>> = Vec::new();
         let mut trace = ValidationTrace::default();
+        self.obs
+            .gauge_set("validation.candidates.initial", rc.len() as u64);
 
-        for _iter in 0..self.cfg.max_iterations {
+        for iter in 0..self.cfg.max_iterations {
             if rc.is_empty() {
                 break;
             }
+            let _iter_span = if self.obs.is_enabled() {
+                Some(
+                    self.obs
+                        .start_span(format!("pipeline/validation/iter/{iter}")),
+                )
+            } else {
+                None
+            };
             let mut stats = IterationStats::default();
             let progress_before = rc.len();
             let tel_before = self.oracle.telemetry();
@@ -325,6 +347,8 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 .iter()
                 .filter_map(|&i| negatives[i].as_ref().map(|n| n.program.clone()))
                 .collect();
+            self.obs
+                .histogram("validation.tp.batch_size", batch.len() as u64);
             let mut reports: Vec<Option<DeployReport>> = vec![None; rc.len()];
             for (&i, report) in to_deploy.iter().zip(self.oracle.deploy_batch(&batch)) {
                 reports[i] = Some(report);
@@ -390,16 +414,47 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             stats.validated_total = validated.len();
             stats.false_positive_total = false_positives.len();
             stats.remaining = rc.len();
-            if let Some(before) = tel_before {
-                let after = self.oracle.telemetry().unwrap_or(before);
-                stats.deploy_requests = after.requests.saturating_sub(before.requests);
-                stats.deploy_cache_hits = after.cache_hits.saturating_sub(before.cache_hits);
+            if let Some(before) = &tel_before {
+                let after = self.oracle.telemetry().unwrap_or_else(|| before.clone());
+                stats.deploy_requests = after
+                    .counter("deploy.requests")
+                    .saturating_sub(before.counter("deploy.requests"));
+                stats.deploy_cache_hits = after
+                    .counter("deploy.cache_hits")
+                    .saturating_sub(before.counter("deploy.cache_hits"));
             }
+            self.obs.counter("validation.iterations", 1);
+            self.obs
+                .counter("validation.fp.deployable", stats.fp_deployable as u64);
+            self.obs
+                .counter("validation.fp.unsatisfiable", stats.fp_unsatisfiable as u64);
+            self.obs
+                .counter("validation.tp.single", stats.tp_single as u64);
+            self.obs
+                .counter("validation.tp.group", stats.tp_multiple as u64);
             trace.iterations.push(stats);
 
             if rc.len() == progress_before {
                 break; // Stalled (Figure 8b without O3).
             }
+        }
+        if self.obs.is_enabled() {
+            // Reasons not tracked per-iteration (they fall outside Figure 8's
+            // stats) are recovered from the accumulated falsified list.
+            for reason in [FalsifyReason::NoPositiveCase, FalsifyReason::NotApplicable] {
+                let n = false_positives
+                    .iter()
+                    .filter(|f| f.reason == reason)
+                    .count();
+                let name = match reason {
+                    FalsifyReason::NoPositiveCase => "validation.fp.no_positive_case",
+                    _ => "validation.fp.not_applicable",
+                };
+                self.obs.counter(name, n as u64);
+            }
+            self.obs
+                .gauge_set("validation.validated.total", validated.len() as u64);
+            self.obs.gauge_set("validation.unresolved", rc.len() as u64);
         }
         trace.deploy = self.oracle.telemetry();
 

@@ -3,11 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+cargo build --release --locked
+cargo test -q --locked
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Bench smoke-run: each Criterion harness executes one untimed iteration
 # when invoked without `--bench`, catching bit-rot in bench-only code.
-cargo test --benches -q
+cargo test --benches -q --locked

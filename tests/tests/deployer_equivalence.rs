@@ -73,14 +73,23 @@ fn parallel_cached_faulted_engine_matches_sequential_simulator() {
     assert_eq!(summary(&sequential), summary(&parallel));
 
     // The run actually exercised concurrency, memoization, and retries.
-    let tel = engine.telemetry_snapshot();
-    assert!(tel.cache_hits > 0, "memoization never hit: {tel:?}");
+    let tel = engine.metrics();
     assert!(
-        tel.backend_deploys < tel.requests,
+        tel.counter("deploy.cache_hits") > 0,
+        "memoization never hit: {tel:?}"
+    );
+    assert!(
+        tel.counter("deploy.backend_deploys") < tel.counter("deploy.requests"),
         "cache must absorb backend work: {tel:?}"
     );
-    assert!(tel.transient_failures > 0, "faults never fired: {tel:?}");
-    assert!(tel.retries > 0, "retries never ran: {tel:?}");
+    assert!(
+        tel.counter("deploy.transient_failures") > 0,
+        "faults never fired: {tel:?}"
+    );
+    assert!(
+        tel.counter("deploy.retries") > 0,
+        "retries never ran: {tel:?}"
+    );
 }
 
 #[test]
@@ -100,15 +109,15 @@ fn fault_schedule_is_deterministic_across_runs() {
     let run = |cfg: DeployerConfig| {
         let engine = DeployEngine::new(CloudSim::new_azure(), cfg);
         let reports = engine.deploy_batch(&corpus);
-        let tel = engine.telemetry_snapshot();
+        let tel = engine.metrics();
         (
             reports
                 .iter()
                 .map(|r| to_string(r).unwrap())
                 .collect::<Vec<_>>(),
-            tel.transient_failures,
-            tel.retries,
-            tel.simulated_backoff_secs,
+            tel.counter("deploy.transient_failures"),
+            tel.counter("deploy.retries"),
+            tel.counter("deploy.backoff_secs"),
         )
     };
     let a = run(cfg.clone());

@@ -1,0 +1,82 @@
+//! Pins the §5.1 headline funnel byte-for-byte.
+//!
+//! The evaluation corpus (seed `0xC0FFEE`, 600 projects, 2% noise, 0.4%
+//! rare-option rate) is fully deterministic, so every stage count of the
+//! mining → filtering → validation → counterexample funnel is an exact
+//! number, recorded in `EXPERIMENTS.md`. Any drift — a mining template
+//! change, a scheduler reordering, an instrumentation side effect — fails
+//! this test and must be accompanied by an `EXPERIMENTS.md` refresh.
+
+use zodiac::PipelineConfig;
+
+/// Mirrors `zodiac_bench::eval_config()` (the bench crate is not a test
+/// dependency; the config is the contract, restated here).
+fn eval_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::evaluation();
+    cfg.corpus.projects = 600;
+    cfg.counterexample_projects = 300;
+    cfg
+}
+
+#[test]
+fn headline_funnel_matches_experiments_md() {
+    let cfg = eval_config();
+    assert_eq!(cfg.corpus.seed, 0xC0FFEE, "the pinned corpus seed");
+    assert_eq!(cfg.corpus.projects, 600, "the pinned corpus size");
+
+    let result = zodiac::run_pipeline(&cfg);
+
+    // Mining funnel (EXPERIMENTS.md §5.1).
+    assert_eq!(result.corpus_projects, 600);
+    assert_eq!(result.mining.hypothesized, 1932, "hypothesized checks");
+    assert_eq!(
+        result.mining.removed_by_confidence, 1019,
+        "removed by the confidence filter"
+    );
+    assert_eq!(
+        result.mining.removed_by_lift, 372,
+        "removed by the lift filter"
+    );
+    assert_eq!(result.mining.llm_found, 63, "oracle-interpolated checks");
+    assert_eq!(result.mining.llm_removed, 205, "oracle-rejected queries");
+    assert_eq!(
+        result.mining.checks.len(),
+        361,
+        "candidates into validation"
+    );
+
+    // Validation outcome.
+    assert_eq!(result.validation.validated.len(), 90, "validated (raw)");
+    assert_eq!(
+        result.validation.validated_groups_as_one(),
+        70,
+        "validated (groups as one)"
+    );
+    assert_eq!(
+        result.validation.false_positives.len(),
+        271,
+        "falsified during validation"
+    );
+    assert!(result.validation.unresolved.is_empty(), "R_c must empty");
+
+    // Counterexample pass (§5.6) and the final set.
+    assert_eq!(result.demoted.len(), 2, "demoted by counterexamples");
+    assert_eq!(result.final_checks.len(), 88, "final check set");
+
+    // Deployment-engine funnel. The request count is part of the
+    // determinism contract; the backend/cache split is not (two workers can
+    // miss the same fingerprint concurrently and both deploy), so only the
+    // conservation law is pinned for it.
+    let tel = result.deploy_metrics.expect("engine metrics present");
+    assert_eq!(tel.counter("deploy.requests"), 392);
+    assert_eq!(
+        tel.counter("deploy.backend_deploys") + tel.counter("deploy.cache_hits"),
+        tel.counter("deploy.requests"),
+        "every request is either a cache hit or a backend deploy"
+    );
+    assert!(
+        tel.counter("deploy.cache_hits") > 0,
+        "memoization never hit"
+    );
+    assert_eq!(tel.counter("deploy.retries"), 0, "no faults configured");
+}

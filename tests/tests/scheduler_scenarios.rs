@@ -168,3 +168,98 @@ fn indistinguishable_pair_requires_grouping() {
         "without O3 the pair stalls (Figure 8b)"
     );
 }
+
+/// Conflict resolution must not depend on the order candidates arrive in:
+/// the scheduler canonicalises its work list, so any permutation of the
+/// same candidate set produces the same validated / falsified partition.
+#[test]
+fn outcome_is_stable_under_candidate_permutation() {
+    let corpus = corpus();
+    let sim = CloudSim::new_azure();
+    let kb = zodiac_kb::azure_kb();
+    let srcs = [
+        "let r1:NIC, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
+        "let r1:VM, r2:NIC in path(r1 -> r2) => r1.location == r2.location",
+        "let r1:VM, r2:VPC in path(r1 -> r2) => r1.location == r2.location",
+        "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+        "let r:SA in r.account_tier == 'Premium' => r.account_replication_type != 'GZRS'",
+        // A false positive, so the FP path is exercised under permutation too.
+        "let r:VM in r.priority == 'Regular' => r.size != 'Standard_B1s'",
+    ];
+
+    let fingerprint = |outcome: &zodiac_validation::ValidationOutcome| {
+        let mut validated: Vec<String> = outcome
+            .validated
+            .iter()
+            .map(|v| v.mined.check.canonical())
+            .collect();
+        validated.sort();
+        let mut falsified: Vec<(String, String)> = outcome
+            .false_positives
+            .iter()
+            .map(|f| (f.mined.check.canonical(), format!("{:?}", f.reason)))
+            .collect();
+        falsified.sort();
+        let mut unresolved: Vec<String> = outcome
+            .unresolved
+            .iter()
+            .map(|u| u.check.canonical())
+            .collect();
+        unresolved.sort();
+        (validated, falsified, unresolved)
+    };
+
+    let baseline = fingerprint(
+        &Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(candidates(&srcs)),
+    );
+
+    // Reversed and rotated permutations of the same candidate set.
+    let mut reversed = srcs;
+    reversed.reverse();
+    let mut rotated = srcs;
+    rotated.rotate_left(2);
+    for perm in [&reversed, &rotated] {
+        let outcome =
+            Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(candidates(perm));
+        assert_eq!(
+            baseline,
+            fingerprint(&outcome),
+            "validated/falsified partition changed under permutation {perm:?}"
+        );
+    }
+}
+
+/// A candidate with no positive case anywhere in the corpus (its condition
+/// is never witnessed and cannot be synthesised) must be falsified as
+/// `NoPositiveCase` — and must never appear in the validated set.
+#[test]
+fn candidate_without_positive_case_is_never_validated() {
+    let corpus = corpus();
+    let sim = CloudSim::new_azure();
+    let kb = zodiac_kb::azure_kb();
+    // Storage accounts never reference VMs, so this path condition has no
+    // witness anywhere in the corpus — and multi-binding conditions are
+    // outside the positive-case synthesiser's repertoire.
+    let phantom = "let r1:SA, r2:VM in path(r1 -> r2) => r1.location == r2.location";
+    let checks = candidates(&[
+        phantom,
+        "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+    ]);
+    let outcome = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(checks);
+    let phantom_canonical = parse_check(phantom).unwrap().canonical();
+    assert!(
+        !outcome
+            .validated
+            .iter()
+            .any(|v| v.mined.check.canonical() == phantom_canonical),
+        "a check whose positive test cannot be built must not validate"
+    );
+    let fp = outcome
+        .false_positives
+        .iter()
+        .find(|f| f.mined.check.canonical() == phantom_canonical)
+        .expect("the phantom check is falsified");
+    assert_eq!(fp.reason, zodiac_validation::FalsifyReason::NoPositiveCase);
+    // The companion true check is unaffected.
+    assert_eq!(outcome.validated.len(), 1);
+}
