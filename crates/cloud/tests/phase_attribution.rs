@@ -1,0 +1,189 @@
+//! Negative-path phase attribution, one case per ground-truth
+//! [`CheckCategory`]: deploy a program violating a rule of that category and
+//! assert the *reported* failure phase equals the phase the rule *declares*
+//! in the [`CloudSim::rules`] table. Unlike `rules_coverage.rs` (which pins
+//! expected phases by hand), this test is differential against the table —
+//! if a rule's declared phase and its enforcement point ever drift apart,
+//! exactly one of the two tests keeps passing.
+
+use zodiac_cloud::{CheckCategory, CloudSim, DeployOutcome};
+use zodiac_model::{Program, Resource, Value};
+
+fn map(entries: &[(&str, Value)]) -> Value {
+    Value::Map(
+        entries
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+fn rg_ref() -> Value {
+    Value::r("azurerm_resource_group", "rg", "name")
+}
+
+/// rg + vnet + one subnet, all in `eastus`.
+fn base() -> Program {
+    Program::new()
+        .with(
+            Resource::new("azurerm_resource_group", "rg")
+                .with("name", "rg1")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_virtual_network", "vnet")
+                .with("name", "vnet1")
+                .with("location", "eastus")
+                .with("resource_group_name", rg_ref())
+                .with("address_space", Value::List(vec![Value::s("10.0.0.0/16")])),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "snet")
+                .with("name", "internal")
+                .with("resource_group_name", rg_ref())
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet", "name"),
+                )
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.0.1.0/24")]),
+                ),
+        )
+}
+
+fn nic(name: &str, location: &str) -> Resource {
+    Resource::new("azurerm_network_interface", name)
+        .with("name", format!("{name}-dev"))
+        .with("location", location)
+        .with("resource_group_name", rg_ref())
+        .with(
+            "ip_configuration",
+            map(&[
+                ("name", Value::s("i")),
+                ("subnet_id", Value::r("azurerm_subnet", "snet", "id")),
+                ("private_ip_address_allocation", Value::s("Dynamic")),
+            ]),
+        )
+}
+
+fn vm(name: &str, location: &str, size: &str, nic_names: &[&str]) -> Resource {
+    Resource::new("azurerm_linux_virtual_machine", name)
+        .with("name", format!("{name}-host"))
+        .with("location", location)
+        .with("resource_group_name", rg_ref())
+        .with("size", size)
+        .with("admin_username", "azureuser")
+        .with(
+            "network_interface_ids",
+            Value::List(
+                nic_names
+                    .iter()
+                    .map(|n| Value::r("azurerm_network_interface", n, "id"))
+                    .collect(),
+            ),
+        )
+        .with(
+            "os_disk",
+            map(&[
+                ("caching", Value::s("ReadWrite")),
+                ("storage_account_type", Value::s("Standard_LRS")),
+            ]),
+        )
+        .with(
+            "source_image_reference",
+            map(&[
+                ("publisher", Value::s("Canonical")),
+                ("offer", Value::s("ubuntu")),
+                ("sku", Value::s("22_04")),
+                ("version", Value::s("latest")),
+            ]),
+        )
+}
+
+/// IntraResource: a Spot VM without an eviction policy.
+fn intra_resource_violation() -> Program {
+    base()
+        .with(nic("nic0", "eastus"))
+        .with(vm("vm", "eastus", "Standard_B1s", &["nic0"]).with("priority", "Spot"))
+}
+
+/// InterResource: the VM's region differs from its NIC's.
+fn inter_resource_violation() -> Program {
+    base()
+        .with(nic("nic0", "eastus"))
+        .with(vm("vm", "westus", "Standard_B1s", &["nic0"]))
+}
+
+/// InterAgg: one NIC attached to two VMs.
+fn inter_agg_violation() -> Program {
+    base()
+        .with(nic("nic0", "eastus"))
+        .with(vm("vm1", "eastus", "Standard_B1s", &["nic0"]))
+        .with(vm("vm2", "eastus", "Standard_B1s", &["nic0"]))
+}
+
+/// Interpolation: more NICs than the Standard_B1s doc table allows (2).
+fn interpolation_violation() -> Program {
+    base()
+        .with(nic("nic0", "eastus"))
+        .with(nic("nic1", "eastus"))
+        .with(nic("nic2", "eastus"))
+        .with(vm(
+            "vm",
+            "eastus",
+            "Standard_B1s",
+            &["nic0", "nic1", "nic2"],
+        ))
+}
+
+#[test]
+fn reported_phase_matches_declared_phase_per_category() {
+    let cases: Vec<(CheckCategory, &str, Program)> = vec![
+        (
+            CheckCategory::IntraResource,
+            "vm/spot-needs-eviction-policy",
+            intra_resource_violation(),
+        ),
+        (
+            CheckCategory::InterResource,
+            "net/vm-nic-same-location",
+            inter_resource_violation(),
+        ),
+        (
+            CheckCategory::InterAgg,
+            "nic/single-vm",
+            inter_agg_violation(),
+        ),
+        (
+            CheckCategory::Interpolation,
+            "vm/max-nics-Standard_B1s",
+            interpolation_violation(),
+        ),
+    ];
+
+    let sim = CloudSim::new_azure();
+    for (category, expected_rule, program) in cases {
+        let declared = sim
+            .rules()
+            .iter()
+            .find(|r| r.id == expected_rule)
+            .unwrap_or_else(|| panic!("{expected_rule} missing from the ground-truth table"));
+        assert_eq!(
+            declared.category, category,
+            "{expected_rule}: table category changed"
+        );
+        match sim.deploy(&program).outcome {
+            DeployOutcome::Failure { phase, rule_id, .. } => {
+                assert_eq!(rule_id, expected_rule, "{category:?}: wrong rule fired");
+                assert_eq!(
+                    phase, declared.phase,
+                    "{expected_rule}: reported phase diverges from the declared phase"
+                );
+            }
+            DeployOutcome::Success => {
+                panic!("{category:?}: expected a {expected_rule} violation, got success")
+            }
+        }
+    }
+}

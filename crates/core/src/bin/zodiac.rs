@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "deploy" => cmd_deploy(rest),
         "explain" => cmd_explain(rest),
         "insights" => cmd_insights(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -55,12 +56,14 @@ USAGE:
     zodiac deploy PROGRAM...                           simulate deployment and report outcome
     zodiac explain \"<check>\"                           render a check as a deployment insight
     zodiac insights --checks FILE                      export a JSON-lines RAG knowledge base
+    zodiac fuzz [--seed S] [--cases N]                 differential-fuzz the pipeline
+                [--max-seconds T]                      (report on stdout; exit 1 on failures)
 
 DEPLOYMENT OPTIONS (mine, scan, deploy):
     --workers N          worker threads in the deployment engine (default 4)
     --no-deploy-cache    disable deploy-result memoization
 
-OBSERVABILITY OPTIONS (mine, scan, deploy):
+OBSERVABILITY OPTIONS (mine, scan, deploy, fuzz):
     --metrics            print the funnel/latency metrics summary on exit
     --trace-out FILE     stream stage spans as JSON lines, plus a final
                          metrics snapshot, to FILE
@@ -376,4 +379,51 @@ fn cmd_insights(args: &[String]) -> Result<(), String> {
     let checks = load_checks(&checks_path)?;
     println!("{}", zodiac::insights::export_jsonl(&checks));
     Ok(())
+}
+
+/// Parses a `u64` seed in decimal or `0x`-prefixed hex, matching the
+/// `{:#x}` replay seeds the fuzz report prints.
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("--seed expects a decimal or 0x-hex number, got {v}"))
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut cfg = zodiac_testkit::FuzzConfig::default();
+    if let Some(v) = take_flag(&mut args, "--seed") {
+        cfg.seed = parse_seed(&v)?;
+    }
+    if let Some(v) = take_flag(&mut args, "--cases") {
+        cfg.cases = v
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--cases expects a number >= 1")?;
+    }
+    if let Some(v) = take_flag(&mut args, "--max-seconds") {
+        cfg.max_seconds = Some(
+            v.parse()
+                .map_err(|_| "--max-seconds expects a number".to_string())?,
+        );
+    }
+    let obs_flags = take_obs_flags(&mut args)?;
+    if !args.is_empty() {
+        return Err(format!("fuzz: unexpected arguments: {}", args.join(" ")));
+    }
+    eprintln!(
+        "fuzzing the pipeline: {} cases from seed {:#x}...",
+        cfg.cases, cfg.seed
+    );
+    let report = zodiac_testkit::run_fuzz_obs(&cfg, &obs_flags.obs);
+    print!("{}", report.render());
+    obs_flags.finish()?;
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} property failure(s)", report.failures.len()))
+    }
 }

@@ -1,6 +1,8 @@
 //! Property-based round-trip test: any compiled program printed as HCL
 //! compiles back to the identical program. Programs come from a seeded RNG
-//! so every run replays the same sample.
+//! so every run replays the same sample; the seeds live in the committed
+//! `tests/proptest-regressions/prop_roundtrip.txt` file, so a failing
+//! seed can be pinned forever by appending one line.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,14 +108,42 @@ fn arb_program(rng: &mut StdRng) -> Program {
     p
 }
 
+/// Reads the committed regression seed file: one decimal or `0x`-hex u64
+/// per line, `#` comments. (Same convention as `zodiac_testkit::regression`;
+/// duplicated inline because this crate sits below the testkit in the
+/// dependency order.)
+fn regression_seeds() -> Vec<u64> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/proptest-regressions/prop_roundtrip.txt"
+    );
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            match l.strip_prefix("0x").or_else(|| l.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => l.parse(),
+            }
+            .unwrap_or_else(|e| panic!("{path}: bad seed `{l}`: {e}"))
+        })
+        .collect()
+}
+
 #[test]
 fn print_compile_roundtrip() {
-    let mut rng = StdRng::seed_from_u64(0x4C11_0001);
-    for case in 0..128 {
-        let program = arb_program(&mut rng);
-        let hcl = zodiac_hcl::to_hcl(&program);
-        let back = zodiac_hcl::compile(&hcl)
-            .unwrap_or_else(|e| panic!("case {case}: generated HCL must compile: {e}\n{hcl}"));
-        assert_eq!(back, program, "case {case}: HCL:\n{hcl}");
+    let seeds = regression_seeds();
+    assert!(!seeds.is_empty(), "the regression file must pin ≥1 seed");
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for case in 0..128 {
+            let program = arb_program(&mut rng);
+            let hcl = zodiac_hcl::to_hcl(&program);
+            let back = zodiac_hcl::compile(&hcl).unwrap_or_else(|e| {
+                panic!("seed {seed:#x} case {case}: generated HCL must compile: {e}\n{hcl}")
+            });
+            assert_eq!(back, program, "seed {seed:#x} case {case}: HCL:\n{hcl}");
+        }
     }
 }

@@ -380,6 +380,56 @@ mod tests {
     }
 
     #[test]
+    fn mutation_violates_only_the_targeted_constraint() {
+        // The mutator's encoding: to build a negative program for one target
+        // check, it requires the *negation* of the target, keeps every other
+        // ground rule hard, and prefers the original attribute values soft.
+        // The found mutation must therefore violate exactly the target —
+        // every other ground rule stays satisfied.
+        let mut p = Problem::new();
+        // eviction_policy: originally "Deallocate", may be unset.
+        let policy = p.add_var(vec![Value::s("Deallocate"), Value::Null]);
+        // location: originally "eastus"; another ground rule pins it.
+        let loc = p.add_var(vec![Value::s("eastus"), Value::s("westus")]);
+        // Target: `policy != null` (spot-needs-eviction-policy). Negated hard.
+        p.require(Constraint::eq(Term::Var(policy), Term::Const(Value::Null)));
+        // Unrelated ground rule, kept hard: the NIC's location must match.
+        p.require(Constraint::eq(Term::Var(loc), Term::s("eastus")));
+        // Minimal-edit preference: stay at the original values.
+        p.prefer(Constraint::eq(Term::Var(policy), Term::s("Deallocate")), 1);
+        p.prefer(Constraint::eq(Term::Var(loc), Term::s("eastus")), 1);
+
+        let sol = solve(&p);
+        let s = sol.solution().expect("mutation target is satisfiable");
+        // The target constraint is violated...
+        assert_eq!(s.assignment[policy], Value::Null);
+        // ...while the other ground rule still holds...
+        assert_eq!(s.assignment[loc], Value::s("eastus"));
+        // ...and the only regretted edit is the targeted attribute.
+        assert_eq!(s.violated_soft, vec![0]);
+        assert_eq!(s.penalty, 1);
+    }
+
+    #[test]
+    fn unsat_mutation_target_returns_none_without_panicking() {
+        // A target whose negation contradicts a hard ground rule: no negative
+        // program exists. The mutator must get `None`, not a panic.
+        let mut p = Problem::new();
+        let tier = p.add_var(vec![Value::s("Standard"), Value::s("Premium")]);
+        // Ground rule (hard): the account tier must be Standard or Premium —
+        // encoded as "not equal to anything outside the domain" is implicit,
+        // so pin it directly.
+        p.require(Constraint::eq(Term::Var(tier), Term::s("Standard")));
+        // Negated target clashes: `tier != Standard`.
+        p.require(Constraint::ne(Term::Var(tier), Term::s("Standard")));
+        p.prefer(Constraint::eq(Term::Var(tier), Term::s("Standard")), 1);
+
+        let sol = solve(&p);
+        assert!(sol.is_unsat());
+        assert!(sol.solution().is_none());
+    }
+
+    #[test]
     fn large_problem_terminates_quickly() {
         // 30 variables with 10-value domains and chained inequalities: the
         // watch-list search must not enumerate the cross product.

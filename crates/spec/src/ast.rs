@@ -205,6 +205,13 @@ impl Check {
 /// [`crate::parse_check`].
 fn escape_str(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     write!(f, "'")?;
+    #[cfg(feature = "test-hooks")]
+    if crate::test_hooks::literal_escaping_disabled() {
+        // Reinstates the pre-IR-refactor bug for mutation-testing the
+        // fuzzer: literals print raw, so embedded quotes break re-parsing.
+        write!(f, "{s}")?;
+        return write!(f, "'");
+    }
     for c in s.chars() {
         match c {
             '\'' | '\\' => write!(f, "\\{c}")?,

@@ -24,6 +24,8 @@ pub mod ast;
 pub mod build;
 pub mod eval;
 pub mod parser;
+#[cfg(feature = "test-hooks")]
+pub mod test_hooks;
 
 pub use ast::{Binding, Check, CmpOp, Expr, ShapeCategory, TypeSpec, Val};
 pub use eval::{holds, instances, violations, witnesses, EvalContext, Instance};

@@ -1,0 +1,30 @@
+//! Runtime-toggleable fault hooks for mutation-testing the test suite.
+//!
+//! Only compiled under the `test-hooks` cargo feature, and every hook
+//! defaults to *off*, so enabling the feature alone never changes
+//! behaviour. The testkit flips a hook on to reintroduce a historical bug
+//! and asserts that its differential oracle catches it — a sanity check
+//! that the fuzzer has teeth (a fuzzer that passes with a known bug
+//! reinstated is worthless).
+//!
+//! Hooks are process-global atomics: a test that enables one must run in
+//! its own integration-test binary (its own process) so parallel tests in
+//! the same binary are not poisoned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, [`crate::ast`]'s printer skips backslash-escaping of `'` and
+/// `\` in string literals — the exact bug fixed in the check-IR refactor,
+/// where quoted values printed as invalid spec text and died in re-parsing.
+static DISABLE_LITERAL_ESCAPING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the literal-escaping bug. Returns the previous
+/// state so tests can restore it.
+pub fn set_disable_literal_escaping(on: bool) -> bool {
+    DISABLE_LITERAL_ESCAPING.swap(on, Ordering::SeqCst)
+}
+
+/// True when the literal-escaping bug is active.
+pub fn literal_escaping_disabled() -> bool {
+    DISABLE_LITERAL_ESCAPING.load(Ordering::SeqCst)
+}

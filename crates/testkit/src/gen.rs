@@ -1,0 +1,247 @@
+//! Seeded `Arbitrary`-style generators for programs, corpora, and checks.
+//!
+//! Programs reuse the corpus motif machinery (`zodiac-corpus`) for a
+//! realistic baseline, then apply *wild edits*: targeted ground-truth
+//! violations from the noise-injector repertoire plus untargeted structural
+//! mutations (attribute overwrites, deletions, resource removal). The mix
+//! yields both deployable and failing programs, which is exactly what the
+//! differential oracle needs — soundness is only testable on programs the
+//! cloud accepts, efficacy only on programs it rejects.
+//!
+//! Every generator draws from a caller-owned [`StdRng`], so a single `u64`
+//! seed replays the entire derivation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use zodiac_corpus::CorpusConfig;
+use zodiac_graph::ResourceGraph;
+use zodiac_model::{Program, Value};
+use zodiac_spec::build as b;
+use zodiac_spec::{Check, CmpOp, Expr, Val};
+
+/// Short type aliases the check generator binds over. All are KB-attended,
+/// so generated checks survive the same normalisation mined checks do.
+const CHECK_TYPES: &[&str] = &["VM", "NIC", "SUBNET", "VPC", "SA", "GW", "IP", "DISK", "FW"];
+
+/// Attribute paths used in generated checks (a mix of scalar, nested, and
+/// list-valued paths seen in the ground truth).
+const CHECK_ATTRS: &[&str] = &[
+    "location",
+    "name",
+    "sku",
+    "size",
+    "priority",
+    "eviction_policy",
+    "account_tier",
+    "account_replication_type",
+    "address_space",
+    "address_prefixes",
+    "allocation_method",
+    "tags.note",
+    "ip_configuration.subnet_id",
+];
+
+/// String-literal pool: realistic enum values plus strings that stress the
+/// printer's escaping (quotes and backslashes).
+const STR_POOL: &[&str] = &[
+    "eastus",
+    "westeurope",
+    "Standard",
+    "Basic",
+    "Premium",
+    "Spot",
+    "GatewaySubnet",
+    "it's quoted",
+    "back\\slash",
+    "mixed '\\' both",
+    "",
+];
+
+/// A random string literal: usually from the pool, sometimes raw printable
+/// ASCII (quotes and backslashes included) to probe the escaping printer.
+pub fn arb_literal_string(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.6) {
+        return STR_POOL
+            .choose(rng)
+            .copied()
+            .unwrap_or("eastus")
+            .to_string();
+    }
+    let len = rng.gen_range(0..=12usize);
+    (0..len)
+        .map(|_| rng.gen_range(0x20..=0x7eu8) as char)
+        .collect()
+}
+
+fn arb_scalar(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..5u8) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(0..4096)),
+        _ => Value::s(arb_literal_string(rng)),
+    }
+}
+
+/// Applies one untargeted structural mutation to `program`. Unlike the
+/// corpus noise injectors (which violate exactly one known rule), wild
+/// edits may break nothing, one rule, or several at once.
+pub fn wild_edit(rng: &mut StdRng, program: &mut Program) {
+    if program.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..6u8) {
+        // Targeted: one of the known ground-truth violations.
+        0 | 1 => {
+            if let Some(kind) = zodiac_corpus::NOISE_KINDS.choose(rng) {
+                zodiac_corpus::inject_kind(rng, program, kind);
+            }
+        }
+        // Remove a resource outright (dangling references, missing deps).
+        2 => {
+            let idx = rng.gen_range(0..program.len());
+            let id = program.resources()[idx].id();
+            program.remove(&id);
+        }
+        // Overwrite one top-level attribute with a random scalar.
+        3 | 4 => {
+            let idx = rng.gen_range(0..program.len());
+            let r = &mut program.resources_mut()[idx];
+            let keys: Vec<String> = r.attrs.keys().cloned().collect();
+            if let Some(key) = keys.choose(rng) {
+                let v = arb_scalar(rng);
+                r.attrs.insert(key.clone(), v);
+            }
+        }
+        // Drop one attribute (missing-required, broken references).
+        _ => {
+            let idx = rng.gen_range(0..program.len());
+            let r = &mut program.resources_mut()[idx];
+            let keys: Vec<String> = r.attrs.keys().cloned().collect();
+            if let Some(key) = keys.choose(rng) {
+                r.unset(key);
+            }
+        }
+    }
+}
+
+/// One arbitrary program: a single motif-generated project plus up to three
+/// wild edits.
+pub fn arb_program(rng: &mut StdRng) -> Program {
+    let cfg = CorpusConfig {
+        seed: rng.gen(),
+        projects: 1,
+        noise_rate: 0.0,
+        rare_option_rate: if rng.gen_bool(0.05) { 1.0 } else { 0.0 },
+        min_motifs: 1,
+        max_motifs: 3,
+    };
+    let mut program = zodiac_corpus::generate(&cfg)
+        .pop()
+        .map(|p| p.program)
+        .unwrap_or_default();
+    for _ in 0..rng.gen_range(0..=3u8) {
+        wild_edit(rng, &mut program);
+    }
+    program
+}
+
+/// An arbitrary compiled resource graph (the generator the shrinking and
+/// evaluation layers consume directly).
+pub fn arb_graph(rng: &mut StdRng) -> ResourceGraph {
+    ResourceGraph::build(arb_program(rng))
+}
+
+/// An arbitrary clean corpus: `projects` motif-generated programs with no
+/// injected noise (mining food, not deployment probes).
+pub fn arb_corpus(rng: &mut StdRng, projects: usize) -> Vec<Program> {
+    let cfg = CorpusConfig {
+        seed: rng.gen(),
+        projects,
+        noise_rate: 0.0,
+        rare_option_rate: 0.0,
+        min_motifs: 1,
+        max_motifs: 3,
+    };
+    zodiac_corpus::generate(&cfg)
+        .into_iter()
+        .map(|p| p.program)
+        .collect()
+}
+
+fn arb_val(rng: &mut StdRng, var: &str) -> Val {
+    match rng.gen_range(0..4u8) {
+        0 => b::lit(arb_literal_string(rng)),
+        1 => match rng.gen_range(0..3u8) {
+            0 => b::null(),
+            1 => b::lit(Value::Bool(rng.gen_bool(0.5))),
+            _ => b::lit(Value::Int(rng.gen_range(0..64))),
+        },
+        _ => b::endpoint(var, *CHECK_ATTRS.choose(rng).unwrap_or(&"location")),
+    }
+}
+
+fn arb_cmp_op(rng: &mut StdRng) -> CmpOp {
+    *[
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Le,
+        CmpOp::Ge,
+        CmpOp::Lt,
+        CmpOp::Gt,
+    ]
+    .choose(rng)
+    .unwrap_or(&CmpOp::Eq)
+}
+
+fn arb_cmp(rng: &mut StdRng, var: &str) -> Expr {
+    let lhs = b::endpoint(var, *CHECK_ATTRS.choose(rng).unwrap_or(&"location"));
+    b::cmp(arb_cmp_op(rng), lhs, arb_val(rng, var))
+}
+
+/// An arbitrary well-formed check: intra-resource, connection-based, or
+/// aggregation-based, mirroring the template families mining produces.
+pub fn arb_check(rng: &mut StdRng) -> Check {
+    let t1 = *CHECK_TYPES.choose(rng).unwrap_or(&"VM");
+    match rng.gen_range(0..4u8) {
+        // Intra-resource implication over one binding.
+        0 | 1 => b::check([b::binding("r", t1)], arb_cmp(rng, "r"), arb_cmp(rng, "r")),
+        // Connection-based inter-resource check.
+        2 => {
+            let stmt = if rng.gen_bool(0.5) {
+                b::eq(b::endpoint("r1", "location"), b::endpoint("r2", "location"))
+            } else {
+                arb_cmp(rng, "r2")
+            };
+            b::check(
+                [b::binding("r1", "VM"), b::binding("r2", "NIC")],
+                b::conn("r1", "network_interface_ids", "r2", "id"),
+                stmt,
+            )
+        }
+        // Aggregation: degree bound under a connection condition.
+        _ => {
+            let tau = if rng.gen_bool(0.5) {
+                b::is_type(*CHECK_TYPES.choose(rng).unwrap_or(&"VM"))
+            } else {
+                b::not_type(*CHECK_TYPES.choose(rng).unwrap_or(&"GW"))
+            };
+            b::check(
+                [b::binding("r1", "GW"), b::binding("r2", "SUBNET")],
+                b::conn("r1", "ip_configuration.subnet_id", "r2", "id"),
+                b::le(
+                    b::indegree("r2", tau),
+                    b::lit(Value::Int(rng.gen_range(0..8))),
+                ),
+            )
+        }
+    }
+}
+
+/// Derives a child RNG from `rng`, so sub-generators can be replayed from a
+/// printable `u64` without consuming an unpredictable amount of the parent
+/// stream.
+pub fn child_rng(rng: &mut StdRng) -> (u64, StdRng) {
+    let seed: u64 = rng.gen();
+    (seed, StdRng::seed_from_u64(seed))
+}

@@ -1,0 +1,267 @@
+//! The differential oracle: one fuzzing episode end-to-end.
+//!
+//! An episode runs the real pipeline — corpus → mining → validation
+//! scheduler → counterexample demotion — against the bare [`CloudSim`]
+//! (no worker threads, so every deployment interleaving is deterministic),
+//! then asserts the property hierarchy documented in the crate root.
+
+use crate::gen;
+use crate::shrink;
+use crate::{EpisodeStats, FuzzConfig, FuzzFailure, FuzzReport};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use zodiac_cloud::{CloudSim, DeployOutcome, Phase, TRANSIENT_PREFIX};
+use zodiac_graph::ResourceGraph;
+use zodiac_mining::MiningConfig;
+use zodiac_model::Program;
+use zodiac_obs::Obs;
+use zodiac_spec::{parse_check, violations, Check, EvalContext};
+use zodiac_validation::counterexample::counterexample_pass;
+use zodiac_validation::{Scheduler, SchedulerConfig, ValidatedCheck};
+
+/// Violating programs examined per check in the episode's §5.6 pass.
+const CE_BUDGET: usize = 4;
+
+/// True when printing then re-parsing `check` loses information.
+fn roundtrip_fails(check: &Check) -> bool {
+    match parse_check(&check.to_string()) {
+        Ok(back) => back != *check,
+        Err(_) => true,
+    }
+}
+
+/// Runs one episode and records its stats, tallies, and failures.
+pub(crate) fn run_episode(
+    ep: usize,
+    episode_seed: u64,
+    episode_cases: usize,
+    cfg: &FuzzConfig,
+    obs: &Obs,
+    report: &mut FuzzReport,
+) {
+    let mut rng = StdRng::seed_from_u64(episode_seed);
+    let kb = zodiac_kb::azure_kb();
+    let sim = CloudSim::new_azure();
+
+    // --- the real pipeline, minus the engine wrapper -----------------------
+    let corpus = gen::arb_corpus(&mut rng, cfg.corpus_projects.max(1));
+    let mining = zodiac_mining::mine(&corpus, &kb, &MiningConfig::default());
+    let outcome =
+        Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(mining.checks.clone());
+
+    // Generate this episode's wild programs up front: they are both the
+    // soundness probes and the open-world corpus of the counterexample
+    // pass, so soundness is asserted over post-demotion checks.
+    let cases: Vec<(u64, Program)> = (0..episode_cases)
+        .map(|_| {
+            let (case_seed, mut case_rng) = gen::child_rng(&mut rng);
+            (case_seed, gen::arb_program(&mut case_rng))
+        })
+        .collect();
+    let case_programs: Vec<Program> = cases.iter().map(|(_, p)| p.clone()).collect();
+    let ce = counterexample_pass(&outcome.validated, &case_programs, &kb, &sim, CE_BUDGET);
+    let demoted: BTreeSet<usize> = ce.demoted.iter().copied().collect();
+    let final_checks: Vec<&ValidatedCheck> = outcome
+        .validated
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !demoted.contains(i))
+        .map(|(_, v)| v)
+        .collect();
+
+    let mut stats = EpisodeStats {
+        seed: episode_seed,
+        corpus_projects: corpus.len(),
+        candidates: mining.checks.len(),
+        validated: outcome.validated.len(),
+        demoted: demoted.len(),
+        cases: cases.len(),
+        deployable: 0,
+    };
+
+    // --- P1: soundness -----------------------------------------------------
+    for (case_seed, program) in &cases {
+        report.tally("soundness", 1);
+        if !sim.deploys_ok(program) {
+            continue;
+        }
+        stats.deployable += 1;
+        let graph = ResourceGraph::build(program.clone());
+        let ctx = EvalContext {
+            graph: &graph,
+            kb: Some(&kb),
+        };
+        for v in &final_checks {
+            if violations(&v.mined.check, ctx).is_empty() {
+                continue;
+            }
+            let check = v.mined.check.clone();
+            let still_fails = |p: &Program| {
+                !p.is_empty() && sim.deploys_ok(p) && {
+                    let g = ResourceGraph::build(p.clone());
+                    !violations(
+                        &check,
+                        EvalContext {
+                            graph: &g,
+                            kb: Some(&kb),
+                        },
+                    )
+                    .is_empty()
+                }
+            };
+            let shrunk = shrink::shrink_program(program, still_fails);
+            report.fail(FuzzFailure {
+                property: "soundness",
+                episode: ep,
+                replay_seed: *case_seed,
+                detail: format!(
+                    "surviving check `{check}` rejects a program the cloud deploys\n\
+                     shrunk program ({} of {} resources):\n{}",
+                    shrunk.len(),
+                    program.len(),
+                    zodiac_hcl::to_hcl(&shrunk)
+                ),
+            });
+        }
+    }
+    obs.counter("fuzz.episode.deployable", stats.deployable as u64);
+
+    // --- P2: mutation efficacy --------------------------------------------
+    for v in &outcome.validated {
+        report.tally("mutation-efficacy", 1);
+        if let Some(detail) = efficacy_violation(&sim, v) {
+            report.fail(FuzzFailure {
+                property: "mutation-efficacy",
+                episode: ep,
+                replay_seed: episode_seed,
+                detail,
+            });
+        }
+    }
+
+    // --- P3: permutation stability -----------------------------------------
+    report.tally("permutation-stability", 1);
+    let mut shuffled = mining.checks.clone();
+    shuffled.shuffle(&mut rng);
+    let permuted = Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(shuffled);
+    let base_set: BTreeSet<String> = outcome
+        .validated
+        .iter()
+        .map(|v| v.mined.check.canonical())
+        .collect();
+    let perm_set: BTreeSet<String> = permuted
+        .validated
+        .iter()
+        .map(|v| v.mined.check.canonical())
+        .collect();
+    if base_set != perm_set {
+        let only_base: Vec<&String> = base_set.difference(&perm_set).collect();
+        let only_perm: Vec<&String> = perm_set.difference(&base_set).collect();
+        report.fail(FuzzFailure {
+            property: "permutation-stability",
+            episode: ep,
+            replay_seed: episode_seed,
+            detail: format!(
+                "validated set changed under candidate permutation\n\
+                 only in original order ({}): {:?}\n\
+                 only in shuffled order ({}): {:?}",
+                only_base.len(),
+                only_base,
+                only_perm.len(),
+                only_perm
+            ),
+        });
+    }
+
+    // --- P4: corpus monotonicity -------------------------------------------
+    // Self-duplication doubles every support count while keeping confidence
+    // and lift bit-identical, so the mined set must not shrink (it may grow:
+    // candidates below min_support clear the bar at double support).
+    report.tally("corpus-monotonicity", 1);
+    let doubled: Vec<Program> = corpus.iter().chain(corpus.iter()).cloned().collect();
+    let mining_doubled = zodiac_mining::mine(&doubled, &kb, &MiningConfig::default());
+    let base_mined: BTreeSet<String> = mining.checks.iter().map(|c| c.check.canonical()).collect();
+    let doubled_mined: BTreeSet<String> = mining_doubled
+        .checks
+        .iter()
+        .map(|c| c.check.canonical())
+        .collect();
+    let lost: Vec<&String> = base_mined.difference(&doubled_mined).collect();
+    if !lost.is_empty() {
+        report.fail(FuzzFailure {
+            property: "corpus-monotonicity",
+            episode: ep,
+            replay_seed: episode_seed,
+            detail: format!(
+                "{} candidate(s) vanished when the corpus was self-duplicated: {:?}",
+                lost.len(),
+                lost
+            ),
+        });
+    }
+
+    // --- P5: print/parse round-trip ----------------------------------------
+    let generated: Vec<Check> = (0..cfg.checks_per_episode)
+        .map(|_| gen::arb_check(&mut rng))
+        .collect();
+    for check in mining.checks.iter().map(|c| &c.check).chain(&generated) {
+        report.tally("print-parse-roundtrip", 1);
+        if !roundtrip_fails(check) {
+            continue;
+        }
+        let shrunk = shrink::shrink_check(check, roundtrip_fails);
+        let printed = shrunk.to_string();
+        let parse_result = match parse_check(&printed) {
+            Ok(back) if back != shrunk => "re-parses to a different check".to_string(),
+            Ok(_) => "unexpectedly round-trips after shrinking".to_string(),
+            Err(e) => format!("fails to re-parse: {e}"),
+        };
+        report.fail(FuzzFailure {
+            property: "print-parse-roundtrip",
+            episode: ep,
+            replay_seed: episode_seed,
+            detail: format!("printed form of a check {parse_result}\nshrunk check: {printed}"),
+        });
+    }
+
+    report.episodes.push(stats);
+}
+
+/// Checks one validated check's negative report against the rule table;
+/// returns failure detail if the efficacy property is violated.
+fn efficacy_violation(sim: &CloudSim, v: &ValidatedCheck) -> Option<String> {
+    let check = &v.mined.check;
+    match &v.negative_report.outcome {
+        DeployOutcome::Success => Some(format!(
+            "negative test for `{check}` deployed successfully, yet the check was validated"
+        )),
+        DeployOutcome::Failure { phase, rule_id, .. } => {
+            if rule_id.starts_with(TRANSIENT_PREFIX) {
+                return Some(format!(
+                    "negative test for `{check}` failed on transient {rule_id} with no fault \
+                     injector configured"
+                ));
+            }
+            let declared = if rule_id == "core/dependency-cycle" {
+                Some(Phase::PluginCheck)
+            } else {
+                sim.rules()
+                    .iter()
+                    .find(|r| r.id == *rule_id)
+                    .map(|r| r.phase)
+            };
+            match declared {
+                None => Some(format!(
+                    "negative test for `{check}` failed on unknown rule {rule_id}"
+                )),
+                Some(declared) if declared != *phase => Some(format!(
+                    "negative test for `{check}` failed at {phase}, but rule {rule_id} \
+                     declares {declared}"
+                )),
+                Some(_) => None,
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The `proptest-regressions/` seed-file convention.
+//!
+//! Every property test keeps a committed seed file; each line is one master
+//! seed that replays a full derivation. When a fuzz run fails, the printed
+//! replay seed goes into the file so the failure re-runs on every `cargo
+//! test` forever after — the same role proptest's regression files play,
+//! minus the dependency.
+//!
+//! Format: one `u64` seed per line, decimal or `0x`-prefixed hex (matching
+//! the `{:#x}` the report prints); `#` starts a comment; blank lines are
+//! ignored.
+
+/// Parses a regression seed file's contents.
+pub fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
+    let mut seeds = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = match line.strip_prefix("0x").or_else(|| line.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => line.parse(),
+        };
+        seeds.push(parsed.map_err(|e| format!("line {}: bad seed `{line}`: {e}", lineno + 1))?);
+    }
+    Ok(seeds)
+}
+
+/// Loads and parses a regression seed file.
+pub fn load_seeds(path: &str) -> Result<Vec<u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_seeds(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hex_decimal_comments_and_blanks() {
+        let text = "# header\n\n0xC0FFEE\n42\n  0x4c110001 # not a trailing comment\n";
+        // Trailing comments are NOT supported: the whole line must parse.
+        assert!(parse_seeds(text).is_err());
+        let ok = parse_seeds("# header\n\n0xC0FFEE\n42\n").unwrap();
+        assert_eq!(ok, vec![0xC0FFEE, 42]);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let err = parse_seeds("0xC0FFEE\nnot-a-seed\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

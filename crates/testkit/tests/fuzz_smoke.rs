@@ -1,0 +1,57 @@
+//! Smoke tests for the differential fuzzer: the default derivation passes,
+//! renders byte-identically across runs, and every committed regression
+//! seed replays clean.
+
+use zodiac_testkit::{run_fuzz, FuzzConfig};
+
+#[test]
+fn default_seed_passes_and_renders_deterministically() {
+    let cfg = FuzzConfig {
+        cases: 64,
+        ..Default::default()
+    };
+    let first = run_fuzz(&cfg);
+    let second = run_fuzz(&cfg);
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "two runs of the same config must render byte-identically"
+    );
+    assert!(first.passed(), "{}", first.render());
+}
+
+#[test]
+fn regression_seeds_replay_clean() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/proptest-regressions/fuzz.txt");
+    let seeds = zodiac_testkit::regression::load_seeds(path).expect("seed file must parse");
+    assert!(!seeds.is_empty(), "{path} must pin at least one seed");
+    for seed in seeds {
+        let cfg = FuzzConfig {
+            seed,
+            cases: 32,
+            ..Default::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(
+            report.passed(),
+            "seed {seed:#x} regressed:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn time_budget_truncates_but_still_reports() {
+    let cfg = FuzzConfig {
+        cases: 256,
+        max_seconds: Some(0),
+        ..Default::default()
+    };
+    let report = run_fuzz(&cfg);
+    assert!(
+        report.truncated,
+        "a zero budget must truncate after episode 0"
+    );
+    assert_eq!(report.episodes.len(), 1, "episode 0 always runs");
+    assert!(report.render().contains("time budget exceeded"));
+}

@@ -1,0 +1,57 @@
+//! Mutation-testing sanity check: re-introduce the PR-2 literal-escaping
+//! bug (single quotes and backslashes printed raw inside check literals)
+//! through the `test-hooks` feature's runtime switch, and prove the
+//! differential oracle flags it — then prove the same derivation is clean
+//! once the hook is off.
+//!
+//! This lives in its own integration-test binary because the hook is a
+//! process-global flag: sharing a binary with other tests would let the
+//! buggy printer leak into unrelated assertions.
+
+use zodiac_testkit::{run_fuzz, FuzzConfig, PROPERTIES};
+
+#[test]
+fn oracle_flags_reintroduced_escaping_bug() {
+    // One episode, with extra generated checks so the quote/backslash pool
+    // strings are sampled plenty of times.
+    let cfg = FuzzConfig {
+        cases: 32,
+        checks_per_episode: 128,
+        ..Default::default()
+    };
+
+    let was_on = zodiac_spec::test_hooks::set_disable_literal_escaping(true);
+    assert!(!was_on, "hook must start disabled");
+    let buggy = run_fuzz(&cfg);
+    zodiac_spec::test_hooks::set_disable_literal_escaping(false);
+
+    let idx = PROPERTIES
+        .iter()
+        .position(|p| *p == "print-parse-roundtrip")
+        .expect("property is registered");
+    assert!(
+        buggy.properties[idx].failures > 0,
+        "the oracle must flag the escaping bug\n{}",
+        buggy.render()
+    );
+    // Every reported failure carries a shrunk check whose printed form
+    // still exhibits the bug (a quote or backslash in a literal).
+    for f in buggy
+        .failures
+        .iter()
+        .filter(|f| f.property == "print-parse-roundtrip")
+    {
+        assert!(
+            f.detail.contains('\'') || f.detail.contains('\\'),
+            "shrunk counterexample should isolate the unescaped character: {}",
+            f.detail
+        );
+    }
+
+    let clean = run_fuzz(&cfg);
+    assert!(
+        clean.passed(),
+        "identical derivation must pass with escaping restored:\n{}",
+        clean.render()
+    );
+}

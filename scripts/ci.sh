@@ -11,3 +11,30 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # Bench smoke-run: each Criterion harness executes one untimed iteration
 # when invoked without `--bench`, catching bit-rot in bench-only code.
 cargo test --benches -q --locked
+
+# Regression seed files must exist and must be tracked — a gitignored seed
+# file silently un-pins every replayed failure.
+regressions=$(find crates -path '*proptest-regressions*' -type f)
+test -n "$regressions" || { echo "no proptest-regressions seed files found"; exit 1; }
+for f in $regressions; do
+  if git check-ignore -q "$f"; then
+    echo "regression seed file is gitignored: $f"
+    exit 1
+  fi
+done
+
+# Fuzz smoke: the differential fuzzer must pass and its report must be a
+# pure function of the seed (byte-identical stdout across two runs).
+fuzz_a=$(mktemp) fuzz_b=$(mktemp)
+trap 'rm -f "$fuzz_a" "$fuzz_b"' EXIT
+./target/release/zodiac fuzz --seed 0xC0FFEE --cases 256 > "$fuzz_a"
+./target/release/zodiac fuzz --seed 0xC0FFEE --cases 256 > "$fuzz_b"
+diff "$fuzz_a" "$fuzz_b" || { echo "fuzz report is nondeterministic"; exit 1; }
+
+# Coverage floor (only where cargo-llvm-cov is installed; the coverage CI
+# job installs it, local runs without it skip gracefully).
+if command -v cargo-llvm-cov >/dev/null 2>&1; then
+  scripts/coverage.sh
+else
+  echo "cargo-llvm-cov not installed; skipping coverage floor"
+fi

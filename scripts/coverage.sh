@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Line-coverage floor for the pipeline's decision-making crates. Requires
+# cargo-llvm-cov (https://github.com/taiki-e/cargo-llvm-cov); ci.sh calls
+# this only when the tool is installed, and the dedicated CI coverage job
+# installs it explicitly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+summary=$(cargo llvm-cov --summary-only --json -p zodiac-validation -p zodiac-mining)
+
+python3 - "$summary" <<'EOF'
+import json, sys
+
+data = json.loads(sys.argv[1])
+floors = {"validation": 60, "mining": 60}
+# cargo-llvm-cov --json emits one entry per file; aggregate per crate dir.
+totals = {k: [0, 0] for k in floors}
+for export in data.get("data", []):
+    for f in export.get("files", []):
+        name = f["filename"]
+        for crate in floors:
+            if f"crates/{crate}/" in name:
+                s = f["summary"]["lines"]
+                totals[crate][0] += s["covered"]
+                totals[crate][1] += s["count"]
+ok = True
+for crate, (covered, count) in totals.items():
+    pct = 100.0 * covered / count if count else 0.0
+    status = "OK" if pct >= floors[crate] else "BELOW FLOOR"
+    if pct < floors[crate]:
+        ok = False
+    print(f"zodiac-{crate}: {pct:.1f}% line coverage (floor {floors[crate]}%) {status}")
+sys.exit(0 if ok else 1)
+EOF
