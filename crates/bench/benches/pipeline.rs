@@ -55,6 +55,17 @@ fn bench_validation(c: &mut Criterion) {
     });
 }
 
+// The headline evaluation scale (corpus → mining → validation →
+// counterexamples, 600 + 300 projects) end to end, as `zodiac mine` and the
+// exp_* binaries run it. Tracks the cost of the whole funnel rather than
+// one phase; BENCH_pipeline.json records the committed baseline.
+fn bench_full_pipeline(c: &mut Criterion) {
+    let cfg = zodiac_bench::eval_config();
+    c.bench_function("pipeline/600-projects", |b| {
+        b.iter(|| zodiac::run_pipeline(&cfg))
+    });
+}
+
 fn bench_scanner(c: &mut Criterion) {
     let corpus = small_corpus();
     let kb = zodiac_kb::azure_kb();
@@ -76,6 +87,6 @@ fn bench_scanner(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_corpus_generation, bench_mining, bench_validation, bench_scanner
+    targets = bench_corpus_generation, bench_mining, bench_validation, bench_full_pipeline, bench_scanner
 }
 criterion_main!(benches);

@@ -119,6 +119,23 @@ pub trait DeployOracle {
         self.deploy(program).outcome.is_success()
     }
 
+    /// Like [`DeployOracle::deploy`], but also reports whether the result
+    /// was served from a memo cache rather than a backend deployment.
+    /// Backends without a cache return `false`; execution engines override
+    /// this so provenance events can attribute cached outcomes.
+    fn deploy_annotated(&self, program: &Program) -> (DeployReport, bool) {
+        (self.deploy(program), false)
+    }
+
+    /// Batch form of [`DeployOracle::deploy_annotated`]: reports in input
+    /// order, each flagged with cache provenance.
+    fn deploy_batch_annotated(&self, programs: &[Program]) -> Vec<(DeployReport, bool)> {
+        self.deploy_batch(programs)
+            .into_iter()
+            .map(|r| (r, false))
+            .collect()
+    }
+
     /// Execution-engine metrics (the `deploy.*` namespace — requests,
     /// cache hits, retries, latency histograms), if this oracle collects
     /// any.

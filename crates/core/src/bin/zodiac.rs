@@ -5,6 +5,8 @@
 //! zodiac scan   --checks checks.txt FILE...
 //! zodiac deploy FILE...
 //! zodiac explain "<check>"
+//! zodiac explain <fingerprint> --trace trace.jsonl
+//! zodiac report --trace trace.jsonl
 //! zodiac insights --checks checks.txt
 //! ```
 //!
@@ -16,8 +18,9 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use zodiac::provenance;
 use zodiac_model::Program;
-use zodiac_obs::{JsonLinesSink, MemoryRecorder, MetricsSnapshot, Obs, Recorder};
+use zodiac_obs::{JsonLinesSink, MemoryRecorder, MetricsSnapshot, Obs, PerfettoSink, Recorder};
 use zodiac_spec::{parse_check, Check};
 
 fn main() -> ExitCode {
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
         "scan" => cmd_scan(rest),
         "deploy" => cmd_deploy(rest),
         "explain" => cmd_explain(rest),
+        "report" => cmd_report(rest),
         "insights" => cmd_insights(rest),
         "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => {
@@ -55,6 +59,12 @@ USAGE:
     zodiac scan --checks FILE PROGRAM...               scan programs, deploy-confirm violations
     zodiac deploy PROGRAM...                           simulate deployment and report outcome
     zodiac explain \"<check>\"                           render a check as a deployment insight
+    zodiac explain <check-or-fp> --trace FILE          print one candidate's lifecycle ledger
+                                                       from a recorded trace (fp = 16-hex
+                                                       fingerprint)
+    zodiac report --trace FILE [--top N]               funnel table + latency attribution from
+                  [--perfetto OUT]                     a recorded trace; optionally re-export it
+                                                       as Chrome/Perfetto trace-event JSON
     zodiac insights --checks FILE                      export a JSON-lines RAG knowledge base
     zodiac fuzz [--seed S] [--cases N]                 differential-fuzz the pipeline
                 [--max-seconds T]                      (report on stdout; exit 1 on failures)
@@ -65,8 +75,11 @@ DEPLOYMENT OPTIONS (mine, scan, deploy):
 
 OBSERVABILITY OPTIONS (mine, scan, deploy, fuzz):
     --metrics            print the funnel/latency metrics summary on exit
-    --trace-out FILE     stream stage spans as JSON lines, plus a final
-                         metrics snapshot, to FILE
+    --trace-out FILE     stream structured spans + candidate lifecycle events
+                         as JSON lines (schema v2), plus a final metrics
+                         snapshot, to FILE
+    --perfetto-out FILE  write the run's timeline as Chrome/Perfetto
+                         trace-event JSON (opens in ui.perfetto.dev)
 
 PROGRAM is .tf (Terraform source) or .json (terraform show -json plan).";
 
@@ -129,20 +142,23 @@ fn print_telemetry(tel: &MetricsSnapshot) {
     );
 }
 
-/// The CLI's observability wiring, parsed from `--metrics`/`--trace-out`.
+/// The CLI's observability wiring, parsed from
+/// `--metrics`/`--trace-out`/`--perfetto-out`.
 struct ObsFlags {
     metrics: bool,
     trace: Option<Arc<JsonLinesSink>>,
+    perfetto: Option<Arc<PerfettoSink>>,
     registry: Arc<MemoryRecorder>,
     obs: Obs,
 }
 
-/// Parses the shared `--metrics` / `--trace-out FILE` observability flags.
-/// With neither flag the returned handle is null, so instrumented code
-/// paths stay free.
+/// Parses the shared `--metrics` / `--trace-out FILE` / `--perfetto-out
+/// FILE` observability flags. With no flag the returned handle is null, so
+/// instrumented code paths stay free.
 fn take_obs_flags(args: &mut Vec<String>) -> Result<ObsFlags, String> {
     let metrics = take_switch(args, "--metrics");
     let trace_path = take_flag(args, "--trace-out");
+    let perfetto_path = take_flag(args, "--perfetto-out");
     let registry = Arc::new(MemoryRecorder::new());
     let mut sinks: Vec<Arc<dyn Recorder>> = vec![registry.clone()];
     let trace = match trace_path {
@@ -155,7 +171,15 @@ fn take_obs_flags(args: &mut Vec<String>) -> Result<ObsFlags, String> {
         }
         None => None,
     };
-    let obs = if metrics || trace.is_some() {
+    let perfetto = match perfetto_path {
+        Some(path) => {
+            let sink = Arc::new(PerfettoSink::create(&path));
+            sinks.push(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let obs = if metrics || trace.is_some() || perfetto.is_some() {
         Obs::fanout(sinks)
     } else {
         Obs::null()
@@ -163,6 +187,7 @@ fn take_obs_flags(args: &mut Vec<String>) -> Result<ObsFlags, String> {
     Ok(ObsFlags {
         metrics,
         trace,
+        perfetto,
         registry,
         obs,
     })
@@ -170,12 +195,16 @@ fn take_obs_flags(args: &mut Vec<String>) -> Result<ObsFlags, String> {
 
 impl ObsFlags {
     /// Emits the end-of-run artifacts: the final snapshot line of the trace
-    /// file and the `--metrics` summary table.
+    /// file, the Perfetto export, and the `--metrics` summary table.
     fn finish(&self) -> Result<(), String> {
         if let Some(sink) = &self.trace {
             sink.write_snapshot(&self.registry.snapshot());
             sink.flush()
                 .map_err(|e| format!("cannot flush trace file: {e}"))?;
+        }
+        if let Some(sink) = &self.perfetto {
+            sink.finish()
+                .map_err(|e| format!("cannot write perfetto trace: {e}"))?;
         }
         if self.metrics {
             eprint!("{}", self.registry.snapshot().render());
@@ -365,11 +394,57 @@ fn cmd_deploy(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let [src] = args else {
-        return Err("explain requires exactly one quoted check".into());
+    let mut args = args.to_vec();
+    let trace_path = take_flag(&mut args, "--trace");
+    let [src] = args.as_slice() else {
+        return Err(
+            "explain requires exactly one quoted check (or a 16-hex fingerprint with --trace)"
+                .into(),
+        );
     };
-    let check = parse_check(src).map_err(|e| e.to_string())?;
-    println!("{}", zodiac::insights::explain(&check));
+    match trace_path {
+        // Provenance mode: replay one candidate's lifecycle from a trace.
+        Some(path) => {
+            let fp = provenance::resolve_fingerprint(src)?;
+            let trace =
+                provenance::Trace::load(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let events = trace.ledger_for(fp);
+            print!("{}", provenance::render_ledger(fp, &events));
+            Ok(())
+        }
+        // Insight mode: render the check as a deployment insight.
+        None => {
+            let check = parse_check(src).map_err(|e| e.to_string())?;
+            println!("{}", zodiac::insights::explain(&check));
+            Ok(())
+        }
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let trace_path = take_flag(&mut args, "--trace").ok_or("report requires --trace FILE")?;
+    let top: usize = take_flag(&mut args, "--top")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--top expects a number >= 1".to_string())
+        })
+        .transpose()?
+        .unwrap_or(10);
+    let perfetto_out = take_flag(&mut args, "--perfetto");
+    if !args.is_empty() {
+        return Err(format!("report: unexpected arguments: {}", args.join(" ")));
+    }
+    let trace = provenance::Trace::load(&trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    print!("{}", provenance::render_report(&trace, top));
+    if let Some(out) = perfetto_out {
+        std::fs::write(&out, trace.to_perfetto_json())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("perfetto trace written to {out}");
+    }
     Ok(())
 }
 

@@ -43,6 +43,7 @@
 
 pub mod fixtures;
 pub mod insights;
+pub mod provenance;
 pub mod scanner;
 
 pub use scanner::{scan_corpus, MisconfigReport, Violation};

@@ -88,21 +88,20 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
     }
 
     /// Wraps `backend`, fanning metrics out to `obs` in addition to the
-    /// engine's own in-memory registry.
+    /// engine's own in-memory registry. The engine derives its handle via
+    /// [`Obs::with_sink`], sharing the caller's trace context, so
+    /// per-request deploy spans parent correctly under whatever span is
+    /// ambient when the deploy is issued (e.g. a validation wave).
     pub fn with_obs(backend: B, cfg: DeployerConfig, obs: Obs) -> Self {
         let registry = Arc::new(MemoryRecorder::new());
-        let mut sinks: Vec<Arc<dyn zodiac_obs::Recorder>> = vec![registry.clone()];
-        if obs.is_enabled() {
-            sinks.push(Arc::new(obs));
-        }
         DeployEngine {
             backend,
             cfg,
             cache: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            obs: obs.with_sink(registry.clone()),
             registry,
-            obs: Obs::fanout(sinks),
         }
     }
 
@@ -132,7 +131,16 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
 
     /// One deploy request: cache lookup, then the retrying attempt loop.
     fn deploy_one(&self, program: &Program) -> DeployReport {
+        self.deploy_one_annotated(program).0
+    }
+
+    /// [`DeployEngine::deploy_one`], also reporting whether the result came
+    /// from the memo cache. Emits a *leaf* span (never a scoped one — this
+    /// runs on pool worker threads) parented under whatever span is
+    /// ambient, with the cache verdict as an attribute.
+    fn deploy_one_annotated(&self, program: &Program) -> (DeployReport, bool) {
         let t0 = Instant::now();
+        let mut span = self.obs.start_leaf_span("deploy");
         self.obs.counter("deploy.requests", 1);
         let fp = fingerprint(program);
         if self.cfg.cache {
@@ -142,7 +150,9 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
                     "deploy.latency_us.cache_hit",
                     t0.elapsed().as_micros() as u64,
                 );
-                return hit;
+                span.attr("cached", 1u64);
+                span.finish();
+                return (hit, true);
             }
         }
         self.obs.counter("deploy.backend_deploys", 1);
@@ -155,7 +165,9 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
         }
         self.obs
             .histogram("deploy.latency_us.backend", t0.elapsed().as_micros() as u64);
-        report
+        span.attr("cached", 0u64);
+        span.finish();
+        (report, false)
     }
 
     /// Deploys with retries until a non-transient verdict.
@@ -216,20 +228,35 @@ impl<B: DeployOracle + Sync> DeployOracle for DeployEngine<B> {
     /// Fans the batch across the worker pool through a bounded request
     /// queue; reports come back in input order.
     fn deploy_batch(&self, programs: &[Program]) -> Vec<DeployReport> {
+        self.deploy_batch_annotated(programs)
+            .into_iter()
+            .map(|(report, _)| report)
+            .collect()
+    }
+
+    fn deploy_annotated(&self, program: &Program) -> (DeployReport, bool) {
+        self.deploy_one_annotated(program)
+    }
+
+    fn deploy_batch_annotated(&self, programs: &[Program]) -> Vec<(DeployReport, bool)> {
         let workers = self.cfg.workers.max(1).min(programs.len());
         if workers <= 1 {
-            return programs.iter().map(|p| self.deploy_one(p)).collect();
+            return programs
+                .iter()
+                .map(|p| self.deploy_one_annotated(p))
+                .collect();
         }
         let (job_tx, job_rx) = crossbeam::channel::bounded::<(usize, &Program)>(workers * 2);
-        let (res_tx, res_rx) = crossbeam::channel::bounded::<(usize, DeployReport)>(programs.len());
-        let mut out: Vec<Option<DeployReport>> = vec![None; programs.len()];
+        let (res_tx, res_rx) =
+            crossbeam::channel::bounded::<(usize, (DeployReport, bool))>(programs.len());
+        let mut out: Vec<Option<(DeployReport, bool)>> = vec![None; programs.len()];
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let job_rx = job_rx.clone();
                 let res_tx = res_tx.clone();
                 scope.spawn(move || {
                     while let Ok((idx, program)) = job_rx.recv() {
-                        let report = self.deploy_one(program);
+                        let report = self.deploy_one_annotated(program);
                         if res_tx.send((idx, report)).is_err() {
                             break;
                         }
@@ -257,7 +284,7 @@ impl<B: DeployOracle + Sync> DeployOracle for DeployEngine<B> {
             .map(|(idx, r)| match r {
                 Some(report) => report,
                 // Fallback for jobs the pool never reported on.
-                None => self.deploy_one(&programs[idx]),
+                None => self.deploy_one_annotated(&programs[idx]),
             })
             .collect()
     }

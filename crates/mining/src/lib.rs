@@ -150,23 +150,46 @@ pub fn mine_obs(
     if obs.is_enabled() {
         for c in &candidates {
             obs.counter(&format!("mining.hypothesized.{}", c.family), 1);
+            obs.lifecycle(
+                c.check.fingerprint(),
+                zodiac_obs::Lifecycle::Mined {
+                    template: c.family.to_string(),
+                    support: c.support as u64,
+                    confidence_ppm: (c.confidence * 1e6) as u64,
+                },
+            );
         }
     }
 
     // Statistical filtering: confidence first, then lift.
     let filter_span = obs.start_span("pipeline/mining/filter");
+    let traced = obs.is_enabled();
+    let verdict = |c: &MinedCheck, rule: &str, kept: bool| {
+        if traced {
+            obs.lifecycle(
+                c.check.fingerprint(),
+                zodiac_obs::Lifecycle::FilterVerdict {
+                    rule: rule.to_string(),
+                    kept,
+                },
+            );
+        }
+    };
     let mut survivors = Vec::new();
     for c in candidates {
         if c.support < cfg.min_support || c.confidence < cfg.min_confidence {
             report.removed_by_confidence += 1;
+            verdict(&c, "min_confidence", false);
             continue;
         }
         if let Some(lift) = c.lift {
             if lift < cfg.min_lift {
                 report.removed_by_lift += 1;
+                verdict(&c, "min_lift", false);
                 continue;
             }
         }
+        verdict(&c, "statistical", true);
         survivors.push(c);
     }
     filter_span.finish();
@@ -180,6 +203,28 @@ pub fn mine_obs(
     oracle_span.finish();
     report.llm_found = interpolated.len();
     report.llm_removed = removed;
+    if obs.is_enabled() {
+        // Interpolation may generalise a quantitative check (changing its
+        // fingerprint), so oracle-backed checks get their own provenance:
+        // a Mined event under the final identity plus the oracle verdict.
+        for c in &interpolated {
+            obs.lifecycle(
+                c.check.fingerprint(),
+                zodiac_obs::Lifecycle::Mined {
+                    template: c.family.to_string(),
+                    support: c.support as u64,
+                    confidence_ppm: (c.confidence * 1e6) as u64,
+                },
+            );
+            obs.lifecycle(
+                c.check.fingerprint(),
+                zodiac_obs::Lifecycle::FilterVerdict {
+                    rule: "oracle".to_string(),
+                    kept: true,
+                },
+            );
+        }
+    }
 
     // Merge: non-quantitative survivors + oracle-backed quantitative checks.
     let mut checks: Vec<MinedCheck> = survivors

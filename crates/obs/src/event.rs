@@ -1,0 +1,251 @@
+//! Per-candidate lifecycle events: the provenance half of the trace.
+//!
+//! Every candidate check is identified by its 64-bit canonical-form
+//! fingerprint (`zodiac_spec::Check::fingerprint`). As the candidate moves
+//! through the funnel, each stage emits one [`CandidateEvent`] keyed by
+//! that fingerprint, so a recorded trace can be folded into a complete
+//! per-candidate ledger: why it was hypothesized, which filter rules it
+//! passed, when it was scheduled, how each deployment probe went, and
+//! whether it ended `Validated` or `Demoted { reason }`.
+
+/// Which kind of deployment probe a [`Lifecycle::DeployOutcome`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// False-positive removal: deploying a mutated *violating* program.
+    /// Success here means the check is a false positive (§5.6 step 1).
+    FpProbe,
+    /// True-positive validation: deploying a *satisfying* positive case.
+    /// Failure here falsifies the check.
+    TpProbe,
+    /// Counterexample search on held-out projects (§5.6 step 2). Success
+    /// of a violating deployment demotes the check.
+    Counterexample,
+}
+
+impl Polarity {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Polarity::FpProbe => "fp_probe",
+            Polarity::TpProbe => "tp_probe",
+            Polarity::Counterexample => "counterexample",
+        }
+    }
+}
+
+/// A lifecycle transition for one candidate check.
+///
+/// The expected order of events for a single fingerprint is:
+/// `Mined` → zero or more `FilterVerdict` → (`Scheduled` → one or more
+/// `DeployOutcome`)\* → `Validated` | `Demoted`. A candidate killed by
+/// statistical filtering ends at its last `FilterVerdict { kept: false }`;
+/// a validated check later demoted by the counterexample pass has both a
+/// `Validated` and a trailing `Demoted` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// The candidate was hypothesized by a mining template.
+    Mined {
+        /// Template family that produced the hypothesis.
+        template: String,
+        /// Support count over the knowledge base.
+        support: u64,
+        /// Confidence in parts-per-million (the funnel filters on
+        /// fractions; an integer ppm keeps the event integral and
+        /// byte-deterministic).
+        confidence_ppm: u64,
+    },
+    /// A filtering rule examined the candidate.
+    FilterVerdict {
+        /// Rule name: `min_confidence`, `min_lift`, `oracle`, …
+        rule: String,
+        /// Whether the candidate survived the rule.
+        kept: bool,
+    },
+    /// The validation scheduler placed the candidate in a deployment wave.
+    Scheduled {
+        /// Scheduler iteration the candidate was scheduled in.
+        wave: u64,
+        /// Number of co-scheduled candidates sharing a resource type with
+        /// this one (conflict pressure inside the wave).
+        conflicts: u64,
+    },
+    /// A deployment probe for this candidate completed.
+    DeployOutcome {
+        /// Which funnel stage issued the probe.
+        polarity: Polarity,
+        /// Whether the deployment succeeded.
+        success: bool,
+        /// Failure phase (e.g. `plugin checks`), empty on success.
+        phase: String,
+        /// Failing rule id reported by the cloud, empty on success.
+        rule: String,
+        /// Whether the result came from the deployer's memo cache.
+        cached: bool,
+    },
+    /// The candidate survived validation into the final check set.
+    Validated {
+        /// True if validated transitively via an indistinguishable-group
+        /// representative (§5.5 O3) rather than its own deployment.
+        via_group: bool,
+    },
+    /// The candidate was removed, with a machine-readable reason:
+    /// `deployable`, `unsatisfiable`, `no_positive_case`,
+    /// `not_applicable`, or `counterexample`.
+    Demoted {
+        /// Machine-readable demotion reason.
+        reason: String,
+    },
+}
+
+impl Lifecycle {
+    /// Stable lowercase wire name of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lifecycle::Mined { .. } => "mined",
+            Lifecycle::FilterVerdict { .. } => "filter_verdict",
+            Lifecycle::Scheduled { .. } => "scheduled",
+            Lifecycle::DeployOutcome { .. } => "deploy_outcome",
+            Lifecycle::Validated { .. } => "validated",
+            Lifecycle::Demoted { .. } => "demoted",
+        }
+    }
+}
+
+/// A timestamped lifecycle event for one candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateEvent {
+    /// 64-bit fingerprint of the candidate's canonical form.
+    pub fingerprint: u64,
+    /// Offset from the trace epoch, microseconds.
+    pub ts_us: u64,
+    /// The transition.
+    pub kind: Lifecycle,
+}
+
+impl CandidateEvent {
+    /// Encodes the event as one JSON object (no trailing newline) in the
+    /// schema-v2 wire form shared by the JSONL sink and tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"event\":\"lifecycle\",\"fp\":\"");
+        out.push_str(&format!("{:016x}", self.fingerprint));
+        out.push_str("\",\"ts\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.kind());
+        out.push('"');
+        match &self.kind {
+            Lifecycle::Mined {
+                template,
+                support,
+                confidence_ppm,
+            } => {
+                out.push_str(",\"template\":\"");
+                crate::escape_json(template, &mut out);
+                out.push_str(&format!(
+                    "\",\"support\":{support},\"confidence_ppm\":{confidence_ppm}"
+                ));
+            }
+            Lifecycle::FilterVerdict { rule, kept } => {
+                out.push_str(",\"rule\":\"");
+                crate::escape_json(rule, &mut out);
+                out.push_str(&format!("\",\"kept\":{kept}"));
+            }
+            Lifecycle::Scheduled { wave, conflicts } => {
+                out.push_str(&format!(",\"wave\":{wave},\"conflicts\":{conflicts}"));
+            }
+            Lifecycle::DeployOutcome {
+                polarity,
+                success,
+                phase,
+                rule,
+                cached,
+            } => {
+                out.push_str(",\"polarity\":\"");
+                out.push_str(polarity.as_str());
+                out.push_str(&format!("\",\"success\":{success}"));
+                if !phase.is_empty() {
+                    out.push_str(",\"phase\":\"");
+                    crate::escape_json(phase, &mut out);
+                    out.push('"');
+                }
+                if !rule.is_empty() {
+                    out.push_str(",\"rule\":\"");
+                    crate::escape_json(rule, &mut out);
+                    out.push('"');
+                }
+                out.push_str(&format!(",\"cached\":{cached}"));
+            }
+            Lifecycle::Validated { via_group } => {
+                out.push_str(&format!(",\"via_group\":{via_group}"));
+            }
+            Lifecycle::Demoted { reason } => {
+                out.push_str(",\"reason\":\"");
+                crate::escape_json(reason, &mut out);
+                out.push('"');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            Lifecycle::Mined {
+                template: String::new(),
+                support: 0,
+                confidence_ppm: 0
+            }
+            .kind(),
+            "mined"
+        );
+        assert_eq!(
+            Lifecycle::Demoted {
+                reason: String::new()
+            }
+            .kind(),
+            "demoted"
+        );
+        assert_eq!(Polarity::Counterexample.as_str(), "counterexample");
+    }
+
+    #[test]
+    fn json_encoding_is_escaped_and_keyed_by_hex_fingerprint() {
+        let ev = CandidateEvent {
+            fingerprint: 0xAB,
+            ts_us: 7,
+            kind: Lifecycle::Demoted {
+                reason: "counter\"example".into(),
+            },
+        };
+        let json = ev.to_json();
+        assert!(json.starts_with("{\"event\":\"lifecycle\",\"fp\":\"00000000000000ab\""));
+        assert!(json.contains("\"kind\":\"demoted\""));
+        assert!(json.contains("counter\\\"example"));
+    }
+
+    #[test]
+    fn deploy_outcome_omits_empty_phase_and_rule() {
+        let ok = CandidateEvent {
+            fingerprint: 1,
+            ts_us: 0,
+            kind: Lifecycle::DeployOutcome {
+                polarity: Polarity::TpProbe,
+                success: true,
+                phase: String::new(),
+                rule: String::new(),
+                cached: true,
+            },
+        };
+        let json = ok.to_json();
+        assert!(!json.contains("\"phase\""));
+        assert!(!json.contains("\"rule\""));
+        assert!(json.contains("\"cached\":true"));
+    }
+}

@@ -5,27 +5,48 @@
 //! (statistical filtering, false-positive removal, counterexample demotion)
 //! and wall-clock concentrates in well-defined places (deployment, solver
 //! mutation). This crate gives every stage a first-class instrumentation
-//! surface instead of ad-hoc counter structs:
+//! surface instead of ad-hoc counter structs — and, beyond aggregates, a
+//! *causal* record: structured spans with identities and parent links, and
+//! per-candidate lifecycle events keyed by check fingerprint.
 //!
-//! * the [`Recorder`] trait — counters, gauges, histograms, and stage
-//!   spans — implemented by pluggable sinks;
+//! * the [`Recorder`] trait — counters, gauges, histograms, structured
+//!   stage spans ([`SpanRecord`]), and candidate lifecycle events
+//!   ([`CandidateEvent`]) — implemented by pluggable sinks;
 //! * [`MemoryRecorder`], a sharded in-memory registry whose hot path is a
 //!   read-lock + atomic add (no allocation, no write-lock after first
 //!   touch), cheap enough to stay enabled in benches and tests;
 //! * [`JsonLinesSink`], a streaming JSON-lines event sink for the CLI's
-//!   `--trace-out`: one line per completed span, plus a final metrics
-//!   snapshot;
+//!   `--trace-out` (schema v2: header, spans with id/parent/attrs,
+//!   lifecycle events, final metrics snapshot);
+//! * [`PerfettoSink`], a buffering exporter producing Chrome trace-event
+//!   JSON that opens directly in `ui.perfetto.dev` (`--perfetto-out`);
 //! * [`Obs`], a cheaply-clonable fan-out handle threaded through the
 //!   pipeline. A disabled (null) handle makes every call a no-op over an
 //!   empty sink list, so un-instrumented callers pay nothing measurable.
 //!
+//! # Span identity and parenting
+//!
+//! Every span gets a `u64` id from the handle's shared [trace context] and
+//! a parent link. Parenting is *ambient*: [`Obs::start_span`] reads the
+//! current ambient parent, then installs its own id as the ambient parent
+//! until the guard finishes (LIFO, matching RAII scopes on the pipeline
+//! thread). Concurrent subsystems — the deployment engine's worker pool —
+//! must use [`Obs::start_leaf_span`], which *reads* the ambient parent but
+//! never installs itself, so racing workers cannot corrupt the scope stack.
+//! Handles cloned from one another (including [`Obs::with_sink`]) share one
+//! trace context; handles built with [`Obs::fanout`]/[`Obs::single`] start
+//! a fresh one (ids from 1, timestamps from 0).
+//!
+//! [trace context]: Obs::with_sink
+//!
 //! # Span naming convention
 //!
-//! Spans are hierarchical by *path*, slash-separated, rooted at the
-//! subsystem: `pipeline/corpus`, `pipeline/mining/stats`,
-//! `pipeline/validation/iter/3`, `cli/mine`. Span durations are recorded
-//! into the registry as histograms named `span.<path>` (microseconds), so
-//! one snapshot carries both the funnel counts and the stage timings.
+//! Span *names* are hierarchical by path, slash-separated, rooted at the
+//! subsystem — `pipeline/corpus`, `pipeline/mining/stats`,
+//! `pipeline/validation/iter` — and **bounded**: dynamic dimensions
+//! (iteration index, wave number, episode) are span attributes, not name
+//! segments, so the `span.<path>` histogram namespace in the registry
+//! stays finite no matter how long a run iterates.
 //!
 //! # Metric naming convention
 //!
@@ -35,17 +56,91 @@
 //! (motif names, template families, failure phases) go in the last
 //! segment.
 
+mod event;
 mod jsonl;
+mod perfetto;
 mod registry;
 mod snapshot;
 
+pub use event::{CandidateEvent, Lifecycle, Polarity};
 pub use jsonl::JsonLinesSink;
+pub use perfetto::{chrome_trace_json, PerfettoSink, TraceInstant, TraceSpan};
 pub use registry::MemoryRecorder;
 pub use snapshot::{HistogramSummary, MetricsSnapshot};
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Version of the JSON-lines trace schema emitted by [`JsonLinesSink`].
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
+
+/// A span attribute value (structured key/value pairs on [`SpanRecord`]s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// An unsigned integer attribute (iteration index, batch size, seed).
+    U64(u64),
+    /// A string attribute.
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A completed structured span, passed to every sink at span end.
+///
+/// `parent == 0` marks a root span; `tid` is a small per-thread ordinal
+/// (the pipeline thread that created the trace context is 1), `ts_us` is
+/// the span's start offset from the trace epoch and `dur_us` its monotonic
+/// duration, both in microseconds.
+#[derive(Debug, Clone)]
+pub struct SpanRecord<'a> {
+    /// Span id, unique within one trace context (never 0).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Per-thread ordinal of the recording thread.
+    pub tid: u64,
+    /// Bounded, slash-separated span path.
+    pub path: &'a str,
+    /// Start offset from the trace epoch, microseconds.
+    pub ts_us: u64,
+    /// Monotonic duration, microseconds.
+    pub dur_us: u64,
+    /// Structured attributes attached via [`SpanGuard::attr`].
+    pub attrs: &'a [(&'static str, AttrValue)],
+}
 
 /// A metrics + tracing sink. All methods take `&self`: recorders are shared
 /// across worker threads (the deployment engine records from its pool).
@@ -59,16 +154,82 @@ pub trait Recorder: Send + Sync {
     /// Records one observation of `value` into the histogram `name`.
     fn histogram(&self, name: &str, value: u64);
     /// Records a completed stage span: `path` per the naming convention,
-    /// `micros` of monotonic elapsed time.
+    /// `micros` of monotonic elapsed time. Kept for sinks that only care
+    /// about durations; structured sinks should override
+    /// [`Recorder::span_record`] instead.
     fn span(&self, path: &str, micros: u64);
+    /// Records a completed structured span (identity, parent link, thread,
+    /// timestamps, attributes). Defaults to forwarding the duration to
+    /// [`Recorder::span`], so aggregate-only sinks need no changes.
+    fn span_record(&self, rec: &SpanRecord<'_>) {
+        self.span(rec.path, rec.dur_us);
+    }
+    /// Records a per-candidate lifecycle event. Defaults to a no-op so
+    /// aggregate-only sinks ignore provenance.
+    fn lifecycle(&self, _event: &CandidateEvent) {}
+}
+
+/// Shared per-trace state: the span id allocator, the ambient parent cell,
+/// the epoch all timestamps are relative to, and the thread-ordinal
+/// allocator. One context is shared by every clone of an [`Obs`] handle.
+struct TraceCtx {
+    next_id: AtomicU64,
+    ambient: AtomicU64,
+    next_tid: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx {
+            next_id: AtomicU64::new(1),
+            ambient: AtomicU64::new(0),
+            next_tid: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl TraceCtx {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Small per-thread ordinal, allocated on first use per (thread,
+    /// context) pair. The thread that creates the context first is 1.
+    fn tid(self: &Arc<Self>) -> u64 {
+        thread_local! {
+            static TID: std::cell::Cell<(usize, u64)> = const { std::cell::Cell::new((0, 0)) };
+        }
+        let key = Arc::as_ptr(self) as usize;
+        TID.with(|cell| {
+            let (cached_key, cached_tid) = cell.get();
+            if cached_key == key {
+                return cached_tid;
+            }
+            let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            cell.set((key, tid));
+            tid
+        })
+    }
 }
 
 /// A cheaply-clonable handle fanning instrumentation out to zero or more
 /// sinks. The zero-sink ("null") handle is the default and makes every
 /// record call a no-op.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Obs {
     sinks: Arc<[Arc<dyn Recorder>]>,
+    ctx: Arc<TraceCtx>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            sinks: Arc::from(Vec::new().into_boxed_slice()),
+            ctx: Arc::new(TraceCtx::default()),
+        }
+    }
 }
 
 impl Obs {
@@ -77,24 +238,39 @@ impl Obs {
         Obs::default()
     }
 
-    /// A handle recording into a single sink.
+    /// A handle recording into a single sink, with a fresh trace context.
     pub fn single(sink: Arc<dyn Recorder>) -> Self {
-        Obs {
-            sinks: Arc::from(vec![sink].into_boxed_slice()),
-        }
+        Obs::fanout(vec![sink])
     }
 
     /// A handle fanning out to several sinks (e.g. a registry plus a
-    /// JSON-lines trace file).
+    /// JSON-lines trace file), with a fresh trace context.
     pub fn fanout(sinks: Vec<Arc<dyn Recorder>>) -> Self {
         Obs {
             sinks: Arc::from(sinks.into_boxed_slice()),
+            ctx: Arc::new(TraceCtx::default()),
+        }
+    }
+
+    /// A handle with `sink` appended, **sharing this handle's trace
+    /// context** — span ids, the ambient-parent scope, and the timestamp
+    /// epoch stay coherent across both. Subsystems that keep a private
+    /// registry while honouring a caller's handle (the deployment engine)
+    /// must use this instead of [`Obs::fanout`], which would start a
+    /// second id space.
+    pub fn with_sink(&self, sink: Arc<dyn Recorder>) -> Self {
+        let mut sinks: Vec<Arc<dyn Recorder>> = self.sinks.to_vec();
+        sinks.push(sink);
+        Obs {
+            sinks: Arc::from(sinks.into_boxed_slice()),
+            ctx: self.ctx.clone(),
         }
     }
 
     /// True if at least one sink is attached. Callers building dynamic
-    /// metric names (string concatenation) should guard on this so the
-    /// null handle stays free.
+    /// metric names or lifecycle payloads (string concatenation,
+    /// fingerprint hashing) should guard on this so the null handle stays
+    /// free.
     pub fn is_enabled(&self) -> bool {
         !self.sinks.is_empty()
     }
@@ -127,28 +303,76 @@ impl Obs {
         }
     }
 
-    /// Records an already-measured span.
+    /// Records an already-measured span (duration only, no identity).
     pub fn span(&self, path: &str, micros: u64) {
         for s in self.sinks.iter() {
             s.span(path, micros);
         }
     }
 
-    /// Starts a monotonic stage span; the returned guard records the
-    /// elapsed time into every sink when dropped (or on
-    /// [`SpanGuard::finish`]).
+    /// Emits a per-candidate lifecycle event keyed by check fingerprint.
+    /// The event timestamp is stamped from the trace epoch. Free on a
+    /// disabled handle, but callers should still gate payload construction
+    /// on [`Obs::is_enabled`].
+    pub fn lifecycle(&self, fingerprint: u64, kind: Lifecycle) {
+        if !self.is_enabled() {
+            return;
+        }
+        let event = CandidateEvent {
+            fingerprint,
+            ts_us: self.ctx.now_us(),
+            kind,
+        };
+        for s in self.sinks.iter() {
+            s.lifecycle(&event);
+        }
+    }
+
+    /// Starts a *scoped* stage span: the span's parent is the current
+    /// ambient span and the span becomes the ambient parent for everything
+    /// started before the guard finishes. Use from straight-line pipeline
+    /// code; guards must finish in LIFO order (RAII gives this for free).
     pub fn start_span(&self, path: impl Into<String>) -> SpanGuard {
+        self.span_guard(path.into(), true)
+    }
+
+    /// Starts a *leaf* span: parented under the current ambient span but
+    /// never installed as the ambient parent itself. Safe to use from
+    /// concurrent worker threads (the deployment engine's per-request
+    /// spans), where a scoped span would corrupt the shared scope stack.
+    pub fn start_leaf_span(&self, path: impl Into<String>) -> SpanGuard {
+        self.span_guard(path.into(), false)
+    }
+
+    fn span_guard(&self, path: String, scoped: bool) -> SpanGuard {
+        let (id, parent, ts_us) = if self.is_enabled() {
+            let id = self.ctx.next_id.fetch_add(1, Ordering::Relaxed);
+            let parent = self.ctx.ambient.load(Ordering::Relaxed);
+            if scoped {
+                self.ctx.ambient.store(id, Ordering::Relaxed);
+            }
+            (id, parent, self.ctx.now_us())
+        } else {
+            (0, 0, 0)
+        };
         SpanGuard {
             obs: self.clone(),
-            path: path.into(),
+            path,
             start: Instant::now(),
+            ts_us,
+            id,
+            parent,
+            scoped,
+            attrs: Vec::new(),
             done: false,
         }
     }
 }
 
 /// An [`Obs`] handle is itself a recorder, so handles can nest: a subsystem
-/// can fan out to its own registry *plus* a caller-provided handle.
+/// can fan out to its own registry *plus* a caller-provided handle. The
+/// nested handle's own trace context is unused — structured records pass
+/// through verbatim.
 impl Recorder for Obs {
     fn counter(&self, name: &str, delta: u64) {
         Obs::counter(self, name, delta);
@@ -165,6 +389,16 @@ impl Recorder for Obs {
     fn span(&self, path: &str, micros: u64) {
         Obs::span(self, path, micros);
     }
+    fn span_record(&self, rec: &SpanRecord<'_>) {
+        for s in self.sinks.iter() {
+            s.span_record(rec);
+        }
+    }
+    fn lifecycle(&self, event: &CandidateEvent) {
+        for s in self.sinks.iter() {
+            s.lifecycle(event);
+        }
+    }
 }
 
 impl fmt::Debug for Obs {
@@ -178,10 +412,29 @@ pub struct SpanGuard {
     obs: Obs,
     path: String,
     start: Instant,
+    ts_us: u64,
+    id: u64,
+    parent: u64,
+    scoped: bool,
+    attrs: Vec<(&'static str, AttrValue)>,
     done: bool,
 }
 
 impl SpanGuard {
+    /// Attaches a structured attribute to the span (recorded at finish).
+    /// Dynamic dimensions — iteration index, wave, batch size — belong
+    /// here, not in the span path, so histogram names stay bounded.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if self.obs.is_enabled() {
+            self.attrs.push((key, value.into()));
+        }
+    }
+
+    /// This span's id (0 on a disabled handle).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Ends the span now (instead of at scope exit) and records it.
     pub fn finish(mut self) {
         self.record();
@@ -196,8 +449,22 @@ impl SpanGuard {
         if !self.done {
             self.done = true;
             if self.obs.is_enabled() {
-                let micros = self.start.elapsed().as_micros() as u64;
-                self.obs.span(&self.path, micros);
+                if self.scoped {
+                    // Restore the previous ambient parent (LIFO contract).
+                    self.obs.ctx.ambient.store(self.parent, Ordering::Relaxed);
+                }
+                let rec = SpanRecord {
+                    id: self.id,
+                    parent: self.parent,
+                    tid: self.obs.ctx.tid(),
+                    path: &self.path,
+                    ts_us: self.ts_us,
+                    dur_us: self.start.elapsed().as_micros() as u64,
+                    attrs: &self.attrs,
+                };
+                for s in self.obs.sinks.iter() {
+                    s.span_record(&rec);
+                }
             }
         }
     }
@@ -229,6 +496,7 @@ pub(crate) fn escape_json(s: &str, out: &mut String) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn null_handle_is_disabled_and_free() {
@@ -237,7 +505,9 @@ mod tests {
         obs.counter("x", 1);
         obs.histogram("y", 2);
         let g = obs.start_span("a/b");
+        assert_eq!(g.id(), 0);
         g.finish();
+        obs.lifecycle(1, Lifecycle::Validated { via_group: false });
     }
 
     #[test]
@@ -266,6 +536,119 @@ mod tests {
             .get("span.pipeline/mining")
             .expect("span histogram present");
         assert_eq!(h.count, 2);
+    }
+
+    /// A sink that captures structured span records for assertions.
+    #[derive(Default)]
+    struct CaptureSink {
+        spans: Mutex<Vec<(u64, u64, String)>>,
+        events: Mutex<Vec<CandidateEvent>>,
+    }
+
+    impl Recorder for CaptureSink {
+        fn counter(&self, _: &str, _: u64) {}
+        fn gauge_set(&self, _: &str, _: u64) {}
+        fn gauge_max(&self, _: &str, _: u64) {}
+        fn histogram(&self, _: &str, _: u64) {}
+        fn span(&self, _: &str, _: u64) {}
+        fn span_record(&self, rec: &SpanRecord<'_>) {
+            self.spans
+                .lock()
+                .unwrap()
+                .push((rec.id, rec.parent, rec.path.to_string()));
+        }
+        fn lifecycle(&self, event: &CandidateEvent) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+    }
+
+    #[test]
+    fn scoped_spans_nest_and_leaf_spans_do_not_take_scope() {
+        let sink = Arc::new(CaptureSink::default());
+        let obs = Obs::single(sink.clone());
+        let root = obs.start_span("pipeline");
+        let root_id = root.id();
+        {
+            let child = obs.start_span("pipeline/validation");
+            let child_id = child.id();
+            // A leaf span is parented under the innermost scoped span but
+            // does not become the ambient parent itself.
+            let leaf = obs.start_leaf_span("deploy");
+            assert_eq!(leaf.parent, child_id);
+            let sibling = obs.start_leaf_span("deploy");
+            assert_eq!(sibling.parent, child_id);
+            sibling.finish();
+            leaf.finish();
+            child.finish();
+        }
+        // After the scoped child finished, new spans parent to the root.
+        let late = obs.start_span("pipeline/report");
+        assert_eq!(late.parent, root_id);
+        late.finish();
+        root.finish();
+        let spans = sink.spans.lock().unwrap();
+        assert_eq!(spans.len(), 5);
+        // Root span has parent 0 and every other parent id is a live span.
+        let ids: Vec<u64> = spans.iter().map(|(id, _, _)| *id).collect();
+        for (id, parent, path) in spans.iter() {
+            if path == "pipeline" {
+                assert_eq!(*parent, 0);
+            } else {
+                assert!(ids.contains(parent), "span {id} has dead parent {parent}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_sink_shares_the_trace_context() {
+        let a = Arc::new(CaptureSink::default());
+        let b = Arc::new(CaptureSink::default());
+        let obs = Obs::single(a.clone());
+        let outer = obs.start_span("outer");
+        let outer_id = outer.id();
+        // A derived handle (extra private sink) still sees the ambient
+        // parent and allocates from the same id space.
+        let derived = obs.with_sink(b.clone());
+        let inner = derived.start_leaf_span("inner");
+        assert_eq!(inner.parent, outer_id);
+        assert!(inner.id() > outer_id);
+        inner.finish();
+        outer.finish();
+        assert_eq!(a.spans.lock().unwrap().len(), 2); // both spans
+        assert_eq!(b.spans.lock().unwrap().len(), 1); // inner only
+    }
+
+    #[test]
+    fn lifecycle_events_reach_sinks_with_fingerprint() {
+        let sink = Arc::new(CaptureSink::default());
+        let obs = Obs::single(sink.clone());
+        obs.lifecycle(
+            0xDEAD,
+            Lifecycle::Demoted {
+                reason: "counterexample".into(),
+            },
+        );
+        let events = sink.events.lock().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].fingerprint, 0xDEAD);
+        assert!(matches!(events[0].kind, Lifecycle::Demoted { .. }));
+    }
+
+    #[test]
+    fn span_attrs_are_recorded() {
+        let reg = Arc::new(MemoryRecorder::new());
+        let obs = Obs::single(reg.clone());
+        let mut g = obs.start_span("pipeline/validation/iter");
+        g.attr("iter", 3u64);
+        g.attr("kind", "tp");
+        g.finish();
+        // The histogram name stays bounded regardless of the iteration
+        // attribute (the cardinality contract).
+        let snap = reg.snapshot();
+        assert!(snap
+            .histograms
+            .contains_key("span.pipeline/validation/iter"));
+        assert_eq!(snap.histograms.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Chrome/Perfetto trace-event exporter.
+//!
+//! Produces the legacy Chrome trace-event JSON format — an object with a
+//! `traceEvents` array of complete (`"ph":"X"`) and instant (`"ph":"i"`)
+//! events — which `ui.perfetto.dev` and `chrome://tracing` open directly.
+//! Spans carry their zodiac span id, parent id, and attributes in `args`;
+//! candidate lifecycle events become instant events named by their kind
+//! with the check fingerprint in `args.fp`.
+//!
+//! The sink buffers events in memory and writes the file on
+//! [`PerfettoSink::finish`], sorting by start timestamp so consumers (and
+//! the CI monotonicity check) see a time-ordered stream — spans are
+//! *recorded* at end time, so raw emission order is end-ordered, not
+//! start-ordered.
+
+use crate::{escape_json, AttrValue, CandidateEvent, Lifecycle, Recorder, SpanRecord};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// A buffered span destined for the trace-event array.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Span id (unique within the trace).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Thread ordinal.
+    pub tid: u64,
+    /// Span path (becomes the event `name`).
+    pub name: String,
+    /// Start offset from the trace epoch, microseconds.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Attributes (merged into `args`).
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// A buffered instant event (candidate lifecycle transition).
+#[derive(Debug, Clone)]
+pub struct TraceInstant {
+    /// Event name (the lifecycle kind, e.g. `demoted`).
+    pub name: String,
+    /// Thread ordinal.
+    pub tid: u64,
+    /// Offset from the trace epoch, microseconds.
+    pub ts_us: u64,
+    /// Extra args rendered verbatim: (key, already-JSON-encoded value).
+    pub args: Vec<(String, String)>,
+}
+
+/// Renders buffered spans + instants as a Chrome trace-event JSON document.
+///
+/// Events are emitted sorted by `ts` (stable on ties by span id), one
+/// per line inside the array, so the output is diff-friendly and passes a
+/// monotonic-`ts` scan. Shared by [`PerfettoSink`] and the CLI's
+/// JSONL→Perfetto conversion (`zodiac report --perfetto`).
+pub fn chrome_trace_json(spans: &[TraceSpan], instants: &[TraceInstant]) -> String {
+    // Merge-sort both kinds by timestamp; tag spans 0 / instants 1 so the
+    // order is total and deterministic.
+    let mut order: Vec<(u64, u8, usize)> = Vec::with_capacity(spans.len() + instants.len());
+    for (i, s) in spans.iter().enumerate() {
+        order.push((s.ts_us, 0, i));
+    }
+    for (i, e) in instants.iter().enumerate() {
+        order.push((e.ts_us, 1, i));
+    }
+    order.sort();
+
+    let mut out = String::with_capacity(128 * (order.len() + 1));
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (n, (_, tag, i)) in order.iter().enumerate() {
+        if n > 0 {
+            out.push_str(",\n");
+        }
+        if *tag == 0 {
+            let s = &spans[*i];
+            out.push_str("{\"name\":\"");
+            escape_json(&s.name, &mut out);
+            out.push_str(&format!(
+                "\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{}",
+                s.tid, s.ts_us, s.dur_us, s.id
+            ));
+            if s.parent != 0 {
+                out.push_str(&format!(",\"parent\":{}", s.parent));
+            }
+            for (key, value) in &s.attrs {
+                out.push_str(",\"");
+                escape_json(key, &mut out);
+                out.push_str("\":");
+                match value {
+                    AttrValue::U64(v) => out.push_str(&v.to_string()),
+                    AttrValue::Str(v) => {
+                        out.push('"');
+                        escape_json(v, &mut out);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push_str("}}");
+        } else {
+            let e = &instants[*i];
+            out.push_str("{\"name\":\"");
+            escape_json(&e.name, &mut out);
+            out.push_str(&format!(
+                "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{",
+                e.tid, e.ts_us
+            ));
+            for (k, (key, value)) in e.args.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(key, &mut out);
+                out.push_str("\":");
+                out.push_str(value);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn instant_from_lifecycle(event: &CandidateEvent) -> TraceInstant {
+    let mut args = vec![("fp".to_string(), format!("\"{:016x}\"", event.fingerprint))];
+    fn push_str(args: &mut Vec<(String, String)>, key: &str, value: &str) {
+        let mut enc = String::with_capacity(value.len() + 2);
+        enc.push('"');
+        escape_json(value, &mut enc);
+        enc.push('"');
+        args.push((key.to_string(), enc));
+    }
+    match &event.kind {
+        Lifecycle::Mined {
+            template,
+            support,
+            confidence_ppm,
+        } => {
+            push_str(&mut args, "template", template);
+            args.push(("support".into(), support.to_string()));
+            args.push(("confidence_ppm".into(), confidence_ppm.to_string()));
+        }
+        Lifecycle::FilterVerdict { rule, kept } => {
+            push_str(&mut args, "rule", rule);
+            args.push(("kept".into(), kept.to_string()));
+        }
+        Lifecycle::Scheduled { wave, conflicts } => {
+            args.push(("wave".into(), wave.to_string()));
+            args.push(("conflicts".into(), conflicts.to_string()));
+        }
+        Lifecycle::DeployOutcome {
+            polarity,
+            success,
+            phase,
+            rule,
+            cached,
+        } => {
+            push_str(&mut args, "polarity", polarity.as_str());
+            args.push(("success".into(), success.to_string()));
+            if !phase.is_empty() {
+                push_str(&mut args, "phase", phase);
+            }
+            if !rule.is_empty() {
+                push_str(&mut args, "rule", rule);
+            }
+            args.push(("cached".into(), cached.to_string()));
+        }
+        Lifecycle::Validated { via_group } => {
+            args.push(("via_group".into(), via_group.to_string()));
+        }
+        Lifecycle::Demoted { reason } => {
+            push_str(&mut args, "reason", reason);
+        }
+    }
+    TraceInstant {
+        name: event.kind.kind().to_string(),
+        tid: 1,
+        ts_us: event.ts_us,
+        args,
+    }
+}
+
+/// A [`Recorder`] that buffers structured spans and lifecycle events, then
+/// writes a Chrome/Perfetto trace-event JSON file on
+/// [`finish`](PerfettoSink::finish). Attach with `--perfetto-out <path>`.
+pub struct PerfettoSink {
+    path: PathBuf,
+    spans: Mutex<Vec<TraceSpan>>,
+    instants: Mutex<Vec<TraceInstant>>,
+}
+
+impl PerfettoSink {
+    /// A sink that will write to `path` when finished.
+    pub fn create(path: impl AsRef<Path>) -> Self {
+        PerfettoSink {
+            path: path.as_ref().to_path_buf(),
+            spans: Mutex::new(Vec::new()),
+            instants: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Sorts the buffered events by timestamp and writes the trace file.
+    pub fn finish(&self) -> io::Result<()> {
+        let spans = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        let instants = self.instants.lock().unwrap_or_else(PoisonError::into_inner);
+        let json = chrome_trace_json(&spans, &instants);
+        let file = File::create(&self.path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(json.as_bytes())?;
+        out.flush()
+    }
+}
+
+impl Recorder for PerfettoSink {
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge_set(&self, _name: &str, _value: u64) {}
+    fn gauge_max(&self, _name: &str, _observed: u64) {}
+    fn histogram(&self, _name: &str, _value: u64) {}
+    fn span(&self, _path: &str, _micros: u64) {
+        // Identity-less spans cannot be placed on the timeline; structured
+        // callers go through span_record.
+    }
+
+    fn span_record(&self, rec: &SpanRecord<'_>) {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(TraceSpan {
+                id: rec.id,
+                parent: rec.parent,
+                tid: rec.tid,
+                name: rec.path.to_string(),
+                ts_us: rec.ts_us,
+                dur_us: rec.dur_us,
+                attrs: rec
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            });
+    }
+
+    fn lifecycle(&self, event: &CandidateEvent) {
+        self.instants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(instant_from_lifecycle(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polarity;
+
+    #[test]
+    fn renders_sorted_well_formed_trace_events() {
+        let spans = vec![
+            TraceSpan {
+                id: 2,
+                parent: 1,
+                tid: 1,
+                name: "pipeline/mining".into(),
+                ts_us: 50,
+                dur_us: 10,
+                attrs: vec![("iter".into(), AttrValue::U64(3))],
+            },
+            TraceSpan {
+                id: 1,
+                parent: 0,
+                tid: 1,
+                name: "pipeline".into(),
+                ts_us: 0,
+                dur_us: 100,
+                attrs: vec![],
+            },
+        ];
+        let instants = vec![TraceInstant {
+            name: "demoted".into(),
+            tid: 1,
+            ts_us: 75,
+            args: vec![("fp".into(), "\"00000000000000ab\"".into())],
+        }];
+        let json = chrome_trace_json(&spans, &instants);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("well-formed JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        // Sorted by ts: pipeline (0), mining (50), demoted (75).
+        let ts: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("ts").and_then(|t| t.as_u64()).expect("ts"))
+            .collect();
+        assert_eq!(ts, vec![0, 50, 75]);
+        assert_eq!(
+            events[0].get("name").and_then(|n| n.as_str()),
+            Some("pipeline")
+        );
+        assert!(events[0]
+            .get("args")
+            .and_then(|a| a.get("parent"))
+            .is_none());
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(|p| p.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            events[1]
+                .get("args")
+                .and_then(|a| a.get("iter"))
+                .and_then(|p| p.as_u64()),
+            Some(3)
+        );
+        assert_eq!(events[2].get("ph").and_then(|p| p.as_str()), Some("i"));
+    }
+
+    #[test]
+    fn lifecycle_instants_carry_structured_args() {
+        let ev = CandidateEvent {
+            fingerprint: 0xAB,
+            ts_us: 9,
+            kind: Lifecycle::DeployOutcome {
+                polarity: Polarity::FpProbe,
+                success: false,
+                phase: "plugin checks".into(),
+                rule: "R1".into(),
+                cached: true,
+            },
+        };
+        let inst = instant_from_lifecycle(&ev);
+        let json = chrome_trace_json(&[], &[inst]);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("well-formed JSON");
+        let args = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .and_then(|a| a.first())
+            .and_then(|e| e.get("args"))
+            .expect("args");
+        assert_eq!(
+            args.get("fp").and_then(|f| f.as_str()),
+            Some("00000000000000ab")
+        );
+        assert_eq!(
+            args.get("polarity").and_then(|p| p.as_str()),
+            Some("fp_probe")
+        );
+        assert_eq!(
+            args.get("phase").and_then(|p| p.as_str()),
+            Some("plugin checks")
+        );
+        assert_eq!(args.get("cached").and_then(|c| c.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn sink_buffers_and_writes_on_finish() {
+        let dir = std::env::temp_dir().join("zodiac-obs-perfetto-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.json");
+        let sink = std::sync::Arc::new(PerfettoSink::create(&path));
+        let obs = crate::Obs::single(sink.clone());
+        let root = obs.start_span("pipeline");
+        obs.start_span("pipeline/corpus").finish();
+        obs.lifecycle(1, Lifecycle::Validated { via_group: false });
+        root.finish();
+        sink.finish().expect("write trace");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let v: serde_json::Value = serde_json::from_str(&text).expect("well-formed JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents");
+        assert_eq!(events.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,7 +1,7 @@
 //! The in-memory metric registry.
 
 use crate::snapshot::{HistogramSummary, MetricsSnapshot};
-use crate::Recorder;
+use crate::{CandidateEvent, Recorder};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -228,6 +228,13 @@ impl Recorder for MemoryRecorder {
     fn span(&self, path: &str, micros: u64) {
         self.histogram(&format!("span.{path}"), micros);
     }
+
+    fn lifecycle(&self, event: &CandidateEvent) {
+        // Aggregate view of the provenance stream: one counter per event
+        // kind (bounded — six kinds), so funnel totals survive in the
+        // snapshot even when no trace file is attached.
+        self.counter(&format!("lifecycle.{}", event.kind.kind()), 1);
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +297,44 @@ mod tests {
         assert_eq!(snap.counter("n"), 8000);
         assert_eq!(snap.histograms.get("h").unwrap().count, 8000);
         assert_eq!(snap.gauge("g"), 999);
+    }
+
+    #[test]
+    fn lifecycle_events_count_per_kind() {
+        let r = MemoryRecorder::new();
+        let ev = |kind| CandidateEvent {
+            fingerprint: 1,
+            ts_us: 0,
+            kind,
+        };
+        r.lifecycle(&ev(crate::Lifecycle::Validated { via_group: false }));
+        r.lifecycle(&ev(crate::Lifecycle::Demoted {
+            reason: "deployable".into(),
+        }));
+        r.lifecycle(&ev(crate::Lifecycle::Demoted {
+            reason: "counterexample".into(),
+        }));
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("lifecycle.validated"), 1);
+        assert_eq!(snap.counter("lifecycle.demoted"), 2);
+    }
+
+    #[test]
+    fn saturation_bucket_quantiles_stay_within_max() {
+        // Values with the top bit set land in the final (saturation)
+        // bucket, whose upper bound is u64::MAX; quantiles must clamp to
+        // the observed max instead of reporting the bucket bound.
+        let r = MemoryRecorder::new();
+        let big = u64::MAX - 3;
+        r.histogram("sat", big);
+        r.histogram("sat", big - 1);
+        let snap = r.snapshot();
+        let h = snap.histograms.get("sat").unwrap();
+        assert_eq!(bucket_of(big), 63);
+        assert_eq!(bucket_upper(63), u64::MAX);
+        assert_eq!(h.max, big);
+        assert_eq!(h.p50, big);
+        assert_eq!(h.p95, big);
     }
 
     #[test]

@@ -22,6 +22,33 @@ impl HistogramSummary {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Combines two summaries. Count/sum add, min/max extend exactly.
+    /// Quantiles cannot be merged exactly from summaries (the buckets are
+    /// gone); the merge takes the quantile of the side with more
+    /// observations — a count-weighted approximation that is exact when
+    /// one side is empty.
+    pub fn merge(&self, other: &HistogramSummary) -> HistogramSummary {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let dominant = if other.count > self.count {
+            other
+        } else {
+            self
+        };
+        HistogramSummary {
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            p50: dominant.p50,
+            p95: dominant.p95,
+        }
+    }
 }
 
 /// A name-sorted snapshot of every metric a [`MemoryRecorder`] has seen.
@@ -55,6 +82,25 @@ impl MetricsSnapshot {
     /// True if no metric of any kind was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the maximum
+    /// (every zodiac gauge is a high-water mark), histograms merge per
+    /// [`HistogramSummary::merge`]. Used to combine snapshots from
+    /// subsystems that keep private registries (e.g. per-engine telemetry)
+    /// into one report.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let cell = self.gauges.entry(name.clone()).or_insert(0);
+            *cell = (*cell).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            let cell = self.histograms.entry(name.clone()).or_default();
+            *cell = cell.merge(h);
+        }
     }
 
     /// Hand-rolled single-line JSON encoding, used by the JSON-lines sink so
@@ -181,6 +227,87 @@ mod tests {
         let serde_val: serde_json::Value =
             serde_json::from_str(&via_serde).expect("serde JSON parses");
         assert_eq!(hand_val, serde_val);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let s = sample();
+        let mut left = s.clone();
+        left.merge_from(&MetricsSnapshot::default());
+        assert_eq!(left, s);
+        let mut right = MetricsSnapshot::default();
+        right.merge_from(&s);
+        assert_eq!(right, s);
+    }
+
+    #[test]
+    fn merge_disjoint_keys_is_union() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("only.a".into(), 1);
+        a.histograms.insert(
+            "h.a".into(),
+            HistogramSummary {
+                count: 1,
+                sum: 5,
+                min: 5,
+                max: 5,
+                p50: 5,
+                p95: 5,
+            },
+        );
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("only.b".into(), 2);
+        b.gauges.insert("g.b".into(), 9);
+        a.merge_from(&b);
+        assert_eq!(a.counter("only.a"), 1);
+        assert_eq!(a.counter("only.b"), 2);
+        assert_eq!(a.gauge("g.b"), 9);
+        assert_eq!(a.histogram("h.a").count, 1);
+    }
+
+    #[test]
+    fn merge_shared_keys_adds_counters_and_maxes_gauges() {
+        let mut a = sample();
+        let b = sample();
+        a.merge_from(&b);
+        assert_eq!(a.counter("deploy.requests"), 84);
+        assert_eq!(a.gauge("deploy.queue_depth.max"), 7);
+        let h = a.histogram("span.pipeline/mining");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 200);
+        assert_eq!(h.min, 40);
+        assert_eq!(h.max, 60);
+    }
+
+    #[test]
+    fn histogram_merge_saturates_sum_and_keeps_dominant_quantiles() {
+        let small = HistogramSummary {
+            count: 1,
+            sum: u64::MAX - 1,
+            min: 1,
+            max: u64::MAX - 1,
+            p50: 1,
+            p95: 1,
+        };
+        let large = HistogramSummary {
+            count: 10,
+            sum: 100,
+            min: 2,
+            max: 20,
+            p50: 8,
+            p95: 16,
+        };
+        let merged = small.merge(&large);
+        assert_eq!(merged.count, 11);
+        assert_eq!(merged.sum, u64::MAX); // saturating add, no overflow
+        assert_eq!(merged.min, 1);
+        assert_eq!(merged.max, u64::MAX - 1);
+        // Quantiles come from the side with more observations.
+        assert_eq!(merged.p50, 8);
+        assert_eq!(merged.p95, 16);
+        // Empty merges are exact in both directions.
+        assert_eq!(small.merge(&HistogramSummary::default()), small);
+        assert_eq!(HistogramSummary::default().merge(&small), small);
     }
 
     #[test]

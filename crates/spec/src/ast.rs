@@ -198,6 +198,21 @@ impl Check {
     pub fn canonical(&self) -> String {
         self.to_string()
     }
+
+    /// A 64-bit FNV-1a hash of the canonical form: the candidate's
+    /// identity in observability traces and provenance ledgers. Stable
+    /// across runs and processes (pure function of the canonical string),
+    /// printed as 16 lowercase hex digits at text boundaries.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut hash = OFFSET;
+        for byte in self.canonical().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
 }
 
 /// Escapes a string literal for the check language: backslash-escapes the

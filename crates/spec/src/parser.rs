@@ -490,6 +490,17 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_is_stable_and_separates_distinct_checks() {
+        let a = parse_check("let r:VM in r.priority == 'Spot' => r.evict_policy != null").unwrap();
+        let b = parse_check("let r:VM in r.priority == 'Spot' => r.evict_policy == null").unwrap();
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Identity survives a print/parse round trip.
+        let reparsed = parse_check(&a.canonical()).unwrap();
+        assert_eq!(a.fingerprint(), reparsed.fingerprint());
+    }
+
+    #[test]
     fn parses_spot_vm_check() {
         let c = parse_check("let r:VM in r.priority == 'Spot' => r.evict_policy != null").unwrap();
         assert_eq!(c.bindings.len(), 1);

@@ -255,8 +255,9 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 }
 
 /// [`run_fuzz`] with an observability handle: records a `fuzz` span with
-/// one `fuzz/episode/<n>` child per episode, plus `fuzz.cases`,
-/// `fuzz.deployable`, and `fuzz.failures` counters.
+/// one bounded `fuzz/episode` child per episode (the episode index is a
+/// span attribute), plus `fuzz.cases`, `fuzz.deployable`, and
+/// `fuzz.failures` counters.
 pub fn run_fuzz_obs(cfg: &FuzzConfig, obs: &Obs) -> FuzzReport {
     let _span = obs.start_span("fuzz");
     let start = Instant::now();
@@ -282,7 +283,8 @@ pub fn run_fuzz_obs(cfg: &FuzzConfig, obs: &Obs) -> FuzzReport {
             }
         }
         let episode_cases = per_episode.min(cases - ep * per_episode);
-        let span = obs.start_span(format!("fuzz/episode/{ep}"));
+        let mut span = obs.start_span("fuzz/episode");
+        span.attr("episode", ep);
         oracle::run_episode(ep, episode_seed, episode_cases, cfg, obs, &mut report);
         span.finish();
     }

@@ -12,7 +12,7 @@ use crate::DeployOracle;
 use zodiac_graph::ResourceGraph;
 use zodiac_kb::KnowledgeBase;
 use zodiac_model::Program;
-use zodiac_obs::Obs;
+use zodiac_obs::{Lifecycle, Obs, Polarity};
 use zodiac_spec::{violations, EvalContext};
 
 /// Result of the counterexample pass.
@@ -83,12 +83,46 @@ pub fn counterexample_pass_obs<D: DeployOracle>(
         // counterexample do not count (a one-at-a-time pass never reaches
         // them), so the report is identical either way.
         obs.histogram("validation.ce.batch_size", cases.len() as u64);
-        let reports = oracle.deploy_batch(&cases);
-        match reports.iter().position(|r| r.outcome.is_success()) {
+        let reports = oracle.deploy_batch_annotated(&cases);
+        let first_success = reports.iter().position(|(r, _)| r.outcome.is_success());
+        if obs.is_enabled() {
+            // Provenance for the examined prefix only — a sequential pass
+            // never deploys past the first counterexample.
+            let upper = first_success.map(|k| k + 1).unwrap_or(reports.len());
+            let fp = v.mined.check.fingerprint();
+            for (r, cached) in &reports[..upper] {
+                let success = r.outcome.is_success();
+                let (phase, rule) = match &r.outcome {
+                    zodiac_cloud::DeployOutcome::Success => (String::new(), String::new()),
+                    zodiac_cloud::DeployOutcome::Failure { phase, rule_id, .. } => {
+                        (phase.to_string(), rule_id.clone())
+                    }
+                };
+                obs.lifecycle(
+                    fp,
+                    Lifecycle::DeployOutcome {
+                        polarity: Polarity::Counterexample,
+                        success,
+                        phase,
+                        rule,
+                        cached: *cached,
+                    },
+                );
+            }
+        }
+        match first_success {
             Some(k) => {
                 report.examined += k + 1;
                 report.demoted.push(idx);
                 obs.counter("validation.ce.demoted", 1);
+                if obs.is_enabled() {
+                    obs.lifecycle(
+                        v.mined.check.fingerprint(),
+                        Lifecycle::Demoted {
+                            reason: "counterexample".to_string(),
+                        },
+                    );
+                }
             }
             None => report.examined += cases.len(),
         }

@@ -28,7 +28,7 @@ use zodiac_cloud::DeployReport;
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::MinedCheck;
 use zodiac_model::{Program, Symbol, Value};
-use zodiac_obs::{MetricsSnapshot, Obs};
+use zodiac_obs::{Lifecycle, MetricsSnapshot, Obs, Polarity};
 use zodiac_spec::{Check, Expr, Val};
 
 /// Scheduler configuration, including the Figure 8 ablation switches.
@@ -71,6 +71,30 @@ pub enum FalsifyReason {
     Deployable,
     /// The statement shape is outside the mutation repertoire.
     NotApplicable,
+}
+
+impl FalsifyReason {
+    /// Stable machine-readable reason string used in `Demoted` lifecycle
+    /// events and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FalsifyReason::NoPositiveCase => "no_positive_case",
+            FalsifyReason::Unsatisfiable => "unsatisfiable",
+            FalsifyReason::Deployable => "deployable",
+            FalsifyReason::NotApplicable => "not_applicable",
+        }
+    }
+}
+
+/// Splits a deploy report into the (success, phase, rule) triple carried by
+/// `DeployOutcome` lifecycle events.
+fn outcome_fields(report: &DeployReport) -> (bool, String, String) {
+    match &report.outcome {
+        zodiac_cloud::DeployOutcome::Success => (true, String::new(), String::new()),
+        zodiac_cloud::DeployOutcome::Failure { phase, rule_id, .. } => {
+            (false, phase.to_string(), rule_id.clone())
+        }
+    }
 }
 
 /// A validated check.
@@ -194,11 +218,30 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
     }
 
     /// Attaches an observability handle: the scheduler records
-    /// `validation.*` funnel counters and per-iteration
-    /// `pipeline/validation/iter/<n>` spans into it.
+    /// `validation.*` funnel counters, bounded `pipeline/validation/iter`
+    /// spans (iteration index as a span attribute), per-wave deploy spans,
+    /// and per-candidate lifecycle events into it.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Emits a lifecycle event for a check, gated so disabled handles pay
+    /// no fingerprint hashing.
+    fn lifecycle(&self, check: &Check, kind: Lifecycle) {
+        if self.obs.is_enabled() {
+            self.obs.lifecycle(check.fingerprint(), kind);
+        }
+    }
+
+    /// Emits the `Demoted` event for a falsified candidate.
+    fn demote_event(&self, check: &Check, reason: FalsifyReason) {
+        self.lifecycle(
+            check,
+            Lifecycle::Demoted {
+                reason: reason.as_str().to_string(),
+            },
+        );
     }
 
     /// Runs validation to completion (Figure 5).
@@ -230,17 +273,42 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             if rc.is_empty() {
                 break;
             }
+            // One bounded span per iteration: the index is an attribute,
+            // not a path segment, so the histogram namespace stays finite.
             let _iter_span = if self.obs.is_enabled() {
-                Some(
-                    self.obs
-                        .start_span(format!("pipeline/validation/iter/{iter}")),
-                )
+                let mut span = self.obs.start_span("pipeline/validation/iter");
+                span.attr("iter", iter as u64);
+                span.attr("open", rc.len());
+                Some(span)
             } else {
                 None
             };
             let mut stats = IterationStats::default();
             let progress_before = rc.len();
             let tel_before = self.oracle.telemetry();
+
+            if self.obs.is_enabled() {
+                // Scheduled events: conflict pressure is the number of
+                // co-scheduled candidates anchored on the same resource
+                // type (they compete for the same mutation targets).
+                let mut per_type: HashMap<Symbol, u64> = HashMap::new();
+                for c in rc.iter() {
+                    *per_type.entry(c.mined.check.bindings[0].rtype).or_default() += 1;
+                }
+                for c in rc.iter() {
+                    let same = per_type
+                        .get(&c.mined.check.bindings[0].rtype)
+                        .copied()
+                        .unwrap_or(1);
+                    self.lifecycle(
+                        &c.mined.check,
+                        Lifecycle::Scheduled {
+                            wave: iter as u64,
+                            conflicts: same.saturating_sub(1),
+                        },
+                    );
+                }
+            }
 
             // ---------------- false positive removal pass -----------------
             let mut removed: BTreeSet<usize> = BTreeSet::new();
@@ -250,6 +318,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 }
                 if self.ensure_positive(&mut rc[i]).is_none() {
                     removed.insert(i);
+                    self.demote_event(&rc[i].mined.check, FalsifyReason::NoPositiveCase);
                     false_positives.push(FalsifiedCheck {
                         mined: rc[i].mined.clone(),
                         reason: FalsifyReason::NoPositiveCase,
@@ -281,6 +350,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                     MutationResult::Unsat => {
                         stats.fp_unsatisfiable += 1;
                         removed.insert(i);
+                        self.demote_event(&rc[i].mined.check, FalsifyReason::Unsatisfiable);
                         false_positives.push(FalsifiedCheck {
                             mined: rc[i].mined.clone(),
                             reason: FalsifyReason::Unsatisfiable,
@@ -288,15 +358,29 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                     }
                     MutationResult::NotApplicable => {
                         removed.insert(i);
+                        self.demote_event(&rc[i].mined.check, FalsifyReason::NotApplicable);
                         false_positives.push(FalsifiedCheck {
                             mined: rc[i].mined.clone(),
                             reason: FalsifyReason::NotApplicable,
                         });
                     }
                     MutationResult::Negative(neg) => {
-                        if self.oracle.deploys_ok(&neg.program) {
+                        let (report, cached) = self.oracle.deploy_annotated(&neg.program);
+                        let (success, phase, rule) = outcome_fields(&report);
+                        self.lifecycle(
+                            &rc[i].mined.check,
+                            Lifecycle::DeployOutcome {
+                                polarity: Polarity::FpProbe,
+                                success,
+                                phase,
+                                rule,
+                                cached,
+                            },
+                        );
+                        if success {
                             stats.fp_deployable += 1;
                             removed.insert(i);
+                            self.demote_event(&rc[i].mined.check, FalsifyReason::Deployable);
                             false_positives.push(FalsifiedCheck {
                                 mined: rc[i].mined.clone(),
                                 reason: FalsifyReason::Deployable,
@@ -314,6 +398,10 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                                 if neg.violated_soft.contains(&pos_in_soft) {
                                     stats.fp_deployable += 1;
                                     removed.insert(j);
+                                    self.demote_event(
+                                        &rc[j].mined.check,
+                                        FalsifyReason::Deployable,
+                                    );
                                     false_positives.push(FalsifiedCheck {
                                         mined: rc[j].mined.clone(),
                                         reason: FalsifyReason::Deployable,
@@ -349,9 +437,44 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 .collect();
             self.obs
                 .histogram("validation.tp.batch_size", batch.len() as u64);
-            let mut reports: Vec<Option<DeployReport>> = vec![None; rc.len()];
-            for (&i, report) in to_deploy.iter().zip(self.oracle.deploy_batch(&batch)) {
+            // The wave span scopes the batch: per-request deploy spans from
+            // the engine's worker pool parent under it.
+            let wave_span = if self.obs.is_enabled() && !batch.is_empty() {
+                let mut span = self.obs.start_span("pipeline/validation/wave");
+                span.attr("wave", iter as u64);
+                span.attr("batch", batch.len());
+                Some(span)
+            } else {
+                None
+            };
+            let mut reports: Vec<Option<(DeployReport, bool)>> = vec![None; rc.len()];
+            for (&i, report) in to_deploy
+                .iter()
+                .zip(self.oracle.deploy_batch_annotated(&batch))
+            {
                 reports[i] = Some(report);
+            }
+            if let Some(span) = wave_span {
+                span.finish();
+            }
+            if self.obs.is_enabled() {
+                // TP probe outcomes, in candidate order (deterministic even
+                // when the engine fans the batch across workers).
+                for &i in &to_deploy {
+                    if let Some((report, cached)) = reports[i].as_ref() {
+                        let (success, phase, rule) = outcome_fields(report);
+                        self.lifecycle(
+                            &rc[i].mined.check,
+                            Lifecycle::DeployOutcome {
+                                polarity: Polarity::TpProbe,
+                                success,
+                                phase,
+                                rule,
+                                cached: *cached,
+                            },
+                        );
+                    }
+                }
             }
             let mut newly_validated: BTreeSet<usize> = BTreeSet::new();
             for i in 0..rc.len() {
@@ -361,7 +484,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 let Some(neg) = negatives[i].as_ref() else {
                     continue;
                 };
-                let Some(report) = reports[i].take() else {
+                let Some((report, _cached)) = reports[i].take() else {
                     continue; // Every negative in `to_deploy` got a report.
                 };
                 if report.outcome.is_success() {
@@ -385,6 +508,10 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                         stats.tp_multiple += 1;
                     }
                     newly_validated.insert(i);
+                    self.lifecycle(
+                        &rc[i].mined.check,
+                        Lifecycle::Validated { via_group: !single },
+                    );
                     validated.push(ValidatedCheck {
                         mined: rc[i].mined.clone(),
                         via_group: !single,

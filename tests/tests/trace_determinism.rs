@@ -1,0 +1,130 @@
+//! Determinism guard for the trace stream (schema v2).
+//!
+//! The provenance contract is that a pipeline run is replayable from its
+//! trace: `zodiac explain --trace` and `zodiac report --trace` fold the
+//! event stream into ledgers, so the stream itself must be a pure function
+//! of the configuration. Two same-seed runs must produce byte-identical
+//! span and lifecycle events once wall-clock fields (`ts`, `us`) are
+//! stripped — same ids, same parents, same order, same attributes, same
+//! lifecycle transitions.
+//!
+//! Single-worker engine only: with several workers the *interleaving* of
+//! per-request deploy spans in the file is scheduling-dependent (the
+//! lifecycle events stay ordered — the scheduler emits them after each
+//! wave — but this guard pins the whole stream, so it runs at workers=1).
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex, PoisonError};
+use zodiac::PipelineConfig;
+use zodiac_obs::{JsonLinesSink, Obs};
+
+/// A `Write` handle appending to a shared buffer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        )
+        .expect("trace is utf-8")
+    }
+}
+
+/// Removes the wall-clock fields (`,"ts":N` and `,"us":N`) from one trace
+/// line, leaving identity, structure, and attributes intact.
+fn strip_timing(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &bytes[i..];
+        if rest.starts_with(b",\"ts\":") || rest.starts_with(b",\"us\":") {
+            let mut j = i + 6;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            i = j;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("stripping ascii fields preserves utf-8")
+}
+
+fn traced_run(cfg: &PipelineConfig) -> String {
+    let buf = SharedBuf::default();
+    let sink = Arc::new(JsonLinesSink::new(Box::new(buf.clone())));
+    let obs = Obs::single(sink.clone());
+    let _ = zodiac::run_pipeline_obs(cfg, &obs);
+    sink.flush().expect("flush in-memory trace");
+    buf.contents()
+}
+
+#[test]
+fn same_seed_runs_emit_identical_event_streams() {
+    let mut cfg = PipelineConfig::evaluation();
+    cfg.corpus.projects = 60;
+    cfg.counterexample_projects = 30;
+    cfg.counterexample_budget = 4;
+    cfg.deployer.workers = 1;
+
+    let a = traced_run(&cfg);
+    let b = traced_run(&cfg);
+
+    let a_lines: Vec<String> = a.lines().map(strip_timing).collect();
+    let b_lines: Vec<String> = b.lines().map(strip_timing).collect();
+
+    assert!(
+        a_lines.len() > 100,
+        "the trace must actually contain events (got {} lines)",
+        a_lines.len()
+    );
+    assert_eq!(
+        a_lines.len(),
+        b_lines.len(),
+        "same-seed runs emit the same number of events"
+    );
+    for (i, (la, lb)) in a_lines.iter().zip(&b_lines).enumerate() {
+        assert_eq!(la, lb, "trace line {i} differs between same-seed runs");
+    }
+
+    // The stream carries both halves of the trace: structured spans with
+    // identity, and per-candidate lifecycle events.
+    assert!(a_lines.iter().any(|l| l.contains("\"event\":\"span\"")));
+    assert!(a_lines
+        .iter()
+        .any(|l| l.contains("\"event\":\"lifecycle\"")));
+    assert!(a_lines.iter().any(|l| l.contains("\"kind\":\"validated\"")));
+}
+
+#[test]
+fn strip_timing_removes_only_wall_clock_fields() {
+    let line = r#"{"event":"span","id":4,"parent":1,"tid":1,"path":"pipeline","ts":1042,"us":40812,"attrs":{"iter":3}}"#;
+    assert_eq!(
+        strip_timing(line),
+        r#"{"event":"span","id":4,"parent":1,"tid":1,"path":"pipeline","attrs":{"iter":3}}"#
+    );
+    let lifecycle = r#"{"event":"lifecycle","fp":"00000000000000ab","ts":7,"kind":"demoted","reason":"counterexample"}"#;
+    assert_eq!(
+        strip_timing(lifecycle),
+        r#"{"event":"lifecycle","fp":"00000000000000ab","kind":"demoted","reason":"counterexample"}"#
+    );
+}
