@@ -233,13 +233,21 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Re-decode UTF-8 starting at the byte we just consumed.
+                    // Consume the whole run of unescaped bytes at once;
+                    // decoding char-by-char would re-validate the tail of
+                    // the input per character (quadratic on long strings).
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
+                    let mut end = self.pos;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty slice");
-                    out.push(c);
-                    self.pos = start + c.len_utf8();
+                    out.push_str(s);
+                    self.pos = end;
                 }
             }
         }

@@ -1,0 +1,86 @@
+//! Daemon serving-path benchmarks: cold scans (full evaluation against the
+//! live check set) vs memoized scans (sharded cache hit keyed by canonical
+//! program fingerprint × check-set key), plus the LDJSON protocol overhead
+//! on the memoized path. Results are recorded in `BENCH_daemon.json` at the
+//! repo root; the acceptance bar is memoized ≥ 10× faster than cold.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::path::PathBuf;
+use zodiac_daemon::{Daemon, DaemonConfig};
+use zodiac_obs::Obs;
+
+fn bench_store(sources: &[String]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zodiacd-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (daemon, _) = Daemon::open(&dir, DaemonConfig::default(), Obs::null()).unwrap();
+    // Populate the served check set the way a deployment would: mine the
+    // corpus the scans come from.
+    let kb = zodiac_kb::azure_kb();
+    let programs: Vec<_> = sources
+        .iter()
+        .map(|s| zodiac_hcl::compile(s).unwrap())
+        .collect();
+    let report = zodiac_mining::mine(&programs, &kb, &DaemonConfig::default().mining);
+    let checks: Vec<_> = report.checks.into_iter().map(|c| c.check).collect();
+    assert!(!checks.is_empty(), "bench corpus mined no checks");
+    daemon.import_checks(&checks).unwrap();
+    dir
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let sources: Vec<String> = zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        projects: 40,
+        noise_rate: 0.05,
+        ..Default::default()
+    })
+    .iter()
+    .map(|p| p.to_hcl())
+    .collect();
+    let dir = bench_store(&sources);
+    let requests: Vec<String> = sources
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"op\":\"scan\",\"source\":{}}}",
+                serde_json::to_string(&serde::Value::String(s.clone())).unwrap()
+            )
+        })
+        .collect();
+
+    c.bench_function("daemon_scan/cold", |b| {
+        b.iter_batched(
+            || {
+                Daemon::open(&dir, DaemonConfig::default(), Obs::null())
+                    .unwrap()
+                    .0
+            },
+            |daemon| {
+                for req in &requests {
+                    daemon.handle_line(req);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("daemon_scan/memoized", |b| {
+        let (daemon, _) = Daemon::open(&dir, DaemonConfig::default(), Obs::null()).unwrap();
+        for req in &requests {
+            daemon.handle_line(req); // Warm the verdict cache once.
+        }
+        b.iter(|| {
+            for req in &requests {
+                daemon.handle_line(req);
+            }
+        })
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_daemon
+}
+criterion_main!(benches);

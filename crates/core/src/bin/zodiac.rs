@@ -37,11 +37,15 @@ fn main() -> ExitCode {
         "report" => cmd_report(rest),
         "insights" => cmd_insights(rest),
         "fuzz" => cmd_fuzz(rest),
+        "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command: {other}\n{USAGE}")),
+        other => Err(format!(
+            "unknown command: {other} (commands: mine, scan, deploy, explain, report, \
+             insights, fuzz, client; the serving daemon is the separate `zodiacd` binary)\n{USAGE}"
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -56,7 +60,8 @@ const USAGE: &str = "zodiac — mine and validate semantic checks for cloud IaC 
 
 USAGE:
     zodiac mine [--projects N] [--seed S] --out FILE   run the pipeline, write validated checks
-    zodiac scan --checks FILE PROGRAM...               scan programs, deploy-confirm violations
+    zodiac scan --checks FILE [--no-confirm]           scan programs, deploy-confirm violations
+                PROGRAM...                             (--no-confirm skips the deploy cross-check)
     zodiac deploy PROGRAM...                           simulate deployment and report outcome
     zodiac explain \"<check>\"                           render a check as a deployment insight
     zodiac explain <check-or-fp> --trace FILE          print one candidate's lifecycle ledger
@@ -68,6 +73,14 @@ USAGE:
     zodiac insights --checks FILE                      export a JSON-lines RAG knowledge base
     zodiac fuzz [--seed S] [--cases N]                 differential-fuzz the pipeline
                 [--max-seconds T]                      (report on stdout; exit 1 on failures)
+    zodiac client --socket PATH OP [ARGS]              talk to a running `zodiacd` daemon:
+        scan PROGRAM...                                  scan programs (output matches
+                                                         `zodiac scan --no-confirm`)
+        status | list-checks | shutdown                  serving counters / live checks / stop
+        explain <fp>                                     one check's stored provenance
+        delta [--upsert ID=FILE]... [--remove ID]...     submit a corpus delta, re-mine
+
+    (start the daemon itself with `zodiacd --store DIR`; see `zodiacd --help`)
 
 DEPLOYMENT OPTIONS (mine, scan, deploy):
     --workers N          worker threads in the deployment engine (default 4)
@@ -102,6 +115,28 @@ fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
             true
         }
         None => false,
+    }
+}
+
+/// Rejects any leftover `-`-prefixed argument: every subcommand consumes
+/// the flags it knows with `take_flag`/`take_switch`, so anything
+/// dash-shaped still present is a typo that must not fall through
+/// silently.
+fn reject_unknown_flags(cmd: &str, args: &[String]) -> Result<(), String> {
+    match args.iter().find(|a| a.starts_with('-')) {
+        Some(flag) => Err(format!("{cmd}: unknown flag: {flag}")),
+        None => Ok(()),
+    }
+}
+
+/// Rejects all leftover arguments, for subcommands that take no
+/// positionals.
+fn reject_leftovers(cmd: &str, args: &[String]) -> Result<(), String> {
+    reject_unknown_flags(cmd, args)?;
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{cmd}: unexpected arguments: {}", args.join(" ")))
     }
 }
 
@@ -252,6 +287,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     let out = take_flag(&mut args, "--out").ok_or("mine requires --out FILE")?;
     let deployer = take_deployer_flags(&mut args)?;
     let obs_flags = take_obs_flags(&mut args)?;
+    reject_leftovers("mine", &args)?;
 
     let mut cfg = zodiac::PipelineConfig::evaluation();
     cfg.corpus.projects = projects;
@@ -284,24 +320,30 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
 fn cmd_scan(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let checks_path = take_flag(&mut args, "--checks").ok_or("scan requires --checks FILE")?;
+    let no_confirm = take_switch(&mut args, "--no-confirm");
     let deployer = take_deployer_flags(&mut args)?;
     let obs_flags = take_obs_flags(&mut args)?;
+    reject_unknown_flags("scan", &args)?;
     if args.is_empty() {
         return Err("scan requires at least one program file".into());
     }
     let cli_span = obs_flags.obs.start_span("cli/scan");
     let checks = load_checks(&checks_path)?;
     let kb = zodiac_kb::azure_kb();
+    // Identical programs share one verdict through the same memo the
+    // daemon serves from.
+    let cache = zodiac::ScanCache::new();
+    let key = zodiac::check_set_key(&checks);
     let mut total_violations = 0usize;
     let mut flagged: Vec<(String, Program)> = Vec::new();
     for path in &args {
         let program = load_program(path)?;
-        let violations = zodiac::scanner::scan_program(&program, &checks, &kb);
+        let (violations, _) = cache.scan(&program, &checks, key, &kb);
         if violations.is_empty() {
             println!("{path}: OK ({} resources)", program.len());
         } else {
             println!("{path}: {} violation(s)", violations.len());
-            for v in &violations {
+            for v in violations.iter() {
                 println!("  ✗ {}", v.check);
                 for r in &v.resources {
                     println!("      involves {r}");
@@ -313,7 +355,7 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     }
     // Cross-check flagged programs against the simulator (the paper's
     // precision claim: scanner hits should fail real deployment).
-    if !flagged.is_empty() {
+    if !no_confirm && !flagged.is_empty() {
         use zodiac_deployer::DeployOracle;
         let engine = zodiac_deployer::DeployEngine::with_obs(
             zodiac_cloud::CloudSim::new_azure(),
@@ -343,6 +385,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let deployer = take_deployer_flags(&mut args)?;
     let obs_flags = take_obs_flags(&mut args)?;
+    reject_unknown_flags("deploy", &args)?;
     if args.is_empty() {
         return Err("deploy requires at least one program file".into());
     }
@@ -396,6 +439,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), String> {
 fn cmd_explain(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let trace_path = take_flag(&mut args, "--trace");
+    reject_unknown_flags("explain", &args)?;
     let [src] = args.as_slice() else {
         return Err(
             "explain requires exactly one quoted check (or a 16-hex fingerprint with --trace)"
@@ -434,9 +478,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10);
     let perfetto_out = take_flag(&mut args, "--perfetto");
-    if !args.is_empty() {
-        return Err(format!("report: unexpected arguments: {}", args.join(" ")));
-    }
+    reject_leftovers("report", &args)?;
     let trace = provenance::Trace::load(&trace_path)
         .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     print!("{}", provenance::render_report(&trace, top));
@@ -451,6 +493,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
 fn cmd_insights(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let checks_path = take_flag(&mut args, "--checks").ok_or("insights requires --checks FILE")?;
+    reject_leftovers("insights", &args)?;
     let checks = load_checks(&checks_path)?;
     println!("{}", zodiac::insights::export_jsonl(&checks));
     Ok(())
@@ -486,9 +529,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         );
     }
     let obs_flags = take_obs_flags(&mut args)?;
-    if !args.is_empty() {
-        return Err(format!("fuzz: unexpected arguments: {}", args.join(" ")));
-    }
+    reject_leftovers("fuzz", &args)?;
     eprintln!(
         "fuzzing the pipeline: {} cases from seed {:#x}...",
         cfg.cases, cfg.seed
@@ -500,5 +541,251 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} property failure(s)", report.failures.len()))
+    }
+}
+
+/// A connection to a running `zodiacd`, speaking one LDJSON request /
+/// response pair at a time. The client builds requests as raw JSON values
+/// rather than importing the daemon crate — the wire protocol is the
+/// contract.
+struct DaemonClient {
+    reader: std::io::BufReader<std::os::unix::net::UnixStream>,
+    writer: std::os::unix::net::UnixStream,
+}
+
+impl DaemonClient {
+    fn connect(socket: &str) -> Result<DaemonClient, String> {
+        let stream = std::os::unix::net::UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {socket}: {e} (is zodiacd running?)"))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?;
+        Ok(DaemonClient {
+            reader: std::io::BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn call(&mut self, request: serde_json::Value) -> Result<serde_json::Value, String> {
+        use std::io::{BufRead, Write};
+        let line = request.to_string();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        let v: serde_json::Value = serde_json::from_str(response.trim_end())
+            .map_err(|e| format!("malformed response: {e}"))?;
+        if v.get("ok").and_then(serde_json::Value::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("unknown daemon error");
+            return Err(format!("daemon: {msg}"));
+        }
+        Ok(v)
+    }
+}
+
+/// Builds a one-op request object.
+fn client_request(op: &str) -> serde_json::Map<String, serde_json::Value> {
+    let mut m = serde_json::Map::new();
+    m.insert("op".into(), serde_json::Value::String(op.into()));
+    m
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use serde_json::Value;
+    let mut args = args.to_vec();
+    let socket = take_flag(&mut args, "--socket").ok_or("client requires --socket PATH")?;
+    let Some((op, rest)) = args.split_first() else {
+        return Err(
+            "client requires an operation: scan, status, list-checks, explain, delta, shutdown"
+                .into(),
+        );
+    };
+    let mut rest = rest.to_vec();
+    let mut client = DaemonClient::connect(&socket)?;
+    match op.as_str() {
+        // Scan prints byte-identically to `zodiac scan --no-confirm`, so
+        // daemon and batch verdicts diff cleanly.
+        "scan" => {
+            reject_unknown_flags("client scan", &rest)?;
+            if rest.is_empty() {
+                return Err("client scan requires at least one program file".into());
+            }
+            let mut total_violations = 0u64;
+            for path in &rest {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let mut req = client_request("scan");
+                req.insert("source".into(), Value::String(source));
+                req.insert(
+                    "format".into(),
+                    Value::String(
+                        if path.ends_with(".json") {
+                            "plan"
+                        } else {
+                            "tf"
+                        }
+                        .into(),
+                    ),
+                );
+                req.insert("id".into(), Value::String(path.clone()));
+                let resp = client.call(Value::Object(req))?;
+                let violations = resp
+                    .get("violations")
+                    .and_then(Value::as_array)
+                    .ok_or("scan response missing violations")?;
+                if violations.is_empty() {
+                    let resources = resp.get("resources").and_then(Value::as_u64).unwrap_or(0);
+                    println!("{path}: OK ({resources} resources)");
+                } else {
+                    println!("{path}: {} violation(s)", violations.len());
+                    for v in violations {
+                        let check = v.get("check").and_then(Value::as_str).unwrap_or("?");
+                        println!("  ✗ {check}");
+                        for r in v
+                            .get("resources")
+                            .and_then(Value::as_array)
+                            .into_iter()
+                            .flatten()
+                        {
+                            println!("      involves {}", r.as_str().unwrap_or("?"));
+                        }
+                    }
+                    total_violations += violations.len() as u64;
+                }
+            }
+            if total_violations > 0 {
+                return Err(format!("{total_violations} violation(s) found"));
+            }
+            Ok(())
+        }
+        "status" => {
+            reject_leftovers("client status", &rest)?;
+            let resp = client.call(Value::Object(client_request("status")))?;
+            for key in [
+                "checks",
+                "check_set_version",
+                "check_set_key",
+                "scans",
+                "cache_hits",
+                "cache_entries",
+                "corpus_projects",
+                "deltas",
+                "store_records",
+            ] {
+                if let Some(v) = resp.get(key) {
+                    println!("{key}: {v}");
+                }
+            }
+            Ok(())
+        }
+        "list-checks" => {
+            reject_leftovers("client list-checks", &rest)?;
+            let resp = client.call(Value::Object(client_request("list_checks")))?;
+            for c in resp
+                .get("checks")
+                .and_then(Value::as_array)
+                .into_iter()
+                .flatten()
+            {
+                println!(
+                    "{} [{}] {}",
+                    c.get("fp").and_then(Value::as_str).unwrap_or("?"),
+                    c.get("origin").and_then(Value::as_str).unwrap_or("?"),
+                    c.get("check").and_then(Value::as_str).unwrap_or("?"),
+                );
+            }
+            Ok(())
+        }
+        "explain" => {
+            reject_unknown_flags("client explain", &rest)?;
+            let [fp] = rest.as_slice() else {
+                return Err("client explain requires exactly one 16-hex fingerprint".into());
+            };
+            let mut req = client_request("explain");
+            req.insert("fp".into(), Value::String(fp.clone()));
+            let resp = client.call(Value::Object(req))?;
+            for key in [
+                "fp",
+                "check",
+                "origin",
+                "family",
+                "support",
+                "confidence_ppm",
+                "seq",
+            ] {
+                if let Some(v) = resp.get(key) {
+                    match v.as_str() {
+                        Some(s) => println!("{key}: {s}"),
+                        None => println!("{key}: {v}"),
+                    }
+                }
+            }
+            if let Some(insight) = resp.get("insight").and_then(Value::as_str) {
+                println!("{insight}");
+            }
+            Ok(())
+        }
+        "delta" => {
+            let mut upserts = Vec::new();
+            while let Some(spec) = take_flag(&mut rest, "--upsert") {
+                let (id, file) = spec
+                    .split_once('=')
+                    .ok_or(format!("--upsert expects ID=FILE, got {spec}"))?;
+                let source = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                let mut entry = serde_json::Map::new();
+                entry.insert("project".into(), Value::String(id.to_string()));
+                entry.insert("source".into(), Value::String(source));
+                upserts.push(Value::Object(entry));
+            }
+            let mut removals = Vec::new();
+            while let Some(id) = take_flag(&mut rest, "--remove") {
+                removals.push(Value::String(id));
+            }
+            reject_leftovers("client delta", &rest)?;
+            if upserts.is_empty() && removals.is_empty() {
+                return Err("client delta requires --upsert ID=FILE or --remove ID".into());
+            }
+            let mut req = client_request("submit_corpus_delta");
+            req.insert("upsert".into(), Value::Array(upserts));
+            req.insert("remove".into(), Value::Array(removals));
+            let resp = client.call(Value::Object(req))?;
+            for key in [
+                "upserted",
+                "removed",
+                "corpus_projects",
+                "types_rescored",
+                "checks_added",
+                "checks_updated",
+                "checks_retired",
+                "check_set_version",
+            ] {
+                if let Some(v) = resp.get(key) {
+                    println!("{key}: {v}");
+                }
+            }
+            Ok(())
+        }
+        "shutdown" => {
+            reject_leftovers("client shutdown", &rest)?;
+            client.call(Value::Object(client_request("shutdown")))?;
+            println!("daemon shutting down");
+            Ok(())
+        }
+        other => Err(format!(
+            "client: unknown operation {other:?} (expected scan, status, list-checks, \
+             explain, delta, shutdown)"
+        )),
     }
 }

@@ -46,7 +46,9 @@ pub mod insights;
 pub mod provenance;
 pub mod scanner;
 
-pub use scanner::{scan_corpus, MisconfigReport, Violation};
+pub use scanner::{
+    check_set_key, scan_corpus, scan_program, MisconfigReport, ScanCache, Violation,
+};
 
 use serde::Serialize;
 use std::collections::BTreeSet;

@@ -383,6 +383,22 @@ pub fn render_report(trace: &Trace, top: usize) -> String {
     for (label, n) in rows {
         let _ = writeln!(out, "  {label:<40} {n:>8}");
     }
+    // Serving traces (zodiacd) additionally carry per-verdict events;
+    // batch-pipeline reports stay unchanged when none are present.
+    if count("served") > 0 {
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>8}",
+            "served (daemon verdicts)",
+            count("served")
+        );
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>8}",
+            "  from memo cache",
+            count_field("served", "cached", "true")
+        );
+    }
 
     // ---- latency attribution: per-path self time -----------------------
     // Self time = a span's duration minus the duration of its direct

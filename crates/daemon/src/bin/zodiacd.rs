@@ -1,0 +1,155 @@
+//! The `zodiacd` daemon binary.
+//!
+//! ```text
+//! zodiacd --store DIR [--checks FILE] [--socket PATH] [--oneshot]
+//!         [--min-support N] [--min-confidence F] [--trace-out FILE]
+//! ```
+//!
+//! Serves the line-delimited JSON protocol (see `zodiac client --help` or
+//! DESIGN.md "Serving architecture") over a Unix domain socket at
+//! `--socket PATH` (default `DIR/zodiacd.sock`), or over stdin/stdout with
+//! `--oneshot`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use zodiac_daemon::{server, Daemon, DaemonConfig};
+use zodiac_obs::{JsonLinesSink, Obs, Recorder};
+
+const USAGE: &str = "zodiacd — serve validated semantic checks over a Unix domain socket
+
+USAGE:
+    zodiacd --store DIR [OPTIONS]
+
+OPTIONS:
+    --store DIR          persistent check-store directory (required; created
+                         if missing, replayed if present)
+    --checks FILE        import validated checks (one per line, as written
+                         by `zodiac mine --out`) before serving; idempotent
+    --socket PATH        Unix socket path (default DIR/zodiacd.sock)
+    --oneshot            serve stdin/stdout instead of a socket, exit at EOF
+    --min-support N      re-mining support threshold (default 4)
+    --min-confidence F   re-mining confidence threshold (default 0.92)
+    --trace-out FILE     stream lifecycle events (served verdicts) as JSON
+                         lines, readable by `zodiac explain --trace`
+
+Interact with a running daemon via `zodiac client`.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    match args.iter().position(|a| a == switch) {
+        Some(idx) => {
+            args.remove(idx);
+            true
+        }
+        None => false,
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if take_switch(&mut args, "--help") || take_switch(&mut args, "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let store_dir = PathBuf::from(
+        take_flag(&mut args, "--store").ok_or(format!("zodiacd requires --store DIR\n{USAGE}"))?,
+    );
+    let checks_file = take_flag(&mut args, "--checks");
+    let socket = take_flag(&mut args, "--socket").map(PathBuf::from);
+    let oneshot = take_switch(&mut args, "--oneshot");
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let mut cfg = DaemonConfig::default();
+    if let Some(v) = take_flag(&mut args, "--min-support") {
+        cfg.mining.min_support = v
+            .parse()
+            .map_err(|_| "--min-support expects a number".to_string())?;
+    }
+    if let Some(v) = take_flag(&mut args, "--min-confidence") {
+        cfg.mining.min_confidence = v
+            .parse()
+            .map_err(|_| "--min-confidence expects a number".to_string())?;
+    }
+    if let Some(unknown) = args.first() {
+        return Err(format!("unknown flag: {unknown}\n{USAGE}"));
+    }
+
+    let trace = match &trace_out {
+        Some(path) => Some(Arc::new(
+            JsonLinesSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let obs = match &trace {
+        Some(sink) => Obs::single(sink.clone() as Arc<dyn Recorder>),
+        None => Obs::null(),
+    };
+
+    let (daemon, report) = Daemon::open(&store_dir, cfg, obs)?;
+    eprintln!(
+        "zodiacd: store {} — {} live check(s) replayed{}",
+        store_dir.display(),
+        report.live,
+        if report.dropped_partial {
+            " (torn final record dropped)"
+        } else {
+            ""
+        }
+    );
+    if let Some(path) = &checks_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut checks = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            checks.push(
+                zodiac_spec::parse_check(line)
+                    .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+            );
+        }
+        let added = daemon.import_checks(&checks)?;
+        eprintln!(
+            "zodiacd: imported {added} new check(s) from {path} ({} total live)",
+            daemon.snapshot().len()
+        );
+    }
+
+    let daemon = Arc::new(daemon);
+    if oneshot {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server::serve_lines(&daemon, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("oneshot serving failed: {e}"))?;
+    } else {
+        let socket = socket.unwrap_or_else(|| store_dir.join("zodiacd.sock"));
+        eprintln!("zodiacd: listening on {}", socket.display());
+        server::serve_uds(daemon, &socket).map_err(|e| format!("serving failed: {e}"))?;
+        eprintln!("zodiacd: shut down");
+    }
+    if let Some(sink) = &trace {
+        sink.flush()
+            .map_err(|e| format!("cannot flush trace file: {e}"))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,508 @@
+//! # zodiacd — the check-serving daemon
+//!
+//! The batch pipeline (`zodiac mine` → `zodiac scan`) treats check mining
+//! as a one-shot job. This crate turns the validated check set into a
+//! long-running service:
+//!
+//! * a **persistent check store** ([`store`]) — an append-only, fsynced
+//!   log of canonical-form check snapshots keyed by
+//!   [`zodiac_spec::Check::fingerprint`], replayed on start and compacted
+//!   when mostly dead;
+//! * an **incremental re-mining engine** — corpus deltas (project
+//!   added/removed/changed) feed a [`zodiac_mining::IncrementalStats`], and
+//!   only templates anchored on resource types whose supporting projects
+//!   changed are re-scored ([`zodiac_mining::mine_types_with_stats`]);
+//! * a **concurrent scan API** ([`protocol`], [`server`]) — LDJSON over a
+//!   Unix domain socket, with verdicts memoized in a
+//!   [`zodiac::ScanCache`] keyed by (canonical program fingerprint,
+//!   check-set key).
+//!
+//! Check-set swaps are atomic: the daemon publishes immutable
+//! [`CheckSet`] snapshots behind an `RwLock<Arc<..>>`, so an in-flight
+//! scan holds one consistent set end-to-end and never observes a
+//! half-applied delta.
+
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+use protocol::{Request, Response, SourceFormat};
+use serde::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use store::{CheckStore, LoadReport, Origin, StoredCheck};
+use zodiac::{check_set_key, ScanCache};
+use zodiac_kb::KnowledgeBase;
+use zodiac_mining::{mine_types_with_stats, IncrementalStats, MinedCheck, MiningConfig};
+use zodiac_model::{Program, Symbol};
+use zodiac_obs::{Lifecycle, Obs};
+use zodiac_spec::Check;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonConfig {
+    /// Mining thresholds for incremental re-mining. `oracle_noise` must be
+    /// zero: a noisy oracle's RNG stream depends on the global candidate
+    /// order, which breaks the incremental-equals-batch equivalence.
+    pub mining: MiningConfig,
+}
+
+/// An immutable snapshot of the served check set.
+///
+/// Scans capture one `Arc<CheckSet>` at request start; delta application
+/// builds a complete replacement before swapping it in, so `version`,
+/// `key`, and the checks themselves are always mutually consistent.
+#[derive(Debug)]
+pub struct CheckSet {
+    /// Store sequence number at publish time.
+    pub version: u64,
+    /// Content-based identity ([`zodiac::check_set_key`]) — the memo-cache
+    /// key half, so re-publishing an identical set keeps cache hits.
+    pub key: u64,
+    /// The checks with provenance, in admission order.
+    pub entries: Vec<StoredCheck>,
+    plain: Vec<Check>,
+}
+
+impl CheckSet {
+    fn build(store: &CheckStore) -> CheckSet {
+        let entries: Vec<StoredCheck> = store.live_in_seq_order().into_iter().cloned().collect();
+        let plain: Vec<Check> = entries.iter().map(|c| c.check.clone()).collect();
+        CheckSet {
+            version: store.seq(),
+            key: check_set_key(&plain),
+            entries,
+            plain,
+        }
+    }
+
+    /// The bare checks, parallel to `entries`.
+    pub fn plain(&self) -> &[Check] {
+        &self.plain
+    }
+
+    /// Number of live checks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Compiled programs with their canonical fingerprints, keyed by the
+/// request's (format, source text).
+type ProgramMemo = HashMap<(SourceFormat, String), (Arc<Program>, u128)>;
+
+/// Session state of the incremental re-mining engine. The corpus lives in
+/// memory (deltas are session state; only checks are durable), while the
+/// mined check set it maintains is diffed into the store on every delta.
+struct Remine {
+    stats: IncrementalStats,
+    /// Surviving mined checks grouped by anchor type
+    /// (`check.bindings[0].rtype`) — the granularity at which deltas
+    /// invalidate.
+    mined: BTreeMap<Symbol, Vec<MinedCheck>>,
+}
+
+/// The daemon: shared state behind the serving loops.
+pub struct Daemon {
+    kb: KnowledgeBase,
+    cfg: DaemonConfig,
+    store: Mutex<CheckStore>,
+    checks: RwLock<Arc<CheckSet>>,
+    cache: ScanCache,
+    /// Compile memo: source text → (program, canonical fingerprint).
+    /// Compilation is deterministic and check-set independent, so entries
+    /// never need invalidating; repeat scans of the same source skip
+    /// straight to the fingerprint-keyed verdict cache.
+    programs: Mutex<ProgramMemo>,
+    remine: Mutex<Remine>,
+    obs: Obs,
+    scans: AtomicU64,
+    cache_hits: AtomicU64,
+    deltas: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Opens the store under `dir` (compacting it when mostly garbage) and
+    /// builds the serving state.
+    pub fn open(dir: &Path, cfg: DaemonConfig, obs: Obs) -> Result<(Daemon, LoadReport), String> {
+        if cfg.mining.oracle_noise != 0.0 {
+            return Err("incremental re-mining requires oracle_noise = 0".into());
+        }
+        let (mut store, report) = CheckStore::open(dir)?;
+        if store.wants_compaction() {
+            store.compact()?;
+        }
+        let snapshot = Arc::new(CheckSet::build(&store));
+        let daemon = Daemon {
+            kb: zodiac_kb::azure_kb(),
+            remine: Mutex::new(Remine {
+                stats: IncrementalStats::new(cfg.mining.use_kb),
+                mined: BTreeMap::new(),
+            }),
+            cfg,
+            store: Mutex::new(store),
+            checks: RwLock::new(snapshot),
+            cache: ScanCache::new(),
+            programs: Mutex::new(HashMap::new()),
+            obs,
+            scans: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            deltas: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        };
+        Ok((daemon, report))
+    }
+
+    /// Imports checks (idempotently) as `origin = imported`, e.g. from a
+    /// `zodiac mine` output file at startup. Returns how many were new.
+    pub fn import_checks(&self, checks: &[Check]) -> Result<usize, String> {
+        let mut store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut added = 0usize;
+        for check in checks {
+            if !store.live().contains_key(&check.fingerprint()) {
+                store.admit(check.clone(), Origin::Imported, "imported", 0, 0)?;
+                added += 1;
+            }
+        }
+        self.publish(&store);
+        Ok(added)
+    }
+
+    /// The current check-set snapshot.
+    pub fn snapshot(&self) -> Arc<CheckSet> {
+        self.checks
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Whether a graceful shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful shutdown of the serving loops.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn publish(&self, store: &CheckStore) {
+        let next = Arc::new(CheckSet::build(store));
+        *self.checks.write().unwrap_or_else(PoisonError::into_inner) = next;
+    }
+
+    /// Handles one request line, returning one response line (no newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        match Request::parse(line) {
+            Ok(req) => self.handle(req).render(),
+            Err(e) => Response::err(&e).render(),
+        }
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Scan { id, source, format } => self.scan(id, &source, format),
+            Request::SubmitCorpusDelta { upsert, remove } => self.delta(upsert, remove),
+            Request::ListChecks => self.list_checks(),
+            Request::Explain { fp } => self.explain(fp),
+            Request::Status => self.status(),
+            Request::Shutdown => {
+                self.request_shutdown();
+                Response::ok("shutdown")
+            }
+        }
+    }
+
+    fn scan(&self, id: Option<String>, source: &str, format: SourceFormat) -> Response {
+        let memo = self
+            .programs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(format, source.to_string()))
+            .cloned();
+        let (program, fp) = match memo {
+            Some(hit) => hit,
+            None => {
+                let compiled = match format {
+                    SourceFormat::Tf => zodiac_hcl::compile(source),
+                    SourceFormat::Plan => zodiac_hcl::from_plan_json(source),
+                };
+                let program = match compiled {
+                    Ok(p) => Arc::new(p),
+                    Err(e) => return Response::err(&format!("scan: {e}")),
+                };
+                let fp = zodiac_deployer::fingerprint(&program);
+                self.programs
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert((format, source.to_string()), (program.clone(), fp));
+                (program, fp)
+            }
+        };
+        let snapshot = self.snapshot();
+        let (verdict, cached) =
+            self.cache
+                .scan_fingerprinted(fp, &program, snapshot.plain(), snapshot.key, &self.kb);
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("daemon.scans", 1);
+        if cached {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter("daemon.cache_hits", 1);
+        }
+        if self.obs.is_enabled() {
+            // One Served lifecycle event per violated check, so `zodiac
+            // explain <fp> --trace` over a daemon trace shows where a
+            // validated check fires in production.
+            let mut per_check: BTreeMap<usize, u64> = BTreeMap::new();
+            for v in verdict.iter() {
+                *per_check.entry(v.check_index).or_default() += 1;
+            }
+            let folded = (fp as u64) ^ ((fp >> 64) as u64);
+            for (idx, count) in per_check {
+                self.obs.lifecycle(
+                    snapshot.entries[idx].fingerprint(),
+                    Lifecycle::Served {
+                        program: folded,
+                        violations: count,
+                        cached,
+                    },
+                );
+            }
+        }
+        let violations: Vec<Value> = verdict
+            .iter()
+            .map(|v| {
+                Value::Object(
+                    [
+                        (
+                            "check_index".to_string(),
+                            Value::Number(serde::Number::from_u64(v.check_index as u64)),
+                        ),
+                        ("check".to_string(), Value::String(v.check.clone())),
+                        (
+                            "resources".to_string(),
+                            Value::Array(
+                                v.resources
+                                    .iter()
+                                    .map(|r| Value::String(r.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        let mut resp = Response::ok("scan")
+            .str("program_fp", &format!("{fp:032x}"))
+            .num("resources", program.len() as u64)
+            .num("check_set_version", snapshot.version)
+            .bool("cached", cached)
+            .field("violations", Value::Array(violations));
+        if let Some(id) = id {
+            resp = resp.str("id", &id);
+        }
+        resp
+    }
+
+    fn delta(&self, upsert: Vec<(String, String)>, remove: Vec<String>) -> Response {
+        // Compile every upserted source before touching any state: a delta
+        // applies atomically or not at all.
+        let mut compiled = Vec::with_capacity(upsert.len());
+        for (project, source) in upsert {
+            match zodiac_hcl::compile(&source) {
+                Ok(p) => compiled.push((project, p)),
+                Err(e) => return Response::err(&format!("delta: {project}: {e}")),
+            }
+        }
+
+        let mut remine = self.remine.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut upserted = 0u64;
+        let mut removed = 0u64;
+        for id in &remove {
+            if remine.stats.retract(id, &self.kb) {
+                removed += 1;
+            }
+        }
+        for (project, program) in compiled {
+            remine.stats.observe(&project, program, &self.kb);
+            upserted += 1;
+        }
+        let changed = remine.stats.take_affected_types();
+        let fresh =
+            mine_types_with_stats(remine.stats.stats(), &self.kb, &self.cfg.mining, &changed);
+        let mut by_type: BTreeMap<Symbol, Vec<MinedCheck>> = BTreeMap::new();
+        for c in fresh {
+            by_type
+                .entry(c.check.bindings[0].rtype)
+                .or_default()
+                .push(c);
+        }
+        for t in &changed {
+            match by_type.remove(t) {
+                Some(group) => {
+                    remine.mined.insert(*t, group);
+                }
+                None => {
+                    remine.mined.remove(t);
+                }
+            }
+        }
+
+        // Diff the maintained mined set against the store: admit newcomers,
+        // retire mined-origin checks that no longer survive. Imported
+        // checks are never auto-retired by corpus deltas.
+        let desired: BTreeMap<u64, &MinedCheck> = remine
+            .mined
+            .values()
+            .flatten()
+            .map(|c| (c.check.fingerprint(), c))
+            .collect();
+        let mut store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut checks_added = 0u64;
+        let mut checks_retired = 0u64;
+        let stale: Vec<u64> = store
+            .live()
+            .iter()
+            .filter(|(fp, c)| c.origin == Origin::Mined && !desired.contains_key(fp))
+            .map(|(fp, _)| *fp)
+            .collect();
+        for fp in stale {
+            if let Err(e) = store.retire(fp) {
+                return Response::err(&format!("delta: store: {e}"));
+            }
+            checks_retired += 1;
+        }
+        let mut checks_updated = 0u64;
+        for (fp, c) in &desired {
+            let support = c.support as u64;
+            let confidence_ppm = (c.confidence * 1e6) as u64;
+            // A surviving check's statistics drift as the corpus does;
+            // re-admit (same fingerprint, fresh provenance) so `explain`
+            // reports the current support. Imported checks keep their
+            // imported provenance.
+            let (new, refresh) = match store.live().get(fp) {
+                None => (true, true),
+                Some(live) => (
+                    false,
+                    live.origin == Origin::Mined
+                        && (live.family != c.family
+                            || live.support != support
+                            || live.confidence_ppm != confidence_ppm),
+                ),
+            };
+            if refresh {
+                if let Err(e) = store.admit(
+                    c.check.clone(),
+                    Origin::Mined,
+                    c.family,
+                    support,
+                    confidence_ppm,
+                ) {
+                    return Response::err(&format!("delta: store: {e}"));
+                }
+                if new {
+                    checks_added += 1;
+                } else {
+                    checks_updated += 1;
+                }
+            }
+        }
+        self.publish(&store);
+        let version = store.seq();
+        drop(store);
+        let projects = remine.stats.projects() as u64;
+        drop(remine);
+
+        self.deltas.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("daemon.deltas", 1);
+        Response::ok("submit_corpus_delta")
+            .num("upserted", upserted)
+            .num("removed", removed)
+            .num("corpus_projects", projects)
+            .num("types_rescored", changed.len() as u64)
+            .num("checks_added", checks_added)
+            .num("checks_updated", checks_updated)
+            .num("checks_retired", checks_retired)
+            .num("check_set_version", version)
+    }
+
+    fn list_checks(&self) -> Response {
+        let snapshot = self.snapshot();
+        let checks: Vec<Value> = snapshot
+            .entries
+            .iter()
+            .map(|c| {
+                Value::Object(
+                    [
+                        (
+                            "fp".to_string(),
+                            Value::String(format!("{:016x}", c.fingerprint())),
+                        ),
+                        ("check".to_string(), Value::String(c.check.to_string())),
+                        (
+                            "origin".to_string(),
+                            Value::String(c.origin.as_str().into()),
+                        ),
+                        ("family".to_string(), Value::String(c.family.clone())),
+                        (
+                            "seq".to_string(),
+                            Value::Number(serde::Number::from_u64(c.seq)),
+                        ),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        Response::ok("list_checks")
+            .num("check_set_version", snapshot.version)
+            .num("count", snapshot.len() as u64)
+            .field("checks", Value::Array(checks))
+    }
+
+    fn explain(&self, fp: u64) -> Response {
+        let snapshot = self.snapshot();
+        let Some(c) = snapshot.entries.iter().find(|c| c.fingerprint() == fp) else {
+            return Response::err(&format!("no live check with fingerprint {fp:016x}"));
+        };
+        Response::ok("explain")
+            .str("fp", &format!("{fp:016x}"))
+            .str("check", &c.check.to_string())
+            .str("origin", c.origin.as_str())
+            .str("family", &c.family)
+            .num("support", c.support)
+            .num("confidence_ppm", c.confidence_ppm)
+            .num("seq", c.seq)
+            .str("insight", &zodiac::insights::explain(&c.check))
+    }
+
+    fn status(&self) -> Response {
+        let snapshot = self.snapshot();
+        let (records, projects) = {
+            let store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+            let remine = self.remine.lock().unwrap_or_else(PoisonError::into_inner);
+            (store.records() as u64, remine.stats.projects() as u64)
+        };
+        Response::ok("status")
+            .num("checks", snapshot.len() as u64)
+            .num("check_set_version", snapshot.version)
+            .str("check_set_key", &format!("{:016x}", snapshot.key))
+            .num("scans", self.scans.load(Ordering::Relaxed))
+            .num("cache_hits", self.cache_hits.load(Ordering::Relaxed))
+            .num("cache_entries", self.cache.len() as u64)
+            .num("corpus_projects", projects)
+            .num("deltas", self.deltas.load(Ordering::Relaxed))
+            .num("store_records", records)
+    }
+}

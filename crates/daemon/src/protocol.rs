@@ -1,0 +1,236 @@
+//! The line-delimited JSON protocol `zodiacd` speaks.
+//!
+//! One request per line, one response line per request, over a Unix domain
+//! socket (or stdin/stdout in `--oneshot` mode). Requests carry an `"op"`
+//! discriminator; responses always carry `"ok"` plus either the op's
+//! payload or an `"error"` string. The grammar:
+//!
+//! ```text
+//! request  = scan | delta | list | explain | status | shutdown
+//! scan     = {"op":"scan", "source":STRING, "format":"tf"|"plan", "id":STRING?}
+//! delta    = {"op":"submit_corpus_delta",
+//!             "upsert":[{"project":STRING,"source":STRING}]?,
+//!             "remove":[STRING]?}
+//! list     = {"op":"list_checks"}
+//! explain  = {"op":"explain", "fp":16-HEX}
+//! status   = {"op":"status"}
+//! shutdown = {"op":"shutdown"}
+//! ```
+//!
+//! Responses serialise with sorted keys (the compat `Value` object is a
+//! `BTreeMap`), so a given daemon state answers a given request with one
+//! exact byte string — the property the smoke test's batch-vs-daemon
+//! comparison rests on.
+
+use serde::{Map, Number, Value};
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Scan one program against the current check set.
+    Scan {
+        /// Client-chosen echo tag (e.g. the file path), echoed back.
+        id: Option<String>,
+        /// Program text.
+        source: String,
+        /// `"tf"` (Terraform source) or `"plan"` (`terraform show -json`).
+        format: SourceFormat,
+    },
+    /// Apply a corpus delta and incrementally re-mine.
+    SubmitCorpusDelta {
+        /// Projects added or changed: `(project id, Terraform source)`.
+        upsert: Vec<(String, String)>,
+        /// Project ids removed.
+        remove: Vec<String>,
+    },
+    /// List the live check set.
+    ListChecks,
+    /// Explain one check by 16-hex fingerprint.
+    Explain {
+        /// The fingerprint.
+        fp: u64,
+    },
+    /// Serving counters.
+    Status,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+/// Program source encodings accepted by `scan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SourceFormat {
+    /// Terraform HCL source.
+    #[default]
+    Tf,
+    /// `terraform show -json` plan output.
+    Plan,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("bad json: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing \"op\"")?;
+        match op {
+            "scan" => {
+                let source = v
+                    .get("source")
+                    .and_then(Value::as_str)
+                    .ok_or("scan: missing \"source\"")?
+                    .to_string();
+                let format = match v.get("format").and_then(Value::as_str) {
+                    None | Some("tf") => SourceFormat::Tf,
+                    Some("plan") => SourceFormat::Plan,
+                    Some(other) => return Err(format!("scan: unknown format {other:?}")),
+                };
+                Ok(Request::Scan {
+                    id: v.get("id").and_then(Value::as_str).map(String::from),
+                    source,
+                    format,
+                })
+            }
+            "submit_corpus_delta" => {
+                let mut upsert = Vec::new();
+                if let Some(items) = v.get("upsert").and_then(Value::as_array) {
+                    for item in items {
+                        let project = item
+                            .get("project")
+                            .and_then(Value::as_str)
+                            .ok_or("delta: upsert entry missing \"project\"")?;
+                        let source = item
+                            .get("source")
+                            .and_then(Value::as_str)
+                            .ok_or("delta: upsert entry missing \"source\"")?;
+                        upsert.push((project.to_string(), source.to_string()));
+                    }
+                }
+                let mut remove = Vec::new();
+                if let Some(items) = v.get("remove").and_then(Value::as_array) {
+                    for item in items {
+                        remove.push(
+                            item.as_str()
+                                .ok_or("delta: remove entries must be strings")?
+                                .to_string(),
+                        );
+                    }
+                }
+                Ok(Request::SubmitCorpusDelta { upsert, remove })
+            }
+            "list_checks" => Ok(Request::ListChecks),
+            "explain" => {
+                let fp = v
+                    .get("fp")
+                    .and_then(Value::as_str)
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or("explain: \"fp\" must be a hex fingerprint string")?;
+                Ok(Request::Explain { fp })
+            }
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Builder for one response line.
+#[derive(Debug, Default)]
+pub struct Response(Map<String, Value>);
+
+impl Response {
+    /// A successful response for `op`.
+    pub fn ok(op: &str) -> Response {
+        let mut m = Map::new();
+        m.insert("ok".into(), Value::Bool(true));
+        m.insert("op".into(), Value::String(op.into()));
+        Response(m)
+    }
+
+    /// An error response.
+    pub fn err(message: &str) -> Response {
+        let mut m = Map::new();
+        m.insert("ok".into(), Value::Bool(false));
+        m.insert("error".into(), Value::String(message.into()));
+        Response(m)
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Response {
+        self.0.insert(key.into(), Value::String(value.into()));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Response {
+        self.0
+            .insert(key.into(), Value::Number(Number::from_u64(value)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Response {
+        self.0.insert(key.into(), Value::Bool(value));
+        self
+    }
+
+    /// Adds an arbitrary field.
+    pub fn field(mut self, key: &str, value: Value) -> Response {
+        self.0.insert(key.into(), value);
+        self
+    }
+
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn render(self) -> String {
+        Value::Object(self.0).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scan_defaults_to_tf() {
+        let r = Request::parse(r#"{"op":"scan","source":"x","id":"a.tf"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Scan {
+                id: Some("a.tf".into()),
+                source: "x".into(),
+                format: SourceFormat::Tf
+            }
+        );
+    }
+
+    #[test]
+    fn parses_delta_lists() {
+        let r = Request::parse(
+            r#"{"op":"submit_corpus_delta","upsert":[{"project":"p1","source":"s"}],"remove":["p2"]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::SubmitCorpusDelta {
+                upsert: vec![("p1".into(), "s".into())],
+                remove: vec!["p2".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_op_and_bad_fp() {
+        assert!(Request::parse(r#"{"op":"frob"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"explain","fp":"zz"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn responses_render_with_sorted_keys() {
+        let line = Response::ok("status").num("scans", 3).render();
+        assert_eq!(line, r#"{"ok":true,"op":"status","scans":3}"#);
+        let err = Response::err("nope").render();
+        assert_eq!(err, r#"{"error":"nope","ok":false}"#);
+    }
+}

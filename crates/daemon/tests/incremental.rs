@@ -1,0 +1,168 @@
+//! Differential test for incremental re-mining: a random sequence of
+//! corpus deltas (projects added, replaced, removed) applied through the
+//! daemon must leave it serving exactly the checks a full batch re-mining
+//! of the final corpus produces — and the incremental statistics must be
+//! field-for-field identical to a batch rebuild.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use zodiac_daemon::{protocol::Request, store::Origin, Daemon, DaemonConfig};
+use zodiac_mining::{CorpusStats, IncrementalStats};
+use zodiac_obs::Obs;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zodiacd-inc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One delta round: projects to upsert (id, source) and ids to remove.
+type DeltaRound = (Vec<(String, String)>, Vec<String>);
+
+/// Seeded random delta schedule over a generated corpus: each round
+/// removes a few live projects, adds unseen ones, and rewrites some
+/// existing project ids with a different source (a modify). Returns the
+/// rounds plus the final corpus they leave behind.
+fn delta_schedule(seed: u64) -> (Vec<DeltaRound>, BTreeMap<String, String>) {
+    let corpus = zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        seed,
+        projects: 28,
+        noise_rate: 0.1,
+        ..Default::default()
+    });
+    let sources: Vec<String> = corpus.iter().map(|p| p.to_hcl()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+    let mut current: BTreeMap<String, String> = BTreeMap::new();
+    let mut next_unseen = 0usize;
+    let mut rounds = Vec::new();
+    for round in 0..5 {
+        let mut remove = Vec::new();
+        if round > 0 {
+            let live: Vec<String> = current.keys().cloned().collect();
+            for id in &live {
+                if remove.len() < 4 && rng.gen_bool(0.2) {
+                    remove.push(id.clone());
+                    current.remove(id);
+                }
+            }
+        }
+        let mut upsert = Vec::new();
+        for _ in 0..8 {
+            if next_unseen < sources.len() && rng.gen_bool(0.7) {
+                let id = format!("p{next_unseen:02}");
+                upsert.push((id.clone(), sources[next_unseen].clone()));
+                current.insert(id, sources[next_unseen].clone());
+                next_unseen += 1;
+            } else if let Some(id) = current
+                .keys()
+                .nth(rng.gen_range(0..current.len().max(1)))
+                .cloned()
+            {
+                let replacement = sources[rng.gen_range(0..sources.len())].clone();
+                upsert.push((id.clone(), replacement.clone()));
+                current.insert(id, replacement);
+            }
+        }
+        rounds.push((upsert, remove));
+    }
+    (rounds, current)
+}
+
+#[test]
+fn random_deltas_match_full_remining_from_scratch() {
+    let dir = temp_store("diff");
+    let cfg = DaemonConfig::default();
+    let (daemon, _) = Daemon::open(&dir, cfg.clone(), Obs::null()).unwrap();
+    let (rounds, final_corpus) = delta_schedule(0xA11CE);
+
+    for (upsert, remove) in &rounds {
+        let resp = daemon.handle(Request::SubmitCorpusDelta {
+            upsert: upsert.clone(),
+            remove: remove.clone(),
+        });
+        let line = resp.render();
+        assert!(line.contains("\"ok\":true"), "delta rejected: {line}");
+    }
+
+    // Full re-mining from scratch over the final corpus.
+    let kb = zodiac_kb::azure_kb();
+    let programs: Vec<_> = final_corpus
+        .values()
+        .map(|src| zodiac_hcl::compile(src).unwrap())
+        .collect();
+    let report = zodiac_mining::mine(&programs, &kb, &cfg.mining);
+    let expected: BTreeMap<u64, (&'static str, u64, u64)> = report
+        .checks
+        .iter()
+        .map(|c| {
+            (
+                c.check.fingerprint(),
+                (c.family, c.support as u64, (c.confidence * 1e6) as u64),
+            )
+        })
+        .collect();
+    assert!(!expected.is_empty(), "differential corpus mined nothing");
+
+    let snapshot = daemon.snapshot();
+    let served: BTreeMap<u64, (&str, u64, u64)> = snapshot
+        .entries
+        .iter()
+        .filter(|c| c.origin == Origin::Mined)
+        .map(|c| {
+            (
+                c.fingerprint(),
+                (c.family.as_str(), c.support, c.confidence_ppm),
+            )
+        })
+        .collect();
+
+    let missing: Vec<_> = expected
+        .keys()
+        .filter(|fp| !served.contains_key(fp))
+        .collect();
+    let extra: Vec<_> = served
+        .keys()
+        .filter(|fp| !expected.contains_key(fp))
+        .collect();
+    assert!(
+        missing.is_empty() && extra.is_empty(),
+        "incremental != full re-mining: missing {missing:x?}, extra {extra:x?}"
+    );
+    for (fp, (family, support, conf)) in &expected {
+        let got = &served[fp];
+        assert_eq!(
+            (got.0, got.1, got.2),
+            (*family, *support, *conf),
+            "check {fp:016x}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn incremental_stats_equal_batch_rebuild_after_random_deltas() {
+    let kb = zodiac_kb::azure_kb();
+    let (rounds, final_corpus) = delta_schedule(0xBEEF);
+    let mut inc = IncrementalStats::new(true);
+    for (upsert, remove) in &rounds {
+        for id in remove {
+            inc.retract(id, &kb);
+        }
+        for (id, src) in upsert {
+            inc.observe(id.clone(), zodiac_hcl::compile(src).unwrap(), &kb);
+        }
+    }
+    let programs: Vec<_> = final_corpus
+        .values()
+        .map(|src| zodiac_hcl::compile(src).unwrap())
+        .collect();
+    let batch = CorpusStats::build(&programs, &kb, true);
+    assert_eq!(
+        inc.stats(),
+        &batch,
+        "incremental statistics diverged from batch rebuild"
+    );
+    assert_eq!(inc.projects(), final_corpus.len());
+}

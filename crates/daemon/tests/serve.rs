@@ -1,0 +1,155 @@
+//! Serving-loop tests: oneshot round-trips and check-set swap atomicity
+//! under concurrent scans.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use zodiac_daemon::{server, Daemon, DaemonConfig};
+use zodiac_model::{Program, Resource};
+use zodiac_obs::Obs;
+use zodiac_spec::{parse_check, Check};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zodiacd-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn check_pool() -> Vec<Check> {
+    [
+        "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+        "let r:IP in r.allocation_method == 'Dynamic' => r.sku == 'Basic'",
+        "let r:VM in r.size == 'Standard_F2s_v2' => indegree(r, NIC) <= 2",
+        "let r:VM in r.size == 'Standard_B1s' => r.priority != null",
+    ]
+    .iter()
+    .map(|s| parse_check(s).unwrap())
+    .collect()
+}
+
+/// A program violating pool checks 0 and 1 (Spot VM without an eviction
+/// policy, Dynamic IP with a non-Basic sku) but not 2 and 3.
+fn victim() -> Program {
+    Program::new()
+        .with(
+            Resource::new("azurerm_linux_virtual_machine", "vm")
+                .with("size", "Standard_D2s_v3")
+                .with("priority", "Spot"),
+        )
+        .with(
+            Resource::new("azurerm_public_ip", "ip")
+                .with("allocation_method", "Dynamic")
+                .with("sku", "Standard"),
+        )
+}
+
+#[test]
+fn oneshot_serves_lines_until_shutdown() {
+    let dir = temp_store("oneshot");
+    let (daemon, _) = Daemon::open(&dir, DaemonConfig::default(), Obs::null()).unwrap();
+    daemon.import_checks(&check_pool()).unwrap();
+
+    let input = "{\"op\":\"status\"}\n\n{\"op\":\"list_checks\"}\n{\"op\":\"shutdown\"}\n{\"op\":\"status\"}\n";
+    let mut output = Vec::new();
+    server::serve_lines(&daemon, input.as_bytes(), &mut output).unwrap();
+    let out = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(
+        lines.len(),
+        3,
+        "loop must stop at shutdown, skipping blanks: {out}"
+    );
+    assert!(lines[0].contains("\"op\":\"status\""));
+    assert!(lines[1].contains("\"count\":4"));
+    assert!(lines[2].contains("\"op\":\"shutdown\""));
+    assert!(daemon.is_shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_scans_never_observe_a_half_applied_check_set() {
+    let dir = temp_store("atomic");
+    let (daemon, _) = Daemon::open(&dir, DaemonConfig::default(), Obs::null()).unwrap();
+    let daemon = Arc::new(daemon);
+    let pool = check_pool();
+    let kb = zodiac_kb::azure_kb();
+    let program = victim();
+    let source = zodiac_hcl::to_hcl(&program);
+
+    // Importing checks one at a time bumps the store seq by one each, so
+    // check-set version k serves exactly pool[..k]. Precompute the verdict
+    // each version must report, rendered the way the scan response renders
+    // violations.
+    let expected: Vec<String> = (0..=pool.len())
+        .map(|k| {
+            let violations: Vec<serde::Value> = zodiac::scan_program(&program, &pool[..k], &kb)
+                .iter()
+                .map(|v| {
+                    serde::Value::Object(
+                        [
+                            (
+                                "check_index".to_string(),
+                                serde::Value::Number(serde::Number::from_u64(v.check_index as u64)),
+                            ),
+                            ("check".to_string(), serde::Value::String(v.check.clone())),
+                            (
+                                "resources".to_string(),
+                                serde::Value::Array(
+                                    v.resources
+                                        .iter()
+                                        .map(|r| serde::Value::String(r.to_string()))
+                                        .collect(),
+                                ),
+                            ),
+                        ]
+                        .into_iter()
+                        .collect(),
+                    )
+                })
+                .collect();
+            serde_json::to_string(&serde::Value::Array(violations)).unwrap()
+        })
+        .collect();
+
+    let scanners: Vec<_> = (0..4)
+        .map(|_| {
+            let daemon = daemon.clone();
+            let source = source.clone();
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for _ in 0..60 {
+                    let line = daemon.handle_line(&format!(
+                        "{{\"op\":\"scan\",\"source\":{}}}",
+                        serde_json::to_string(&serde::Value::String(source.clone())).unwrap()
+                    ));
+                    seen.push(line);
+                    std::thread::yield_now();
+                }
+                seen
+            })
+        })
+        .collect();
+
+    for check in &pool {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        daemon.import_checks(std::slice::from_ref(check)).unwrap();
+    }
+
+    for scanner in scanners {
+        for line in scanner.join().unwrap() {
+            assert!(line.contains("\"ok\":true"), "scan failed: {line}");
+            let marker = "\"check_set_version\":";
+            let at = line.find(marker).expect("response carries its version") + marker.len();
+            let digits: String = line[at..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            let version: usize = digits.parse().unwrap();
+            let want = format!("\"violations\":{}", expected[version]);
+            assert!(
+                line.contains(&want),
+                "version {version} served a verdict from another check set:\n{line}\nwant {want}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,10 +19,12 @@
 //!    the paper's GPT-4 step, backed here by encoded doc tables with
 //!    optional answer noise.
 
+pub mod delta;
 pub mod oracle;
 pub mod stats;
 pub mod templates;
 
+pub use delta::IncrementalStats;
 pub use oracle::{DocOracle, InterpQuery};
 pub use stats::CorpusStats;
 
@@ -120,8 +122,68 @@ pub fn mine_obs(
     let stats_span = obs.start_span("pipeline/mining/stats");
     let stats = CorpusStats::build(programs, kb, cfg.use_kb);
     stats_span.finish();
+    mine_stats_inner(&stats, kb, cfg, obs, None)
+}
+
+/// Mines from a prebuilt observation database — the entry point for
+/// incremental re-mining, where an [`IncrementalStats`] keeps the database
+/// live across corpus deltas and only instantiation + filtering re-run.
+/// `mine(programs, ..) == mine_with_stats(&CorpusStats::build(programs, ..), ..)`
+/// by construction.
+pub fn mine_with_stats(
+    stats: &CorpusStats,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+) -> MiningReport {
+    mine_with_stats_obs(stats, kb, cfg, &Obs::null())
+}
+
+/// [`mine_with_stats`] with an observability handle.
+pub fn mine_with_stats_obs(
+    stats: &CorpusStats,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    obs: &Obs,
+) -> MiningReport {
+    let _span = obs.start_span("pipeline/mining");
+    mine_stats_inner(stats, kb, cfg, obs, None)
+}
+
+/// Re-scores only the templates anchored on the given resource types: the
+/// narrow waist of incremental re-mining. After a corpus delta, only types
+/// whose supporting-project set changed can gain or lose checks, so the
+/// daemon re-runs instantiation + filtering for exactly those anchors.
+///
+/// Every pipeline stage after instantiation (statistical filter, oracle
+/// interpolation with `oracle_noise == 0`, dedup) is per-candidate, so this
+/// equals `mine_with_stats(..).checks` restricted to candidates whose
+/// anchor binding (`check.bindings[0].rtype`) lies in `types`, in the same
+/// relative order. With `oracle_noise > 0` the oracle's RNG stream depends
+/// on the global candidate sequence and the equivalence breaks — callers
+/// doing incremental re-mining must pin noise to zero.
+pub fn mine_types_with_stats(
+    stats: &CorpusStats,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    types: &std::collections::BTreeSet<Symbol>,
+) -> Vec<MinedCheck> {
+    mine_stats_inner(stats, kb, cfg, &Obs::null(), Some(types)).checks
+}
+
+/// Instantiation + statistical filtering + oracle interpolation over a
+/// built observation database.
+fn mine_stats_inner(
+    stats: &CorpusStats,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    obs: &Obs,
+    anchors: Option<&std::collections::BTreeSet<Symbol>>,
+) -> MiningReport {
     let templates_span = obs.start_span("pipeline/mining/templates");
-    let mut candidates = templates::instantiate(&stats, kb, cfg);
+    let mut candidates = templates::instantiate(stats, kb, cfg);
+    if let Some(types) = anchors {
+        candidates.retain(|c| types.contains(&c.check.bindings[0].rtype));
+    }
     templates_span.finish();
     // Everything downstream — solver soft constraints, validation grouping,
     // report ordering — is order-sensitive, so pin a canonical total order
@@ -233,6 +295,13 @@ pub fn mine_obs(
         .collect();
     checks.extend(interpolated);
     dedup(&mut checks);
+    // Doc-driven interpolation proposes checks for its whole catalogue
+    // regardless of the survivor set, so an anchor-restricted run must trim
+    // the merged list back to the requested types to match the full run's
+    // slice.
+    if let Some(types) = anchors {
+        checks.retain(|c| types.contains(&c.check.bindings[0].rtype));
+    }
     report.checks = checks;
     obs.counter("mining.hypothesized", report.hypothesized as u64);
     obs.counter(
@@ -306,6 +375,36 @@ mod tests {
         canon.sort();
         canon.dedup();
         assert_eq!(before, canon.len());
+    }
+
+    #[test]
+    fn per_type_mining_matches_the_full_mining_slice() {
+        let kb = zodiac_kb::azure_kb();
+        let cfg = MiningConfig::default();
+        let programs = spot_corpus();
+        let stats = CorpusStats::build(&programs, &kb, cfg.use_kb);
+        let full = mine_with_stats(&stats, &kb, &cfg);
+        let anchors: std::collections::BTreeSet<Symbol> = full
+            .checks
+            .iter()
+            .map(|c| c.check.bindings[0].rtype)
+            .collect();
+        assert!(!anchors.is_empty());
+        for t in anchors {
+            let only: std::collections::BTreeSet<Symbol> = [t].into_iter().collect();
+            let sub = mine_types_with_stats(&stats, &kb, &cfg, &only);
+            let slice: Vec<&MinedCheck> = full
+                .checks
+                .iter()
+                .filter(|c| c.check.bindings[0].rtype == t)
+                .collect();
+            assert_eq!(sub.len(), slice.len());
+            for (a, b) in sub.iter().zip(slice) {
+                assert_eq!(a.check, b.check);
+                assert_eq!(a.family, b.family);
+                assert_eq!(a.support, b.support);
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub type CondKey = (Symbol, Symbol, Value);
 pub type EdgeKey = (Symbol, Symbol, Symbol, Symbol);
 
 /// Statistics per typed edge pattern.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EdgeStats {
     /// Number of edge occurrences.
     pub occurrences: usize,
@@ -47,7 +47,7 @@ pub struct EdgeStats {
 }
 
 /// Pairwise statistics (siblings / copath): attr → (non-overlapping, total).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PairStats {
     /// Per-attribute overlap counts.
     pub overlap: BTreeMap<Symbol, (usize, usize)>,
@@ -59,7 +59,7 @@ pub struct PairStats {
 pub type HubKey = (Symbol, Symbol, Symbol, Symbol, Symbol, Symbol, Symbol);
 
 /// Hub statistics: one source referencing two destinations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HubStats {
     /// Occurrences of the hub pattern.
     pub occurrences: usize,
@@ -83,7 +83,7 @@ pub enum Direction {
 }
 
 /// Observed degree aggregate.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DegreeStats {
     /// Maximum observed degree.
     pub max: i64,
@@ -96,7 +96,7 @@ pub struct DegreeStats {
 pub type LengthKey = (Symbol, Symbol, Value, Symbol);
 
 /// The full observation database.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CorpusStats {
     /// Number of programs observed.
     pub total_programs: usize,

@@ -95,6 +95,19 @@ pub enum Lifecycle {
         /// Machine-readable demotion reason.
         reason: String,
     },
+    /// A serving daemon evaluated this check against a submitted program —
+    /// the post-validation half of the ledger. Emitted per violated check
+    /// per served scan, so `zodiac explain <fp>` against a daemon trace
+    /// shows where a validated check is firing in production.
+    Served {
+        /// Canonical fingerprint of the scanned program (folded to 64
+        /// bits), linking the event to a specific submission.
+        program: u64,
+        /// Violating instances of this check in the program.
+        violations: u64,
+        /// Whether the verdict came from the daemon's memo cache.
+        cached: bool,
+    },
 }
 
 impl Lifecycle {
@@ -107,6 +120,7 @@ impl Lifecycle {
             Lifecycle::DeployOutcome { .. } => "deploy_outcome",
             Lifecycle::Validated { .. } => "validated",
             Lifecycle::Demoted { .. } => "demoted",
+            Lifecycle::Served { .. } => "served",
         }
     }
 }
@@ -184,6 +198,15 @@ impl CandidateEvent {
                 crate::escape_json(reason, &mut out);
                 out.push('"');
             }
+            Lifecycle::Served {
+                program,
+                violations,
+                cached,
+            } => {
+                out.push_str(&format!(
+                    ",\"program\":\"{program:016x}\",\"violations\":{violations},\"cached\":{cached}"
+                ));
+            }
         }
         out.push('}');
         out
@@ -228,6 +251,24 @@ mod tests {
         assert!(json.starts_with("{\"event\":\"lifecycle\",\"fp\":\"00000000000000ab\""));
         assert!(json.contains("\"kind\":\"demoted\""));
         assert!(json.contains("counter\\\"example"));
+    }
+
+    #[test]
+    fn served_encodes_program_as_hex() {
+        let ev = CandidateEvent {
+            fingerprint: 2,
+            ts_us: 9,
+            kind: Lifecycle::Served {
+                program: 0xBEEF,
+                violations: 3,
+                cached: true,
+            },
+        };
+        let json = ev.to_json();
+        assert!(json.contains("\"kind\":\"served\""));
+        assert!(json.contains("\"program\":\"000000000000beef\""));
+        assert!(json.contains("\"violations\":3"));
+        assert!(json.contains("\"cached\":true"));
     }
 
     #[test]

@@ -174,6 +174,15 @@ fn instant_from_lifecycle(event: &CandidateEvent) -> TraceInstant {
         Lifecycle::Demoted { reason } => {
             push_str(&mut args, "reason", reason);
         }
+        Lifecycle::Served {
+            program,
+            violations,
+            cached,
+        } => {
+            push_str(&mut args, "program", &format!("{program:016x}"));
+            args.push(("violations".into(), violations.to_string()));
+            args.push(("cached".into(), cached.to_string()));
+        }
     }
     TraceInstant {
         name: event.kind.kind().to_string(),

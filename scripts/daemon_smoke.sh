@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Daemon smoke: end-to-end exercise of zodiacd against the batch pipeline.
+#
+#   1. mine a validated check set from the headline synthetic corpus;
+#   2. start zodiacd serving it over a Unix socket;
+#   3. fire 100 concurrent `zodiac client scan`s and require each one to be
+#      byte-for-byte identical (stdout+stderr and exit code) to the batch
+#      `zodiac scan` of the same file;
+#   4. kill -9 the daemon and restart it from the persistent store alone;
+#   5. shut it down gracefully and status-check the exit.
+#
+# Run from the repo root; binaries are built if missing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ZODIAC=target/release/zodiac
+ZODIACD=target/release/zodiacd
+[ -x "$ZODIAC" ] && [ -x "$ZODIACD" ] || cargo build --release --locked -p zodiac -p zodiac-daemon
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+store="$work/store"
+sock="$work/zodiacd.sock"
+checks="$work/checks.txt"
+
+echo "== mining the check set =="
+"$ZODIAC" mine --projects 80 --seed 7 --out "$checks"
+
+# Scan targets: one clean program, one that violates mined checks
+# (Dynamic IP with a Standard sku).
+cat > "$work/clean.tf" <<'EOF'
+resource "azurerm_public_ip" "ip" {
+  allocation_method = "Static"
+  sku               = "Standard"
+}
+EOF
+cat > "$work/flagged.tf" <<'EOF'
+resource "azurerm_public_ip" "ip" {
+  allocation_method = "Dynamic"
+  sku               = "Standard"
+}
+EOF
+
+batch_scan() { # file -> stdout+stderr and exit code appended
+  set +e
+  "$ZODIAC" scan "$1" --checks "$checks" --no-confirm > "$2" 2>&1
+  echo "exit:$?" >> "$2"
+  set -e
+}
+client_scan() {
+  set +e
+  "$ZODIAC" client scan "$1" --socket "$sock" > "$2" 2>&1
+  echo "exit:$?" >> "$2"
+  set -e
+}
+
+batch_scan "$work/clean.tf"   "$work/batch-clean.out"
+batch_scan "$work/flagged.tf" "$work/batch-flagged.out"
+
+echo "== starting zodiacd =="
+"$ZODIACD" --store "$store" --checks "$checks" --socket "$sock" &
+daemon_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ] || { echo "daemon never bound $sock"; exit 1; }
+
+echo "== 100 concurrent client scans =="
+client_pids=()
+for i in $(seq 100); do
+  if [ $((i % 2)) -eq 0 ]; then
+    client_scan "$work/clean.tf" "$work/client-$i.out" &
+  else
+    client_scan "$work/flagged.tf" "$work/client-$i.out" &
+  fi
+  client_pids+=("$!")
+done
+for p in "${client_pids[@]}"; do wait "$p"; done
+
+for i in $(seq 100); do
+  if [ $((i % 2)) -eq 0 ]; then want="$work/batch-clean.out"; else want="$work/batch-flagged.out"; fi
+  diff -u "$want" "$work/client-$i.out" || { echo "client scan $i diverged from batch scan"; exit 1; }
+done
+echo "all 100 client verdicts byte-identical to batch scans"
+
+echo "== kill -9, restart from the store =="
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$ZODIACD" --store "$store" --socket "$sock" &
+daemon_pid=$!
+for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ] || { echo "daemon never rebound $sock after restart"; exit 1; }
+
+"$ZODIAC" client status --socket "$sock" | tee "$work/status.out"
+grep -q "checks: $(wc -l < "$checks" | tr -d ' ')" "$work/status.out" \
+  || { echo "restarted daemon lost checks"; exit 1; }
+client_scan "$work/flagged.tf" "$work/client-restart.out"
+diff -u "$work/batch-flagged.out" "$work/client-restart.out" \
+  || { echo "post-restart verdict diverged"; exit 1; }
+
+echo "== graceful shutdown =="
+"$ZODIAC" client shutdown --socket "$sock"
+for _ in $(seq 100); do kill -0 "$daemon_pid" 2>/dev/null || break; sleep 0.05; done
+if wait "$daemon_pid"; then daemon_status=0; else daemon_status=$?; fi
+daemon_pid=""
+[ "$daemon_status" -eq 0 ] || { echo "daemon exited with status $daemon_status"; exit 1; }
+[ ! -S "$sock" ] || { echo "socket file left behind after shutdown"; exit 1; }
+
+echo "daemon smoke: OK"
