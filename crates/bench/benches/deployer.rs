@@ -24,6 +24,7 @@ fn engine(workers: usize, cache: bool, faults: Option<FaultConfig>) -> DeployEng
             cache,
             faults,
             retry: RetryPolicy::default(),
+            persistent_cache: None,
         },
     )
 }

@@ -38,13 +38,15 @@ fn main() -> ExitCode {
         "insights" => cmd_insights(rest),
         "fuzz" => cmd_fuzz(rest),
         "client" => cmd_client(rest),
+        "deploy-cache" => cmd_deploy_cache(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!(
             "unknown command: {other} (commands: mine, scan, deploy, explain, report, \
-             insights, fuzz, client; the serving daemon is the separate `zodiacd` binary)\n{USAGE}"
+             insights, fuzz, client, deploy-cache; the serving daemon is the separate \
+             `zodiacd` binary)\n{USAGE}"
         )),
     };
     match result {
@@ -73,6 +75,8 @@ USAGE:
     zodiac insights --checks FILE                      export a JSON-lines RAG knowledge base
     zodiac fuzz [--seed S] [--cases N]                 differential-fuzz the pipeline
                 [--max-seconds T]                      (report on stdout; exit 1 on failures)
+    zodiac deploy-cache stats FILE                     shape of a persistent deploy memo
+    zodiac deploy-cache compact FILE                   drop duplicate memo records in place
     zodiac client --socket PATH OP [ARGS]              talk to a running `zodiacd` daemon:
         scan PROGRAM...                                  scan programs (output matches
                                                          `zodiac scan --no-confirm`)
@@ -84,7 +88,9 @@ USAGE:
 
 DEPLOYMENT OPTIONS (mine, scan, deploy):
     --workers N          worker threads in the deployment engine (default 4)
-    --no-deploy-cache    disable deploy-result memoization
+    --no-deploy-cache    disable in-memory deploy-result memoization
+    --deploy-cache FILE  persist deploy verdicts to FILE (created if missing)
+                         and reuse them across runs and processes
 
 OBSERVABILITY OPTIONS (mine, scan, deploy, fuzz):
     --metrics            print the funnel/latency metrics summary on exit
@@ -140,7 +146,10 @@ fn reject_leftovers(cmd: &str, args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Parses the shared `--workers` / `--no-deploy-cache` engine flags.
+/// Parses the shared `--workers` / `--no-deploy-cache` / `--deploy-cache`
+/// engine flags. A `--deploy-cache` path is opened (created if missing)
+/// eagerly, so a corrupt or unwritable memo fails the command up front
+/// instead of mid-pipeline.
 fn take_deployer_flags(args: &mut Vec<String>) -> Result<zodiac_deployer::DeployerConfig, String> {
     let mut cfg = zodiac_deployer::DeployerConfig::default();
     if let Some(v) = take_flag(args, "--workers") {
@@ -152,6 +161,23 @@ fn take_deployer_flags(args: &mut Vec<String>) -> Result<zodiac_deployer::Deploy
     }
     if take_switch(args, "--no-deploy-cache") {
         cfg.cache = false;
+    }
+    if let Some(path) = take_flag(args, "--deploy-cache") {
+        let path = std::path::PathBuf::from(path);
+        let (_, load) = zodiac_deployer::DeployMemo::open(&path)?;
+        if load.entries > 0 || load.dropped_partial {
+            eprintln!(
+                "deploy cache {}: {} verdict(s) replayed{}",
+                path.display(),
+                load.entries,
+                if load.dropped_partial {
+                    " (torn final record dropped)"
+                } else {
+                    ""
+                }
+            );
+        }
+        cfg.persistent_cache = Some(path);
     }
     Ok(cfg)
 }
@@ -175,6 +201,58 @@ fn print_telemetry(tel: &MetricsSnapshot) {
         tel.counter("deploy.retries"),
         tel.gauge("deploy.queue_depth.max"),
     );
+    let persistent_hits = tel.counter("deploy.persistent_hits");
+    let persistent_stores = tel.counter("deploy.persistent_stores");
+    if persistent_hits > 0 || persistent_stores > 0 {
+        eprintln!(
+            "deploy cache: {persistent_hits} verdict(s) reused from disk, \
+             {persistent_stores} newly recorded"
+        );
+    }
+}
+
+fn cmd_deploy_cache(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    reject_unknown_flags("deploy-cache", &args)?;
+    let (op, path) = match args.len() {
+        2 => (args.remove(0), args.remove(0)),
+        _ => {
+            return Err("deploy-cache requires an operation and a file: \
+                 deploy-cache stats|compact FILE"
+                .into())
+        }
+    };
+    let path = std::path::PathBuf::from(path);
+    let (mut memo, load) = zodiac_deployer::DeployMemo::open(&path)?;
+    match op.as_str() {
+        "stats" => {
+            let stats = memo.stats();
+            println!("path: {}", path.display());
+            println!("entries: {}", stats.entries);
+            println!("records: {}", stats.records);
+            println!("bytes: {}", stats.bytes);
+            println!("torn_tail_dropped: {}", load.dropped_partial);
+            Ok(())
+        }
+        "compact" => {
+            let before = memo.stats();
+            memo.compact()?;
+            memo.sync()?;
+            let after = memo.stats();
+            println!(
+                "compacted {}: {} record(s) ({} bytes) -> {} record(s) ({} bytes)",
+                path.display(),
+                before.records,
+                before.bytes,
+                after.records,
+                after.bytes
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "deploy-cache: unknown operation {other:?} (expected stats or compact)"
+        )),
+    }
 }
 
 /// The CLI's observability wiring, parsed from
@@ -769,6 +847,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 "checks_added",
                 "checks_updated",
                 "checks_retired",
+                "checks_rejected",
                 "check_set_version",
             ] {
                 if let Some(v) = resp.get(key) {

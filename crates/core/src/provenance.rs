@@ -294,6 +294,13 @@ pub fn render_ledger(fingerprint: u64, events: &[&LedgerEvent]) -> String {
             "filtered out (rule: {})",
             e.field("rule").unwrap_or("unknown")
         ),
+        // A candidate that reached the scheduler but has no terminal verdict
+        // was cut off mid-validation (early exit, crash, or a still-running
+        // pipeline) — that is an unresolved candidate, not a broken ledger.
+        None if events.iter().any(|e| e.kind == "scheduled") => format!(
+            "in flight / unresolved (scheduled, last event: {})",
+            events[events.len() - 1].kind.as_str()
+        ),
         None => format!(
             "open (last event: {})",
             events[events.len() - 1].kind.as_str()
@@ -467,6 +474,97 @@ pub fn render_report(trace: &Trace, top: usize) -> String {
             hidden as f64 / 1000.0
         );
     }
+
+    // ---- wave attribution: where the deploy time went, per wave --------
+    // The scheduler stamps each batched deploy with a `pipeline/.../wave`
+    // span carrying wave index, width (candidates), batch size (programs)
+    // and the wave's max conflict degree. Grouping by wave index shows
+    // whether latency is dominated by a few wide waves or a long tail of
+    // conflict-serialised singletons.
+    let attr = |s: &SpanEntry, key: &str| -> Option<u64> {
+        s.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+    };
+    struct WaveAgg {
+        spans: u64,
+        width: u64,
+        batch: u64,
+        degree: u64,
+        dur_us: u64,
+    }
+    let mut by_wave: BTreeMap<u64, WaveAgg> = BTreeMap::new();
+    for s in &trace.spans {
+        if !s.path.ends_with("/wave") {
+            continue;
+        }
+        let Some(wave) = attr(s, "wave") else {
+            continue;
+        };
+        let agg = by_wave.entry(wave).or_insert(WaveAgg {
+            spans: 0,
+            width: 0,
+            batch: 0,
+            degree: 0,
+            dur_us: 0,
+        });
+        agg.spans += 1;
+        agg.width += attr(s, "width").unwrap_or(0);
+        agg.batch += attr(s, "batch").unwrap_or(0);
+        agg.degree = agg.degree.max(attr(s, "degree").unwrap_or(0));
+        agg.dur_us += s.dur_us;
+    }
+    if !by_wave.is_empty() {
+        let wave_total: u64 = by_wave.values().map(|a| a.dur_us).sum();
+        // Like the latency section, cap the table at the top N waves by
+        // deploy time — a conflict-heavy run can have hundreds of
+        // singleton waves and the slow ones are the actionable ones.
+        let mut ranked: Vec<(u64, WaveAgg)> = by_wave.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.dur_us.cmp(&a.1.dur_us).then(a.0.cmp(&b.0)));
+        let shown = ranked.len().min(top.max(1));
+        let _ = writeln!(
+            out,
+            "\nwave attribution (top {} of {} waves by deploy time, {:.3}ms total):",
+            shown,
+            ranked.len(),
+            wave_total as f64 / 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>7} {:>7} {:>7} {:>12} {:>6}",
+            "wave", "width", "batch", "degree", "ms", "time%"
+        );
+        for (wave, agg) in ranked.iter().take(shown) {
+            let pct = if wave_total == 0 {
+                0.0
+            } else {
+                agg.dur_us as f64 * 100.0 / wave_total as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>7} {:>7} {:>7} {:>12.3} {:>5.1}%",
+                wave,
+                agg.width,
+                agg.batch,
+                agg.degree,
+                agg.dur_us as f64 / 1000.0,
+                pct
+            );
+        }
+        if shown < ranked.len() {
+            let rest: u64 = ranked.iter().skip(shown).map(|(_, a)| a.dur_us).sum();
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>7} {:>7} {:>7} {:>12.3}",
+                "(rest)",
+                ranked.len() - shown,
+                "",
+                "",
+                rest as f64 / 1000.0
+            );
+        }
+    }
     out
 }
 
@@ -478,6 +576,8 @@ mod tests {
 {"event":"span","id":1,"tid":1,"path":"pipeline","ts":0,"us":1000}
 {"event":"span","id":2,"parent":1,"tid":1,"path":"pipeline/mining","ts":10,"us":400}
 {"event":"span","id":3,"parent":1,"tid":1,"path":"pipeline/validation/iter","ts":420,"us":500,"attrs":{"iter":0,"open":3}}
+{"event":"span","id":4,"parent":3,"tid":1,"path":"pipeline/validation/wave","ts":430,"us":300,"attrs":{"wave":0,"width":2,"batch":5,"degree":1}}
+{"event":"span","id":5,"parent":3,"tid":1,"path":"pipeline/validation/wave","ts":740,"us":100,"attrs":{"wave":1,"width":1,"batch":2,"degree":3}}
 {"event":"lifecycle","fp":"00000000000000aa","ts":5,"kind":"mined","template":"intra/eq-eq","support":12,"confidence_ppm":990000}
 {"event":"lifecycle","fp":"00000000000000aa","ts":6,"kind":"filter_verdict","rule":"statistical","kept":true}
 {"event":"lifecycle","fp":"00000000000000aa","ts":430,"kind":"scheduled","wave":0,"conflicts":2}
@@ -486,6 +586,8 @@ mod tests {
 {"event":"lifecycle","fp":"00000000000000aa","ts":900,"kind":"demoted","reason":"counterexample"}
 {"event":"lifecycle","fp":"00000000000000bb","ts":7,"kind":"mined","template":"intra/eq-ne","support":4,"confidence_ppm":930000}
 {"event":"lifecycle","fp":"00000000000000bb","ts":8,"kind":"filter_verdict","rule":"min_lift","kept":false}
+{"event":"lifecycle","fp":"00000000000000cc","ts":9,"kind":"mined","template":"intra/eq-eq","support":6,"confidence_ppm":950000}
+{"event":"lifecycle","fp":"00000000000000cc","ts":435,"kind":"scheduled","wave":1,"conflicts":0}
 {"event":"snapshot","metrics":{"counters":{},"gauges":{},"histograms":{}}}
 "#;
 
@@ -493,8 +595,8 @@ mod tests {
     fn parses_schema_spans_and_events() {
         let trace = Trace::parse(SAMPLE);
         assert_eq!(trace.schema, 2);
-        assert_eq!(trace.spans.len(), 3);
-        assert_eq!(trace.events.len(), 8);
+        assert_eq!(trace.spans.len(), 5);
+        assert_eq!(trace.events.len(), 10);
         let iter_span = &trace.spans[2];
         assert_eq!(iter_span.parent, 1);
         assert_eq!(
@@ -552,6 +654,35 @@ mod tests {
     }
 
     #[test]
+    fn report_attributes_latency_by_wave() {
+        let trace = Trace::parse(SAMPLE);
+        let report = render_report(&trace, 10);
+        assert!(
+            report.contains("wave attribution (top 2 of 2 waves by deploy time, 0.400ms total)")
+        );
+        // wave 0: width 2, batch 5, degree 1, 300us = 75% of deploy time.
+        assert!(report.contains("     0       2       5       1        0.300  75.0%"));
+        assert!(report.contains("     1       1       2       3        0.100  25.0%"));
+    }
+
+    #[test]
+    fn scheduled_without_terminal_verdict_is_in_flight() {
+        let trace = Trace::parse(SAMPLE);
+        let ledger = trace.ledger_for(0xCC);
+        let rendered = render_ledger(0xCC, &ledger);
+        assert!(
+            rendered.contains("in flight / unresolved"),
+            "scheduled-but-unresolved must not read as an error: {rendered}"
+        );
+        // A candidate that never reached the scheduler stays plain "open".
+        let pre = Trace::parse(
+            "{\"event\":\"trace\",\"schema\":2}\n{\"event\":\"lifecycle\",\"fp\":\"00000000000000dd\",\"ts\":1,\"kind\":\"mined\"}\n",
+        );
+        let rendered = render_ledger(0xDD, &pre.ledger_for(0xDD));
+        assert!(rendered.contains("open (last event: mined)"), "{rendered}");
+    }
+
+    #[test]
     fn resolve_fingerprint_accepts_hex_and_check_text() {
         assert_eq!(resolve_fingerprint("00000000000000aa"), Ok(0xAA));
         let check = "let r:VM in r.priority == 'Spot' => r.eviction_policy != null";
@@ -569,7 +700,7 @@ mod tests {
             .get("traceEvents")
             .and_then(|e| e.as_array())
             .expect("traceEvents");
-        assert_eq!(events.len(), 3 + 8);
+        assert_eq!(events.len(), 5 + 10);
         // ts must be monotonic.
         let ts: Vec<u64> = events
             .iter()

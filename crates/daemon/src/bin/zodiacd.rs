@@ -30,6 +30,10 @@ OPTIONS:
     --oneshot            serve stdin/stdout instead of a socket, exit at EOF
     --min-support N      re-mining support threshold (default 4)
     --min-confidence F   re-mining confidence threshold (default 0.92)
+    --revalidate         deploy-validate freshly mined checks before
+                         admitting them on a corpus delta
+    --deploy-cache FILE  persistent deploy memo for re-validation probes,
+                         shared with `zodiac --deploy-cache` runs
     --trace-out FILE     stream lifecycle events (served verdicts) as JSON
                          lines, readable by `zodiac explain --trace`
 
@@ -89,6 +93,8 @@ fn run() -> Result<(), String> {
             .parse()
             .map_err(|_| "--min-confidence expects a number".to_string())?;
     }
+    cfg.revalidate = take_switch(&mut args, "--revalidate");
+    cfg.deploy_cache = take_flag(&mut args, "--deploy-cache").map(PathBuf::from);
     if let Some(unknown) = args.first() {
         return Err(format!("unknown flag: {unknown}\n{USAGE}"));
     }

@@ -47,6 +47,14 @@ pub struct DaemonConfig {
     /// zero: a noisy oracle's RNG stream depends on the global candidate
     /// order, which breaks the incremental-equals-batch equivalence.
     pub mining: MiningConfig,
+    /// Deploy-validate freshly mined checks against the in-memory corpus
+    /// before admitting them: `submit_corpus_delta` only serves checks that
+    /// survive the same wave-scheduled validation the batch pipeline runs.
+    pub revalidate: bool,
+    /// Persistent deploy memo shared with the CLI and benches
+    /// ([`zodiac_deployer::DeployMemo`]); re-validation probes recorded
+    /// there are reused across deltas and daemon restarts.
+    pub deploy_cache: Option<std::path::PathBuf>,
 }
 
 /// An immutable snapshot of the served check set.
@@ -369,6 +377,30 @@ impl Daemon {
             .map(|c| (c.check.fingerprint(), c))
             .collect();
         let mut store = self.store.lock().unwrap_or_else(PoisonError::into_inner);
+        // Re-validation gate: deploy-test the checks this delta would newly
+        // admit, against the current in-memory corpus, through the shared
+        // persistent deploy memo. Checks that fail stay out of the store
+        // (they remain in the maintained mined set, so a later corpus
+        // change re-tests them — cheaply, since the memo replays every
+        // already-probed deployment).
+        let mut checks_rejected = 0u64;
+        let rejected: std::collections::BTreeSet<u64> = if self.cfg.revalidate {
+            let fresh_mined: Vec<MinedCheck> = desired
+                .iter()
+                .filter(|(fp, _)| !store.live().contains_key(*fp))
+                .map(|(_, c)| (*c).clone())
+                .collect();
+            if fresh_mined.is_empty() {
+                Default::default()
+            } else {
+                match self.revalidate(&remine, fresh_mined) {
+                    Ok(r) => r,
+                    Err(e) => return Response::err(&format!("delta: revalidate: {e}")),
+                }
+            }
+        } else {
+            Default::default()
+        };
         let mut checks_added = 0u64;
         let mut checks_retired = 0u64;
         let stale: Vec<u64> = store
@@ -385,6 +417,10 @@ impl Daemon {
         }
         let mut checks_updated = 0u64;
         for (fp, c) in &desired {
+            if rejected.contains(fp) {
+                checks_rejected += 1;
+                continue;
+            }
             let support = c.support as u64;
             let confidence_ppm = (c.confidence * 1e6) as u64;
             // A surviving check's statistics drift as the corpus does;
@@ -434,7 +470,46 @@ impl Daemon {
             .num("checks_added", checks_added)
             .num("checks_updated", checks_updated)
             .num("checks_retired", checks_retired)
+            .num("checks_rejected", checks_rejected)
             .num("check_set_version", version)
+    }
+
+    /// Deploy-validates freshly mined checks against the current corpus,
+    /// returning the fingerprints that must NOT be admitted (demoted as
+    /// false positives or left unresolved). Runs the same wave-scheduled
+    /// validation as the batch pipeline, behind a [`DeployEngine`] that
+    /// replays and extends the configured persistent deploy memo.
+    fn revalidate(
+        &self,
+        remine: &Remine,
+        fresh: Vec<MinedCheck>,
+    ) -> Result<std::collections::BTreeSet<u64>, String> {
+        use zodiac_validation::{Scheduler, SchedulerConfig};
+        let corpus: Vec<Program> = remine.stats.observed_programs().cloned().collect();
+        let engine = zodiac_deployer::DeployEngine::try_with_obs(
+            zodiac_cloud::CloudSim::new_azure(),
+            zodiac_deployer::DeployerConfig {
+                workers: 1,
+                persistent_cache: self.cfg.deploy_cache.clone(),
+                ..Default::default()
+            },
+            self.obs.clone(),
+        )?;
+        let candidates: Vec<u64> = fresh.iter().map(|c| c.check.fingerprint()).collect();
+        let outcome = Scheduler::new(&engine, &self.kb, &corpus, SchedulerConfig::default())
+            .with_obs(self.obs.clone())
+            .run(fresh);
+        let validated: std::collections::BTreeSet<u64> = outcome
+            .validated
+            .iter()
+            .map(|v| v.mined.check.fingerprint())
+            .collect();
+        self.obs.counter("daemon.revalidations", 1);
+        engine.sync_persistent()?;
+        Ok(candidates
+            .into_iter()
+            .filter(|fp| !validated.contains(fp))
+            .collect())
     }
 
     fn list_checks(&self) -> Response {

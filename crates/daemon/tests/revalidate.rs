@@ -1,0 +1,107 @@
+//! Delta re-validation through the shared persistent deploy memo: a
+//! `--revalidate` daemon deploy-tests freshly mined checks before
+//! admission, records every probe in the `--deploy-cache` memo, and a
+//! restarted daemon replays those probes instead of re-deploying.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use zodiac_daemon::{protocol::Request, Daemon, DaemonConfig};
+use zodiac_deployer::DeployMemo;
+use zodiac_obs::{MemoryRecorder, Obs};
+
+fn temp_path(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("zodiacd-reval-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A small corpus as (project id, HCL source) upserts.
+fn corpus_upserts() -> Vec<(String, String)> {
+    zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        seed: 0xA11CE,
+        projects: 24,
+        noise_rate: 0.1,
+        ..Default::default()
+    })
+    .iter()
+    .enumerate()
+    .map(|(i, p)| (format!("p{i:02}"), p.to_hcl()))
+    .collect()
+}
+
+fn run_delta(cfg: &DaemonConfig, store: &Path, obs: Obs) -> (BTreeSet<u64>, String) {
+    let (daemon, _) = Daemon::open(store, cfg.clone(), obs).unwrap();
+    let resp = daemon
+        .handle(Request::SubmitCorpusDelta {
+            upsert: corpus_upserts(),
+            remove: Vec::new(),
+        })
+        .render();
+    assert!(resp.contains("\"ok\":true"), "delta rejected: {resp}");
+    let live: BTreeSet<u64> = daemon
+        .snapshot()
+        .entries
+        .iter()
+        .map(|c| c.fingerprint())
+        .collect();
+    (live, resp)
+}
+
+#[test]
+fn revalidation_gates_admission_and_reuses_the_memo() {
+    let memo_path = temp_path("memo.log");
+    let cfg = DaemonConfig {
+        revalidate: true,
+        deploy_cache: Some(memo_path.clone()),
+        ..DaemonConfig::default()
+    };
+
+    // Cold daemon: every re-validation probe hits the backend and lands in
+    // the memo.
+    let cold = Arc::new(MemoryRecorder::new());
+    let store1 = temp_path("store1");
+    let (live_cold, resp) = run_delta(&cfg, &store1, Obs::single(cold.clone()));
+    assert!(!live_cold.is_empty(), "revalidation must admit something");
+    assert!(
+        resp.contains("\"checks_rejected\""),
+        "missing field: {resp}"
+    );
+    let tel = cold.snapshot();
+    assert!(tel.counter("deploy.backend_deploys") > 0);
+    assert_eq!(tel.counter("deploy.persistent_hits"), 0);
+    assert_eq!(tel.counter("daemon.revalidations"), 1);
+    let (memo, load) = DeployMemo::open(&memo_path).unwrap();
+    assert!(!memo.is_empty(), "probes must be recorded");
+    assert_eq!(load.entries as u64, tel.counter("deploy.persistent_stores"));
+    drop(memo);
+
+    // Warm daemon: a fresh store, same corpus delta, same memo — identical
+    // verdicts, with the deploy probes replayed from disk.
+    let warm = Arc::new(MemoryRecorder::new());
+    let store2 = temp_path("store2");
+    let (live_warm, _) = run_delta(&cfg, &store2, Obs::single(warm.clone()));
+    assert_eq!(live_cold, live_warm, "memo must not change verdicts");
+    let tel = warm.snapshot();
+    assert!(tel.counter("deploy.persistent_hits") > 0, "memo unused");
+    assert_eq!(
+        tel.counter("deploy.backend_deploys"),
+        0,
+        "every probe must replay from the memo"
+    );
+
+    // Without re-validation the same delta admits a superset: the gate only
+    // ever removes checks.
+    let plain_store = temp_path("store3");
+    let (live_plain, _) = run_delta(&DaemonConfig::default(), &plain_store, Obs::null());
+    assert!(
+        live_plain.is_superset(&live_cold),
+        "revalidation must only filter the mined set"
+    );
+
+    for p in [&memo_path, &store1, &store2, &plain_store] {
+        let _ = std::fs::remove_dir_all(p);
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -2,9 +2,11 @@
 
 use crate::fault::{AttemptInjector, FaultConfig};
 use crate::fingerprint::fingerprint;
+use crate::memo::DeployMemo;
 use crate::RetryPolicy;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 use zodiac_cloud::{DeployOracle, DeployReport};
@@ -23,6 +25,10 @@ pub struct DeployerConfig {
     pub faults: Option<FaultConfig>,
     /// Retry/backoff policy for transient failures.
     pub retry: RetryPolicy,
+    /// Path of a cross-process persistent deploy memo ([`DeployMemo`]);
+    /// verdicts recorded there survive the process and are shared between
+    /// the CLI, benches, and `zodiacd`.
+    pub persistent_cache: Option<PathBuf>,
 }
 
 impl Default for DeployerConfig {
@@ -32,6 +38,7 @@ impl Default for DeployerConfig {
             cache: true,
             faults: None,
             retry: RetryPolicy::default(),
+            persistent_cache: None,
         }
     }
 }
@@ -54,6 +61,8 @@ const CACHE_SHARDS: usize = 16;
 /// under the `deploy.*` namespace:
 ///
 /// * `deploy.requests`, `deploy.cache_hits`, `deploy.backend_deploys`
+/// * `deploy.persistent_hits`, `deploy.persistent_stores`,
+///   `deploy.persistent_errors` (cross-process memo traffic)
 /// * `deploy.transient_failures`, `deploy.retries`, `deploy.backoff_secs`
 /// * gauge `deploy.queue_depth.max` (worker-pool high-water mark)
 /// * histograms `deploy.latency_us.cache_hit` / `deploy.latency_us.backend`
@@ -77,12 +86,19 @@ pub struct DeployEngine<B> {
     backend: B,
     cfg: DeployerConfig,
     cache: Vec<RwLock<HashMap<u128, DeployReport>>>,
+    persistent: Option<Mutex<DeployMemo>>,
     registry: Arc<MemoryRecorder>,
     obs: Obs,
 }
 
 impl<B: DeployOracle + Sync> DeployEngine<B> {
     /// Wraps `backend` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DeployerConfig::persistent_cache`] names a file that
+    /// cannot be opened as a deploy memo; use
+    /// [`DeployEngine::try_with_obs`] to handle that error.
     pub fn new(backend: B, cfg: DeployerConfig) -> Self {
         DeployEngine::with_obs(backend, cfg, Obs::null())
     }
@@ -92,22 +108,54 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
     /// [`Obs::with_sink`], sharing the caller's trace context, so
     /// per-request deploy spans parent correctly under whatever span is
     /// ambient when the deploy is issued (e.g. a validation wave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DeployerConfig::persistent_cache`] names a file that
+    /// cannot be opened as a deploy memo; use
+    /// [`DeployEngine::try_with_obs`] to handle that error.
     pub fn with_obs(backend: B, cfg: DeployerConfig, obs: Obs) -> Self {
+        match DeployEngine::try_with_obs(backend, cfg, obs) {
+            Ok(engine) => engine,
+            Err(e) => panic!("deploy cache: {e}"),
+        }
+    }
+
+    /// [`DeployEngine::with_obs`], surfacing persistent-memo open errors
+    /// (missing parent directory, corrupt interior record, wrong header)
+    /// instead of panicking.
+    pub fn try_with_obs(backend: B, cfg: DeployerConfig, obs: Obs) -> Result<Self, String> {
+        let persistent = match &cfg.persistent_cache {
+            Some(path) => Some(Mutex::new(DeployMemo::open(path)?.0)),
+            None => None,
+        };
         let registry = Arc::new(MemoryRecorder::new());
-        DeployEngine {
+        Ok(DeployEngine {
             backend,
             cfg,
             cache: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            persistent,
             obs: obs.with_sink(registry.clone()),
             registry,
-        }
+        })
     }
 
     /// The wrapped backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Forces the persistent memo (if configured) to stable storage.
+    /// Appends are plain writes — visible to other processes immediately
+    /// but not yet durable; this is the durability point, also taken
+    /// best-effort on drop.
+    pub fn sync_persistent(&self) -> Result<(), String> {
+        match &self.persistent {
+            Some(memo) => memo.lock().sync(),
+            None => Ok(()),
+        }
     }
 
     /// The engine configuration.
@@ -155,6 +203,25 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
                 return (hit, true);
             }
         }
+        // The persistent memo backstops the in-memory cache: a hit from a
+        // previous run still skips the backend, and is promoted into the
+        // shard so repeats stay off the memo lock.
+        if let Some(memo) = &self.persistent {
+            if let Some(hit) = memo.lock().get(fp).cloned() {
+                self.obs.counter("deploy.cache_hits", 1);
+                self.obs.counter("deploy.persistent_hits", 1);
+                if self.cfg.cache {
+                    self.shard(fp).write().insert(fp, hit.clone());
+                }
+                self.obs.histogram(
+                    "deploy.latency_us.cache_hit",
+                    t0.elapsed().as_micros() as u64,
+                );
+                span.attr("cached", 1u64);
+                span.finish();
+                return (hit, true);
+            }
+        }
         self.obs.counter("deploy.backend_deploys", 1);
         let report = self.attempt_loop(program, fp);
         if self.cfg.cache {
@@ -162,6 +229,16 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
             // same verdict (deterministic backend), so last-write-wins is
             // harmless.
             self.shard(fp).write().insert(fp, report.clone());
+        }
+        if let Some(memo) = &self.persistent {
+            // Append failures (disk full, memo deleted under us) cost
+            // persistence, never correctness; count them instead of
+            // failing the deploy.
+            match memo.lock().record(fp, &report) {
+                Ok(true) => self.obs.counter("deploy.persistent_stores", 1),
+                Ok(false) => {}
+                Err(_) => self.obs.counter("deploy.persistent_errors", 1),
+            }
         }
         self.obs
             .histogram("deploy.latency_us.backend", t0.elapsed().as_micros() as u64);
@@ -216,6 +293,14 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
         match last {
             Some(report) => report,
             None => self.backend.deploy(program),
+        }
+    }
+}
+
+impl<B> Drop for DeployEngine<B> {
+    fn drop(&mut self) {
+        if let Some(memo) = &self.persistent {
+            let _ = memo.lock().sync();
         }
     }
 }

@@ -33,10 +33,12 @@
 pub mod engine;
 pub mod fault;
 pub mod fingerprint;
+pub mod memo;
 
 pub use engine::{DeployEngine, DeployerConfig};
 pub use fault::{AttemptInjector, FaultConfig};
 pub use fingerprint::fingerprint;
+pub use memo::{DeployMemo, MemoLoadReport, MemoStats};
 pub use zodiac_cloud::DeployOracle;
 
 /// Retry/backoff policy for transient deploy failures.
@@ -126,6 +128,41 @@ mod tests {
         let tel = engine.metrics();
         assert!(tel.counter("deploy.retries") > 0);
         assert!(tel.counter("deploy.backoff_secs") > 0);
+    }
+
+    #[test]
+    fn persistent_memo_spans_engine_lifetimes() {
+        let path = std::env::temp_dir().join(format!(
+            "zodiac-deploy-memo-engine-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = DeployerConfig {
+            persistent_cache: Some(path.clone()),
+            ..DeployerConfig::default()
+        };
+        let p = vnet_program("10.0.0.0/16");
+        let first = {
+            let engine = DeployEngine::new(CloudSim::new_azure(), cfg.clone());
+            let report = engine.deploy(&p);
+            let tel = engine.metrics();
+            assert_eq!(tel.counter("deploy.backend_deploys"), 1);
+            assert_eq!(tel.counter("deploy.persistent_stores"), 1);
+            report
+        };
+        // A fresh engine — a different process, as far as the memo is
+        // concerned — serves the verdict without touching the backend.
+        let engine = DeployEngine::new(CloudSim::new_azure(), cfg);
+        let (second, cached) = engine.deploy_annotated(&p);
+        assert!(cached);
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap()
+        );
+        let tel = engine.metrics();
+        assert_eq!(tel.counter("deploy.backend_deploys"), 0);
+        assert_eq!(tel.counter("deploy.persistent_hits"), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

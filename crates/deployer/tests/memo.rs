@@ -1,0 +1,103 @@
+//! Crash-safety tests for the persistent deploy memo, mirroring the
+//! daemon check-store harness (torn tail dropped, interior corruption is
+//! a hard error, appends resume after recovery).
+
+use std::path::{Path, PathBuf};
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{fingerprint, DeployMemo};
+use zodiac_model::{Program, Resource, Value};
+
+fn temp_memo(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "zodiac-deploy-memo-it-{tag}-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn vnet_program(cidr: &str) -> Program {
+    Program::new()
+        .with(
+            Resource::new("azurerm_resource_group", "rg")
+                .with("name", "rg1")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_virtual_network", "vnet")
+                .with("name", "vnet1")
+                .with("location", "eastus")
+                .with("address_space", Value::List(vec![Value::s(cidr)]))
+                .with(
+                    "resource_group_name",
+                    Value::r("azurerm_resource_group", "rg", "name"),
+                ),
+        )
+}
+
+/// Seeds a memo with real backend verdicts, returning the fingerprints in
+/// record order.
+fn seed(path: &Path, n: usize) -> Vec<u128> {
+    let sim = CloudSim::new_azure();
+    let (mut memo, _) = DeployMemo::open(path).unwrap();
+    (0..n)
+        .map(|i| {
+            let p = vnet_program(&format!("10.{i}.0.0/16"));
+            let fp = fingerprint(&p);
+            memo.record(fp, &sim.deploy(&p)).unwrap();
+            fp
+        })
+        .collect()
+}
+
+#[test]
+fn torn_tail_is_dropped_then_appends_resume() {
+    let path = temp_memo("torn");
+    let fps = seed(&path, 3);
+
+    // Simulate a crash mid-append: cut into the last record, removing its
+    // trailing newline (the durability marker).
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (mut memo, report) = DeployMemo::open(&path).unwrap();
+    assert!(report.dropped_partial, "torn tail must be reported");
+    assert_eq!(report.entries, 2, "torn record dropped, prefix kept");
+    assert!(memo.get(fps[0]).is_some());
+    assert!(memo.get(fps[1]).is_some());
+    assert!(memo.get(fps[2]).is_none());
+
+    // The truncated log accepts appends again and replays cleanly.
+    let sim = CloudSim::new_azure();
+    let p = vnet_program("10.2.0.0/16");
+    assert!(memo.record(fingerprint(&p), &sim.deploy(&p)).unwrap());
+    drop(memo);
+    let (memo, report) = DeployMemo::open(&path).unwrap();
+    assert!(!report.dropped_partial);
+    assert_eq!(memo.len(), 3);
+    assert_eq!(memo.get(fps[2]), Some(&sim.deploy(&p)));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn interior_corruption_is_a_hard_error() {
+    let path = temp_memo("corrupt");
+    seed(&path, 4);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines[2] = lines[2].replace("\"record\"", "\"rec0rd\"");
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    assert!(
+        DeployMemo::open(&path).is_err(),
+        "interior corruption is not a torn tail and must not be silently dropped"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn foreign_file_is_rejected() {
+    let path = temp_memo("foreign");
+    std::fs::write(&path, "{\"record\":\"zodiacd-store\",\"schema\":1}\n").unwrap();
+    assert!(DeployMemo::open(&path).is_err(), "wrong header must fail");
+    let _ = std::fs::remove_file(&path);
+}

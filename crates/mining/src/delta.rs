@@ -79,6 +79,12 @@ impl IncrementalStats {
         self.programs.keys().map(String::as_str)
     }
 
+    /// The currently observed programs, in project-id order — the corpus a
+    /// re-validation pass deploys against.
+    pub fn observed_programs(&self) -> impl Iterator<Item = &Program> {
+        self.programs.values()
+    }
+
     /// Projects supporting (containing resources of) a type — the support
     /// set of every template family anchored on that type.
     pub fn supporting_projects(&self, rtype: Symbol) -> Option<&BTreeSet<String>> {

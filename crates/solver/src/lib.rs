@@ -19,12 +19,23 @@
 //! small domains); a node budget bounds pathological cases, returning the
 //! best solution found so far (and never spuriously reporting UNSAT: the
 //! budget only kicks in after a first solution exists).
+//!
+//! # Incremental re-solving
+//!
+//! Mutation encodings for the same candidate differ between scheduler
+//! iterations only in the soft-constraint set (demoted checks drop out,
+//! weights shift) while variables and hard constraints stay put. The delta
+//! API exploits this: [`Problem::delta_from`] classifies how a problem
+//! differs from a previously solved one, [`Problem::seed_bound`] turns the
+//! previous model into a feasible penalty upper bound for the new problem,
+//! and [`solve_with_bound`] uses that bound for strictly-better pruning —
+//! returning a result *identical* to a cold [`solve`], just faster.
 
 mod constraint;
 mod search;
 
 pub use constraint::{Constraint, Op, Term};
-pub use search::{solve, Outcome, Solution};
+pub use search::{solve, solve_with_bound, Outcome, Solution};
 
 use zodiac_model::Value;
 
@@ -91,5 +102,102 @@ impl Problem {
 
     pub(crate) fn budget(&self) -> u64 {
         self.node_budget.unwrap_or(2_000_000)
+    }
+
+    /// Classifies how this problem differs from a previously solved one.
+    ///
+    /// `Identical` means the old model *is* this problem's answer;
+    /// `Compatible` means the variables are the same, so the old model can
+    /// seed a penalty bound via [`seed_bound`](Problem::seed_bound) when it
+    /// is still feasible; `Incompatible` means no reuse is possible.
+    pub fn delta_from(&self, prev: &Problem) -> Delta {
+        if self.domains != prev.domains {
+            return Delta::Incompatible;
+        }
+        if self.hard == prev.hard && self.soft == prev.soft {
+            Delta::Identical
+        } else {
+            Delta::Compatible
+        }
+    }
+
+    /// Validates a previous model against this problem and, when it still
+    /// satisfies every hard constraint (and every value is in-domain),
+    /// returns its total soft penalty — a feasible upper bound suitable for
+    /// [`solve_with_bound`]. Returns `None` when the model does not carry
+    /// over; solving then falls back to a cold search.
+    pub fn seed_bound(&self, assignment: &[Value]) -> Option<u64> {
+        if assignment.len() != self.domains.len() {
+            return None;
+        }
+        for (value, domain) in assignment.iter().zip(&self.domains) {
+            if !domain.contains(value) {
+                return None;
+            }
+        }
+        let full: Vec<Option<Value>> = assignment.iter().cloned().map(Some).collect();
+        for c in &self.hard {
+            if c.eval(&full) != Some(true) {
+                return None;
+            }
+        }
+        let mut penalty = 0u64;
+        for (c, w) in &self.soft {
+            if c.eval(&full) != Some(true) {
+                penalty += w;
+            }
+        }
+        Some(penalty)
+    }
+}
+
+/// The relationship between two [`Problem`]s, as seen by
+/// [`Problem::delta_from`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delta {
+    /// Same domains and constraints: a previous solution is still optimal.
+    Identical,
+    /// Same domains, different constraints: a previous model can seed the
+    /// search with a penalty bound if it remains feasible.
+    Compatible,
+    /// Different variables or domains: nothing carries over.
+    Incompatible,
+}
+
+#[cfg(test)]
+mod delta_tests {
+    use super::*;
+
+    fn base() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var(vec![Value::Int(0), Value::Int(1)]);
+        p.require(Constraint::ne(Term::Var(x), Term::i(0)));
+        p.prefer(Constraint::eq(Term::Var(x), Term::i(0)), 1);
+        p
+    }
+
+    #[test]
+    fn delta_classification() {
+        let a = base();
+        let b = base();
+        assert_eq!(b.delta_from(&a), Delta::Identical);
+
+        let mut c = base();
+        c.prefer(Constraint::eq(Term::Var(0), Term::i(1)), 2);
+        assert_eq!(c.delta_from(&a), Delta::Compatible);
+
+        let mut d = base();
+        d.add_var(vec![Value::Int(9)]);
+        assert_eq!(d.delta_from(&a), Delta::Incompatible);
+    }
+
+    #[test]
+    fn seed_bound_totals_ground_softs() {
+        let mut p = Problem::new();
+        let x = p.add_var(vec![Value::Int(0), Value::Int(1)]);
+        p.prefer(Constraint::False, 5); // Ground, always violated.
+        p.prefer(Constraint::eq(Term::Var(x), Term::i(1)), 3);
+        assert_eq!(p.seed_bound(&[Value::Int(1)]), Some(5));
+        assert_eq!(p.seed_bound(&[Value::Int(0)]), Some(8));
     }
 }

@@ -25,6 +25,13 @@
 //! 5. **Print/parse round-trip** — every mined and generated check
 //!    re-parses to an identical IR value (the property that catches the
 //!    historical literal-escaping bug).
+//! 6. **Schedule equivalence** — the wave-parallel scheduler (the default
+//!    pipeline path: conflict-graph waves, batched deploys, incremental
+//!    solving) reaches verdicts set-identical to one-candidate-at-a-time
+//!    sequential scheduling: the same validated, falsified, and unresolved
+//!    candidate sets. Falsification *reasons* may differ — a batched probe
+//!    can trip a different ground-truth rule first — so reasons are
+//!    deliberately excluded from the comparison.
 //!
 //! Failures shrink deterministically ([`shrink`]) and the whole report is
 //! a pure function of `(seed, cases)` — byte-identical across runs — so a
@@ -88,6 +95,7 @@ pub const PROPERTIES: &[&str] = &[
     "permutation-stability",
     "corpus-monotonicity",
     "print-parse-roundtrip",
+    "schedule-equivalence",
 ];
 
 /// One verified-property failure, with everything needed to replay it.

@@ -175,6 +175,63 @@ pub(crate) fn run_episode(
         });
     }
 
+    // --- P6: schedule equivalence ------------------------------------------
+    // `outcome` above ran the default wave-parallel path (conflict-graph
+    // waves, batched deploys, incremental solving). Re-running the same
+    // candidates one at a time must land every candidate in the same
+    // verdict set. Reasons are excluded: a batched probe may trip a
+    // different ground-truth rule first (benign divergence).
+    report.tally("schedule-equivalence", 1);
+    let sequential = Scheduler::new(
+        &sim,
+        &kb,
+        &corpus,
+        SchedulerConfig {
+            wave_parallel: false,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(mining.checks.clone());
+    let verdict_sets = |o: &zodiac_validation::ValidationOutcome| -> [BTreeSet<String>; 3] {
+        [
+            o.validated
+                .iter()
+                .map(|v| v.mined.check.canonical())
+                .collect(),
+            o.false_positives
+                .iter()
+                .map(|f| f.mined.check.canonical())
+                .collect(),
+            o.unresolved.iter().map(|m| m.check.canonical()).collect(),
+        ]
+    };
+    let wave_sets = verdict_sets(&outcome);
+    let seq_sets = verdict_sets(&sequential);
+    for (which, (w, s)) in ["validated", "falsified", "unresolved"]
+        .iter()
+        .zip(wave_sets.iter().zip(&seq_sets))
+    {
+        if w == s {
+            continue;
+        }
+        let only_wave: Vec<&String> = w.difference(s).collect();
+        let only_seq: Vec<&String> = s.difference(w).collect();
+        report.fail(FuzzFailure {
+            property: "schedule-equivalence",
+            episode: ep,
+            replay_seed: episode_seed,
+            detail: format!(
+                "{which} set diverges between wave-parallel and sequential scheduling\n\
+                 only wave-parallel ({}): {:?}\n\
+                 only sequential ({}): {:?}",
+                only_wave.len(),
+                only_wave,
+                only_seq.len(),
+                only_seq
+            ),
+        });
+    }
+
     // --- P4: corpus monotonicity -------------------------------------------
     // Self-duplication doubles every support count while keeping confidence
     // and lift bit-identical, so the mined set must not shrink (it may grow:

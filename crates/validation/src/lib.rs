@@ -16,10 +16,12 @@
 pub mod counterexample;
 pub mod mdc;
 pub mod mutate;
+pub mod plan;
 pub mod scheduler;
 
-pub use mdc::{find_positive, MdcStats, PositiveCase};
-pub use mutate::{MutationConfig, MutationResult, NegativeCase};
+pub use mdc::{find_positive, find_positive_indexed, CorpusIndex, MdcStats, PositiveCase};
+pub use mutate::{MutationConfig, MutationResult, NegativeCase, SolveSeed, SolveStats};
+pub use plan::{plan_waves, PlanCandidate, TypeReach, WavePlan};
 pub use scheduler::{
     FalsifiedCheck, FalsifyReason, Scheduler, SchedulerConfig, ValidatedCheck, ValidationOutcome,
     ValidationTrace,

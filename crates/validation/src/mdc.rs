@@ -39,6 +39,52 @@ pub struct MdcStats {
     pub orig_unattended: usize,
 }
 
+/// Prebuilt per-program resource graphs plus their type inventories, shared
+/// across every positive-case search of a scheduler run. Building a graph
+/// per `(check, program)` pair used to dominate positive-case cost; the
+/// index builds each graph exactly once and lets searches skip programs
+/// that lack one of a check's bound types (such programs cannot contain a
+/// witness, so skipping them is behavior-preserving).
+pub struct CorpusIndex {
+    graphs: Vec<ResourceGraph>,
+    types: Vec<HashSet<Symbol>>,
+}
+
+impl CorpusIndex {
+    /// Builds graphs and type inventories for every corpus program.
+    pub fn build(corpus: &[Program]) -> CorpusIndex {
+        let graphs: Vec<ResourceGraph> = corpus
+            .iter()
+            .map(|p| ResourceGraph::build(p.clone()))
+            .collect();
+        let types = graphs
+            .iter()
+            .map(|g| {
+                g.program()
+                    .resources()
+                    .iter()
+                    .map(|r| Symbol::intern(&r.rtype))
+                    .collect()
+            })
+            .collect();
+        CorpusIndex { graphs, types }
+    }
+
+    /// The prebuilt graphs, in corpus order.
+    pub fn graphs(&self) -> &[ResourceGraph] {
+        &self.graphs
+    }
+
+    /// True when program `i` contains at least one resource of every type
+    /// the check binds — a necessary condition for a witness.
+    fn may_witness(&self, i: usize, check: &Check) -> bool {
+        check
+            .bindings
+            .iter()
+            .all(|b| self.types[i].contains(&b.rtype))
+    }
+}
+
 /// Finds a positive test case for `check` in the corpus, preferring the
 /// program that yields the smallest MDC.
 pub fn find_positive(
@@ -47,16 +93,30 @@ pub fn find_positive(
     kb: &KnowledgeBase,
     max_scan: usize,
 ) -> Option<PositiveCase> {
+    find_positive_indexed(check, &CorpusIndex::build(corpus), kb, max_scan)
+}
+
+/// [`find_positive`] over a prebuilt [`CorpusIndex`] — same scan order,
+/// early exit, and tie-break, so the result is identical; only the graph
+/// construction is amortised.
+pub fn find_positive_indexed(
+    check: &Check,
+    index: &CorpusIndex,
+    kb: &KnowledgeBase,
+    max_scan: usize,
+) -> Option<PositiveCase> {
     let mut best: Option<PositiveCase> = None;
-    for program in corpus.iter().take(max_scan.max(1)) {
-        let graph = ResourceGraph::build(program.clone());
+    for (i, graph) in index.graphs.iter().take(max_scan.max(1)).enumerate() {
+        if !index.may_witness(i, check) {
+            continue;
+        }
         let ctx = EvalContext {
-            graph: &graph,
+            graph,
             kb: Some(kb),
         };
         let found = witnesses(check, ctx);
         let Some(w) = found.first() else { continue };
-        let case = prune(&graph, &w.binding, kb);
+        let case = prune(graph, &w.binding, kb);
         let better = best
             .as_ref()
             .is_none_or(|b| case.program.len() < b.program.len());

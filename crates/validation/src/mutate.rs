@@ -78,6 +78,25 @@ pub enum MutationResult {
     NotApplicable,
 }
 
+/// Solver models kept from a previous encoding of the same candidate, one
+/// per structural variant (`[reuse-deps, fresh-deps]`). Passed back into
+/// [`negative_test_seeded`], a still-feasible model bounds the next
+/// branch-and-bound from above — pure pruning, identical results.
+#[derive(Debug, Clone, Default)]
+pub struct SolveSeed {
+    /// Full solver assignments per structural variant.
+    pub per_variant: [Option<Vec<Value>>; 2],
+}
+
+/// How re-solves used previous models (`solver.incremental.*` telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Solves where a previous model seeded the search with a penalty bound.
+    pub seeded: u64,
+    /// Solves with no usable previous model.
+    pub cold: u64,
+}
+
 /// Generates a negative test case for `target` from a positive case.
 pub fn negative_test(
     target: &Check,
@@ -88,13 +107,40 @@ pub fn negative_test(
     corpus: &[Program],
     cfg: &MutationConfig,
 ) -> MutationResult {
+    negative_test_seeded(target, positive, hard, soft, kb, corpus, cfg, None).0
+}
+
+/// [`negative_test`] with incremental re-solving: `seed` carries the solver
+/// models of a previous encoding of the same candidate, and the returned
+/// [`SolveSeed`] carries this encoding's models for the next call. Seeding
+/// never changes the result — an incompatible or infeasible previous model
+/// is simply ignored ([`Problem::seed_bound`] revalidates it against the
+/// new constraints).
+#[allow(clippy::too_many_arguments)]
+pub fn negative_test_seeded(
+    target: &Check,
+    positive: &PositiveCase,
+    hard: &[Check],
+    soft: &[(Check, u64)],
+    kb: &KnowledgeBase,
+    corpus: &[Program],
+    cfg: &MutationConfig,
+    seed: Option<&SolveSeed>,
+) -> (MutationResult, SolveSeed, SolveStats) {
     // Try structural variants (reuse dependencies first, then fresh clones
     // of the dependencies — the paper's optional virtual resources) and keep
     // the least-disturbing SAT result.
     let mut best: Option<NegativeCase> = None;
     let mut saw_not_applicable = false;
-    for fresh_deps in [false, true] {
-        match negative_test_variant(target, positive, hard, soft, kb, corpus, cfg, fresh_deps) {
+    let mut out_seed = SolveSeed::default();
+    let mut stats = SolveStats::default();
+    for (variant, fresh_deps) in [false, true].into_iter().enumerate() {
+        let prev = seed.and_then(|s| s.per_variant[variant].as_deref());
+        let (result, model) = negative_test_variant(
+            target, positive, hard, soft, kb, corpus, cfg, fresh_deps, prev, &mut stats,
+        );
+        out_seed.per_variant[variant] = model;
+        match result {
             MutationResult::Negative(neg) => {
                 let better = best.as_ref().is_none_or(|b| {
                     (
@@ -122,11 +168,12 @@ pub fn negative_test(
             MutationResult::Unsat => {}
         }
     }
-    match best {
+    let result = match best {
         Some(neg) => MutationResult::Negative(Box::new(neg)),
         None if saw_not_applicable => MutationResult::NotApplicable,
         None => MutationResult::Unsat,
-    }
+    };
+    (result, out_seed, stats)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -139,7 +186,9 @@ fn negative_test_variant(
     corpus: &[Program],
     cfg: &MutationConfig,
     fresh_deps: bool,
-) -> MutationResult {
+    prev_model: Option<&[Value]>,
+    stats: &mut SolveStats,
+) -> (MutationResult, Option<Vec<Value>>) {
     // ---- structural plan ------------------------------------------------
     let mut program = positive.program.clone();
     let witness_ids: BTreeMap<Symbol, ResourceId> = positive.witness.clone();
@@ -147,8 +196,8 @@ fn negative_test_variant(
     match plan_structure(target, &mut program, &witness_ids, kb, corpus, fresh_deps) {
         PlanOutcome::Ok { added_resources } => added = added_resources,
         PlanOutcome::AttributesOnly => {}
-        PlanOutcome::Impossible => return MutationResult::Unsat,
-        PlanOutcome::NotApplicable => return MutationResult::NotApplicable,
+        PlanOutcome::Impossible => return (MutationResult::Unsat, None),
+        PlanOutcome::NotApplicable => return (MutationResult::NotApplicable, None),
     }
 
     let graph = ResourceGraph::build(program.clone());
@@ -205,7 +254,7 @@ fn negative_test_variant(
         .filter_map(|(&v, id)| graph.node(id).map(|n| (v, n)))
         .collect();
     if witness_nodes.len() != witness_ids.len() {
-        return MutationResult::NotApplicable;
+        return (MutationResult::NotApplicable, None);
     }
     let grounder = Grounder {
         graph: &graph,
@@ -232,10 +281,24 @@ fn negative_test_variant(
     }
 
     // ---- solve and apply --------------------------------------------------
-    let outcome = solve(&problem);
-    let Some(solution) = outcome.solution() else {
-        return MutationResult::Unsat;
+    // A previous model of this candidate seeds the search with a feasible
+    // penalty bound when it still fits the new encoding (same variables,
+    // hard constraints satisfied) — strict-improvement pruning only, so the
+    // outcome matches a cold solve exactly.
+    let outcome = match prev_model.and_then(|m| problem.seed_bound(m)) {
+        Some(bound) => {
+            stats.seeded += 1;
+            zodiac_solver::solve_with_bound(&problem, Some(bound))
+        }
+        None => {
+            stats.cold += 1;
+            solve(&problem)
+        }
     };
+    let Some(solution) = outcome.solution() else {
+        return (MutationResult::Unsat, None);
+    };
+    let model = solution.assignment.clone();
     let mut changed = 0usize;
     for ((rid, _attr), (var, sym)) in &vars {
         let value = &solution.assignment[*var];
@@ -266,16 +329,19 @@ fn negative_test_variant(
         .collect();
     // Sanity: the target must actually be violated now.
     if zodiac_spec::holds(target, final_ctx) {
-        return MutationResult::Unsat;
+        return (MutationResult::Unsat, Some(model));
     }
 
-    MutationResult::Negative(Box::new(NegativeCase {
-        program,
-        changed_attrs: changed,
-        added_resources: added,
-        violated_soft,
-        violated_hard,
-    }))
+    (
+        MutationResult::Negative(Box::new(NegativeCase {
+            program,
+            changed_attrs: changed,
+            added_resources: added,
+            violated_soft,
+            violated_hard,
+        })),
+        Some(model),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +480,32 @@ fn plan_length(
     }
     items.truncate(keep);
     PlanOutcome::Ok { added_resources: 0 }
+}
+
+/// The resource types [`plan_structure`] can *add* to a positive case when
+/// violating the target's statement — the peer type of a degree bound, or
+/// the concrete type picked for a negated selector. Wave planning seeds the
+/// target's type-reachability closure with these, so relevance judgments
+/// cover every resource a mutant can contain (kept next to the planner: a
+/// new structural edit must extend both).
+pub(crate) fn structural_peer_types(target: &Check, kb: &KnowledgeBase) -> Vec<String> {
+    let Expr::Cmp { lhs, rhs, .. } = &target.stmt else {
+        return Vec::new();
+    };
+    let (var, tau, inbound) = match (lhs, rhs) {
+        (Val::InDegree { var, tau }, Val::Lit(Value::Int(_))) => (var, tau, true),
+        (Val::OutDegree { var, tau }, Val::Lit(Value::Int(_))) => (var, tau, false),
+        _ => return Vec::new(),
+    };
+    if !tau.negated() {
+        return vec![tau.type_name().to_string()];
+    }
+    let Some(anchor) = target.bindings.iter().find(|b| b.var == *var) else {
+        return Vec::new();
+    };
+    pick_other_type(kb, anchor.rtype.as_str(), tau.type_name(), inbound)
+        .into_iter()
+        .collect()
 }
 
 /// A KB type (≠ `excluded`) that can reference `target_type` — used to

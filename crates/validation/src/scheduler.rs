@@ -21,6 +21,7 @@
 
 use crate::mdc::{self, PositiveCase};
 use crate::mutate::{self, MutationConfig, MutationResult};
+use crate::plan;
 use crate::DeployOracle;
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -45,6 +46,11 @@ pub struct SchedulerConfig {
     pub mutation: MutationConfig,
     /// Maximum corpus programs scanned per positive-case search.
     pub max_scan: usize,
+    /// Plan conflict-free candidate waves and batch their deployments
+    /// (the fast path). Disabling falls back to the one-candidate-at-a-time
+    /// loop; both paths produce identical verdicts, which the testkit's
+    /// sixth property checks on every fuzz episode.
+    pub wave_parallel: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -55,6 +61,7 @@ impl Default for SchedulerConfig {
             max_iterations: 8,
             mutation: MutationConfig::default(),
             max_scan: 400,
+            wave_parallel: true,
         }
     }
 }
@@ -192,12 +199,115 @@ struct Candidate {
     mined: MinedCheck,
     positive: Option<PositiveCase>,
     order: i64,
+    /// Check fingerprint: canonical tie-break and memo identity.
+    fp: u64,
 }
 
 /// Soft-constraint weight of a candidate: better-supported candidates are
 /// costlier to violate, breaking ties toward the corpus evidence.
 fn soft_weight(c: &MinedCheck) -> u64 {
     (c.support as u64).min(100)
+}
+
+/// Resource types a candidate's mutated programs can start from: its
+/// positive case's inventory, or the check's bound types before a positive
+/// case exists.
+fn present_types(c: &Candidate) -> Vec<Symbol> {
+    match &c.positive {
+        Some(p) => p
+            .program
+            .resources()
+            .iter()
+            .map(|r| Symbol::intern(&r.rtype))
+            .collect(),
+        None => c.mined.check.bindings.iter().map(|b| b.rtype).collect(),
+    }
+}
+
+/// The candidates that belong in candidate `i`'s soft encoding at its
+/// position in the sequential timeline: relevant (their checks can ground
+/// over `i`'s mutants) and not demoted at an earlier position. `at` maps
+/// demoted candidates to the canonical position of the test that demoted
+/// them, so "not yet demoted when `i` runs" is `position >= i`.
+fn relevant_open(
+    i: usize,
+    wave_plan: &plan::WavePlan,
+    at: &BTreeMap<usize, usize>,
+    n: usize,
+) -> Vec<usize> {
+    (0..n)
+        .filter(|&j| j != i && wave_plan.relevant(j, i) && at.get(&j).is_none_or(|&p| p >= i))
+        .collect()
+}
+
+/// A per-candidate negative test shared by the grouping and TP passes, with
+/// its violations resolved to global candidate indices (the soft lists the
+/// two scheduler paths encode against differ — full versus
+/// relevance-reduced — but the violated *sets* are identical, so both
+/// resolve to the same global form).
+struct SharedNegative {
+    neg: mutate::NegativeCase,
+    /// Open candidates (indices into `rc`, excluding the owner) violated by
+    /// the negative program.
+    violates: BTreeSet<usize>,
+}
+
+/// Cross-pass, cross-iteration memo of negative-test encodings, keyed by
+/// check fingerprint. A candidate is re-encoded many times per run (FP
+/// pass, shared-negatives pass, next iteration) against slowly changing
+/// hard/soft sets; when the relevant sets are unchanged the stored result
+/// is returned outright, and otherwise the stored solver models seed the
+/// re-solve ([`mutate::negative_test_seeded`]).
+#[derive(Default)]
+struct NegMemo {
+    entries: HashMap<u64, MemoEntry>,
+}
+
+struct MemoEntry {
+    /// Sorted fingerprints of the hard (validated) set encoded against.
+    hard_fps: Vec<u64>,
+    /// Sorted `(fingerprint, weight)` soft-set identity.
+    soft_key: Vec<(u64, u64)>,
+    /// Fingerprint per stored soft position (for remapping `violated_soft`
+    /// onto a caller's ordering of the same set).
+    stored_soft: Vec<u64>,
+    result: MutationResult,
+    seed: mutate::SolveSeed,
+}
+
+/// Rebuilds a memoized result against the caller's ordering of the same
+/// soft set, remapping `violated_soft` positions through fingerprints.
+fn remap_memo(e: &MemoEntry, soft_fps: &[u64]) -> MutationResult {
+    let MutationResult::Negative(neg) = &e.result else {
+        return e.result.clone();
+    };
+    let pos: HashMap<u64, usize> = soft_fps.iter().enumerate().map(|(p, &f)| (f, p)).collect();
+    let mut out = neg.clone();
+    out.violated_soft = neg
+        .violated_soft
+        .iter()
+        .filter_map(|&p| e.stored_soft.get(p).and_then(|f| pos.get(f)).copied())
+        .collect();
+    out.violated_soft.sort_unstable();
+    MutationResult::Negative(out)
+}
+
+/// The wave planner's view of a candidate. `present` seeds the mutant
+/// type closure: the positive case's inventory plus every type the
+/// structural planner could add when violating this statement.
+fn plan_candidate(c: &Candidate, kb: &KnowledgeBase) -> plan::PlanCandidate {
+    let mut present = present_types(c);
+    present.extend(
+        mutate::structural_peer_types(&c.mined.check, kb)
+            .iter()
+            .map(|t| Symbol::intern(t)),
+    );
+    plan::PlanCandidate {
+        order: c.order,
+        fingerprint: c.fp,
+        bound: c.mined.check.bindings.iter().map(|b| b.rtype).collect(),
+        present,
+    }
 }
 
 impl<'a, D: DeployOracle> Scheduler<'a, D> {
@@ -251,16 +361,29 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             .into_iter()
             .map(|mined| {
                 let order = check_order(&mined.check, &depths);
+                let fp = mined.check.fingerprint();
                 Candidate {
                     mined,
                     positive: None,
                     order,
+                    fp,
                 }
             })
             .collect();
         if self.cfg.use_partial_order {
-            rc.sort_by_key(|c| c.order); // O4
+            // O4, with the fingerprint as tie-break: a canonical total order
+            // shared with the wave planner, so the sequential and
+            // wave-parallel paths walk the same timeline.
+            rc.sort_by_key(|c| (c.order, c.fp));
         }
+
+        // Shared per-run machinery: prebuilt corpus graphs, the type
+        // reachability relation behind wave planning and soft-set reduction,
+        // and the cross-iteration negative-test memo.
+        let index = mdc::CorpusIndex::build(self.corpus);
+        let reach = plan::TypeReach::build(self.kb, index.graphs().iter());
+        let mut memo = NegMemo::default();
+        let mut waves_done: u64 = 0;
 
         let mut validated: Vec<ValidatedCheck> = Vec::new();
         let mut false_positives: Vec<FalsifiedCheck> = Vec::new();
@@ -287,135 +410,44 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             let progress_before = rc.len();
             let tel_before = self.oracle.telemetry();
 
-            if self.obs.is_enabled() {
-                // Scheduled events: conflict pressure is the number of
-                // co-scheduled candidates anchored on the same resource
-                // type (they compete for the same mutation targets).
-                let mut per_type: HashMap<Symbol, u64> = HashMap::new();
-                for c in rc.iter() {
-                    *per_type.entry(c.mined.check.bindings[0].rtype).or_default() += 1;
-                }
-                for c in rc.iter() {
-                    let same = per_type
-                        .get(&c.mined.check.bindings[0].rtype)
-                        .copied()
-                        .unwrap_or(1);
-                    self.lifecycle(
-                        &c.mined.check,
-                        Lifecycle::Scheduled {
-                            wave: iter as u64,
-                            conflicts: same.saturating_sub(1),
-                        },
-                    );
-                }
-            }
+            // The validated (hard) set is frozen for the whole iteration.
+            let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
+            let mut hard_fps: Vec<u64> = hard.iter().map(|c| c.fingerprint()).collect();
+            hard_fps.sort_unstable();
 
             // ---------------- false positive removal pass -----------------
-            let mut removed: BTreeSet<usize> = BTreeSet::new();
-            for i in 0..rc.len() {
-                if removed.contains(&i) {
-                    continue;
-                }
-                if self.ensure_positive(&mut rc[i]).is_none() {
-                    removed.insert(i);
-                    self.demote_event(&rc[i].mined.check, FalsifyReason::NoPositiveCase);
-                    false_positives.push(FalsifiedCheck {
-                        mined: rc[i].mined.clone(),
-                        reason: FalsifyReason::NoPositiveCase,
-                    });
-                    continue;
-                }
-                let soft: Vec<(Check, u64)> = rc
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i && !removed.contains(j))
-                    .map(|(_, c)| (c.mined.check.clone(), soft_weight(&c.mined)))
-                    .collect();
-                let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
-                // `ensure_positive` succeeded above, so the case is cached;
-                // skip defensively rather than panic if it is ever not.
-                let Some(positive) = rc[i].positive.as_ref() else {
-                    continue;
-                };
-                let result = mutate::negative_test(
-                    &rc[i].mined.check,
-                    positive,
+            let removed = if self.cfg.wave_parallel {
+                self.fp_pass_waves(
+                    &mut rc,
                     &hard,
-                    &soft,
-                    self.kb,
-                    self.corpus,
-                    &self.cfg.mutation,
-                );
-                match result {
-                    MutationResult::Unsat => {
-                        stats.fp_unsatisfiable += 1;
-                        removed.insert(i);
-                        self.demote_event(&rc[i].mined.check, FalsifyReason::Unsatisfiable);
-                        false_positives.push(FalsifiedCheck {
-                            mined: rc[i].mined.clone(),
-                            reason: FalsifyReason::Unsatisfiable,
-                        });
-                    }
-                    MutationResult::NotApplicable => {
-                        removed.insert(i);
-                        self.demote_event(&rc[i].mined.check, FalsifyReason::NotApplicable);
-                        false_positives.push(FalsifiedCheck {
-                            mined: rc[i].mined.clone(),
-                            reason: FalsifyReason::NotApplicable,
-                        });
-                    }
-                    MutationResult::Negative(neg) => {
-                        let (report, cached) = self.oracle.deploy_annotated(&neg.program);
-                        let (success, phase, rule) = outcome_fields(&report);
-                        self.lifecycle(
-                            &rc[i].mined.check,
-                            Lifecycle::DeployOutcome {
-                                polarity: Polarity::FpProbe,
-                                success,
-                                phase,
-                                rule,
-                                cached,
-                            },
-                        );
-                        if success {
-                            stats.fp_deployable += 1;
-                            removed.insert(i);
-                            self.demote_event(&rc[i].mined.check, FalsifyReason::Deployable);
-                            false_positives.push(FalsifiedCheck {
-                                mined: rc[i].mined.clone(),
-                                reason: FalsifyReason::Deployable,
-                            });
-                            // Every violated open candidate falls with it:
-                            // the deployment succeeded despite violating
-                            // them all.
-                            let soft_indices: Vec<usize> = rc
-                                .iter()
-                                .enumerate()
-                                .filter(|(j, _)| *j != i && !removed.contains(j))
-                                .map(|(j, _)| j)
-                                .collect();
-                            for (pos_in_soft, &j) in soft_indices.iter().enumerate() {
-                                if neg.violated_soft.contains(&pos_in_soft) {
-                                    stats.fp_deployable += 1;
-                                    removed.insert(j);
-                                    self.demote_event(
-                                        &rc[j].mined.check,
-                                        FalsifyReason::Deployable,
-                                    );
-                                    false_positives.push(FalsifiedCheck {
-                                        mined: rc[j].mined.clone(),
-                                        reason: FalsifyReason::Deployable,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+                    &hard_fps,
+                    &mut false_positives,
+                    &mut stats,
+                    &index,
+                    &reach,
+                    &mut memo,
+                    &mut waves_done,
+                )
+            } else {
+                self.fp_pass_sequential(
+                    &mut rc,
+                    &hard,
+                    &mut false_positives,
+                    &mut stats,
+                    iter,
+                    &index,
+                )
+            };
             retain_not(&mut rc, &removed);
 
             // ---------------- shared negatives for grouping + TP -----------
-            let negatives = self.generate_negatives(&mut rc, &validated);
+            let negatives = if self.cfg.wave_parallel {
+                self.generate_negatives_reduced(
+                    &mut rc, &hard, &hard_fps, &index, &reach, &mut memo,
+                )
+            } else {
+                self.generate_negatives_full(&mut rc, &hard, &index)
+            };
 
             // ---------------- indistinguishable grouping (O3) --------------
             let groups = if self.cfg.handle_indistinguishable {
@@ -433,7 +465,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             let to_deploy: Vec<usize> = (0..rc.len()).filter(|&i| negatives[i].is_some()).collect();
             let batch: Vec<Program> = to_deploy
                 .iter()
-                .filter_map(|&i| negatives[i].as_ref().map(|n| n.program.clone()))
+                .filter_map(|&i| negatives[i].as_ref().map(|n| n.neg.program.clone()))
                 .collect();
             self.obs
                 .histogram("validation.tp.batch_size", batch.len() as u64);
@@ -441,21 +473,31 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             // the engine's worker pool parent under it.
             let wave_span = if self.obs.is_enabled() && !batch.is_empty() {
                 let mut span = self.obs.start_span("pipeline/validation/wave");
-                span.attr("wave", iter as u64);
+                span.attr(
+                    "wave",
+                    if self.cfg.wave_parallel {
+                        waves_done
+                    } else {
+                        iter as u64
+                    },
+                );
+                span.attr("width", to_deploy.len());
                 span.attr("batch", batch.len());
                 Some(span)
             } else {
                 None
             };
             let mut reports: Vec<Option<(DeployReport, bool)>> = vec![None; rc.len()];
-            for (&i, report) in to_deploy
-                .iter()
-                .zip(self.oracle.deploy_batch_annotated(&batch))
-            {
+            let batch_reports = self.oracle.deploy_batch_annotated(&batch);
+            for (&i, report) in to_deploy.iter().zip(batch_reports) {
                 reports[i] = Some(report);
             }
             if let Some(span) = wave_span {
                 span.finish();
+            }
+            if !batch.is_empty() {
+                waves_done += 1;
+                self.obs.counter("validation.waves", 1);
             }
             if self.obs.is_enabled() {
                 // TP probe outcomes, in candidate order (deterministic even
@@ -492,12 +534,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 }
                 // R_n: the open candidates the negative test violates
                 // (including the target itself).
-                let soft_global: Vec<usize> = (0..rc.len()).filter(|j| *j != i).collect();
-                let mut rn: BTreeSet<usize> = neg
-                    .violated_soft
-                    .iter()
-                    .filter_map(|&pos| soft_global.get(pos).copied())
-                    .collect();
+                let mut rn: BTreeSet<usize> = neg.violates.clone();
                 rn.insert(i);
                 let single = rn.len() == 1;
                 let in_group = groups.iter().any(|g| rn.iter().all(|j| g.contains(j)));
@@ -515,7 +552,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                     validated.push(ValidatedCheck {
                         mined: rc[i].mined.clone(),
                         via_group: !single,
-                        negative_size: neg.program.len(),
+                        negative_size: neg.neg.program.len(),
                         negative_report: report,
                     });
                 }
@@ -581,8 +618,10 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             }
             self.obs
                 .gauge_set("validation.validated.total", validated.len() as u64);
-            self.obs.gauge_set("validation.unresolved", rc.len() as u64);
         }
+        // Emitted unconditionally — including on a max-iterations early exit
+        // or a stall — so funnel snapshots always report the leftover count.
+        self.obs.gauge_set("validation.unresolved", rc.len() as u64);
         trace.deploy = self.oracle.telemetry();
 
         ValidationOutcome {
@@ -594,11 +633,16 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
         }
     }
 
-    /// Finds (or synthesises) and caches a positive case for a candidate.
-    fn ensure_positive<'b>(&self, c: &'b mut Candidate) -> Option<&'b PositiveCase> {
+    /// Finds (or synthesises) and caches a positive case for a candidate,
+    /// searching through the prebuilt corpus index.
+    fn ensure_positive<'b>(
+        &self,
+        c: &'b mut Candidate,
+        index: &mdc::CorpusIndex,
+    ) -> Option<&'b PositiveCase> {
         if c.positive.is_none() {
             c.positive =
-                mdc::find_positive(&c.mined.check, self.corpus, self.kb, self.cfg.max_scan)
+                mdc::find_positive_indexed(&c.mined.check, index, self.kb, self.cfg.max_scan)
                     .or_else(|| self.synthesize_positive(&c.mined.check));
         }
         c.positive.as_ref()
@@ -711,17 +755,454 @@ fn check_order(check: &Check, depths: &HashMap<Symbol, i64>) -> i64 {
 }
 
 impl<'a, D: DeployOracle> Scheduler<'a, D> {
-    /// Generates (and deduplicates work for) one negative test per open
-    /// candidate, shared by the grouping and TP passes of one iteration.
-    fn generate_negatives(
+    /// Runs a candidate's negative test through the cross-iteration memo:
+    /// an unchanged (hard, soft) encoding returns the stored result
+    /// outright, and a changed one re-solves seeded by the stored models.
+    /// `soft_ids` are indices into `rc`; the returned `violated_soft`
+    /// positions index `soft_ids`.
+    fn memoized_negative(
+        &self,
+        rc: &[Candidate],
+        i: usize,
+        soft_ids: &[usize],
+        hard: &[Check],
+        hard_fps: &[u64],
+        memo: &mut NegMemo,
+    ) -> MutationResult {
+        // Callers only ask after a positive case exists; fall back to the
+        // same demotion the sequential path would reach if it ever is not.
+        let Some(positive) = rc[i].positive.as_ref() else {
+            return MutationResult::NotApplicable;
+        };
+        let soft: Vec<(Check, u64)> = soft_ids
+            .iter()
+            .map(|&j| (rc[j].mined.check.clone(), soft_weight(&rc[j].mined)))
+            .collect();
+        let soft_fps: Vec<u64> = soft_ids.iter().map(|&j| rc[j].fp).collect();
+        let mut soft_key: Vec<(u64, u64)> = soft_fps
+            .iter()
+            .zip(&soft)
+            .map(|(&f, (_, w))| (f, *w))
+            .collect();
+        soft_key.sort_unstable();
+        if let Some(e) = memo.entries.get(&rc[i].fp) {
+            if e.hard_fps == hard_fps && e.soft_key == soft_key {
+                self.obs.counter("solver.incremental.hit", 1);
+                return remap_memo(e, &soft_fps);
+            }
+        }
+        let seed = memo.entries.get(&rc[i].fp).map(|e| e.seed.clone());
+        let (result, seed_out, st) = mutate::negative_test_seeded(
+            &rc[i].mined.check,
+            positive,
+            hard,
+            &soft,
+            self.kb,
+            self.corpus,
+            &self.cfg.mutation,
+            seed.as_ref(),
+        );
+        if st.seeded > 0 {
+            self.obs.counter("solver.incremental.seeded", st.seeded);
+        }
+        if st.cold > 0 {
+            self.obs.counter("solver.incremental.miss", st.cold);
+        }
+        memo.entries.insert(
+            rc[i].fp,
+            MemoEntry {
+                hard_fps: hard_fps.to_vec(),
+                soft_key,
+                stored_soft: soft_fps,
+                result: result.clone(),
+                seed: seed_out,
+            },
+        );
+        result
+    }
+
+    /// The one-candidate-at-a-time false-positive pass (the trusted
+    /// baseline the wave path is differentially tested against). Returns
+    /// the set of demoted indices.
+    fn fp_pass_sequential(
         &self,
         rc: &mut [Candidate],
-        validated: &[ValidatedCheck],
-    ) -> Vec<Option<crate::mutate::NegativeCase>> {
+        hard: &[Check],
+        false_positives: &mut Vec<FalsifiedCheck>,
+        stats: &mut IterationStats,
+        iter: usize,
+        index: &mdc::CorpusIndex,
+    ) -> BTreeSet<usize> {
+        if self.obs.is_enabled() {
+            // Scheduled events: conflict pressure is the number of
+            // co-scheduled candidates anchored on the same resource type
+            // (they compete for the same mutation targets).
+            let mut per_type: HashMap<Symbol, u64> = HashMap::new();
+            for c in rc.iter() {
+                *per_type.entry(c.mined.check.bindings[0].rtype).or_default() += 1;
+            }
+            for c in rc.iter() {
+                let same = per_type
+                    .get(&c.mined.check.bindings[0].rtype)
+                    .copied()
+                    .unwrap_or(1);
+                self.lifecycle(
+                    &c.mined.check,
+                    Lifecycle::Scheduled {
+                        wave: iter as u64,
+                        conflicts: same.saturating_sub(1),
+                    },
+                );
+            }
+        }
+        let mut removed: BTreeSet<usize> = BTreeSet::new();
+        for i in 0..rc.len() {
+            if removed.contains(&i) {
+                continue;
+            }
+            if self.ensure_positive(&mut rc[i], index).is_none() {
+                removed.insert(i);
+                self.demote_event(&rc[i].mined.check, FalsifyReason::NoPositiveCase);
+                false_positives.push(FalsifiedCheck {
+                    mined: rc[i].mined.clone(),
+                    reason: FalsifyReason::NoPositiveCase,
+                });
+                continue;
+            }
+            let soft: Vec<(Check, u64)> = rc
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i && !removed.contains(j))
+                .map(|(_, c)| (c.mined.check.clone(), soft_weight(&c.mined)))
+                .collect();
+            // `ensure_positive` succeeded above, so the case is cached;
+            // skip defensively rather than panic if it is ever not.
+            let Some(positive) = rc[i].positive.as_ref() else {
+                continue;
+            };
+            let result = mutate::negative_test(
+                &rc[i].mined.check,
+                positive,
+                hard,
+                &soft,
+                self.kb,
+                self.corpus,
+                &self.cfg.mutation,
+            );
+            match result {
+                MutationResult::Unsat => {
+                    stats.fp_unsatisfiable += 1;
+                    removed.insert(i);
+                    self.demote_event(&rc[i].mined.check, FalsifyReason::Unsatisfiable);
+                    false_positives.push(FalsifiedCheck {
+                        mined: rc[i].mined.clone(),
+                        reason: FalsifyReason::Unsatisfiable,
+                    });
+                }
+                MutationResult::NotApplicable => {
+                    removed.insert(i);
+                    self.demote_event(&rc[i].mined.check, FalsifyReason::NotApplicable);
+                    false_positives.push(FalsifiedCheck {
+                        mined: rc[i].mined.clone(),
+                        reason: FalsifyReason::NotApplicable,
+                    });
+                }
+                MutationResult::Negative(neg) => {
+                    let (report, cached) = self.oracle.deploy_annotated(&neg.program);
+                    let (success, phase, rule) = outcome_fields(&report);
+                    self.lifecycle(
+                        &rc[i].mined.check,
+                        Lifecycle::DeployOutcome {
+                            polarity: Polarity::FpProbe,
+                            success,
+                            phase,
+                            rule,
+                            cached,
+                        },
+                    );
+                    if success {
+                        stats.fp_deployable += 1;
+                        removed.insert(i);
+                        self.demote_event(&rc[i].mined.check, FalsifyReason::Deployable);
+                        false_positives.push(FalsifiedCheck {
+                            mined: rc[i].mined.clone(),
+                            reason: FalsifyReason::Deployable,
+                        });
+                        // Every violated open candidate falls with it: the
+                        // deployment succeeded despite violating them all.
+                        let soft_indices: Vec<usize> = rc
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != i && !removed.contains(j))
+                            .map(|(j, _)| j)
+                            .collect();
+                        for (pos_in_soft, &j) in soft_indices.iter().enumerate() {
+                            if neg.violated_soft.contains(&pos_in_soft) {
+                                stats.fp_deployable += 1;
+                                removed.insert(j);
+                                self.demote_event(&rc[j].mined.check, FalsifyReason::Deployable);
+                                false_positives.push(FalsifiedCheck {
+                                    mined: rc[j].mined.clone(),
+                                    reason: FalsifyReason::Deployable,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// The wave-parallel false-positive pass: plan conflict-free waves,
+    /// *speculatively* encode and batch-deploy each wave, then replay the
+    /// exact sequential timeline consuming speculative records whose soft
+    /// sets match. Verdict sets are identical to [`Self::fp_pass_sequential`]
+    /// by construction: solver UNSAT / not-applicable verdicts do not depend
+    /// on soft constraints at all (exact whenever discovered), and every
+    /// deploy-dependent verdict is confirmed at its exact position.
+    #[allow(clippy::too_many_arguments)]
+    fn fp_pass_waves(
+        &self,
+        rc: &mut [Candidate],
+        hard: &[Check],
+        hard_fps: &[u64],
+        false_positives: &mut Vec<FalsifiedCheck>,
+        stats: &mut IterationStats,
+        index: &mdc::CorpusIndex,
+        reach: &plan::TypeReach,
+        memo: &mut NegMemo,
+        waves_done: &mut u64,
+    ) -> BTreeSet<usize> {
+        let n = rc.len();
+        // Canonical-position map of demotions (see [`relevant_open`]); the
+        // plain demotion *set* is its key set.
+        let mut exact_at: BTreeMap<usize, usize> = BTreeMap::new();
+
+        // Positive cases up front: the no-positive-case verdict is
+        // soft-set-independent, so these demotions are exact. (A candidate
+        // the sequential path would have demoted earlier by co-violation
+        // gets a different *reason* here, never a different verdict.)
+        for (i, cand) in rc.iter_mut().enumerate() {
+            if self.ensure_positive(cand, index).is_none() {
+                exact_at.insert(i, i);
+                self.demote_event(&cand.mined.check, FalsifyReason::NoPositiveCase);
+                false_positives.push(FalsifiedCheck {
+                    mined: cand.mined.clone(),
+                    reason: FalsifyReason::NoPositiveCase,
+                });
+            }
+        }
+
+        let cands: Vec<plan::PlanCandidate> =
+            rc.iter().map(|c| plan_candidate(c, self.kb)).collect();
+        let wave_plan = plan::plan_waves(&cands, reach);
+        if self.obs.is_enabled() {
+            for (w, wave) in wave_plan.waves.iter().enumerate() {
+                for &i in wave {
+                    self.lifecycle(
+                        &rc[i].mined.check,
+                        Lifecycle::Scheduled {
+                            wave: *waves_done + w as u64,
+                            conflicts: wave_plan.degree[i] as u64,
+                        },
+                    );
+                }
+            }
+        }
+
+        // ---- speculation: encode and batch-deploy wave by wave ----------
+        struct Spec {
+            soft_ids: Vec<usize>,
+            neg: Box<mutate::NegativeCase>,
+            report: DeployReport,
+            cached: bool,
+        }
+        let mut specs: HashMap<usize, Spec> = HashMap::new();
+        let mut spec_at: BTreeMap<usize, usize> = exact_at.clone();
+        for (w, wave) in wave_plan.waves.iter().enumerate() {
+            let mut members: Vec<(usize, Vec<usize>, Box<mutate::NegativeCase>)> = Vec::new();
+            for &i in wave {
+                if spec_at.get(&i).is_some_and(|&p| p <= i) {
+                    continue; // Expected demoted at or before its own turn.
+                }
+                let soft_ids = relevant_open(i, &wave_plan, &spec_at, n);
+                match self.memoized_negative(rc, i, &soft_ids, hard, hard_fps, memo) {
+                    MutationResult::Unsat => {
+                        stats.fp_unsatisfiable += 1;
+                        exact_at.insert(i, i);
+                        spec_at.insert(i, i);
+                        self.demote_event(&rc[i].mined.check, FalsifyReason::Unsatisfiable);
+                        false_positives.push(FalsifiedCheck {
+                            mined: rc[i].mined.clone(),
+                            reason: FalsifyReason::Unsatisfiable,
+                        });
+                    }
+                    MutationResult::NotApplicable => {
+                        exact_at.insert(i, i);
+                        spec_at.insert(i, i);
+                        self.demote_event(&rc[i].mined.check, FalsifyReason::NotApplicable);
+                        false_positives.push(FalsifiedCheck {
+                            mined: rc[i].mined.clone(),
+                            reason: FalsifyReason::NotApplicable,
+                        });
+                    }
+                    MutationResult::Negative(neg) => members.push((i, soft_ids, neg)),
+                }
+            }
+            if members.is_empty() {
+                continue;
+            }
+            let batch: Vec<Program> = members
+                .iter()
+                .map(|(_, _, neg)| neg.program.clone())
+                .collect();
+            let span = if self.obs.is_enabled() {
+                let mut span = self.obs.start_span("pipeline/validation/wave");
+                span.attr("wave", *waves_done + w as u64);
+                span.attr("width", wave.len());
+                span.attr("batch", batch.len());
+                let degree = wave.iter().map(|&i| wave_plan.degree[i]).max().unwrap_or(0);
+                span.attr("degree", degree);
+                Some(span)
+            } else {
+                None
+            };
+            let reports = self.oracle.deploy_batch_annotated(&batch);
+            if let Some(span) = span {
+                span.finish();
+            }
+            self.obs.counter("validation.waves", 1);
+            for ((i, soft_ids, neg), (report, cached)) in members.into_iter().zip(reports) {
+                if report.outcome.is_success() {
+                    // Predicted demotions: the deployer at position `i`
+                    // takes itself and every violated candidate down.
+                    spec_at
+                        .entry(i)
+                        .and_modify(|p| *p = (*p).min(i))
+                        .or_insert(i);
+                    for &pos in &neg.violated_soft {
+                        if let Some(&j) = soft_ids.get(pos) {
+                            spec_at
+                                .entry(j)
+                                .and_modify(|p| *p = (*p).min(i))
+                                .or_insert(i);
+                        }
+                    }
+                }
+                specs.insert(
+                    i,
+                    Spec {
+                        soft_ids,
+                        neg,
+                        report,
+                        cached,
+                    },
+                );
+            }
+        }
+        *waves_done += wave_plan.waves.len() as u64;
+
+        // ---- exact replay along the canonical timeline -------------------
+        for i in 0..n {
+            if exact_at.get(&i).is_some_and(|&p| p <= i) {
+                continue; // Demoted before its turn — exactly as sequential.
+            }
+            let soft_ids = relevant_open(i, &wave_plan, &exact_at, n);
+            let (soft_ids, neg, report, cached) = match specs.remove(&i) {
+                Some(s) if s.soft_ids == soft_ids => (s.soft_ids, s.neg, s.report, s.cached),
+                _ => {
+                    // Mispredicted soft set (a speculative demotion that did
+                    // not happen, or happened at the wrong position):
+                    // recompute at the exact position and deploy alone.
+                    self.obs.counter("validation.wave.replays", 1);
+                    match self.memoized_negative(rc, i, &soft_ids, hard, hard_fps, memo) {
+                        MutationResult::Unsat => {
+                            stats.fp_unsatisfiable += 1;
+                            exact_at.insert(i, i);
+                            self.demote_event(&rc[i].mined.check, FalsifyReason::Unsatisfiable);
+                            false_positives.push(FalsifiedCheck {
+                                mined: rc[i].mined.clone(),
+                                reason: FalsifyReason::Unsatisfiable,
+                            });
+                            continue;
+                        }
+                        MutationResult::NotApplicable => {
+                            exact_at.insert(i, i);
+                            self.demote_event(&rc[i].mined.check, FalsifyReason::NotApplicable);
+                            false_positives.push(FalsifiedCheck {
+                                mined: rc[i].mined.clone(),
+                                reason: FalsifyReason::NotApplicable,
+                            });
+                            continue;
+                        }
+                        MutationResult::Negative(neg) => {
+                            let (report, cached) = self.oracle.deploy_annotated(&neg.program);
+                            (soft_ids, neg, report, cached)
+                        }
+                    }
+                }
+            };
+            let (success, phase, rule) = outcome_fields(&report);
+            self.lifecycle(
+                &rc[i].mined.check,
+                Lifecycle::DeployOutcome {
+                    polarity: Polarity::FpProbe,
+                    success,
+                    phase,
+                    rule,
+                    cached,
+                },
+            );
+            if success {
+                stats.fp_deployable += 1;
+                exact_at.insert(i, i);
+                self.demote_event(&rc[i].mined.check, FalsifyReason::Deployable);
+                false_positives.push(FalsifiedCheck {
+                    mined: rc[i].mined.clone(),
+                    reason: FalsifyReason::Deployable,
+                });
+                for &pos in &neg.violated_soft {
+                    let Some(&j) = soft_ids.get(pos) else {
+                        continue;
+                    };
+                    match exact_at.entry(j) {
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            // Already demoted by a soft-set-independent
+                            // verdict at its own (later) position; tighten
+                            // it to the co-violation position so later soft
+                            // sets exclude it, as the sequential path would.
+                            let p = *e.get();
+                            e.insert(p.min(i));
+                        }
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(i);
+                            stats.fp_deployable += 1;
+                            self.demote_event(&rc[j].mined.check, FalsifyReason::Deployable);
+                            false_positives.push(FalsifiedCheck {
+                                mined: rc[j].mined.clone(),
+                                reason: FalsifyReason::Deployable,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        exact_at.keys().copied().collect()
+    }
+
+    /// Generates one shared negative test per open candidate (full soft
+    /// lists — the sequential baseline), for the grouping and TP passes.
+    fn generate_negatives_full(
+        &self,
+        rc: &mut [Candidate],
+        hard: &[Check],
+        index: &mdc::CorpusIndex,
+    ) -> Vec<Option<SharedNegative>> {
         let n = rc.len();
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            if self.ensure_positive(&mut rc[i]).is_none() {
+            if self.ensure_positive(&mut rc[i], index).is_none() {
                 out.push(None);
                 continue;
             }
@@ -729,7 +1210,6 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
                 .filter(|j| *j != i)
                 .map(|j| (rc[j].mined.check.clone(), soft_weight(&rc[j].mined)))
                 .collect();
-            let hard: Vec<Check> = validated.iter().map(|v| v.mined.check.clone()).collect();
             let Some(positive) = rc[i].positive.as_ref() else {
                 out.push(None);
                 continue;
@@ -737,14 +1217,73 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
             let result = mutate::negative_test(
                 &rc[i].mined.check,
                 positive,
-                &hard,
+                hard,
                 &soft,
                 self.kb,
                 self.corpus,
                 &self.cfg.mutation,
             );
             out.push(match result {
-                MutationResult::Negative(neg) => Some(*neg),
+                MutationResult::Negative(neg) => {
+                    let soft_global: Vec<usize> = (0..n).filter(|j| *j != i).collect();
+                    let violates = neg
+                        .violated_soft
+                        .iter()
+                        .filter_map(|&p| soft_global.get(p).copied())
+                        .collect();
+                    Some(SharedNegative {
+                        neg: *neg,
+                        violates,
+                    })
+                }
+                _ => None,
+            });
+        }
+        out
+    }
+
+    /// [`Self::generate_negatives_full`] with relevance-reduced soft lists
+    /// and the memo: irrelevant checks cannot ground over a candidate's
+    /// mutants, so dropping them leaves the solver's answer — and the
+    /// violated set — unchanged while making encodings mostly reusable
+    /// across passes and iterations.
+    fn generate_negatives_reduced(
+        &self,
+        rc: &mut [Candidate],
+        hard: &[Check],
+        hard_fps: &[u64],
+        index: &mdc::CorpusIndex,
+        reach: &plan::TypeReach,
+        memo: &mut NegMemo,
+    ) -> Vec<Option<SharedNegative>> {
+        let n = rc.len();
+        for cand in rc.iter_mut() {
+            self.ensure_positive(cand, index);
+        }
+        let cands: Vec<plan::PlanCandidate> =
+            rc.iter().map(|c| plan_candidate(c, self.kb)).collect();
+        let wave_plan = plan::plan_waves(&cands, reach);
+        let open = BTreeMap::new();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if rc[i].positive.is_none() {
+                out.push(None);
+                continue;
+            }
+            let soft_ids = relevant_open(i, &wave_plan, &open, n);
+            let result = self.memoized_negative(rc, i, &soft_ids, hard, hard_fps, memo);
+            out.push(match result {
+                MutationResult::Negative(neg) => {
+                    let violates = neg
+                        .violated_soft
+                        .iter()
+                        .filter_map(|&p| soft_ids.get(p).copied())
+                        .collect();
+                    Some(SharedNegative {
+                        neg: *neg,
+                        violates,
+                    })
+                }
                 _ => None,
             });
         }
@@ -757,7 +1296,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
         &self,
         rc: &mut [Candidate],
         validated: &[ValidatedCheck],
-        negatives: &[Option<crate::mutate::NegativeCase>],
+        negatives: &[Option<SharedNegative>],
     ) -> Vec<Vec<usize>> {
         let n = rc.len();
         if n < 2 {
@@ -766,13 +1305,8 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
         // Step 1: mutual-violation adjacency from the shared negative tests.
         let mut violates: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
         for i in 0..n {
-            if let Some(neg) = negatives[i].as_ref() {
-                let soft_global: Vec<usize> = (0..n).filter(|j| *j != i).collect();
-                for &pos in &neg.violated_soft {
-                    if let Some(&j) = soft_global.get(pos) {
-                        violates[i].insert(j);
-                    }
-                }
+            if let Some(shared) = negatives[i].as_ref() {
+                violates[i] = shared.violates.clone();
             }
         }
         // Candidate groups come from two granularities: components over

@@ -12,6 +12,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # when invoked without `--bench`, catching bit-rot in bench-only code.
 cargo test --benches -q --locked
 
+# Pipeline-bench smoke: the wave-parallel scheduler must stay fast. The
+# 2200ms ceiling is ~6x the committed 344ms mean (BENCH_pipeline.json) —
+# generous headroom for noisy shared runners, while still failing any
+# regression back toward the 4.3s sequential baseline. Best of 3 absorbs
+# scheduler noise.
+./target/release/schedule_smoke --runs 3 --ceiling-ms 2200
+
 # Regression seed files must exist and must be tracked — a gitignored seed
 # file silently un-pins every replayed failure.
 regressions=$(find crates -path '*proptest-regressions*' -type f)

@@ -64,6 +64,7 @@ fn parallel_cached_faulted_engine_matches_sequential_simulator() {
                 ..FaultConfig::default()
             }),
             retry: RetryPolicy::default(),
+            persistent_cache: None,
         },
     );
     let parallel = validate(&engine, &corpus);
@@ -105,6 +106,7 @@ fn fault_schedule_is_deterministic_across_runs() {
             ..FaultConfig::default()
         }),
         retry: RetryPolicy::default(),
+        persistent_cache: None,
     };
     let run = |cfg: DeployerConfig| {
         let engine = DeployEngine::new(CloudSim::new_azure(), cfg);

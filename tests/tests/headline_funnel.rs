@@ -46,29 +46,29 @@ fn headline_funnel_matches_experiments_md() {
     );
 
     // Validation outcome.
-    assert_eq!(result.validation.validated.len(), 90, "validated (raw)");
+    assert_eq!(result.validation.validated.len(), 88, "validated (raw)");
     assert_eq!(
         result.validation.validated_groups_as_one(),
-        70,
+        68,
         "validated (groups as one)"
     );
     assert_eq!(
         result.validation.false_positives.len(),
-        271,
+        273,
         "falsified during validation"
     );
     assert!(result.validation.unresolved.is_empty(), "R_c must empty");
 
     // Counterexample pass (§5.6) and the final set.
     assert_eq!(result.demoted.len(), 2, "demoted by counterexamples");
-    assert_eq!(result.final_checks.len(), 88, "final check set");
+    assert_eq!(result.final_checks.len(), 86, "final check set");
 
     // Deployment-engine funnel. The request count is part of the
     // determinism contract; the backend/cache split is not (two workers can
     // miss the same fingerprint concurrently and both deploy), so only the
     // conservation law is pinned for it.
     let tel = result.deploy_metrics.expect("engine metrics present");
-    assert_eq!(tel.counter("deploy.requests"), 392);
+    assert_eq!(tel.counter("deploy.requests"), 395);
     assert_eq!(
         tel.counter("deploy.backend_deploys") + tel.counter("deploy.cache_hits"),
         tel.counter("deploy.requests"),

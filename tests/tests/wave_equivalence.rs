@@ -1,0 +1,124 @@
+//! Differential guarantee for the re-architected validation pipeline:
+//! wave-parallel scheduling (conflict-graph waves, batched deploys,
+//! incremental solving) and the persistent deploy memo must be pure
+//! performance features — every candidate lands in the same verdict set
+//! (validated / falsified / unresolved) as one-at-a-time sequential
+//! scheduling. Falsify *reasons* are deliberately excluded: a batched
+//! probe may trip a different ground-truth rule first, which is benign.
+//!
+//! Runs on the default corpus seed `0xC0FFEE`.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{DeployEngine, DeployerConfig};
+use zodiac_mining::{mine, MiningConfig};
+use zodiac_model::Program;
+use zodiac_obs::{MemoryRecorder, Obs};
+use zodiac_validation::{Scheduler, SchedulerConfig, ValidationOutcome};
+
+fn corpus() -> Vec<Program> {
+    // Default config carries seed 0xC0FFEE.
+    zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        projects: 60,
+        noise_rate: 0.02,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect()
+}
+
+/// (validated, falsified, unresolved) candidate fingerprints.
+fn verdict_sets(o: &ValidationOutcome) -> [BTreeSet<u64>; 3] {
+    [
+        o.validated
+            .iter()
+            .map(|v| v.mined.check.fingerprint())
+            .collect(),
+        o.false_positives
+            .iter()
+            .map(|f| f.mined.check.fingerprint())
+            .collect(),
+        o.unresolved.iter().map(|m| m.check.fingerprint()).collect(),
+    ]
+}
+
+#[test]
+fn wave_parallel_and_memo_match_sequential_verdicts() {
+    let corpus = corpus();
+    let kb = zodiac_kb::azure_kb();
+    let sim = CloudSim::new_azure();
+    let mining = mine(&corpus, &kb, &MiningConfig::default());
+    assert!(!mining.checks.is_empty(), "nothing mined on seed 0xC0FFEE");
+
+    // Sequential reference: waves disabled, candidates probed one by one.
+    let sequential = Scheduler::new(
+        &sim,
+        &kb,
+        &corpus,
+        SchedulerConfig {
+            wave_parallel: false,
+            ..SchedulerConfig::default()
+        },
+    )
+    .run(mining.checks.clone());
+    let reference = verdict_sets(&sequential);
+    assert!(!reference[0].is_empty(), "reference run validated nothing");
+
+    // Wave-parallel against the bare simulator.
+    let wave =
+        Scheduler::new(&sim, &kb, &corpus, SchedulerConfig::default()).run(mining.checks.clone());
+    assert_eq!(
+        verdict_sets(&wave),
+        reference,
+        "wave-parallel scheduling changed a verdict set"
+    );
+
+    // Wave-parallel through a memo-backed worker engine, cold then warm:
+    // the warm run replays every probe from disk and must not change a
+    // verdict either.
+    let memo = std::env::temp_dir().join(format!("zodiac-wave-eq-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&memo);
+    let run_with_memo = || {
+        let rec = Arc::new(MemoryRecorder::new());
+        let engine = DeployEngine::try_with_obs(
+            CloudSim::new_azure(),
+            DeployerConfig {
+                workers: 2,
+                persistent_cache: Some(memo.clone()),
+                ..Default::default()
+            },
+            Obs::single(rec.clone()),
+        )
+        .expect("memo opens");
+        let outcome = Scheduler::new(&engine, &kb, &corpus, SchedulerConfig::default())
+            .run(mining.checks.clone());
+        engine.sync_persistent().expect("memo syncs");
+        (outcome, rec.snapshot())
+    };
+
+    let (cold, cold_tel) = run_with_memo();
+    assert_eq!(
+        verdict_sets(&cold),
+        reference,
+        "memo-backed cold run changed a verdict set"
+    );
+    assert!(cold_tel.counter("deploy.backend_deploys") > 0);
+    assert!(cold_tel.counter("deploy.persistent_stores") > 0);
+
+    let (warm, warm_tel) = run_with_memo();
+    assert_eq!(
+        verdict_sets(&warm),
+        reference,
+        "memo replay changed a verdict set"
+    );
+    assert!(warm_tel.counter("deploy.persistent_hits") > 0);
+    assert_eq!(
+        warm_tel.counter("deploy.backend_deploys"),
+        0,
+        "warm run must replay every probe from the memo"
+    );
+
+    let _ = std::fs::remove_file(&memo);
+}
