@@ -1,0 +1,83 @@
+//! Repair-loop benchmarks on the schedule-60 workload: scan the 60-project
+//! corpus with its own mined check set, then repair every flagged program
+//! through the full oracle stack (solve → deploy → checks → deception).
+//! Cold = fresh engine per sample (every candidate hits the backend),
+//! warm = one engine whose deploy memo already holds every candidate
+//! verdict. Results are recorded in `BENCH_repair.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use zodiac::scanner::scan_program;
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{DeployEngine, DeployerConfig};
+use zodiac_mining::{mine, MiningConfig};
+use zodiac_model::Program;
+use zodiac_obs::Obs;
+use zodiac_repair::{repair_program, RepairConfig, RepairOutcome};
+use zodiac_spec::Check;
+
+fn engine() -> DeployEngine<CloudSim> {
+    DeployEngine::new(
+        CloudSim::new_azure(),
+        DeployerConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+}
+
+fn workload() -> (Vec<Program>, Vec<Check>) {
+    let corpus: Vec<Program> = zodiac_corpus::generate(&zodiac_corpus::CorpusConfig {
+        projects: 60,
+        noise_rate: 0.02,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|p| p.program)
+    .collect();
+    let kb = zodiac_kb::azure_kb();
+    let checks: Vec<Check> = mine(&corpus, &kb, &MiningConfig::default())
+        .checks
+        .into_iter()
+        .map(|c| c.check)
+        .collect();
+    let flagged: Vec<Program> = corpus
+        .into_iter()
+        .filter(|p| !scan_program(p, &checks, &kb).is_empty())
+        .collect();
+    assert!(!flagged.is_empty(), "bench corpus has no flagged programs");
+    (flagged, checks)
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let (flagged, checks) = workload();
+    let kb = zodiac_kb::azure_kb();
+    let cfg = RepairConfig::default();
+
+    let sweep = |engine: &DeployEngine<CloudSim>| {
+        let mut accepted = 0usize;
+        for program in &flagged {
+            let report = repair_program(program, &checks, &kb, engine, &cfg, &Obs::null());
+            if matches!(report.outcome, RepairOutcome::Accepted { .. }) {
+                accepted += 1;
+            }
+        }
+        accepted
+    };
+
+    c.bench_function("repair/schedule-60-cold", |b| {
+        b.iter_batched(engine, |engine| sweep(&engine), BatchSize::SmallInput)
+    });
+
+    c.bench_function("repair/schedule-60-warm-memo", |b| {
+        let engine = engine();
+        assert!(sweep(&engine) > 0, "warm-up sweep accepted nothing");
+        b.iter(|| sweep(&engine))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_repair
+}
+criterion_main!(benches);

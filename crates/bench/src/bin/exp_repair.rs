@@ -1,0 +1,109 @@
+//! Repair funnel on the headline corpus: scan the 600-project evaluation
+//! corpus with its validated check set, repair every flagged program
+//! through the layered oracle stack, and report the funnel — violations
+//! found, repairs proposed, verdicts per layer, rejections per layer,
+//! accepted repairs — the table recorded in `EXPERIMENTS.md`.
+
+use serde::Serialize;
+use zodiac::scanner::scan_program;
+use zodiac_bench::{print_table, run_eval_pipeline_obs, ExpObs};
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{DeployEngine, DeployerConfig};
+use zodiac_obs::Obs;
+use zodiac_repair::{repair_program, OracleLayer, RepairConfig, RepairOutcome};
+
+#[derive(Default, Serialize)]
+struct Funnel {
+    flagged_programs: usize,
+    violations_found: usize,
+    repairs_proposed: usize,
+    verdicts_l1: usize,
+    verdicts_l2: usize,
+    verdicts_l3: usize,
+    rejected_l1: usize,
+    rejected_l2: usize,
+    rejected_l3: usize,
+    accepted: usize,
+    accepted_edits: usize,
+    unrepairable: usize,
+}
+
+fn main() {
+    let exp = ExpObs::from_args();
+    let (result, corpus) = run_eval_pipeline_obs(&exp.obs);
+    let checks: Vec<_> = result
+        .final_checks
+        .iter()
+        .map(|v| v.mined.check.clone())
+        .collect();
+    let kb = zodiac_kb::azure_kb();
+    let engine = DeployEngine::with_obs(
+        CloudSim::new_azure(),
+        DeployerConfig {
+            workers: 1,
+            ..Default::default()
+        },
+        exp.obs.clone(),
+    );
+    let cfg = RepairConfig::default();
+
+    let mut funnel = Funnel::default();
+    for program in &corpus {
+        if scan_program(program, &checks, &kb).is_empty() {
+            continue;
+        }
+        funnel.flagged_programs += 1;
+        let report = repair_program(program, &checks, &kb, &engine, &cfg, &Obs::null());
+        funnel.violations_found += report.violations;
+        funnel.repairs_proposed += report.attempts.len();
+        for attempt in &report.attempts {
+            for verdict in &attempt.layers {
+                match verdict.layer {
+                    OracleLayer::DeploySucceeds => funnel.verdicts_l1 += 1,
+                    OracleLayer::ChecksPass => funnel.verdicts_l2 += 1,
+                    OracleLayer::IntentPreserved => funnel.verdicts_l3 += 1,
+                }
+            }
+            if let Some(rejected) = attempt.rejected_at() {
+                match rejected.layer {
+                    OracleLayer::DeploySucceeds => funnel.rejected_l1 += 1,
+                    OracleLayer::ChecksPass => funnel.rejected_l2 += 1,
+                    OracleLayer::IntentPreserved => funnel.rejected_l3 += 1,
+                }
+            }
+        }
+        match &report.outcome {
+            RepairOutcome::Accepted { edits, .. } => {
+                funnel.accepted += 1;
+                funnel.accepted_edits += edits.len();
+            }
+            RepairOutcome::Unrepairable { .. } => funnel.unrepairable += 1,
+            RepairOutcome::Clean | RepairOutcome::Exhausted => {}
+        }
+    }
+
+    let rows: Vec<Vec<String>> = [
+        ("programs flagged by the scanner", funnel.flagged_programs),
+        ("violations found", funnel.violations_found),
+        ("repairs proposed", funnel.repairs_proposed),
+        ("L1 deploy-succeeds verdicts", funnel.verdicts_l1),
+        ("L2 checks-pass verdicts", funnel.verdicts_l2),
+        ("L3 intent-preserved verdicts", funnel.verdicts_l3),
+        ("rejected at L1", funnel.rejected_l1),
+        ("rejected at L2", funnel.rejected_l2),
+        ("rejected at L3", funnel.rejected_l3),
+        ("accepted", funnel.accepted),
+        ("accepted edits (total)", funnel.accepted_edits),
+        ("unrepairable", funnel.unrepairable),
+    ]
+    .iter()
+    .map(|(label, n)| vec![label.to_string(), n.to_string()])
+    .collect();
+    print_table(
+        "Repair funnel (0xC0FFEE/600, validated check set)",
+        &["stage", "count"],
+        &rows,
+    );
+
+    exp.write_json_with_metrics("exp_repair", &funnel);
+}

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "mine" => cmd_mine(rest),
         "scan" => cmd_scan(rest),
+        "repair" => cmd_repair(rest),
         "deploy" => cmd_deploy(rest),
         "explain" => cmd_explain(rest),
         "report" => cmd_report(rest),
@@ -44,9 +45,9 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command: {other} (commands: mine, scan, deploy, explain, report, \
-             insights, fuzz, client, deploy-cache; the serving daemon is the separate \
-             `zodiacd` binary)\n{USAGE}"
+            "unknown command: {other} (commands: mine, scan, repair, deploy, explain, \
+             report, insights, fuzz, client, deploy-cache; the serving daemon is the \
+             separate `zodiacd` binary)\n{USAGE}"
         )),
     };
     match result {
@@ -64,6 +65,12 @@ USAGE:
     zodiac mine [--projects N] [--seed S] --out FILE   run the pipeline, write validated checks
     zodiac scan --checks FILE [--no-confirm]           scan programs, deploy-confirm violations
                 PROGRAM...                             (--no-confirm skips the deploy cross-check)
+    zodiac repair --checks FILE [--max-edits N]        search for a minimal repair satisfying
+                  [--explain] [--out DIR] PROGRAM...   every check, gated by the three-layer
+                  [--candidate FILE]                   oracle stack (deploy-succeeds, checks-pass,
+                                                       intent-preserved); --candidate verifies a
+                                                       proposed fix instead of searching;
+                                                       --explain prints per-layer verdicts
     zodiac deploy PROGRAM...                           simulate deployment and report outcome
     zodiac explain \"<check>\"                           render a check as a deployment insight
     zodiac explain <check-or-fp> --trace FILE          print one candidate's lifecycle ledger
@@ -80,19 +87,22 @@ USAGE:
     zodiac client --socket PATH OP [ARGS]              talk to a running `zodiacd` daemon:
         scan PROGRAM...                                  scan programs (output matches
                                                          `zodiac scan --no-confirm`)
+        repair [--max-edits N] [--out DIR] PROGRAM...    repair programs against the live
+                                                         check set (repaired source written
+                                                         under --out)
         status | list-checks | shutdown                  serving counters / live checks / stop
         explain <fp>                                     one check's stored provenance
         delta [--upsert ID=FILE]... [--remove ID]...     submit a corpus delta, re-mine
 
     (start the daemon itself with `zodiacd --store DIR`; see `zodiacd --help`)
 
-DEPLOYMENT OPTIONS (mine, scan, deploy):
+DEPLOYMENT OPTIONS (mine, scan, repair, deploy):
     --workers N          worker threads in the deployment engine (default 4)
     --no-deploy-cache    disable in-memory deploy-result memoization
     --deploy-cache FILE  persist deploy verdicts to FILE (created if missing)
                          and reuse them across runs and processes
 
-OBSERVABILITY OPTIONS (mine, scan, deploy, fuzz):
+OBSERVABILITY OPTIONS (mine, scan, repair, deploy, fuzz):
     --metrics            print the funnel/latency metrics summary on exit
     --trace-out FILE     stream structured spans + candidate lifecycle events
                          as JSON lines (schema v2), plus a final metrics
@@ -459,6 +469,179 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Renders one repair attempt's layer-by-layer verdicts.
+fn render_attempt(index: usize, attempt: &zodiac_repair::RepairAttempt) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  candidate {}: {} edit(s)",
+        index + 1,
+        attempt.edits.len()
+    );
+    for edit in &attempt.edits {
+        let _ = writeln!(out, "    {edit}");
+    }
+    for v in &attempt.layers {
+        let _ = write!(out, "    L{} {}: ", v.layer.index(), v.layer.label());
+        if v.passed {
+            let _ = writeln!(out, "pass");
+        } else {
+            let _ = writeln!(out, "FAIL ({})", v.reason);
+        }
+    }
+    out
+}
+
+fn cmd_repair(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let checks_path = take_flag(&mut args, "--checks").ok_or("repair requires --checks FILE")?;
+    let max_edits: Option<usize> = take_flag(&mut args, "--max-edits")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--max-edits expects a number >= 1".to_string())
+        })
+        .transpose()?;
+    let explain = take_switch(&mut args, "--explain");
+    let candidate_path = take_flag(&mut args, "--candidate");
+    let out_dir = take_flag(&mut args, "--out");
+    let deployer = take_deployer_flags(&mut args)?;
+    let obs_flags = take_obs_flags(&mut args)?;
+    reject_unknown_flags("repair", &args)?;
+    if args.is_empty() {
+        return Err("repair requires at least one program file".into());
+    }
+    if candidate_path.is_some() && args.len() != 1 {
+        return Err("--candidate verifies one proposed fix against exactly one program".into());
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    }
+
+    let cli_span = obs_flags.obs.start_span("cli/repair");
+    let checks = load_checks(&checks_path)?;
+    let kb = zodiac_kb::azure_kb();
+    let engine = zodiac_deployer::DeployEngine::with_obs(
+        zodiac_cloud::CloudSim::new_azure(),
+        deployer,
+        obs_flags.obs.clone(),
+    );
+    let mut cfg = zodiac_repair::RepairConfig::default();
+    if let Some(n) = max_edits {
+        cfg.max_edits = n;
+    }
+
+    let mut unresolved = 0usize;
+    for path in &args {
+        let program = load_program(path)?;
+        match &candidate_path {
+            // Verification mode: gate a proposed fix through the oracle
+            // stack without searching.
+            Some(cpath) => {
+                let candidate = load_program(cpath)?;
+                let fp = zodiac_repair::repair_fingerprint(&program, &checks);
+                let graph = zodiac_graph::ResourceGraph::build(program.clone());
+                let ctx = zodiac_spec::EvalContext {
+                    graph: &graph,
+                    kb: Some(&kb),
+                };
+                let violated: Vec<Check> = checks
+                    .iter()
+                    .filter(|c| !zodiac_spec::violations(c, ctx).is_empty())
+                    .cloned()
+                    .collect();
+                let edits = zodiac_repair::diff_edits(&program, &candidate);
+                let attempt = zodiac_repair::verify_candidate(
+                    &program,
+                    &candidate,
+                    edits,
+                    &checks,
+                    &violated,
+                    &kb,
+                    &engine,
+                    &obs_flags.obs,
+                    fp,
+                );
+                println!("{path}: candidate {cpath} [repair {fp:016x}]");
+                print!("{}", render_attempt(0, &attempt));
+                match attempt.rejected_at() {
+                    None => println!("  accepted"),
+                    Some(v) => {
+                        println!("  rejected at L{} ({})", v.layer.index(), v.reason);
+                        unresolved += 1;
+                    }
+                }
+            }
+            // Search mode: minimal soft-constraint repair.
+            None => {
+                let report = zodiac_repair::repair_program(
+                    &program,
+                    &checks,
+                    &kb,
+                    &engine,
+                    &cfg,
+                    &obs_flags.obs,
+                );
+                let fp = report.fingerprint;
+                match &report.outcome {
+                    zodiac_repair::RepairOutcome::Clean => {
+                        println!("{path}: OK (no violated checks)");
+                    }
+                    zodiac_repair::RepairOutcome::Accepted { program, edits } => {
+                        println!(
+                            "{path}: repaired — {} violation(s) of {} check(s) fixed with {} \
+                             edit(s) [repair {fp:016x}]",
+                            report.violations,
+                            report.violated.len(),
+                            edits.len()
+                        );
+                        for edit in edits {
+                            println!("  {edit}");
+                        }
+                        if let Some(dir) = &out_dir {
+                            let name = std::path::Path::new(path)
+                                .file_name()
+                                .map(|n| n.to_string_lossy().into_owned())
+                                .unwrap_or_else(|| "repaired.tf".into());
+                            let out = std::path::Path::new(dir).join(name);
+                            std::fs::write(&out, zodiac_hcl::to_hcl(program))
+                                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                            println!("  written to {}", out.display());
+                        }
+                    }
+                    zodiac_repair::RepairOutcome::Exhausted => {
+                        println!(
+                            "{path}: no acceptable repair — {} candidate(s) all rejected \
+                             [repair {fp:016x}]",
+                            report.attempts.len()
+                        );
+                        unresolved += 1;
+                    }
+                    zodiac_repair::RepairOutcome::Unrepairable { reason } => {
+                        println!("{path}: unrepairable — {reason} [repair {fp:016x}]");
+                        unresolved += 1;
+                    }
+                }
+                if explain {
+                    for (i, attempt) in report.attempts.iter().enumerate() {
+                        print!("{}", render_attempt(i, attempt));
+                    }
+                }
+            }
+        }
+    }
+    print_telemetry(&engine.metrics());
+    cli_span.finish();
+    obs_flags.finish()?;
+    if unresolved > 0 {
+        Err(format!("{unresolved} program(s) not repaired"))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_deploy(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let deployer = take_deployer_flags(&mut args)?;
@@ -685,7 +868,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let socket = take_flag(&mut args, "--socket").ok_or("client requires --socket PATH")?;
     let Some((op, rest)) = args.split_first() else {
         return Err(
-            "client requires an operation: scan, status, list-checks, explain, delta, shutdown"
+            "client requires an operation: scan, repair, status, list-checks, explain, delta, \
+             shutdown"
                 .into(),
         );
     };
@@ -747,6 +931,104 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        // Repair prints like `zodiac repair` search mode, with the repaired
+        // source optionally written under --out.
+        "repair" => {
+            let max_edits: Option<u64> = take_flag(&mut rest, "--max-edits")
+                .map(|v| {
+                    v.parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--max-edits expects a number >= 1".to_string())
+                })
+                .transpose()?;
+            let out_dir = take_flag(&mut rest, "--out");
+            reject_unknown_flags("client repair", &rest)?;
+            if rest.is_empty() {
+                return Err("client repair requires at least one program file".into());
+            }
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            }
+            let mut unresolved = 0usize;
+            for path in &rest {
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let mut req = client_request("repair");
+                req.insert("source".into(), Value::String(source));
+                req.insert(
+                    "format".into(),
+                    Value::String(
+                        if path.ends_with(".json") {
+                            "plan"
+                        } else {
+                            "tf"
+                        }
+                        .into(),
+                    ),
+                );
+                req.insert("id".into(), Value::String(path.clone()));
+                if let Some(n) = max_edits {
+                    req.insert(
+                        "max_edits".into(),
+                        Value::Number(serde_json::Number::from_u64(n)),
+                    );
+                }
+                let resp = client.call(Value::Object(req))?;
+                let fp = resp
+                    .get("fingerprint")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?");
+                let outcome = resp.get("outcome").and_then(Value::as_str).unwrap_or("?");
+                match outcome {
+                    "clean" => println!("{path}: OK (no violated checks)"),
+                    "accepted" => {
+                        let edits = resp
+                            .get("edits")
+                            .and_then(Value::as_array)
+                            .map(Vec::as_slice)
+                            .unwrap_or_default();
+                        println!(
+                            "{path}: repaired with {} edit(s) [repair {fp}]",
+                            edits.len()
+                        );
+                        for e in edits {
+                            println!("  {}", e.as_str().unwrap_or("?"));
+                        }
+                        if let (Some(dir), Some(repaired)) = (
+                            &out_dir,
+                            resp.get("repaired_source").and_then(Value::as_str),
+                        ) {
+                            let name = std::path::Path::new(path)
+                                .file_name()
+                                .map(|n| n.to_string_lossy().into_owned())
+                                .unwrap_or_else(|| "repaired.tf".into());
+                            let out = std::path::Path::new(dir).join(name);
+                            std::fs::write(&out, repaired)
+                                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+                            println!("  written to {}", out.display());
+                        }
+                    }
+                    "exhausted" => {
+                        println!("{path}: no acceptable repair [repair {fp}]");
+                        unresolved += 1;
+                    }
+                    "unrepairable" => {
+                        let reason = resp.get("reason").and_then(Value::as_str).unwrap_or("?");
+                        println!("{path}: unrepairable — {reason} [repair {fp}]");
+                        unresolved += 1;
+                    }
+                    other => {
+                        println!("{path}: unexpected outcome {other:?}");
+                        unresolved += 1;
+                    }
+                }
+            }
+            if unresolved > 0 {
+                return Err(format!("{unresolved} program(s) not repaired"));
+            }
+            Ok(())
+        }
         "status" => {
             reject_leftovers("client status", &rest)?;
             let resp = client.call(Value::Object(client_request("status")))?;
@@ -755,6 +1037,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 "check_set_version",
                 "check_set_key",
                 "scans",
+                "repairs",
                 "cache_hits",
                 "cache_entries",
                 "corpus_projects",
@@ -863,8 +1146,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "client: unknown operation {other:?} (expected scan, status, list-checks, \
-             explain, delta, shutdown)"
+            "client: unknown operation {other:?} (expected scan, repair, status, \
+             list-checks, explain, delta, shutdown)"
         )),
     }
 }

@@ -281,13 +281,24 @@ pub fn render_ledger(fingerprint: u64, events: &[&LedgerEvent]) -> String {
     // after a `validated` (e.g. unsuccessful counterexample deployments)
     // do not reopen the candidate.
     let terminal = events.iter().rev().find(|e| {
-        matches!(e.kind.as_str(), "validated" | "demoted")
-            || (e.kind == "filter_verdict" && e.field("kept") == Some("false"))
+        matches!(
+            e.kind.as_str(),
+            "validated" | "demoted" | "repair_accepted" | "repair_rejected"
+        ) || (e.kind == "filter_verdict" && e.field("kept") == Some("false"))
     });
     let verdict = match terminal {
         Some(e) if e.kind == "validated" => "kept (validated)".to_string(),
         Some(e) if e.kind == "demoted" => format!(
             "demoted (reason: {})",
+            e.field("reason").unwrap_or("unknown")
+        ),
+        Some(e) if e.kind == "repair_accepted" => format!(
+            "repair accepted ({} edit(s))",
+            e.field("edits").unwrap_or("?")
+        ),
+        Some(e) if e.kind == "repair_rejected" => format!(
+            "repair rejected at L{} ({})",
+            e.field("layer").unwrap_or("?"),
             e.field("reason").unwrap_or("unknown")
         ),
         Some(e) => format!(
@@ -301,6 +312,22 @@ pub fn render_ledger(fingerprint: u64, events: &[&LedgerEvent]) -> String {
             "in flight / unresolved (scheduled, last event: {})",
             events[events.len() - 1].kind.as_str()
         ),
+        // Fingerprints that appear only in post-validation events — daemon
+        // serving verdicts, or a repair request cut off mid-oracle — carry a
+        // legitimately partial lifecycle: the candidate's mine/validate
+        // history lives in an earlier trace, not this one.
+        None if events.iter().all(|e| {
+            matches!(
+                e.kind.as_str(),
+                "served" | "repair_proposed" | "oracle_verdict"
+            )
+        }) =>
+        {
+            format!(
+                "partial lifecycle (post-validation events only, last: {})",
+                events[events.len() - 1].kind.as_str()
+            )
+        }
         None => format!(
             "open (last event: {})",
             events[events.len() - 1].kind.as_str()
@@ -405,6 +432,44 @@ pub fn render_report(trace: &Trace, top: usize) -> String {
             "  from memo cache",
             count_field("served", "cached", "true")
         );
+    }
+    // Repair traces additionally carry the oracle funnel; scan-only
+    // reports stay unchanged when no repair was attempted.
+    if count("repair_proposed") > 0 {
+        out.push_str("repair funnel (from lifecycle events):\n");
+        let repair_rows: &[(&str, usize)] = &[
+            ("repairs proposed", count("repair_proposed")),
+            ("oracle verdicts", count("oracle_verdict")),
+            (
+                "  L1 deploy-succeeds",
+                count_field("oracle_verdict", "layer", "1"),
+            ),
+            (
+                "  L2 checks-pass",
+                count_field("oracle_verdict", "layer", "2"),
+            ),
+            (
+                "  L3 intent-preserved",
+                count_field("oracle_verdict", "layer", "3"),
+            ),
+            ("accepted", count("repair_accepted")),
+            ("rejected", count("repair_rejected")),
+            (
+                "  at L1 (deploy failed)",
+                count_field("repair_rejected", "layer", "1"),
+            ),
+            (
+                "  at L2 (violations remain)",
+                count_field("repair_rejected", "layer", "2"),
+            ),
+            (
+                "  at L3 (deceptive fix)",
+                count_field("repair_rejected", "layer", "3"),
+            ),
+        ];
+        for (label, n) in repair_rows {
+            let _ = writeln!(out, "  {label:<40} {n:>8}");
+        }
     }
 
     // ---- latency attribution: per-path self time -----------------------
@@ -588,6 +653,16 @@ mod tests {
 {"event":"lifecycle","fp":"00000000000000bb","ts":8,"kind":"filter_verdict","rule":"min_lift","kept":false}
 {"event":"lifecycle","fp":"00000000000000cc","ts":9,"kind":"mined","template":"intra/eq-eq","support":6,"confidence_ppm":950000}
 {"event":"lifecycle","fp":"00000000000000cc","ts":435,"kind":"scheduled","wave":1,"conflicts":0}
+{"event":"lifecycle","fp":"00000000000000e1","ts":1000,"kind":"repair_proposed","program":"000000000000cafe","edits":1}
+{"event":"lifecycle","fp":"00000000000000e1","ts":1001,"kind":"oracle_verdict","layer":1,"pass":true}
+{"event":"lifecycle","fp":"00000000000000e1","ts":1002,"kind":"oracle_verdict","layer":2,"pass":true}
+{"event":"lifecycle","fp":"00000000000000e1","ts":1003,"kind":"oracle_verdict","layer":3,"pass":true}
+{"event":"lifecycle","fp":"00000000000000e1","ts":1004,"kind":"repair_accepted","edits":1}
+{"event":"lifecycle","fp":"00000000000000e2","ts":1010,"kind":"repair_proposed","program":"000000000000beef","edits":2}
+{"event":"lifecycle","fp":"00000000000000e2","ts":1011,"kind":"oracle_verdict","layer":1,"pass":true}
+{"event":"lifecycle","fp":"00000000000000e2","ts":1012,"kind":"oracle_verdict","layer":2,"pass":true}
+{"event":"lifecycle","fp":"00000000000000e2","ts":1013,"kind":"oracle_verdict","layer":3,"pass":false,"detail":"deleted-resource: repair deletes 'vm'"}
+{"event":"lifecycle","fp":"00000000000000e2","ts":1014,"kind":"repair_rejected","layer":3,"reason":"deleted-resource: repair deletes 'vm'"}
 {"event":"snapshot","metrics":{"counters":{},"gauges":{},"histograms":{}}}
 "#;
 
@@ -596,7 +671,7 @@ mod tests {
         let trace = Trace::parse(SAMPLE);
         assert_eq!(trace.schema, 2);
         assert_eq!(trace.spans.len(), 5);
-        assert_eq!(trace.events.len(), 10);
+        assert_eq!(trace.events.len(), 20);
         let iter_span = &trace.spans[2];
         assert_eq!(iter_span.parent, 1);
         assert_eq!(
@@ -683,6 +758,86 @@ mod tests {
     }
 
     #[test]
+    fn accepted_repair_ledger_reconstructs_layer_verdicts() {
+        let trace = Trace::parse(SAMPLE);
+        let ledger = trace.ledger_for(0xE1);
+        let kinds: Vec<&str> = ledger.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "repair_proposed",
+                "oracle_verdict",
+                "oracle_verdict",
+                "oracle_verdict",
+                "repair_accepted"
+            ]
+        );
+        let rendered = render_ledger(0xE1, &ledger);
+        assert!(rendered.contains("layer=1 pass=true"), "{rendered}");
+        assert!(rendered.contains("layer=3 pass=true"), "{rendered}");
+        assert!(
+            rendered.contains("verdict: repair accepted (1 edit(s))"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn rejected_repair_ledger_names_layer_and_reason() {
+        let trace = Trace::parse(SAMPLE);
+        let rendered = render_ledger(0xE2, &trace.ledger_for(0xE2));
+        assert!(
+            rendered
+                .contains("verdict: repair rejected at L3 (deleted-resource: repair deletes 'vm')"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn post_validation_only_ledgers_are_partial_not_open() {
+        // A daemon trace records `served` verdicts for checks whose mining
+        // history lives in an earlier trace; a repair trace cut off
+        // mid-oracle has proposals without a terminal. Neither is corrupt.
+        let served_only = Trace::parse(
+            "{\"event\":\"trace\",\"schema\":2}\n{\"event\":\"lifecycle\",\"fp\":\"00000000000000d1\",\"ts\":1,\"kind\":\"served\",\"cached\":true}\n",
+        );
+        let rendered = render_ledger(0xD1, &served_only.ledger_for(0xD1));
+        assert!(
+            rendered.contains("partial lifecycle (post-validation events only, last: served)"),
+            "{rendered}"
+        );
+        let cut_off = Trace::parse(
+            "{\"event\":\"trace\",\"schema\":2}\n{\"event\":\"lifecycle\",\"fp\":\"00000000000000d2\",\"ts\":1,\"kind\":\"repair_proposed\",\"edits\":2}\n{\"event\":\"lifecycle\",\"fp\":\"00000000000000d2\",\"ts\":2,\"kind\":\"oracle_verdict\",\"layer\":1,\"pass\":true}\n",
+        );
+        let rendered = render_ledger(0xD2, &cut_off.ledger_for(0xD2));
+        assert!(
+            rendered
+                .contains("partial lifecycle (post-validation events only, last: oracle_verdict)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn report_renders_repair_funnel() {
+        let trace = Trace::parse(SAMPLE);
+        let report = render_report(&trace, 10);
+        assert!(report.contains("repair funnel"), "{report}");
+        assert!(report.contains("repairs proposed"));
+        let row = |label: &str, n: usize| format!("  {label:<40} {n:>8}\n");
+        assert!(report.contains(&row("repairs proposed", 2)), "{report}");
+        assert!(report.contains(&row("oracle verdicts", 6)), "{report}");
+        assert!(report.contains(&row("accepted", 1)), "{report}");
+        assert!(
+            report.contains(&row("  at L3 (deceptive fix)", 1)),
+            "{report}"
+        );
+        // A trace with no repair events renders no repair section.
+        let plain = Trace::parse(
+            "{\"event\":\"trace\",\"schema\":2}\n{\"event\":\"lifecycle\",\"fp\":\"00000000000000aa\",\"ts\":1,\"kind\":\"mined\"}\n",
+        );
+        assert!(!render_report(&plain, 10).contains("repair funnel"));
+    }
+
+    #[test]
     fn resolve_fingerprint_accepts_hex_and_check_text() {
         assert_eq!(resolve_fingerprint("00000000000000aa"), Ok(0xAA));
         let check = "let r:VM in r.priority == 'Spot' => r.eviction_policy != null";
@@ -700,7 +855,7 @@ mod tests {
             .get("traceEvents")
             .and_then(|e| e.as_array())
             .expect("traceEvents");
-        assert_eq!(events.len(), 5 + 10);
+        assert_eq!(events.len(), 5 + 20);
         // ts must be monotonic.
         let ts: Vec<u64> = events
             .iter()

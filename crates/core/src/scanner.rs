@@ -111,16 +111,7 @@ pub fn scan_corpus(programs: &[Program], checks: &[Check], kb: &KnowledgeBase) -
 /// memo key, so a cache survives check-set swaps without invalidation —
 /// verdicts computed under an old set simply stop being addressed.
 pub fn check_set_key(checks: &[Check]) -> u64 {
-    const OFFSET: u64 = 0xcbf29ce484222325;
-    const PRIME: u64 = 0x100000001b3;
-    let mut hash = OFFSET;
-    for check in checks {
-        for byte in check.fingerprint().to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(PRIME);
-        }
-    }
-    hash
+    zodiac_spec::check_set_key(checks)
 }
 
 const SCAN_CACHE_SHARDS: usize = 16;

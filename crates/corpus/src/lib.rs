@@ -15,7 +15,7 @@ mod ctx;
 mod motifs;
 mod noise;
 
-pub use noise::{inject_kind, NOISE_KINDS};
+pub use noise::{inject, inject_kind, NOISE_KINDS};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -132,6 +132,7 @@ pub struct Daemon {
     remine: Mutex<Remine>,
     obs: Obs,
     scans: AtomicU64,
+    repairs: AtomicU64,
     cache_hits: AtomicU64,
     deltas: AtomicU64,
     shutdown: AtomicBool,
@@ -162,6 +163,7 @@ impl Daemon {
             programs: Mutex::new(HashMap::new()),
             obs,
             scans: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             deltas: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -219,6 +221,12 @@ impl Daemon {
     pub fn handle(&self, req: Request) -> Response {
         match req {
             Request::Scan { id, source, format } => self.scan(id, &source, format),
+            Request::Repair {
+                id,
+                source,
+                format,
+                max_edits,
+            } => self.repair(id, &source, format, max_edits),
             Request::SubmitCorpusDelta { upsert, remove } => self.delta(upsert, remove),
             Request::ListChecks => self.list_checks(),
             Request::Explain { fp } => self.explain(fp),
@@ -230,31 +238,41 @@ impl Daemon {
         }
     }
 
-    fn scan(&self, id: Option<String>, source: &str, format: SourceFormat) -> Response {
+    /// Compiles a request's program through the compile memo.
+    fn compile_memoized(
+        &self,
+        source: &str,
+        format: SourceFormat,
+    ) -> Result<(Arc<Program>, u128), String> {
         let memo = self
             .programs
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&(format, source.to_string()))
             .cloned();
-        let (program, fp) = match memo {
-            Some(hit) => hit,
-            None => {
-                let compiled = match format {
-                    SourceFormat::Tf => zodiac_hcl::compile(source),
-                    SourceFormat::Plan => zodiac_hcl::from_plan_json(source),
-                };
-                let program = match compiled {
-                    Ok(p) => Arc::new(p),
-                    Err(e) => return Response::err(&format!("scan: {e}")),
-                };
-                let fp = zodiac_deployer::fingerprint(&program);
-                self.programs
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .insert((format, source.to_string()), (program.clone(), fp));
-                (program, fp)
-            }
+        if let Some(hit) = memo {
+            return Ok(hit);
+        }
+        let compiled = match format {
+            SourceFormat::Tf => zodiac_hcl::compile(source),
+            SourceFormat::Plan => zodiac_hcl::from_plan_json(source),
+        };
+        let program = match compiled {
+            Ok(p) => Arc::new(p),
+            Err(e) => return Err(e.to_string()),
+        };
+        let fp = zodiac_deployer::fingerprint(&program);
+        self.programs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((format, source.to_string()), (program.clone(), fp));
+        Ok((program, fp))
+    }
+
+    fn scan(&self, id: Option<String>, source: &str, format: SourceFormat) -> Response {
+        let (program, fp) = match self.compile_memoized(source, format) {
+            Ok(hit) => hit,
+            Err(e) => return Response::err(&format!("scan: {e}")),
         };
         let snapshot = self.snapshot();
         let (verdict, cached) =
@@ -317,6 +335,127 @@ impl Daemon {
             .num("check_set_version", snapshot.version)
             .bool("cached", cached)
             .field("violations", Value::Array(violations));
+        if let Some(id) = id {
+            resp = resp.str("id", &id);
+        }
+        resp
+    }
+
+    /// Repairs one program against the current check-set snapshot. The
+    /// search runs per-request behind a single-worker [`DeployEngine`]
+    /// sharing the daemon's persistent deploy memo, so oracle probes are
+    /// replayed across requests and restarts; lifecycle events keyed by the
+    /// repair fingerprint land in the daemon trace for `zodiac explain`.
+    fn repair(
+        &self,
+        id: Option<String>,
+        source: &str,
+        format: SourceFormat,
+        max_edits: Option<usize>,
+    ) -> Response {
+        let (program, _fp) = match self.compile_memoized(source, format) {
+            Ok(hit) => hit,
+            Err(e) => return Response::err(&format!("repair: {e}")),
+        };
+        let snapshot = self.snapshot();
+        let engine = match zodiac_deployer::DeployEngine::try_with_obs(
+            zodiac_cloud::CloudSim::new_azure(),
+            zodiac_deployer::DeployerConfig {
+                workers: 1,
+                persistent_cache: self.cfg.deploy_cache.clone(),
+                ..Default::default()
+            },
+            self.obs.clone(),
+        ) {
+            Ok(engine) => engine,
+            Err(e) => return Response::err(&format!("repair: {e}")),
+        };
+        let mut rcfg = zodiac_repair::RepairConfig::default();
+        if let Some(n) = max_edits {
+            rcfg.max_edits = n;
+        }
+        let report = zodiac_repair::repair_program(
+            &program,
+            snapshot.plain(),
+            &self.kb,
+            &engine,
+            &rcfg,
+            &self.obs,
+        );
+        if let Err(e) = engine.sync_persistent() {
+            return Response::err(&format!("repair: {e}"));
+        }
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("daemon.repairs", 1);
+
+        let attempts: Vec<Value> = report
+            .attempts
+            .iter()
+            .map(|a| {
+                let layers: Vec<Value> = a
+                    .layers
+                    .iter()
+                    .map(|l| {
+                        Value::Object(
+                            [
+                                (
+                                    "layer".to_string(),
+                                    Value::Number(serde::Number::from_u64(l.layer.index())),
+                                ),
+                                ("label".to_string(), Value::String(l.layer.label().into())),
+                                ("pass".to_string(), Value::Bool(l.passed)),
+                                ("reason".to_string(), Value::String(l.reason.clone())),
+                            ]
+                            .into_iter()
+                            .collect(),
+                        )
+                    })
+                    .collect();
+                Value::Object(
+                    [
+                        (
+                            "edits".to_string(),
+                            Value::Array(
+                                a.edits
+                                    .iter()
+                                    .map(|e| Value::String(e.to_string()))
+                                    .collect(),
+                            ),
+                        ),
+                        ("layers".to_string(), Value::Array(layers)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        let outcome = match &report.outcome {
+            zodiac_repair::RepairOutcome::Clean => "clean",
+            zodiac_repair::RepairOutcome::Accepted { .. } => "accepted",
+            zodiac_repair::RepairOutcome::Exhausted => "exhausted",
+            zodiac_repair::RepairOutcome::Unrepairable { .. } => "unrepairable",
+        };
+        let mut resp = Response::ok("repair")
+            .str("fingerprint", &format!("{:016x}", report.fingerprint))
+            .str("outcome", outcome)
+            .num("violations_before", report.violations as u64)
+            .num("violated_checks", report.violated.len() as u64)
+            .num("check_set_version", snapshot.version)
+            .field("attempts", Value::Array(attempts));
+        match &report.outcome {
+            zodiac_repair::RepairOutcome::Accepted { program, edits } => {
+                resp = resp
+                    .field(
+                        "edits",
+                        Value::Array(edits.iter().map(|e| Value::String(e.to_string())).collect()),
+                    )
+                    .str("repaired_source", &zodiac_hcl::to_hcl(program));
+            }
+            zodiac_repair::RepairOutcome::Unrepairable { reason } => {
+                resp = resp.str("reason", reason);
+            }
+            _ => {}
+        }
         if let Some(id) = id {
             resp = resp.str("id", &id);
         }
@@ -574,6 +713,7 @@ impl Daemon {
             .num("check_set_version", snapshot.version)
             .str("check_set_key", &format!("{:016x}", snapshot.key))
             .num("scans", self.scans.load(Ordering::Relaxed))
+            .num("repairs", self.repairs.load(Ordering::Relaxed))
             .num("cache_hits", self.cache_hits.load(Ordering::Relaxed))
             .num("cache_entries", self.cache.len() as u64)
             .num("corpus_projects", projects)

@@ -6,8 +6,10 @@
 //! payload or an `"error"` string. The grammar:
 //!
 //! ```text
-//! request  = scan | delta | list | explain | status | shutdown
+//! request  = scan | repair | delta | list | explain | status | shutdown
 //! scan     = {"op":"scan", "source":STRING, "format":"tf"|"plan", "id":STRING?}
+//! repair   = {"op":"repair", "source":STRING, "format":"tf"|"plan", "id":STRING?,
+//!             "max_edits":NUMBER?}
 //! delta    = {"op":"submit_corpus_delta",
 //!             "upsert":[{"project":STRING,"source":STRING}]?,
 //!             "remove":[STRING]?}
@@ -35,6 +37,18 @@ pub enum Request {
         source: String,
         /// `"tf"` (Terraform source) or `"plan"` (`terraform show -json`).
         format: SourceFormat,
+    },
+    /// Repair one program against the current check set through the
+    /// three-layer oracle stack.
+    Repair {
+        /// Client-chosen echo tag (e.g. the file path), echoed back.
+        id: Option<String>,
+        /// Program text.
+        source: String,
+        /// `"tf"` (Terraform source) or `"plan"` (`terraform show -json`).
+        format: SourceFormat,
+        /// Optional edit budget override.
+        max_edits: Option<usize>,
     },
     /// Apply a corpus delta and incrementally re-mine.
     SubmitCorpusDelta {
@@ -90,6 +104,33 @@ impl Request {
                     id: v.get("id").and_then(Value::as_str).map(String::from),
                     source,
                     format,
+                })
+            }
+            "repair" => {
+                let source = v
+                    .get("source")
+                    .and_then(Value::as_str)
+                    .ok_or("repair: missing \"source\"")?
+                    .to_string();
+                let format = match v.get("format").and_then(Value::as_str) {
+                    None | Some("tf") => SourceFormat::Tf,
+                    Some("plan") => SourceFormat::Plan,
+                    Some(other) => return Err(format!("repair: unknown format {other:?}")),
+                };
+                let max_edits = match v.get("max_edits") {
+                    None => None,
+                    Some(n) => Some(
+                        n.as_u64()
+                            .filter(|&n| n >= 1)
+                            .ok_or("repair: \"max_edits\" must be a number >= 1")?
+                            as usize,
+                    ),
+                };
+                Ok(Request::Repair {
+                    id: v.get("id").and_then(Value::as_str).map(String::from),
+                    source,
+                    format,
+                    max_edits,
                 })
             }
             "submit_corpus_delta" => {
@@ -217,6 +258,30 @@ mod tests {
                 remove: vec!["p2".into()]
             }
         );
+    }
+
+    #[test]
+    fn parses_repair_with_optional_edit_budget() {
+        let r =
+            Request::parse(r#"{"op":"repair","source":"x","id":"a.tf","max_edits":4}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Repair {
+                id: Some("a.tf".into()),
+                source: "x".into(),
+                format: SourceFormat::Tf,
+                max_edits: Some(4)
+            }
+        );
+        let r = Request::parse(r#"{"op":"repair","source":"x"}"#).unwrap();
+        assert!(matches!(
+            r,
+            Request::Repair {
+                max_edits: None,
+                ..
+            }
+        ));
+        assert!(Request::parse(r#"{"op":"repair","source":"x","max_edits":0}"#).is_err());
     }
 
     #[test]

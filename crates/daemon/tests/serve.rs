@@ -66,6 +66,55 @@ fn oneshot_serves_lines_until_shutdown() {
 }
 
 #[test]
+fn repair_op_fixes_a_violating_program_against_the_live_set() {
+    let dir = temp_store("repair");
+    let (daemon, _) = Daemon::open(&dir, DaemonConfig::default(), Obs::null()).unwrap();
+    daemon
+        .import_checks(&[parse_check(
+            "let r:VM in r.priority == 'Spot' => r.eviction_policy != null",
+        )
+        .unwrap()])
+        .unwrap();
+
+    let source = zodiac_hcl::to_hcl(&zodiac_repair::fixtures::spot_vm_network());
+    let request = format!(
+        "{{\"op\":\"repair\",\"source\":{},\"id\":\"spot.tf\"}}",
+        serde_json::to_string(&serde::Value::String(source)).unwrap()
+    );
+    let line = daemon.handle_line(&request);
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("\"outcome\":\"accepted\""), "{line}");
+    assert!(line.contains("\"id\":\"spot.tf\""), "{line}");
+    let v: serde::Value = serde_json::from_str(&line).unwrap();
+    let edits = v.get("edits").and_then(serde::Value::as_array).unwrap();
+    assert_eq!(edits.len(), 1, "minimal repair is one edit: {line}");
+
+    // The repaired source scans clean against the same live set.
+    let repaired = v
+        .get("repaired_source")
+        .and_then(serde::Value::as_str)
+        .expect("accepted repair carries the repaired source");
+    let rescan = daemon.handle_line(&format!(
+        "{{\"op\":\"scan\",\"source\":{}}}",
+        serde_json::to_string(&serde::Value::String(repaired.to_string())).unwrap()
+    ));
+    assert!(rescan.contains("\"violations\":[]"), "{rescan}");
+
+    // A clean program needs no repair.
+    let clean = zodiac_hcl::to_hcl(&zodiac_repair::fixtures::network());
+    let line = daemon.handle_line(&format!(
+        "{{\"op\":\"repair\",\"source\":{}}}",
+        serde_json::to_string(&serde::Value::String(clean)).unwrap()
+    ));
+    assert!(line.contains("\"outcome\":\"clean\""), "{line}");
+
+    // Both requests are counted.
+    let status = daemon.handle_line("{\"op\":\"status\"}");
+    assert!(status.contains("\"repairs\":2"), "{status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn concurrent_scans_never_observe_a_half_applied_check_set() {
     let dir = temp_store("atomic");
     let (daemon, _) = Daemon::open(&dir, DaemonConfig::default(), Obs::null()).unwrap();

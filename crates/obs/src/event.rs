@@ -108,6 +108,40 @@ pub enum Lifecycle {
         /// Whether the verdict came from the daemon's memo cache.
         cached: bool,
     },
+    /// The repair engine proposed a candidate fix. Unlike the mining
+    /// events above, repair events are keyed by the *repair fingerprint*
+    /// (program fingerprint × check-set key), so one ledger collects the
+    /// full funnel of candidates for a single repair request.
+    RepairProposed {
+        /// Canonical fingerprint of the violating program (folded to 64
+        /// bits).
+        program: u64,
+        /// Number of attribute edits in the candidate.
+        edits: u64,
+    },
+    /// One oracle layer judged the most recently proposed candidate.
+    OracleVerdict {
+        /// Layer index: 1 = deploy-succeeds, 2 = checks-pass,
+        /// 3 = intent-preserved (deceptive-fix detector).
+        layer: u64,
+        /// Whether the candidate passed the layer.
+        pass: bool,
+        /// Failure detail (first failing reason), empty on pass.
+        detail: String,
+    },
+    /// A candidate passed all oracle layers; the repair is final.
+    RepairAccepted {
+        /// Number of attribute edits in the accepted repair.
+        edits: u64,
+    },
+    /// A candidate was rejected by an oracle layer.
+    RepairRejected {
+        /// Layer index that rejected the candidate (1–3).
+        layer: u64,
+        /// Machine-readable reason (e.g. `deleted-resource`,
+        /// `narrowed-scope`, a failing deploy rule, a violated check).
+        reason: String,
+    },
 }
 
 impl Lifecycle {
@@ -121,6 +155,10 @@ impl Lifecycle {
             Lifecycle::Validated { .. } => "validated",
             Lifecycle::Demoted { .. } => "demoted",
             Lifecycle::Served { .. } => "served",
+            Lifecycle::RepairProposed { .. } => "repair_proposed",
+            Lifecycle::OracleVerdict { .. } => "oracle_verdict",
+            Lifecycle::RepairAccepted { .. } => "repair_accepted",
+            Lifecycle::RepairRejected { .. } => "repair_rejected",
         }
     }
 }
@@ -207,6 +245,31 @@ impl CandidateEvent {
                     ",\"program\":\"{program:016x}\",\"violations\":{violations},\"cached\":{cached}"
                 ));
             }
+            Lifecycle::RepairProposed { program, edits } => {
+                out.push_str(&format!(
+                    ",\"program\":\"{program:016x}\",\"edits\":{edits}"
+                ));
+            }
+            Lifecycle::OracleVerdict {
+                layer,
+                pass,
+                detail,
+            } => {
+                out.push_str(&format!(",\"layer\":{layer},\"pass\":{pass}"));
+                if !detail.is_empty() {
+                    out.push_str(",\"detail\":\"");
+                    crate::escape_json(detail, &mut out);
+                    out.push('"');
+                }
+            }
+            Lifecycle::RepairAccepted { edits } => {
+                out.push_str(&format!(",\"edits\":{edits}"));
+            }
+            Lifecycle::RepairRejected { layer, reason } => {
+                out.push_str(&format!(",\"layer\":{layer},\"reason\":\""));
+                crate::escape_json(reason, &mut out);
+                out.push('"');
+            }
         }
         out.push('}');
         out
@@ -269,6 +332,54 @@ mod tests {
         assert!(json.contains("\"program\":\"000000000000beef\""));
         assert!(json.contains("\"violations\":3"));
         assert!(json.contains("\"cached\":true"));
+    }
+
+    #[test]
+    fn repair_events_encode_layer_and_reason() {
+        let proposed = CandidateEvent {
+            fingerprint: 3,
+            ts_us: 1,
+            kind: Lifecycle::RepairProposed {
+                program: 0xCAFE,
+                edits: 2,
+            },
+        };
+        assert!(proposed.to_json().contains("\"kind\":\"repair_proposed\""));
+        assert!(proposed
+            .to_json()
+            .contains("\"program\":\"000000000000cafe\",\"edits\":2"));
+
+        let pass = CandidateEvent {
+            fingerprint: 3,
+            ts_us: 2,
+            kind: Lifecycle::OracleVerdict {
+                layer: 1,
+                pass: true,
+                detail: String::new(),
+            },
+        };
+        assert!(pass.to_json().contains("\"layer\":1,\"pass\":true"));
+        assert!(!pass.to_json().contains("\"detail\""));
+
+        let rejected = CandidateEvent {
+            fingerprint: 3,
+            ts_us: 3,
+            kind: Lifecycle::RepairRejected {
+                layer: 3,
+                reason: "deleted-resource \"vm\"".into(),
+            },
+        };
+        let json = rejected.to_json();
+        assert!(json.contains("\"kind\":\"repair_rejected\""));
+        assert!(json.contains("\"layer\":3,\"reason\":\"deleted-resource \\\"vm\\\"\""));
+
+        let accepted = CandidateEvent {
+            fingerprint: 3,
+            ts_us: 4,
+            kind: Lifecycle::RepairAccepted { edits: 1 },
+        };
+        assert!(accepted.to_json().contains("\"kind\":\"repair_accepted\""));
+        assert!(accepted.to_json().contains("\"edits\":1"));
     }
 
     #[test]

@@ -183,6 +183,28 @@ fn instant_from_lifecycle(event: &CandidateEvent) -> TraceInstant {
             args.push(("violations".into(), violations.to_string()));
             args.push(("cached".into(), cached.to_string()));
         }
+        Lifecycle::RepairProposed { program, edits } => {
+            push_str(&mut args, "program", &format!("{program:016x}"));
+            args.push(("edits".into(), edits.to_string()));
+        }
+        Lifecycle::OracleVerdict {
+            layer,
+            pass,
+            detail,
+        } => {
+            args.push(("layer".into(), layer.to_string()));
+            args.push(("pass".into(), pass.to_string()));
+            if !detail.is_empty() {
+                push_str(&mut args, "detail", detail);
+            }
+        }
+        Lifecycle::RepairAccepted { edits } => {
+            args.push(("edits".into(), edits.to_string()));
+        }
+        Lifecycle::RepairRejected { layer, reason } => {
+            args.push(("layer".into(), layer.to_string()));
+            push_str(&mut args, "reason", reason);
+        }
     }
     TraceInstant {
         name: event.kind.kind().to_string(),

@@ -1,0 +1,158 @@
+//! Deployable test programs shared by the unit tests, the adversarial
+//! deceptive-fix corpus, and the CI repair smoke. Not part of the public
+//! API surface.
+
+use zodiac_model::{Program, Resource, Value};
+
+/// A conforming five-resource network: resource group, VNet, subnet, NIC,
+/// and a VM — everything `CloudSim::new_azure` needs to deploy cleanly.
+pub fn network() -> Program {
+    Program::new()
+        .with(
+            Resource::new("azurerm_resource_group", "rg")
+                .with("name", "rg1")
+                .with("location", "eastus"),
+        )
+        .with(
+            Resource::new("azurerm_virtual_network", "vnet")
+                .with("name", "vnet1")
+                .with("location", "eastus")
+                .with("address_space", Value::List(vec![Value::s("10.0.0.0/16")]))
+                .with(
+                    "resource_group_name",
+                    Value::r("azurerm_resource_group", "rg", "name"),
+                ),
+        )
+        .with(
+            Resource::new("azurerm_subnet", "s")
+                .with("name", "internal")
+                .with(
+                    "address_prefixes",
+                    Value::List(vec![Value::s("10.0.1.0/24")]),
+                )
+                .with(
+                    "resource_group_name",
+                    Value::r("azurerm_resource_group", "rg", "name"),
+                )
+                .with(
+                    "virtual_network_name",
+                    Value::r("azurerm_virtual_network", "vnet", "name"),
+                ),
+        )
+        .with(
+            Resource::new("azurerm_network_interface", "nic")
+                .with("name", "nic1")
+                .with("location", "eastus")
+                .with(
+                    "resource_group_name",
+                    Value::r("azurerm_resource_group", "rg", "name"),
+                )
+                .with(
+                    "ip_configuration",
+                    Value::Map(
+                        [
+                            ("name".to_string(), Value::s("ipcfg")),
+                            (
+                                "subnet_id".to_string(),
+                                Value::r("azurerm_subnet", "s", "id"),
+                            ),
+                            (
+                                "private_ip_address_allocation".to_string(),
+                                Value::s("Dynamic"),
+                            ),
+                        ]
+                        .into_iter()
+                        .collect(),
+                    ),
+                ),
+        )
+        .with(vm())
+}
+
+/// The conforming VM of [`network`], standalone so tests can vary it.
+pub fn vm() -> Resource {
+    Resource::new("azurerm_linux_virtual_machine", "vm")
+        .with("name", "vm1")
+        .with("location", "eastus")
+        .with("size", "Standard_B1s")
+        .with("admin_username", "azureuser")
+        .with("admin_password", "S3cret!pass")
+        .with(
+            "resource_group_name",
+            Value::r("azurerm_resource_group", "rg", "name"),
+        )
+        .with(
+            "network_interface_ids",
+            Value::List(vec![Value::r("azurerm_network_interface", "nic", "id")]),
+        )
+        .with(
+            "os_disk",
+            Value::Map(
+                [
+                    ("caching".to_string(), Value::s("ReadWrite")),
+                    ("storage_account_type".to_string(), Value::s("Standard_LRS")),
+                ]
+                .into_iter()
+                .collect(),
+            ),
+        )
+        .with(
+            "source_image_reference",
+            Value::Map(
+                [
+                    ("publisher".to_string(), Value::s("Canonical")),
+                    ("offer".to_string(), Value::s("ubuntu")),
+                    ("sku".to_string(), Value::s("22_04-lts")),
+                    ("version".to_string(), Value::s("latest")),
+                ]
+                .into_iter()
+                .collect(),
+            ),
+        )
+}
+
+/// [`network`] with the VM turned Spot without an eviction policy — the
+/// canonical single-edit violation (`vm/spot-needs-eviction-policy`).
+pub fn spot_vm_network() -> Program {
+    with_attr(
+        network(),
+        "azurerm_linux_virtual_machine",
+        "vm",
+        "priority",
+        Value::s("Spot"),
+    )
+}
+
+/// Sets one top-level attribute on a resource of `program`, panicking when
+/// the resource is missing (fixtures are static; a typo should fail loud).
+pub fn with_attr(
+    mut program: Program,
+    rtype: &str,
+    name: &str,
+    attr: &str,
+    value: Value,
+) -> Program {
+    let id = zodiac_model::ResourceId::new(rtype, name);
+    let resource = program
+        .find_mut(&id)
+        .unwrap_or_else(|| panic!("fixture resource {id} missing"));
+    resource.attrs.insert(attr.to_string(), value);
+    program
+}
+
+/// Removes one top-level attribute, panicking when the resource is missing.
+pub fn without_attr(mut program: Program, rtype: &str, name: &str, attr: &str) -> Program {
+    let id = zodiac_model::ResourceId::new(rtype, name);
+    let resource = program
+        .find_mut(&id)
+        .unwrap_or_else(|| panic!("fixture resource {id} missing"));
+    resource.attrs.remove(attr);
+    program
+}
+
+/// Removes a whole resource, panicking when it is missing.
+pub fn without_resource(mut program: Program, rtype: &str, name: &str) -> Program {
+    let id = zodiac_model::ResourceId::new(rtype, name);
+    assert!(program.remove(&id), "fixture resource {id} missing");
+    program
+}

@@ -1,0 +1,502 @@
+//! # zodiac-repair
+//!
+//! Check-driven auto-repair: the mutation encoding of
+//! [`zodiac_validation::mutate`] run **in reverse**. Where mutation searches
+//! for the minimal assignment that *violates* one target check while
+//! conforming to the rest, repair searches for the minimal assignment that
+//! *satisfies every validated check at once* — same symbolic-attribute
+//! domains, same [`Grounder`](zodiac_validation::ground::Grounder), opposite
+//! polarity.
+//!
+//! A candidate assignment is never trusted on solver evidence alone. Each
+//! proposed repair must clear a **layered oracle stack**:
+//!
+//! * **L1 — deploy-succeeds**: the repaired program deploys through the
+//!   [`DeployOracle`] (the wave-scheduled engine in production, the bare
+//!   simulator in tests).
+//! * **L2 — checks-pass**: re-evaluating the full validated check set over
+//!   the repaired program finds zero violating instances.
+//! * **L3 — intent-preserved**: the [`deception`] detector diffs original
+//!   and repaired programs against the typed check IR and rejects
+//!   *deceptive fixes* — deleted resources, dropped references, dropped
+//!   attributes the original set intentionally, and narrowed network scope
+//!   (CIDR/port ranges shrunk by a fix that no violated check asked for).
+//!
+//! Rejected candidates are excluded with a blocking constraint and the
+//! search re-solves; prior models re-seed each re-solve through
+//! [`Problem::seed_bound`](zodiac_solver::Problem::seed_bound) (pure
+//! pruning, identical results — the PR 7 incremental machinery). Every
+//! proposal and verdict is emitted as a provenance lifecycle event keyed by
+//! the [`repair_fingerprint`], so `zodiac explain <fp> --trace` replays the
+//! layer-by-layer decision.
+
+pub mod deception;
+#[doc(hidden)]
+pub mod fixtures;
+mod search;
+
+pub use deception::{detect as deceptive_fixes, Deception, DeceptionKind};
+
+use std::fmt;
+use zodiac_cloud::{DeployOracle, DeployOutcome};
+use zodiac_graph::ResourceGraph;
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::{AttrPath, Program, ResourceId, Symbol, Value};
+use zodiac_obs::{Lifecycle, Obs};
+use zodiac_spec::{violations, Check, EvalContext};
+use zodiac_validation::ground;
+
+/// Repair search configuration.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Maximum attribute edits an accepted repair may contain. The search
+    /// is penalty-minimal, so a first candidate over this budget proves no
+    /// smaller repair exists.
+    pub max_edits: usize,
+    /// Maximum candidates proposed before giving up (each rejection adds a
+    /// blocking constraint and re-solves).
+    pub max_candidates: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig {
+            max_edits: 8,
+            max_candidates: 6,
+        }
+    }
+}
+
+/// The three oracle layers, in gating order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleLayer {
+    /// L1: the repaired program deploys successfully.
+    DeploySucceeds,
+    /// L2: the repaired program violates none of the checks.
+    ChecksPass,
+    /// L3: the fix is not deceptive (intent preservation).
+    IntentPreserved,
+}
+
+impl OracleLayer {
+    /// 1-based layer index used in provenance events and reports.
+    pub fn index(self) -> u64 {
+        match self {
+            OracleLayer::DeploySucceeds => 1,
+            OracleLayer::ChecksPass => 2,
+            OracleLayer::IntentPreserved => 3,
+        }
+    }
+
+    /// Stable human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleLayer::DeploySucceeds => "deploy-succeeds",
+            OracleLayer::ChecksPass => "checks-pass",
+            OracleLayer::IntentPreserved => "intent-preserved",
+        }
+    }
+}
+
+/// One attribute edit of a repair. `from`/`to` are the values as written on
+/// the resource (single-element list wrapping included); `to == Null` means
+/// the attribute is removed, `from == Null` that it was absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairEdit {
+    /// The edited resource.
+    pub resource: ResourceId,
+    /// Dotted attribute path, interned.
+    pub attr: Symbol,
+    /// Original on-resource value (`Null` when absent).
+    pub from: Value,
+    /// New on-resource value (`Null` removes the attribute).
+    pub to: Value,
+}
+
+fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => write!(f, "null"),
+        Value::Str(s) => write!(f, "'{s}'"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::List(items) => {
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_value(item, f)?;
+            }
+            write!(f, "]")
+        }
+        Value::Map(_) => write!(f, "{{…}}"),
+        Value::Ref(r) => write!(f, "{}.{}.{}", r.rtype, r.name, r.attr),
+    }
+}
+
+impl fmt::Display for RepairEdit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "~ {} {}: ", self.resource, self.attr)?;
+        fmt_value(&self.from, f)?;
+        write!(f, " -> ")?;
+        fmt_value(&self.to, f)
+    }
+}
+
+/// One oracle layer's judgment of a candidate.
+#[derive(Debug, Clone)]
+pub struct LayerVerdict {
+    /// Which layer judged.
+    pub layer: OracleLayer,
+    /// Whether the candidate passed.
+    pub passed: bool,
+    /// Failure reason (machine-readable prefix + detail), empty on pass.
+    pub reason: String,
+}
+
+/// One proposed candidate and the verdicts it collected (layers after the
+/// first failure are not evaluated).
+#[derive(Debug, Clone)]
+pub struct RepairAttempt {
+    /// The candidate's edits relative to the original program.
+    pub edits: Vec<RepairEdit>,
+    /// Layer verdicts, in gating order.
+    pub layers: Vec<LayerVerdict>,
+}
+
+impl RepairAttempt {
+    /// The verdict that rejected this candidate, if any.
+    pub fn rejected_at(&self) -> Option<&LayerVerdict> {
+        self.layers.iter().find(|v| !v.passed)
+    }
+
+    /// True when all three layers passed.
+    pub fn accepted(&self) -> bool {
+        self.layers.len() == 3 && self.layers.iter().all(|v| v.passed)
+    }
+}
+
+/// Final outcome of a repair request.
+#[derive(Debug, Clone)]
+pub enum RepairOutcome {
+    /// The program violated no checks; nothing to repair.
+    Clean,
+    /// A candidate cleared all three oracle layers.
+    Accepted {
+        /// The repaired program.
+        program: Program,
+        /// Its edits relative to the original.
+        edits: Vec<RepairEdit>,
+    },
+    /// Every proposed candidate was rejected by an oracle layer.
+    Exhausted,
+    /// No candidate could be proposed at all (UNSAT encoding, no mutable
+    /// attributes, or minimal repair over the edit budget).
+    Unrepairable {
+        /// Why the search gave up.
+        reason: String,
+    },
+}
+
+/// How repair re-solves used previous models (`repair.solver.*` telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairStats {
+    /// Solves where a previous model seeded the search with a penalty bound.
+    pub seeded: u64,
+    /// Solves with no usable previous model.
+    pub cold: u64,
+}
+
+/// Everything a repair request produced, for reporting and provenance.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// The repair fingerprint (program × check set) keying all lifecycle
+    /// events of this request.
+    pub fingerprint: u64,
+    /// Checks the original program violates, in check-set order.
+    pub violated: Vec<Check>,
+    /// Total violating instances in the original program.
+    pub violations: usize,
+    /// Final outcome.
+    pub outcome: RepairOutcome,
+    /// Every proposed candidate with its layer verdicts (the accepted one
+    /// last, when there is one).
+    pub attempts: Vec<RepairAttempt>,
+    /// Solver seeding statistics.
+    pub stats: RepairStats,
+}
+
+impl RepairReport {
+    /// The accepted repaired program, if the outcome is `Accepted`.
+    pub fn accepted_program(&self) -> Option<&Program> {
+        match &self.outcome {
+            RepairOutcome::Accepted { program, .. } => Some(program),
+            _ => None,
+        }
+    }
+
+    /// True for `Clean` and `Accepted` outcomes.
+    pub fn resolved(&self) -> bool {
+        matches!(
+            self.outcome,
+            RepairOutcome::Clean | RepairOutcome::Accepted { .. }
+        )
+    }
+}
+
+/// Folds a canonical 128-bit program fingerprint to the 64 bits carried by
+/// lifecycle events (the daemon's folding, shared so ledgers line up).
+pub fn fold_program_fingerprint(fp: u128) -> u64 {
+    (fp as u64) ^ ((fp >> 64) as u64)
+}
+
+/// The identity of one repair request: FNV-1a over the program's canonical
+/// fingerprint and the check-set key. A repair is only meaningful relative
+/// to the set it was asked to satisfy, so both halves key the provenance
+/// ledger (`zodiac explain <repair-fp> --trace FILE`).
+pub fn repair_fingerprint(program: &Program, checks: &[Check]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    let program_fp = zodiac_deployer::fingerprint(program);
+    for byte in program_fp
+        .to_le_bytes()
+        .into_iter()
+        .chain(zodiac_spec::check_set_key(checks).to_le_bytes())
+    {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Applies a list of edits to a fresh clone of `program` (the inverse of
+/// [`diff_edits`]; used by the minimality property to test edit subsets).
+pub fn apply_edits(program: &Program, edits: &[RepairEdit]) -> Program {
+    let mut out = program.clone();
+    for edit in edits {
+        let Some(resource) = out.find_mut(&edit.resource) else {
+            continue;
+        };
+        let path: AttrPath = match edit.attr.parse() {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        if matches!(edit.to, Value::Null) {
+            ground::remove_path(resource, &path);
+        } else {
+            ground::set_normalized(resource, &path.0, edit.to.clone());
+        }
+    }
+    out
+}
+
+/// Diffs two programs into attribute edits at top-level granularity.
+/// Resource additions and deletions are *not* representable as edits — the
+/// L3 detector judges those directly from the programs.
+pub fn diff_edits(original: &Program, candidate: &Program) -> Vec<RepairEdit> {
+    let mut out = Vec::new();
+    let mut ids: Vec<ResourceId> = original.resources().iter().map(|r| r.id()).collect();
+    ids.sort();
+    for id in ids {
+        let (Some(before), Some(after)) = (original.find(&id), candidate.find(&id)) else {
+            continue;
+        };
+        let mut keys: Vec<&String> = before.attrs.keys().chain(after.attrs.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let from = before.attrs.get(key).cloned().unwrap_or(Value::Null);
+            let to = after.attrs.get(key).cloned().unwrap_or(Value::Null);
+            if from != to {
+                out.push(RepairEdit {
+                    resource: id.clone(),
+                    attr: Symbol::intern(key),
+                    from,
+                    to,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs a candidate program through the oracle stack L1 → L2 → L3, stopping
+/// at the first failure, emitting one `OracleVerdict` event per evaluated
+/// layer and a terminal `RepairAccepted`/`RepairRejected` keyed by `fp`.
+///
+/// `violated` is the set of checks the *original* program violates — the L3
+/// detector only excuses removals those checks demand.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_candidate<D: DeployOracle + ?Sized>(
+    original: &Program,
+    candidate: &Program,
+    edits: Vec<RepairEdit>,
+    checks: &[Check],
+    violated: &[Check],
+    kb: &KnowledgeBase,
+    oracle: &D,
+    obs: &Obs,
+    fp: u64,
+) -> RepairAttempt {
+    obs.lifecycle(
+        fp,
+        Lifecycle::RepairProposed {
+            program: fold_program_fingerprint(zodiac_deployer::fingerprint(original)),
+            edits: edits.len() as u64,
+        },
+    );
+    let mut layers = Vec::new();
+    let mut verdict = |layer: OracleLayer, passed: bool, reason: String| {
+        obs.lifecycle(
+            fp,
+            Lifecycle::OracleVerdict {
+                layer: layer.index(),
+                pass: passed,
+                detail: reason.clone(),
+            },
+        );
+        layers.push(LayerVerdict {
+            layer,
+            passed,
+            reason,
+        });
+        passed
+    };
+
+    // L1: deploy-succeeds.
+    let (report, _cached) = oracle.deploy_annotated(candidate);
+    let l1 = match &report.outcome {
+        DeployOutcome::Success => verdict(OracleLayer::DeploySucceeds, true, String::new()),
+        DeployOutcome::Failure { phase, rule_id, .. } => verdict(
+            OracleLayer::DeploySucceeds,
+            false,
+            format!("deploy failed: {rule_id} at {phase}"),
+        ),
+    };
+
+    // L2: all checks pass on the repaired program.
+    let l2 = l1 && {
+        let graph = ResourceGraph::build(candidate.clone());
+        let ctx = EvalContext {
+            graph: &graph,
+            kb: Some(kb),
+        };
+        let mut remaining = 0usize;
+        let mut first: Option<&Check> = None;
+        for check in checks {
+            let n = violations(check, ctx).len();
+            if n > 0 {
+                remaining += n;
+                first.get_or_insert(check);
+            }
+        }
+        match first {
+            None => verdict(OracleLayer::ChecksPass, true, String::new()),
+            Some(check) => verdict(
+                OracleLayer::ChecksPass,
+                false,
+                format!("{remaining} violation(s) remain, first: `{check}`"),
+            ),
+        }
+    };
+
+    // L3: the fix preserves intent (deceptive-fix detector).
+    if l2 {
+        let deceptions = deception::detect(original, candidate, violated, kb);
+        match deceptions.first() {
+            None => {
+                verdict(OracleLayer::IntentPreserved, true, String::new());
+            }
+            Some(d) => {
+                verdict(OracleLayer::IntentPreserved, false, d.to_string());
+            }
+        }
+    }
+
+    let attempt = RepairAttempt { edits, layers };
+    match attempt.rejected_at() {
+        None => obs.lifecycle(
+            fp,
+            Lifecycle::RepairAccepted {
+                edits: attempt.edits.len() as u64,
+            },
+        ),
+        Some(v) => obs.lifecycle(
+            fp,
+            Lifecycle::RepairRejected {
+                layer: v.layer.index(),
+                reason: v.reason.clone(),
+            },
+        ),
+    }
+    attempt
+}
+
+/// Repairs `program` against `checks`: minimal soft-constraint search over
+/// KB-derived attribute domains, each candidate gated by the three-layer
+/// oracle stack. See the crate docs for the full architecture.
+pub fn repair_program<D: DeployOracle + ?Sized>(
+    program: &Program,
+    checks: &[Check],
+    kb: &KnowledgeBase,
+    oracle: &D,
+    cfg: &RepairConfig,
+    obs: &Obs,
+) -> RepairReport {
+    search::run(program, checks, kb, oracle, cfg, obs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Resource;
+
+    #[test]
+    fn repair_fingerprint_depends_on_program_and_check_set() {
+        let p1 = Program::new().with(Resource::new("azurerm_public_ip", "ip").with("name", "a"));
+        let p2 = Program::new().with(Resource::new("azurerm_public_ip", "ip").with("name", "b"));
+        let c1 = vec![
+            zodiac_spec::parse_check("let r:IP in r.sku == 'Standard' => r.sku != null").unwrap(),
+        ];
+        let c2: Vec<Check> = Vec::new();
+        assert_ne!(repair_fingerprint(&p1, &c1), repair_fingerprint(&p2, &c1));
+        assert_ne!(repair_fingerprint(&p1, &c1), repair_fingerprint(&p1, &c2));
+        assert_eq!(repair_fingerprint(&p1, &c1), repair_fingerprint(&p1, &c1));
+    }
+
+    #[test]
+    fn diff_and_apply_round_trip() {
+        let original = Program::new().with(
+            Resource::new("azurerm_public_ip", "ip")
+                .with("name", "ip1")
+                .with("sku", "Standard")
+                .with("allocation_method", "Dynamic"),
+        );
+        let mut fixed = original.clone();
+        fixed
+            .find_mut(&ResourceId::new("azurerm_public_ip", "ip"))
+            .unwrap()
+            .attrs
+            .insert("allocation_method".into(), Value::s("Static"));
+        let edits = diff_edits(&original, &fixed);
+        assert_eq!(edits.len(), 1);
+        assert_eq!(edits[0].from, Value::s("Dynamic"));
+        assert_eq!(edits[0].to, Value::s("Static"));
+        assert_eq!(apply_edits(&original, &edits), fixed);
+    }
+
+    #[test]
+    fn edit_display_renders_removal_as_null() {
+        let edit = RepairEdit {
+            resource: ResourceId::new("azurerm_linux_virtual_machine", "vm"),
+            attr: Symbol::intern("priority"),
+            from: Value::s("Spot"),
+            to: Value::Null,
+        };
+        assert_eq!(
+            edit.to_string(),
+            "~ azurerm_linux_virtual_machine.vm priority: 'Spot' -> null"
+        );
+    }
+}

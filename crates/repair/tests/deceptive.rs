@@ -1,0 +1,435 @@
+//! Adversarial deceptive-fix corpus: hand-built "repairs" that clear the
+//! shallow oracles — the program deploys (L1) and every check passes (L2) —
+//! but subvert the intent of the original program. Each one must be caught
+//! by the L3 deceptive-fix detector with the expected reason.
+//!
+//! The corpus covers the three classic dodges:
+//! * **delete the resource** the check complains about (or its whole
+//!   dependency chain);
+//! * **widen-then-narrow / narrow scope** — shrink a CIDR or port range
+//!   nobody asked to change, riding along with a legitimate fix;
+//! * **comment-out equivalents** — drop attributes or references the
+//!   original set intentionally.
+
+use zodiac_graph::ResourceGraph;
+use zodiac_model::{Program, Resource, Value};
+use zodiac_obs::Obs;
+use zodiac_repair::fixtures::{
+    network, spot_vm_network, with_attr, without_attr, without_resource,
+};
+use zodiac_repair::{repair_fingerprint, verify_candidate, OracleLayer};
+use zodiac_spec::{parse_check, violations, Check, EvalContext};
+
+const SPOT: &str = "let v:VM in v.priority == 'Spot' => v.eviction_policy != null";
+const CONTAIN: &str = "let v:VPC, s:SUBNET in conn(s.virtual_network_name -> v.name) \
+                       => contain(v.address_space, s.address_prefixes)";
+const STANDARD_IP: &str = "let r:IP in r.sku == 'Standard' => r.allocation_method == 'Static'";
+
+/// The legitimate single-edit fix for [`SPOT`], applied before each
+/// gratuitous deceptive change so L2 passes.
+fn fix_spot(p: &Program) -> Program {
+    with_attr(
+        p.clone(),
+        "azurerm_linux_virtual_machine",
+        "vm",
+        "eviction_policy",
+        Value::s("Deallocate"),
+    )
+}
+
+/// [`network`] with the subnet moved outside the VNet's address space —
+/// violates [`CONTAIN`] (and real deployment, though only the candidate
+/// must deploy).
+fn stray_subnet() -> Program {
+    with_attr(
+        network(),
+        "azurerm_subnet",
+        "s",
+        "address_prefixes",
+        Value::List(vec![Value::s("10.99.0.0/24")]),
+    )
+}
+
+/// An NSG with one allow-all inbound rule, attached to [`spot_vm_network`].
+fn with_open_nsg(ports: &str, source: &str) -> Program {
+    spot_vm_network().with(
+        Resource::new("azurerm_network_security_group", "nsg")
+            .with("name", "nsg1")
+            .with("location", "eastus")
+            .with(
+                "resource_group_name",
+                Value::r("azurerm_resource_group", "rg", "name"),
+            )
+            .with(
+                "security_rule",
+                Value::List(vec![Value::Map(
+                    [
+                        ("name".to_string(), Value::s("allow-in")),
+                        ("direction".to_string(), Value::s("Inbound")),
+                        ("access".to_string(), Value::s("Allow")),
+                        ("protocol".to_string(), Value::s("Tcp")),
+                        ("priority".to_string(), Value::Int(100)),
+                        ("destination_port_range".to_string(), Value::s(ports)),
+                        ("source_address_prefix".to_string(), Value::s(source)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )]),
+            ),
+    )
+}
+
+/// Rewrites the NSG rule's `field` to `value`.
+fn narrow_nsg_rule(p: &Program, field: &str, value: &str) -> Program {
+    let mut out = p.clone();
+    let nsg = out
+        .find_mut(&Resource::new("azurerm_network_security_group", "nsg").id())
+        .expect("nsg present");
+    let Some(Value::List(rules)) = nsg.attrs.get_mut("security_rule") else {
+        panic!("nsg has rules");
+    };
+    let Value::Map(rule) = &mut rules[0] else {
+        panic!("rule is a block");
+    };
+    rule.insert(field.to_string(), Value::s(value));
+    out
+}
+
+struct DeceptiveCase {
+    name: &'static str,
+    checks: &'static [&'static str],
+    original: fn() -> Program,
+    candidate: fn(&Program) -> Program,
+    /// Expected `DeceptionKind::slug()` prefixing the L3 rejection reason.
+    expect: &'static str,
+}
+
+const CORPUS: &[DeceptiveCase] = &[
+    // --- delete the resource ---------------------------------------------
+    DeceptiveCase {
+        name: "delete-the-violating-vm",
+        checks: &[SPOT],
+        original: spot_vm_network,
+        candidate: |p| without_resource(p.clone(), "azurerm_linux_virtual_machine", "vm"),
+        expect: "deleted-resource",
+    },
+    DeceptiveCase {
+        name: "delete-the-subnet-dependency-chain",
+        checks: &[CONTAIN],
+        original: stray_subnet,
+        candidate: |p| {
+            // The subnet's deletion drags the NIC and VM along (their
+            // references would dangle) — all three are deceptive.
+            let p = without_resource(p.clone(), "azurerm_linux_virtual_machine", "vm");
+            let p = without_resource(p, "azurerm_network_interface", "nic");
+            without_resource(p, "azurerm_subnet", "s")
+        },
+        expect: "deleted-resource",
+    },
+    DeceptiveCase {
+        name: "delete-the-noncompliant-public-ip",
+        checks: &[STANDARD_IP],
+        original: || {
+            network().with(
+                Resource::new("azurerm_public_ip", "ip")
+                    .with("name", "ip1")
+                    .with("location", "eastus")
+                    .with(
+                        "resource_group_name",
+                        Value::r("azurerm_resource_group", "rg", "name"),
+                    )
+                    .with("sku", "Standard")
+                    .with("allocation_method", "Dynamic"),
+            )
+        },
+        candidate: |p| without_resource(p.clone(), "azurerm_public_ip", "ip"),
+        expect: "deleted-resource",
+    },
+    // --- comment-out equivalents: attribute and reference drops ----------
+    DeceptiveCase {
+        name: "drop-unmentioned-zone-alongside-the-fix",
+        checks: &[SPOT],
+        original: || {
+            with_attr(
+                spot_vm_network(),
+                "azurerm_linux_virtual_machine",
+                "vm",
+                "zone",
+                Value::s("1"),
+            )
+        },
+        candidate: |p| without_attr(fix_spot(p), "azurerm_linux_virtual_machine", "vm", "zone"),
+        expect: "dropped-attr",
+    },
+    DeceptiveCase {
+        name: "drop-unmentioned-admin-password",
+        checks: &[SPOT],
+        original: spot_vm_network,
+        candidate: |p| {
+            without_attr(
+                fix_spot(p),
+                "azurerm_linux_virtual_machine",
+                "vm",
+                "admin_password",
+            )
+        },
+        expect: "dropped-attr",
+    },
+    DeceptiveCase {
+        name: "drop-nested-os-disk-name",
+        checks: &[SPOT],
+        original: || {
+            let p = spot_vm_network();
+            let mut out = p.clone();
+            let vm = out
+                .find_mut(&Resource::new("azurerm_linux_virtual_machine", "vm").id())
+                .unwrap();
+            let Some(Value::Map(disk)) = vm.attrs.get_mut("os_disk") else {
+                panic!("vm has os_disk");
+            };
+            disk.insert("name".to_string(), Value::s("osdisk1"));
+            out
+        },
+        candidate: |p| {
+            let mut out = fix_spot(p);
+            let vm = out
+                .find_mut(&Resource::new("azurerm_linux_virtual_machine", "vm").id())
+                .unwrap();
+            let Some(Value::Map(disk)) = vm.attrs.get_mut("os_disk") else {
+                panic!("vm has os_disk");
+            };
+            disk.remove("name");
+            out
+        },
+        expect: "dropped-attr",
+    },
+    DeceptiveCase {
+        name: "disconnect-unmentioned-availability-set",
+        checks: &[SPOT],
+        original: || {
+            let p = spot_vm_network().with(
+                Resource::new("azurerm_availability_set", "avset")
+                    .with("name", "avset1")
+                    .with("location", "eastus")
+                    .with(
+                        "resource_group_name",
+                        Value::r("azurerm_resource_group", "rg", "name"),
+                    ),
+            );
+            with_attr(
+                p,
+                "azurerm_linux_virtual_machine",
+                "vm",
+                "availability_set_id",
+                Value::r("azurerm_availability_set", "avset", "id"),
+            )
+        },
+        candidate: |p| {
+            without_attr(
+                fix_spot(p),
+                "azurerm_linux_virtual_machine",
+                "vm",
+                "availability_set_id",
+            )
+        },
+        expect: "dropped-reference",
+    },
+    // --- scope narrowing --------------------------------------------------
+    DeceptiveCase {
+        name: "narrow-vnet-address-space",
+        checks: &[SPOT],
+        original: spot_vm_network,
+        candidate: |p| {
+            with_attr(
+                fix_spot(p),
+                "azurerm_virtual_network",
+                "vnet",
+                "address_space",
+                Value::List(vec![Value::s("10.0.1.0/24")]),
+            )
+        },
+        expect: "narrowed-scope",
+    },
+    DeceptiveCase {
+        name: "widen-then-narrow-vnet-address-space",
+        checks: &[SPOT],
+        original: spot_vm_network,
+        candidate: |p| {
+            // Two /24s *look* like more coverage but cover strictly less
+            // than the original /16.
+            with_attr(
+                fix_spot(p),
+                "azurerm_virtual_network",
+                "vnet",
+                "address_space",
+                Value::List(vec![Value::s("10.0.1.0/24"), Value::s("10.0.2.0/24")]),
+            )
+        },
+        expect: "narrowed-scope",
+    },
+    DeceptiveCase {
+        name: "narrow-subnet-prefix",
+        checks: &[SPOT],
+        original: spot_vm_network,
+        candidate: |p| {
+            with_attr(
+                fix_spot(p),
+                "azurerm_subnet",
+                "s",
+                "address_prefixes",
+                Value::List(vec![Value::s("10.0.1.0/25")]),
+            )
+        },
+        expect: "narrowed-scope",
+    },
+    DeceptiveCase {
+        name: "narrow-nsg-port-range",
+        checks: &[SPOT],
+        original: || with_open_nsg("*", "*"),
+        candidate: |p| narrow_nsg_rule(&fix_spot(p), "destination_port_range", "443"),
+        expect: "narrowed-scope",
+    },
+    DeceptiveCase {
+        name: "narrow-nsg-source-prefix",
+        checks: &[SPOT],
+        original: || with_open_nsg("443", "*"),
+        candidate: |p| narrow_nsg_rule(&fix_spot(p), "source_address_prefix", "10.0.0.0/8"),
+        expect: "narrowed-scope",
+    },
+];
+
+fn violated_checks(program: &Program, checks: &[Check]) -> Vec<Check> {
+    let kb = zodiac_kb::azure_kb();
+    let graph = ResourceGraph::build(program.clone());
+    let ctx = EvalContext {
+        graph: &graph,
+        kb: Some(&kb),
+    };
+    checks
+        .iter()
+        .filter(|c| !violations(c, ctx).is_empty())
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn every_deceptive_fix_is_rejected_at_l3() {
+    let kb = zodiac_kb::azure_kb();
+    let sim = zodiac_cloud::CloudSim::new_azure();
+    assert!(CORPUS.len() >= 10, "corpus must stay adversarial at scale");
+    for case in CORPUS {
+        let checks: Vec<Check> = case
+            .checks
+            .iter()
+            .map(|s| parse_check(s).unwrap())
+            .collect();
+        let original = (case.original)();
+        let violated = violated_checks(&original, &checks);
+        assert!(
+            !violated.is_empty(),
+            "{}: the original must actually violate a check",
+            case.name
+        );
+        let candidate = (case.candidate)(&original);
+        let edits = zodiac_repair::diff_edits(&original, &candidate);
+        let fp = repair_fingerprint(&original, &checks);
+        let attempt = verify_candidate(
+            &original,
+            &candidate,
+            edits,
+            &checks,
+            &violated,
+            &kb,
+            &sim,
+            &Obs::null(),
+            fp,
+        );
+        // The dodge must actually work on the shallow oracles — otherwise
+        // the case is not adversarial.
+        let passes = |layer: OracleLayer| {
+            attempt
+                .layers
+                .iter()
+                .find(|v| v.layer == layer)
+                .is_some_and(|v| v.passed)
+        };
+        assert!(
+            passes(OracleLayer::DeploySucceeds),
+            "{}: candidate must deploy (L1): {:?}",
+            case.name,
+            attempt.layers
+        );
+        assert!(
+            passes(OracleLayer::ChecksPass),
+            "{}: candidate must satisfy every check (L2): {:?}",
+            case.name,
+            attempt.layers
+        );
+        let rejected = attempt
+            .rejected_at()
+            .unwrap_or_else(|| panic!("{}: deceptive fix was ACCEPTED", case.name));
+        assert_eq!(
+            rejected.layer,
+            OracleLayer::IntentPreserved,
+            "{}: must be rejected at L3, got {:?}",
+            case.name,
+            rejected
+        );
+        assert!(
+            rejected.reason.starts_with(case.expect),
+            "{}: expected reason `{}...`, got `{}`",
+            case.name,
+            case.expect,
+            rejected.reason
+        );
+    }
+}
+
+/// The corresponding honest fixes sail through all three layers — the
+/// detector rejects deception, not change.
+#[test]
+fn honest_fixes_pass_all_layers() {
+    let kb = zodiac_kb::azure_kb();
+    let sim = zodiac_cloud::CloudSim::new_azure();
+    for (name, checks, original, honest) in [
+        (
+            "set-eviction-policy",
+            vec![parse_check(SPOT).unwrap()],
+            spot_vm_network(),
+            fix_spot(&spot_vm_network()),
+        ),
+        (
+            "move-subnet-into-vnet",
+            vec![parse_check(CONTAIN).unwrap()],
+            stray_subnet(),
+            with_attr(
+                stray_subnet(),
+                "azurerm_subnet",
+                "s",
+                "address_prefixes",
+                Value::List(vec![Value::s("10.0.1.0/24")]),
+            ),
+        ),
+    ] {
+        let violated = violated_checks(&original, &checks);
+        assert!(!violated.is_empty(), "{name}: must start violating");
+        let edits = zodiac_repair::diff_edits(&original, &honest);
+        let fp = repair_fingerprint(&original, &checks);
+        let attempt = verify_candidate(
+            &original,
+            &honest,
+            edits,
+            &checks,
+            &violated,
+            &kb,
+            &sim,
+            &Obs::null(),
+            fp,
+        );
+        assert!(
+            attempt.accepted(),
+            "{name}: honest fix must be accepted: {:?}",
+            attempt.layers
+        );
+    }
+}

@@ -215,6 +215,24 @@ impl Check {
     }
 }
 
+/// A stable 64-bit identity for a check *set*: FNV-1a over the per-check
+/// canonical fingerprints in order. Used wherever a verdict depends on the
+/// whole set at once — the scan memo key (a cache survives check-set swaps
+/// without invalidation) and the repair fingerprint (a repair is only
+/// meaningful relative to the set it was asked to satisfy).
+pub fn check_set_key(checks: &[Check]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for check in checks {
+        for byte in check.fingerprint().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
 /// Escapes a string literal for the check language: backslash-escapes the
 /// quote and the backslash itself so every string round-trips through
 /// [`crate::parse_check`].

@@ -27,6 +27,6 @@ pub mod parser;
 #[cfg(feature = "test-hooks")]
 pub mod test_hooks;
 
-pub use ast::{Binding, Check, CmpOp, Expr, ShapeCategory, TypeSpec, Val};
+pub use ast::{check_set_key, Binding, Check, CmpOp, Expr, ShapeCategory, TypeSpec, Val};
 pub use eval::{holds, instances, violations, witnesses, EvalContext, Instance};
 pub use parser::{parse_check, ParseError};

@@ -32,6 +32,16 @@
 //!    candidate sets. Falsification *reasons* may differ — a batched probe
 //!    can trip a different ground-truth rule first — so reasons are
 //!    deliberately excluded from the comparison.
+//! 7. **Repair soundness** — every repair `zodiac-repair` *accepts* against
+//!    the episode's surviving checks yields a program that violates none of
+//!    them and still deploys on [`CloudSim`](zodiac_cloud::CloudSim).
+//! 8. **Repair minimality** — no strict subset of an accepted repair's
+//!    edits clears all three oracle layers (deploy-succeeds, checks-pass,
+//!    intent-preserved).
+//! 9. **Repair intent** — an accepted repair never deletes a resource
+//!    present in the original program and never trips the deceptive-fix
+//!    detector (scope narrowing, dropped references or attributes the
+//!    violated checks do not mention).
 //!
 //! Failures shrink deterministically ([`shrink`]) and the whole report is
 //! a pure function of `(seed, cases)` — byte-identical across runs — so a
@@ -68,6 +78,10 @@ pub struct FuzzConfig {
     /// Generated checks fed to the round-trip property per episode, on top
     /// of every mined candidate.
     pub checks_per_episode: usize,
+    /// Violating programs repaired per episode for the repair properties
+    /// (7–9). Targets are wild cases that violate a surviving check, topped
+    /// up with noise-injected corpus programs.
+    pub repairs_per_episode: usize,
     /// Optional wall-clock budget: no new episode starts after this many
     /// seconds. Truncation is recorded in the report, which makes the
     /// output timing-dependent — leave `None` (the default) when
@@ -83,6 +97,7 @@ impl Default for FuzzConfig {
             cases_per_episode: 64,
             corpus_projects: 32,
             checks_per_episode: 32,
+            repairs_per_episode: 3,
             max_seconds: None,
         }
     }
@@ -96,6 +111,9 @@ pub const PROPERTIES: &[&str] = &[
     "corpus-monotonicity",
     "print-parse-roundtrip",
     "schedule-equivalence",
+    "repair-soundness",
+    "repair-minimality",
+    "repair-intent",
 ];
 
 /// One verified-property failure, with everything needed to replay it.

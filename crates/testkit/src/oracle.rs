@@ -17,6 +17,7 @@ use zodiac_graph::ResourceGraph;
 use zodiac_mining::MiningConfig;
 use zodiac_model::Program;
 use zodiac_obs::Obs;
+use zodiac_repair::{RepairConfig, RepairOutcome};
 use zodiac_spec::{parse_check, violations, Check, EvalContext};
 use zodiac_validation::counterexample::counterexample_pass;
 use zodiac_validation::{Scheduler, SchedulerConfig, ValidatedCheck};
@@ -283,7 +284,154 @@ pub(crate) fn run_episode(
         });
     }
 
+    // --- P7–P9: repair properties ------------------------------------------
+    // Every repair the engine *accepts* against the surviving checks must be
+    // sound (violates nothing, still deploys), minimal (no strict subset of
+    // its edits clears the oracle stack), and intent-preserving (no deleted
+    // resources, no deceptive diffs). Unrepairable/exhausted outcomes are
+    // legitimate — the properties constrain accepted repairs only.
+    let repair_checks: Vec<Check> = final_checks.iter().map(|v| v.mined.check.clone()).collect();
+    if !repair_checks.is_empty() {
+        let violates_some = |program: &Program| {
+            let graph = ResourceGraph::build(program.clone());
+            let ctx = EvalContext {
+                graph: &graph,
+                kb: Some(&kb),
+            };
+            repair_checks.iter().any(|c| !violations(c, ctx).is_empty())
+        };
+        // Targets: wild cases violating a surviving check, topped up with
+        // noise-injected corpus programs (both derived from the episode rng,
+        // so the target list is deterministic).
+        let mut targets: Vec<Program> = cases
+            .iter()
+            .map(|(_, p)| p)
+            .filter(|p| violates_some(p))
+            .take(cfg.repairs_per_episode)
+            .cloned()
+            .collect();
+        for base in &corpus {
+            if targets.len() >= cfg.repairs_per_episode {
+                break;
+            }
+            let mut noisy = base.clone();
+            if zodiac_corpus::inject(&mut rng, &mut noisy).is_some() && violates_some(&noisy) {
+                targets.push(noisy);
+            }
+        }
+        for original in &targets {
+            let repair = zodiac_repair::repair_program(
+                original,
+                &repair_checks,
+                &kb,
+                &sim,
+                &RepairConfig::default(),
+                obs,
+            );
+            let RepairOutcome::Accepted {
+                program: repaired,
+                edits,
+            } = &repair.outcome
+            else {
+                continue;
+            };
+
+            // P7: soundness of the accepted repair.
+            report.tally("repair-soundness", 1);
+            if violates_some(repaired) || !sim.deploys_ok(repaired) {
+                report.fail(FuzzFailure {
+                    property: "repair-soundness",
+                    episode: ep,
+                    replay_seed: episode_seed,
+                    detail: format!(
+                        "accepted repair ({} edit(s)) still violates a surviving check or \
+                         fails to deploy\nedits:\n{}",
+                        edits.len(),
+                        render_edits(edits)
+                    ),
+                });
+            }
+
+            // A subset of edits "passes" when it clears all three oracle
+            // layers against the same original program and violated set.
+            let subset_passes = |subset: &[zodiac_repair::RepairEdit]| {
+                let candidate = zodiac_repair::apply_edits(original, subset);
+                sim.deploys_ok(&candidate)
+                    && !violates_some(&candidate)
+                    && zodiac_repair::deceptive_fixes(original, &candidate, &repair.violated, &kb)
+                        .is_empty()
+            };
+
+            // P8: minimality — enumerate strict subsets (edit lists are
+            // small; the engine's own budget caps them).
+            if edits.len() <= MINIMALITY_EDIT_CAP {
+                report.tally("repair-minimality", 1);
+                let proper_pass = (0..(1u32 << edits.len()) - 1).find(|mask| {
+                    let subset: Vec<zodiac_repair::RepairEdit> = edits
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, e)| e.clone())
+                        .collect();
+                    subset_passes(&subset)
+                });
+                if proper_pass.is_some() {
+                    let shrunk = shrink::shrink_edits(edits, |subset| subset_passes(subset));
+                    report.fail(FuzzFailure {
+                        property: "repair-minimality",
+                        episode: ep,
+                        replay_seed: episode_seed,
+                        detail: format!(
+                            "a strict subset of an accepted {}-edit repair clears all three \
+                             oracle layers\nminimal passing subset ({} edit(s)):\n{}",
+                            edits.len(),
+                            shrunk.len(),
+                            render_edits(&shrunk)
+                        ),
+                    });
+                }
+            }
+
+            // P9: intent preservation.
+            report.tally("repair-intent", 1);
+            let deleted: Vec<String> = original
+                .resources()
+                .iter()
+                .map(|r| r.id())
+                .filter(|id| repaired.find(id).is_none())
+                .map(|id| id.to_string())
+                .collect();
+            let deceptions =
+                zodiac_repair::deceptive_fixes(original, repaired, &repair.violated, &kb);
+            if !deleted.is_empty() || !deceptions.is_empty() {
+                report.fail(FuzzFailure {
+                    property: "repair-intent",
+                    episode: ep,
+                    replay_seed: episode_seed,
+                    detail: format!(
+                        "accepted repair is not intent-preserving\n\
+                         deleted resources: {:?}\ndeceptions: {:?}\nedits:\n{}",
+                        deleted,
+                        deceptions.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+                        render_edits(edits)
+                    ),
+                });
+            }
+        }
+    }
+
     report.episodes.push(stats);
+}
+
+/// Edits beyond this count skip the exponential minimality enumeration.
+const MINIMALITY_EDIT_CAP: usize = 4;
+
+fn render_edits(edits: &[zodiac_repair::RepairEdit]) -> String {
+    edits
+        .iter()
+        .map(|e| format!("  {e}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Checks one validated check's negative report against the rule table;

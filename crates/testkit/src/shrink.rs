@@ -63,6 +63,33 @@ where
     current
 }
 
+/// Shrinks a repair edit list while `still_fails` holds: greedy drop-one
+/// with restart after every success, so a returned list is locally minimal
+/// (no single edit can be removed). Deterministic — candidate order is the
+/// input order.
+pub fn shrink_edits<T, F>(edits: &[T], still_fails: F) -> Vec<T>
+where
+    T: Clone,
+    F: Fn(&[T]) -> bool,
+{
+    let mut current = edits.to_vec();
+    loop {
+        let mut improved = false;
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
 /// Collects every string literal in a check, in printing order.
 fn collect_str_lits(check: &Check, out: &mut Vec<String>) {
     fn walk_val(v: &Val, out: &mut Vec<String>) {
@@ -225,6 +252,15 @@ mod tests {
         let mut lits = Vec::new();
         collect_str_lits(&shrunk, &mut lits);
         assert_eq!(lits[0], "'", "minimal literal is the quote alone");
+    }
+
+    #[test]
+    fn shrink_edits_finds_minimal_subset() {
+        // "Failure" = the list still contains both 2 and 4.
+        let edits = vec![1, 2, 3, 4, 5];
+        let fails = |e: &[i32]| e.contains(&2) && e.contains(&4);
+        let shrunk = shrink_edits(&edits, fails);
+        assert_eq!(shrunk, vec![2, 4]);
     }
 
     #[test]

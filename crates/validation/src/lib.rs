@@ -14,6 +14,7 @@
 //! simulator in this repository, real Azure in the paper.
 
 pub mod counterexample;
+pub mod ground;
 pub mod mdc;
 pub mod mutate;
 pub mod plan;

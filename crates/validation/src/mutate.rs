@@ -17,13 +17,14 @@
 //! 4. change-minimisation soft constraints prefer original values, keeping
 //!    the negative case minimally different (Table 5, bottom).
 
+use crate::ground::{self, Grounder, SymbolicAttr};
 use crate::mdc::PositiveCase;
 use std::collections::BTreeMap;
 use zodiac_graph::ResourceGraph;
-use zodiac_kb::{AttrKind, KnowledgeBase, ValueFormat};
-use zodiac_model::{AttrPath, Cidr, Program, Resource, ResourceId, Symbol, Value};
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::{AttrPath, Program, Resource, ResourceId, Symbol, Value};
 use zodiac_solver::{solve, Constraint, Problem, Term, VarId};
-use zodiac_spec::{instances, Check, CmpOp, EvalContext, Expr, Val};
+use zodiac_spec::{Check, CmpOp, EvalContext, Expr, Val};
 
 /// Mutation configuration, including the Table 5 ablation switches.
 #[derive(Debug, Clone)]
@@ -217,17 +218,24 @@ fn negative_test_variant(
         .collect();
     // Only attributes that some known check mentions can matter to the
     // solver; restricting the variable set keeps search tractable.
-    let relevant = relevant_attrs(target, hard, soft);
+    let relevant = ground::relevant_attrs(
+        std::iter::once(target)
+            .chain(hard)
+            .chain(soft.iter().map(|(c, _)| c)),
+    );
     // Cross values let the solver *force equality* between plain string
     // attributes (needed to violate `r2.os_disk.name != r3.name`-style
     // statements): each statement endpoint's current value joins the other
     // endpoint's domain.
     let cross = cross_values(target, &program, &witness_ids);
+    // Non-enum optional attributes are only removable when the target
+    // statement mentions them — removal elsewhere can't affect the target.
+    let removable = |path: &str| stmt_mentions(target, path);
     for id in &symbolic_resources {
         let Some(resource) = program.find(id) else {
             continue; // Ids were just collected from this program.
         };
-        for sym in symbolic_attrs(resource, target, kb, corpus, &relevant, &cross) {
+        for sym in ground::symbolic_attrs(resource, kb, corpus, &relevant, &cross, &removable) {
             let mut domain = sym.domain.clone();
             if !cfg.minimize_changes {
                 // Ablation: mutated values are tried before the original.
@@ -256,10 +264,12 @@ fn negative_test_variant(
     if witness_nodes.len() != witness_ids.len() {
         return (MutationResult::NotApplicable, None);
     }
+    let var_ids: BTreeMap<(ResourceId, Symbol), VarId> =
+        vars.iter().map(|(k, (v, _))| (k.clone(), *v)).collect();
     let grounder = Grounder {
         graph: &graph,
         kb,
-        vars: &vars,
+        vars: &var_ids,
     };
     let cond = grounder.ground(&target.cond, &witness_nodes);
     let stmt = grounder.ground(&target.stmt, &witness_nodes);
@@ -305,7 +315,7 @@ fn negative_test_variant(
         if value != &sym.original {
             changed += 1;
         }
-        apply_value(&mut program, rid, sym, value.clone());
+        ground::apply_value(&mut program, rid, sym, value.clone());
     }
     changed += added; // Structural additions count as changes too.
 
@@ -762,66 +772,8 @@ fn retarget_or_import(
 }
 
 // ---------------------------------------------------------------------------
-// Symbolic attributes
+// Symbolic attributes (domain construction shared with `crate::ground`)
 // ---------------------------------------------------------------------------
-
-/// A symbolic attribute: its location, original value, and candidate domain
-/// (original first).
-#[derive(Debug, Clone)]
-pub struct SymbolicAttr {
-    attr: Symbol,
-    original: Value,
-    domain: Vec<Value>,
-    wrap_list: bool,
-}
-
-/// Attribute paths mentioned (per resource type) across a set of checks.
-fn relevant_attrs(
-    target: &Check,
-    hard: &[Check],
-    soft: &[(Check, u64)],
-) -> BTreeMap<String, std::collections::BTreeSet<String>> {
-    let mut out: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
-    let mut add_check = |check: &Check| {
-        let mut record = |var: &str, attr: &str| {
-            if let Some(rtype) = check.type_of(var) {
-                out.entry(rtype.to_string())
-                    .or_default()
-                    .insert(attr.to_string());
-            }
-        };
-        fn walk_val(v: &Val, record: &mut dyn FnMut(&str, &str)) {
-            match v {
-                Val::Endpoint { var, attr } => record(var, attr),
-                Val::Length(inner) => walk_val(inner, record),
-                _ => {}
-            }
-        }
-        fn walk_expr(e: &Expr, record: &mut dyn FnMut(&str, &str)) {
-            match e {
-                Expr::Cmp { lhs, rhs, .. } => {
-                    walk_val(lhs, record);
-                    walk_val(rhs, record);
-                }
-                Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
-                    walk_expr(first, record);
-                    walk_expr(second, record);
-                }
-                _ => {}
-            }
-        }
-        walk_expr(&check.cond, &mut record);
-        walk_expr(&check.stmt, &mut record);
-    };
-    add_check(target);
-    for c in hard {
-        add_check(c);
-    }
-    for (c, _) in soft {
-        add_check(c);
-    }
-    out
-}
 
 /// Values each `(resource, attr)` pair should additionally be able to take,
 /// derived from the *other* side of the target statement's comparison.
@@ -862,148 +814,6 @@ fn cross_values(
     out
 }
 
-fn symbolic_attrs(
-    resource: &Resource,
-    target: &Check,
-    kb: &KnowledgeBase,
-    corpus: &[Program],
-    relevant: &BTreeMap<String, std::collections::BTreeSet<String>>,
-    cross: &BTreeMap<(ResourceId, Symbol), Vec<Value>>,
-) -> Vec<SymbolicAttr> {
-    let Some(schema) = kb.resource(&resource.rtype) else {
-        // Unattended resources are immutable (§4.1).
-        return Vec::new();
-    };
-    let relevant_here = relevant.get(&resource.rtype);
-    let rid = resource.id();
-    let mut out = Vec::new();
-    for attr in schema.attrs.values() {
-        if !relevant_here.is_some_and(|set| set.contains(&attr.path)) {
-            continue;
-        }
-        let segs: Vec<String> = attr.path.split('.').map(str::to_string).collect();
-        let current = zodiac_spec::eval::resolve_multi(resource, &segs);
-        let (mut original, wrap_list) = match current.as_slice() {
-            [v] => (
-                v.clone(),
-                matches!(
-                    resource.get(&AttrPath(vec![segs[0].clone()])),
-                    Some(Value::List(_))
-                ) && segs.len() == 1,
-            ),
-            [] => (Value::Null, false),
-            _ => continue, // Multi-valued: left immutable.
-        };
-        // The evaluator applies KB defaults to omitted attributes, so the
-        // solver must see the same semantics: an absent attribute with a
-        // provider default *is* that default, and `Null` never enters the
-        // domain of a defaulted attribute (assigning it would diverge from
-        // evaluation).
-        let provider_default = attr.format.default_value();
-        if matches!(original, Value::Null) {
-            if let Some(d) = &provider_default {
-                original = d.clone();
-            }
-        }
-        let mut domain = vec![original.clone()];
-        match &attr.format {
-            ValueFormat::Enum { values, .. } => {
-                for v in values {
-                    let val = Value::s(v.clone());
-                    if !domain.contains(&val) {
-                        domain.push(val);
-                    }
-                }
-            }
-            ValueFormat::BoolDefault { .. } => {
-                let flipped = match &original {
-                    Value::Bool(b) => Value::Bool(!b),
-                    _ => Value::Bool(true),
-                };
-                if !domain.contains(&flipped) {
-                    domain.push(flipped);
-                }
-            }
-            ValueFormat::Location => {
-                for l in &kb.locations {
-                    let val = Value::s(l.clone());
-                    if !domain.contains(&val) {
-                        domain.push(val);
-                    }
-                }
-            }
-            ValueFormat::Cidr => {
-                if let Some(c) = original.as_str().and_then(|s| s.parse::<Cidr>().ok()) {
-                    let mut push = |v: Cidr| {
-                        let val = Value::s(v.to_string());
-                        if !domain.contains(&val) {
-                            domain.push(val);
-                        }
-                    };
-                    push(c.adjacent());
-                    push(c.adjacent().adjacent());
-                    // A definitely-foreign range for containment violations.
-                    if let Ok(outside) = "192.168.250.0/24".parse::<Cidr>() {
-                        push(outside);
-                    }
-                }
-                // Other resources' CIDRs enable forced overlaps.
-                for other in corpus.iter().take(1).flat_map(|p| p.resources()) {
-                    let _ = other;
-                }
-            }
-            _ => {}
-        }
-        // Cross values from the target statement's comparison.
-        if let Some(extra) = cross.get(&(rid.clone(), Symbol::intern(&attr.path))) {
-            for v in extra {
-                if !matches!(v, Value::Null) && !domain.contains(v) {
-                    domain.push(v.clone());
-                }
-            }
-        }
-        // Nullability: optional enum/bool attributes may always be removed
-        // or instantiated (the solver needs this to satisfy co-checks, e.g.
-        // adding an eviction policy when a mutation turns a VM into Spot);
-        // other optional attributes only when the target statement mentions
-        // them.
-        let enumish = matches!(
-            attr.format,
-            ValueFormat::Enum { .. } | ValueFormat::BoolDefault { .. }
-        );
-        if attr.kind == AttrKind::Optional
-            && provider_default.is_none()
-            && (enumish || stmt_mentions(target, &attr.path))
-        {
-            if !domain.contains(&Value::Null) {
-                domain.push(Value::Null);
-            }
-            if matches!(original, Value::Null) {
-                // Need a concrete value to *set*: borrow one from the corpus.
-                if let Some(v) = corpus.iter().find_map(|p| {
-                    p.of_type(&resource.rtype).find_map(|r| {
-                        let vs = zodiac_spec::eval::resolve_multi(r, &segs);
-                        vs.into_iter().next()
-                    })
-                }) {
-                    if !domain.contains(&v) {
-                        domain.push(v);
-                    }
-                }
-            }
-        }
-        if domain.len() > 1 {
-            out.push(SymbolicAttr {
-                attr: Symbol::intern(&attr.path),
-                original,
-                domain,
-                wrap_list,
-            });
-        }
-    }
-    out
-}
-
 fn stmt_mentions(check: &Check, attr: &str) -> bool {
     fn val_mentions(v: &Val, attr: &str) -> bool {
         match v {
@@ -1015,270 +825,6 @@ fn stmt_mentions(check: &Check, attr: &str) -> bool {
     match &check.stmt {
         Expr::Cmp { lhs, rhs, .. } => val_mentions(lhs, attr) || val_mentions(rhs, attr),
         _ => false,
-    }
-}
-
-fn apply_value(program: &mut Program, rid: &ResourceId, sym: &SymbolicAttr, value: Value) {
-    let Some(resource) = program.find_mut(rid) else {
-        return;
-    };
-    let path: AttrPath = match sym.attr.parse() {
-        Ok(p) => p,
-        Err(_) => return,
-    };
-    if matches!(value, Value::Null) {
-        remove_path(resource, &path);
-        return;
-    }
-    let final_value = if sym.wrap_list {
-        Value::List(vec![value])
-    } else {
-        value
-    };
-    // Nested paths through single blocks resolve indices implicitly: find
-    // the concrete path by descending.
-    set_normalized(resource, &path.0, final_value);
-}
-
-/// Sets a value at a normalised (index-free) path, descending into single
-/// list elements.
-fn set_normalized(resource: &mut Resource, segs: &[String], value: Value) -> bool {
-    fn descend(v: &mut Value, segs: &[String], value: Value) -> bool {
-        let Some((head, rest)) = segs.split_first() else {
-            *v = value;
-            return true;
-        };
-        match v {
-            Value::Map(m) => match m.get_mut(head) {
-                Some(inner) => descend(inner, rest, value),
-                None => {
-                    if rest.is_empty() {
-                        m.insert(head.clone(), value);
-                        true
-                    } else {
-                        false
-                    }
-                }
-            },
-            Value::List(l) => {
-                for item in l.iter_mut() {
-                    if descend(item, segs, value.clone()) {
-                        return true;
-                    }
-                }
-                false
-            }
-            _ => false,
-        }
-    }
-    let Some((head, rest)) = segs.split_first() else {
-        return false;
-    };
-    if rest.is_empty() {
-        resource.attrs.insert(head.clone(), value);
-        return true;
-    }
-    match resource.attrs.get_mut(head) {
-        Some(inner) => descend(inner, rest, value),
-        None => false,
-    }
-}
-
-fn remove_path(resource: &mut Resource, path: &AttrPath) {
-    fn descend(v: &mut Value, segs: &[String]) -> bool {
-        let Some((head, rest)) = segs.split_first() else {
-            return false;
-        };
-        match v {
-            Value::Map(m) => {
-                if rest.is_empty() {
-                    m.remove(head).is_some()
-                } else if let Some(inner) = m.get_mut(head) {
-                    descend(inner, rest)
-                } else {
-                    false
-                }
-            }
-            Value::List(l) => l.iter_mut().any(|item| descend(item, segs)),
-            _ => false,
-        }
-    }
-    if path.0.len() == 1 {
-        resource.attrs.remove(&path.0[0]);
-        return;
-    }
-    if let Some(inner) = resource.attrs.get_mut(&path.0[0]) {
-        descend(inner, &path.0[1..]);
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Grounding
-// ---------------------------------------------------------------------------
-
-struct Grounder<'a> {
-    graph: &'a ResourceGraph,
-    kb: &'a KnowledgeBase,
-    vars: &'a BTreeMap<(ResourceId, Symbol), (VarId, SymbolicAttr)>,
-}
-
-impl Grounder<'_> {
-    /// Grounds `check` over every binding that touches a symbolic resource.
-    fn ground_all(&self, check: &Check, ctx: EvalContext<'_>) -> Vec<Constraint> {
-        let mut out = Vec::new();
-        for instance in instances(check, ctx) {
-            let touches = instance.binding.values().any(|&n| {
-                let id = self.graph.resource(n).id();
-                self.vars.keys().any(|(rid, _)| rid == &id)
-            });
-            if !touches {
-                continue;
-            }
-            let cond = self.ground(&check.cond, &instance.binding);
-            let stmt = self.ground(&check.stmt, &instance.binding);
-            out.push(Constraint::implies(cond, stmt));
-        }
-        out
-    }
-
-    fn ground(&self, expr: &Expr, binding: &BTreeMap<Symbol, usize>) -> Constraint {
-        match expr {
-            Expr::Conn { .. } | Expr::Path { .. } => constant(self.eval_fixed(expr, binding)),
-            Expr::CoConn { first, second } | Expr::CoPath { first, second } => {
-                Constraint::And(vec![
-                    self.ground(first, binding),
-                    self.ground(second, binding),
-                ])
-            }
-            Expr::Cmp {
-                op,
-                lhs,
-                rhs,
-                negated,
-            } => {
-                let l = self.terms(lhs, binding);
-                let r = self.terms(rhs, binding);
-                let op = *op;
-                let mut alternatives = Vec::new();
-                for lt in &l {
-                    for rt in &r {
-                        alternatives.push(Constraint::Cmp {
-                            op,
-                            lhs: lt.clone(),
-                            rhs: rt.clone(),
-                        });
-                    }
-                }
-                let existential = if alternatives.is_empty() {
-                    Constraint::False
-                } else {
-                    Constraint::Or(alternatives)
-                };
-                if *negated {
-                    Constraint::Not(Box::new(existential))
-                } else {
-                    existential
-                }
-            }
-        }
-    }
-
-    /// Topology is fixed after structural planning, so topological atoms
-    /// ground to constants.
-    fn eval_fixed(&self, expr: &Expr, binding: &BTreeMap<Symbol, usize>) -> bool {
-        match expr {
-            Expr::Conn {
-                src,
-                in_endpoint,
-                dst,
-                out_attr,
-            } => {
-                let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
-                    return false;
-                };
-                self.graph
-                    .conn(s, Some(in_endpoint.as_str()), d, Some(out_attr.as_str()))
-            }
-            Expr::Path { src, dst } => {
-                let (Some(&s), Some(&d)) = (binding.get(src), binding.get(dst)) else {
-                    return false;
-                };
-                self.graph.path(s, d)
-            }
-            _ => false,
-        }
-    }
-
-    /// Resolves a value term into solver terms (variables or constants).
-    fn terms(&self, val: &Val, binding: &BTreeMap<Symbol, usize>) -> Vec<Term> {
-        match val {
-            Val::Lit(v) => vec![Term::Const(v.clone())],
-            Val::Endpoint { var, attr } => {
-                let Some(&node) = binding.get(var) else {
-                    return vec![Term::Const(Value::Null)];
-                };
-                let id = self.graph.resource(node).id();
-                if let Some((v, _)) = self.vars.get(&(id.clone(), *attr)) {
-                    return vec![Term::Var(*v)];
-                }
-                let resource = self.graph.resource(node);
-                let segs: Vec<String> = attr.split('.').map(str::to_string).collect();
-                let mut found = zodiac_spec::eval::resolve_multi(resource, &segs);
-                if found.is_empty() {
-                    if let Some(default) = self.kb.default_of(&resource.rtype, attr) {
-                        found.push(default);
-                    }
-                }
-                if found.is_empty() {
-                    found.push(Value::Null);
-                }
-                found.into_iter().map(Term::Const).collect()
-            }
-            Val::InDegree { var, tau } => {
-                let Some(&node) = binding.get(var) else {
-                    return vec![Term::Const(Value::Null)];
-                };
-                vec![Term::Const(Value::Int(self.graph.distinct_in_neighbors(
-                    node,
-                    tau.type_name(),
-                    tau.negated(),
-                ) as i64))]
-            }
-            Val::OutDegree { var, tau } => {
-                let Some(&node) = binding.get(var) else {
-                    return vec![Term::Const(Value::Null)];
-                };
-                vec![Term::Const(Value::Int(self.graph.distinct_out_neighbors(
-                    node,
-                    tau.type_name(),
-                    tau.negated(),
-                ) as i64))]
-            }
-            Val::Length(inner) => {
-                let Val::Endpoint { var, attr } = inner.as_ref() else {
-                    return vec![Term::Const(Value::Null)];
-                };
-                let Some(&node) = binding.get(var) else {
-                    return vec![Term::Const(Value::Null)];
-                };
-                let resource = self.graph.resource(node);
-                let path: Result<AttrPath, _> = attr.parse();
-                let n = match path.ok().and_then(|p| resource.get(&p).cloned()) {
-                    Some(Value::List(l)) => l.len(),
-                    Some(Value::Null) | None => 0,
-                    Some(_) => 1,
-                };
-                vec![Term::Const(Value::Int(n as i64))]
-            }
-        }
-    }
-}
-
-fn constant(b: bool) -> Constraint {
-    if b {
-        Constraint::True
-    } else {
-        Constraint::False
     }
 }
 

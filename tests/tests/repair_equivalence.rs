@@ -1,0 +1,117 @@
+//! Differential repair test on the headline corpus: every program the
+//! scanner flags against the validated check set gets repaired, the
+//! repaired program scans clean against the same set, the repairs are
+//! byte-deterministic across runs, and a warm persistent-deploy-cache run
+//! re-verifies every candidate without touching the backend.
+
+use std::path::Path;
+use zodiac::scanner::scan_program;
+use zodiac::PipelineConfig;
+use zodiac_cloud::CloudSim;
+use zodiac_deployer::{DeployEngine, DeployerConfig};
+use zodiac_model::Program;
+use zodiac_obs::Obs;
+use zodiac_repair::{repair_program, RepairConfig, RepairOutcome};
+use zodiac_spec::Check;
+
+/// Mirrors `zodiac_bench::eval_config()` (see `headline_funnel.rs`).
+fn eval_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::evaluation();
+    cfg.corpus.projects = 600;
+    cfg.counterexample_projects = 300;
+    cfg
+}
+
+/// One full repair sweep over the flagged programs. Returns, per flagged
+/// program, the rendered edit list of its accepted repair.
+fn repair_sweep(
+    flagged: &[(usize, Program)],
+    checks: &[Check],
+    cache: &Path,
+) -> (Vec<(usize, Vec<String>)>, u64) {
+    let kb = zodiac_kb::azure_kb();
+    let engine = DeployEngine::new(
+        CloudSim::new_azure(),
+        DeployerConfig {
+            workers: 1,
+            persistent_cache: Some(cache.to_path_buf()),
+            ..Default::default()
+        },
+    );
+    let cfg = RepairConfig::default();
+    let mut repaired = Vec::new();
+    for (idx, program) in flagged {
+        let report = repair_program(program, checks, &kb, &engine, &cfg, &Obs::null());
+        match &report.outcome {
+            RepairOutcome::Accepted {
+                program: fixed,
+                edits,
+            } => {
+                // The repaired program scans clean against the full
+                // validated set — repairing one violation must not smuggle
+                // in another.
+                let residual = scan_program(fixed, checks, &kb);
+                assert!(
+                    residual.is_empty(),
+                    "project {idx}: repaired program still violates: {residual:?}"
+                );
+                repaired.push((*idx, edits.iter().map(|e| e.to_string()).collect()));
+            }
+            other => panic!("project {idx}: expected an accepted repair, got {other:?}"),
+        }
+    }
+    engine.sync_persistent().expect("persist deploy verdicts");
+    (repaired, engine.metrics().counter("deploy.backend_deploys"))
+}
+
+#[test]
+fn scanner_flagged_corpus_repairs_cleanly_and_deterministically() {
+    let cfg = eval_config();
+    let result = zodiac::run_pipeline(&cfg);
+    let checks: Vec<Check> = result
+        .final_checks
+        .iter()
+        .map(|v| v.mined.check.clone())
+        .collect();
+    assert!(!checks.is_empty(), "pipeline must validate checks");
+
+    let corpus: Vec<Program> = zodiac_corpus::generate(&cfg.corpus)
+        .into_iter()
+        .map(|p| p.program)
+        .collect();
+    let kb = zodiac_kb::azure_kb();
+    let flagged: Vec<(usize, Program)> = corpus
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !scan_program(p, &checks, &kb).is_empty())
+        .map(|(i, p)| (i, p.clone()))
+        .collect();
+    // The 2% noise rate plants violations in a known slice of the corpus;
+    // if nothing is flagged the test is vacuous.
+    assert!(
+        flagged.len() >= 5,
+        "expected a two-digit flagged set, got {}",
+        flagged.len()
+    );
+
+    let dir = std::env::temp_dir().join(format!("zodiac-repair-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("deploys.json");
+
+    // Cold run: every flagged program is repaired and re-scans clean.
+    let (cold, cold_backend) = repair_sweep(&flagged, &checks, &cache);
+    assert_eq!(cold.len(), flagged.len(), "every flagged program repaired");
+    assert!(cold_backend > 0, "cold run must exercise the backend");
+
+    // Warm run: identical edits byte-for-byte, and the persistent deploy
+    // memo absorbs every candidate verdict — zero backend deploys.
+    let (warm, warm_backend) = repair_sweep(&flagged, &checks, &cache);
+    assert_eq!(cold, warm, "repairs must be byte-deterministic across runs");
+    assert_eq!(
+        warm_backend, 0,
+        "warm --deploy-cache run must perform zero backend deploys"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
