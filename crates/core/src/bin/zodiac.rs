@@ -63,6 +63,13 @@ const USAGE: &str = "zodiac — mine and validate semantic checks for cloud IaC 
 
 USAGE:
     zodiac mine [--projects N] [--seed S] --out FILE   run the pipeline, write validated checks
+                [--shards N|auto] [--stream]           (--shards fans mining over N worker
+                [--validate-projects N]                threads — results are byte-identical for
+                                                       any shard count; --stream generates the
+                                                       corpus on the fly so 100k+ projects mine
+                                                       without materialising, validating over a
+                                                       re-generated prefix of
+                                                       --validate-projects (default ≤600))
     zodiac scan --checks FILE [--no-confirm]           scan programs, deploy-confirm violations
                 PROGRAM...                             (--no-confirm skips the deploy cross-check)
     zodiac repair --checks FILE [--max-edits N]        search for a minimal repair satisfying
@@ -373,6 +380,22 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0xC0FFEE);
     let out = take_flag(&mut args, "--out").ok_or("mine requires --out FILE")?;
+    let shards: usize = take_flag(&mut args, "--shards")
+        .map(|v| match v.as_str() {
+            "auto" => Ok(zodiac_mining::available_shards()),
+            _ => v
+                .parse()
+                .map_err(|_| "--shards expects a number or 'auto'".to_string()),
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let stream = take_switch(&mut args, "--stream");
+    let validate_projects: Option<usize> = take_flag(&mut args, "--validate-projects")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--validate-projects expects a number".to_string())
+        })
+        .transpose()?;
     let deployer = take_deployer_flags(&mut args)?;
     let obs_flags = take_obs_flags(&mut args)?;
     reject_leftovers("mine", &args)?;
@@ -381,7 +404,13 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
     cfg.corpus.projects = projects;
     cfg.corpus.seed = seed;
     cfg.deployer = deployer;
-    eprintln!("mining + validating over {projects} synthetic projects...");
+    cfg.mining_shards = shards;
+    cfg.stream_corpus = stream;
+    cfg.validation_projects = validate_projects;
+    let mode = if stream { "streaming" } else { "batch" };
+    eprintln!(
+        "mining + validating over {projects} synthetic projects ({mode}, {shards} shard(s))..."
+    );
     let cli_span = obs_flags.obs.start_span("cli/mine");
     let result = zodiac::run_pipeline_obs(&cfg, &obs_flags.obs);
     cli_span.finish();

@@ -82,6 +82,21 @@ pub struct PipelineConfig {
     pub counterexample_projects: usize,
     /// Violating programs examined per check in the counterexample pass.
     pub counterexample_budget: usize,
+    /// Worker shards for the mining observation pass (0 or 1 = monolithic).
+    /// Any value yields byte-identical mining results — the shard merge is
+    /// exact — so this only trades threads for wall-clock.
+    pub mining_shards: usize,
+    /// Stream the corpus through mining one project at a time instead of
+    /// materialising `Vec<Project>` — the 100k-project mode. Validation
+    /// (which needs in-memory programs to deploy) then runs over a
+    /// re-generated prefix of the same corpus; see
+    /// [`PipelineConfig::validation_projects`].
+    pub stream_corpus: bool,
+    /// Cap on corpus projects materialised for validation. `None` means all
+    /// projects in batch mode and `min(projects, 600)` in streaming mode —
+    /// so at the default 600-project scale, streaming and batch runs are
+    /// byte-identical end-to-end.
+    pub validation_projects: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -162,10 +177,49 @@ pub fn run_pipeline_with_obs<D: DeployOracle>(
     obs: &Obs,
 ) -> PipelineResult {
     let pipeline_span = obs.start_span("pipeline");
-    let corpus = zodiac_corpus::generate_obs(&cfg.corpus, obs);
-    let programs: Vec<Program> = corpus.iter().map(|p| p.program.clone()).collect();
-
-    let mining = zodiac_mining::mine_obs(&programs, kb, &cfg.mining, obs);
+    let (corpus_projects, mining, programs) = if cfg.stream_corpus {
+        // Streaming mode: projects are generated on demand inside the shard
+        // driver's producer loop and never live in memory all at once, so
+        // there is no separate `pipeline/corpus` span — generation cost is
+        // part of the mining span, and per-project corpus counters are
+        // recorded as each project streams past.
+        let shard = zodiac_mining::ShardConfig::with_shards(cfg.mining_shards);
+        let stream = zodiac_corpus::ProjectStream::new(&cfg.corpus).map(|p| {
+            zodiac_corpus::observe_project(&p, obs);
+            p.program
+        });
+        let (mining, streamed) =
+            zodiac_mining::mine_streaming_obs(stream, kb, &cfg.mining, &shard, obs);
+        // Validation deploys programs, so it needs a materialised corpus:
+        // re-generate a prefix of the same stream (byte-identical projects).
+        let val_n = cfg
+            .validation_projects
+            .unwrap_or_else(|| cfg.corpus.projects.min(600))
+            .min(cfg.corpus.projects);
+        let programs: Vec<Program> = zodiac_corpus::ProjectStream::new(&cfg.corpus)
+            .take(val_n)
+            .map(|p| p.program)
+            .collect();
+        (streamed, mining, programs)
+    } else {
+        let corpus = zodiac_corpus::generate_obs(&cfg.corpus, obs);
+        let mut programs: Vec<Program> = corpus.iter().map(|p| p.program.clone()).collect();
+        let mining = if cfg.mining_shards > 1 {
+            zodiac_mining::mine_sharded_obs(
+                &programs,
+                kb,
+                &cfg.mining,
+                &zodiac_mining::ShardConfig::with_shards(cfg.mining_shards),
+                obs,
+            )
+        } else {
+            zodiac_mining::mine_obs(&programs, kb, &cfg.mining, obs)
+        };
+        if let Some(n) = cfg.validation_projects {
+            programs.truncate(n);
+        }
+        (corpus.len(), mining, programs)
+    };
 
     let validation_span = obs.start_span("pipeline/validation");
     let scheduler = Scheduler::new(sim, kb, &programs, cfg.scheduler.clone()).with_obs(obs.clone());
@@ -214,7 +268,7 @@ pub fn run_pipeline_with_obs<D: DeployOracle>(
     pipeline_span.finish();
 
     PipelineResult {
-        corpus_projects: corpus.len(),
+        corpus_projects,
         mining,
         validation,
         demoted,

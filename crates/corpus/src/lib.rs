@@ -74,6 +74,79 @@ impl Project {
     }
 }
 
+/// A streaming corpus source: yields projects one at a time from the seed,
+/// without materialising a `Vec<Project>`.
+///
+/// The stream draws from the *same* sequential RNG as [`generate`], so the
+/// project at stream position `i` is byte-identical to `generate(cfg)[i]` —
+/// [`generate`] is literally a collector over this iterator. That identity
+/// is what lets sharded streaming mining reproduce batch results exactly:
+/// the corpus a 100k-project mine observes is the corpus a materialising
+/// run would have built, it just never lives in memory all at once.
+#[derive(Debug)]
+pub struct ProjectStream {
+    cfg: CorpusConfig,
+    rng: StdRng,
+    next: usize,
+}
+
+impl ProjectStream {
+    /// Opens a stream over the corpus described by `cfg`.
+    pub fn new(cfg: &CorpusConfig) -> Self {
+        ProjectStream {
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            next: 0,
+        }
+    }
+
+    /// Index of the next project the stream will yield.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Projects remaining in the stream.
+    pub fn remaining(&self) -> usize {
+        self.cfg.projects - self.next
+    }
+}
+
+impl Iterator for ProjectStream {
+    type Item = Project;
+
+    fn next(&mut self) -> Option<Project> {
+        if self.next >= self.cfg.projects {
+            return None;
+        }
+        let project = generate_project(&mut self.rng, &self.cfg, self.next);
+        self.next += 1;
+        Some(project)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ProjectStream {}
+
+/// Records one streamed project's mix into the observability registry —
+/// the per-project half of what [`generate_obs`] reports, usable from a
+/// streaming consumer that never holds the corpus.
+pub fn observe_project(p: &Project, obs: &Obs) {
+    if obs.is_enabled() {
+        obs.counter("corpus.projects", 1);
+        obs.counter("corpus.resources", p.program.len() as u64);
+        if let Some(kind) = p.injected_noise {
+            obs.counter(&format!("corpus.noise.{kind}"), 1);
+        }
+        for motif in &p.motifs {
+            obs.counter(&format!("corpus.motif.{motif}"), 1);
+        }
+    }
+}
+
 /// Generates a corpus.
 pub fn generate(cfg: &CorpusConfig) -> Vec<Project> {
     generate_obs(cfg, &Obs::null())
@@ -84,21 +157,9 @@ pub fn generate(cfg: &CorpusConfig) -> Vec<Project> {
 /// and `corpus.motif.<name>` counters describing the generated mix.
 pub fn generate_obs(cfg: &CorpusConfig, obs: &Obs) -> Vec<Project> {
     let _span = obs.start_span("pipeline/corpus");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let projects: Vec<Project> = (0..cfg.projects)
-        .map(|i| generate_project(&mut rng, cfg, i))
-        .collect();
-    if obs.is_enabled() {
-        obs.counter("corpus.projects", projects.len() as u64);
-        for p in &projects {
-            obs.counter("corpus.resources", p.program.len() as u64);
-            if let Some(kind) = p.injected_noise {
-                obs.counter(&format!("corpus.noise.{kind}"), 1);
-            }
-            for motif in &p.motifs {
-                obs.counter(&format!("corpus.motif.{motif}"), 1);
-            }
-        }
+    let projects: Vec<Project> = ProjectStream::new(cfg).collect();
+    for p in &projects {
+        observe_project(p, obs);
     }
     projects
 }
@@ -148,6 +209,31 @@ mod tests {
             assert_eq!(x.program, y.program);
             assert_eq!(x.injected_noise, y.injected_noise);
         }
+    }
+
+    #[test]
+    fn stream_is_byte_identical_to_generate() {
+        let cfg = CorpusConfig {
+            projects: 40,
+            noise_rate: 0.2,
+            rare_option_rate: 0.01,
+            ..Default::default()
+        };
+        let batch = generate(&cfg);
+        let mut stream = ProjectStream::new(&cfg);
+        assert_eq!(stream.len(), 40);
+        for (i, expected) in batch.iter().enumerate() {
+            assert_eq!(stream.position(), i);
+            let got = stream.next().expect("stream ends early");
+            assert_eq!(got.name, expected.name);
+            assert_eq!(got.program, expected.program);
+            assert_eq!(got.injected_noise, expected.injected_noise);
+            assert_eq!(got.motifs, expected.motifs);
+            // Byte-identical through the HCL renderer as well.
+            assert_eq!(got.to_hcl(), expected.to_hcl());
+        }
+        assert!(stream.next().is_none());
+        assert_eq!(stream.remaining(), 0);
     }
 
     #[test]

@@ -30,6 +30,8 @@ OPTIONS:
     --oneshot            serve stdin/stdout instead of a socket, exit at EOF
     --min-support N      re-mining support threshold (default 4)
     --min-confidence F   re-mining confidence threshold (default 0.92)
+    --shards N|auto      worker threads for observing large delta upserts
+                         (default 1; never changes the mined set)
     --revalidate         deploy-validate freshly mined checks before
                          admitting them on a corpus delta
     --deploy-cache FILE  persistent deploy memo for re-validation probes,
@@ -95,6 +97,14 @@ fn run() -> Result<(), String> {
     }
     cfg.revalidate = take_switch(&mut args, "--revalidate");
     cfg.deploy_cache = take_flag(&mut args, "--deploy-cache").map(PathBuf::from);
+    if let Some(v) = take_flag(&mut args, "--shards") {
+        cfg.mining_shards = match v.as_str() {
+            "auto" => zodiac_mining::available_shards(),
+            _ => v
+                .parse()
+                .map_err(|_| "--shards expects a number or 'auto'".to_string())?,
+        };
+    }
     if let Some(unknown) = args.first() {
         return Err(format!("unknown flag: {unknown}\n{USAGE}"));
     }

@@ -55,6 +55,12 @@ pub struct DaemonConfig {
     /// ([`zodiac_deployer::DeployMemo`]); re-validation probes recorded
     /// there are reused across deltas and daemon restarts.
     pub deploy_cache: Option<std::path::PathBuf>,
+    /// Worker shards for per-project observation when a delta upserts many
+    /// projects at once (0 or 1 = on the serving thread). The incremental
+    /// database absorbs shard-built observations through the same exact
+    /// merge the batch shard driver uses, so this never changes the mined
+    /// set.
+    pub mining_shards: usize,
 }
 
 /// An immutable snapshot of the served check set.
@@ -481,10 +487,12 @@ impl Daemon {
                 removed += 1;
             }
         }
-        for (project, program) in compiled {
-            remine.stats.observe(&project, program, &self.kb);
-            upserted += 1;
-        }
+        upserted += compiled.len() as u64;
+        remine.stats.observe_batch(
+            compiled,
+            &self.kb,
+            &zodiac_mining::ShardConfig::with_shards(self.cfg.mining_shards),
+        );
         let changed = remine.stats.take_affected_types();
         let fresh =
             mine_types_with_stats(remine.stats.stats(), &self.kb, &self.cfg.mining, &changed);

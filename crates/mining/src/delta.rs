@@ -24,8 +24,10 @@
 //! `PartialEq`-exact, so template instantiation over it yields the same
 //! candidate checks as full re-mining.
 
-use crate::stats::{CorpusStats, DegreeKey, DegreeStats, LengthKey};
+use crate::stats::{CorpusStats, DegreeKey, DegreeStats, FlattenArena, LengthKey};
+use crate::ShardConfig;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use zodiac_kb::KnowledgeBase;
 use zodiac_model::{Program, Symbol};
 
@@ -148,9 +150,79 @@ impl IncrementalStats {
     pub fn observe(&mut self, id: impl Into<String>, program: Program, kb: &KnowledgeBase) -> bool {
         let id = id.into();
         let replaced = self.retract(&id, kb);
-        let per = CorpusStats::build(std::slice::from_ref(&program), kb, self.use_kb);
+        let mut per = CorpusStats::default();
+        per.observe_program(&program, kb, self.use_kb);
         self.absorb(&per, &id);
         self.programs.insert(id, program);
+        replaced
+    }
+
+    /// Observes a batch of projects, building each project's single-program
+    /// observation database on `shard.shards` worker threads before folding
+    /// them in sequentially (the fold itself is cheap and id-ordered state —
+    /// supporter indexes, type support — keeps it on the caller's thread).
+    /// Equivalent to calling [`IncrementalStats::observe`] per item, in
+    /// order; returns how many existing projects were replaced.
+    pub fn observe_batch(
+        &mut self,
+        items: Vec<(String, Program)>,
+        kb: &KnowledgeBase,
+        shard: &ShardConfig,
+    ) -> usize {
+        let shards = shard.shards.max(1).min(items.len());
+        let use_kb = self.use_kb;
+        let per: Vec<CorpusStats> = if shards <= 1 {
+            let mut arena = FlattenArena::default();
+            items
+                .iter()
+                .map(|(_, p)| {
+                    let mut s = CorpusStats::default();
+                    s.observe_program_with(p, kb, use_kb, &mut arena);
+                    s
+                })
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut indexed: Vec<(usize, CorpusStats)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let items = &items;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut arena = FlattenArena::default();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= items.len() {
+                                    break;
+                                }
+                                let mut s = CorpusStats::default();
+                                s.observe_program_with(&items[i].1, kb, use_kb, &mut arena);
+                                out.push((i, s));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("observe worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, s)| s).collect()
+        };
+        let mut replaced = 0;
+        for ((id, program), stats) in items.into_iter().zip(per) {
+            // Re-observing an id retracts the stored program first, so a
+            // duplicate id within one batch degrades to last-write-wins —
+            // the same outcome as sequential `observe` calls.
+            if self.retract(&id, kb) {
+                replaced += 1;
+            }
+            self.absorb(&stats, &id);
+            self.programs.insert(id, program);
+        }
         replaced
     }
 
@@ -169,116 +241,34 @@ impl IncrementalStats {
     // ---------------------------------------------------------------------
 
     fn absorb(&mut self, per: &CorpusStats, id: &str) {
-        let m = &mut self.merged;
-        m.total_programs += per.total_programs;
-        for (k, n) in &per.resource_count {
-            *m.resource_count.entry(*k).or_default() += n;
+        for k in per.resource_count.keys() {
             self.type_support
                 .entry(*k)
                 .or_default()
                 .insert(id.to_string());
             self.changed_types.insert(*k);
         }
-        for (k, n) in &per.attr_present {
-            *m.attr_present.entry(*k).or_default() += n;
-        }
-        for (k, n) in &per.attr_value {
-            *m.attr_value.entry(k.clone()).or_default() += n;
-        }
-        for (rt, attrs) in &per.attrs_of {
-            m.attrs_of
-                .entry(*rt)
-                .or_default()
-                .extend(attrs.iter().copied());
-        }
-        for (k, n) in &per.cond_support {
-            *m.cond_support.entry(k.clone()).or_default() += n;
-        }
-        for (k, inner) in &per.joint_value {
-            let dst = m.joint_value.entry(k.clone()).or_default();
-            for (ik, n) in inner {
-                *dst.entry(ik.clone()).or_default() += n;
-            }
-        }
-        for (k, inner) in &per.joint_present {
-            let dst = m.joint_present.entry(k.clone()).or_default();
-            for (ik, n) in inner {
-                *dst.entry(*ik).or_default() += n;
-            }
-        }
-        for (k, e) in &per.edges {
-            let dst = m.edges.entry(*k).or_default();
-            dst.occurrences += e.occurrences;
-            dst.dst_indeg_one += e.dst_indeg_one;
-            dst.dst_excl += e.dst_excl;
-            for (a, (x, y)) in &e.attr_eq {
-                let t = dst.attr_eq.entry(*a).or_default();
-                t.0 += x;
-                t.1 += y;
-            }
-            for (a, n) in &e.dst_vals {
-                *dst.dst_vals.entry(a.clone()).or_default() += n;
-            }
-            for (a, n) in &e.src_vals {
-                *dst.src_vals.entry(a.clone()).or_default() += n;
-            }
-            for (a, (x, y)) in &e.contain {
-                let t = dst.contain.entry(*a).or_default();
-                t.0 += x;
-                t.1 += y;
-            }
-        }
-        for (k, p) in &per.siblings {
-            let dst = m.siblings.entry(*k).or_default();
-            dst.pairs += p.pairs;
-            for (a, (x, y)) in &p.overlap {
-                let t = dst.overlap.entry(*a).or_default();
-                t.0 += x;
-                t.1 += y;
-            }
-        }
-        for (k, h) in &per.hubs {
-            let dst = m.hubs.entry(*k).or_default();
-            dst.occurrences += h.occurrences;
-            for (a, (x, y)) in &h.name_ne {
-                let t = dst.name_ne.entry(*a).or_default();
-                t.0 += x;
-                t.1 += y;
-            }
-            for (a, (x, y)) in &h.no_overlap {
-                let t = dst.no_overlap.entry(*a).or_default();
-                t.0 += x;
-                t.1 += y;
-            }
-        }
-        for (k, p) in &per.copaths {
-            let dst = m.copaths.entry(*k).or_default();
-            dst.pairs += p.pairs;
-            for (a, (x, y)) in &p.overlap {
-                let t = dst.overlap.entry(*a).or_default();
-                t.0 += x;
-                t.1 += y;
-            }
-        }
-        for (k, (x, y)) in &per.path_loc_eq {
-            let t = m.path_loc_eq.entry(*k).or_default();
-            t.0 += x;
-            t.1 += y;
-        }
-        // Non-invertible aggregates: record the contribution, re-fold the key.
+        // The shard driver's merge is the single definition of "add a
+        // partial database in": additive tables sum, set tables union, and
+        // the monotone aggregates (degree max, length min) fold exactly as
+        // the supporter-index refold would for an *addition* — max of
+        // maxima, min of minima, sum of counts. Sharing the code is what
+        // keeps incremental observes field-for-field consistent with merged
+        // shard stats.
+        self.merged.merge_from(per);
+        // Record the supporter contributions so a later retract can re-fold
+        // the non-invertible aggregates.
         for (k, d) in &per.degrees {
             self.degree_contrib
                 .entry(k.clone())
                 .or_default()
                 .insert(id.to_string(), d.clone());
-            refold_degree(m, &self.degree_contrib, k);
         }
         for (k, l) in &per.lengths {
             self.length_contrib
                 .entry(k.clone())
                 .or_default()
                 .insert(id.to_string(), *l);
-            refold_length(m, &self.length_contrib, k);
         }
     }
 

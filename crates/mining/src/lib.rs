@@ -21,11 +21,16 @@
 
 pub mod delta;
 pub mod oracle;
+pub mod shard;
 pub mod stats;
 pub mod templates;
 
 pub use delta::IncrementalStats;
 pub use oracle::{DocOracle, InterpQuery};
+pub use shard::{
+    available_shards, build_stats_sharded, build_stats_streaming, mine_sharded, mine_sharded_obs,
+    mine_streaming, mine_streaming_obs, ShardConfig,
+};
 pub use stats::CorpusStats;
 
 use serde::Serialize;
@@ -172,7 +177,7 @@ pub fn mine_types_with_stats(
 
 /// Instantiation + statistical filtering + oracle interpolation over a
 /// built observation database.
-fn mine_stats_inner(
+pub(crate) fn mine_stats_inner(
     stats: &CorpusStats,
     kb: &KnowledgeBase,
     cfg: &MiningConfig,

@@ -1,0 +1,372 @@
+//! Shard-parallel corpus observation: the 100k-project mining substrate.
+//!
+//! [`CorpusStats::build`] folds the whole corpus on one thread. At paper
+//! scale (~6k projects) that is fine; at the 100k+ scale the shard driver
+//! targets, the observation pass dominates mining wall-clock and
+//! parallelises perfectly because per-project observations are independent
+//! (see [`CorpusStats::observe_program`]). The driver here fans projects
+//! across `shards` worker threads, two ways:
+//!
+//! * [`build_stats_sharded_obs`] — over a materialised `&[Program]`:
+//!   workers *steal* fixed-size chunks of the slice from a shared atomic
+//!   cursor until it is exhausted, so a straggler chunk never idles the
+//!   other workers;
+//! * [`build_stats_streaming_obs`] — over any `Iterator<Item = Program>`:
+//!   the calling thread generates projects and feeds batches through a
+//!   bounded channel that workers pull from; only `shards × batch`-ish
+//!   projects are ever alive at once, so a 100k-project corpus streams
+//!   through mining without a `Vec<Project>` materialisation.
+//!
+//! Each worker accumulates a **shard-local** [`CorpusStats`] (reusing one
+//! [`FlattenArena`] for every project's flattened attribute vectors) and
+//! the driver merges shard stats **in shard-index order** via
+//! [`CorpusStats::merge_from`]. The merge is exact — integer counters,
+//! set unions, and monotone folds only — so which worker observed which
+//! project never shows: any shard count, any batch size, any scheduling
+//! interleaving produces a database `PartialEq`-identical to the
+//! monolithic build, and therefore byte-identical mined check sets. The
+//! `shard-invariance` fuzz property and the differential tests in
+//! `tests/shard_equivalence.rs` pin exactly that.
+//!
+//! Observability: each worker records a `pipeline/mining/stats/shard` leaf
+//! span (attrs `shard`, `projects`), and the final fold records its cost
+//! in the `mining.shard_merge_ns` counter.
+
+use crate::stats::{CorpusStats, FlattenArena};
+use crate::{MiningConfig, MiningReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use zodiac_kb::KnowledgeBase;
+use zodiac_model::Program;
+use zodiac_obs::Obs;
+
+/// Shard-driver configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker threads observing projects. `1` keeps everything on the
+    /// calling thread (no channel, no spawn) and is the default.
+    pub shards: usize,
+    /// Projects per work unit — the granularity workers steal at. Large
+    /// enough to amortise queue traffic, small enough to balance tails.
+    pub batch: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            batch: 32,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A configuration using every available core.
+    pub fn all_cores() -> Self {
+        ShardConfig {
+            shards: available_shards(),
+            ..Default::default()
+        }
+    }
+
+    /// `shards` workers with the default batch size.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardConfig {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Merges shard-local databases in shard-index order; the merge itself is
+/// order-insensitive (integer counters only), so this determinism is
+/// belt-and-braces rather than load-bearing. Records `mining.shard_merge_ns`.
+fn merge_shards(shards: Vec<CorpusStats>, obs: &Obs) -> CorpusStats {
+    let start = Instant::now();
+    let mut iter = shards.into_iter();
+    let mut merged = iter.next().unwrap_or_default();
+    for shard in iter {
+        merged.merge_from(&shard);
+    }
+    obs.counter("mining.shard_merge_ns", start.elapsed().as_nanos() as u64);
+    merged
+}
+
+/// Builds [`CorpusStats`] over a materialised corpus with `cfg.shards`
+/// workers stealing chunks of the slice. Equals `CorpusStats::build`
+/// exactly, for every shard count.
+pub fn build_stats_sharded(
+    programs: &[Program],
+    kb: &KnowledgeBase,
+    use_kb: bool,
+    cfg: &ShardConfig,
+) -> CorpusStats {
+    build_stats_sharded_obs(programs, kb, use_kb, cfg, &Obs::null())
+}
+
+/// [`build_stats_sharded`] with per-shard spans and merge timing.
+pub fn build_stats_sharded_obs(
+    programs: &[Program],
+    kb: &KnowledgeBase,
+    use_kb: bool,
+    cfg: &ShardConfig,
+    obs: &Obs,
+) -> CorpusStats {
+    let shards = cfg.shards.max(1);
+    if shards == 1 || programs.len() < 2 {
+        let mut stats = CorpusStats::default();
+        let mut arena = FlattenArena::default();
+        for p in programs {
+            stats.observe_program_with(p, kb, use_kb, &mut arena);
+        }
+        return stats;
+    }
+    let batch = cfg.batch.max(1);
+    let chunks = programs.len().div_ceil(batch);
+    let cursor = AtomicUsize::new(0);
+    let shard_stats: Vec<CorpusStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut span = obs.start_leaf_span("pipeline/mining/stats/shard");
+                    span.attr("shard", shard);
+                    let mut local = CorpusStats::default();
+                    let mut arena = FlattenArena::default();
+                    let mut observed = 0usize;
+                    loop {
+                        let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= chunks {
+                            break;
+                        }
+                        let start = chunk * batch;
+                        let end = (start + batch).min(programs.len());
+                        for p in &programs[start..end] {
+                            local.observe_program_with(p, kb, use_kb, &mut arena);
+                        }
+                        observed += end - start;
+                    }
+                    span.attr("projects", observed);
+                    span.finish();
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    merge_shards(shard_stats, obs)
+}
+
+/// Builds [`CorpusStats`] from a project stream without materialising it.
+/// Returns the merged database and the number of projects observed.
+pub fn build_stats_streaming<I>(
+    projects: I,
+    kb: &KnowledgeBase,
+    use_kb: bool,
+    cfg: &ShardConfig,
+) -> (CorpusStats, usize)
+where
+    I: Iterator<Item = Program>,
+{
+    build_stats_streaming_obs(projects, kb, use_kb, cfg, &Obs::null())
+}
+
+/// [`build_stats_streaming`] with per-shard spans and merge timing. The
+/// calling thread drives the iterator (corpus generation is sequential per
+/// seed) and feeds project batches through a bounded channel; `cfg.shards`
+/// workers pull batches as they free up. Bounded capacity keeps at most
+/// `2 × shards` batches in flight, which is what caps peak memory.
+pub fn build_stats_streaming_obs<I>(
+    projects: I,
+    kb: &KnowledgeBase,
+    use_kb: bool,
+    cfg: &ShardConfig,
+    obs: &Obs,
+) -> (CorpusStats, usize)
+where
+    I: Iterator<Item = Program>,
+{
+    let shards = cfg.shards.max(1);
+    let batch = cfg.batch.max(1);
+    if shards == 1 {
+        let mut stats = CorpusStats::default();
+        let mut arena = FlattenArena::default();
+        let mut observed = 0usize;
+        for p in projects {
+            stats.observe_program_with(&p, kb, use_kb, &mut arena);
+            observed += 1;
+        }
+        return (stats, observed);
+    }
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<Program>>(shards * 2);
+    let mut observed = 0usize;
+    let shard_stats: Vec<CorpusStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    let mut span = obs.start_leaf_span("pipeline/mining/stats/shard");
+                    span.attr("shard", shard);
+                    let mut local = CorpusStats::default();
+                    let mut arena = FlattenArena::default();
+                    let mut seen = 0usize;
+                    while let Ok(batch) = rx.recv() {
+                        for p in &batch {
+                            local.observe_program_with(p, kb, use_kb, &mut arena);
+                        }
+                        seen += batch.len();
+                    }
+                    span.attr("projects", seen);
+                    span.finish();
+                    local
+                })
+            })
+            .collect();
+        // The scope thread is the producer; dropping its receiver clone
+        // first means worker `recv` errors exactly when the stream ends.
+        drop(rx);
+        let mut buf = Vec::with_capacity(batch);
+        for p in projects {
+            observed += 1;
+            buf.push(p);
+            if buf.len() == batch && tx.send(std::mem::take(&mut buf)).is_err() {
+                break; // workers gone: a panic is surfacing via join below
+            }
+        }
+        if !buf.is_empty() {
+            let _ = tx.send(buf);
+        }
+        drop(tx);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    (merge_shards(shard_stats, obs), observed)
+}
+
+/// Full mining over a materialised corpus with sharded observation.
+/// Byte-identical to [`crate::mine`] for every shard count.
+pub fn mine_sharded(
+    programs: &[Program],
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    shard: &ShardConfig,
+) -> MiningReport {
+    mine_sharded_obs(programs, kb, cfg, shard, &Obs::null())
+}
+
+/// [`mine_sharded`] with an observability handle.
+pub fn mine_sharded_obs(
+    programs: &[Program],
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    shard: &ShardConfig,
+    obs: &Obs,
+) -> MiningReport {
+    let _span = obs.start_span("pipeline/mining");
+    let stats_span = obs.start_span("pipeline/mining/stats");
+    let stats = build_stats_sharded_obs(programs, kb, cfg.use_kb, shard, obs);
+    stats_span.finish();
+    crate::mine_stats_inner(&stats, kb, cfg, obs, None)
+}
+
+/// Full mining over a project stream: observation never materialises the
+/// corpus. Returns the report plus the number of projects streamed.
+/// Byte-identical to [`crate::mine`] over the collected stream.
+pub fn mine_streaming<I>(
+    projects: I,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    shard: &ShardConfig,
+) -> (MiningReport, usize)
+where
+    I: Iterator<Item = Program>,
+{
+    mine_streaming_obs(projects, kb, cfg, shard, &Obs::null())
+}
+
+/// [`mine_streaming`] with an observability handle.
+pub fn mine_streaming_obs<I>(
+    projects: I,
+    kb: &KnowledgeBase,
+    cfg: &MiningConfig,
+    shard: &ShardConfig,
+    obs: &Obs,
+) -> (MiningReport, usize)
+where
+    I: Iterator<Item = Program>,
+{
+    let _span = obs.start_span("pipeline/mining");
+    let stats_span = obs.start_span("pipeline/mining/stats");
+    let (stats, observed) = build_stats_streaming_obs(projects, kb, cfg.use_kb, shard, obs);
+    stats_span.finish();
+    (
+        crate::mine_stats_inner(&stats, kb, cfg, obs, None),
+        observed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zodiac_model::Resource;
+
+    fn corpus(n: usize) -> Vec<Program> {
+        (0..n)
+            .map(|i| {
+                let mut vm = Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("name", format!("vm-{i}"))
+                    .with("size", "Standard_B1s")
+                    .with("priority", if i % 3 == 0 { "Spot" } else { "Regular" });
+                if i % 3 == 0 {
+                    vm = vm.with("eviction_policy", "Deallocate");
+                }
+                Program::new().with(vm)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_equals_monolithic() {
+        let kb = zodiac_kb::azure_kb();
+        let programs = corpus(50);
+        let mono = CorpusStats::build(&programs, &kb, true);
+        for shards in [1, 2, 3, 8] {
+            let cfg = ShardConfig { shards, batch: 7 };
+            let sharded = build_stats_sharded(&programs, &kb, true, &cfg);
+            assert_eq!(sharded, mono, "{shards} shards diverge");
+            let (streamed, n) = build_stats_streaming(programs.iter().cloned(), &kb, true, &cfg);
+            assert_eq!(n, programs.len());
+            assert_eq!(streamed, mono, "{shards}-shard stream diverges");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_corpora() {
+        let kb = zodiac_kb::azure_kb();
+        let cfg = ShardConfig::with_shards(4);
+        assert_eq!(
+            build_stats_sharded(&[], &kb, true, &cfg),
+            CorpusStats::default()
+        );
+        let (stats, n) = build_stats_streaming(std::iter::empty(), &kb, true, &cfg);
+        assert_eq!(n, 0);
+        assert_eq!(stats, CorpusStats::default());
+        let one = corpus(1);
+        assert_eq!(
+            build_stats_sharded(&one, &kb, true, &cfg),
+            CorpusStats::build(&one, &kb, true)
+        );
+    }
+}

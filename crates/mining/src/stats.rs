@@ -140,15 +140,152 @@ impl CorpusStats {
     /// names for statement values); without it, *every* observed string or
     /// boolean value does — the unconstrained search space of Figure 7a.
     pub fn build(programs: &[Program], kb: &KnowledgeBase, use_kb: bool) -> Self {
-        let mut s = CorpusStats {
-            total_programs: programs.len(),
-            ..Default::default()
-        };
+        let mut s = CorpusStats::default();
+        let mut arena = FlattenArena::default();
         for program in programs {
-            let graph = ResourceGraph::build(program.clone());
-            s.observe_graph(&graph, kb, use_kb);
+            s.observe_program_with(program, kb, use_kb, &mut arena);
         }
         s
+    }
+
+    /// Observes one program into the database. Every observation a program
+    /// contributes depends only on that program (within `observe_graph` the
+    /// intra pass populates `attrs_of` before the sibling pass reads it),
+    /// so `build` over any partition of a corpus, merged with
+    /// [`CorpusStats::merge_from`], equals the monolithic build — the
+    /// invariant sharded mining rests on.
+    pub fn observe_program(&mut self, program: &Program, kb: &KnowledgeBase, use_kb: bool) {
+        self.observe_program_with(program, kb, use_kb, &mut FlattenArena::default());
+    }
+
+    /// [`CorpusStats::observe_program`] with a caller-held [`FlattenArena`],
+    /// so a shard worker streaming thousands of projects reuses one
+    /// allocation for every project's flattened attribute vectors.
+    pub fn observe_program_with(
+        &mut self,
+        program: &Program,
+        kb: &KnowledgeBase,
+        use_kb: bool,
+        arena: &mut FlattenArena,
+    ) {
+        self.total_programs += 1;
+        let graph = ResourceGraph::build(program.clone());
+        arena.begin(&graph, kb, use_kb);
+        self.observe_graph(&graph, kb, use_kb, arena);
+    }
+
+    /// Merges another database into this one: the **exact**, order- and
+    /// partition-insensitive shard merge.
+    ///
+    /// Every table is an integer counter (sums), a set (unions), or a
+    /// monotone fold (degree maxima, length minima) — there is no floating-
+    /// point accumulation anywhere, so merging shards in any order yields
+    /// bit-identical state, and the probabilities ([`CorpusStats::p_value`]
+    /// & friends) derived from the merged counters at query time are
+    /// bit-identical too. [`crate::IncrementalStats`] absorbs per-project
+    /// contributions through this same method, keeping the daemon's
+    /// incremental database field-for-field consistent with shard merges.
+    pub fn merge_from(&mut self, other: &CorpusStats) {
+        self.total_programs += other.total_programs;
+        for (k, n) in &other.resource_count {
+            *self.resource_count.entry(*k).or_default() += n;
+        }
+        for (k, n) in &other.attr_present {
+            *self.attr_present.entry(*k).or_default() += n;
+        }
+        for (k, n) in &other.attr_value {
+            *self.attr_value.entry(k.clone()).or_default() += n;
+        }
+        for (rt, attrs) in &other.attrs_of {
+            self.attrs_of
+                .entry(*rt)
+                .or_default()
+                .extend(attrs.iter().copied());
+        }
+        for (k, n) in &other.cond_support {
+            *self.cond_support.entry(k.clone()).or_default() += n;
+        }
+        for (k, inner) in &other.joint_value {
+            let dst = self.joint_value.entry(k.clone()).or_default();
+            for (ik, n) in inner {
+                *dst.entry(ik.clone()).or_default() += n;
+            }
+        }
+        for (k, inner) in &other.joint_present {
+            let dst = self.joint_present.entry(k.clone()).or_default();
+            for (ik, n) in inner {
+                *dst.entry(*ik).or_default() += n;
+            }
+        }
+        for (k, e) in &other.edges {
+            let dst = self.edges.entry(*k).or_default();
+            dst.occurrences += e.occurrences;
+            dst.dst_indeg_one += e.dst_indeg_one;
+            dst.dst_excl += e.dst_excl;
+            for (a, (x, y)) in &e.attr_eq {
+                let t = dst.attr_eq.entry(*a).or_default();
+                t.0 += x;
+                t.1 += y;
+            }
+            for (a, n) in &e.dst_vals {
+                *dst.dst_vals.entry(a.clone()).or_default() += n;
+            }
+            for (a, n) in &e.src_vals {
+                *dst.src_vals.entry(a.clone()).or_default() += n;
+            }
+            for (a, (x, y)) in &e.contain {
+                let t = dst.contain.entry(*a).or_default();
+                t.0 += x;
+                t.1 += y;
+            }
+        }
+        for (k, p) in &other.siblings {
+            let dst = self.siblings.entry(*k).or_default();
+            dst.pairs += p.pairs;
+            for (a, (x, y)) in &p.overlap {
+                let t = dst.overlap.entry(*a).or_default();
+                t.0 += x;
+                t.1 += y;
+            }
+        }
+        for (k, h) in &other.hubs {
+            let dst = self.hubs.entry(*k).or_default();
+            dst.occurrences += h.occurrences;
+            for (a, (x, y)) in &h.name_ne {
+                let t = dst.name_ne.entry(*a).or_default();
+                t.0 += x;
+                t.1 += y;
+            }
+            for (a, (x, y)) in &h.no_overlap {
+                let t = dst.no_overlap.entry(*a).or_default();
+                t.0 += x;
+                t.1 += y;
+            }
+        }
+        for (k, p) in &other.copaths {
+            let dst = self.copaths.entry(*k).or_default();
+            dst.pairs += p.pairs;
+            for (a, (x, y)) in &p.overlap {
+                let t = dst.overlap.entry(*a).or_default();
+                t.0 += x;
+                t.1 += y;
+            }
+        }
+        for (k, (x, y)) in &other.path_loc_eq {
+            let t = self.path_loc_eq.entry(*k).or_default();
+            t.0 += x;
+            t.1 += y;
+        }
+        for (k, d) in &other.degrees {
+            let entry = self.degrees.entry(k.clone()).or_default();
+            entry.max = entry.max.max(d.max);
+            entry.count += d.count;
+        }
+        for (k, (min, count)) in &other.lengths {
+            let entry = self.lengths.entry(k.clone()).or_insert((i64::MAX, 0));
+            entry.0 = entry.0.min(*min);
+            entry.1 += count;
+        }
     }
 
     /// The marginal probability `P(rtype.attr == value)`.
@@ -263,17 +400,23 @@ impl CorpusStats {
             .collect()
     }
 
-    fn observe_graph(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
+    fn observe_graph(
+        &mut self,
+        graph: &ResourceGraph,
+        kb: &KnowledgeBase,
+        use_kb: bool,
+        arena: &FlattenArena,
+    ) {
         // --- per-resource (intra) observations -------------------------
         for idx in 0..graph.len() {
             let r = graph.resource(idx);
             let rt = Symbol::intern(&r.rtype);
             *self.resource_count.entry(rt).or_default() += 1;
-            let leaves = flatten(r, kb, use_kb);
-            for (attr, _) in &leaves {
+            let leaves = arena.leaves(idx);
+            for (attr, _) in leaves {
                 self.attrs_of.entry(rt).or_default().insert(*attr);
             }
-            for (attr, v) in &leaves {
+            for (attr, v) in leaves {
                 *self.attr_present.entry((rt, *attr)).or_default() += 1;
                 if track_value(v) {
                     *self.attr_value.entry((rt, *attr, v.clone())).or_default() += 1;
@@ -290,7 +433,7 @@ impl CorpusStats {
                 *self.cond_support.entry(key.clone()).or_default() += 1;
                 let jv = self.joint_value.entry(key.clone()).or_default();
                 let jp = self.joint_present.entry(key).or_default();
-                for (attr, v) in &leaves {
+                for (attr, v) in leaves {
                     if attr == ca {
                         continue;
                     }
@@ -344,12 +487,12 @@ impl CorpusStats {
                 Symbol::intern(&dst.rtype),
                 Symbol::intern(&e.out_attr),
             );
-            let src_leaves = flatten(src, kb, use_kb);
-            let dst_leaves = flatten(dst, kb, use_kb);
+            let src_leaves = arena.leaves(e.src);
+            let dst_leaves = arena.leaves(e.dst);
             let stats = self.edges.entry(key).or_default();
             stats.occurrences += 1;
             // Same-path equality.
-            for (a, v) in &src_leaves {
+            for (a, v) in src_leaves {
                 if let Some((_, w)) = dst_leaves.iter().find(|(b, _)| b == a) {
                     let entry = stats.attr_eq.entry(*a).or_default();
                     entry.1 += 1;
@@ -611,17 +754,58 @@ impl CorpusStats {
 // Attribute helpers
 // --------------------------------------------------------------------------
 
+/// A per-project arena for flattened attribute vectors.
+///
+/// Every resource's `(path, leaf value)` pairs live contiguously in one
+/// backing vector with per-resource index ranges, so the observation pass
+/// flattens each resource exactly once per project (the edge pass used to
+/// re-flatten both endpoints of every edge) and a shard worker streaming
+/// projects reuses the same backing allocation for all of them.
+#[derive(Debug, Default)]
+pub struct FlattenArena {
+    leaves: Vec<(Symbol, Value)>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl FlattenArena {
+    /// Flattens every resource of `graph`, replacing the previous project's
+    /// contents but keeping the backing capacity.
+    pub fn begin(&mut self, graph: &ResourceGraph, kb: &KnowledgeBase, use_kb: bool) {
+        self.leaves.clear();
+        self.spans.clear();
+        for idx in 0..graph.len() {
+            let start = self.leaves.len();
+            flatten_into(graph.resource(idx), kb, use_kb, &mut self.leaves);
+            self.spans.push((start as u32, self.leaves.len() as u32));
+        }
+    }
+
+    /// The flattened leaves of resource `idx` in the current project.
+    pub fn leaves(&self, idx: usize) -> &[(Symbol, Value)] {
+        let (start, end) = self.spans[idx];
+        &self.leaves[start as usize..end as usize]
+    }
+}
+
 /// Flattens a resource into `(normalised path, leaf value)` pairs, applying
 /// KB defaults for omitted enum/bool attributes when `use_kb` is set.
 pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(Symbol, Value)> {
     let mut out = Vec::new();
+    flatten_into(r, kb, use_kb, &mut out);
+    out
+}
+
+/// [`flatten`] into a caller-held buffer: appends to `out` without
+/// clearing, so an arena can pack many resources into one vector.
+fn flatten_into(r: &Resource, kb: &KnowledgeBase, use_kb: bool, out: &mut Vec<(Symbol, Value)>) {
+    let start = out.len();
     for (k, v) in &r.attrs {
-        flatten_value(k, v, &mut out);
+        flatten_value(k, v, out);
     }
     if use_kb {
         if let Some(schema) = kb.resource(&r.rtype) {
             for attr in schema.attrs.values() {
-                if out.iter().any(|(a, _)| *a == attr.path) {
+                if out[start..].iter().any(|(a, _)| *a == attr.path) {
                     continue;
                 }
                 if let Some(default) = attr.format.default_value() {
@@ -630,7 +814,6 @@ pub fn flatten(r: &Resource, kb: &KnowledgeBase, use_kb: bool) -> Vec<(Symbol, V
             }
         }
     }
-    out
 }
 
 fn flatten_value(path: &str, v: &Value, out: &mut Vec<(Symbol, Value)>) {

@@ -56,12 +56,14 @@
 //! (motif names, template families, failure phases) go in the last
 //! segment.
 
+mod alloc;
 mod event;
 mod jsonl;
 mod perfetto;
 mod registry;
 mod snapshot;
 
+pub use alloc::CountingAlloc;
 pub use event::{CandidateEvent, Lifecycle, Polarity};
 pub use jsonl::JsonLinesSink;
 pub use perfetto::{chrome_trace_json, PerfettoSink, TraceInstant, TraceSpan};

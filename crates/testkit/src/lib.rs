@@ -114,6 +114,7 @@ pub const PROPERTIES: &[&str] = &[
     "repair-soundness",
     "repair-minimality",
     "repair-intent",
+    "shard-invariance",
 ];
 
 /// One verified-property failure, with everything needed to replay it.

@@ -10,7 +10,7 @@ use crate::shrink;
 use crate::{EpisodeStats, FuzzConfig, FuzzFailure, FuzzReport};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use zodiac_cloud::{CloudSim, DeployOutcome, Phase, TRANSIENT_PREFIX};
 use zodiac_graph::ResourceGraph;
@@ -256,6 +256,71 @@ pub(crate) fn run_episode(
                 "{} candidate(s) vanished when the corpus was self-duplicated: {:?}",
                 lost.len(),
                 lost
+            ),
+        });
+    }
+
+    // --- P10: shard invariance ---------------------------------------------
+    // Mining with a random shard count, over both the materialised corpus
+    // and a stream of it, must reproduce the 1-shard candidate list
+    // byte-for-byte — same checks, same order, same statistics to the last
+    // float bit. This is the fuzzing face of the exact integer-counter
+    // shard merge (`CorpusStats::merge_from`).
+    report.tally("shard-invariance", 1);
+    let shard_cfg = zodiac_mining::ShardConfig {
+        shards: rng.gen_range(2..=9),
+        batch: rng.gen_range(1..=16),
+    };
+    let fingerprint = |checks: &[zodiac_mining::MinedCheck]| -> Vec<String> {
+        checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}|{}|{}|{:016x}|{:?}",
+                    c.check,
+                    c.family,
+                    c.support,
+                    c.confidence.to_bits(),
+                    c.lift.map(f64::to_bits),
+                )
+            })
+            .collect()
+    };
+    let baseline_fp = fingerprint(&mining.checks);
+    let sharded = zodiac_mining::mine_sharded(&corpus, &kb, &MiningConfig::default(), &shard_cfg);
+    let (streamed, streamed_n) = zodiac_mining::mine_streaming(
+        corpus.iter().cloned(),
+        &kb,
+        &MiningConfig::default(),
+        &shard_cfg,
+    );
+    for (mode, got, ok) in [
+        ("materialised", fingerprint(&sharded.checks), true),
+        (
+            "streaming",
+            fingerprint(&streamed.checks),
+            streamed_n == corpus.len(),
+        ),
+    ] {
+        if got == baseline_fp && ok {
+            continue;
+        }
+        let only_base: Vec<&String> = baseline_fp.iter().filter(|c| !got.contains(c)).collect();
+        let only_shard: Vec<&String> = got.iter().filter(|c| !baseline_fp.contains(c)).collect();
+        report.fail(FuzzFailure {
+            property: "shard-invariance",
+            episode: ep,
+            replay_seed: episode_seed,
+            detail: format!(
+                "{mode} mine with {} shards (batch {}) diverges from the 1-shard candidate list\n\
+                 only 1-shard ({}): {:?}\n\
+                 only sharded ({}): {:?}",
+                shard_cfg.shards,
+                shard_cfg.batch,
+                only_base.len(),
+                only_base,
+                only_shard.len(),
+                only_shard
             ),
         });
     }

@@ -19,6 +19,22 @@ cargo test --benches -q --locked
 # scheduler noise.
 ./target/release/schedule_smoke --runs 3 --ceiling-ms 2200
 
+# Scale smoke: shard-parallel streaming mining must stay shard-invariant —
+# a 10k-project streaming mine with every core must print the same
+# check_set_hash as a 1-shard run — and 600-project mining throughput must
+# clear the projects/sec floor recorded in BENCH_mining_scale.json.
+scale_one=$(./target/release/scale_smoke --projects 10000 --stream)
+scale_all=$(./target/release/scale_smoke --projects 10000 --stream --shards "$(nproc)")
+echo "$scale_one"; echo "$scale_all"
+h1=$(echo "$scale_one" | sed -n 's/.*"check_set_hash":"\([0-9a-f]*\)".*/\1/p')
+h2=$(echo "$scale_all" | sed -n 's/.*"check_set_hash":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$h1" ] && [ "$h1" = "$h2" ] \
+  || { echo "scale smoke: sharded check set diverges from 1-shard ($h1 vs $h2)"; exit 1; }
+pps_floor=$(sed -n 's/.*"mining\/scale-600-pps": \([0-9.]*\).*/\1/p' BENCH_mining_scale.json)
+[ -n "$pps_floor" ] \
+  || { echo "scale smoke: no 600-tier pps floor in BENCH_mining_scale.json"; exit 1; }
+./target/release/scale_smoke --projects 600 --floor "$pps_floor"
+
 # Regression seed files must exist and must be tracked — a gitignored seed
 # file silently un-pins every replayed failure.
 regressions=$(find crates -path '*proptest-regressions*' -type f)

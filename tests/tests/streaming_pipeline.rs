@@ -1,0 +1,83 @@
+//! End-to-end shard/stream invariance: the full pipeline (corpus → sharded
+//! mining → validation → counterexamples) must produce the same result
+//! whether the corpus is materialised or streamed and however many mining
+//! shards run (ISSUE 9). The mining-crate differential tests pin the
+//! observation database; this pins everything downstream of it through the
+//! public `PipelineConfig` surface — the exact path `zodiac mine --shards N
+//! --stream` executes.
+
+use zodiac::{run_pipeline, PipelineConfig, PipelineResult};
+use zodiac_spec::Check;
+
+fn config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::evaluation();
+    cfg.corpus.projects = 120;
+    cfg.corpus.seed = 0xC0FFEF;
+    cfg.counterexample_projects = 60;
+    cfg
+}
+
+fn final_checks(result: &PipelineResult) -> Vec<String> {
+    result
+        .final_checks
+        .iter()
+        .map(|v| {
+            format!(
+                "{} | c={:016x}",
+                v.mined.check,
+                v.mined.confidence.to_bits()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn streaming_sharded_pipeline_matches_batch() {
+    let batch = run_pipeline(&config());
+    let batch_set = final_checks(&batch);
+    assert!(
+        !batch_set.is_empty(),
+        "batch pipeline validated nothing — comparison is vacuous"
+    );
+
+    // Sharded mining over the materialised corpus.
+    let mut sharded_cfg = config();
+    sharded_cfg.mining_shards = 5;
+    let sharded = run_pipeline(&sharded_cfg);
+    assert_eq!(final_checks(&sharded), batch_set);
+    assert_eq!(sharded.corpus_projects, batch.corpus_projects);
+    assert_eq!(sharded.demoted, batch.demoted);
+
+    // Streaming corpus + sharded mining: at this scale the validation
+    // prefix covers the whole corpus, so the runs must be byte-identical
+    // end-to-end, demotions and all.
+    let mut stream_cfg = config();
+    stream_cfg.mining_shards = 3;
+    stream_cfg.stream_corpus = true;
+    let streamed = run_pipeline(&stream_cfg);
+    assert_eq!(final_checks(&streamed), batch_set);
+    assert_eq!(streamed.corpus_projects, batch.corpus_projects);
+    assert_eq!(streamed.demoted, batch.demoted);
+    assert_eq!(
+        streamed.validation.false_positives.len(),
+        batch.validation.false_positives.len()
+    );
+}
+
+#[test]
+fn validation_projects_caps_the_deployed_corpus() {
+    let mut cfg = config();
+    cfg.counterexample_projects = 0;
+    cfg.stream_corpus = true;
+    cfg.validation_projects = Some(40);
+    let result = run_pipeline(&cfg);
+    // Mining still sees the whole corpus; only validation's deployable
+    // slice is capped, and the check set stays well-formed.
+    assert_eq!(result.corpus_projects, 120);
+    let checks: Vec<Check> = result
+        .final_checks
+        .iter()
+        .map(|v| v.mined.check.clone())
+        .collect();
+    assert!(!checks.is_empty());
+}
