@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "insights" => cmd_insights(rest),
         "fuzz" => cmd_fuzz(rest),
         "client" => cmd_client(rest),
+        "top" => cmd_top(rest),
         "deploy-cache" => cmd_deploy_cache(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -46,7 +47,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!(
             "unknown command: {other} (commands: mine, scan, repair, deploy, explain, \
-             report, insights, fuzz, client, deploy-cache; the serving daemon is the \
+             report, insights, fuzz, client, top, deploy-cache; the serving daemon is the \
              separate `zodiacd` binary)\n{USAGE}"
         )),
     };
@@ -98,8 +99,15 @@ USAGE:
                                                          check set (repaired source written
                                                          under --out)
         status | list-checks | shutdown                  serving counters / live checks / stop
+        metrics                                          Prometheus exposition page on stdout
         explain <fp>                                     one check's stored provenance
         delta [--upsert ID=FILE]... [--remove ID]...     submit a corpus delta, re-mine
+    zodiac top --socket PATH [--interval SECS]         live per-op dashboard for a running
+               [--frames N]                            daemon: req/s, latency quantiles,
+                                                       error rates, cache hit rate, heap,
+                                                       and the slowest recent requests
+                                                       (--frames bounds the refresh loop,
+                                                       e.g. --frames 1 for one still frame)
 
     (start the daemon itself with `zodiacd --store DIR`; see `zodiacd --help`)
 
@@ -1077,6 +1085,35 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                     println!("{key}: {v}");
                 }
             }
+            if let Some(ready) = resp.get("ready").and_then(Value::as_bool) {
+                println!("ready: {ready}");
+            }
+            if let Some(gauges) = resp.get("metrics").and_then(|m| m.get("gauges")) {
+                if let Some(live) = gauges.get("heap.live_bytes").and_then(Value::as_u64) {
+                    let peak = gauges
+                        .get("heap.peak_bytes")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(live);
+                    println!("heap: {} live, {} peak", fmt_bytes(live), fmt_bytes(peak));
+                }
+            }
+            let table = render_op_table(resp.get("rolling").unwrap_or(&Value::Null));
+            if !table.is_empty() {
+                println!();
+                for line in table {
+                    println!("{line}");
+                }
+            }
+            Ok(())
+        }
+        "metrics" => {
+            reject_leftovers("client metrics", &rest)?;
+            let resp = client.call(Value::Object(client_request("metrics")))?;
+            let page = resp
+                .get("prometheus")
+                .and_then(Value::as_str)
+                .ok_or("metrics response missing the prometheus page")?;
+            print!("{page}");
             Ok(())
         }
         "list-checks" => {
@@ -1176,7 +1213,213 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!(
             "client: unknown operation {other:?} (expected scan, repair, status, \
-             list-checks, explain, delta, shutdown)"
+             metrics, list-checks, explain, delta, shutdown)"
         )),
+    }
+}
+
+/// Formats a microsecond latency for dashboard tables.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{}.{}s", us / 1_000_000, us % 1_000_000 / 100_000)
+    } else if us >= 1_000 {
+        format!("{}.{}ms", us / 1_000, us % 1_000 / 100)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Formats a byte count for dashboard headers.
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}.{} MiB", bytes >> 20, ((bytes % (1 << 20)) * 10) >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{} KiB", bytes >> 10)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Renders milli-units (requests/s × 1000, errors per mille) as decimals.
+fn fmt_milli(v: u64) -> String {
+    format!("{}.{}", v / 1000, v % 1000 / 100)
+}
+
+fn fmt_permille(v: u64) -> String {
+    format!("{}.{}", v / 10, v % 10)
+}
+
+/// Renders the per-op rolling-window table embedded in `status`/`metrics`
+/// responses (`{"ops":{NAME:{"last_1m":{...},"last_1h":{...}}}}`). Empty
+/// when the daemon has served nothing yet.
+fn render_op_table(rolling: &serde_json::Value) -> Vec<String> {
+    use zodiac_obs::WindowSummary;
+    let mut lines = Vec::new();
+    let Some(ops) = rolling.get("ops").and_then(serde_json::Value::as_object) else {
+        return lines;
+    };
+    if ops.is_empty() {
+        return lines;
+    }
+    lines.push(format!(
+        "{:<20} {:>9} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "op", "1m req/s", "err%", "p50", "p95", "p99", "max", "1h req/s"
+    ));
+    for (name, windows) in ops {
+        let null = serde_json::Value::Null;
+        let m = WindowSummary::from_json(windows.get("last_1m").unwrap_or(&null));
+        let h = WindowSummary::from_json(windows.get("last_1h").unwrap_or(&null));
+        lines.push(format!(
+            "{:<20} {:>9} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9}",
+            name,
+            fmt_milli(m.rate_milli()),
+            fmt_permille(m.error_permille()),
+            fmt_us(m.p50_us),
+            fmt_us(m.p95_us),
+            fmt_us(m.p99_us),
+            fmt_us(m.max_us),
+            fmt_milli(h.rate_milli()),
+        ));
+    }
+    lines
+}
+
+/// `zodiac top`: a refreshing terminal dashboard over a running daemon's
+/// `metrics` op — per-op rolling windows, cumulative cache hit rate, live
+/// heap, and the slowest recent request per op with its check fingerprints
+/// (replayable via `zodiac client explain`).
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    use serde_json::Value;
+    let mut args = args.to_vec();
+    let socket = take_flag(&mut args, "--socket").ok_or("top requires --socket PATH")?;
+    let interval: u64 = take_flag(&mut args, "--interval")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--interval expects a number of seconds >= 1".to_string())
+        })
+        .transpose()?
+        .unwrap_or(2);
+    let frames: Option<u64> = take_flag(&mut args, "--frames")
+        .map(|v| {
+            v.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or("--frames expects a number >= 1".to_string())
+        })
+        .transpose()?;
+    reject_leftovers("top", &args)?;
+
+    // A single still frame (--frames 1) never clears — it composes with
+    // shell pipelines and the smoke tests; the refreshing dashboard
+    // repaints from the top-left each tick.
+    let clearing = frames != Some(1);
+    let mut served = 0u64;
+    loop {
+        // Reconnect per frame: the dashboard survives a daemon restart by
+        // picking up the new process on the next tick.
+        let mut client = DaemonClient::connect(&socket)?;
+        let resp = client.call(Value::Object(client_request("metrics")))?;
+        let mut out = String::new();
+        render_top_frame(&socket, &resp, &mut out);
+        if clearing {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("{out}");
+        served += 1;
+        if let Some(n) = frames {
+            if served >= n {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+    Ok(())
+}
+
+/// Builds one `zodiac top` frame from a `metrics` op response.
+fn render_top_frame(socket: &str, resp: &serde_json::Value, out: &mut String) {
+    use serde_json::Value;
+    use std::fmt::Write;
+    let ready = resp.get("ready").and_then(Value::as_bool).unwrap_or(false);
+    let snapshot = resp.get("snapshot");
+    let gauge = |name: &str| {
+        snapshot
+            .and_then(|s| s.get("gauges"))
+            .and_then(|g| g.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let counter = |name: &str| {
+        snapshot
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let _ = writeln!(
+        out,
+        "zodiacd @ {socket} — {}, {} check(s) live",
+        if ready { "ready" } else { "starting" },
+        gauge("daemon.checks_live"),
+    );
+    let scans = counter("daemon.scans");
+    let hits = counter("daemon.cache_hits");
+    let _ = writeln!(
+        out,
+        "heap {} live / {} peak — scan cache {} entr(ies), {}% hit over {} scan(s)",
+        fmt_bytes(gauge("heap.live_bytes")),
+        fmt_bytes(gauge("heap.peak_bytes")),
+        gauge("daemon.cache_entries"),
+        (hits * 100).checked_div(scans).unwrap_or(0),
+        scans,
+    );
+    let table = render_op_table(resp.get("rolling").unwrap_or(&Value::Null));
+    if table.is_empty() {
+        let _ = writeln!(out, "\n(no requests served yet)");
+    } else {
+        out.push('\n');
+        for line in table {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    // The slowest retained request per op, replayable by fingerprint.
+    let mut slow_lines = Vec::new();
+    if let Some(ops) = resp.get("exemplars").and_then(Value::as_object) {
+        for (op, list) in ops {
+            let Some(e) = list.as_array().and_then(|l| l.first()) else {
+                continue;
+            };
+            let latency = e.get("latency_us").and_then(Value::as_u64).unwrap_or(0);
+            let span = e.get("span_id").and_then(Value::as_u64).unwrap_or(0);
+            let fps: Vec<String> = e
+                .get("fingerprints")
+                .and_then(Value::as_array)
+                .into_iter()
+                .flatten()
+                .filter_map(Value::as_u64)
+                .map(|fp| format!("{fp:016x}"))
+                .collect();
+            slow_lines.push(format!(
+                "  {:<20} {:>8}  span {span}{}",
+                op,
+                fmt_us(latency),
+                if fps.is_empty() {
+                    String::new()
+                } else {
+                    format!("  checks {}", fps.join(","))
+                }
+            ));
+        }
+    }
+    if !slow_lines.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nslowest requests (replay checks with `zodiac client explain <fp>`):"
+        );
+        for line in slow_lines {
+            let _ = writeln!(out, "{line}");
+        }
     }
 }

@@ -13,8 +13,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use zodiac_daemon::{server, Daemon, DaemonConfig};
-use zodiac_obs::{JsonLinesSink, Obs, Recorder};
+use zodiac_daemon::{http, server, Daemon, DaemonConfig};
+use zodiac_obs::{CountingAlloc, JsonLinesSink, Obs, Recorder};
+
+/// Counting allocator so live/peak heap bytes are first-class telemetry
+/// (`heap.live_bytes` / `heap.peak_bytes` gauges in `/metrics` and
+/// `zodiac top`). Two relaxed atomics per alloc — noise on the hot path.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 const USAGE: &str = "zodiacd — serve validated semantic checks over a Unix domain socket
 
@@ -38,8 +44,14 @@ OPTIONS:
                          shared with `zodiac --deploy-cache` runs
     --trace-out FILE     stream lifecycle events (served verdicts) as JSON
                          lines, readable by `zodiac explain --trace`
+    --metrics-listen ADDR
+                         serve `GET /metrics` (Prometheus text) and
+                         `GET /healthz` (readiness) over HTTP on ADDR,
+                         e.g. 127.0.0.1:9464 (port 0 picks a free port;
+                         the resolved address is printed on stderr)
 
-Interact with a running daemon via `zodiac client`.";
+Interact with a running daemon via `zodiac client`; watch it live with
+`zodiac top`.";
 
 fn main() -> ExitCode {
     match run() {
@@ -72,6 +84,7 @@ fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
 }
 
 fn run() -> Result<(), String> {
+    CountingAlloc::set_global(&ALLOC);
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if take_switch(&mut args, "--help") || take_switch(&mut args, "-h") {
         println!("{USAGE}");
@@ -84,6 +97,7 @@ fn run() -> Result<(), String> {
     let socket = take_flag(&mut args, "--socket").map(PathBuf::from);
     let oneshot = take_switch(&mut args, "--oneshot");
     let trace_out = take_flag(&mut args, "--trace-out");
+    let metrics_listen = take_flag(&mut args, "--metrics-listen");
     let mut cfg = DaemonConfig::default();
     if let Some(v) = take_flag(&mut args, "--min-support") {
         cfg.mining.min_support = v
@@ -152,6 +166,28 @@ fn run() -> Result<(), String> {
     }
 
     let daemon = Arc::new(daemon);
+    // Store recovered and initial import published: the daemon is ready to
+    // answer with a consistent check set. `/healthz` flips here.
+    daemon.set_ready();
+
+    let metrics_thread = match &metrics_listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            let resolved = listener
+                .local_addr()
+                .map_err(|e| format!("metrics endpoint: {e}"))?;
+            eprintln!("zodiacd: metrics on http://{resolved}/metrics");
+            let daemon = daemon.clone();
+            Some(std::thread::spawn(move || {
+                if let Err(e) = http::serve_http(daemon, listener) {
+                    eprintln!("zodiacd: metrics endpoint failed: {e}");
+                }
+            }))
+        }
+        None => None,
+    };
+
     if oneshot {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
@@ -160,8 +196,14 @@ fn run() -> Result<(), String> {
     } else {
         let socket = socket.unwrap_or_else(|| store_dir.join("zodiacd.sock"));
         eprintln!("zodiacd: listening on {}", socket.display());
-        server::serve_uds(daemon, &socket).map_err(|e| format!("serving failed: {e}"))?;
+        server::serve_uds(daemon.clone(), &socket).map_err(|e| format!("serving failed: {e}"))?;
         eprintln!("zodiacd: shut down");
+    }
+    if let Some(t) = metrics_thread {
+        // The HTTP loop polls the shutdown flag; make sure it sees it even
+        // when we leave via oneshot EOF rather than a shutdown request.
+        daemon.request_shutdown();
+        let _ = t.join();
     }
     if let Some(sink) = &trace {
         sink.flush()

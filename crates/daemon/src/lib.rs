@@ -22,6 +22,7 @@
 //! scan holds one consistent set end-to-end and never observes a
 //! half-applied delta.
 
+pub mod http;
 pub mod protocol;
 pub mod server;
 pub mod store;
@@ -37,8 +38,16 @@ use zodiac::{check_set_key, ScanCache};
 use zodiac_kb::KnowledgeBase;
 use zodiac_mining::{mine_types_with_stats, IncrementalStats, MinedCheck, MiningConfig};
 use zodiac_model::{Program, Symbol};
-use zodiac_obs::{Lifecycle, Obs};
+use zodiac_obs::{
+    render_prometheus, Clock, CountingAlloc, Exemplar, Lifecycle, MemoryRecorder, MonotonicClock,
+    Obs, Recorder, RollingRecorder, TailExemplars,
+};
 use zodiac_spec::Check;
+
+/// Slowest requests retained per op for exemplar replay.
+const EXEMPLARS_PER_OP: usize = 8;
+/// Check fingerprints retained per exemplar.
+const FINGERPRINTS_PER_EXEMPLAR: usize = 8;
 
 /// Daemon configuration.
 #[derive(Debug, Clone, Default)]
@@ -137,10 +146,20 @@ pub struct Daemon {
     programs: Mutex<ProgramMemo>,
     remine: Mutex<Remine>,
     obs: Obs,
+    /// Cumulative metric registry: every subsystem recording through
+    /// [`Daemon::obs`] lands here, so one snapshot covers deploy, mining,
+    /// validation, repair, and the daemon's own serving counters.
+    registry: Arc<MemoryRecorder>,
+    /// Live windows fed by the `op.<name>.us` serving-boundary convention.
+    rolling: Arc<RollingRecorder>,
+    /// Slowest-N requests per op, replayable via `zodiac explain`.
+    exemplars: TailExemplars,
+    clock: Arc<dyn Clock>,
     scans: AtomicU64,
     repairs: AtomicU64,
     cache_hits: AtomicU64,
     deltas: AtomicU64,
+    ready: AtomicBool,
     shutdown: AtomicBool,
 }
 
@@ -156,6 +175,15 @@ impl Daemon {
             store.compact()?;
         }
         let snapshot = Arc::new(CheckSet::build(&store));
+        // Operational telemetry: a cumulative registry plus rolling windows
+        // join whatever sinks the caller configured (trace files), sharing
+        // the caller's trace context so span ids stay coherent.
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let registry = Arc::new(MemoryRecorder::new());
+        let rolling = Arc::new(RollingRecorder::new(clock.clone()));
+        let obs = obs
+            .with_sink(registry.clone())
+            .with_sink(rolling.clone() as Arc<dyn zodiac_obs::Recorder>);
         let daemon = Daemon {
             kb: zodiac_kb::azure_kb(),
             remine: Mutex::new(Remine {
@@ -168,10 +196,15 @@ impl Daemon {
             cache: ScanCache::new(),
             programs: Mutex::new(HashMap::new()),
             obs,
+            registry,
+            rolling,
+            exemplars: TailExemplars::new(EXEMPLARS_PER_OP),
+            clock,
             scans: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             deltas: AtomicU64::new(0),
+            ready: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         };
         Ok((daemon, report))
@@ -192,6 +225,12 @@ impl Daemon {
         Ok(added)
     }
 
+    /// The daemon's composed observability handle: the caller's sinks plus
+    /// the telemetry registry and rolling windows.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// The current check-set snapshot.
     pub fn snapshot(&self) -> Arc<CheckSet> {
         self.checks
@@ -203,6 +242,19 @@ impl Daemon {
     /// Whether a graceful shutdown was requested.
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Whether the daemon finished start-up (store recovered and any
+    /// initial check import applied). `GET /healthz` keys on this.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::SeqCst)
+    }
+
+    /// Marks start-up complete. Called by the binary once the store is
+    /// recovered and the initial `--checks` import (if any) has been
+    /// published.
+    pub fn set_ready(&self) {
+        self.ready.store(true, Ordering::SeqCst);
     }
 
     /// Requests a graceful shutdown of the serving loops.
@@ -223,20 +275,63 @@ impl Daemon {
         }
     }
 
-    /// Handles one parsed request.
+    /// Handles one parsed request, timing it at the serving boundary:
+    /// every request lands one `op.<name>.us` observation (cumulative
+    /// registry + rolling windows), errored responses bump
+    /// `op.<name>.errors`, and slow requests enter the exemplar reservoir
+    /// with the check fingerprints they touched.
     pub fn handle(&self, req: Request) -> Response {
+        let op = req.op_name();
+        let (latency_metric, error_metric) = req.boundary_metrics();
+        let span = self.obs.start_leaf_span(req.span_path());
+        let span_id = span.id();
+        let mut touched: Vec<u64> = Vec::new();
+        let resp = self.dispatch(req, &mut touched);
+        let latency_us = span.elapsed_micros();
+        span.finish();
+        self.obs.histogram(latency_metric, latency_us);
+        if !resp.is_ok() {
+            self.obs.counter(error_metric, 1);
+        }
+        self.exemplars.observe_with(op, latency_us, || {
+            touched.truncate(FINGERPRINTS_PER_EXEMPLAR);
+            Exemplar {
+                latency_us,
+                ts_us: self.clock.now_us(),
+                span_id,
+                fingerprints: touched,
+            }
+        });
+        resp
+    }
+
+    /// [`Daemon::handle`] minus the serving-boundary telemetry: no request
+    /// span, no `op.<name>.*` observations, no exemplar offer. Exists so
+    /// the CI overhead gate (`obs_smoke`) can measure the boundary's cost
+    /// A/B within one process; not part of the protocol surface.
+    #[doc(hidden)]
+    pub fn handle_unmetered(&self, req: Request) -> Response {
+        let mut touched: Vec<u64> = Vec::new();
+        self.dispatch(req, &mut touched)
+    }
+
+    fn dispatch(&self, req: Request, touched: &mut Vec<u64>) -> Response {
         match req {
-            Request::Scan { id, source, format } => self.scan(id, &source, format),
+            Request::Scan { id, source, format } => self.scan(id, &source, format, touched),
             Request::Repair {
                 id,
                 source,
                 format,
                 max_edits,
-            } => self.repair(id, &source, format, max_edits),
+            } => self.repair(id, &source, format, max_edits, touched),
             Request::SubmitCorpusDelta { upsert, remove } => self.delta(upsert, remove),
             Request::ListChecks => self.list_checks(),
-            Request::Explain { fp } => self.explain(fp),
+            Request::Explain { fp } => {
+                touched.push(fp);
+                self.explain(fp)
+            }
             Request::Status => self.status(),
+            Request::Metrics => self.metrics(),
             Request::Shutdown => {
                 self.request_shutdown();
                 Response::ok("shutdown")
@@ -275,7 +370,13 @@ impl Daemon {
         Ok((program, fp))
     }
 
-    fn scan(&self, id: Option<String>, source: &str, format: SourceFormat) -> Response {
+    fn scan(
+        &self,
+        id: Option<String>,
+        source: &str,
+        format: SourceFormat,
+        touched: &mut Vec<u64>,
+    ) -> Response {
         let (program, fp) = match self.compile_memoized(source, format) {
             Ok(hit) => hit,
             Err(e) => return Response::err(&format!("scan: {e}")),
@@ -290,14 +391,22 @@ impl Daemon {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.obs.counter("daemon.cache_hits", 1);
         }
+        // Violated-check fingerprints, deduped in check order: the
+        // exemplar payload that lets an operator replay a slow scan's
+        // causal ledger, and the key of its Served lifecycle events.
+        let mut per_check: BTreeMap<usize, u64> = BTreeMap::new();
+        for v in verdict.iter() {
+            *per_check.entry(v.check_index).or_default() += 1;
+        }
+        touched.extend(
+            per_check
+                .keys()
+                .map(|idx| snapshot.entries[*idx].fingerprint()),
+        );
         if self.obs.is_enabled() {
             // One Served lifecycle event per violated check, so `zodiac
             // explain <fp> --trace` over a daemon trace shows where a
             // validated check fires in production.
-            let mut per_check: BTreeMap<usize, u64> = BTreeMap::new();
-            for v in verdict.iter() {
-                *per_check.entry(v.check_index).or_default() += 1;
-            }
             let folded = (fp as u64) ^ ((fp >> 64) as u64);
             for (idx, count) in per_check {
                 self.obs.lifecycle(
@@ -358,6 +467,7 @@ impl Daemon {
         source: &str,
         format: SourceFormat,
         max_edits: Option<usize>,
+        touched: &mut Vec<u64>,
     ) -> Response {
         let (program, _fp) = match self.compile_memoized(source, format) {
             Ok(hit) => hit,
@@ -393,6 +503,9 @@ impl Daemon {
         }
         self.repairs.fetch_add(1, Ordering::Relaxed);
         self.obs.counter("daemon.repairs", 1);
+        // The repair fingerprint keys the accepted/rejected ledger, so a
+        // slow repair's exemplar replays through `zodiac explain` directly.
+        touched.push(report.fingerprint);
 
         let attempts: Vec<Value> = report
             .attempts
@@ -709,6 +822,49 @@ impl Daemon {
             .str("insight", &zodiac::insights::explain(&c.check))
     }
 
+    /// Publishes point-in-time process gauges (heap, cache sizes, live
+    /// checks) into the registry so snapshots and exposition carry them.
+    fn publish_process_gauges(&self) {
+        if let Some(alloc) = CountingAlloc::global() {
+            alloc.publish_gauges(self.registry.as_ref());
+        }
+        self.registry
+            .gauge_set("daemon.cache_entries", self.cache.len() as u64);
+        self.registry
+            .gauge_set("daemon.checks_live", self.snapshot().len() as u64);
+    }
+
+    /// The Prometheus exposition page: cumulative registry + rolling
+    /// windows + tail exemplars. Served by `GET /metrics` and embedded in
+    /// the `metrics` op.
+    pub fn metrics_page(&self) -> String {
+        self.publish_process_gauges();
+        render_prometheus(
+            &self.registry.snapshot(),
+            Some(&self.rolling.snapshot()),
+            Some(&self.exemplars),
+        )
+    }
+
+    /// Parses one of the obs crate's hand-rolled JSON encodings into a
+    /// protocol `Value` for embedding in a response.
+    fn embed_json(text: &str) -> Value {
+        serde_json::from_str(text).unwrap_or(Value::Null)
+    }
+
+    fn metrics(&self) -> Response {
+        self.publish_process_gauges();
+        let snapshot = self.registry.snapshot();
+        let rolling = self.rolling.snapshot();
+        let page = render_prometheus(&snapshot, Some(&rolling), Some(&self.exemplars));
+        Response::ok("metrics")
+            .bool("ready", self.is_ready())
+            .field("snapshot", Self::embed_json(&snapshot.to_json()))
+            .field("rolling", Self::embed_json(&rolling.to_json()))
+            .field("exemplars", Self::embed_json(&self.exemplars.to_json()))
+            .str("prometheus", &page)
+    }
+
     fn status(&self) -> Response {
         let snapshot = self.snapshot();
         let (records, projects) = {
@@ -716,6 +872,7 @@ impl Daemon {
             let remine = self.remine.lock().unwrap_or_else(PoisonError::into_inner);
             (store.records() as u64, remine.stats.projects() as u64)
         };
+        self.publish_process_gauges();
         Response::ok("status")
             .num("checks", snapshot.len() as u64)
             .num("check_set_version", snapshot.version)
@@ -727,5 +884,14 @@ impl Daemon {
             .num("corpus_projects", projects)
             .num("deltas", self.deltas.load(Ordering::Relaxed))
             .num("store_records", records)
+            .bool("ready", self.is_ready())
+            .field(
+                "metrics",
+                Self::embed_json(&self.registry.snapshot().to_json()),
+            )
+            .field(
+                "rolling",
+                Self::embed_json(&self.rolling.snapshot().to_json()),
+            )
     }
 }

@@ -6,7 +6,8 @@
 //! payload or an `"error"` string. The grammar:
 //!
 //! ```text
-//! request  = scan | repair | delta | list | explain | status | shutdown
+//! request  = scan | repair | delta | list | explain | status | metrics
+//!          | shutdown
 //! scan     = {"op":"scan", "source":STRING, "format":"tf"|"plan", "id":STRING?}
 //! repair   = {"op":"repair", "source":STRING, "format":"tf"|"plan", "id":STRING?,
 //!             "max_edits":NUMBER?}
@@ -16,6 +17,7 @@
 //! list     = {"op":"list_checks"}
 //! explain  = {"op":"explain", "fp":16-HEX}
 //! status   = {"op":"status"}
+//! metrics  = {"op":"metrics"}
 //! shutdown = {"op":"shutdown"}
 //! ```
 //!
@@ -66,6 +68,9 @@ pub enum Request {
     },
     /// Serving counters.
     Status,
+    /// Full telemetry: metric snapshot, rolling windows, tail exemplars,
+    /// and the rendered Prometheus exposition page.
+    Metrics,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -170,8 +175,58 @@ impl Request {
                 Ok(Request::Explain { fp })
             }
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// The wire name of this request's op — the label used for per-op
+    /// latency windows (`op.<name>.us`) and exemplar reservoirs.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Scan { .. } => "scan",
+            Request::Repair { .. } => "repair",
+            Request::SubmitCorpusDelta { .. } => "submit_corpus_delta",
+            Request::ListChecks => "list_checks",
+            Request::Explain { .. } => "explain",
+            Request::Status => "status",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// The trace span path for serving this request. Static (the op set is
+    /// closed) so starting the per-request span allocates nothing, and
+    /// per-op so span histograms separate without a dynamic attribute.
+    pub fn span_path(&self) -> &'static str {
+        match self {
+            Request::Scan { .. } => "daemon/request/scan",
+            Request::Repair { .. } => "daemon/request/repair",
+            Request::SubmitCorpusDelta { .. } => "daemon/request/submit_corpus_delta",
+            Request::ListChecks => "daemon/request/list_checks",
+            Request::Explain { .. } => "daemon/request/explain",
+            Request::Status => "daemon/request/status",
+            Request::Metrics => "daemon/request/metrics",
+            Request::Shutdown => "daemon/request/shutdown",
+        }
+    }
+
+    /// The serving-boundary metric names for this request:
+    /// `(op.<name>.us, op.<name>.errors)`. Static for the same reason as
+    /// [`Request::span_path`] — the boundary fires on every request.
+    pub fn boundary_metrics(&self) -> (&'static str, &'static str) {
+        match self {
+            Request::Scan { .. } => ("op.scan.us", "op.scan.errors"),
+            Request::Repair { .. } => ("op.repair.us", "op.repair.errors"),
+            Request::SubmitCorpusDelta { .. } => {
+                ("op.submit_corpus_delta.us", "op.submit_corpus_delta.errors")
+            }
+            Request::ListChecks => ("op.list_checks.us", "op.list_checks.errors"),
+            Request::Explain { .. } => ("op.explain.us", "op.explain.errors"),
+            Request::Status => ("op.status.us", "op.status.errors"),
+            Request::Metrics => ("op.metrics.us", "op.metrics.errors"),
+            Request::Shutdown => ("op.shutdown.us", "op.shutdown.errors"),
         }
     }
 }
@@ -220,6 +275,12 @@ impl Response {
     pub fn field(mut self, key: &str, value: Value) -> Response {
         self.0.insert(key.into(), value);
         self
+    }
+
+    /// Whether this response reports success (used to derive per-op error
+    /// counters at the serving boundary).
+    pub fn is_ok(&self) -> bool {
+        matches!(self.0.get("ok"), Some(Value::Bool(true)))
     }
 
     /// Renders the response as one JSON line (no trailing newline).
@@ -297,5 +358,31 @@ mod tests {
         assert_eq!(line, r#"{"ok":true,"op":"status","scans":3}"#);
         let err = Response::err("nope").render();
         assert_eq!(err, r#"{"error":"nope","ok":false}"#);
+    }
+
+    #[test]
+    fn parses_metrics_op_and_names_every_op() {
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        for (line, name) in [
+            (r#"{"op":"scan","source":"x"}"#, "scan"),
+            (r#"{"op":"repair","source":"x"}"#, "repair"),
+            (r#"{"op":"submit_corpus_delta"}"#, "submit_corpus_delta"),
+            (r#"{"op":"list_checks"}"#, "list_checks"),
+            (r#"{"op":"explain","fp":"00000000000000ff"}"#, "explain"),
+            (r#"{"op":"status"}"#, "status"),
+            (r#"{"op":"metrics"}"#, "metrics"),
+            (r#"{"op":"shutdown"}"#, "shutdown"),
+        ] {
+            assert_eq!(Request::parse(line).unwrap().op_name(), name);
+        }
+    }
+
+    #[test]
+    fn responses_know_whether_they_succeeded() {
+        assert!(Response::ok("scan").is_ok());
+        assert!(!Response::err("boom").is_ok());
     }
 }

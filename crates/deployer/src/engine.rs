@@ -182,6 +182,19 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
         self.deploy_one_annotated(program).0
     }
 
+    /// Serving-boundary telemetry for one deploy request: `op.deploy.us`
+    /// feeds rolling latency windows when a [`RollingRecorder`] sink is
+    /// attached, `op.deploy.errors` counts failed deployment verdicts.
+    ///
+    /// [`RollingRecorder`]: zodiac_obs::RollingRecorder
+    fn record_boundary(&self, t0: Instant, report: &DeployReport) {
+        self.obs
+            .histogram("op.deploy.us", t0.elapsed().as_micros() as u64);
+        if !report.outcome.is_success() {
+            self.obs.counter("op.deploy.errors", 1);
+        }
+    }
+
     /// [`DeployEngine::deploy_one`], also reporting whether the result came
     /// from the memo cache. Emits a *leaf* span (never a scoped one — this
     /// runs on pool worker threads) parented under whatever span is
@@ -198,6 +211,7 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
                     "deploy.latency_us.cache_hit",
                     t0.elapsed().as_micros() as u64,
                 );
+                self.record_boundary(t0, &hit);
                 span.attr("cached", 1u64);
                 span.finish();
                 return (hit, true);
@@ -217,6 +231,7 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
                     "deploy.latency_us.cache_hit",
                     t0.elapsed().as_micros() as u64,
                 );
+                self.record_boundary(t0, &hit);
                 span.attr("cached", 1u64);
                 span.finish();
                 return (hit, true);
@@ -242,6 +257,7 @@ impl<B: DeployOracle + Sync> DeployEngine<B> {
         }
         self.obs
             .histogram("deploy.latency_us.backend", t0.elapsed().as_micros() as u64);
+        self.record_boundary(t0, &report);
         span.attr("cached", 0u64);
         span.finish();
         (report, false)

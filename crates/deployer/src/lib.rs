@@ -110,6 +110,29 @@ mod tests {
     }
 
     #[test]
+    fn serving_boundary_emits_op_windows() {
+        let engine = DeployEngine::new(CloudSim::new_azure(), DeployerConfig::default());
+        // One clean deploy, one cache hit, one deterministic failure (Spot
+        // VM without an eviction policy).
+        let clean = vnet_program("10.0.0.0/16");
+        engine.deploy(&clean);
+        engine.deploy(&clean);
+        let report = engine.deploy(
+            &Program::new().with(
+                Resource::new("azurerm_linux_virtual_machine", "vm")
+                    .with("size", "Standard_B1s")
+                    .with("priority", "Spot"),
+            ),
+        );
+        assert!(!report.outcome.is_success());
+        let tel = engine.metrics();
+        // Every request — cached or not, failed or not — lands in the
+        // boundary histogram; only the failed verdict counts as an error.
+        assert_eq!(tel.histogram("op.deploy.us").count, 3);
+        assert_eq!(tel.counter("op.deploy.errors"), 1);
+    }
+
+    #[test]
     fn faults_are_absorbed_by_retries() {
         let cfg = DeployerConfig {
             faults: Some(FaultConfig {

@@ -274,11 +274,16 @@ pub fn mine_sharded_obs(
     shard: &ShardConfig,
     obs: &Obs,
 ) -> MiningReport {
+    let t0 = std::time::Instant::now();
     let _span = obs.start_span("pipeline/mining");
     let stats_span = obs.start_span("pipeline/mining/stats");
     let stats = build_stats_sharded_obs(programs, kb, cfg.use_kb, shard, obs);
     stats_span.finish();
-    crate::mine_stats_inner(&stats, kb, cfg, obs, None)
+    let report = crate::mine_stats_inner(&stats, kb, cfg, obs, None);
+    // Serving-boundary latency: one whole mining pass, visible in rolling
+    // windows (`op.mine.us`) when a RollingRecorder sink is attached.
+    obs.histogram("op.mine.us", t0.elapsed().as_micros() as u64);
+    report
 }
 
 /// Full mining over a project stream: observation never materialises the
@@ -307,14 +312,14 @@ pub fn mine_streaming_obs<I>(
 where
     I: Iterator<Item = Program>,
 {
+    let t0 = std::time::Instant::now();
     let _span = obs.start_span("pipeline/mining");
     let stats_span = obs.start_span("pipeline/mining/stats");
     let (stats, observed) = build_stats_streaming_obs(projects, kb, cfg.use_kb, shard, obs);
     stats_span.finish();
-    (
-        crate::mine_stats_inner(&stats, kb, cfg, obs, None),
-        observed,
-    )
+    let report = crate::mine_stats_inner(&stats, kb, cfg, obs, None);
+    obs.histogram("op.mine.us", t0.elapsed().as_micros() as u64);
+    (report, observed)
 }
 
 #[cfg(test)]

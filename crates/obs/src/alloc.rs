@@ -24,8 +24,13 @@
 //! Peak tracking uses a compare-exchange loop on the high-water mark, which
 //! only contends when the peak is actually advancing.
 
+use crate::Recorder;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The process-wide counting allocator, if one registered itself.
+static GLOBAL: OnceLock<&'static CountingAlloc> = OnceLock::new();
 
 /// A [`GlobalAlloc`] wrapper over [`System`] that tracks live and peak heap
 /// bytes. Install with `#[global_allocator]`; all methods are lock-free and
@@ -62,6 +67,29 @@ impl CountingAlloc {
         let live = self.live.load(Ordering::Relaxed);
         self.peak.store(live, Ordering::Relaxed);
         live
+    }
+
+    /// Registers this allocator as the process-wide one visible through
+    /// [`CountingAlloc::global`]. Binaries that install a
+    /// `#[global_allocator] static ALLOC: CountingAlloc` call this once at
+    /// start-up so library code (the daemon's heap gauges, `zodiac top`)
+    /// can read live/peak bytes without threading a reference everywhere.
+    /// First registration wins; later calls are no-ops.
+    pub fn set_global(alloc: &'static CountingAlloc) {
+        let _ = GLOBAL.set(alloc);
+    }
+
+    /// The registered process-wide counting allocator, if any.
+    pub fn global() -> Option<&'static CountingAlloc> {
+        GLOBAL.get().copied()
+    }
+
+    /// Publishes live/peak heap bytes as `heap.live_bytes` /
+    /// `heap.peak_bytes` gauges, making memory a first-class exposition
+    /// series rather than a test-only probe.
+    pub fn publish_gauges(&self, rec: &dyn Recorder) {
+        rec.gauge_set("heap.live_bytes", self.live_bytes() as u64);
+        rec.gauge_set("heap.peak_bytes", self.peak_bytes() as u64);
     }
 
     fn record_alloc(&self, bytes: usize) {
@@ -147,6 +175,21 @@ mod tests {
         assert_eq!(a.peak_bytes(), 50);
         a.record_alloc(25);
         assert_eq!(a.peak_bytes(), 75);
+    }
+
+    #[test]
+    fn publishes_heap_gauges_and_registers_globally() {
+        static ALLOC: CountingAlloc = CountingAlloc::new();
+        ALLOC.record_alloc(4096);
+        CountingAlloc::set_global(&ALLOC);
+        CountingAlloc::set_global(&ALLOC); // idempotent
+        let got = CountingAlloc::global().expect("global registered");
+        assert!(std::ptr::eq(got, &ALLOC));
+        let reg = crate::MemoryRecorder::new();
+        got.publish_gauges(&reg);
+        let snap = reg.snapshot();
+        assert!(snap.gauge("heap.live_bytes") >= 4096);
+        assert!(snap.gauge("heap.peak_bytes") >= snap.gauge("heap.live_bytes"));
     }
 
     #[test]

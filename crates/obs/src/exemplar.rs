@@ -1,0 +1,258 @@
+//! Tail-latency exemplars: the slowest requests, kept with enough identity
+//! to replay them.
+//!
+//! Quantiles say *that* a p99 exists; an exemplar says *which request it
+//! was*. [`TailExemplars`] keeps a bounded reservoir of the slowest N
+//! observations per operation, each carrying its span id and the check
+//! fingerprints it touched — so an operator can go from "scan p99 is
+//! 40 ms" straight to `zodiac explain <fingerprint>` and read the causal
+//! ledger of the very check that made the outlier slow.
+
+use crate::escape_json;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// One slow request: identity plus the fingerprints needed to replay it
+/// through the provenance tooling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Latency of the request, microseconds.
+    pub latency_us: u64,
+    /// Offset from the recorder's epoch when the request finished.
+    pub ts_us: u64,
+    /// Span id of the request inside its trace (0 if tracing was off).
+    pub span_id: u64,
+    /// Check fingerprints this request touched (violated checks for a
+    /// scan, the repaired check set for a repair). Bounded by the caller.
+    pub fingerprints: Vec<u64>,
+}
+
+/// One op's reservoir plus its admission floor.
+#[derive(Default)]
+struct Reservoir {
+    /// Latency of the least-slow retained exemplar once the reservoir is
+    /// full; 0 while filling. Read with a relaxed load on the hot path —
+    /// a stale floor only costs one harmless lock acquisition.
+    floor: AtomicU64,
+    list: Mutex<Vec<Exemplar>>,
+}
+
+/// A bounded per-op reservoir of the slowest requests, slowest first.
+///
+/// The common case — a request faster than everything already retained —
+/// is an atomic floor check with no lock. Insertion is O(capacity) with
+/// capacity ~8–32, which is noise next to the requests worth remembering;
+/// ties order by earlier `ts_us` then lower `span_id`, so the reservoir
+/// is deterministic for a given observation sequence.
+pub struct TailExemplars {
+    capacity: usize,
+    ops: RwLock<HashMap<String, Arc<Reservoir>>>,
+}
+
+impl TailExemplars {
+    /// A reservoir keeping at most `capacity` exemplars per op
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TailExemplars {
+            capacity: capacity.max(1),
+            ops: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn reservoir(&self, op: &str) -> Arc<Reservoir> {
+        {
+            let read = self.ops.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(r) = read.get(op) {
+                return r.clone();
+            }
+        }
+        let mut write = self.ops.write().unwrap_or_else(PoisonError::into_inner);
+        write.entry(op.to_string()).or_default().clone()
+    }
+
+    /// Offers one observation; it is kept iff it ranks among the slowest
+    /// `capacity` seen for `op`.
+    pub fn observe(&self, op: &str, exemplar: Exemplar) {
+        let latency_us = exemplar.latency_us;
+        self.observe_with(op, latency_us, move || exemplar);
+    }
+
+    /// [`TailExemplars::observe`], but the exemplar is built only when the
+    /// latency can actually rank — the serving path's common case (request
+    /// faster than everything retained) pays one map read and one atomic
+    /// load, never a clock read or a fingerprint copy. `make` must return
+    /// an exemplar whose `latency_us` equals the one offered here.
+    pub fn observe_with(&self, op: &str, latency_us: u64, make: impl FnOnce() -> Exemplar) {
+        let res = self.reservoir(op);
+        let floor = res.floor.load(Ordering::Relaxed);
+        if floor > 0 && latency_us <= floor {
+            // Full reservoir, and an equal-latency observation would rank
+            // after every retained peer (later ts) — skip without locking.
+            return;
+        }
+        let exemplar = make();
+        debug_assert_eq!(exemplar.latency_us, latency_us);
+        let mut slot = res.list.lock().unwrap_or_else(PoisonError::into_inner);
+        let rank = |e: &Exemplar| (std::cmp::Reverse(e.latency_us), e.ts_us, e.span_id);
+        let at = slot
+            .binary_search_by_key(&rank(&exemplar), rank)
+            .unwrap_or_else(|i| i);
+        if at < self.capacity {
+            slot.insert(at, exemplar);
+            slot.truncate(self.capacity);
+        }
+        if slot.len() == self.capacity {
+            if let Some(last) = slot.last() {
+                res.floor.store(last.latency_us, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Every op's reservoir, name-sorted, slowest first within an op.
+    pub fn snapshot(&self) -> BTreeMap<String, Vec<Exemplar>> {
+        let ops = self.ops.read().unwrap_or_else(PoisonError::into_inner);
+        ops.iter()
+            .map(|(k, v)| {
+                let list = v.list.lock().unwrap_or_else(PoisonError::into_inner);
+                (k.clone(), list.clone())
+            })
+            .collect()
+    }
+
+    /// The single slowest exemplar for `op`, if any.
+    pub fn slowest(&self, op: &str) -> Option<Exemplar> {
+        let ops = self.ops.read().unwrap_or_else(PoisonError::into_inner);
+        ops.get(op).and_then(|r| {
+            r.list
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .first()
+                .cloned()
+        })
+    }
+
+    /// Single-line JSON:
+    /// `{"scan":[{"latency_us":N,"ts_us":N,"span_id":N,"fingerprints":[..]}]}`.
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        for (i, (op, exemplars)) in snap.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(op, &mut out);
+            out.push_str("\":[");
+            for (j, e) in exemplars.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"latency_us\":{},\"ts_us\":{},\"span_id\":{},\"fingerprints\":[",
+                    e.latency_us, e.ts_us, e.span_id
+                );
+                for (k, fp) in e.fingerprints.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{fp}");
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(latency_us: u64, span_id: u64) -> Exemplar {
+        Exemplar {
+            latency_us,
+            ts_us: latency_us / 2,
+            span_id,
+            fingerprints: vec![span_id * 1000],
+        }
+    }
+
+    #[test]
+    fn keeps_only_the_slowest_n() {
+        let t = TailExemplars::new(3);
+        for (lat, id) in [(10, 1), (50, 2), (30, 3), (5, 4), (40, 5)] {
+            t.observe("scan", ex(lat, id));
+        }
+        let snap = t.snapshot();
+        let scan = snap.get("scan").unwrap();
+        let latencies: Vec<u64> = scan.iter().map(|e| e.latency_us).collect();
+        assert_eq!(latencies, vec![50, 40, 30]);
+        assert_eq!(t.slowest("scan").unwrap().span_id, 2);
+        assert!(t.slowest("repair").is_none());
+    }
+
+    #[test]
+    fn fast_requests_do_not_evict_slow_ones() {
+        let t = TailExemplars::new(2);
+        t.observe("scan", ex(100, 1));
+        t.observe("scan", ex(90, 2));
+        for i in 0..50 {
+            t.observe("scan", ex(1, 10 + i));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.get("scan").unwrap().len(), 2);
+        assert_eq!(snap.get("scan").unwrap()[0].latency_us, 100);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let t = TailExemplars::new(2);
+        let mut a = ex(10, 7);
+        a.ts_us = 5;
+        let mut b = ex(10, 3);
+        b.ts_us = 1;
+        t.observe("scan", a.clone());
+        t.observe("scan", b.clone());
+        // Equal latency: earlier ts ranks first, regardless of insert order.
+        let u = TailExemplars::new(2);
+        u.observe("scan", b.clone());
+        u.observe("scan", a.clone());
+        assert_eq!(t.snapshot(), u.snapshot());
+        assert_eq!(t.slowest("scan").unwrap().ts_us, 1);
+    }
+
+    #[test]
+    fn json_encoding_is_sorted_and_parseable() {
+        let t = TailExemplars::new(2);
+        t.observe("scan", ex(10, 1));
+        t.observe("repair", ex(20, 2));
+        let text = t.to_json();
+        let v: serde_json::Value = serde_json::from_str(&text).expect("exemplar JSON parses");
+        let obj = v.as_object().unwrap();
+        let keys: Vec<&String> = obj.keys().collect();
+        assert_eq!(keys, vec!["repair", "scan"]);
+        let fp = v
+            .get("scan")
+            .and_then(|a| a.as_array())
+            .and_then(|a| a[0].get("fingerprints"))
+            .and_then(|f| f.as_array())
+            .and_then(|f| f[0].as_u64())
+            .unwrap();
+        assert_eq!(fp, 1000);
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let t = TailExemplars::new(0);
+        t.observe("scan", ex(10, 1));
+        t.observe("scan", ex(20, 2));
+        assert_eq!(t.snapshot().get("scan").unwrap().len(), 1);
+        assert_eq!(t.slowest("scan").unwrap().latency_us, 20);
+    }
+}

@@ -22,7 +22,15 @@
 //!   JSON that opens directly in `ui.perfetto.dev` (`--perfetto-out`);
 //! * [`Obs`], a cheaply-clonable fan-out handle threaded through the
 //!   pipeline. A disabled (null) handle makes every call a no-op over an
-//!   empty sink list, so un-instrumented callers pay nothing measurable.
+//!   empty sink list, so un-instrumented callers pay nothing measurable;
+//! * [`RollingRecorder`], time-windowed (last-minute / last-hour) per-op
+//!   latency quantiles and error rates over an injected [`Clock`], fed by
+//!   the serving-boundary naming convention below;
+//! * [`TailExemplars`], a bounded reservoir of the slowest requests per op
+//!   with span ids and check fingerprints, bridging quantiles back to
+//!   per-candidate provenance (`zodiac explain`);
+//! * [`render_prometheus`], text-format exposition of snapshots, windows,
+//!   and exemplars for `GET /metrics`.
 //!
 //! # Span identity and parenting
 //!
@@ -55,21 +63,37 @@
 //! `deploy.cache_hits`, `deploy.latency_us.success`. Dynamic label values
 //! (motif names, template families, failure phases) go in the last
 //! segment.
+//!
+//! One family is special: `op.<name>.us` histograms and `op.<name>.errors`
+//! counters mark a subsystem's *serving boundary* (one request served, its
+//! end-to-end latency, whether it failed). The cumulative registry stores
+//! them like any other metric, while a [`RollingRecorder`] attached to the
+//! same handle folds them into live windows — so a subsystem opts into
+//! operational telemetry just by naming its boundary metrics this way.
 
 mod alloc;
+mod clock;
 mod event;
+mod exemplar;
 mod jsonl;
 mod perfetto;
+mod prom;
 mod registry;
+mod rolling;
 mod snapshot;
 
 pub use alloc::CountingAlloc;
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{CandidateEvent, Lifecycle, Polarity};
+pub use exemplar::{Exemplar, TailExemplars};
 pub use jsonl::JsonLinesSink;
 pub use perfetto::{chrome_trace_json, PerfettoSink, TraceInstant, TraceSpan};
+pub use prom::{prom_name, render_prometheus};
 pub use registry::MemoryRecorder;
+pub use rolling::{OpWindowSnapshot, RollingRecorder, RollingSnapshot, WindowSummary, RING_LEN};
 pub use snapshot::{HistogramSummary, MetricsSnapshot};
 
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -334,7 +358,7 @@ impl Obs {
     /// ambient span and the span becomes the ambient parent for everything
     /// started before the guard finishes. Use from straight-line pipeline
     /// code; guards must finish in LIFO order (RAII gives this for free).
-    pub fn start_span(&self, path: impl Into<String>) -> SpanGuard {
+    pub fn start_span(&self, path: impl Into<Cow<'static, str>>) -> SpanGuard {
         self.span_guard(path.into(), true)
     }
 
@@ -342,11 +366,11 @@ impl Obs {
     /// never installed as the ambient parent itself. Safe to use from
     /// concurrent worker threads (the deployment engine's per-request
     /// spans), where a scoped span would corrupt the shared scope stack.
-    pub fn start_leaf_span(&self, path: impl Into<String>) -> SpanGuard {
+    pub fn start_leaf_span(&self, path: impl Into<Cow<'static, str>>) -> SpanGuard {
         self.span_guard(path.into(), false)
     }
 
-    fn span_guard(&self, path: String, scoped: bool) -> SpanGuard {
+    fn span_guard(&self, path: Cow<'static, str>, scoped: bool) -> SpanGuard {
         let (id, parent, ts_us) = if self.is_enabled() {
             let id = self.ctx.next_id.fetch_add(1, Ordering::Relaxed);
             let parent = self.ctx.ambient.load(Ordering::Relaxed);
@@ -409,10 +433,12 @@ impl fmt::Debug for Obs {
     }
 }
 
-/// RAII guard for a stage span; records on drop.
+/// RAII guard for a stage span; records on drop. Literal span paths (the
+/// common case — every hot serving path) borrow, so starting a span
+/// allocates nothing.
 pub struct SpanGuard {
     obs: Obs,
-    path: String,
+    path: Cow<'static, str>,
     start: Instant,
     ts_us: u64,
     id: u64,
@@ -459,7 +485,7 @@ impl SpanGuard {
                     id: self.id,
                     parent: self.parent,
                     tid: self.obs.ctx.tid(),
-                    path: &self.path,
+                    path: self.path.as_ref(),
                     ts_us: self.ts_us,
                     dur_us: self.start.elapsed().as_micros() as u64,
                     attrs: &self.attrs,

@@ -11,7 +11,9 @@ use std::sync::{Arc, PoisonError, RwLock};
 const SHARDS: usize = 16;
 
 /// Number of power-of-two histogram buckets (covers the full u64 range).
-const BUCKETS: usize = 64;
+/// Shared with the rolling-window recorder so windowed and cumulative
+/// quantiles agree bucket-for-bucket.
+pub(crate) const BUCKETS: usize = 64;
 
 /// A name-keyed, sharded map of atomic metric cells. After a name's first
 /// touch, updates are a read-lock plus an atomic op — no allocation, no
@@ -81,18 +83,36 @@ impl Default for AtomicHistogram {
     }
 }
 
-fn bucket_of(value: u64) -> usize {
+pub(crate) fn bucket_of(value: u64) -> usize {
     // Bucket i holds values whose highest set bit is i (value 0 → bucket 0).
     (63 - value.max(1).leading_zeros()) as usize
 }
 
 /// Upper bound of a bucket, used as its representative for quantiles.
-fn bucket_upper(i: usize) -> u64 {
+pub(crate) fn bucket_upper(i: usize) -> u64 {
     if i >= 63 {
         u64::MAX
     } else {
         (2u64 << i) - 1
     }
+}
+
+/// Quantile `num/den` over merged log₂ bucket counts, clamped to the
+/// observed `max`. Integer-only (rank = ⌈total·num/den⌉), so windowed and
+/// cumulative summaries are bit-deterministic for a given event sequence.
+pub(crate) fn bucket_quantile(counts: &[u64], total: u64, max: u64, num: u64, den: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total.saturating_mul(num).saturating_add(den - 1) / den).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper(i).min(max);
+        }
+    }
+    max
 }
 
 fn atomic_max(cell: &AtomicU64, observed: u64) {
@@ -126,25 +146,12 @@ impl AtomicHistogram {
 
     fn summary(&self) -> HistogramSummary {
         let count = self.count.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
         let counts: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let rank = ((count as f64) * q).ceil().max(1.0) as u64;
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return bucket_upper(i).min(self.max.load(Ordering::Relaxed));
-                }
-            }
-            self.max.load(Ordering::Relaxed)
-        };
         HistogramSummary {
             count,
             sum: self.sum.load(Ordering::Relaxed),
@@ -153,9 +160,10 @@ impl AtomicHistogram {
             } else {
                 self.min.load(Ordering::Relaxed)
             },
-            max: self.max.load(Ordering::Relaxed),
-            p50: quantile(0.5),
-            p95: quantile(0.95),
+            max,
+            p50: bucket_quantile(&counts, count, max, 1, 2),
+            p95: bucket_quantile(&counts, count, max, 19, 20),
+            p99: bucket_quantile(&counts, count, max, 99, 100),
         }
     }
 }
@@ -226,15 +234,34 @@ impl Recorder for MemoryRecorder {
     }
 
     fn span(&self, path: &str, micros: u64) {
-        self.histogram(&format!("span.{path}"), micros);
+        with_name_buf("span.", path, |name| self.histogram(name, micros));
     }
 
     fn lifecycle(&self, event: &CandidateEvent) {
         // Aggregate view of the provenance stream: one counter per event
         // kind (bounded — six kinds), so funnel totals survive in the
         // snapshot even when no trace file is attached.
-        self.counter(&format!("lifecycle.{}", event.kind.kind()), 1);
+        with_name_buf("lifecycle.", event.kind.kind(), |name| {
+            self.counter(name, 1)
+        });
     }
+}
+
+thread_local! {
+    static NAME_BUF: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+/// Builds `{prefix}{rest}` in a reused per-thread buffer. Span and
+/// lifecycle records fire once per served request on the daemon's hot
+/// path; this keeps the derived metric name off the allocator.
+fn with_name_buf<R>(prefix: &str, rest: &str, f: impl FnOnce(&str) -> R) -> R {
+    NAME_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.push_str(prefix);
+        buf.push_str(rest);
+        f(&buf)
+    })
 }
 
 #[cfg(test)]

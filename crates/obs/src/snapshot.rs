@@ -15,6 +15,7 @@ pub struct HistogramSummary {
     pub max: u64,
     pub p50: u64,
     pub p95: u64,
+    pub p99: u64,
 }
 
 impl HistogramSummary {
@@ -47,6 +48,7 @@ impl HistogramSummary {
             max: self.max.max(other.max),
             p50: dominant.p50,
             p95: dominant.p95,
+            p99: dominant.p99,
         }
     }
 }
@@ -134,8 +136,8 @@ impl MetricsSnapshot {
             escape_json(name, &mut out);
             let _ = write!(
                 out,
-                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
-                h.count, h.sum, h.min, h.max, h.p50, h.p95
+                "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99
             );
         }
         out.push_str("}}");
@@ -162,18 +164,19 @@ impl MetricsSnapshot {
             out.push_str("histograms (us):\n");
             let _ = writeln!(
                 out,
-                "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}",
-                "name", "count", "mean", "p50", "p95", "max"
+                "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "p50", "p95", "p99", "max"
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
                     name,
                     h.count,
                     h.mean(),
                     h.p50,
                     h.p95,
+                    h.p99,
                     h.max
                 );
             }
@@ -202,6 +205,7 @@ mod tests {
                 max: 60,
                 p50: 60,
                 p95: 60,
+                p99: 60,
             },
         );
         s
@@ -253,6 +257,7 @@ mod tests {
                 max: 5,
                 p50: 5,
                 p95: 5,
+                p99: 5,
             },
         );
         let mut b = MetricsSnapshot::default();
@@ -288,6 +293,7 @@ mod tests {
             max: u64::MAX - 1,
             p50: 1,
             p95: 1,
+            p99: 1,
         };
         let large = HistogramSummary {
             count: 10,
@@ -296,6 +302,7 @@ mod tests {
             max: 20,
             p50: 8,
             p95: 16,
+            p99: 18,
         };
         let merged = small.merge(&large);
         assert_eq!(merged.count, 11);
@@ -305,6 +312,7 @@ mod tests {
         // Quantiles come from the side with more observations.
         assert_eq!(merged.p50, 8);
         assert_eq!(merged.p95, 16);
+        assert_eq!(merged.p99, 18);
         // Empty merges are exact in both directions.
         assert_eq!(small.merge(&HistogramSummary::default()), small);
         assert_eq!(HistogramSummary::default().merge(&small), small);

@@ -1,0 +1,96 @@
+//! Golden test pinning the Prometheus exposition byte-for-byte.
+//!
+//! Dashboards and scrape configs key on exact family names, label sets,
+//! and HELP/TYPE lines; any drift is a breaking change for operators. This
+//! test builds a small but fully-featured page — a counter, a gauge, a
+//! summary, rolling windows for one op, and a tail exemplar — from a
+//! deterministic event sequence under a [`ManualClock`] and compares the
+//! whole rendering against a literal.
+
+use std::sync::Arc;
+use zodiac_obs::{
+    render_prometheus, Exemplar, ManualClock, MemoryRecorder, Recorder, RollingRecorder,
+    TailExemplars,
+};
+
+#[test]
+fn exposition_page_matches_golden_bytes() {
+    let registry = MemoryRecorder::new();
+    registry.counter("scan.requests", 3);
+    registry.gauge_set("heap.live_bytes", 2048);
+    for us in [100u64, 200, 400] {
+        registry.histogram("op.scan.us", us);
+    }
+
+    let clock = Arc::new(ManualClock::new());
+    let rolling = RollingRecorder::new(clock.clone());
+    for us in [100u64, 200, 400] {
+        rolling.record_latency("scan", us);
+    }
+    rolling.record_errors("scan", 1);
+    clock.advance_secs(2);
+
+    let exemplars = TailExemplars::new(4);
+    exemplars.observe(
+        "scan",
+        Exemplar {
+            latency_us: 400,
+            ts_us: 2,
+            span_id: 9,
+            fingerprints: vec![0xFEED],
+        },
+    );
+
+    let text = render_prometheus(
+        &registry.snapshot(),
+        Some(&rolling.snapshot()),
+        Some(&exemplars),
+    );
+
+    let golden = "\
+# HELP zodiac_scan_requests_total Cumulative zodiac counter.
+# TYPE zodiac_scan_requests_total counter
+zodiac_scan_requests_total 3
+# HELP zodiac_heap_live_bytes Zodiac gauge.
+# TYPE zodiac_heap_live_bytes gauge
+zodiac_heap_live_bytes 2048
+# HELP zodiac_op_scan_us Zodiac histogram (microseconds unless named otherwise).
+# TYPE zodiac_op_scan_us summary
+zodiac_op_scan_us{quantile=\"0.5\"} 255
+zodiac_op_scan_us{quantile=\"0.95\"} 400
+zodiac_op_scan_us{quantile=\"0.99\"} 400
+zodiac_op_scan_us_sum 700
+zodiac_op_scan_us_count 3
+# HELP zodiac_op_requests Requests observed in the rolling window.
+# TYPE zodiac_op_requests gauge
+zodiac_op_requests{op=\"scan\",window=\"1m\"} 3
+zodiac_op_requests{op=\"scan\",window=\"1h\"} 3
+# HELP zodiac_op_errors Errors observed in the rolling window.
+# TYPE zodiac_op_errors gauge
+zodiac_op_errors{op=\"scan\",window=\"1m\"} 1
+zodiac_op_errors{op=\"scan\",window=\"1h\"} 1
+# HELP zodiac_op_rate_milli Windowed request rate in milli-requests per second.
+# TYPE zodiac_op_rate_milli gauge
+zodiac_op_rate_milli{op=\"scan\",window=\"1m\"} 1000
+zodiac_op_rate_milli{op=\"scan\",window=\"1h\"} 50
+# HELP zodiac_op_latency_us Windowed latency quantiles, microseconds.
+# TYPE zodiac_op_latency_us gauge
+zodiac_op_latency_us{op=\"scan\",window=\"1m\",quantile=\"0.5\"} 255
+zodiac_op_latency_us{op=\"scan\",window=\"1m\",quantile=\"0.95\"} 400
+zodiac_op_latency_us{op=\"scan\",window=\"1m\",quantile=\"0.99\"} 400
+zodiac_op_latency_us{op=\"scan\",window=\"1h\",quantile=\"0.5\"} 255
+zodiac_op_latency_us{op=\"scan\",window=\"1h\",quantile=\"0.95\"} 400
+zodiac_op_latency_us{op=\"scan\",window=\"1h\",quantile=\"0.99\"} 400
+# HELP zodiac_op_latency_us_max Slowest request in the rolling window, microseconds.
+# TYPE zodiac_op_latency_us_max gauge
+zodiac_op_latency_us_max{op=\"scan\",window=\"1m\"} 400
+zodiac_op_latency_us_max{op=\"scan\",window=\"1h\"} 400
+# HELP zodiac_op_slowest_us Latency of the slowest retained request per op, microseconds.
+# TYPE zodiac_op_slowest_us gauge
+zodiac_op_slowest_us{op=\"scan\"} 400
+# HELP zodiac_op_exemplar_fingerprint Check fingerprints touched by the slowest retained request per op.
+# TYPE zodiac_op_exemplar_fingerprint gauge
+zodiac_op_exemplar_fingerprint{op=\"scan\",fingerprint=\"000000000000feed\"} 1
+";
+    assert_eq!(text, golden, "Prometheus exposition drifted from golden");
+}

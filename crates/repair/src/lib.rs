@@ -444,7 +444,20 @@ pub fn repair_program<D: DeployOracle + ?Sized>(
     cfg: &RepairConfig,
     obs: &Obs,
 ) -> RepairReport {
-    search::run(program, checks, kb, oracle, cfg, obs)
+    let t0 = std::time::Instant::now();
+    let report = search::run(program, checks, kb, oracle, cfg, obs);
+    // Serving-boundary telemetry: `op.repair.us` feeds rolling latency
+    // windows when a RollingRecorder sink is attached; a search that could
+    // not produce an accepted fix for a violating program counts as an
+    // error for the windowed error rate.
+    obs.histogram("op.repair.us", t0.elapsed().as_micros() as u64);
+    if matches!(
+        report.outcome,
+        RepairOutcome::Exhausted | RepairOutcome::Unrepairable { .. }
+    ) {
+        obs.counter("op.repair.errors", 1);
+    }
+    report
 }
 
 #[cfg(test)]

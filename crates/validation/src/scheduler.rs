@@ -356,6 +356,7 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
 
     /// Runs validation to completion (Figure 5).
     pub fn run(&self, candidates: Vec<MinedCheck>) -> ValidationOutcome {
+        let t0 = std::time::Instant::now();
         let depths = type_depths(self.kb);
         let mut rc: Vec<Candidate> = candidates
             .into_iter()
@@ -623,6 +624,11 @@ impl<'a, D: DeployOracle> Scheduler<'a, D> {
         // or a stall — so funnel snapshots always report the leftover count.
         self.obs.gauge_set("validation.unresolved", rc.len() as u64);
         trace.deploy = self.oracle.telemetry();
+        // Serving-boundary latency: one whole validation run, visible in
+        // rolling windows (`op.validate.us`) when a RollingRecorder sink
+        // is attached.
+        self.obs
+            .histogram("op.validate.us", t0.elapsed().as_micros() as u64);
 
         ValidationOutcome {
             validated,

@@ -19,6 +19,14 @@ cargo test --benches -q --locked
 # scheduler noise.
 ./target/release/schedule_smoke --runs 3 --ceiling-ms 2200
 
+# Telemetry-overhead smoke: the serving-boundary instrumentation (request
+# span + rolling windows + exemplar offer) must cost <= 5% of the daemon's
+# memoized scan path, measured A/B inside one process so machine noise
+# cancels instead of masquerading as overhead (BENCH_obs.json). The 3ms
+# ceiling is ~5x the committed 0.58ms metered batch — a backstop against
+# both paths regressing together.
+./target/release/obs_smoke --rounds 40 --max-overhead-pct 5 --ceiling-ms 3
+
 # Scale smoke: shard-parallel streaming mining must stay shard-invariant —
 # a 10k-project streaming mine with every core must print the same
 # check_set_hash as a 1-shard run — and 600-project mining throughput must

@@ -2,10 +2,14 @@
 # Daemon smoke: end-to-end exercise of zodiacd against the batch pipeline.
 #
 #   1. mine a validated check set from the headline synthetic corpus;
-#   2. start zodiacd serving it over a Unix socket;
+#   2. start zodiacd serving it over a Unix socket with a Prometheus
+#      endpoint, check `/healthz`, and replay the slowest scan's exemplar
+#      fingerprint through `zodiac client explain`;
 #   3. fire 100 concurrent `zodiac client scan`s and require each one to be
 #      byte-for-byte identical (stdout+stderr and exit code) to the batch
-#      `zodiac scan` of the same file;
+#      `zodiac scan` of the same file — scraping `/metrics` mid-run and
+#      after, and requiring a well-formed exposition (no duplicate series,
+#      `_total` counters monotone across the two scrapes);
 #   4. kill -9 the daemon and restart it from the persistent store alone;
 #   5. shut it down gracefully and status-check the exit.
 #
@@ -64,10 +68,35 @@ batch_scan "$work/clean.tf"   "$work/batch-clean.out"
 batch_scan "$work/flagged.tf" "$work/batch-flagged.out"
 
 echo "== starting zodiacd =="
-"$ZODIACD" --store "$store" --checks "$checks" --socket "$sock" &
+"$ZODIACD" --store "$store" --checks "$checks" --socket "$sock" \
+  --metrics-listen 127.0.0.1:0 2> "$work/daemon.log" &
 daemon_pid=$!
 for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
-[ -S "$sock" ] || { echo "daemon never bound $sock"; exit 1; }
+[ -S "$sock" ] || { echo "daemon never bound $sock"; cat "$work/daemon.log"; exit 1; }
+maddr=""
+for _ in $(seq 100); do
+  maddr=$(sed -n 's#^zodiacd: metrics on http://\([^/]*\)/metrics$#\1#p' "$work/daemon.log" | head -1)
+  [ -n "$maddr" ] && break
+  sleep 0.05
+done
+[ -n "$maddr" ] || { echo "daemon never announced its metrics endpoint"; cat "$work/daemon.log"; exit 1; }
+
+echo "== metrics endpoint and exemplar replay =="
+health=$(curl -fsS "http://$maddr/healthz")
+[ "$health" = "ok" ] || { echo "/healthz returned '$health', want 'ok'"; exit 1; }
+# The daemon's first-ever request: a cold scan of the flagged program. It
+# is the slowest scan on record, so its violated-check fingerprints are
+# exactly what the exemplar reservoir exposes for op="scan".
+"$ZODIAC" client scan "$work/flagged.tf" --socket "$sock" > /dev/null 2>&1 || true
+curl -fsS "http://$maddr/metrics" > "$work/scrape0.txt"
+fp=$(sed -n 's/^zodiac_op_exemplar_fingerprint{op="scan",fingerprint="\([0-9a-f]\{16\}\)"}.*/\1/p' \
+  "$work/scrape0.txt" | head -1)
+[ -n "$fp" ] || { echo "no scan exemplar fingerprint in /metrics"; cat "$work/scrape0.txt"; exit 1; }
+"$ZODIAC" client explain "$fp" --socket "$sock" > "$work/explain.out" \
+  || { echo "exemplar fingerprint $fp is not replayable via explain"; exit 1; }
+grep -q "check:" "$work/explain.out" \
+  || { echo "explain $fp returned no check text"; cat "$work/explain.out"; exit 1; }
+echo "scan exemplar $fp replayed via client explain"
 
 echo "== 100 concurrent client scans =="
 client_pids=()
@@ -79,7 +108,24 @@ for i in $(seq 100); do
   fi
   client_pids+=("$!")
 done
+# Scrape while the scans are in flight, and again once they are done: the
+# page must parse, carry no duplicate series, and every `_total` counter
+# must be monotone between the two scrapes.
+curl -fsS "http://$maddr/metrics" > "$work/scrape1.txt"
+health=$(curl -fsS "http://$maddr/healthz")
+[ "$health" = "ok" ] || { echo "/healthz mid-run returned '$health'"; exit 1; }
 for p in "${client_pids[@]}"; do wait "$p"; done
+curl -fsS "http://$maddr/metrics" > "$work/scrape2.txt"
+dup=$(grep -v '^#' "$work/scrape2.txt" | awk '{print $1}' | sort | uniq -d)
+[ -z "$dup" ] || { echo "duplicate series in /metrics:"; echo "$dup"; exit 1; }
+awk 'NR==FNR { if ($1 !~ /^#/ && $1 ~ /_total([{ ]|$)/) a[$1]=$2; next }
+     $1 !~ /^#/ && ($1 in a) && ($2+0) < (a[$1]+0) {
+       print "counter went backwards between scrapes: " $1 " " a[$1] " -> " $2; bad=1 }
+     END { exit bad }' "$work/scrape1.txt" "$work/scrape2.txt" \
+  || { echo "non-monotone _total counter across scrapes"; exit 1; }
+grep -q '^zodiac_op_requests{op="scan",window="1m"} ' "$work/scrape2.txt" \
+  || { echo "no rolling scan window in /metrics"; exit 1; }
+echo "metrics exposition well-formed across two scrapes"
 
 for i in $(seq 100); do
   if [ $((i % 2)) -eq 0 ]; then want="$work/batch-clean.out"; else want="$work/batch-flagged.out"; fi
@@ -91,6 +137,9 @@ echo "== kill -9, restart from the store =="
 kill -9 "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=""
+# kill -9 leaves the old socket file behind; remove it so the bind-wait
+# below watches the restarted daemon, not the stale inode.
+rm -f "$sock"
 "$ZODIACD" --store "$store" --socket "$sock" &
 daemon_pid=$!
 for _ in $(seq 100); do [ -S "$sock" ] && break; sleep 0.05; done
